@@ -1,0 +1,119 @@
+//! Ablation benches for the design choices called out in DESIGN.md §5:
+//! histogram bin count, hypercube edge, cluster count, UIPS refinement, and
+//! entropy-weighting temperature. Each group measures the kernel cost of
+//! turning the knob; the *quality* side of these ablations is covered by
+//! the figure binaries and integration tests.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sickle_core::samplers::{MaxEntSampler, PointSampler};
+use sickle_core::UipsSampler;
+use sickle_field::FeatureMatrix;
+
+fn features(n: usize) -> FeatureMatrix {
+    let names = vec!["u".into(), "q".into()];
+    let data: Vec<f64> = (0..n * 2)
+        .map(|i| {
+            let t = i as f64 * 0.003;
+            if i % 2 == 0 {
+                (t * 2.1).sin()
+            } else {
+                (t * 0.7).cos().powi(3) + if i % 193 == 0 { 8.0 } else { 0.0 }
+            }
+        })
+        .collect();
+    FeatureMatrix::new(names, data)
+}
+
+fn bench_bins(c: &mut Criterion) {
+    let f = features(32_768);
+    let mut group = c.benchmark_group("ablation_maxent_bins");
+    group.sample_size(10);
+    for bins in [25usize, 50, 100, 200] {
+        let s = MaxEntSampler { num_clusters: 20, bins, ..Default::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(bins), &s, |b, s| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(0);
+                std::hint::black_box(s.select(&f, 1, 3277, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_clusters(c: &mut Criterion) {
+    let f = features(32_768);
+    let mut group = c.benchmark_group("ablation_maxent_clusters");
+    group.sample_size(10);
+    for k in [5usize, 10, 20, 40] {
+        let s = MaxEntSampler { num_clusters: k, bins: 100, ..Default::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(k), &s, |b, s| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(0);
+                std::hint::black_box(s.select(&f, 1, 3277, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cube_edge(c: &mut Criterion) {
+    // Kernel cost per cube as the edge grows (8^3 vs 16^3 vs 32^3 points).
+    let mut group = c.benchmark_group("ablation_cube_edge");
+    group.sample_size(10);
+    for edge in [8usize, 16, 32] {
+        let f = features(edge * edge * edge);
+        let s = MaxEntSampler { num_clusters: 20, bins: 100, ..Default::default() };
+        let budget = f.len() / 10;
+        group.bench_with_input(BenchmarkId::from_parameter(edge), &f, |b, f| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(0);
+                std::hint::black_box(s.select(f, 1, budget, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_uips_refinement(c: &mut Criterion) {
+    let f = features(32_768);
+    let mut group = c.benchmark_group("ablation_uips_refine");
+    group.sample_size(10);
+    for iters in [0usize, 1, 3] {
+        let s = UipsSampler { bins_per_dim: 10, refine_iterations: iters };
+        group.bench_with_input(BenchmarkId::from_parameter(iters), &s, |b, s| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(0);
+                std::hint::black_box(s.select(&f, 1, 3277, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_temperature(c: &mut Criterion) {
+    let f = features(32_768);
+    let mut group = c.benchmark_group("ablation_maxent_temperature");
+    group.sample_size(10);
+    for (label, t) in [("t0", 0.0f64), ("t05", 0.5), ("t1", 1.0), ("t2", 2.0)] {
+        let s = MaxEntSampler { num_clusters: 20, bins: 100, temperature: t, ..Default::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &s, |b, s| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(0);
+                std::hint::black_box(s.select(&f, 1, 3277, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bins,
+    bench_clusters,
+    bench_cube_edge,
+    bench_uips_refinement,
+    bench_temperature
+);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion benches for the FFT substrate: 1D plan throughput and the 3D
+//! transforms that dominate the pseudo-spectral solver's step cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sickle_fft::{Complex, Fft3d, FftPlan, RealFft};
+
+fn bench_fft_1d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_1d");
+    for n in [256usize, 1024, 4096] {
+        let plan = FftPlan::new(n);
+        let data: Vec<Complex> = (0..n).map(|i| Complex::new((i as f64).sin(), 0.0)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &plan, |b, plan| {
+            b.iter(|| {
+                let mut buf = data.clone();
+                plan.forward(&mut buf);
+                std::hint::black_box(buf)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_rfft(c: &mut Criterion) {
+    let n = 4096;
+    let plan = RealFft::new(n);
+    let data: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin()).collect();
+    c.bench_function("rfft_4096", |b| b.iter(|| std::hint::black_box(plan.forward(&data))));
+}
+
+fn bench_fft_3d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_3d");
+    group.sample_size(10);
+    for n in [16usize, 32, 64] {
+        let plan = Fft3d::new(n, n, n);
+        let data: Vec<Complex> =
+            (0..n * n * n).map(|i| Complex::new((i as f64 * 0.37).sin(), 0.0)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &plan, |b, plan| {
+            b.iter(|| {
+                let mut buf = data.clone();
+                plan.forward(&mut buf);
+                std::hint::black_box(buf)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_spectral_step(c: &mut Criterion) {
+    use sickle_cfd::{SpectralConfig, SpectralSolver};
+    let mut group = c.benchmark_group("spectral_step");
+    group.sample_size(10);
+    for n in [16usize, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut solver = SpectralSolver::new(SpectralConfig { n, dt: 0.005, ..Default::default() });
+            solver.init_taylor_green(1.0);
+            b.iter(|| {
+                solver.step();
+                std::hint::black_box(solver.kinetic_energy())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft_1d, bench_rfft, bench_fft_3d, bench_spectral_step);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion benches for the mini-batch k-means substrate: fit cost vs
+//! cluster count and data size (the "computational cost of performing a
+//! cluster analysis" the paper's Discussion weighs against sampling gains).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sickle_core::kmeans::{KMeans, KMeansConfig};
+
+fn blob_data(n: usize, d: usize) -> Vec<f64> {
+    (0..n * d)
+        .map(|i| {
+            let c = (i / d) % 5; // five latent blobs
+            c as f64 * 3.0 + ((i.wrapping_mul(2654435761)) % 1000) as f64 * 1e-3
+        })
+        .collect()
+}
+
+fn bench_fit_clusters(c: &mut Criterion) {
+    let data = blob_data(32 * 32 * 32, 1);
+    let mut group = c.benchmark_group("kmeans_fit_32cubed_1d");
+    group.sample_size(10);
+    for k in [5usize, 10, 20, 40] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                std::hint::black_box(KMeans::fit(
+                    &data,
+                    1,
+                    &KMeansConfig { k, batch_size: 1024, iterations: 30, seed: 0 },
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fit_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans_fit_size_4d");
+    group.sample_size(10);
+    for n in [4096usize, 32_768, 262_144] {
+        let data = blob_data(n, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
+            b.iter(|| {
+                std::hint::black_box(KMeans::fit(
+                    data,
+                    4,
+                    &KMeansConfig { k: 20, batch_size: 1024, iterations: 30, seed: 0 },
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_assign(c: &mut Criterion) {
+    let data = blob_data(262_144, 4);
+    let km = KMeans::fit(&data, 4, &KMeansConfig { k: 20, batch_size: 1024, iterations: 30, seed: 0 });
+    c.bench_function("kmeans_assign_256k_4d", |b| {
+        b.iter(|| std::hint::black_box(km.assign(&data)))
+    });
+}
+
+criterion_group!(benches, bench_fit_clusters, bench_fit_size, bench_assign);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion micro-benchmarks: point-sampler throughput per method at a
+//! fixed 10% budget — the per-cube kernel cost `c(m)` of the paper's Eq. 3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sickle_core::samplers::{
+    LhsSampler, MaxEntSampler, PointSampler, RandomSampler, StratifiedSampler,
+    UniformStrideSampler,
+};
+use sickle_core::UipsSampler;
+use sickle_field::FeatureMatrix;
+
+/// A 32³-cube-sized feature matrix with realistic multi-modal structure.
+fn cube_features(n: usize) -> FeatureMatrix {
+    let names = vec!["u".into(), "v".into(), "w".into(), "q".into()];
+    let mut data = Vec::with_capacity(n * 4);
+    for i in 0..n {
+        let t = i as f64 * 0.001;
+        data.push((t * 3.1).sin());
+        data.push((t * 1.7).cos() * 0.5);
+        data.push((t * 0.9).sin() * 0.2);
+        // Heavy-tailed cluster variable.
+        let tail = if i % 97 == 0 { 10.0 } else { 0.0 };
+        data.push((t * 5.3).sin().powi(3) + tail);
+    }
+    FeatureMatrix::new(names, data)
+}
+
+fn bench_samplers(c: &mut Criterion) {
+    let features = cube_features(32 * 32 * 32);
+    let budget = features.len() / 10;
+    let mut group = c.benchmark_group("sampler_32cubed_10pct");
+    group.sample_size(10);
+    let methods: Vec<(&str, Box<dyn PointSampler>)> = vec![
+        ("random", Box::new(RandomSampler)),
+        ("uniform", Box::new(UniformStrideSampler)),
+        ("lhs", Box::new(LhsSampler)),
+        ("stratified", Box::new(StratifiedSampler::default())),
+        ("uips", Box::new(UipsSampler::default())),
+        ("maxent", Box::new(MaxEntSampler { num_clusters: 20, bins: 100, ..Default::default() })),
+    ];
+    for (name, sampler) in methods {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &features, |b, f| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                std::hint::black_box(sampler.select(f, 3, budget, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_budget_scaling(c: &mut Criterion) {
+    // MaxEnt cost vs budget (should be dominated by clustering, ~flat).
+    let features = cube_features(32 * 32 * 32);
+    let sampler = MaxEntSampler { num_clusters: 20, bins: 100, ..Default::default() };
+    let mut group = c.benchmark_group("maxent_budget_scaling");
+    group.sample_size(10);
+    for pct in [1usize, 5, 10, 25] {
+        let budget = features.len() * pct / 100;
+        group.bench_with_input(BenchmarkId::from_parameter(pct), &budget, |b, &budget| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(2);
+                std::hint::black_box(sampler.select(&features, 3, budget, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_samplers, bench_budget_scaling);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion benches for the training substrate: per-batch step cost of
+//! each Table-2 architecture, and the DDP all-reduce overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sickle_train::data::{Batch, BatchShape};
+use sickle_train::models::{LstmModel, MateyMini, Model, TokenTransformer};
+use sickle_nn::optim::Adam;
+use sickle_nn::Tape;
+
+fn toy_batch(batch: usize, tokens: usize, features: usize, outputs: usize) -> Batch {
+    Batch {
+        inputs: (0..batch * tokens * features).map(|i| ((i * 37) % 19) as f32 * 0.05 - 0.4).collect(),
+        targets: (0..batch * outputs).map(|i| ((i * 13) % 7) as f32 * 0.1).collect(),
+        shape: BatchShape { batch, tokens, features, outputs },
+    }
+}
+
+fn step(model: &mut dyn Model, batch: &Batch, opt: &mut Adam) -> f32 {
+    let mut tape = Tape::new();
+    let loss = model.loss_on_batch(&mut tape, batch);
+    let lv = tape.value(loss)[0];
+    tape.backward(loss);
+    tape.accumulate_grads(model.store_mut());
+    opt.step(model.store_mut());
+    model.store_mut().zero_grads();
+    lv
+}
+
+fn bench_model_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_step");
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::from_parameter("lstm_b16_t3_f128"), |b| {
+        let batch = toy_batch(16, 3, 128, 1);
+        let mut model = LstmModel::new(128, 32, 1, 0);
+        let mut opt = Adam::new(1e-3);
+        b.iter(|| std::hint::black_box(step(&mut model, &batch, &mut opt)));
+    });
+
+    group.bench_function(BenchmarkId::from_parameter("mlp_transformer_b4_n64"), |b| {
+        let batch = toy_batch(4, 64, 5, 4096);
+        let mut model = TokenTransformer::mlp_transformer(64, 5, 32, 1, 4096, 0);
+        let mut opt = Adam::new(1e-3);
+        b.iter(|| std::hint::black_box(step(&mut model, &batch, &mut opt)));
+    });
+
+    group.bench_function(BenchmarkId::from_parameter("cnn_transformer_b2_n512"), |b| {
+        let batch = toy_batch(2, 512, 32, 4096);
+        let mut model = TokenTransformer::cnn_transformer(512, 32, 32, 1, 4096, 0);
+        let mut opt = Adam::new(1e-3);
+        b.iter(|| std::hint::black_box(step(&mut model, &batch, &mut opt)));
+    });
+
+    group.bench_function(BenchmarkId::from_parameter("matey_b2_n64_keep25"), |b| {
+        let batch = toy_batch(2, 64, 32, 4096);
+        let mut model = MateyMini::new(64, 32, 32, 1, 4096, 0.25, 0);
+        let mut opt = Adam::new(1e-3);
+        b.iter(|| std::hint::black_box(step(&mut model, &batch, &mut opt)));
+    });
+    group.finish();
+}
+
+fn bench_allreduce(c: &mut Criterion) {
+    use sickle_train::ddp::allreduce_mean;
+    let mut group = c.benchmark_group("ddp_allreduce");
+    for world in [2usize, 4, 8] {
+        let grads: Vec<Vec<f32>> = (0..world).map(|w| vec![w as f32; 100_000]).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(world), &grads, |b, grads| {
+            b.iter(|| std::hint::black_box(allreduce_mean(grads)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_steps, bench_allreduce);
+criterion_main!(benches);

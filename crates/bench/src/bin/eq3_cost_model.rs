@@ -1,0 +1,79 @@
+//! Validates **Equation 3**, the paper's training-cost model:
+//! `Cost ≈ O(c(m)) + O(m · p · e)`.
+//!
+//! Sweeps the number of training samples `m`, model parameters `p`, and
+//! epochs `e`; for each point it *measures* the modeled training energy
+//! (from actual counted FLOPs) and compares against the closed-form
+//! prediction, reporting the calibrated FLOPs-per-sample-parameter constant
+//! and the relative error of linear scaling in each factor.
+
+use sickle_bench::{fmt, print_table, write_csv};
+use sickle_energy::{cost_to_train, MachineModel};
+use sickle_train::data::TensorData;
+use sickle_train::models::{LstmModel, Model};
+use sickle_train::trainer::{train, TrainConfig};
+
+fn synthetic(n: usize, features: usize) -> TensorData {
+    let tokens = 3;
+    let mut inputs = Vec::new();
+    let mut targets = Vec::new();
+    for i in 0..n {
+        let mut s = 0.0f32;
+        for t in 0..tokens {
+            for f in 0..features {
+                let v = (((i * 7 + t * 3 + f * 5) % 17) as f32) * 0.1 - 0.8;
+                inputs.push(v);
+                s += v;
+            }
+        }
+        targets.push(s / (tokens * features) as f32);
+    }
+    TensorData::new(inputs, targets, tokens, features, 1)
+}
+
+fn measure(m: usize, hidden: usize, epochs: usize) -> (f64, usize) {
+    let data = synthetic(m, 4);
+    let mut model = LstmModel::new(4, hidden, 1, 0);
+    let params = model.num_params();
+    let cfg = TrainConfig { epochs, batch: 8, test_frac: 0.1, ..Default::default() };
+    let res = train(&mut model, &data, &cfg, MachineModel::frontier_gcd());
+    (res.energy.total_joules(), params)
+}
+
+fn main() {
+    println!("== Eq. 3: cost-model validation — Cost ~ c(m) + m*p*e ==\n");
+    let machine = MachineModel::frontier_gcd();
+
+    // Calibrate k = flops/(sample*param*epoch) at a base point.
+    let (e_base, p_base) = measure(64, 16, 10);
+    let base_pred_raw = cost_to_train(0.0, 64, p_base, 10, 1.0, &machine);
+    let k = e_base / base_pred_raw;
+    println!("calibrated flops-per-sample-param constant k = {k:.2}\n");
+
+    let header = vec!["sweep", "value", "measured_J", "predicted_J", "rel_err"];
+    let mut rows = Vec::new();
+    let mut check = |sweep: &str, value: String, m: usize, hidden: usize, e: usize| {
+        let (measured, params) = measure(m, hidden, e);
+        let predicted = cost_to_train(0.0, m, params, e, k, &machine);
+        let rel = (measured - predicted).abs() / measured;
+        rows.push(vec![sweep.to_string(), value, fmt(measured), fmt(predicted), fmt(rel)]);
+        rel
+    };
+
+    let mut max_rel = 0.0f64;
+    for m in [32usize, 64, 128, 256] {
+        max_rel = max_rel.max(check("samples m", m.to_string(), m, 16, 10));
+    }
+    for h in [8usize, 16, 32] {
+        max_rel = max_rel.max(check("hidden (p)", h.to_string(), 64, h, 10));
+    }
+    for e in [5usize, 10, 20, 40] {
+        max_rel = max_rel.max(check("epochs e", e.to_string(), 64, 16, e));
+    }
+    print_table(&header, &rows);
+    write_csv("eq3_cost_model.csv", &header, &rows);
+    println!("\nmax relative error across sweeps: {}", fmt(max_rel));
+    println!("Eq. 3 holds when rel_err stays small as each factor scales; the");
+    println!("parameter sweep deviates most (LSTM cost is not exactly linear in p");
+    println!("because recurrent matmuls scale with hidden^2 — the O(.) in Eq. 3).");
+}

@@ -1,0 +1,76 @@
+//! Regenerates **Figure 5**: PDFs of the subsampling methods at a 10%
+//! budget on OF2D, SST-P1F4, and GESTS, binned with the paper's fixed 100
+//! bins.
+//!
+//! Reported per (dataset, method, feature): `KL(full ‖ sample)` and the
+//! tail-coverage ratio. The paper's claim: "MaxEnt outperforms other
+//! methods in tail representation."
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sickle_bench::{fmt, mean_std, print_table, write_csv, workloads};
+use sickle_core::metrics::{pdf_reports, wasserstein_reports};
+use sickle_core::samplers::{MaxEntSampler, PointSampler, RandomSampler, StratifiedSampler};
+use sickle_core::UipsSampler;
+use sickle_field::{Dataset, Tiling};
+
+const BINS: usize = 100;
+
+fn methods() -> Vec<(&'static str, Box<dyn PointSampler>)> {
+    vec![
+        ("random", Box::new(RandomSampler)),
+        ("stratified", Box::new(StratifiedSampler::default())),
+        ("uips", Box::new(UipsSampler::default())),
+        ("maxent", Box::new(MaxEntSampler { num_clusters: 20, bins: BINS, ..Default::default() })),
+    ]
+}
+
+fn run_case(label: &str, dataset: &Dataset, feature_vars: &[&str], cluster_var: &str) -> Vec<Vec<String>> {
+    let snap = dataset.snapshots.last().expect("dataset has snapshots");
+    let grid = snap.grid;
+    let mut vars: Vec<String> = feature_vars.iter().map(|s| s.to_string()).collect();
+    if !vars.iter().any(|v| v == cluster_var) {
+        vars.push(cluster_var.to_string());
+    }
+    let cluster_col = vars.iter().position(|v| v == cluster_var).unwrap();
+    let tiling = Tiling::new(grid, (grid.nx, grid.ny, grid.nz));
+    let (features, _) = tiling.extract(snap, 0, &vars);
+    let budget = features.len() / 10;
+    let mut rows = Vec::new();
+    for (name, sampler) in methods() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let picked = sampler.select(&features, cluster_col, budget, &mut rng);
+        let reports = pdf_reports(&features, &picked, BINS);
+        let kls: Vec<f64> = reports.iter().map(|r| r.kl_full_vs_sample).collect();
+        let tails: Vec<f64> = reports.iter().map(|r| r.tail_coverage_ratio).collect();
+        let w1s = wasserstein_reports(&features, &picked, BINS);
+        let (kl_mean, _) = mean_std(&kls);
+        let (tail_mean, _) = mean_std(&tails);
+        let (w1_mean, _) = mean_std(&w1s);
+        rows.push(vec![
+            label.to_string(),
+            name.to_string(),
+            fmt(kl_mean),
+            fmt(tail_mean),
+            fmt(w1_mean),
+        ]);
+    }
+    rows
+}
+
+fn main() {
+    println!("== Fig. 5: PDF fidelity of subsampling methods (10%, {BINS} bins) ==\n");
+    let of2d = workloads::of2d_small();
+    let sst = workloads::sst_p1f4_small();
+    let gests = workloads::gests_small();
+    let mut rows = run_case("OF2D", &of2d.dataset, &["u", "v"], "wz");
+    rows.extend(run_case("SST-P1F4", &sst, &["u", "v", "w", "r"], "pv"));
+    rows.extend(run_case("GESTS", &gests, &["u", "v", "w", "eps"], "omega"));
+    let header = vec!["dataset", "method", "mean_KL(full||sample)", "tail_coverage_ratio", "mean_W1(bins)"];
+    print_table(&header, &rows);
+    write_csv("fig5_pdf_comparison.csv", &header, &rows);
+    println!("\nExpected shape (paper): maxent has tail_coverage_ratio > 1 (tails");
+    println!("over-represented, the intended behaviour) where random/uips sit near");
+    println!("or below 1; random has the lowest KL (it matches the bulk by");
+    println!("construction) but loses the tails.");
+}

@@ -1,0 +1,150 @@
+//! Regenerates **Figure 6**: drag-prediction surrogate accuracy on OF2D,
+//! MaxEnt vs random sampling, three sample budgets × five seeds.
+//!
+//! The sampler chooses *probe locations* once (from a developed-wake
+//! snapshot); the time series of `u, v` at those fixed probes then feeds a
+//! 3-step LSTM window predicting the drag coefficient — the paper's
+//! sample-single task, in the sparse-sensor framing its §5.1 cites
+//! (Manohar et al.'s data-driven sensor placement). MaxEnt places probes in
+//! the information-rich wake; random mostly samples the featureless free
+//! stream. Expected result (paper): "MaxEnt should yield lower training
+//! losses and standard deviations than random sampling".
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use sickle_bench::{fmt, mean_std, print_table, write_csv, workloads};
+use sickle_core::samplers::{MaxEntSampler, PointSampler, RandomSampler};
+use sickle_energy::MachineModel;
+use sickle_field::{FeatureMatrix, SampleSet, Tiling};
+use sickle_train::data::drag_windows;
+use sickle_train::models::LstmModel;
+use sickle_train::trainer::{train, TrainConfig};
+
+const WINDOW: usize = 3;
+
+const SEEDS: [u64; 5] = [11, 22, 33, 44, 55];
+const BUDGETS: [usize; 3] = [540, 1080, 2160];
+
+/// Selects `budget` probe grid indices and returns per-snapshot sample sets
+/// of `u, v` at those *fixed* locations.
+///
+/// The cluster variable is the *temporal standard deviation* of vorticity
+/// at each point — the stable signature of the shedding region — rather
+/// than one snapshot's instantaneous `wz` (whose extrema wander with the
+/// wake's phase).
+fn probe_time_series(
+    data: &sickle_cfd::datasets::Of2dData,
+    sampler: &dyn PointSampler,
+    budget: usize,
+    seed: u64,
+) -> Vec<SampleSet> {
+    let reference = &data.dataset.snapshots[data.dataset.num_snapshots() / 2];
+    let n = reference.num_points();
+    // Per-point temporal std of wz across all snapshots.
+    let mut mean = vec![0.0f64; n];
+    let mut m2 = vec![0.0f64; n];
+    let count = data.dataset.num_snapshots() as f64;
+    for snap in &data.dataset.snapshots {
+        for (i, &w) in snap.expect_var("wz").iter().enumerate() {
+            mean[i] += w;
+        }
+    }
+    mean.iter_mut().for_each(|m| *m /= count);
+    for snap in &data.dataset.snapshots {
+        for (i, &w) in snap.expect_var("wz").iter().enumerate() {
+            m2[i] += (w - mean[i]) * (w - mean[i]);
+        }
+    }
+    let wz_std: Vec<f64> = m2.iter().map(|v| (v / count).sqrt()).collect();
+
+    let vars = vec!["u".to_string(), "v".to_string()];
+    let tiling = Tiling::new(reference.grid, (reference.grid.nx, reference.grid.ny, 1));
+    let (mut features, indices) = tiling.extract(reference, 0, &vars);
+    // Append the temporal-std column as the cluster variable.
+    let mut with_std = FeatureMatrix::with_capacity(
+        vec!["u".into(), "v".into(), "wz_std".into()],
+        features.len(),
+    );
+    for (row, &gi) in features.rows().zip(indices.iter()) {
+        with_std.push_row(&[row[0], row[1], wz_std[gi]]);
+    }
+    features = with_std;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut picked = sampler.select(&features, 2, budget, &mut rng);
+    picked.shuffle(&mut rng); // decorrelate cluster-major emission order
+    let probe_idx: Vec<usize> = picked.iter().map(|&p| indices[p]).collect();
+
+    data.dataset
+        .snapshots
+        .iter()
+        .enumerate()
+        .map(|(si, snap)| {
+            let u = snap.expect_var("u");
+            let v = snap.expect_var("v");
+            let mut rows = Vec::with_capacity(probe_idx.len() * 2);
+            for &gi in &probe_idx {
+                rows.push(u[gi]);
+                rows.push(v[gi]);
+            }
+            let fm = FeatureMatrix::new(vec!["u".into(), "v".into()], rows);
+            SampleSet::new(fm, probe_idx.clone(), snap.time, si)
+        })
+        .collect()
+}
+
+fn main() {
+    println!("== Fig. 6: OF2D drag surrogate — MaxEnt vs random probes, 5 seeds ==\n");
+    let data = workloads::of2d_small();
+    let header = vec!["method", "num_samples", "test_loss_mean", "test_loss_std"];
+    let mut rows = Vec::new();
+    let mut raw_rows = Vec::new();
+    for &budget in &BUDGETS {
+        for method in ["random", "maxent"] {
+            let mut losses = Vec::new();
+            for &seed in &SEEDS {
+                let sampler: Box<dyn PointSampler> = match method {
+                    "random" => Box::new(RandomSampler),
+                    _ => Box::new(MaxEntSampler { num_clusters: 10, bins: 100, temperature: 0.5, ..Default::default() }),
+                };
+                let sets = probe_time_series(&data, sampler.as_ref(), budget, seed);
+                // The paper's ns is the LSTM's input size: use budget/10 probes
+                // so larger budgets genuinely widen the observation.
+                let mut tensor = drag_windows(&sets, &data.drag, WINDOW, budget / 10);
+                tensor.standardize();
+                // Fixed init: the seed sweep isolates *sampling* variance,
+                // the quantity Fig. 6's error bars are about.
+                let mut model = LstmModel::new(tensor.features, 24, 1, 0);
+                let cfg = TrainConfig {
+                    epochs: 300,
+                    batch: 8,
+                    lr: 3e-3,
+                    patience: 12,
+                    test_frac: 0.15,
+                    seed: 0,
+                    ..Default::default()
+                };
+                let res = train(&mut model, &tensor, &cfg, MachineModel::frontier_gcd());
+                losses.push(res.best_test as f64);
+                raw_rows.push(vec![
+                    method.to_string(),
+                    budget.to_string(),
+                    seed.to_string(),
+                    fmt(res.best_test as f64),
+                ]);
+            }
+            let (mean, std) = mean_std(&losses);
+            rows.push(vec![method.to_string(), budget.to_string(), fmt(mean), fmt(std)]);
+            println!("  {method} ns={budget}: loss {mean:.4} ± {std:.4}");
+        }
+    }
+    println!();
+    print_table(&header, &rows);
+    write_csv("fig6_drag_surrogate.csv", &header, &rows);
+    write_csv("fig6_drag_raw.csv", &["method", "num_samples", "seed", "test_loss"], &raw_rows);
+    println!("\nExpected shape (paper): MaxEnt is the more *reproducible* sampler —");
+    println!("\"MaxEnt exhibits less variance and is therefore more reproducible");
+    println!("than random sampling (see Fig. 6)\" (per its Discussion) — i.e. a");
+    println!("clearly smaller std; on the mean, \"random sampling performs");
+    println!("competitively in many scenarios\", so mean ordering may go either way.");
+}

@@ -1,0 +1,140 @@
+//! Regenerates **Figure 9**: the MATEY foundation-model study — MATEY-mini
+//! trained on SST-P1F4 with a 10% *sampling rate* under uniform, random,
+//! and MaxEnt curation, reporting validation loss and energy.
+//!
+//! SICKLE acts here as the training-set curator (the paper applies it "as a
+//! preprocessing step" before MATEY training): from the pool of dense
+//! hypercubes across the training snapshots, each strategy retains 10% —
+//! uniform stride over the cube sequence, uniform random, or
+//! entropy-weighted (Hmaxent). All three train the same MATEY-mini for the
+//! same epochs and are scored on one *common* held-out snapshot, so the
+//! validation loss isolates what the curation kept.
+//!
+//! Paper's observed outcome (an "initial study"): random attains the lowest
+//! validation loss and least energy (0.252 @ 486 kJ), MaxEnt close behind
+//! (0.262 @ 514 kJ), uniform clearly worse (0.295 @ 495 kJ).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sickle_bench::{fmt, print_table, workloads, write_csv};
+use sickle_core::hypercube::HypercubeSelector;
+use sickle_energy::{EnergyMeter, MachineModel};
+use sickle_field::{SampleSet, Tiling};
+use sickle_train::data::dense_cube_data;
+use sickle_train::models::{MateyMini, Model};
+use sickle_train::trainer::{train, TrainConfig};
+
+const CUBE_EDGE: usize = 8;
+const PATCH: usize = 2;
+const EPOCHS: usize = 30; // paper: 50 epochs at full scale
+const KEEP_FRAC: f64 = 0.10;
+
+/// Dense sample set covering one whole cube.
+fn full_cube_set(snap_idx: usize, snap: &sickle_field::Snapshot, tiling: &Tiling, cube: usize) -> SampleSet {
+    let vars: Vec<String> = vec!["u".into(), "v".into(), "w".into(), "r".into()];
+    let (features, indices) = tiling.extract(snap, cube, &vars);
+    SampleSet::new(features, indices, snap.time, snap_idx).with_hypercube(cube)
+}
+
+fn main() {
+    println!("== Fig. 9: MATEY-mini on SST-P1F4, 10% sampling rate ==\n");
+    let dataset = workloads::sst_p1f4_small();
+    let n_snap = dataset.num_snapshots();
+    let tiling = Tiling::cubic(dataset.grid(), CUBE_EDGE);
+    let cubes_per_snap = tiling.len();
+    let train_pool: Vec<(usize, usize)> = (0..n_snap - 1)
+        .flat_map(|s| (0..cubes_per_snap).map(move |c| (s, c)))
+        .collect();
+    let keep = ((train_pool.len() as f64 * KEEP_FRAC).round() as usize).max(4);
+    println!(
+        "pool: {} cubes over {} snapshots; keeping {} (10%); validating on snapshot {}",
+        train_pool.len(),
+        n_snap - 1,
+        keep,
+        n_snap - 1
+    );
+
+    // Common validation set: 16 randomly drawn cubes of the held-out
+    // snapshot (seeded; NOT stride-aligned, so no curation strategy gets
+    // spatially co-located near-duplicates for free).
+    let val_snap = &dataset.snapshots[n_snap - 1];
+    let val_cubes: Vec<usize> = {
+        use rand::seq::SliceRandom;
+        let mut rng = StdRng::seed_from_u64(777);
+        let mut ids: Vec<usize> = (0..cubes_per_snap).collect();
+        ids.shuffle(&mut rng);
+        ids.truncate(16);
+        ids
+    };
+    let val_sets: Vec<SampleSet> = val_cubes
+        .iter()
+        .map(|&c| full_cube_set(n_snap - 1, val_snap, &tiling, c))
+        .collect();
+    let mut val_tensor =
+        dense_cube_data(&val_sets, &dataset.snapshots, CUBE_EDGE, &dataset.meta.input_vars, "p", PATCH);
+
+    let header = vec!["sampling", "val_loss", "energy_kJ"];
+    let mut rows = Vec::new();
+    for name in ["uniform", "random", "maxent"] {
+        // --- Curation: pick `keep` (snapshot, cube) pairs. ---
+        let sample_meter = EnergyMeter::new(MachineModel::frontier_cpu_rank());
+        let picked: Vec<(usize, usize)> = match name {
+            "uniform" => (0..keep).map(|i| train_pool[i * train_pool.len() / keep]).collect(),
+            "random" => {
+                use rand::seq::SliceRandom;
+                let mut rng = StdRng::seed_from_u64(9);
+                let mut pool = train_pool.clone();
+                pool.shuffle(&mut rng);
+                pool.truncate(keep);
+                pool
+            }
+            _ => {
+                // MaxEnt cube scoring per snapshot; keep/snapshots cubes each.
+                let per_snap = (keep / (n_snap - 1)).max(1);
+                let selector = HypercubeSelector::maxent_default();
+                let mut out = Vec::new();
+                for s in 0..n_snap - 1 {
+                    let mut rng = StdRng::seed_from_u64(9 ^ s as u64);
+                    let ids = selector.select(&tiling, &dataset.snapshots[s], "pv", per_snap, &mut rng);
+                    out.extend(ids.into_iter().map(|c| (s, c)));
+                    // Cube scoring scans the snapshot once.
+                    sample_meter.record_bytes(dataset.grid().len() as u64 * 8);
+                    sample_meter.record_flops(dataset.grid().len() as u64 * 8);
+                }
+                out.truncate(keep);
+                out
+            }
+        };
+        // Cheap strategies still read the data once to slice cubes out.
+        sample_meter.record_bytes((keep * tiling.tile(0).len() * 4 * 8) as u64);
+
+        // --- Training tensors from the curated cubes. ---
+        let sets: Vec<SampleSet> = picked
+            .iter()
+            .map(|&(s, c)| full_cube_set(s, &dataset.snapshots[s], &tiling, c))
+            .collect();
+        let mut tensor =
+            dense_cube_data(&sets, &dataset.snapshots, CUBE_EDGE, &dataset.meta.input_vars, "p", PATCH);
+        // Train-fit / val-apply: validation must be scaled with the
+        // *training* statistics or cross-method losses are incomparable.
+        let scaler = tensor.fit_standardizer();
+        scaler.apply(&mut tensor);
+        let mut val = val_tensor.clone();
+        scaler.apply(&mut val);
+
+        let mut model = MateyMini::new(tensor.tokens, tensor.features, 32, 1, tensor.outputs, 0.25, 9);
+        let tcfg = TrainConfig { epochs: EPOCHS, batch: 4, lr: 1e-3, test_frac: 0.1, seed: 9, ..Default::default() };
+        let res = train(&mut model, &tensor, &tcfg, MachineModel::frontier_gcd());
+        let val_loss = model.eval_loss(&val.full_batch());
+        let total_kj =
+            (sample_meter.report().total_joules() + res.energy.total_joules()) / 1e3;
+        println!("  {name:<8} val loss {val_loss:.4}  energy {total_kj:.4} kJ");
+        rows.push(vec![name.to_string(), fmt(val_loss as f64), fmt(total_kj)]);
+    }
+    println!();
+    print_table(&header, &rows);
+    write_csv("fig9_matey.csv", &header, &rows);
+    println!("\nExpected shape (paper): random and maxent close (random slightly");
+    println!("ahead), uniform clearly worse; energies within ~10% of each other.");
+    let _ = &mut val_tensor;
+}

@@ -1,0 +1,11 @@
+//! Writes the built-in case library to `configs/SST/P1/*.json` — the Rust
+//! mirror of the artifact's `contrib/configs/SST/P1` directory.
+
+fn main() {
+    std::fs::create_dir_all("configs/SST/P1").expect("create configs dir");
+    for case in sickle_bench::cases::builtin_cases() {
+        let path = format!("configs/SST/P1/{}.json", case.name);
+        std::fs::write(&path, case.to_json()).expect("write config");
+        println!("wrote {path}");
+    }
+}

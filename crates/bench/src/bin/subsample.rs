@@ -1,0 +1,104 @@
+//! `subsample` — the Rust mirror of the artifact's `subsample.py`:
+//!
+//! ```sh
+//! subsample <case.json> [--output-dir DIR]
+//! subsample --builtin <case-name> [--output-dir DIR]   # e.g. Hmaxent-Xmaxent-16
+//! subsample --list                                      # list built-in cases
+//! ```
+//!
+//! Regenerates the case's dataset, runs the two-phase sampling pipeline,
+//! writes one `.skls` file per (snapshot, hypercube), and prints the energy
+//! block (`CPU Energy`, `Total Energy Consumed`, `Elapsed Time`) the
+//! artifact's analysis instructions grep for.
+
+use sickle_bench::{cases::{builtin_cases, CaseConfig}, sampling_energy};
+use sickle_core::pipeline::run_dataset;
+use sickle_field::io::encode_sample_set;
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!("usage: subsample <case.json> [--output-dir DIR]");
+    eprintln!("       subsample --builtin <name> [--output-dir DIR]");
+    eprintln!("       subsample --list");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    if args[0] == "--list" {
+        for c in builtin_cases() {
+            println!("{}", c.name);
+        }
+        return;
+    }
+    let (case, rest) = if args[0] == "--builtin" {
+        let name = args.get(1).cloned().unwrap_or_else(|| usage());
+        let case = builtin_cases()
+            .into_iter()
+            .find(|c| c.name == name)
+            .unwrap_or_else(|| {
+                eprintln!("unknown builtin case '{name}' (try --list)");
+                std::process::exit(2);
+            });
+        (case, &args[2..])
+    } else {
+        let case = CaseConfig::load(&PathBuf::from(&args[0])).unwrap_or_else(|e| {
+            eprintln!("failed to load {}: {e}", args[0]);
+            std::process::exit(2);
+        });
+        (case, &args[1..])
+    };
+    let mut output_dir = PathBuf::from("snapshots");
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--output-dir" => {
+                output_dir = PathBuf::from(it.next().unwrap_or_else(|| usage()));
+            }
+            _ => usage(),
+        }
+    }
+
+    println!("case: {} ({})", case.name, case.subsample.case_name());
+    println!("generating dataset...");
+    let dataset = case.dataset.build();
+    println!(
+        "  {}: {} snapshots x {} points ({})",
+        dataset.meta.label,
+        dataset.num_snapshots(),
+        dataset.grid().len(),
+        dataset.size_string()
+    );
+
+    println!("sampling...");
+    let out = run_dataset(&dataset, &case.subsample);
+    std::fs::create_dir_all(&output_dir).expect("create output dir");
+    let mut bytes_written = 0usize;
+    for (si, sets) in out.sets.iter().enumerate() {
+        for set in sets {
+            let bytes = encode_sample_set(set);
+            bytes_written += bytes.len();
+            let path = output_dir.join(format!(
+                "{}_s{si}_c{}.skls",
+                case.name,
+                set.hypercube.unwrap_or(0)
+            ));
+            std::fs::write(&path, &bytes).expect("write sample set");
+        }
+    }
+    println!(
+        "  kept {} / {} points ({:.1}%), {} cubes, {} bytes -> {}",
+        out.stats.points_out,
+        out.stats.points_in,
+        100.0 * out.stats.retention(),
+        out.stats.cubes_selected,
+        bytes_written,
+        output_dir.display()
+    );
+    let report = sampling_energy(&out.stats, &case.subsample);
+    println!("CPU Energy: {:.6} kJ", report.total_kilojoules());
+    println!("{}", report.log_lines());
+}

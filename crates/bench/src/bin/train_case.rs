@@ -1,0 +1,131 @@
+//! `train_case` — the Rust mirror of the artifact's `train.py`:
+//!
+//! ```sh
+//! train_case <case.json> [--ranks N]
+//! train_case --builtin <case-name> [--ranks N]
+//! ```
+//!
+//! Regenerates the case's dataset, reruns its sampling phase (the pipeline
+//! is deterministic, so this matches whatever `subsample` wrote), builds
+//! the architecture the config names, trains — with the thread-DDP
+//! analogue when `--ranks > 1` — and prints the `Evaluation on test set`
+//! and `Total Energy Consumed` lines the artifact's analysis greps.
+
+use sickle_bench::cases::{builtin_cases, CaseConfig};
+use sickle_core::pipeline::{run_dataset, PointMethod};
+use sickle_energy::MachineModel;
+use sickle_field::SampleSet;
+use sickle_train::data::{dense_cube_data, reconstruction_data};
+use sickle_train::ddp::train_ddp;
+use sickle_train::models::{MateyMini, TokenTransformer};
+use sickle_train::trainer::{train, TrainConfig};
+
+fn usage() -> ! {
+    eprintln!("usage: train_case <case.json> [--ranks N]");
+    eprintln!("       train_case --builtin <name> [--ranks N]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let (case, rest) = if args[0] == "--builtin" {
+        let name = args.get(1).cloned().unwrap_or_else(|| usage());
+        let case = builtin_cases().into_iter().find(|c| c.name == name).unwrap_or_else(|| {
+            eprintln!("unknown builtin case '{name}'");
+            std::process::exit(2);
+        });
+        (case, &args[2..])
+    } else {
+        let case = CaseConfig::load(&std::path::PathBuf::from(&args[0])).unwrap_or_else(|e| {
+            eprintln!("failed to load {}: {e}", args[0]);
+            std::process::exit(2);
+        });
+        (case, &args[1..])
+    };
+    let mut ranks = 1usize;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--ranks" => ranks = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            _ => usage(),
+        }
+    }
+
+    println!("case: {} (arch {})", case.name, case.train.arch);
+    let dataset = case.dataset.build();
+    let out = run_dataset(&dataset, &case.subsample);
+    let sets: Vec<SampleSet> = out.sets.iter().flatten().cloned().collect();
+    let target = case
+        .train
+        .target
+        .clone()
+        .or_else(|| dataset.meta.output_vars.first().cloned())
+        .expect("case has no target variable");
+
+    let structured = matches!(case.subsample.method, PointMethod::Full)
+        || case.train.arch != "mlp_transformer";
+    let mut tensor = if structured {
+        dense_cube_data(
+            &sets,
+            &dataset.snapshots,
+            case.subsample.cube_edge,
+            &dataset.meta.input_vars,
+            &target,
+            case.train.patch,
+        )
+    } else {
+        reconstruction_data(&sets, &dataset.snapshots, case.subsample.cube_edge, &target, case.train.tokens)
+    };
+    tensor.standardize();
+    println!(
+        "tensors: {} samples x {} tokens x {} features -> {} outputs",
+        tensor.n, tensor.tokens, tensor.features, tensor.outputs
+    );
+
+    let cfg = TrainConfig {
+        epochs: case.train.epochs,
+        batch: case.train.batch,
+        lr: 1e-3,
+        patience: 20,
+        test_frac: 0.1,
+        seed: case.subsample.seed,
+        ..Default::default()
+    };
+    let dim = case.train.dim;
+    let res = match case.train.arch.as_str() {
+        "mlp_transformer" => {
+            let mut m = TokenTransformer::mlp_transformer(tensor.tokens, tensor.features, dim, 1, tensor.outputs, 0);
+            if ranks > 1 {
+                train_ddp(&mut m, &tensor, &cfg, ranks, MachineModel::frontier_gcd())
+            } else {
+                train(&mut m, &tensor, &cfg, MachineModel::frontier_gcd())
+            }
+        }
+        "cnn_transformer" => {
+            let mut m = TokenTransformer::cnn_transformer(tensor.tokens, tensor.features, dim, 1, tensor.outputs, 0);
+            if ranks > 1 {
+                train_ddp(&mut m, &tensor, &cfg, ranks, MachineModel::frontier_gcd())
+            } else {
+                train(&mut m, &tensor, &cfg, MachineModel::frontier_gcd())
+            }
+        }
+        "matey" => {
+            let mut m = MateyMini::new(tensor.tokens, tensor.features, dim, 1, tensor.outputs, 0.25, 0);
+            if ranks > 1 {
+                train_ddp(&mut m, &tensor, &cfg, ranks, MachineModel::frontier_gcd())
+            } else {
+                train(&mut m, &tensor, &cfg, MachineModel::frontier_gcd())
+            }
+        }
+        other => {
+            eprintln!("unknown architecture '{other}'");
+            std::process::exit(2);
+        }
+    };
+    println!("params: {}", res.params);
+    println!("Evaluation on test set: {:.6}", res.best_test);
+    println!("{}", res.energy.log_lines());
+}

@@ -1,0 +1,252 @@
+//! Config-driven cases: the Rust mirror of the artifact's YAML workflow
+//! (`srun -n 32 python subsample.py case.yaml` → `train.py case.yaml`).
+//!
+//! A [`CaseConfig`] JSON names the dataset *generator* (this reproduction
+//! regenerates data instead of downloading the Zenodo archive), the
+//! sampling configuration, and the training job. The `subsample` binary
+//! executes the sampling phase and writes `.skls` sample sets plus the
+//! energy log; the `train` binary executes the training phase and prints
+//! the same `Evaluation on test set` / `Total Energy Consumed` lines the
+//! paper's scripts grep for.
+
+use serde::{Deserialize, Serialize};
+use sickle_cfd::datasets::{self, GestsParams, Of2dParams, SstParams};
+use sickle_cfd::{CombustionConfig, LbmConfig};
+use sickle_core::pipeline::SamplingConfig;
+use sickle_field::Dataset;
+
+/// Which substrate generates the case's data, with its scale knobs.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "kebab-case")]
+pub enum DatasetSpec {
+    /// LBM cylinder flow.
+    Of2d {
+        /// Lattice extent x.
+        nx: usize,
+        /// Lattice extent y.
+        ny: usize,
+        /// Recorded snapshots.
+        snapshots: usize,
+    },
+    /// Combustion surrogate.
+    Tc2d {
+        /// Grid edge (square).
+        n: usize,
+    },
+    /// Decaying stratified Taylor–Green.
+    SstP1f4 {
+        /// Grid points per side.
+        n: usize,
+        /// Snapshots.
+        snapshots: usize,
+    },
+    /// Forced stratified turbulence.
+    SstP1f100 {
+        /// Grid points per side.
+        n: usize,
+        /// Snapshots.
+        snapshots: usize,
+    },
+    /// Forced isotropic turbulence.
+    Gests {
+        /// Grid points per side.
+        n: usize,
+    },
+}
+
+impl DatasetSpec {
+    /// Generates the dataset (deterministic).
+    pub fn build(&self) -> Dataset {
+        match *self {
+            DatasetSpec::Of2d { nx, ny, snapshots } => {
+                datasets::of2d(&Of2dParams {
+                    lbm: LbmConfig { nx, ny, diameter: (ny / 6) as f64, ..Default::default() },
+                    warmup: 1200,
+                    snapshots,
+                    interval: 40,
+                })
+                .dataset
+            }
+            DatasetSpec::Tc2d { n } => {
+                datasets::tc2d(&CombustionConfig { nx: n, ny: n, ..Default::default() }, 0)
+            }
+            DatasetSpec::SstP1f4 { n, snapshots } => datasets::sst_p1f4(&SstParams {
+                n,
+                snapshots,
+                interval: 6,
+                warmup: 12,
+                ..Default::default()
+            }),
+            DatasetSpec::SstP1f100 { n, snapshots } => datasets::sst_p1f100(&SstParams {
+                n,
+                snapshots,
+                interval: 6,
+                warmup: 12,
+                ..Default::default()
+            }),
+            DatasetSpec::Gests { n } => {
+                datasets::gests(&GestsParams { n, spinup: 20, ..Default::default() }, 42)
+            }
+        }
+    }
+}
+
+/// Training-phase settings (the config's `train:` block).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TrainSpec {
+    /// Architecture: `"mlp_transformer"`, `"cnn_transformer"`, or `"matey"`.
+    pub arch: String,
+    /// Epochs.
+    pub epochs: usize,
+    /// Batch size.
+    pub batch: usize,
+    /// Target variable (defaults to the dataset's first output).
+    #[serde(default)]
+    pub target: Option<String>,
+    /// Token count for unstructured (sampled) inputs.
+    #[serde(default = "default_tokens")]
+    pub tokens: usize,
+    /// Patch edge for structured (dense) inputs.
+    #[serde(default = "default_patch")]
+    pub patch: usize,
+    /// Model width.
+    #[serde(default = "default_dim")]
+    pub dim: usize,
+}
+
+fn default_tokens() -> usize {
+    64
+}
+fn default_patch() -> usize {
+    2
+}
+fn default_dim() -> usize {
+    32
+}
+
+/// One complete case file.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CaseConfig {
+    /// Case name (used for output file prefixes).
+    pub name: String,
+    /// Dataset generator.
+    pub dataset: DatasetSpec,
+    /// Sampling phase (the `subsample:` block).
+    pub subsample: SamplingConfig,
+    /// Training phase (the `train:` block).
+    pub train: TrainSpec,
+}
+
+impl CaseConfig {
+    /// Parses a case from JSON.
+    ///
+    /// # Errors
+    /// Returns the serde error message on malformed JSON.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+
+    /// Loads a case from a file path.
+    ///
+    /// # Errors
+    /// Returns I/O or parse errors as strings.
+    pub fn load(path: &std::path::Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        Self::from_json(&text)
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("config serializes")
+    }
+}
+
+/// The built-in case library, mirroring the artifact's
+/// `contrib/configs/SST/P1/*.yaml` set at reproduction scale.
+pub fn builtin_cases() -> Vec<CaseConfig> {
+    use sickle_core::pipeline::{CubeMethod, PointMethod};
+    let sst = DatasetSpec::SstP1f4 { n: 32, snapshots: 4 };
+    let combos = [
+        ("Hmaxent-Xmaxent-16", CubeMethod::MaxEnt, PointMethod::MaxEnt { num_clusters: 20, bins: 100 }),
+        ("Hmaxent-Xuips-16", CubeMethod::MaxEnt, PointMethod::Uips { bins_per_dim: 10 }),
+        ("Hrandom-Xfull-16", CubeMethod::Random, PointMethod::Full),
+        ("Hrandom-Xmaxent-16", CubeMethod::Random, PointMethod::MaxEnt { num_clusters: 20, bins: 100 }),
+        ("Hrandom-Xuips-16", CubeMethod::Random, PointMethod::Uips { bins_per_dim: 10 }),
+    ];
+    combos
+        .into_iter()
+        .map(|(name, h, x)| CaseConfig {
+            name: name.to_string(),
+            dataset: sst.clone(),
+            subsample: SamplingConfig {
+                hypercubes: h,
+                num_hypercubes: 8,
+                cube_edge: 16,
+                method: x,
+                num_samples: 410,
+                cluster_var: "pv".into(),
+                feature_vars: vec!["u".into(), "v".into(), "w".into(), "r".into()],
+                seed: 0,
+                temporal: sickle_core::pipeline::TemporalMethod::All,
+            },
+            train: TrainSpec {
+                arch: if matches!(x, PointMethod::Full) {
+                    "cnn_transformer".into()
+                } else {
+                    "mlp_transformer".into()
+                },
+                epochs: 20,
+                batch: 4,
+                target: Some("p".into()),
+                tokens: 64,
+                patch: 2,
+                dim: 32,
+            },
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_cases_match_paper_slurm_list() {
+        let names: Vec<String> = builtin_cases().iter().map(|c| c.name.clone()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Hmaxent-Xmaxent-16",
+                "Hmaxent-Xuips-16",
+                "Hrandom-Xfull-16",
+                "Hrandom-Xmaxent-16",
+                "Hrandom-Xuips-16"
+            ]
+        );
+    }
+
+    #[test]
+    fn case_json_roundtrip() {
+        for case in builtin_cases() {
+            let json = case.to_json();
+            let back = CaseConfig::from_json(&json).unwrap();
+            assert_eq!(back.name, case.name);
+            assert_eq!(back.subsample.case_name(), case.subsample.case_name());
+            assert_eq!(back.train.arch, case.train.arch);
+        }
+    }
+
+    #[test]
+    fn tiny_dataset_specs_build() {
+        let d = DatasetSpec::Tc2d { n: 32 }.build();
+        assert_eq!(d.meta.label, "TC2D");
+        let d = DatasetSpec::SstP1f4 { n: 16, snapshots: 2 }.build();
+        assert_eq!(d.num_snapshots(), 2);
+    }
+
+    #[test]
+    fn malformed_json_is_a_clean_error() {
+        assert!(CaseConfig::from_json("{not json").is_err());
+        assert!(CaseConfig::from_json("{}").is_err());
+    }
+}

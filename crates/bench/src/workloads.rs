@@ -1,0 +1,129 @@
+//! Canned reproduction-scale workloads shared by the figure binaries.
+//!
+//! The paper's datasets span 31 MB – 12 TB; each figure here uses the same
+//! physics at a size that regenerates in minutes on CPU. Grids and budgets
+//! keep the paper's *ratios* (10% sampling, 32³-style cubes scaled to 16³,
+//! ~10 : 1 full-to-sampled energy gaps).
+
+use sickle_cfd::datasets::{self, GestsParams, Of2dData, Of2dParams, SstParams};
+use sickle_cfd::{CombustionConfig, LbmConfig};
+use sickle_core::pipeline::{CubeMethod, PointMethod, SamplingConfig};
+use sickle_field::Dataset;
+
+/// OF2D at bench scale: 160×64 lattice, 60 shedding-resolved snapshots.
+pub fn of2d_small() -> Of2dData {
+    datasets::of2d(&Of2dParams {
+        lbm: LbmConfig { nx: 160, ny: 64, diameter: 10.0, reynolds: 150.0, ..Default::default() },
+        warmup: 1500,
+        snapshots: 60,
+        interval: 40,
+    })
+}
+
+/// TC2D at bench scale: 128² combustion surrogate.
+pub fn tc2d_small(seed: u64) -> Dataset {
+    datasets::tc2d(&CombustionConfig::default(), seed)
+}
+
+/// SST-P1F4 at bench scale: 32³ decaying stratified Taylor–Green, 6 snaps.
+pub fn sst_p1f4_small() -> Dataset {
+    datasets::sst_p1f4(&SstParams { n: 32, snapshots: 6, interval: 8, warmup: 16, ..Default::default() })
+}
+
+/// SST-P1F100 at bench scale: 32³ forced stratified turbulence, 6 snaps.
+pub fn sst_p1f100_small() -> Dataset {
+    datasets::sst_p1f100(&SstParams { n: 32, snapshots: 6, interval: 8, warmup: 16, ..Default::default() })
+}
+
+/// GESTS at bench scale: 32³ forced isotropic turbulence, one snapshot.
+pub fn gests_small() -> Dataset {
+    datasets::gests(&GestsParams { n: 32, spinup: 20, ..Default::default() }, 42)
+}
+
+/// SST-P1F4 at figure-8 scale: 64³ so the 16³ tiling yields 64 hypercubes
+/// and phase-1 selection (8 of 64) genuinely differentiates Hmaxent from
+/// Hrandom.
+pub fn sst_p1f4_medium() -> Dataset {
+    datasets::sst_p1f4(&SstParams { n: 64, snapshots: 4, interval: 5, warmup: 10, ..Default::default() })
+}
+
+/// SST-P1F100 at figure-8 scale (64³ forced stratified).
+pub fn sst_p1f100_medium() -> Dataset {
+    datasets::sst_p1f100(&SstParams { n: 64, snapshots: 4, interval: 5, warmup: 10, ..Default::default() })
+}
+
+/// GESTS at figure-8 scale (64³ forced isotropic, one snapshot).
+pub fn gests_medium() -> Dataset {
+    datasets::gests(&GestsParams { n: 64, spinup: 15, ..Default::default() }, 42)
+}
+
+/// Builds a `H<h>-X<x>` sampling configuration for a dataset at a 10% point
+/// budget over `cube_edge`-sized cubes (the paper's standard setup).
+pub fn sampling_config(
+    dataset: &Dataset,
+    hypercubes: CubeMethod,
+    method: PointMethod,
+    cube_edge: usize,
+    num_hypercubes: usize,
+    seed: u64,
+) -> SamplingConfig {
+    let dims: u32 = if dataset.grid().nz == 1 { 2 } else { 3 };
+    let cube_points = cube_edge.pow(dims);
+    let mut feature_vars = dataset.meta.input_vars.clone();
+    for v in &dataset.meta.output_vars {
+        if !feature_vars.contains(v) {
+            feature_vars.push(v.clone());
+        }
+    }
+    SamplingConfig {
+        hypercubes,
+        num_hypercubes,
+        cube_edge,
+        method,
+        num_samples: (cube_points / 10).max(1),
+        cluster_var: dataset.meta.cluster_var.clone(),
+        feature_vars,
+        seed,
+        temporal: sickle_core::pipeline::TemporalMethod::All,
+    }
+}
+
+/// The five Fig.-7/8 case names and their (H, X) methods.
+pub fn fig8_cases() -> Vec<(&'static str, CubeMethod, PointMethod)> {
+    vec![
+        ("Hmaxent-Xmaxent", CubeMethod::MaxEnt, PointMethod::MaxEnt { num_clusters: 20, bins: 100 }),
+        ("Hmaxent-Xuips", CubeMethod::MaxEnt, PointMethod::Uips { bins_per_dim: 10 }),
+        ("Hrandom-Xfull", CubeMethod::Random, PointMethod::Full),
+        ("Hrandom-Xmaxent", CubeMethod::Random, PointMethod::MaxEnt { num_clusters: 20, bins: 100 }),
+        ("Hrandom-Xuips", CubeMethod::Random, PointMethod::Uips { bins_per_dim: 10 }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_config_uses_table1_metadata() {
+        let d = tc2d_small(0);
+        let cfg = sampling_config(&d, CubeMethod::Random, PointMethod::Random, 16, 4, 0);
+        assert_eq!(cfg.cluster_var, "C");
+        assert_eq!(cfg.num_samples, 25); // 16^2 / 10 (2D)
+        assert!(cfg.feature_vars.contains(&"Cvar".to_string()));
+    }
+
+    #[test]
+    fn fig8_cases_match_paper_slurm_script() {
+        let names: Vec<&str> = fig8_cases().iter().map(|c| c.0).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Hmaxent-Xmaxent",
+                "Hmaxent-Xuips",
+                "Hrandom-Xfull",
+                "Hrandom-Xmaxent",
+                "Hrandom-Xuips"
+            ]
+        );
+    }
+}

@@ -1,0 +1,179 @@
+//! Surrogate for the **TC2D** 2D turbulent-combustion dataset.
+//!
+//! The original (Hassanaly et al.'s phase-space-sampling test case) is a
+//! downsampled premixed-flame DNS providing a progress variable `C` and its
+//! filtered variance `Cvar`. Its defining property for sampling studies is a
+//! *bimodal* joint PDF: most points sit in burnt (`C ≈ 1`) or unburnt
+//! (`C ≈ 0`) regions with a thin, rare, high-variance flame front between —
+//! exactly the structure UIPS samples well (paper Fig. 4, left).
+//!
+//! The surrogate reproduces that structure from first principles: a
+//! synthetic turbulent mixture-fraction field is passed through a flamelet
+//! manifold `C = (1 + tanh((Z − Z_st)/δ))/2`, and the subgrid variance is a
+//! box-filtered second moment.
+
+use rayon::prelude::*;
+use sickle_field::{Grid3, Snapshot};
+
+use crate::synth::{self, SynthConfig};
+
+/// Configuration for the TC2D surrogate.
+#[derive(Clone, Copy, Debug)]
+pub struct CombustionConfig {
+    /// Grid points along x (power of two).
+    pub nx: usize,
+    /// Grid points along y (power of two).
+    pub ny: usize,
+    /// Stoichiometric mixture fraction (flame-front location in Z space).
+    pub z_st: f64,
+    /// Flame-front thickness in Z space; smaller = thinner front = more
+    /// bimodal.
+    pub delta: f64,
+    /// Half-width of the box filter used for the subgrid variance.
+    pub filter_radius: usize,
+}
+
+impl Default for CombustionConfig {
+    fn default() -> Self {
+        CombustionConfig { nx: 128, ny: 128, z_st: 0.0, delta: 0.25, filter_radius: 2 }
+    }
+}
+
+/// Box filter with periodic wrapping (separable two-pass).
+fn box_filter(grid: &Grid3, f: &[f64], radius: usize) -> Vec<f64> {
+    let (nx, ny) = (grid.nx, grid.ny);
+    let r = radius as isize;
+    let count = (2 * radius + 1) as f64;
+    // Pass 1: along y.
+    let mut tmp = vec![0.0; f.len()];
+    tmp.par_chunks_mut(ny).enumerate().for_each(|(x, row)| {
+        for (y, o) in row.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for dy in -r..=r {
+                let yy = (y as isize + dy).rem_euclid(ny as isize) as usize;
+                acc += f[x * ny + yy];
+            }
+            *o = acc / count;
+        }
+    });
+    // Pass 2: along x.
+    let mut out = vec![0.0; f.len()];
+    out.par_chunks_mut(ny).enumerate().for_each(|(x, row)| {
+        for (y, o) in row.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for dx in -r..=r {
+                let xx = (x as isize + dx).rem_euclid(nx as isize) as usize;
+                acc += tmp[xx * ny + y];
+            }
+            *o = acc / count;
+        }
+    });
+    out
+}
+
+/// Generates a TC2D-like snapshot with variables `C` (progress variable) and
+/// `Cvar` (filtered subgrid variance of `C`). Deterministic under `seed`.
+pub fn generate(cfg: &CombustionConfig, seed: u64) -> Snapshot {
+    // Synthetic 2D mixture-fraction field: use the 3D generator with nz = 1.
+    let synth_cfg = SynthConfig {
+        nx: cfg.nx,
+        ny: cfg.ny,
+        nz: 1,
+        urms: 1.0,
+        anisotropy: 0.0,
+        ..Default::default()
+    };
+    let zfield_snap = synth::generate(&synth_cfg, seed);
+    let z = zfield_snap.expect_var("u");
+    let grid = Grid3::new(cfg.nx, cfg.ny, 1, 1.0, 1.0, 1.0);
+
+    let c: Vec<f64> = z
+        .par_iter()
+        .map(|&zv| 0.5 * (1.0 + ((zv - cfg.z_st) / cfg.delta).tanh()))
+        .collect();
+    let c2: Vec<f64> = c.par_iter().map(|&v| v * v).collect();
+    let c_f = box_filter(&grid, &c, cfg.filter_radius);
+    let c2_f = box_filter(&grid, &c2, cfg.filter_radius);
+    let cvar: Vec<f64> = c2_f
+        .par_iter()
+        .zip(c_f.par_iter())
+        .map(|(&m2, &m1)| (m2 - m1 * m1).max(0.0))
+        .collect();
+
+    Snapshot::new(grid, 0.0).with_var("C", c).with_var("Cvar", cvar)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sickle_field::Histogram;
+
+    #[test]
+    fn progress_variable_in_unit_interval() {
+        let snap = generate(&CombustionConfig::default(), 1);
+        let c = snap.expect_var("C");
+        assert!(c.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn progress_variable_is_bimodal() {
+        // Most mass near 0 and 1, little in the middle — the defining TC2D
+        // property the surrogate must reproduce.
+        let cfg = CombustionConfig { delta: 0.1, ..Default::default() };
+        let snap = generate(&cfg, 2);
+        let h = Histogram::of(snap.expect_var("C"), 10);
+        let p = h.pmf();
+        let edges = p[0] + p[9];
+        let middle: f64 = p[4] + p[5];
+        assert!(edges > 4.0 * middle, "edges {edges} middle {middle}");
+    }
+
+    #[test]
+    fn variance_peaks_at_flame_front() {
+        let snap = generate(&CombustionConfig::default(), 3);
+        let c = snap.expect_var("C");
+        let cvar = snap.expect_var("Cvar");
+        // Average variance where C ~ 0.5 must exceed variance where C ~ 0 or 1.
+        let mut front = (0.0, 0);
+        let mut burnt = (0.0, 0);
+        for (ci, vi) in c.iter().zip(cvar.iter()) {
+            if (ci - 0.5).abs() < 0.2 {
+                front = (front.0 + vi, front.1 + 1);
+            } else if *ci > 0.95 || *ci < 0.05 {
+                burnt = (burnt.0 + vi, burnt.1 + 1);
+            }
+        }
+        assert!(front.1 > 0 && burnt.1 > 0);
+        let front_mean = front.0 / front.1 as f64;
+        let burnt_mean = burnt.0 / burnt.1 as f64;
+        assert!(front_mean > 5.0 * burnt_mean, "front {front_mean} vs burnt {burnt_mean}");
+    }
+
+    #[test]
+    fn variance_nonnegative() {
+        let snap = generate(&CombustionConfig::default(), 4);
+        assert!(snap.expect_var("Cvar").iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn box_filter_preserves_constant() {
+        let grid = Grid3::new(8, 8, 1, 1.0, 1.0, 1.0);
+        let f = vec![2.0; 64];
+        let out = box_filter(&grid, &f, 2);
+        assert!(out.iter().all(|&v| (v - 2.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn box_filter_smooths_impulse() {
+        let grid = Grid3::new(16, 16, 1, 1.0, 1.0, 1.0);
+        let mut f = vec![0.0; 256];
+        f[grid.idx(8, 8, 0)] = 1.0;
+        let out = box_filter(&grid, &f, 1);
+        // Impulse spreads over a 3x3 neighborhood with weight 1/9.
+        assert!((out[grid.idx(8, 8, 0)] - 1.0 / 9.0).abs() < 1e-12);
+        assert!((out[grid.idx(7, 8, 0)] - 1.0 / 9.0).abs() < 1e-12);
+        assert!((out[grid.idx(10, 8, 0)]).abs() < 1e-12);
+        // Mass conserved.
+        assert!((out.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+}

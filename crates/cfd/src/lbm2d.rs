@@ -1,0 +1,431 @@
+//! D2Q9 lattice-Boltzmann solver for unsteady flow over a cylinder.
+//!
+//! This is the substrate for the paper's **OF2D** dataset (OpenFOAM 2D
+//! laminar flow over a cylinder at Re ≈ 1267). The solver uses BGK collision,
+//! half-way bounce-back on the cylinder, an equilibrium velocity inlet, a
+//! zero-gradient outlet, and periodic crosswise boundaries; drag and lift on
+//! the cylinder are measured by momentum exchange, giving the scalar
+//! regression target the paper's LSTM surrogate predicts.
+//!
+//! The default Reynolds number is 150 — comfortably in the periodic
+//! vortex-shedding regime that makes the dataset interesting for sampling
+//! (a strongly anisotropic wake over a quiescent free stream), while staying
+//! stable for the single-relaxation-time collision operator at modest grid
+//! sizes. The paper's conclusions depend on the wake/free-stream contrast,
+//! not the precise Re (see DESIGN.md).
+//!
+//! Distribution functions are stored cell-major (`f[cell * 9 + dir]`) so
+//! collision is a perfectly parallel pass over cells and streaming reads are
+//! local per cell.
+
+use rayon::prelude::*;
+use sickle_field::derived::vorticity_2d;
+use sickle_field::{Grid3, Snapshot};
+
+/// D2Q9 lattice x-velocities.
+pub const EX: [i32; 9] = [0, 1, 0, -1, 0, 1, -1, -1, 1];
+/// D2Q9 lattice y-velocities.
+pub const EY: [i32; 9] = [0, 0, 1, 0, -1, 1, 1, -1, -1];
+/// D2Q9 quadrature weights.
+pub const W: [f64; 9] = [
+    4.0 / 9.0,
+    1.0 / 9.0,
+    1.0 / 9.0,
+    1.0 / 9.0,
+    1.0 / 9.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+];
+/// Index of the direction opposite to `i`.
+pub const OPP: [usize; 9] = [0, 3, 4, 1, 2, 7, 8, 5, 6];
+
+/// Configuration for the cylinder-flow solver.
+#[derive(Clone, Copy, Debug)]
+pub struct LbmConfig {
+    /// Lattice points along the streamwise (x) direction.
+    pub nx: usize,
+    /// Lattice points along the crosswise (y) direction.
+    pub ny: usize,
+    /// Inlet velocity in lattice units (keep ≤ 0.15 for accuracy).
+    pub u_inlet: f64,
+    /// Reynolds number based on cylinder diameter.
+    pub reynolds: f64,
+    /// Cylinder diameter in lattice units.
+    pub diameter: f64,
+    /// Cylinder center as a fraction of the domain, e.g. (0.25, 0.5).
+    pub center_frac: (f64, f64),
+}
+
+impl Default for LbmConfig {
+    fn default() -> Self {
+        LbmConfig {
+            nx: 240,
+            ny: 96,
+            u_inlet: 0.1,
+            reynolds: 150.0,
+            diameter: 12.0,
+            center_frac: (0.25, 0.5),
+        }
+    }
+}
+
+/// A running lattice-Boltzmann cylinder-flow simulation.
+pub struct CylinderFlow {
+    cfg: LbmConfig,
+    /// Distribution functions, cell-major: `f[cell * 9 + dir]`.
+    f: Vec<f64>,
+    /// Scratch buffer for the streamed state.
+    f_new: Vec<f64>,
+    /// Solid mask (true inside the cylinder).
+    solid: Vec<bool>,
+    /// BGK relaxation time.
+    tau: f64,
+    step_count: usize,
+    drag: f64,
+    lift: f64,
+}
+
+/// BGK equilibrium distribution for direction `i`.
+#[inline]
+fn equilibrium(i: usize, rho: f64, u: f64, v: f64) -> f64 {
+    let eu = EX[i] as f64 * u + EY[i] as f64 * v;
+    let usq = u * u + v * v;
+    W[i] * rho * (1.0 + 3.0 * eu + 4.5 * eu * eu - 1.5 * usq)
+}
+
+impl CylinderFlow {
+    /// Initializes the flow field at uniform inlet velocity with a tiny
+    /// deterministic crosswise perturbation that triggers vortex shedding.
+    ///
+    /// # Panics
+    /// Panics if the configuration yields an unstable relaxation time.
+    pub fn new(cfg: LbmConfig) -> Self {
+        let n = cfg.nx * cfg.ny;
+        let nu = cfg.u_inlet * cfg.diameter / cfg.reynolds;
+        let tau = 3.0 * nu + 0.5;
+        assert!(
+            tau > 0.505,
+            "relaxation time {tau:.4} too close to 1/2; increase diameter or lower Re"
+        );
+        let cx = cfg.center_frac.0 * cfg.nx as f64;
+        let cy = cfg.center_frac.1 * cfg.ny as f64;
+        let r = cfg.diameter / 2.0;
+        let mut solid = vec![false; n];
+        for x in 0..cfg.nx {
+            for y in 0..cfg.ny {
+                let dx = x as f64 - cx;
+                let dy = y as f64 - cy;
+                if dx * dx + dy * dy <= r * r {
+                    solid[x * cfg.ny + y] = true;
+                }
+            }
+        }
+        let mut f = vec![0.0; n * 9];
+        for x in 0..cfg.nx {
+            for y in 0..cfg.ny {
+                let idx = x * cfg.ny + y;
+                let pert =
+                    1e-3 * ((y as f64 / cfg.ny as f64) * std::f64::consts::TAU).sin();
+                for i in 0..9 {
+                    f[idx * 9 + i] = equilibrium(i, 1.0, cfg.u_inlet, pert);
+                }
+            }
+        }
+        let f_new = f.clone();
+        CylinderFlow { cfg, f, f_new, solid, tau, step_count: 0, drag: 0.0, lift: 0.0 }
+    }
+
+    /// Configuration used to build this simulation.
+    pub fn config(&self) -> &LbmConfig {
+        &self.cfg
+    }
+
+    /// Number of completed time steps.
+    pub fn steps(&self) -> usize {
+        self.step_count
+    }
+
+    /// Kinematic viscosity implied by the configuration (lattice units).
+    pub fn viscosity(&self) -> f64 {
+        (self.tau - 0.5) / 3.0
+    }
+
+    /// Most recent drag force on the cylinder (lattice units).
+    pub fn drag(&self) -> f64 {
+        self.drag
+    }
+
+    /// Most recent lift force on the cylinder (lattice units).
+    pub fn lift(&self) -> f64 {
+        self.lift
+    }
+
+    /// Drag coefficient `2 F_x / (ρ u² D)` with `ρ = 1`.
+    pub fn drag_coefficient(&self) -> f64 {
+        2.0 * self.drag / (self.cfg.u_inlet * self.cfg.u_inlet * self.cfg.diameter)
+    }
+
+    /// Advances one time step: collide, stream with bounce-back (recording
+    /// momentum exchange with the cylinder), then apply inlet/outlet.
+    pub fn step(&mut self) {
+        let (nx, ny) = (self.cfg.nx, self.cfg.ny);
+        let tau_inv = 1.0 / self.tau;
+        let solid = &self.solid;
+
+        // --- Collision (parallel over cells). ---
+        self.f.par_chunks_mut(9).enumerate().for_each(|(idx, fc)| {
+            if solid[idx] {
+                return;
+            }
+            let mut rho = 0.0;
+            let mut mu = 0.0;
+            let mut mv = 0.0;
+            for i in 0..9 {
+                rho += fc[i];
+                mu += fc[i] * EX[i] as f64;
+                mv += fc[i] * EY[i] as f64;
+            }
+            let u = mu / rho;
+            let v = mv / rho;
+            for (i, fi) in fc.iter_mut().enumerate() {
+                *fi += tau_inv * (equilibrium(i, rho, u, v) - *fi);
+            }
+        });
+
+        // --- Streaming (pull) with bounce-back; accumulate body force. ---
+        let f = &self.f;
+        let forces: Vec<(f64, f64)> = self
+            .f_new
+            .par_chunks_mut(ny * 9)
+            .enumerate()
+            .map(|(x, slab)| {
+                let mut fx = 0.0;
+                let mut fy = 0.0;
+                for y in 0..ny {
+                    let idx = x * ny + y;
+                    let out = &mut slab[y * 9..y * 9 + 9];
+                    if solid[idx] {
+                        // Populations inside the solid are irrelevant; keep
+                        // them at equilibrium rest for numerical hygiene.
+                        out.copy_from_slice(&f[idx * 9..idx * 9 + 9]);
+                        continue;
+                    }
+                    for (i, o) in out.iter_mut().enumerate() {
+                        let sx = x as i32 - EX[i];
+                        let sy = (y as i32 - EY[i]).rem_euclid(ny as i32) as usize;
+                        if sx < 0 || sx >= nx as i32 {
+                            // Off-grid along x: keep post-collision value;
+                            // the boundary pass overwrites the whole column.
+                            *o = f[idx * 9 + i];
+                            continue;
+                        }
+                        let sidx = sx as usize * ny + sy;
+                        if solid[sidx] {
+                            // Half-way bounce-back: the population arriving
+                            // from the solid is this cell's own opposite
+                            // post-collision population. Momentum-exchange
+                            // force on the body: 2 f_opp e_opp.
+                            let fopp = f[idx * 9 + OPP[i]];
+                            *o = fopp;
+                            fx += 2.0 * fopp * EX[OPP[i]] as f64;
+                            fy += 2.0 * fopp * EY[OPP[i]] as f64;
+                        } else {
+                            *o = f[sidx * 9 + i];
+                        }
+                    }
+                }
+                (fx, fy)
+            })
+            .collect();
+        self.drag = forces.iter().map(|p| p.0).sum();
+        self.lift = forces.iter().map(|p| p.1).sum();
+        std::mem::swap(&mut self.f, &mut self.f_new);
+
+        // --- Inlet (x = 0): equilibrium at (u_inlet, 0), unit density. ---
+        for y in 0..ny {
+            let idx = y; // x = 0
+            for i in 0..9 {
+                self.f[idx * 9 + i] = equilibrium(i, 1.0, self.cfg.u_inlet, 0.0);
+            }
+        }
+        // --- Outlet (x = nx-1): zero-gradient copy from x = nx-2. ---
+        for y in 0..ny {
+            let dst = (nx - 1) * ny + y;
+            let src = (nx - 2) * ny + y;
+            for i in 0..9 {
+                self.f[dst * 9 + i] = self.f[src * 9 + i];
+            }
+        }
+        self.step_count += 1;
+    }
+
+    /// Advances `n` steps.
+    pub fn run(&mut self, n: usize) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Computes the macroscopic fields `(rho, u, v)`.
+    pub fn macroscopic(&self) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let n = self.cfg.nx * self.cfg.ny;
+        let mut rho = vec![1.0; n];
+        let mut u = vec![0.0; n];
+        let mut v = vec![0.0; n];
+        rho.par_iter_mut()
+            .zip(u.par_iter_mut().zip(v.par_iter_mut()))
+            .enumerate()
+            .for_each(|(idx, (r, (uu, vv)))| {
+                if self.solid[idx] {
+                    *r = 1.0;
+                    *uu = 0.0;
+                    *vv = 0.0;
+                    return;
+                }
+                let fc = &self.f[idx * 9..idx * 9 + 9];
+                let mut rr = 0.0;
+                let mut mu = 0.0;
+                let mut mv = 0.0;
+                for i in 0..9 {
+                    rr += fc[i];
+                    mu += fc[i] * EX[i] as f64;
+                    mv += fc[i] * EY[i] as f64;
+                }
+                *r = rr;
+                *uu = mu / rr;
+                *vv = mv / rr;
+            });
+        (rho, u, v)
+    }
+
+    /// Returns `true` if the cell at `(x, y)` is inside the cylinder.
+    pub fn is_solid(&self, x: usize, y: usize) -> bool {
+        self.solid[x * self.cfg.ny + y]
+    }
+
+    /// Builds a [`Snapshot`] of the current state with variables
+    /// `u, v, p, wz` (pressure from the lattice equation of state
+    /// `p = ρ c_s² = ρ/3`, vorticity from central differences).
+    pub fn snapshot(&self, time: f64) -> Snapshot {
+        let grid = Grid3::new(self.cfg.nx, self.cfg.ny, 1, self.cfg.nx as f64, self.cfg.ny as f64, 1.0);
+        let (rho, u, v) = self.macroscopic();
+        let p: Vec<f64> = rho.iter().map(|&r| r / 3.0).collect();
+        let wz = vorticity_2d(&grid, &u, &v);
+        Snapshot::new(grid, time)
+            .with_var("u", u)
+            .with_var("v", v)
+            .with_var("p", p)
+            .with_var("wz", wz)
+    }
+
+    /// Returns the total mass on the lattice (conserved by collision and
+    /// interior streaming; boundaries exchange mass with the exterior).
+    pub fn total_mass(&self) -> f64 {
+        self.f.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> LbmConfig {
+        LbmConfig { nx: 60, ny: 32, u_inlet: 0.1, reynolds: 60.0, diameter: 6.0, ..Default::default() }
+    }
+
+    #[test]
+    fn equilibrium_moments_are_consistent() {
+        // Zeroth and first moments of f_eq must recover rho and momentum.
+        let (rho, u, v) = (1.1, 0.07, -0.03);
+        let mut m0 = 0.0;
+        let mut m1x = 0.0;
+        let mut m1y = 0.0;
+        for i in 0..9 {
+            let fi = equilibrium(i, rho, u, v);
+            m0 += fi;
+            m1x += fi * EX[i] as f64;
+            m1y += fi * EY[i] as f64;
+        }
+        assert!((m0 - rho).abs() < 1e-12);
+        assert!((m1x - rho * u).abs() < 1e-12);
+        assert!((m1y - rho * v).abs() < 1e-12);
+    }
+
+    #[test]
+    fn opposite_directions_are_consistent() {
+        for i in 0..9 {
+            assert_eq!(EX[OPP[i]], -EX[i]);
+            assert_eq!(EY[OPP[i]], -EY[i]);
+            assert_eq!(OPP[OPP[i]], i);
+        }
+        assert!((W.iter().sum::<f64>() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn simulation_stays_finite_and_positive_drag() {
+        let mut sim = CylinderFlow::new(tiny_config());
+        sim.run(300);
+        let (rho, u, _) = sim.macroscopic();
+        assert!(rho.iter().all(|v| v.is_finite() && *v > 0.0));
+        assert!(u.iter().all(|v| v.is_finite()));
+        // After spin-up, the cylinder must feel a downstream (positive) drag.
+        assert!(sim.drag() > 0.0, "drag {}", sim.drag());
+    }
+
+    #[test]
+    fn wake_is_slower_than_free_stream() {
+        let cfg = tiny_config();
+        let mut sim = CylinderFlow::new(cfg);
+        sim.run(400);
+        let (_, u, _) = sim.macroscopic();
+        let cx = (cfg.center_frac.0 * cfg.nx as f64) as usize;
+        let cy = (cfg.center_frac.1 * cfg.ny as f64) as usize;
+        let wake = u[(cx + 5) * cfg.ny + cy];
+        let free = u[(cx + 5) * cfg.ny + 2];
+        assert!(wake < free, "wake u {wake} should lag free-stream u {free}");
+    }
+
+    #[test]
+    fn snapshot_has_expected_variables() {
+        let mut sim = CylinderFlow::new(tiny_config());
+        sim.run(10);
+        let snap = sim.snapshot(1.0);
+        assert_eq!(snap.names, vec!["u", "v", "p", "wz"]);
+        assert_eq!(snap.grid.nz, 1);
+        assert_eq!(snap.num_points(), 60 * 32);
+    }
+
+    #[test]
+    fn vortex_shedding_produces_oscillating_lift() {
+        // At Re = 150 the wake goes unsteady; lift must change sign over a
+        // long window. This is the physical feature (periodic snapshots) the
+        // paper's temporal-sampling discussion relies on.
+        let cfg = LbmConfig { nx: 160, ny: 64, u_inlet: 0.1, reynolds: 150.0, diameter: 10.0, ..Default::default() };
+        let mut sim = CylinderFlow::new(cfg);
+        sim.run(2000);
+        let mut lifts = Vec::new();
+        for _ in 0..2000 {
+            sim.step();
+            lifts.push(sim.lift());
+        }
+        let max = lifts.iter().cloned().fold(f64::MIN, f64::max);
+        let min = lifts.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max > 0.0 && min < 0.0, "lift range [{min}, {max}] not oscillating");
+    }
+
+    #[test]
+    fn interior_collision_conserves_mass() {
+        // One collision pass must conserve total mass exactly (streaming and
+        // boundaries exchange mass, so test via two sims differing by one
+        // collision only is impractical; instead verify moments directly).
+        let mut sim = CylinderFlow::new(tiny_config());
+        let before: f64 = sim.total_mass();
+        // A single step changes mass only through inlet/outlet cells.
+        sim.step();
+        let after = sim.total_mass();
+        let rel = ((after - before) / before).abs();
+        assert!(rel < 0.05, "mass drifted {rel}");
+    }
+}

@@ -1,0 +1,695 @@
+//! 3D incompressible pseudo-spectral Navier–Stokes solver.
+//!
+//! This is the reproduction-scale substrate for the paper's stratified
+//! (**SST-P1F4**, **SST-P1F100**) and isotropic (**GESTS**) DNS datasets.
+//! Like the GESTS code suite it mirrors, nonlinear terms are evaluated in
+//! physical space and differentiation/time-evolution in wavenumber space,
+//! with 2/3-rule dealiasing. Buoyancy follows the Boussinesq approximation:
+//! a buoyancy scalar `b` is evolved with the flow, feeds back on the
+//! gravity-aligned momentum component, and its restoring strength is set by
+//! the Brunt–Väisälä frequency `N`.
+//!
+//! Time stepping is second-order Runge–Kutta (Heun) with explicit viscosity;
+//! the solver enforces `ν k_max² Δt < 2` and an advective CFL check on
+//! construction so misconfigured runs fail loudly instead of blowing up.
+
+#![allow(clippy::needless_range_loop)] // y/z index wavenumber tables in lockstep with chunks
+
+use rayon::prelude::*;
+use sickle_fft::{Complex, Fft3d};
+use sickle_field::{Axis, Grid3, Snapshot};
+
+/// Buoyancy treatment.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Stratification {
+    /// No active scalar: pure incompressible NS (isotropic turbulence).
+    None,
+    /// Boussinesq buoyancy with Brunt–Väisälä frequency `n_bv`, gravity
+    /// along `gravity`.
+    Boussinesq {
+        /// Brunt–Väisälä frequency (restoring strength).
+        n_bv: f64,
+        /// Gravity axis.
+        gravity: Axis,
+    },
+}
+
+/// Deterministic large-scale forcing: modes with `|k| <= k_f` are rescaled
+/// every step to hold their total energy at the initial value, the standard
+/// trick for statistically stationary isotropic turbulence.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Forcing {
+    /// Forcing shell radius (in integer wavenumbers).
+    pub k_f: f64,
+}
+
+/// Solver configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SpectralConfig {
+    /// Grid points per side (power of two; the domain is `[0, 2π)³`).
+    pub n: usize,
+    /// Kinematic viscosity.
+    pub viscosity: f64,
+    /// Buoyancy diffusivity (used when stratified).
+    pub diffusivity: f64,
+    /// Time step.
+    pub dt: f64,
+    /// Buoyancy treatment.
+    pub stratification: Stratification,
+    /// Optional large-scale forcing.
+    pub forcing: Option<Forcing>,
+}
+
+impl Default for SpectralConfig {
+    fn default() -> Self {
+        SpectralConfig {
+            n: 32,
+            viscosity: 0.02,
+            diffusivity: 0.02,
+            dt: 0.01,
+            stratification: Stratification::None,
+            forcing: None,
+        }
+    }
+}
+
+/// Spectral-space velocity (+ buoyancy) state.
+#[derive(Clone)]
+struct State {
+    u: Vec<Complex>,
+    v: Vec<Complex>,
+    w: Vec<Complex>,
+    b: Option<Vec<Complex>>,
+}
+
+impl State {
+    fn axpy(&mut self, a: f64, rhs: &State) {
+        let f = |dst: &mut [Complex], src: &[Complex]| {
+            dst.par_iter_mut().zip(src.par_iter()).for_each(|(d, s)| *d += s.scale(a));
+        };
+        f(&mut self.u, &rhs.u);
+        f(&mut self.v, &rhs.v);
+        f(&mut self.w, &rhs.w);
+        if let (Some(b), Some(rb)) = (self.b.as_mut(), rhs.b.as_ref()) {
+            f(b, rb);
+        }
+    }
+}
+
+/// The pseudo-spectral solver.
+pub struct SpectralSolver {
+    cfg: SpectralConfig,
+    fft: Fft3d,
+    /// Integer wavenumber along each axis for each 1D index.
+    kline: Vec<f64>,
+    /// Dealiasing mask (true = keep).
+    keep: Vec<bool>,
+    state: State,
+    time: f64,
+    /// Target band energy for forcing (captured at init when forcing is on).
+    band_energy: Option<f64>,
+    steps: usize,
+}
+
+impl SpectralSolver {
+    /// Creates a solver with zero initial velocity.
+    ///
+    /// # Panics
+    /// Panics if `n` is not a power of two or the explicit time step is
+    /// unstable for the configured viscosity.
+    pub fn new(cfg: SpectralConfig) -> Self {
+        assert!(sickle_fft::is_power_of_two(cfg.n), "grid size must be a power of two");
+        let n = cfg.n;
+        let kmax = (n as f64) / 3.0; // post-dealias maximum wavenumber
+        let visc_limit = cfg.viscosity * kmax * kmax * cfg.dt;
+        assert!(
+            visc_limit < 2.0,
+            "explicit viscous step unstable: nu*kmax^2*dt = {visc_limit:.3} >= 2"
+        );
+        let kline: Vec<f64> = (0..n)
+            .map(|i| if i <= n / 2 { i as f64 } else { i as f64 - n as f64 })
+            .collect();
+        let cut = n as f64 / 3.0;
+        let mut keep = vec![true; n * n * n];
+        for x in 0..n {
+            for y in 0..n {
+                for z in 0..n {
+                    if kline[x].abs() > cut || kline[y].abs() > cut || kline[z].abs() > cut {
+                        keep[(x * n + y) * n + z] = false;
+                    }
+                }
+            }
+        }
+        let len = n * n * n;
+        let b = match cfg.stratification {
+            Stratification::None => None,
+            Stratification::Boussinesq { .. } => Some(vec![Complex::ZERO; len]),
+        };
+        SpectralSolver {
+            cfg,
+            fft: Fft3d::new(n, n, n),
+            kline,
+            keep,
+            state: State { u: vec![Complex::ZERO; len], v: vec![Complex::ZERO; len], w: vec![Complex::ZERO; len], b },
+            time: 0.0,
+            band_energy: None,
+            steps: 0,
+        }
+    }
+
+    /// Grid describing the physical domain.
+    pub fn grid(&self) -> Grid3 {
+        Grid3::cube_2pi(self.cfg.n)
+    }
+
+    /// Current simulation time.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Completed steps.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Configuration.
+    pub fn config(&self) -> &SpectralConfig {
+        &self.cfg
+    }
+
+    /// Initializes the classic Taylor–Green vortex (the SST ensemble's
+    /// initial condition): `u = sin x cos y cos z`, `v = -cos x sin y cos z`,
+    /// `w = 0`, optionally with a sinusoidal buoyancy perturbation.
+    pub fn init_taylor_green(&mut self, amplitude: f64) {
+        let n = self.cfg.n;
+        let grid = self.grid();
+        let len = grid.len();
+        let mut u = vec![Complex::ZERO; len];
+        let mut v = vec![Complex::ZERO; len];
+        for x in 0..n {
+            for y in 0..n {
+                for z in 0..n {
+                    let (px, py, pz) = grid.position(x, y, z);
+                    let idx = (x * n + y) * n + z;
+                    u[idx] = Complex::new(amplitude * px.sin() * py.cos() * pz.cos(), 0.0);
+                    v[idx] = Complex::new(-amplitude * px.cos() * py.sin() * pz.cos(), 0.0);
+                }
+            }
+        }
+        self.fft.forward(&mut u);
+        self.fft.forward(&mut v);
+        self.state.u = u;
+        self.state.v = v;
+        self.state.w = vec![Complex::ZERO; len];
+        if let Some(b) = self.state.b.as_mut() {
+            // Small buoyancy perturbation at the largest scale so the
+            // stratified dynamics have something to act on.
+            let mut bp = vec![Complex::ZERO; len];
+            for x in 0..n {
+                for y in 0..n {
+                    for z in 0..n {
+                        let (px, _, _) = grid.position(x, y, z);
+                        bp[(x * n + y) * n + z] =
+                            Complex::new(0.1 * amplitude * px.sin(), 0.0);
+                    }
+                }
+            }
+            self.fft.forward(&mut bp);
+            *b = bp;
+        }
+        self.capture_band_energy();
+    }
+
+    /// Sets velocity directly from physical-space fields (e.g. from the
+    /// synthetic-turbulence generator); the field is projected to be
+    /// divergence-free.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn set_velocity(&mut self, u: &[f64], v: &[f64], w: &[f64]) {
+        let len = self.grid().len();
+        assert!(u.len() == len && v.len() == len && w.len() == len, "field length mismatch");
+        let to_spec = |f: &[f64]| {
+            let mut c: Vec<Complex> = f.iter().map(|&x| Complex::new(x, 0.0)).collect();
+            self.fft.forward(&mut c);
+            c
+        };
+        self.state.u = to_spec(u);
+        self.state.v = to_spec(v);
+        self.state.w = to_spec(w);
+        let mut uvw = (std::mem::take(&mut self.state.u), std::mem::take(&mut self.state.v), std::mem::take(&mut self.state.w));
+        self.project3(&mut uvw.0, &mut uvw.1, &mut uvw.2);
+        self.state.u = uvw.0;
+        self.state.v = uvw.1;
+        self.state.w = uvw.2;
+        self.capture_band_energy();
+    }
+
+    /// Sets the buoyancy field from physical space (stratified runs only).
+    ///
+    /// # Panics
+    /// Panics if the solver is not stratified or on length mismatch.
+    pub fn set_buoyancy(&mut self, b: &[f64]) {
+        assert_eq!(b.len(), self.grid().len(), "field length mismatch");
+        let mut c: Vec<Complex> = b.iter().map(|&x| Complex::new(x, 0.0)).collect();
+        self.fft.forward(&mut c);
+        *self.state.b.as_mut().expect("solver is not stratified") = c;
+    }
+
+    fn capture_band_energy(&mut self) {
+        if let Some(forcing) = self.cfg.forcing {
+            self.band_energy = Some(self.band_energy_value(forcing.k_f));
+        }
+    }
+
+    fn band_energy_value(&self, k_f: f64) -> f64 {
+        let n = self.cfg.n;
+        let norm = (n as f64).powi(6);
+        let mut e = 0.0;
+        for x in 0..n {
+            for y in 0..n {
+                for z in 0..n {
+                    let k2 = self.k2_at(x, y, z);
+                    if k2 > 0.0 && k2 <= k_f * k_f {
+                        let idx = (x * n + y) * n + z;
+                        e += self.state.u[idx].norm_sqr()
+                            + self.state.v[idx].norm_sqr()
+                            + self.state.w[idx].norm_sqr();
+                    }
+                }
+            }
+        }
+        0.5 * e / norm
+    }
+
+    #[inline]
+    fn k2_at(&self, x: usize, y: usize, z: usize) -> f64 {
+        let kx = self.kline[x];
+        let ky = self.kline[y];
+        let kz = self.kline[z];
+        kx * kx + ky * ky + kz * kz
+    }
+
+    /// Leray projection onto divergence-free fields, all three components.
+    fn project3(&self, u: &mut [Complex], v: &mut [Complex], w: &mut [Complex]) {
+        let n = self.cfg.n;
+        let kline = &self.kline;
+        u.par_chunks_mut(n * n)
+            .zip(v.par_chunks_mut(n * n).zip(w.par_chunks_mut(n * n)))
+            .enumerate()
+            .for_each(|(x, (us, (vs, ws)))| {
+                let kx = kline[x];
+                for y in 0..n {
+                    let ky = kline[y];
+                    for z in 0..n {
+                        let kz = kline[z];
+                        let k2 = kx * kx + ky * ky + kz * kz;
+                        if k2 == 0.0 {
+                            continue;
+                        }
+                        let i = y * n + z;
+                        let dot = us[i].scale(kx) + vs[i].scale(ky) + ws[i].scale(kz);
+                        let s = dot.scale(1.0 / k2);
+                        us[i] -= s.scale(kx);
+                        vs[i] -= s.scale(ky);
+                        ws[i] -= s.scale(kz);
+                    }
+                }
+            });
+    }
+
+    /// Inverse-transforms a spectral field to physical space (real parts).
+    fn to_physical(&self, spec: &[Complex]) -> Vec<f64> {
+        let mut c = spec.to_vec();
+        self.fft.inverse(&mut c);
+        c.iter().map(|z| z.re).collect()
+    }
+
+    /// Spectral derivative along `axis`, returned in physical space.
+    #[allow(clippy::needless_range_loop)]
+    fn deriv_physical(&self, spec: &[Complex], axis: Axis) -> Vec<f64> {
+        let n = self.cfg.n;
+        let kline = &self.kline;
+        let mut d = vec![Complex::ZERO; spec.len()];
+        d.par_chunks_mut(n * n).enumerate().for_each(|(x, chunk)| {
+            for y in 0..n {
+                for z in 0..n {
+                    let k = match axis {
+                        Axis::X => kline[x],
+                        Axis::Y => kline[y],
+                        Axis::Z => kline[z],
+                    };
+                    let i = y * n + z;
+                    chunk[i] = spec[(x * n + y) * n + z].mul_i().scale(k);
+                }
+            }
+        });
+        let mut c = d;
+        self.fft.inverse(&mut c);
+        c.iter().map(|z| z.re).collect()
+    }
+
+    /// Computes the full right-hand side of the (projected) momentum and
+    /// buoyancy equations for `s`.
+    fn rhs(&self, s: &State) -> State {
+        let n = self.cfg.n;
+        let len = s.u.len();
+        // Physical-space velocities.
+        let up = self.to_physical(&s.u);
+        let vp = self.to_physical(&s.v);
+        let wp = self.to_physical(&s.w);
+        // All nine velocity gradients (physical space).
+        let grads = [
+            [self.deriv_physical(&s.u, Axis::X), self.deriv_physical(&s.u, Axis::Y), self.deriv_physical(&s.u, Axis::Z)],
+            [self.deriv_physical(&s.v, Axis::X), self.deriv_physical(&s.v, Axis::Y), self.deriv_physical(&s.v, Axis::Z)],
+            [self.deriv_physical(&s.w, Axis::X), self.deriv_physical(&s.w, Axis::Y), self.deriv_physical(&s.w, Axis::Z)],
+        ];
+        // Advection: N_i = -(u . grad) u_i, then forward transform.
+        let advect = |g: &[Vec<f64>; 3]| -> Vec<Complex> {
+            let mut c: Vec<Complex> = (0..len)
+                .into_par_iter()
+                .map(|i| Complex::new(-(up[i] * g[0][i] + vp[i] * g[1][i] + wp[i] * g[2][i]), 0.0))
+                .collect();
+            self.fft.forward(&mut c);
+            c
+        };
+        let mut ru = advect(&grads[0]);
+        let mut rv = advect(&grads[1]);
+        let mut rw = advect(&grads[2]);
+
+        // Buoyancy terms.
+        let rb = if let (Some(bh), Stratification::Boussinesq { n_bv, gravity }) =
+            (s.b.as_ref(), self.cfg.stratification)
+        {
+            let bdx = self.deriv_physical(bh, Axis::X);
+            let bdy = self.deriv_physical(bh, Axis::Y);
+            let bdz = self.deriv_physical(bh, Axis::Z);
+            let ug: &[f64] = match gravity {
+                Axis::X => &up,
+                Axis::Y => &vp,
+                Axis::Z => &wp,
+            };
+            // db/dt = -(u . grad b) - N^2 u_g + kappa laplacian b
+            let mut rbv: Vec<Complex> = (0..len)
+                .into_par_iter()
+                .map(|i| {
+                    Complex::new(
+                        -(up[i] * bdx[i] + vp[i] * bdy[i] + wp[i] * bdz[i]) - n_bv * n_bv * ug[i],
+                        0.0,
+                    )
+                })
+                .collect();
+            self.fft.forward(&mut rbv);
+            // Momentum feedback: + b along gravity.
+            let target: &mut Vec<Complex> = match gravity {
+                Axis::X => &mut ru,
+                Axis::Y => &mut rv,
+                Axis::Z => &mut rw,
+            };
+            target.par_iter_mut().zip(bh.par_iter()).for_each(|(t, &b)| *t += b);
+            Some(rbv)
+        } else {
+            None
+        };
+
+        // Viscous terms, dealiasing, projection (spectral space).
+        let nu = self.cfg.viscosity;
+        let kappa = self.cfg.diffusivity;
+        let keep = &self.keep;
+        let kline = &self.kline;
+        let damp = |r: &mut Vec<Complex>, f: &[Complex], coeff: f64| {
+            r.par_chunks_mut(n * n).enumerate().for_each(|(x, chunk)| {
+                let kx = kline[x];
+                for y in 0..n {
+                    let ky = kline[y];
+                    for z in 0..n {
+                        let kz = kline[z];
+                        let i = y * n + z;
+                        let gi = (x * n + y) * n + z;
+                        if !keep[gi] {
+                            chunk[i] = Complex::ZERO;
+                            continue;
+                        }
+                        let k2 = kx * kx + ky * ky + kz * kz;
+                        chunk[i] -= f[gi].scale(coeff * k2);
+                    }
+                }
+            });
+        };
+        damp(&mut ru, &s.u, nu);
+        damp(&mut rv, &s.v, nu);
+        damp(&mut rw, &s.w, nu);
+        let rb = rb.map(|mut r| {
+            damp(&mut r, s.b.as_ref().unwrap(), kappa);
+            r
+        });
+        self.project3(&mut ru, &mut rv, &mut rw);
+        State { u: ru, v: rv, w: rw, b: rb }
+    }
+
+    /// Advances one RK2 (Heun) step and applies forcing if configured.
+    pub fn step(&mut self) {
+        let dt = self.cfg.dt;
+        let k1 = self.rhs(&self.state);
+        let mut mid = self.state.clone();
+        mid.axpy(dt, &k1);
+        let k2 = self.rhs(&mid);
+        self.state.axpy(0.5 * dt, &k1);
+        self.state.axpy(0.5 * dt, &k2);
+        if let (Some(f), Some(target)) = (self.cfg.forcing, self.band_energy) {
+            let current = self.band_energy_value(f.k_f);
+            if current > 1e-30 {
+                let scale = (target / current).sqrt();
+                let n = self.cfg.n;
+                let kline = &self.kline;
+                let kf2 = f.k_f * f.k_f;
+                let apply = |arr: &mut Vec<Complex>| {
+                    arr.par_chunks_mut(n * n).enumerate().for_each(|(x, chunk)| {
+                        let kx = kline[x];
+                        for y in 0..n {
+                            let ky = kline[y];
+                            for z in 0..n {
+                                let kz = kline[z];
+                                let k2 = kx * kx + ky * ky + kz * kz;
+                                if k2 > 0.0 && k2 <= kf2 {
+                                    let i = y * n + z;
+                                    chunk[i] = chunk[i].scale(scale);
+                                }
+                            }
+                        }
+                    });
+                };
+                apply(&mut self.state.u);
+                apply(&mut self.state.v);
+                apply(&mut self.state.w);
+            }
+        }
+        self.time += dt;
+        self.steps += 1;
+    }
+
+    /// Advances `n` steps.
+    pub fn run(&mut self, n: usize) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Total kinetic energy `0.5 <|u|²>` (volume-averaged).
+    pub fn kinetic_energy(&self) -> f64 {
+        let norm = (self.cfg.n as f64).powi(6);
+        let e: f64 = self
+            .state
+            .u
+            .par_iter()
+            .zip(self.state.v.par_iter().zip(self.state.w.par_iter()))
+            .map(|(u, (v, w))| u.norm_sqr() + v.norm_sqr() + w.norm_sqr())
+            .sum();
+        0.5 * e / norm
+    }
+
+    /// Maximum divergence magnitude in physical space (should be ~0).
+    pub fn max_divergence(&self) -> f64 {
+        let dudx = self.deriv_physical(&self.state.u, Axis::X);
+        let dvdy = self.deriv_physical(&self.state.v, Axis::Y);
+        let dwdz = self.deriv_physical(&self.state.w, Axis::Z);
+        (0..dudx.len())
+            .map(|i| (dudx[i] + dvdy[i] + dwdz[i]).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Builds a snapshot with `u, v, w, p` (+ `r` when stratified). The
+    /// pressure solves `∇²p = ∇·F` for the unprojected RHS `F`, exactly the
+    /// diagnostic pressure of a spectral DNS.
+    pub fn snapshot(&self) -> Snapshot {
+        let grid = self.grid();
+        let up = self.to_physical(&self.state.u);
+        let vp = self.to_physical(&self.state.v);
+        let wp = self.to_physical(&self.state.w);
+
+        // Pressure from the divergence of advection + buoyancy.
+        let n = self.cfg.n;
+        // Recompute the unprojected advection spectrum cheaply.
+        let grads = [
+            [self.deriv_physical(&self.state.u, Axis::X), self.deriv_physical(&self.state.u, Axis::Y), self.deriv_physical(&self.state.u, Axis::Z)],
+            [self.deriv_physical(&self.state.v, Axis::X), self.deriv_physical(&self.state.v, Axis::Y), self.deriv_physical(&self.state.v, Axis::Z)],
+            [self.deriv_physical(&self.state.w, Axis::X), self.deriv_physical(&self.state.w, Axis::Y), self.deriv_physical(&self.state.w, Axis::Z)],
+        ];
+        let len = grid.len();
+        let advect = |g: &[Vec<f64>; 3]| -> Vec<Complex> {
+            let mut c: Vec<Complex> = (0..len)
+                .into_par_iter()
+                .map(|i| Complex::new(-(up[i] * g[0][i] + vp[i] * g[1][i] + wp[i] * g[2][i]), 0.0))
+                .collect();
+            self.fft.forward(&mut c);
+            c
+        };
+        let mut fu = advect(&grads[0]);
+        let mut fv = advect(&grads[1]);
+        let mut fw = advect(&grads[2]);
+        if let (Some(bh), Stratification::Boussinesq { gravity, .. }) =
+            (self.state.b.as_ref(), self.cfg.stratification)
+        {
+            let target = match gravity {
+                Axis::X => &mut fu,
+                Axis::Y => &mut fv,
+                Axis::Z => &mut fw,
+            };
+            target.par_iter_mut().zip(bh.par_iter()).for_each(|(t, &b)| *t += b);
+        }
+        let kline = &self.kline;
+        let mut phat = vec![Complex::ZERO; len];
+        phat.par_chunks_mut(n * n).enumerate().for_each(|(x, chunk)| {
+            let kx = kline[x];
+            for y in 0..n {
+                let ky = kline[y];
+                for z in 0..n {
+                    let kz = kline[z];
+                    let k2 = kx * kx + ky * ky + kz * kz;
+                    if k2 == 0.0 {
+                        continue;
+                    }
+                    let gi = (x * n + y) * n + z;
+                    let div = fu[gi].scale(kx) + fv[gi].scale(ky) + fw[gi].scale(kz);
+                    // -k^2 p_hat = i k . F  =>  p_hat = -i (k . F) / k^2
+                    chunk[y * n + z] = div.mul_i().scale(-1.0 / k2);
+                }
+            }
+        });
+        let p = self.to_physical(&phat);
+
+        let mut snap = Snapshot::new(grid, self.time)
+            .with_var("u", up)
+            .with_var("v", vp)
+            .with_var("w", wp)
+            .with_var("p", p);
+        if let Some(bh) = self.state.b.as_ref() {
+            snap.push_var("r", self.to_physical(bh));
+        }
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tg_solver(n: usize) -> SpectralSolver {
+        let mut s = SpectralSolver::new(SpectralConfig { n, dt: 0.005, ..Default::default() });
+        s.init_taylor_green(1.0);
+        s
+    }
+
+    #[test]
+    fn taylor_green_energy_decays() {
+        let mut s = tg_solver(16);
+        let e0 = s.kinetic_energy();
+        assert!(e0 > 0.0);
+        s.run(20);
+        let e1 = s.kinetic_energy();
+        assert!(e1 < e0, "energy must decay without forcing: {e0} -> {e1}");
+        assert!(e1 > 0.0);
+    }
+
+    #[test]
+    fn taylor_green_initial_energy_matches_theory() {
+        // <u^2 + v^2>/2 for TG = 2 * (1/8) * A^2 / 2 = A^2 / 8.
+        let s = tg_solver(16);
+        let e = s.kinetic_energy();
+        assert!((e - 0.125).abs() < 1e-6, "E = {e}");
+    }
+
+    #[test]
+    fn velocity_stays_divergence_free() {
+        let mut s = tg_solver(16);
+        s.run(10);
+        let div = s.max_divergence();
+        let umax = 1.0;
+        assert!(div < 1e-8 * umax * 16.0, "divergence {div}");
+    }
+
+    #[test]
+    fn forcing_maintains_band_energy() {
+        let mut cfg = SpectralConfig { n: 16, dt: 0.005, ..Default::default() };
+        cfg.forcing = Some(Forcing { k_f: 2.0 });
+        let mut s = SpectralSolver::new(cfg);
+        s.init_taylor_green(1.0);
+        let e0 = s.band_energy_value(2.0);
+        s.run(30);
+        let e1 = s.band_energy_value(2.0);
+        assert!((e1 - e0).abs() < 1e-8 * e0.max(1e-30) + 1e-12, "band energy {e0} -> {e1}");
+    }
+
+    #[test]
+    fn stratified_run_exchanges_energy_with_buoyancy() {
+        let cfg = SpectralConfig {
+            n: 16,
+            dt: 0.005,
+            stratification: Stratification::Boussinesq { n_bv: 2.0, gravity: Axis::Z },
+            ..Default::default()
+        };
+        let mut s = SpectralSolver::new(cfg);
+        s.init_taylor_green(1.0);
+        s.run(20);
+        let snap = s.snapshot();
+        let r = snap.expect_var("r");
+        assert!(r.iter().any(|&v| v.abs() > 1e-8), "buoyancy field should evolve");
+        assert!(r.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn snapshot_contains_expected_variables() {
+        let mut s = tg_solver(8);
+        s.run(2);
+        let snap = s.snapshot();
+        assert_eq!(snap.names, vec!["u", "v", "w", "p"]);
+        assert_eq!(snap.num_points(), 512);
+        assert!(snap.expect_var("p").iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "unstable")]
+    fn rejects_unstable_time_step() {
+        let cfg = SpectralConfig { n: 64, viscosity: 0.1, dt: 0.5, ..Default::default() };
+        let _ = SpectralSolver::new(cfg);
+    }
+
+    #[test]
+    fn set_velocity_projects_to_divergence_free() {
+        let mut s = SpectralSolver::new(SpectralConfig { n: 16, dt: 0.005, ..Default::default() });
+        let grid = s.grid();
+        // A compressible field: u = sin(x), rest zero has du/dx != 0.
+        let mut u = vec![0.0; grid.len()];
+        for x in 0..16 {
+            for y in 0..16 {
+                for z in 0..16 {
+                    let (px, _, _) = grid.position(x, y, z);
+                    u[grid.idx(x, y, z)] = px.sin();
+                }
+            }
+        }
+        let zeros = vec![0.0; grid.len()];
+        s.set_velocity(&u, &zeros, &zeros);
+        assert!(s.max_divergence() < 1e-8);
+    }
+}

@@ -1,0 +1,282 @@
+//! Gaussian-mixture density estimation and the flow-based UIPS variant.
+//!
+//! Hassanaly et al.'s UIPS estimates the phase-space density with either
+//! binning or *iterative normalizing flows*; the paper chose binning "due
+//! to implementation simplicity". This module supplies the smooth-density
+//! alternative: a diagonal-covariance Gaussian mixture fitted by EM
+//! (k-means initialized), and [`UipsGmmSampler`], which accepts points with
+//! probability ∝ 1/density under the fitted mixture — the same continuous
+//! acceptance rule a flow would drive, without the flow.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rayon::prelude::*;
+use sickle_field::FeatureMatrix;
+
+use crate::kmeans::{KMeans, KMeansConfig};
+use crate::samplers::PointSampler;
+
+/// A diagonal-covariance Gaussian mixture model.
+#[derive(Clone, Debug)]
+pub struct Gmm {
+    /// Component means, row-major `k x d`.
+    pub means: Vec<f64>,
+    /// Component variances (diagonal), row-major `k x d`.
+    pub vars: Vec<f64>,
+    /// Mixing weights (sum to 1).
+    pub weights: Vec<f64>,
+    /// Feature dimension.
+    pub dim: usize,
+    /// Component count.
+    pub k: usize,
+}
+
+const VAR_FLOOR: f64 = 1e-9;
+
+impl Gmm {
+    /// Fits a `k`-component mixture to row-major `data` by EM, initialized
+    /// from mini-batch k-means. `iters` EM sweeps.
+    ///
+    /// # Panics
+    /// Panics on empty data or zero dimension.
+    pub fn fit(data: &[f64], dim: usize, k: usize, iters: usize, seed: u64) -> Self {
+        assert!(dim > 0 && !data.is_empty(), "degenerate GMM fit");
+        let n = data.len() / dim;
+        let km = KMeans::fit(data, dim, &KMeansConfig { k, batch_size: 1024, iterations: 20, seed });
+        let k = km.k;
+        let labels = km.assign(data);
+        // Initialize from the k-means partition.
+        let means = km.centroids.clone();
+        let mut vars = vec![0.0; k * dim];
+        let mut weights = vec![0.0; k];
+        let mut counts = vec![0usize; k];
+        for (i, &l) in labels.iter().enumerate() {
+            counts[l] += 1;
+            for j in 0..dim {
+                let d = data[i * dim + j] - means[l * dim + j];
+                vars[l * dim + j] += d * d;
+            }
+        }
+        for c in 0..k {
+            weights[c] = counts[c] as f64 / n as f64;
+            for j in 0..dim {
+                vars[c * dim + j] = (vars[c * dim + j] / counts[c].max(1) as f64).max(VAR_FLOOR);
+            }
+        }
+        let mut gmm = Gmm { means, vars, weights, dim, k };
+
+        // EM sweeps.
+        for _ in 0..iters {
+            // E-step: responsibilities (n x k), computed in parallel rows.
+            let resp: Vec<f64> = (0..n)
+                .into_par_iter()
+                .flat_map_iter(|i| {
+                    let row = &data[i * dim..(i + 1) * dim];
+                    let mut lp: Vec<f64> = (0..gmm.k)
+                        .map(|c| gmm.weights[c].max(1e-300).ln() + gmm.log_component(c, row))
+                        .collect();
+                    let m = lp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                    let mut z = 0.0;
+                    for v in lp.iter_mut() {
+                        *v = (*v - m).exp();
+                        z += *v;
+                    }
+                    lp.into_iter().map(move |v| v / z)
+                })
+                .collect();
+            // M-step.
+            let mut nk = vec![0.0; gmm.k];
+            let mut mu = vec![0.0; gmm.k * dim];
+            for i in 0..n {
+                for c in 0..gmm.k {
+                    let r = resp[i * gmm.k + c];
+                    nk[c] += r;
+                    for j in 0..dim {
+                        mu[c * dim + j] += r * data[i * dim + j];
+                    }
+                }
+            }
+            for c in 0..gmm.k {
+                if nk[c] > 1e-12 {
+                    for j in 0..dim {
+                        mu[c * dim + j] /= nk[c];
+                    }
+                }
+            }
+            let mut var = vec![0.0; gmm.k * dim];
+            for i in 0..n {
+                for c in 0..gmm.k {
+                    let r = resp[i * gmm.k + c];
+                    for j in 0..dim {
+                        let d = data[i * dim + j] - mu[c * dim + j];
+                        var[c * dim + j] += r * d * d;
+                    }
+                }
+            }
+            for c in 0..gmm.k {
+                gmm.weights[c] = nk[c] / n as f64;
+                for j in 0..dim {
+                    if nk[c] > 1e-12 {
+                        gmm.vars[c * dim + j] = (var[c * dim + j] / nk[c]).max(VAR_FLOOR);
+                        gmm.means[c * dim + j] = mu[c * dim + j];
+                    }
+                }
+            }
+        }
+        gmm
+    }
+
+    /// Log-density of one component (diagonal Gaussian) at `row`.
+    #[allow(clippy::needless_range_loop)] // j indexes two strided buffers
+    fn log_component(&self, c: usize, row: &[f64]) -> f64 {
+        let mut lp = 0.0;
+        for j in 0..self.dim {
+            let m = self.means[c * self.dim + j];
+            let v = self.vars[c * self.dim + j];
+            let d = row[j] - m;
+            lp += -0.5 * (d * d / v + v.ln() + (2.0 * std::f64::consts::PI).ln());
+        }
+        lp
+    }
+
+    /// Mixture density at `row`.
+    pub fn density(&self, row: &[f64]) -> f64 {
+        assert_eq!(row.len(), self.dim, "dimension mismatch");
+        let mut lps: Vec<f64> = (0..self.k)
+            .map(|c| self.weights[c].max(1e-300).ln() + self.log_component(c, row))
+            .collect();
+        let m = lps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let s: f64 = lps.iter_mut().map(|v| (*v - m).exp()).sum();
+        (m + s.ln()).exp()
+    }
+
+    /// Mean log-likelihood of row-major `data` under the mixture.
+    pub fn mean_log_likelihood(&self, data: &[f64]) -> f64 {
+        let n = data.len() / self.dim;
+        (0..n)
+            .into_par_iter()
+            .map(|i| self.density(&data[i * self.dim..(i + 1) * self.dim]).max(1e-300).ln())
+            .sum::<f64>()
+            / n as f64
+    }
+}
+
+/// UIPS with a GMM density estimator instead of binning (the "normalizing
+/// flows" branch of Hassanaly et al., with the flow replaced by a smooth
+/// parametric density — see DESIGN.md).
+#[derive(Clone, Copy, Debug)]
+pub struct UipsGmmSampler {
+    /// Mixture components.
+    pub components: usize,
+    /// EM iterations.
+    pub em_iters: usize,
+}
+
+impl Default for UipsGmmSampler {
+    fn default() -> Self {
+        UipsGmmSampler { components: 8, em_iters: 10 }
+    }
+}
+
+impl PointSampler for UipsGmmSampler {
+    fn name(&self) -> &'static str {
+        "uips-gmm"
+    }
+
+    fn select(&self, features: &FeatureMatrix, _c: usize, budget: usize, rng: &mut StdRng) -> Vec<usize> {
+        let n = features.len();
+        if budget >= n {
+            return (0..n).collect();
+        }
+        if budget == 0 || n == 0 {
+            return Vec::new();
+        }
+        let gmm = Gmm::fit(&features.data, features.dim(), self.components, self.em_iters, rng.gen());
+        let rho: Vec<f64> = (0..n).map(|i| gmm.density(features.row(i)).max(1e-300)).collect();
+        // Solve for C with sum min(1, C/rho) = budget, then draw an
+        // unequal-probability sample without replacement via A-Res keys
+        // (Efraimidis–Spirakis): key_i = u^(1/p_i); take the largest keys.
+        let c = crate::uips::solve_threshold(&rho, budget);
+        let mut keyed: Vec<(f64, usize)> = rho
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| {
+                let p = (c / r).clamp(1e-12, 1.0);
+                let u: f64 = rng.gen::<f64>().max(1e-15);
+                (u.powf(1.0 / p), i)
+            })
+            .collect();
+        keyed.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        keyed.truncate(budget);
+        keyed.into_iter().map(|(_, i)| i).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::samplers::validate_selection;
+
+    fn two_blob_data(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| if i % 2 == 0 { (i % 97) as f64 * 0.001 } else { 5.0 + (i % 89) as f64 * 0.001 })
+            .collect()
+    }
+
+    #[test]
+    fn fit_recovers_two_components() {
+        let data = two_blob_data(1000);
+        let gmm = Gmm::fit(&data, 1, 2, 15, 1);
+        let mut means: Vec<f64> = (0..gmm.k).map(|c| gmm.means[c]).collect();
+        means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((means[0] - 0.048).abs() < 0.05, "mean0 {}", means[0]);
+        assert!((means[1] - 5.044).abs() < 0.05, "mean1 {}", means[1]);
+        assert!((gmm.weights.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn density_higher_in_dense_region() {
+        let data = two_blob_data(1000);
+        let gmm = Gmm::fit(&data, 1, 2, 15, 1);
+        assert!(gmm.density(&[0.05]) > 10.0 * gmm.density(&[2.5]));
+    }
+
+    #[test]
+    fn em_improves_likelihood() {
+        let data = two_blob_data(600);
+        let g0 = Gmm::fit(&data, 1, 2, 0, 3);
+        let g10 = Gmm::fit(&data, 1, 2, 10, 3);
+        assert!(g10.mean_log_likelihood(&data) >= g0.mean_log_likelihood(&data) - 1e-6);
+    }
+
+    #[test]
+    fn sampler_contract_and_flattening() {
+        use rand::SeedableRng;
+        let data: Vec<f64> = (0..2000usize)
+            .map(|i| if i % 20 == 0 { (i.wrapping_mul(7919) % 1000) as f64 * 0.01 } else { 5.0 })
+            .collect();
+        let features = FeatureMatrix::new(vec!["q".into()], data);
+        let mut rng = StdRng::seed_from_u64(4);
+        let sampler = UipsGmmSampler::default();
+        let picked = sampler.select(&features, 0, 150, &mut rng);
+        validate_selection(&picked, 2000, 150);
+        assert_eq!(picked.len(), 150);
+        // Sparse spread points (2% of data) must be over-represented.
+        let sparse = picked.iter().filter(|&&i| (features.row(i)[0] - 5.0).abs() > 0.5).count();
+        assert!(sparse > 30, "sparse kept {sparse}");
+    }
+
+    #[test]
+    fn multivariate_fit_runs() {
+        let mut data = Vec::new();
+        for i in 0..400 {
+            let b = (i % 2) as f64 * 4.0;
+            data.push(b + (i % 13) as f64 * 0.01);
+            data.push(-b + (i % 7) as f64 * 0.01);
+        }
+        let gmm = Gmm::fit(&data, 2, 3, 8, 2);
+        assert_eq!(gmm.dim, 2);
+        assert!(gmm.density(&[0.0, 0.0]).is_finite());
+        assert!(gmm.mean_log_likelihood(&data).is_finite());
+    }
+}

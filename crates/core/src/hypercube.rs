@@ -1,0 +1,236 @@
+//! Phase-1 hypercube selection (paper §4.1, "Hmaxent" / "Hrandom").
+//!
+//! The domain is tiled into hypercubes (32³ in the paper); this module
+//! decides *which* cubes survive. `Hrandom` draws uniformly. `Hmaxent`
+//! summarizes each cube by statistics of the cluster variable, clusters the
+//! summaries with mini-batch k-means, estimates per-cluster PDFs, builds the
+//! KL adjacency matrix and node strengths (Eqs. 1–2), and draws cubes with
+//! probability proportional to their cluster's strength — cubes that live in
+//! distributionally rare regions of the flow are preferentially retained.
+
+use rand::rngs::StdRng;
+use rand::seq::index::sample as uniform_sample;
+use rand::Rng;
+use rayon::prelude::*;
+use sickle_field::{Snapshot, SummaryStats, Tiling};
+
+use crate::entropy::{
+    adjacency_matrix, node_strengths, strength_weights, weighted_sample_without_replacement,
+    ClusterDistributions,
+};
+use crate::kmeans::{KMeans, KMeansConfig};
+
+/// Strategy for choosing which hypercubes to keep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum HypercubeSelector {
+    /// Uniform random cube selection (`Hrandom`).
+    Random,
+    /// Maximum-entropy weighted selection (`Hmaxent`).
+    MaxEnt {
+        /// Number of k-means clusters over cube summaries.
+        num_clusters: usize,
+        /// Histogram bins for per-cluster PDFs.
+        bins: usize,
+        /// Strength temperature τ (1 = paper behaviour).
+        temperature: f64,
+    },
+}
+
+impl HypercubeSelector {
+    /// The default MaxEnt selector used by the paper's configs.
+    pub fn maxent_default() -> Self {
+        HypercubeSelector::MaxEnt { num_clusters: 8, bins: 64, temperature: 1.0 }
+    }
+
+    /// Config-file name (`"random"` / `"maxent"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            HypercubeSelector::Random => "random",
+            HypercubeSelector::MaxEnt { .. } => "maxent",
+        }
+    }
+
+    /// Per-cube summary rows `[mean, std, min, max]` of `cluster_var`,
+    /// computed in parallel — the feature space the MaxEnt path clusters.
+    pub fn cube_summaries(tiling: &Tiling, snap: &Snapshot, cluster_var: &str) -> Vec<f64> {
+        let data = snap.expect_var(cluster_var);
+        let grid = tiling.grid;
+        (0..tiling.len())
+            .into_par_iter()
+            .flat_map_iter(|t| {
+                let cube = tiling.tile(t);
+                let mut s = SummaryStats::new();
+                for i in cube.point_indices(&grid) {
+                    s.push(data[i]);
+                }
+                [s.mean(), s.std(), s.min, s.max]
+            })
+            .collect()
+    }
+
+    /// Selects `count` distinct tile ids from the tiling.
+    ///
+    /// # Panics
+    /// Panics if `count > tiling.len()`.
+    #[allow(clippy::needless_range_loop)] // t indexes tiles and labels in lockstep
+    pub fn select(
+        &self,
+        tiling: &Tiling,
+        snap: &Snapshot,
+        cluster_var: &str,
+        count: usize,
+        rng: &mut StdRng,
+    ) -> Vec<usize> {
+        let total = tiling.len();
+        assert!(count <= total, "cannot select {count} of {total} hypercubes");
+        if count == total {
+            return (0..total).collect();
+        }
+        match *self {
+            HypercubeSelector::Random => uniform_sample(rng, total, count).into_vec(),
+            HypercubeSelector::MaxEnt { num_clusters, bins, temperature } => {
+                let summaries = Self::cube_summaries(tiling, snap, cluster_var);
+                let km = KMeans::fit(
+                    &summaries,
+                    4,
+                    &KMeansConfig {
+                        k: num_clusters,
+                        batch_size: 1024,
+                        iterations: 30,
+                        seed: rng.gen(),
+                    },
+                );
+                let labels = km.assign(&summaries);
+                // Cluster PDFs over the *raw point values* of the cluster
+                // variable, pooled across each cluster's member cubes — the
+                // paper's "computing probability distributions" step. This
+                // captures shape differences (e.g. a high-variance cube with
+                // zero mean) that cube-level summaries alone would miss.
+                let data = snap.expect_var(cluster_var);
+                let grid = tiling.grid;
+                let mut point_values: Vec<f64> = Vec::new();
+                let mut point_labels: Vec<usize> = Vec::new();
+                for t in 0..total {
+                    for i in tiling.tile(t).point_indices(&grid) {
+                        point_values.push(data[i]);
+                        point_labels.push(labels[t]);
+                    }
+                }
+                let dists =
+                    ClusterDistributions::estimate(&point_values, &point_labels, km.k, bins);
+                let strengths = node_strengths(&adjacency_matrix(&dists));
+                let cluster_w = strength_weights(&strengths, temperature);
+                // Cube weight: its cluster's weight shared across member
+                // cubes, so a rare 2-cube cluster outweighs a common 50-cube
+                // one per cube.
+                let mut cubes_per_cluster = vec![0usize; km.k];
+                for &l in &labels {
+                    cubes_per_cluster[l] += 1;
+                }
+                let cube_w: Vec<f64> = labels
+                    .iter()
+                    .map(|&l| cluster_w[l] / cubes_per_cluster[l].max(1) as f64)
+                    .collect();
+                weighted_sample_without_replacement(&cube_w, count, rng)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sickle_field::{Grid3, Tiling};
+
+    /// A field that is zero everywhere except an extreme "hot" corner
+    /// occupying exactly one tile.
+    fn hotspot_snapshot(n: usize, tile: usize) -> (Snapshot, Tiling) {
+        let grid = Grid3::new(n, n, n, 1.0, 1.0, 1.0);
+        let mut q = vec![0.0; grid.len()];
+        for x in 0..tile {
+            for y in 0..tile {
+                for z in 0..tile {
+                    // Alternating extreme values -> high variance + outlier
+                    // distribution in the hot cube.
+                    q[grid.idx(x, y, z)] = if (x + y + z) % 2 == 0 { 50.0 } else { -50.0 };
+                }
+            }
+        }
+        // Mild noise elsewhere so clustering has something to chew on.
+        for (i, v) in q.iter_mut().enumerate() {
+            if *v == 0.0 {
+                *v = ((i * 2654435761) % 97) as f64 * 1e-4;
+            }
+        }
+        let snap = Snapshot::new(grid, 0.0).with_var("q", q);
+        let tiling = Tiling::cubic(grid, tile);
+        (snap, tiling)
+    }
+
+    #[test]
+    fn random_selects_distinct_cubes() {
+        let (snap, tiling) = hotspot_snapshot(16, 4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let sel = HypercubeSelector::Random.select(&tiling, &snap, "q", 10, &mut rng);
+        let mut s = sel.clone();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 10);
+        assert!(s.iter().all(|&t| t < tiling.len()));
+    }
+
+    #[test]
+    fn maxent_prefers_the_hotspot_cube() {
+        let (snap, tiling) = hotspot_snapshot(16, 4);
+        // Hot cube is tile (0,0,0) = id 0. Over many seeds, MaxEnt should
+        // include it far more often than the 4/64 random baseline.
+        let mut hits = 0;
+        for seed in 0..30 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let sel = HypercubeSelector::maxent_default().select(&tiling, &snap, "q", 4, &mut rng);
+            if sel.contains(&0) {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 24, "hotspot cube selected only {hits}/30 times");
+    }
+
+    #[test]
+    fn selecting_all_returns_identity() {
+        let (snap, tiling) = hotspot_snapshot(8, 4);
+        let mut rng = StdRng::seed_from_u64(2);
+        let sel = HypercubeSelector::maxent_default().select(&tiling, &snap, "q", tiling.len(), &mut rng);
+        assert_eq!(sel.len(), tiling.len());
+    }
+
+    #[test]
+    fn cube_summaries_shape() {
+        let (snap, tiling) = hotspot_snapshot(8, 4);
+        let s = HypercubeSelector::cube_summaries(&tiling, &snap, "q");
+        assert_eq!(s.len(), tiling.len() * 4);
+        // Hot cube (id 0) must have the largest std.
+        let stds: Vec<f64> = (0..tiling.len()).map(|t| s[t * 4 + 1]).collect();
+        let argmax = stds
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(argmax, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot select")]
+    fn rejects_overselection() {
+        let (snap, tiling) = hotspot_snapshot(8, 4);
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = HypercubeSelector::Random.select(&tiling, &snap, "q", 1000, &mut rng);
+    }
+
+    #[test]
+    fn names_match_config_strings() {
+        assert_eq!(HypercubeSelector::Random.name(), "random");
+        assert_eq!(HypercubeSelector::maxent_default().name(), "maxent");
+    }
+}

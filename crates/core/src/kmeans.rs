@@ -1,0 +1,280 @@
+//! Mini-batch k-means clustering.
+//!
+//! The reference SICKLE uses scikit-learn's `MiniBatchKMeans` "for efficient
+//! clustering" of terabyte-scale data. This is a from-scratch Rust port of
+//! the same algorithm (Sculley 2010): k-means++-style seeding on a subsample,
+//! then per-batch assignment and per-center counted gradient updates.
+//! Assignment passes are rayon-parallel.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// Mini-batch k-means configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Number of mini-batch iterations.
+    pub iterations: usize,
+    /// RNG seed (the whole fit is deterministic under it).
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig { k: 20, batch_size: 1024, iterations: 50, seed: 0 }
+    }
+}
+
+/// A fitted k-means model.
+#[derive(Clone, Debug)]
+pub struct KMeans {
+    /// Row-major `k x d` centroid matrix.
+    pub centroids: Vec<f64>,
+    /// Feature dimension.
+    pub dim: usize,
+    /// Number of clusters actually fitted (`min(k, distinct points)`).
+    pub k: usize,
+}
+
+#[inline]
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+impl KMeans {
+    /// Fits mini-batch k-means to row-major `data` (`n x dim`).
+    ///
+    /// If there are fewer points than clusters, `k` is reduced to `n`.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0`, `data` is empty, or `data.len()` is not a
+    /// multiple of `dim`.
+    pub fn fit(data: &[f64], dim: usize, cfg: &KMeansConfig) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert!(!data.is_empty(), "cannot cluster an empty dataset");
+        assert_eq!(data.len() % dim, 0, "data length not a multiple of dim");
+        let n = data.len() / dim;
+        let k = cfg.k.min(n).max(1);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        // --- k-means++ seeding (on a capped subsample for large n). ---
+        let seed_pool: Vec<usize> = if n > 16 * cfg.batch_size {
+            (0..16 * cfg.batch_size).map(|_| rng.gen_range(0..n)).collect()
+        } else {
+            (0..n).collect()
+        };
+        let mut centroids = Vec::with_capacity(k * dim);
+        let first = seed_pool[rng.gen_range(0..seed_pool.len())];
+        centroids.extend_from_slice(&data[first * dim..(first + 1) * dim]);
+        let mut d2: Vec<f64> = seed_pool
+            .iter()
+            .map(|&i| sq_dist(&data[i * dim..(i + 1) * dim], &centroids[..dim]))
+            .collect();
+        for c in 1..k {
+            let total: f64 = d2.iter().sum();
+            let next = if total <= 0.0 {
+                seed_pool[rng.gen_range(0..seed_pool.len())]
+            } else {
+                let mut target = rng.gen::<f64>() * total;
+                let mut pick = seed_pool[seed_pool.len() - 1];
+                for (j, &i) in seed_pool.iter().enumerate() {
+                    target -= d2[j];
+                    if target <= 0.0 {
+                        pick = i;
+                        break;
+                    }
+                }
+                pick
+            };
+            centroids.extend_from_slice(&data[next * dim..(next + 1) * dim]);
+            let newc = &centroids[c * dim..(c + 1) * dim];
+            for (j, &i) in seed_pool.iter().enumerate() {
+                let nd = sq_dist(&data[i * dim..(i + 1) * dim], newc);
+                if nd < d2[j] {
+                    d2[j] = nd;
+                }
+            }
+        }
+
+        // --- Mini-batch updates. ---
+        let mut counts = vec![0u64; k];
+        let mut indices: Vec<usize> = (0..n).collect();
+        for _ in 0..cfg.iterations {
+            let batch: Vec<usize> = if n <= cfg.batch_size {
+                indices.clone()
+            } else {
+                indices.shuffle(&mut rng);
+                indices[..cfg.batch_size].to_vec()
+            };
+            // Parallel assignment.
+            let assign: Vec<usize> = batch
+                .par_iter()
+                .map(|&i| {
+                    let row = &data[i * dim..(i + 1) * dim];
+                    nearest(&centroids, dim, k, row).0
+                })
+                .collect();
+            // Sequential counted update (order-stable => deterministic).
+            for (&i, &c) in batch.iter().zip(assign.iter()) {
+                counts[c] += 1;
+                let eta = 1.0 / counts[c] as f64;
+                let row = &data[i * dim..(i + 1) * dim];
+                let cent = &mut centroids[c * dim..(c + 1) * dim];
+                for (cv, &rv) in cent.iter_mut().zip(row) {
+                    *cv += eta * (rv - *cv);
+                }
+            }
+        }
+        KMeans { centroids, dim, k }
+    }
+
+    /// Assigns every row of `data` to its nearest centroid (parallel).
+    ///
+    /// # Panics
+    /// Panics if `data.len()` is not a multiple of the fitted dimension.
+    pub fn assign(&self, data: &[f64]) -> Vec<usize> {
+        assert_eq!(data.len() % self.dim, 0, "data length not a multiple of dim");
+        data.par_chunks(self.dim)
+            .map(|row| nearest(&self.centroids, self.dim, self.k, row).0)
+            .collect()
+    }
+
+    /// Assigns one row, returning `(cluster, squared_distance)`.
+    pub fn assign_one(&self, row: &[f64]) -> (usize, f64) {
+        nearest(&self.centroids, self.dim, self.k, row)
+    }
+
+    /// Mean squared distance of each point to its assigned centroid
+    /// (the k-means inertia / n).
+    pub fn inertia(&self, data: &[f64]) -> f64 {
+        let n = data.len() / self.dim;
+        if n == 0 {
+            return 0.0;
+        }
+        let total: f64 = data
+            .par_chunks(self.dim)
+            .map(|row| nearest(&self.centroids, self.dim, self.k, row).1)
+            .sum();
+        total / n as f64
+    }
+
+    /// Centroid `c` as a slice.
+    pub fn centroid(&self, c: usize) -> &[f64] {
+        &self.centroids[c * self.dim..(c + 1) * self.dim]
+    }
+}
+
+#[inline]
+fn nearest(centroids: &[f64], dim: usize, k: usize, row: &[f64]) -> (usize, f64) {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for c in 0..k {
+        let d = sq_dist(row, &centroids[c * dim..(c + 1) * dim]);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    (best, best_d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated 2D blobs.
+    fn blobs() -> (Vec<f64>, Vec<usize>) {
+        let centers = [(0.0, 0.0), (10.0, 10.0), (-10.0, 5.0)];
+        let mut data = Vec::new();
+        let mut truth = Vec::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..300 {
+            let c = rng.gen_range(0..3);
+            let (cx, cy) = centers[c];
+            data.push(cx + rng.gen::<f64>() - 0.5);
+            data.push(cy + rng.gen::<f64>() - 0.5);
+            truth.push(c);
+        }
+        (data, truth)
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let (data, truth) = blobs();
+        let km = KMeans::fit(&data, 2, &KMeansConfig { k: 3, batch_size: 64, iterations: 60, seed: 1 });
+        let labels = km.assign(&data);
+        // Every true cluster must map to exactly one k-means label.
+        for t in 0..3 {
+            let mut seen = std::collections::HashSet::new();
+            for (l, &tr) in labels.iter().zip(&truth) {
+                if tr == t {
+                    seen.insert(*l);
+                }
+            }
+            assert_eq!(seen.len(), 1, "true blob {t} split across labels {seen:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (data, _) = blobs();
+        let cfg = KMeansConfig { k: 3, batch_size: 64, iterations: 30, seed: 5 };
+        let a = KMeans::fit(&data, 2, &cfg);
+        let b = KMeans::fit(&data, 2, &cfg);
+        assert_eq!(a.centroids, b.centroids);
+    }
+
+    #[test]
+    fn k_clamped_to_sample_count() {
+        let data = vec![1.0, 2.0, 3.0]; // three 1D points
+        let km = KMeans::fit(&data, 1, &KMeansConfig { k: 10, ..Default::default() });
+        assert_eq!(km.k, 3);
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let (data, _) = blobs();
+        let i1 = KMeans::fit(&data, 2, &KMeansConfig { k: 1, iterations: 30, ..Default::default() })
+            .inertia(&data);
+        let i3 = KMeans::fit(&data, 2, &KMeansConfig { k: 3, iterations: 30, ..Default::default() })
+            .inertia(&data);
+        assert!(i3 < i1 * 0.2, "inertia k=1 {i1} vs k=3 {i3}");
+    }
+
+    #[test]
+    fn assign_one_matches_assign() {
+        let (data, _) = blobs();
+        let km = KMeans::fit(&data, 2, &KMeansConfig { k: 3, iterations: 20, ..Default::default() });
+        let labels = km.assign(&data);
+        for (i, &l) in labels.iter().enumerate().step_by(17) {
+            assert_eq!(km.assign_one(&data[i * 2..i * 2 + 2]).0, l);
+        }
+    }
+
+    #[test]
+    fn single_point_dataset() {
+        let km = KMeans::fit(&[5.0, 5.0], 2, &KMeansConfig::default());
+        assert_eq!(km.k, 1);
+        assert_eq!(km.assign(&[1.0, 1.0]), vec![0]);
+    }
+
+    #[test]
+    fn identical_points_dont_crash() {
+        let data = vec![2.0; 100]; // 100 identical 1D points
+        let km = KMeans::fit(&data, 1, &KMeansConfig { k: 5, ..Default::default() });
+        let labels = km.assign(&data);
+        assert!(labels.iter().all(|&l| l < km.k));
+        assert!(km.inertia(&data) < 1e-20);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn rejects_empty_data() {
+        let _ = KMeans::fit(&[], 2, &KMeansConfig::default());
+    }
+}

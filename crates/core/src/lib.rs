@@ -1,0 +1,46 @@
+//! # sickle-core
+//!
+//! The paper's primary contribution: **SICKLE**, a Sparse Intelligent
+//! Curation framework for Learning Efficiently.
+//!
+//! The framework curates training subsets from dense simulation snapshots in
+//! two phases (paper §4, Fig. 3):
+//!
+//! 1. **Hypercube selection** ([`hypercube`]): the domain is tiled into
+//!    cubes (32³ in the paper); cubes are selected either uniformly at
+//!    random (`Hrandom`) or by maximum-entropy weighting (`Hmaxent`) —
+//!    cluster the cubes, estimate per-cluster PDFs of the cluster variable,
+//!    build the Kullback–Leibler adjacency matrix
+//!    `A_ij = Σ P(C_i) log(P(C_i)/P(C_j))`, reduce to node strengths (row
+//!    sums), and sample cubes with probability proportional to strength.
+//! 2. **Point selection** ([`samplers`]): within each selected cube, retain
+//!    a budgeted subset of points by one of: `Xfull` (keep everything),
+//!    `Xrandom`, `Xlhs`, `Xstratified`, `Xmaxent` (cluster + entropy-weighted
+//!    budget allocation), or `Xuips` (uniform-in-phase-space acceptance
+//!    sampling after binned density estimation).
+//!
+//! [`temporal`] applies the same novelty principle across snapshots, and
+//! [`pipeline`] wires both phases behind a serde-serializable configuration
+//! mirroring the reference implementation's YAML files. [`metrics`] computes
+//! the PDF-fidelity diagnostics used by the paper's Figures 4 and 5.
+
+pub mod entropy;
+pub mod gmm;
+pub mod hypercube;
+pub mod kmeans;
+pub mod pod;
+pub mod metrics;
+pub mod pipeline;
+pub mod samplers;
+pub mod streaming;
+pub mod temporal;
+pub mod uips;
+
+pub use hypercube::HypercubeSelector;
+pub use kmeans::{KMeans, KMeansConfig};
+pub use pipeline::{PointMethod, SamplingConfig, SamplingOutput, SamplingStats};
+pub use samplers::{
+    FullSampler, ImportanceSampler, LhsSampler, MaxEntSampler, PointSampler, RandomSampler,
+    StratifiedSampler, UniformStrideSampler,
+};
+pub use uips::UipsSampler;

@@ -1,0 +1,242 @@
+//! PDF-fidelity diagnostics for comparing sampling methods (the
+//! quantitative backbone of the paper's Figures 4 and 5).
+//!
+//! A good subsample's feature PDF should match the *full* data PDF —
+//! including the tails, which carry the rare, information-rich events that
+//! drive model generalization. For each feature we report the KL divergence
+//! of the sample PDF from the full PDF and the tail-mass coverage ratio.
+
+use serde::Serialize;
+use sickle_field::stats::kl_divergence;
+use sickle_field::{FeatureMatrix, Histogram};
+
+/// PDF-fidelity report for one feature column.
+#[derive(Clone, Debug, Serialize)]
+pub struct PdfReport {
+    /// Feature name.
+    pub feature: String,
+    /// `KL(full ‖ sample)` in nats — how much of the true distribution the
+    /// sample fails to represent (lower is better).
+    pub kl_full_vs_sample: f64,
+    /// Fraction of the full data in the outer 5% of the value range.
+    pub tail_mass_full: f64,
+    /// Same for the sample.
+    pub tail_mass_sample: f64,
+    /// `tail_mass_sample / tail_mass_full` (≥ 1 = tails over-represented,
+    /// which is what MaxEnt intentionally does; « 1 = tails lost).
+    pub tail_coverage_ratio: f64,
+}
+
+/// Compares the PDF of each feature column between the full matrix and the
+/// subset at `indices`, using `bins` histogram bins (the paper fixes 100).
+pub fn pdf_reports(features: &FeatureMatrix, indices: &[usize], bins: usize) -> Vec<PdfReport> {
+    let d = features.dim();
+    let mut out = Vec::with_capacity(d);
+    for c in 0..d {
+        let full = features.column(c);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &v in &full {
+            if v.is_finite() {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        if !lo.is_finite() {
+            lo = 0.0;
+            hi = 1.0;
+        }
+        let mut h_full = Histogram::new(lo, hi, bins);
+        h_full.extend(&full);
+        let mut h_sample = Histogram::new(lo, hi, bins);
+        for &i in indices {
+            h_sample.push(features.row(i)[c]);
+        }
+        let tail_full = h_full.tail_mass(0.05);
+        let tail_sample = h_sample.tail_mass(0.05);
+        out.push(PdfReport {
+            feature: features.names[c].clone(),
+            kl_full_vs_sample: kl_divergence(&h_full.pmf(), &h_sample.pmf()),
+            tail_mass_full: tail_full,
+            tail_mass_sample: tail_sample,
+            tail_coverage_ratio: if tail_full > 0.0 { tail_sample / tail_full } else { 0.0 },
+        });
+    }
+    out
+}
+
+/// Mean `KL(full ‖ sample)` across features — a single scalar for ranking
+/// methods, used in the figure binaries.
+pub fn mean_kl(features: &FeatureMatrix, indices: &[usize], bins: usize) -> f64 {
+    let reports = pdf_reports(features, indices, bins);
+    reports.iter().map(|r| r.kl_full_vs_sample).sum::<f64>() / reports.len() as f64
+}
+
+/// First Wasserstein (earth-mover) distance between two PMFs over a shared
+/// equal-width binning, in units of the bin width: `W₁ = Σ |CDF_p − CDF_q|`.
+/// Unlike KL it is finite without smoothing and weights tail mass by *how
+/// far* it is displaced — a complementary PDF-fidelity score for Fig. 5.
+pub fn wasserstein1(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "pmf length mismatch");
+    let mut cp = 0.0;
+    let mut cq = 0.0;
+    let mut w = 0.0;
+    for (&pi, &qi) in p.iter().zip(q) {
+        cp += pi;
+        cq += qi;
+        w += (cp - cq).abs();
+    }
+    w
+}
+
+/// Per-feature Wasserstein-1 distances between the full matrix and the
+/// subset at `indices` (bin-width units).
+pub fn wasserstein_reports(features: &FeatureMatrix, indices: &[usize], bins: usize) -> Vec<f64> {
+    let d = features.dim();
+    (0..d)
+        .map(|c| {
+            let full = features.column(c);
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for &v in &full {
+                if v.is_finite() {
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+            }
+            if !lo.is_finite() {
+                lo = 0.0;
+                hi = 1.0;
+            }
+            let mut h_full = Histogram::new(lo, hi, bins);
+            h_full.extend(&full);
+            let mut h_sample = Histogram::new(lo, hi, bins);
+            for &i in indices {
+                h_sample.push(features.row(i)[c]);
+            }
+            wasserstein1(&h_full.pmf(), &h_sample.pmf())
+        })
+        .collect()
+}
+
+/// Spatial clumping diagnostic for Fig. 4: coefficient of variation of
+/// selected-point counts over `cells` equal slabs of the source index space
+/// (flat grid order ≈ spatial locality). Uniform spatial coverage → low CoV.
+pub fn spatial_cov(indices: &[usize], total_points: usize, cells: usize) -> f64 {
+    if indices.is_empty() || cells == 0 {
+        return 0.0;
+    }
+    let mut counts = vec![0f64; cells];
+    for &i in indices {
+        let c = (i * cells / total_points.max(1)).min(cells - 1);
+        counts[c] += 1.0;
+    }
+    let mean = counts.iter().sum::<f64>() / cells as f64;
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    let var = counts.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / cells as f64;
+    var.sqrt() / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gaussianish(n: usize) -> FeatureMatrix {
+        // Deterministic heavy-center distribution via summed residues.
+        let data: Vec<f64> = (0..n)
+            .map(|i| {
+                let a = (i * 7919 % 1000) as f64 / 1000.0;
+                let b = (i * 104729 % 1000) as f64 / 1000.0;
+                let c = (i * 1299709 % 1000) as f64 / 1000.0;
+                a + b + c - 1.5
+            })
+            .collect();
+        FeatureMatrix::new(vec!["q".into()], data)
+    }
+
+    #[test]
+    fn identical_sample_has_zero_kl() {
+        let f = gaussianish(1000);
+        let all: Vec<usize> = (0..1000).collect();
+        let r = &pdf_reports(&f, &all, 50)[0];
+        assert!(r.kl_full_vs_sample < 1e-9);
+        assert!((r.tail_coverage_ratio - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn center_only_sample_has_positive_kl_and_no_tails() {
+        let f = gaussianish(1000);
+        // Keep only near-center values.
+        let center: Vec<usize> = (0..1000).filter(|&i| f.row(i)[0].abs() < 0.2).collect();
+        assert!(!center.is_empty());
+        let r = &pdf_reports(&f, &center, 50)[0];
+        assert!(r.kl_full_vs_sample > 0.1, "kl {}", r.kl_full_vs_sample);
+        assert!(r.tail_coverage_ratio < 0.2, "tail ratio {}", r.tail_coverage_ratio);
+    }
+
+    #[test]
+    fn tail_only_sample_overrepresents_tails() {
+        let f = gaussianish(1000);
+        let tails: Vec<usize> = (0..1000).filter(|&i| f.row(i)[0].abs() > 1.0).collect();
+        assert!(!tails.is_empty());
+        let r = &pdf_reports(&f, &tails, 50)[0];
+        assert!(r.tail_coverage_ratio > 2.0, "tail ratio {}", r.tail_coverage_ratio);
+    }
+
+    #[test]
+    fn mean_kl_ranks_better_samples_lower() {
+        let f = gaussianish(2000);
+        let every_10th: Vec<usize> = (0..2000).step_by(10).collect();
+        let first_200: Vec<usize> = (0..200).collect();
+        // A systematic sweep matches the PDF better than the first block
+        // does only if the data ordering correlates with value — with our
+        // residue construction both are decorrelated, so compare against an
+        // adversarial center-only pick instead.
+        let center: Vec<usize> = (0..2000).filter(|&i| f.row(i)[0].abs() < 0.1).take(200).collect();
+        let kl_sweep = mean_kl(&f, &every_10th, 50);
+        let kl_center = mean_kl(&f, &center, 50);
+        assert!(kl_sweep < kl_center, "sweep {kl_sweep} vs center {kl_center}");
+        let _ = first_200;
+    }
+
+    #[test]
+    fn wasserstein_zero_on_identical_and_orders_shifts() {
+        let p = vec![0.25, 0.25, 0.25, 0.25];
+        assert!(wasserstein1(&p, &p).abs() < 1e-12);
+        // Mass shifted by one bin costs exactly that mass.
+        let a = vec![1.0, 0.0, 0.0, 0.0];
+        let near = vec![0.0, 1.0, 0.0, 0.0];
+        let far = vec![0.0, 0.0, 0.0, 1.0];
+        assert!((wasserstein1(&a, &near) - 1.0).abs() < 1e-12);
+        assert!((wasserstein1(&a, &far) - 3.0).abs() < 1e-12);
+        assert!(wasserstein1(&a, &far) > wasserstein1(&a, &near));
+    }
+
+    #[test]
+    fn wasserstein_reports_rank_center_sample_worse() {
+        let f = gaussianish(1000);
+        let all: Vec<usize> = (0..1000).collect();
+        let center: Vec<usize> = (0..1000).filter(|&i| f.row(i)[0].abs() < 0.2).collect();
+        let w_all = wasserstein_reports(&f, &all, 50)[0];
+        let w_center = wasserstein_reports(&f, &center, 50)[0];
+        assert!(w_all < 1e-9);
+        assert!(w_center > 1.0, "center-only W1 {w_center}");
+    }
+
+    #[test]
+    fn spatial_cov_detects_clumps() {
+        let clumped: Vec<usize> = (0..100).collect(); // all in the first slab
+        let spread: Vec<usize> = (0..100).map(|i| i * 100).collect();
+        let c1 = spatial_cov(&clumped, 10_000, 10);
+        let c2 = spatial_cov(&spread, 10_000, 10);
+        assert!(c1 > 2.0, "clumped CoV {c1}");
+        assert!(c2 < 0.1, "spread CoV {c2}");
+    }
+
+    #[test]
+    fn spatial_cov_empty_is_zero() {
+        assert_eq!(spatial_cov(&[], 100, 10), 0.0);
+    }
+}

@@ -1,0 +1,556 @@
+//! End-to-end sampling pipeline: configuration, two-phase execution, and
+//! run statistics.
+//!
+//! This is the Rust analogue of `subsample.py` + its YAML configs: a
+//! [`SamplingConfig`] names the hypercube selector, the point method, the
+//! budgets, and the variables; [`run_dataset`] executes phase 1 and phase 2
+//! over every snapshot, parallelizing across hypercubes exactly where the
+//! reference implementation parallelizes across MPI ranks.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use sickle_field::{Dataset, SampleSet, Snapshot, Tiling};
+
+use crate::hypercube::HypercubeSelector;
+use crate::samplers::{
+    FullSampler, LhsSampler, MaxEntSampler, PointSampler, RandomSampler, StratifiedSampler,
+};
+use crate::uips::UipsSampler;
+
+/// Phase-2 point-selection method (config-file facing).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase", tag = "kind")]
+pub enum PointMethod {
+    /// Keep all points in each selected cube.
+    Full,
+    /// Uniform random.
+    Random,
+    /// Deterministic uniform stride in grid order.
+    Uniform,
+    /// Latin-hypercube-style spread.
+    Lhs,
+    /// Quantile-stratified on the cluster variable.
+    Stratified {
+        /// Number of strata.
+        strata: usize,
+    },
+    /// Maximum-entropy cluster-weighted selection.
+    MaxEnt {
+        /// k-means cluster count.
+        num_clusters: usize,
+        /// Histogram bins for cluster PDFs.
+        bins: usize,
+    },
+    /// Uniform-in-phase-space acceptance sampling.
+    Uips {
+        /// Bins per feature dimension.
+        bins_per_dim: usize,
+    },
+    /// UIPS with a Gaussian-mixture density estimator (the smooth-density
+    /// alternative to binning; see [`crate::gmm`]).
+    UipsGmm {
+        /// Mixture components.
+        components: usize,
+    },
+    /// POD/DEIM projection-based selection baseline (see [`crate::pod`]).
+    PodDeim,
+}
+
+impl PointMethod {
+    /// Instantiates the sampler.
+    pub fn build(&self) -> Box<dyn PointSampler> {
+        match *self {
+            PointMethod::Full => Box::new(FullSampler),
+            PointMethod::Random => Box::new(RandomSampler),
+            PointMethod::Uniform => Box::new(crate::samplers::UniformStrideSampler),
+            PointMethod::Lhs => Box::new(LhsSampler),
+            PointMethod::Stratified { strata } => Box::new(StratifiedSampler { strata }),
+            PointMethod::MaxEnt { num_clusters, bins } => Box::new(MaxEntSampler {
+                num_clusters,
+                bins,
+                ..Default::default()
+            }),
+            PointMethod::Uips { bins_per_dim } => Box::new(UipsSampler {
+                bins_per_dim,
+                ..Default::default()
+            }),
+            PointMethod::UipsGmm { components } => Box::new(crate::gmm::UipsGmmSampler {
+                components,
+                ..Default::default()
+            }),
+            PointMethod::PodDeim => Box::new(crate::pod::PodSampler),
+        }
+    }
+
+    /// Config-facing name (matches the paper's `Xfull`, `Xmaxent`, ... minus
+    /// the `X` prefix).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PointMethod::Full => "full",
+            PointMethod::Random => "random",
+            PointMethod::Uniform => "uniform",
+            PointMethod::Lhs => "lhs",
+            PointMethod::Stratified { .. } => "stratified",
+            PointMethod::MaxEnt { .. } => "maxent",
+            PointMethod::Uips { .. } => "uips",
+            PointMethod::UipsGmm { .. } => "uips-gmm",
+            PointMethod::PodDeim => "pod-deim",
+        }
+    }
+}
+
+/// Phase-1 hypercube-selection method (config-file facing).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum CubeMethod {
+    /// Uniform random cubes.
+    Random,
+    /// Entropy-weighted cubes.
+    MaxEnt,
+}
+
+impl CubeMethod {
+    /// Converts to the executable selector.
+    pub fn build(&self) -> HypercubeSelector {
+        match self {
+            CubeMethod::Random => HypercubeSelector::Random,
+            CubeMethod::MaxEnt => HypercubeSelector::maxent_default(),
+        }
+    }
+}
+
+/// Snapshot-level (temporal) selection applied before spatial sampling
+/// (paper §4.3).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase", tag = "kind")]
+pub enum TemporalMethod {
+    /// Keep every snapshot (default).
+    All,
+    /// Evenly strided subset of `count` snapshots (the naive cadence).
+    Stride {
+        /// Snapshots to keep.
+        count: usize,
+    },
+    /// Greedy max-KL novelty selection of `count` snapshots.
+    Novelty {
+        /// Snapshots to keep.
+        count: usize,
+        /// Histogram bins for the novelty PDFs.
+        bins: usize,
+    },
+    /// Online adaptive selection: keep snapshots whose PDF diverges from
+    /// the kept mixture by more than `threshold` nats.
+    Adaptive {
+        /// KL threshold in nats.
+        threshold: f64,
+        /// Histogram bins.
+        bins: usize,
+    },
+}
+
+impl Default for TemporalMethod {
+    fn default() -> Self {
+        TemporalMethod::All
+    }
+}
+
+/// Full sampling configuration — the Rust mirror of the paper's YAML files
+/// (e.g. `Hmaxent-Xmaxent-32.yaml`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SamplingConfig {
+    /// Hypercube (phase 1) selection method.
+    pub hypercubes: CubeMethod,
+    /// Number of hypercubes to keep per snapshot.
+    pub num_hypercubes: usize,
+    /// Hypercube edge length in grid points (the paper's `nxsl` etc.).
+    pub cube_edge: usize,
+    /// Point (phase 2) selection method.
+    pub method: PointMethod,
+    /// Point budget per hypercube (the paper's `num_samples`, e.g. 3277 =
+    /// 10% of 32³).
+    pub num_samples: usize,
+    /// K-means cluster variable name (Table 1's KCV).
+    pub cluster_var: String,
+    /// Feature variables extracted into the sample sets (inputs + outputs).
+    pub feature_vars: Vec<String>,
+    /// Base RNG seed; every (snapshot, cube) pair derives its own stream.
+    pub seed: u64,
+    /// Temporal (snapshot-level) selection applied before spatial sampling.
+    #[serde(default)]
+    pub temporal: TemporalMethod,
+}
+
+impl SamplingConfig {
+    /// A `Hmaxent-Xmaxent` configuration matching the paper's SST defaults.
+    pub fn maxent_default(cluster_var: &str, feature_vars: &[&str]) -> Self {
+        SamplingConfig {
+            hypercubes: CubeMethod::MaxEnt,
+            num_hypercubes: 8,
+            cube_edge: 16,
+            method: PointMethod::MaxEnt { num_clusters: 20, bins: 100 },
+            num_samples: 410, // ~10% of 16^3
+            cluster_var: cluster_var.to_string(),
+            feature_vars: feature_vars.iter().map(|s| s.to_string()).collect(),
+            seed: 0,
+            temporal: TemporalMethod::All,
+        }
+    }
+
+    /// The `Hmaxent-Xmaxent-32`-style case name used in result tables.
+    pub fn case_name(&self) -> String {
+        format!(
+            "H{}-X{}-{}",
+            match self.hypercubes {
+                CubeMethod::Random => "random",
+                CubeMethod::MaxEnt => "maxent",
+            },
+            self.method.name(),
+            self.cube_edge
+        )
+    }
+
+    /// All variables to extract: `feature_vars` with the cluster variable
+    /// appended if missing. Returns `(vars, cluster_col)`.
+    pub fn extraction_vars(&self) -> (Vec<String>, usize) {
+        let mut vars = self.feature_vars.clone();
+        let cluster_col = match vars.iter().position(|v| v == &self.cluster_var) {
+            Some(c) => c,
+            None => {
+                vars.push(self.cluster_var.clone());
+                vars.len() - 1
+            }
+        };
+        (vars, cluster_col)
+    }
+}
+
+/// Run statistics (the pipeline's answer to the paper's "Total Energy
+/// Consumed"/"Elapsed Time" log lines; energy itself is modeled by
+/// `sickle-energy` from these counts).
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct SamplingStats {
+    /// Dense points scanned by phase 2 (selected cubes × cube volume).
+    pub points_in: usize,
+    /// Points retained.
+    pub points_out: usize,
+    /// Hypercubes selected in total.
+    pub cubes_selected: usize,
+    /// Dense points scanned by phase 1 (whole grid × snapshots — cube
+    /// scoring reads everything once).
+    pub phase1_points: usize,
+    /// Wall-clock seconds for the whole run.
+    pub elapsed_secs: f64,
+}
+
+impl SamplingStats {
+    /// Retention fraction (`points_out / points_in`).
+    pub fn retention(&self) -> f64 {
+        if self.points_in == 0 {
+            0.0
+        } else {
+            self.points_out as f64 / self.points_in as f64
+        }
+    }
+}
+
+/// Output of a full dataset run: per-snapshot lists of per-cube sample sets.
+#[derive(Clone, Debug)]
+pub struct SamplingOutput {
+    /// `sets[snapshot][cube]`.
+    pub sets: Vec<Vec<SampleSet>>,
+    /// Aggregate statistics.
+    pub stats: SamplingStats,
+    /// The executed configuration (for provenance).
+    pub config: SamplingConfig,
+}
+
+impl SamplingOutput {
+    /// Flattens all sample sets of one snapshot into a single merged set.
+    pub fn merged_snapshot(&self, snap: usize) -> SampleSet {
+        SampleSet::merge(&self.sets[snap])
+    }
+
+    /// Total retained points.
+    pub fn total_points(&self) -> usize {
+        self.sets.iter().flatten().map(SampleSet::len).sum()
+    }
+}
+
+/// Derives a per-(snapshot, cube) RNG stream from the base seed via
+/// SplitMix64 mixing — parallel execution order cannot perturb results.
+fn derive_rng(seed: u64, snapshot: usize, cube: usize) -> StdRng {
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(1 + snapshot as u64))
+        .wrapping_add(0xBF58_476D_1CE4_E5B9u64.wrapping_mul(1 + cube as u64));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
+
+/// Runs the two-phase pipeline on one snapshot, returning one sample set per
+/// selected hypercube. Cubes are processed in parallel.
+pub fn run_snapshot(snap: &Snapshot, snapshot_index: usize, cfg: &SamplingConfig) -> Vec<SampleSet> {
+    let tiling = Tiling::cubic(snap.grid, cfg.cube_edge);
+    let count = cfg.num_hypercubes.min(tiling.len());
+    let mut rng = derive_rng(cfg.seed, snapshot_index, usize::MAX);
+    let selector = cfg.hypercubes.build();
+    let cube_ids = selector.select(&tiling, snap, &cfg.cluster_var, count, &mut rng);
+    let (vars, cluster_col) = cfg.extraction_vars();
+    let sampler = cfg.method.build();
+
+    cube_ids
+        .par_iter()
+        .map(|&cube_id| {
+            let (features, indices) = tiling.extract(snap, cube_id, &vars);
+            let mut rng = derive_rng(cfg.seed, snapshot_index, cube_id);
+            let picked = sampler.select(&features, cluster_col, cfg.num_samples, &mut rng);
+            let sel_features = features.gather(&picked);
+            let sel_indices: Vec<usize> = picked.iter().map(|&p| indices[p]).collect();
+            SampleSet::new(sel_features, sel_indices, snap.time, snapshot_index)
+                .with_hypercube(cube_id)
+        })
+        .collect()
+}
+
+/// Selects the snapshot indices the configuration's temporal method keeps.
+pub fn temporal_selection(dataset: &Dataset, cfg: &SamplingConfig) -> Vec<usize> {
+    let total = dataset.num_snapshots();
+    match cfg.temporal {
+        TemporalMethod::All => (0..total).collect(),
+        TemporalMethod::Stride { count } => {
+            crate::temporal::uniform_stride(total, count.clamp(1, total))
+        }
+        TemporalMethod::Novelty { count, bins } => {
+            let mut sel = crate::temporal::novelty_select(
+                dataset,
+                &cfg.cluster_var,
+                count.clamp(1, total),
+                bins,
+            );
+            sel.sort_unstable();
+            sel
+        }
+        TemporalMethod::Adaptive { threshold, bins } => {
+            crate::temporal::adaptive_select(dataset, &cfg.cluster_var, bins, threshold)
+        }
+    }
+}
+
+/// Runs the pipeline over every temporally selected snapshot of a dataset.
+pub fn run_dataset(dataset: &Dataset, cfg: &SamplingConfig) -> SamplingOutput {
+    let t0 = std::time::Instant::now();
+    let keep = temporal_selection(dataset, cfg);
+    let sets: Vec<Vec<SampleSet>> = keep
+        .iter()
+        .map(|&i| run_snapshot(&dataset.snapshots[i], i, cfg))
+        .collect();
+    let cube_points = cfg.cube_edge.pow(if dataset.grid().nz == 1 { 2 } else { 3 });
+    let cubes_selected: usize = sets.iter().map(Vec::len).sum();
+    let stats = SamplingStats {
+        points_in: cubes_selected * cube_points,
+        points_out: sets.iter().flatten().map(SampleSet::len).sum(),
+        cubes_selected,
+        phase1_points: dataset.grid().len() * keep.len(),
+        elapsed_secs: t0.elapsed().as_secs_f64(),
+    };
+    SamplingOutput { sets, stats, config: cfg.clone() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sickle_field::{DatasetMeta, Grid3};
+
+    fn test_dataset(snapshots: usize) -> Dataset {
+        let grid = Grid3::new(16, 16, 16, 1.0, 1.0, 1.0);
+        let meta = DatasetMeta::new("T", "test", "q", &["u", "q"], &[]);
+        let mut d = Dataset::new(meta);
+        for s in 0..snapshots {
+            let u: Vec<f64> = (0..grid.len()).map(|i| ((i * 31 + s * 7) % 100) as f64 * 0.01).collect();
+            let q: Vec<f64> = (0..grid.len())
+                .map(|i| if i % 50 == 0 { 10.0 } else { ((i * 17) % 100) as f64 * 0.001 })
+                .collect();
+            d.push(Snapshot::new(grid, s as f64).with_var("u", u).with_var("q", q));
+        }
+        d
+    }
+
+    fn test_config() -> SamplingConfig {
+        SamplingConfig {
+            hypercubes: CubeMethod::MaxEnt,
+            num_hypercubes: 4,
+            cube_edge: 8,
+            method: PointMethod::MaxEnt { num_clusters: 5, bins: 32 },
+            num_samples: 51, // ~10% of 8^3
+            cluster_var: "q".to_string(),
+            feature_vars: vec!["u".to_string(), "q".to_string()],
+            seed: 7,
+            temporal: TemporalMethod::All,
+        }
+    }
+
+
+    #[test]
+    fn temporal_stride_reduces_snapshots() {
+        let d = test_dataset(6);
+        let mut cfg = test_config();
+        cfg.temporal = TemporalMethod::Stride { count: 3 };
+        let out = run_dataset(&d, &cfg);
+        assert_eq!(out.sets.len(), 3);
+        // Stats reflect the reduced snapshot count.
+        assert_eq!(out.stats.cubes_selected, 3 * 4);
+    }
+
+    #[test]
+    fn temporal_novelty_runs_and_keeps_count() {
+        let d = test_dataset(6);
+        let mut cfg = test_config();
+        cfg.temporal = TemporalMethod::Novelty { count: 2, bins: 16 };
+        let out = run_dataset(&d, &cfg);
+        assert_eq!(out.sets.len(), 2);
+    }
+
+    #[test]
+    fn temporal_adaptive_collapses_repetitive_data() {
+        let d = test_dataset(8); // near-identical snapshots
+        let mut cfg = test_config();
+        cfg.temporal = TemporalMethod::Adaptive { threshold: 0.5, bins: 16 };
+        let out = run_dataset(&d, &cfg);
+        assert!(out.sets.len() < 8, "kept {} snapshots", out.sets.len());
+        assert!(!out.sets.is_empty());
+    }
+
+    #[test]
+    fn temporal_default_is_all_and_serde_backcompat() {
+        // Old config JSON without a temporal key must still parse.
+        let json = r#"{
+            "hypercubes": "random",
+            "num_hypercubes": 2,
+            "cube_edge": 8,
+            "method": {"kind": "random"},
+            "num_samples": 10,
+            "cluster_var": "q",
+            "feature_vars": ["q"],
+            "seed": 0
+        }"#;
+        let cfg: SamplingConfig = serde_json::from_str(json).unwrap();
+        assert_eq!(cfg.temporal, TemporalMethod::All);
+    }
+
+    #[test]
+    fn pipeline_respects_budgets() {
+        let d = test_dataset(2);
+        let out = run_dataset(&d, &test_config());
+        assert_eq!(out.sets.len(), 2);
+        for snap_sets in &out.sets {
+            assert_eq!(snap_sets.len(), 4);
+            for s in snap_sets {
+                assert_eq!(s.len(), 51);
+                assert!(s.hypercube.is_some());
+            }
+        }
+        assert_eq!(out.total_points(), 2 * 4 * 51);
+        assert!((out.stats.retention() - 51.0 / 512.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pipeline_is_deterministic() {
+        let d = test_dataset(1);
+        let cfg = test_config();
+        let a = run_dataset(&d, &cfg);
+        let b = run_dataset(&d, &cfg);
+        assert_eq!(a.sets[0][0].indices, b.sets[0][0].indices);
+        assert_eq!(a.sets[0][0].features.data, b.sets[0][0].features.data);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let d = test_dataset(1);
+        let mut cfg = test_config();
+        let a = run_dataset(&d, &cfg);
+        cfg.seed = 8;
+        let b = run_dataset(&d, &cfg);
+        assert_ne!(a.sets[0][0].indices, b.sets[0][0].indices);
+    }
+
+    #[test]
+    fn full_method_keeps_whole_cubes() {
+        let d = test_dataset(1);
+        let mut cfg = test_config();
+        cfg.method = PointMethod::Full;
+        let out = run_dataset(&d, &cfg);
+        for s in &out.sets[0] {
+            assert_eq!(s.len(), 512); // 8^3
+        }
+        assert!((out.stats.retention() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merged_snapshot_concatenates() {
+        let d = test_dataset(1);
+        let out = run_dataset(&d, &test_config());
+        let merged = out.merged_snapshot(0);
+        assert_eq!(merged.len(), 4 * 51);
+    }
+
+    #[test]
+    fn config_json_roundtrip() {
+        let cfg = test_config();
+        let json = serde_json::to_string_pretty(&cfg).unwrap();
+        let back: SamplingConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.case_name(), cfg.case_name());
+        assert_eq!(back.num_samples, cfg.num_samples);
+        assert_eq!(back.method, cfg.method);
+    }
+
+    #[test]
+    fn case_name_matches_paper_convention() {
+        let cfg = test_config();
+        assert_eq!(cfg.case_name(), "Hmaxent-Xmaxent-8");
+    }
+
+    #[test]
+    fn extraction_vars_appends_missing_cluster_var() {
+        let mut cfg = test_config();
+        cfg.feature_vars = vec!["u".to_string()];
+        let (vars, col) = cfg.extraction_vars();
+        assert_eq!(vars, vec!["u".to_string(), "q".to_string()]);
+        assert_eq!(col, 1);
+    }
+
+    #[test]
+    fn sample_indices_are_valid_grid_points() {
+        let d = test_dataset(1);
+        let out = run_dataset(&d, &test_config());
+        let n = d.grid().len();
+        for s in out.sets[0].iter() {
+            assert!(s.indices.iter().all(|&i| i < n));
+        }
+    }
+
+    #[test]
+    fn two_dimensional_dataset_works() {
+        let grid = Grid3::new(32, 32, 1, 1.0, 1.0, 1.0);
+        let meta = DatasetMeta::new("T2", "test 2d", "q", &["q"], &[]);
+        let mut d = Dataset::new(meta);
+        let q: Vec<f64> = (0..grid.len()).map(|i| (i % 97) as f64).collect();
+        d.push(Snapshot::new(grid, 0.0).with_var("q", q));
+        let cfg = SamplingConfig {
+            hypercubes: CubeMethod::Random,
+            num_hypercubes: 4,
+            cube_edge: 8,
+            method: PointMethod::Random,
+            num_samples: 6,
+            cluster_var: "q".to_string(),
+            feature_vars: vec!["q".to_string()],
+            seed: 1,
+            temporal: TemporalMethod::All,
+        };
+        let out = run_dataset(&d, &cfg);
+        assert_eq!(out.total_points(), 24);
+        // 2D cubes are 8x8 = 64 points.
+        assert_eq!(out.stats.points_in, 4 * 64);
+    }
+}

@@ -1,0 +1,405 @@
+//! Proper orthogonal decomposition (POD) and DEIM-style point selection —
+//! the "projection-based methods" baseline family the paper's Background
+//! lists (Berkooz et al. 1993; also the sparse-sensor-placement line of
+//! Manohar et al. that §5.1 cites).
+//!
+//! POD is computed by the method of snapshots: eigendecompose the small
+//! `m × m` snapshot correlation matrix (Jacobi rotations — no external
+//! linear algebra), lift eigenvectors to spatial modes. [`deim_points`]
+//! then picks interpolation points by the discrete empirical interpolation
+//! method, and [`PodSampler`] wraps the whole thing as a `PointSampler`
+//! baseline: DEIM points first, then leverage-score-ordered fill.
+
+use rand::rngs::StdRng;
+use sickle_field::FeatureMatrix;
+
+use crate::samplers::PointSampler;
+
+/// Jacobi eigendecomposition of a symmetric matrix (row-major `m x m`).
+/// Returns `(eigenvalues, eigenvectors)` sorted by descending eigenvalue;
+/// eigenvectors are columns of the returned row-major matrix.
+pub fn jacobi_eigen(mat: &[f64], m: usize, sweeps: usize) -> (Vec<f64>, Vec<f64>) {
+    assert_eq!(mat.len(), m * m, "matrix shape mismatch");
+    let mut a = mat.to_vec();
+    // v starts as identity.
+    let mut v = vec![0.0; m * m];
+    for i in 0..m {
+        v[i * m + i] = 1.0;
+    }
+    for _ in 0..sweeps {
+        let mut off = 0.0;
+        for p in 0..m {
+            for q in (p + 1)..m {
+                off += a[p * m + q] * a[p * m + q];
+            }
+        }
+        if off < 1e-24 {
+            break;
+        }
+        for p in 0..m {
+            for q in (p + 1)..m {
+                let apq = a[p * m + q];
+                if apq.abs() < 1e-18 {
+                    continue;
+                }
+                let app = a[p * m + p];
+                let aqq = a[q * m + q];
+                let theta = 0.5 * (aqq - app) / apq;
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Rotate rows/cols p and q of a.
+                for i in 0..m {
+                    let aip = a[i * m + p];
+                    let aiq = a[i * m + q];
+                    a[i * m + p] = c * aip - s * aiq;
+                    a[i * m + q] = s * aip + c * aiq;
+                }
+                for j in 0..m {
+                    let apj = a[p * m + j];
+                    let aqj = a[q * m + j];
+                    a[p * m + j] = c * apj - s * aqj;
+                    a[q * m + j] = s * apj + c * aqj;
+                }
+                // Accumulate rotations into v.
+                for i in 0..m {
+                    let vip = v[i * m + p];
+                    let viq = v[i * m + q];
+                    v[i * m + p] = c * vip - s * viq;
+                    v[i * m + q] = s * vip + c * viq;
+                }
+            }
+        }
+    }
+    let mut order: Vec<usize> = (0..m).collect();
+    let evals: Vec<f64> = (0..m).map(|i| a[i * m + i]).collect();
+    order.sort_by(|&x, &y| evals[y].partial_cmp(&evals[x]).unwrap_or(std::cmp::Ordering::Equal));
+    let sorted_vals: Vec<f64> = order.iter().map(|&i| evals[i]).collect();
+    let mut sorted_vecs = vec![0.0; m * m];
+    for (new_c, &old_c) in order.iter().enumerate() {
+        for r in 0..m {
+            sorted_vecs[r * m + new_c] = v[r * m + old_c];
+        }
+    }
+    (sorted_vals, sorted_vecs)
+}
+
+/// POD of `snapshots` (each a length-`n` field): returns `(modes, energy)`
+/// where `modes` is row-major `n x r` (orthonormal columns) and `energy`
+/// the corresponding eigenvalues, with `r = min(rank, snapshots)` modes
+/// retained.
+pub fn pod_modes(snapshots: &[&[f64]], rank: usize) -> (Vec<f64>, Vec<f64>, usize) {
+    assert!(!snapshots.is_empty(), "POD needs at least one snapshot");
+    let m = snapshots.len();
+    let n = snapshots[0].len();
+    assert!(snapshots.iter().all(|s| s.len() == n), "snapshot length mismatch");
+    // Correlation matrix C = X^T X / m (m x m).
+    let mut corr = vec![0.0; m * m];
+    for i in 0..m {
+        for j in i..m {
+            let dot: f64 = snapshots[i].iter().zip(snapshots[j]).map(|(a, b)| a * b).sum();
+            corr[i * m + j] = dot / m as f64;
+            corr[j * m + i] = corr[i * m + j];
+        }
+    }
+    let (evals, evecs) = jacobi_eigen(&corr, m, 50);
+    let r = rank.min(m).max(1);
+    // Lift: phi_k = sum_i V[i][k] x_i / sqrt(m * lambda_k).
+    let mut modes = vec![0.0; n * r];
+    let mut kept = 0;
+    for k in 0..r {
+        let lam = evals[k];
+        if lam <= 1e-14 {
+            break;
+        }
+        let scale = 1.0 / (m as f64 * lam).sqrt();
+        for (i, snap) in snapshots.iter().enumerate() {
+            let w = evecs[i * m + k] * scale;
+            if w == 0.0 {
+                continue;
+            }
+            for (p, &x) in snap.iter().enumerate() {
+                modes[p * r + k] += w * x;
+            }
+        }
+        kept += 1;
+    }
+    (modes, evals[..r].to_vec(), kept)
+}
+
+/// Solves a small dense linear system `A x = b` by Gaussian elimination
+/// with partial pivoting (row-major `k x k`).
+fn solve_small(a: &mut [f64], b: &mut [f64], k: usize) {
+    for col in 0..k {
+        // Pivot.
+        let mut piv = col;
+        for r in (col + 1)..k {
+            if a[r * k + col].abs() > a[piv * k + col].abs() {
+                piv = r;
+            }
+        }
+        if piv != col {
+            for j in 0..k {
+                a.swap(col * k + j, piv * k + j);
+            }
+            b.swap(col, piv);
+        }
+        let d = a[col * k + col];
+        if d.abs() < 1e-300 {
+            continue;
+        }
+        for r in (col + 1)..k {
+            let f = a[r * k + col] / d;
+            if f == 0.0 {
+                continue;
+            }
+            for j in col..k {
+                a[r * k + j] -= f * a[col * k + j];
+            }
+            b[r] -= f * b[col];
+        }
+    }
+    for col in (0..k).rev() {
+        let d = a[col * k + col];
+        if d.abs() < 1e-300 {
+            b[col] = 0.0;
+            continue;
+        }
+        let mut s = b[col];
+        for j in (col + 1)..k {
+            s -= a[col * k + j] * b[j];
+        }
+        b[col] = s / d;
+    }
+}
+
+/// DEIM point selection over row-major `modes` (`n x r`): returns `r`
+/// distinct point indices, greedily maximizing the interpolation residual.
+pub fn deim_points(modes: &[f64], n: usize, r: usize) -> Vec<usize> {
+    assert_eq!(modes.len(), n * r, "modes shape mismatch");
+    assert!(r >= 1, "need at least one mode");
+    let col = |k: usize| -> Vec<f64> { (0..n).map(|p| modes[p * r + k]).collect() };
+    let mut points = Vec::with_capacity(r);
+    // First point: argmax |phi_0|.
+    let u0 = col(0);
+    let first = u0
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    points.push(first);
+    for k in 1..r {
+        // Solve U[P, :k] c = u_k[P], residual = u_k - U[:, :k] c.
+        let uk = col(k);
+        let kk = points.len();
+        let mut a = vec![0.0; kk * kk];
+        let mut b = vec![0.0; kk];
+        for (ri, &p) in points.iter().enumerate() {
+            for ci in 0..kk {
+                a[ri * kk + ci] = modes[p * r + ci];
+            }
+            b[ri] = uk[p];
+        }
+        solve_small(&mut a, &mut b, kk);
+        let mut best = (0usize, -1.0f64);
+        for p in 0..n {
+            if points.contains(&p) {
+                continue;
+            }
+            let mut approx = 0.0;
+            for ci in 0..kk {
+                approx += modes[p * r + ci] * b[ci];
+            }
+            let res = (uk[p] - approx).abs();
+            if res > best.1 {
+                best = (p, res);
+            }
+        }
+        points.push(best.0);
+    }
+    points
+}
+
+/// POD/DEIM sampling baseline: treats each feature column as a "snapshot",
+/// computes POD modes over the points, places DEIM points, and fills the
+/// remaining budget by leverage score (row norm of the mode matrix).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PodSampler;
+
+impl PointSampler for PodSampler {
+    fn name(&self) -> &'static str {
+        "pod-deim"
+    }
+
+    fn select(&self, features: &FeatureMatrix, _c: usize, budget: usize, _rng: &mut StdRng) -> Vec<usize> {
+        let n = features.len();
+        if budget >= n {
+            return (0..n).collect();
+        }
+        if budget == 0 || n == 0 {
+            return Vec::new();
+        }
+        let d = features.dim();
+        let cols: Vec<Vec<f64>> = (0..d).map(|c| features.column(c)).collect();
+        let views: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
+        let (modes, _energy, kept) = pod_modes(&views, d);
+        if kept == 0 {
+            return (0..budget).collect();
+        }
+        // pod_modes allocates `alloc` columns but only `kept` are valid;
+        // repack into a compact n x r matrix for DEIM.
+        let alloc = d.min(views.len()).max(1);
+        let r = kept.min(budget).max(1);
+        let mut compact = vec![0.0; n * r];
+        for p in 0..n {
+            for k in 0..r {
+                compact[p * r + k] = modes[p * alloc + k];
+            }
+        }
+        let mut picked = deim_points(&compact, n, r);
+        if picked.len() < budget {
+            // Leverage-score fill.
+            let mut lev: Vec<(f64, usize)> = (0..n)
+                .map(|p| {
+                    let s: f64 = (0..r).map(|k| compact[p * r + k] * compact[p * r + k]).sum();
+                    (s, p)
+                })
+                .collect();
+            lev.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+            let mut taken = vec![false; n];
+            for &p in &picked {
+                taken[p] = true;
+            }
+            for (_, p) in lev {
+                if picked.len() >= budget {
+                    break;
+                }
+                if !taken[p] {
+                    taken[p] = true;
+                    picked.push(p);
+                }
+            }
+        }
+        picked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::samplers::validate_selection;
+    use rand::SeedableRng;
+
+    #[test]
+    fn jacobi_diagonalizes_known_matrix() {
+        // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+        let (vals, vecs) = jacobi_eigen(&[2.0, 1.0, 1.0, 2.0], 2, 30);
+        assert!((vals[0] - 3.0).abs() < 1e-10);
+        assert!((vals[1] - 1.0).abs() < 1e-10);
+        // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+        let v0 = (vecs[0], vecs[2]);
+        assert!((v0.0.abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-8);
+        assert!((v0.0 - v0.1).abs() < 1e-8 || (v0.0 + v0.1).abs() < 1e-8);
+    }
+
+    #[test]
+    fn jacobi_eigenvalues_sum_to_trace() {
+        let m = 5;
+        let mut mat = vec![0.0; m * m];
+        for i in 0..m {
+            for j in 0..m {
+                mat[i * m + j] = 1.0 / (1.0 + (i as f64 - j as f64).abs());
+            }
+        }
+        let (vals, _) = jacobi_eigen(&mat, m, 50);
+        let trace: f64 = (0..m).map(|i| mat[i * m + i]).sum();
+        assert!((vals.iter().sum::<f64>() - trace).abs() < 1e-9);
+        // Sorted descending.
+        for w in vals.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn pod_recovers_rank_one_field() {
+        // Snapshots are multiples of one profile -> exactly one nonzero mode.
+        let base: Vec<f64> = (0..50).map(|i| (i as f64 * 0.3).sin()).collect();
+        let s1: Vec<f64> = base.iter().map(|v| 2.0 * v).collect();
+        let s2: Vec<f64> = base.iter().map(|v| -1.0 * v).collect();
+        let s3: Vec<f64> = base.iter().map(|v| 0.5 * v).collect();
+        let (modes, energy, kept) = pod_modes(&[&s1, &s2, &s3], 3);
+        assert_eq!(kept, 1, "rank-1 data must keep one mode (energies {energy:?})");
+        // Mode is proportional to base (normalized).
+        let norm: f64 = base.iter().map(|v| v * v).sum::<f64>().sqrt();
+        for (p, &b) in base.iter().enumerate() {
+            let expect = b / norm;
+            let got = modes[p * 3]; // r = 3 columns allocated, col 0 valid
+            assert!(
+                (got - expect).abs() < 1e-8 || (got + expect).abs() < 1e-8,
+                "p={p}: {got} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn pod_modes_are_orthonormal() {
+        let a: Vec<f64> = (0..64).map(|i| (i as f64 * 0.2).sin()).collect();
+        let b: Vec<f64> = (0..64).map(|i| (i as f64 * 0.7).cos()).collect();
+        let c: Vec<f64> = (0..64).map(|i| a[i] + 0.3 * b[i] + (i as f64 * 1.3).sin() * 0.1).collect();
+        let (modes, _, kept) = pod_modes(&[&a, &b, &c], 3);
+        for k1 in 0..kept {
+            for k2 in 0..kept {
+                let dot: f64 = (0..64).map(|p| modes[p * 3 + k1] * modes[p * 3 + k2]).sum();
+                let expect = if k1 == k2 { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-8, "({k1},{k2}) dot {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn deim_picks_mode_extrema() {
+        // Single mode: DEIM's first point is the argmax of |mode|.
+        let n = 40;
+        let mode: Vec<f64> = (0..n).map(|i| (i as f64 * 0.17).sin()).collect();
+        let argmax = mode
+            .iter()
+            .enumerate()
+            .max_by(|x, y| x.1.abs().partial_cmp(&y.1.abs()).unwrap())
+            .unwrap()
+            .0;
+        let pts = deim_points(&mode, n, 1);
+        assert_eq!(pts, vec![argmax]);
+    }
+
+    #[test]
+    fn deim_points_are_distinct() {
+        let n = 60;
+        let r = 4;
+        let mut modes = vec![0.0; n * r];
+        for p in 0..n {
+            for k in 0..r {
+                modes[p * r + k] = ((p * (k + 1)) as f64 * 0.13).sin();
+            }
+        }
+        let pts = deim_points(&modes, n, r);
+        let mut s = pts.clone();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), r);
+    }
+
+    #[test]
+    fn pod_sampler_contract() {
+        let data: Vec<f64> = (0..300 * 3)
+            .map(|i| ((i * 31) % 17) as f64 * 0.1 + if i % 151 == 0 { 5.0 } else { 0.0 })
+            .collect();
+        let features = FeatureMatrix::new(vec!["a".into(), "b".into(), "c".into()], data);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        for budget in [1usize, 10, 100, 299, 300] {
+            let picked = PodSampler.select(&features, 0, budget, &mut rng);
+            validate_selection(&picked, 300, budget);
+            assert_eq!(picked.len(), budget.min(300));
+        }
+    }
+}

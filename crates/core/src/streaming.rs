@@ -1,0 +1,264 @@
+//! Streaming (in-situ) sampling — the paper's "integration with in-situ,
+//! streaming, and online training frameworks like SmartSim" extension.
+//!
+//! A solver produces points one at a time; nothing can be revisited and
+//! memory is bounded by the budget. [`StreamingSampler`] keeps a per-bin
+//! reservoir over the cluster variable: a short calibration prefix fixes
+//! the binning range, every subsequent point undergoes classic reservoir
+//! sampling *within its bin*, and at [`finish`](StreamingSampler::finish)
+//! the budget is allocated across bins by inverse-frequency weighting —
+//! the streaming analogue of entropy-weighted selection, over-retaining
+//! rare (tail) bins exactly as batch MaxEnt does.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::entropy::allocate_budget;
+
+/// One reservoir entry: the point's stream index and its feature row.
+#[derive(Clone, Debug)]
+struct Kept {
+    index: usize,
+    features: Vec<f64>,
+}
+
+/// Bounded-memory streaming sampler over a scalar cluster variable.
+pub struct StreamingSampler {
+    bins: usize,
+    budget: usize,
+    /// Per-bin reservoir capacity (bounded memory: `bins * cap`).
+    cap: usize,
+    /// Inverse-frequency temperature (1 = proportional to rarity).
+    temperature: f64,
+    calibration: Vec<(usize, f64, Vec<f64>)>,
+    calibration_size: usize,
+    lo: f64,
+    hi: f64,
+    calibrated: bool,
+    reservoirs: Vec<Vec<Kept>>,
+    counts: Vec<u64>,
+    seen: usize,
+    rng: StdRng,
+}
+
+impl StreamingSampler {
+    /// Creates a sampler retaining `budget` of the stream, binning the
+    /// cluster variable into `bins` bins whose range is fixed after
+    /// `calibration_size` points.
+    ///
+    /// # Panics
+    /// Panics on zero bins/budget.
+    pub fn new(budget: usize, bins: usize, calibration_size: usize, seed: u64) -> Self {
+        assert!(bins > 0 && budget > 0, "degenerate streaming sampler");
+        // Per-bin capacity equals the budget so the budget stays satisfiable
+        // even when one bin holds nearly everything; memory is bounded by
+        // `bins * budget` regardless of stream length.
+        let cap = budget;
+        StreamingSampler {
+            bins,
+            budget,
+            cap,
+            temperature: 1.0,
+            calibration: Vec::with_capacity(calibration_size),
+            calibration_size: calibration_size.max(1),
+            lo: 0.0,
+            hi: 1.0,
+            calibrated: false,
+            reservoirs: vec![Vec::new(); bins],
+            counts: vec![0; bins],
+            seen: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Sets the rarity temperature (builder style); 0 = uniform across
+    /// occupied bins, 1 = proportional to inverse frequency.
+    pub fn with_temperature(mut self, t: f64) -> Self {
+        self.temperature = t;
+        self
+    }
+
+    /// Number of points observed so far.
+    pub fn seen(&self) -> usize {
+        self.seen
+    }
+
+    /// Current bounded memory use in retained points.
+    pub fn retained(&self) -> usize {
+        self.reservoirs.iter().map(Vec::len).sum::<usize>() + self.calibration.len()
+    }
+
+    #[inline]
+    fn bin_of(&self, v: f64) -> usize {
+        let t = (v - self.lo) / (self.hi - self.lo);
+        ((t * self.bins as f64) as isize).clamp(0, self.bins as isize - 1) as usize
+    }
+
+    fn calibrate(&mut self) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for (_, v, _) in &self.calibration {
+            if v.is_finite() {
+                lo = lo.min(*v);
+                hi = hi.max(*v);
+            }
+        }
+        if !lo.is_finite() || hi <= lo {
+            lo = 0.0;
+            hi = 1.0;
+        }
+        // Widen: the stream will exceed the prefix's range.
+        let span = hi - lo;
+        self.lo = lo - 0.25 * span;
+        self.hi = hi + 0.25 * span;
+        self.calibrated = true;
+        let staged: Vec<(usize, f64, Vec<f64>)> = std::mem::take(&mut self.calibration);
+        for (index, value, features) in staged {
+            self.admit(index, value, features);
+        }
+    }
+
+    fn admit(&mut self, index: usize, value: f64, features: Vec<f64>) {
+        let b = self.bin_of(value);
+        self.counts[b] += 1;
+        let res = &mut self.reservoirs[b];
+        if res.len() < self.cap {
+            res.push(Kept { index, features });
+        } else {
+            // Classic reservoir replacement: keep each of the bin's points
+            // with equal probability cap/count.
+            let j = self.rng.gen_range(0..self.counts[b]) as usize;
+            if j < self.cap {
+                res[j] = Kept { index, features };
+            }
+        }
+    }
+
+    /// Observes one point: its stream `index`, cluster-variable `value`,
+    /// and feature row.
+    pub fn push(&mut self, index: usize, value: f64, features: &[f64]) {
+        self.seen += 1;
+        if !self.calibrated {
+            self.calibration.push((index, value, features.to_vec()));
+            if self.calibration.len() >= self.calibration_size {
+                self.calibrate();
+            }
+            return;
+        }
+        self.admit(index, value, features.to_vec());
+    }
+
+    /// Finalizes the stream: allocates the budget across bins by
+    /// inverse-frequency weights and returns `(indices, feature_rows)`.
+    pub fn finish(mut self) -> (Vec<usize>, Vec<Vec<f64>>) {
+        if !self.calibrated {
+            self.calibrate();
+        }
+        let weights: Vec<f64> = self
+            .counts
+            .iter()
+            .map(|&c| if c == 0 { 0.0 } else { (1.0 / c as f64).powf(self.temperature) })
+            .collect();
+        let caps: Vec<usize> = self.reservoirs.iter().map(Vec::len).collect();
+        let alloc = allocate_budget(&weights, &caps, self.budget);
+        let mut indices = Vec::with_capacity(self.budget);
+        let mut rows = Vec::with_capacity(self.budget);
+        for (res, take) in self.reservoirs.into_iter().zip(alloc) {
+            for kept in res.into_iter().take(take) {
+                indices.push(kept.index);
+                rows.push(kept.features);
+            }
+        }
+        (indices, rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A skewed stream: 98% near zero, 2% rare tail at 10.
+    fn skewed_stream(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                if i % 50 == 0 {
+                    10.0 + (i % 7) as f64 * 0.01
+                } else {
+                    (i % 100) as f64 * 0.001
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn respects_budget_and_memory_bound() {
+        let stream = skewed_stream(10_000);
+        let budget = 200;
+        let mut s = StreamingSampler::new(budget, 20, 100, 1);
+        for (i, &v) in stream.iter().enumerate() {
+            s.push(i, v, &[v]);
+            assert!(s.retained() <= 20 * budget + 100, "memory blew up");
+        }
+        assert_eq!(s.seen(), 10_000);
+        let (idx, rows) = s.finish();
+        assert_eq!(idx.len(), budget, "kept {}", idx.len());
+        assert_eq!(idx.len(), rows.len());
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), idx.len(), "duplicate stream indices");
+    }
+
+    #[test]
+    fn overweights_rare_tail_like_maxent() {
+        let stream = skewed_stream(10_000);
+        let mut s = StreamingSampler::new(200, 20, 100, 2);
+        for (i, &v) in stream.iter().enumerate() {
+            s.push(i, v, &[v]);
+        }
+        let (_, rows) = s.finish();
+        let tail = rows.iter().filter(|r| r[0] > 5.0).count() as f64 / rows.len() as f64;
+        // Tail is 2% of the stream; inverse-frequency retention must boost
+        // it several-fold.
+        assert!(tail > 0.10, "tail fraction {tail}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let stream = skewed_stream(5_000);
+        let run = |seed| {
+            let mut s = StreamingSampler::new(100, 10, 50, seed);
+            for (i, &v) in stream.iter().enumerate() {
+                s.push(i, v, &[v]);
+            }
+            s.finish().0
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn short_stream_finishes_before_calibration() {
+        let mut s = StreamingSampler::new(10, 5, 1000, 0);
+        for i in 0..8 {
+            s.push(i, i as f64, &[i as f64]);
+        }
+        let (idx, _) = s.finish();
+        assert!(!idx.is_empty());
+        assert!(idx.len() <= 8);
+    }
+
+    #[test]
+    fn temperature_zero_is_uniform_over_bins() {
+        let stream = skewed_stream(5_000);
+        let mut s = StreamingSampler::new(100, 10, 100, 3).with_temperature(0.0);
+        for (i, &v) in stream.iter().enumerate() {
+            s.push(i, v, &[v]);
+        }
+        let (_, rows) = s.finish();
+        // Occupied bins are the dense cluster (bins near 0) and the tail
+        // bin; uniform split keeps roughly half and half.
+        let tail = rows.iter().filter(|r| r[0] > 5.0).count() as f64 / rows.len() as f64;
+        assert!(tail > 0.2, "uniform-over-bins tail {tail}");
+    }
+}

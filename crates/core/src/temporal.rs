@@ -1,0 +1,227 @@
+//! Temporal (snapshot-level) intelligent sampling (paper §4.3).
+//!
+//! CFD outputs are usually written at a fixed cadence chosen *a priori*,
+//! so periodic flows (vortex shedding in OF2D) produce many snapshots that
+//! occupy the same region of the input PDF. This module scores snapshots by
+//! distributional novelty and keeps only the informative ones: a greedy
+//! selection that repeatedly adds the snapshot whose feature PDF diverges
+//! most (max KL) from the mixture of already-selected snapshots.
+
+use sickle_field::stats::{kl_divergence, shannon_entropy};
+use sickle_field::{Dataset, Histogram};
+
+/// Uniform-stride baseline: `count` snapshot indices evenly spaced over
+/// `total` (always includes index 0).
+///
+/// # Panics
+/// Panics if `count == 0` or `count > total`.
+pub fn uniform_stride(total: usize, count: usize) -> Vec<usize> {
+    assert!(count > 0 && count <= total, "invalid stride selection {count}/{total}");
+    (0..count).map(|i| i * total / count).collect()
+}
+
+/// Per-snapshot histograms of `var` over a shared global range.
+fn snapshot_histograms(dataset: &Dataset, var: &str, bins: usize) -> Vec<Histogram> {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for s in &dataset.snapshots {
+        for &v in s.expect_var(var) {
+            if v.is_finite() {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+    }
+    if !lo.is_finite() {
+        lo = 0.0;
+        hi = 1.0;
+    }
+    dataset
+        .snapshots
+        .iter()
+        .map(|s| {
+            let mut h = Histogram::new(lo, hi, bins);
+            h.extend(s.expect_var(var));
+            h
+        })
+        .collect()
+}
+
+/// Greedy maximum-novelty snapshot selection: seeds with the
+/// highest-entropy snapshot, then repeatedly adds the snapshot maximizing
+/// `KL(candidate ‖ mixture-of-selected)`. Returns `count` snapshot indices
+/// in selection order.
+///
+/// # Panics
+/// Panics if `count == 0` or exceeds the number of snapshots.
+pub fn novelty_select(dataset: &Dataset, var: &str, count: usize, bins: usize) -> Vec<usize> {
+    let total = dataset.num_snapshots();
+    assert!(count > 0 && count <= total, "invalid selection {count}/{total}");
+    let hists = snapshot_histograms(dataset, var, bins);
+    let pmfs: Vec<Vec<f64>> = hists.iter().map(Histogram::pmf).collect();
+
+    // Seed: highest-entropy snapshot (broadest coverage on its own).
+    let seed = pmfs
+        .iter()
+        .map(|p| shannon_entropy(p))
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    let mut selected = vec![seed];
+    let mut mixture = hists[seed].clone();
+
+    while selected.len() < count {
+        let mix_pmf = mixture.pmf();
+        let mut best = None;
+        let mut best_kl = f64::NEG_INFINITY;
+        for (i, p) in pmfs.iter().enumerate() {
+            if selected.contains(&i) {
+                continue;
+            }
+            let kl = kl_divergence(p, &mix_pmf);
+            if kl > best_kl {
+                best_kl = kl;
+                best = Some(i);
+            }
+        }
+        let pick = best.expect("count <= total guarantees a candidate");
+        selected.push(pick);
+        mixture.merge(&hists[pick]);
+    }
+    selected
+}
+
+/// Adaptive online snapshot selection — the paper's "adaptive temporal
+/// sampling responsive to transient phenomena" extension.
+///
+/// Snapshots arrive in time order; one is kept whenever its feature PDF
+/// diverges from the mixture of *already kept* snapshots by more than
+/// `threshold` nats (the first snapshot is always kept). Steady/periodic
+/// stretches therefore collapse to a few representatives while transients
+/// are always captured, without knowing the snapshot count in advance.
+pub fn adaptive_select(dataset: &Dataset, var: &str, bins: usize, threshold: f64) -> Vec<usize> {
+    assert!(dataset.num_snapshots() > 0, "empty dataset");
+    let hists = snapshot_histograms(dataset, var, bins);
+    let mut selected = vec![0usize];
+    let mut mixture = hists[0].clone();
+    for (i, h) in hists.iter().enumerate().skip(1) {
+        let kl = kl_divergence(&h.pmf(), &mixture.pmf());
+        if kl > threshold {
+            selected.push(i);
+            mixture.merge(h);
+        }
+    }
+    selected
+}
+
+/// Per-snapshot novelty scores against the full-dataset mixture — a cheap
+/// diagnostic for plotting which snapshots carry new information.
+pub fn novelty_scores(dataset: &Dataset, var: &str, bins: usize) -> Vec<f64> {
+    let hists = snapshot_histograms(dataset, var, bins);
+    let mut mixture = hists[0].clone();
+    for h in &hists[1..] {
+        mixture.merge(h);
+    }
+    let mix_pmf = mixture.pmf();
+    hists.iter().map(|h| kl_divergence(&h.pmf(), &mix_pmf)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sickle_field::{DatasetMeta, Grid3, Snapshot};
+
+    /// Builds a dataset whose snapshots mostly repeat one distribution, with
+    /// one "novel" snapshot at a shifted range.
+    fn repetitive_dataset(novel_at: usize, total: usize) -> Dataset {
+        let grid = Grid3::new(4, 4, 4, 1.0, 1.0, 1.0);
+        let meta = DatasetMeta::new("T", "test", "q", &["q"], &[]);
+        let mut d = Dataset::new(meta);
+        for s in 0..total {
+            let data: Vec<f64> = (0..64)
+                .map(|i| {
+                    if s == novel_at {
+                        5.0 + (i % 8) as f64 * 0.1 // shifted distribution
+                    } else {
+                        (i % 8) as f64 * 0.1 + (s % 3) as f64 * 0.01 // repeats
+                    }
+                })
+                .collect();
+            d.push(Snapshot::new(grid, s as f64).with_var("q", data));
+        }
+        d
+    }
+
+    #[test]
+    fn uniform_stride_is_even() {
+        assert_eq!(uniform_stride(10, 5), vec![0, 2, 4, 6, 8]);
+        assert_eq!(uniform_stride(10, 10), (0..10).collect::<Vec<_>>());
+        assert_eq!(uniform_stride(7, 1), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid stride")]
+    fn uniform_stride_rejects_zero() {
+        let _ = uniform_stride(10, 0);
+    }
+
+    #[test]
+    fn novelty_select_finds_the_novel_snapshot() {
+        let d = repetitive_dataset(7, 12);
+        let sel = novelty_select(&d, "q", 2, 32);
+        assert!(sel.contains(&7), "novel snapshot 7 not in {sel:?}");
+    }
+
+    #[test]
+    fn novelty_select_returns_requested_count_distinct() {
+        let d = repetitive_dataset(3, 10);
+        let sel = novelty_select(&d, "q", 6, 32);
+        let mut s = sel.clone();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 6);
+    }
+
+    #[test]
+    fn novelty_scores_peak_at_novel_snapshot() {
+        let d = repetitive_dataset(4, 10);
+        let scores = novelty_scores(&d, "q", 32);
+        let argmax = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(argmax, 4, "scores {scores:?}");
+    }
+
+    #[test]
+    fn adaptive_select_catches_transient() {
+        let d = repetitive_dataset(7, 15);
+        let sel = adaptive_select(&d, "q", 32, 0.5);
+        assert!(sel.contains(&0), "first snapshot always kept");
+        assert!(sel.contains(&7), "transient missed: {sel:?}");
+        // Repetitive stretches collapse: far fewer than all snapshots kept.
+        assert!(sel.len() < 8, "kept too many: {sel:?}");
+    }
+
+    #[test]
+    fn adaptive_threshold_controls_count() {
+        let d = repetitive_dataset(5, 12);
+        let loose = adaptive_select(&d, "q", 32, 1e-6);
+        // KL against epsilon-smoothed empty bins tops out near ln(1/eps) ~ 28,
+        // so "unreachable" means beyond that.
+        let tight = adaptive_select(&d, "q", 32, 100.0);
+        assert!(loose.len() >= tight.len());
+        assert_eq!(tight, vec![0], "unreachable threshold keeps only the seed");
+    }
+
+    #[test]
+    fn selecting_all_snapshots_is_permutation() {
+        let d = repetitive_dataset(1, 6);
+        let mut sel = novelty_select(&d, "q", 6, 16);
+        sel.sort_unstable();
+        assert_eq!(sel, (0..6).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,294 @@
+//! Uniform-in-phase-space (UIPS) sampling, after Hassanaly et al. (2023).
+//!
+//! The goal is a sample whose *phase-space* (feature-space) distribution is
+//! uniform over the occupied region: estimate the data density `ρ(x)` and
+//! accept each point with probability `p_i = min(1, C/ρ_i)`, with `C` chosen
+//! so the expected accepted count equals the budget.
+//!
+//! The reference implementation offers normalizing flows or binning for the
+//! density estimate; like the paper's temporal pipeline we use binning
+//! ("binning was adopted ... due to implementation simplicity"): a joint
+//! histogram over all feature dimensions, held in a hash map so only
+//! occupied bins cost memory. `C` is found by bisection (the acceptance
+//! count is monotone in `C`), and an optional refinement loop re-estimates
+//! the density on the accepted set — the knob paper §4.2's iterative flows
+//! would tune.
+
+use rand::rngs::StdRng;
+use sickle_field::FeatureMatrix;
+use std::collections::HashMap;
+
+use crate::samplers::PointSampler;
+
+/// UIPS sampler configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct UipsSampler {
+    /// Bins per feature dimension for the joint density histogram.
+    pub bins_per_dim: usize,
+    /// Density-refinement iterations (0 = single-shot acceptance).
+    pub refine_iterations: usize,
+}
+
+impl Default for UipsSampler {
+    fn default() -> Self {
+        UipsSampler { bins_per_dim: 10, refine_iterations: 1 }
+    }
+}
+
+/// Joint-histogram bin key for a feature row.
+fn bin_key(row: &[f64], mins: &[f64], maxs: &[f64], bins: usize) -> u64 {
+    let mut key: u64 = 0;
+    for (j, &v) in row.iter().enumerate() {
+        let span = maxs[j] - mins[j];
+        let b = if span <= 0.0 {
+            0
+        } else {
+            (((v - mins[j]) / span * bins as f64) as usize).min(bins - 1)
+        };
+        key = key.wrapping_mul(1_000_003).wrapping_add(b as u64 + 1);
+        let _ = j;
+    }
+    key
+}
+
+/// Finds the per-bin cap `c` such that `Σ min(count_b, c) ≈ budget` by
+/// bisection (monotone in `c`).
+fn solve_cap(counts: &[f64], budget: usize) -> f64 {
+    let expected = |c: f64| -> f64 { counts.iter().map(|&k| k.min(c)).sum() };
+    let max_c = counts.iter().cloned().fold(0.0, f64::max).max(1.0);
+    let (mut lo, mut hi) = (0.0, max_c);
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if expected(mid) < budget as f64 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Finds `C` such that `Σ min(1, C/ρ_i) ≈ budget` by bisection — the
+/// continuous acceptance-probability form of the UIPS threshold, exposed for
+/// diagnostic use and tested directly.
+pub fn solve_threshold(rho: &[f64], budget: usize) -> f64 {
+    let expected = |c: f64| -> f64 {
+        rho.iter().map(|&r| if r <= 0.0 { 1.0 } else { (c / r).min(1.0) }).sum()
+    };
+    let max_rho = rho.iter().cloned().fold(0.0, f64::max).max(1.0);
+    let (mut lo, mut hi) = (0.0, max_rho);
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if expected(mid) < budget as f64 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Groups row indices by joint-histogram bin.
+fn group_by_bin(features: &FeatureMatrix, bins: usize) -> Vec<Vec<usize>> {
+    let (mins, maxs) = features.column_ranges();
+    let mut map: HashMap<u64, Vec<usize>> = HashMap::new();
+    for i in 0..features.len() {
+        map.entry(bin_key(features.row(i), &mins, &maxs, bins))
+            .or_default()
+            .push(i);
+    }
+    let mut groups: Vec<Vec<usize>> = map.into_values().collect();
+    // Hash-map iteration order is nondeterministic; sort by first member for
+    // reproducibility under a fixed seed.
+    groups.sort_by_key(|g| g[0]);
+    groups
+}
+
+impl PointSampler for UipsSampler {
+    fn name(&self) -> &'static str {
+        "uips"
+    }
+
+    fn select(&self, features: &FeatureMatrix, _c: usize, budget: usize, rng: &mut StdRng) -> Vec<usize> {
+        use rand::seq::SliceRandom;
+        let n = features.len();
+        if budget >= n {
+            return (0..n).collect();
+        }
+        if budget == 0 || n == 0 {
+            return Vec::new();
+        }
+
+        // Iterative refinement: if the binning is too coarse to spread the
+        // budget (few occupied bins each holding a large quota), double the
+        // resolution and re-bin, up to `refine_iterations` times. This is
+        // the binned analogue of UIPS's iterative flow refinement.
+        let mut bins = self.bins_per_dim.max(2);
+        let mut groups = group_by_bin(features, bins);
+        for _ in 0..self.refine_iterations {
+            if groups.len() * 2 < budget {
+                bins *= 2;
+                groups = group_by_bin(features, bins);
+            } else {
+                break;
+            }
+        }
+
+        // Solve the per-bin cap `c` so that sum(min(count_b, c)) == budget:
+        // accepted samples are then uniform across occupied phase-space
+        // bins, saturating only sparse bins.
+        let counts: Vec<f64> = groups.iter().map(|g| g.len() as f64).collect();
+        let cap = solve_cap(&counts, budget);
+        let base = cap.floor();
+        let mut quotas: Vec<usize> = counts.iter().map(|&c| c.min(base) as usize).collect();
+        let mut assigned: usize = quotas.iter().sum();
+
+        // Distribute the fractional remainder one-by-one among bins with
+        // spare capacity, in shuffled order (unbiased tie-breaking).
+        let mut order: Vec<usize> = (0..groups.len()).collect();
+        order.shuffle(rng);
+        let mut cursor = 0;
+        while assigned < budget {
+            let b = order[cursor % order.len()];
+            if quotas[b] < groups[b].len() {
+                quotas[b] += 1;
+                assigned += 1;
+            }
+            cursor += 1;
+            debug_assert!(cursor < order.len() * (budget + 2), "quota loop stuck");
+        }
+
+        // Draw uniformly within each bin.
+        let mut picked = Vec::with_capacity(budget);
+        for (g, &q) in groups.iter().zip(quotas.iter()) {
+            if q == 0 {
+                continue;
+            }
+            let chosen = rand::seq::index::sample(rng, g.len(), q.min(g.len()));
+            picked.extend(chosen.into_iter().map(|j| g[j]));
+        }
+        picked
+    }
+}
+
+/// Phase-space occupancy uniformity diagnostic (used for the paper's Fig. 4):
+/// bins the selected rows into the same joint histogram and returns the
+/// coefficient of variation of occupied-bin counts. Uniform coverage → low
+/// CoV; clumping → high CoV.
+pub fn phase_space_cov(features: &FeatureMatrix, indices: &[usize], bins_per_dim: usize) -> f64 {
+    if indices.is_empty() {
+        return 0.0;
+    }
+    let (mins, maxs) = features.column_ranges();
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    for &i in indices {
+        *counts
+            .entry(bin_key(features.row(i), &mins, &maxs, bins_per_dim.max(2)))
+            .or_insert(0) += 1;
+    }
+    let vals: Vec<f64> = counts.values().map(|&c| c as f64).collect();
+    let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64;
+    var.sqrt() / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::samplers::{validate_selection, RandomSampler};
+    use rand::SeedableRng;
+
+    /// Heavily skewed 1D data: 95% in a dense blob, 5% spread wide.
+    fn skewed(n: usize) -> FeatureMatrix {
+        let mut data = Vec::with_capacity(n);
+        for i in 0..n {
+            if i % 20 == 0 {
+                // Sparse points pseudo-uniform over 0..10.
+                data.push((i.wrapping_mul(7919) % 1000) as f64 * 0.01);
+            } else {
+                data.push(5.0 + (i % 7) as f64 * 0.001); // dense blob at 5
+            }
+        }
+        FeatureMatrix::new(vec!["q".into()], data)
+    }
+
+    #[test]
+    fn contract_holds() {
+        let features = skewed(800);
+        for &budget in &[0usize, 1, 80, 799, 800, 2000] {
+            let mut rng = StdRng::seed_from_u64(1);
+            let idx = UipsSampler::default().select(&features, 0, budget, &mut rng);
+            validate_selection(&idx, 800, budget);
+            assert_eq!(idx.len(), budget.min(800));
+        }
+    }
+
+    #[test]
+    fn flattens_skewed_density() {
+        // UIPS-selected points should cover phase space more uniformly than
+        // a random draw from the skewed source.
+        let features = skewed(2000);
+        let budget = 150;
+        let mut rng = StdRng::seed_from_u64(2);
+        let uips = UipsSampler::default().select(&features, 0, budget, &mut rng);
+        let mut rng = StdRng::seed_from_u64(2);
+        let rand_idx = RandomSampler.select(&features, 0, budget, &mut rng);
+        let cov_uips = phase_space_cov(&features, &uips, 10);
+        let cov_rand = phase_space_cov(&features, &rand_idx, 10);
+        assert!(
+            cov_uips < 0.7 * cov_rand,
+            "UIPS CoV {cov_uips:.3} should beat random CoV {cov_rand:.3}"
+        );
+    }
+
+    #[test]
+    fn threshold_solver_hits_budget() {
+        let rho = vec![1.0, 1.0, 10.0, 10.0, 100.0];
+        let c = solve_threshold(&rho, 3);
+        let expected: f64 = rho.iter().map(|&r| (c / r).min(1.0)).sum();
+        assert!((expected - 3.0).abs() < 1e-6, "expected {expected}");
+    }
+
+    #[test]
+    fn uniform_data_acceptance_is_uniform() {
+        let data: Vec<f64> = (0..1000).map(|i| i as f64 / 1000.0).collect();
+        let features = FeatureMatrix::new(vec!["q".into()], data);
+        let mut rng = StdRng::seed_from_u64(3);
+        let idx = UipsSampler::default().select(&features, 0, 100, &mut rng);
+        // Every decile of the range should be populated.
+        let mut deciles = [0usize; 10];
+        for &i in &idx {
+            let v = features.row(i)[0];
+            deciles[((v * 10.0) as usize).min(9)] += 1;
+        }
+        assert!(deciles.iter().all(|&d| d > 0), "deciles {deciles:?}");
+    }
+
+    #[test]
+    fn constant_features_dont_crash() {
+        let features = FeatureMatrix::new(vec!["q".into()], vec![3.0; 50]);
+        let mut rng = StdRng::seed_from_u64(4);
+        let idx = UipsSampler::default().select(&features, 0, 10, &mut rng);
+        validate_selection(&idx, 50, 10);
+        assert_eq!(idx.len(), 10);
+    }
+
+    #[test]
+    fn multidim_keys_distinguish_dims() {
+        // (0.9, 0.1) and (0.1, 0.9) must land in different joint bins.
+        let mins = vec![0.0, 0.0];
+        let maxs = vec![1.0, 1.0];
+        let a = bin_key(&[0.9, 0.1], &mins, &maxs, 10);
+        let b = bin_key(&[0.1, 0.9], &mins, &maxs, 10);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn phase_space_cov_zero_for_empty() {
+        let features = skewed(10);
+        assert_eq!(phase_space_cov(&features, &[], 10), 0.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Energy report type and formatting, matching the log lines the paper's
+//! artifact instructions grep for (`Total Energy Consumed`, `Elapsed Time`).
+
+use serde::{Deserialize, Serialize};
+
+/// The result of an [`EnergyMeter`](crate::EnergyMeter) accounting pass.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Machine model name.
+    pub machine: String,
+    /// FLOPs executed.
+    pub flops: u64,
+    /// Bytes moved.
+    pub bytes: u64,
+    /// Energy attributed to computation (J).
+    pub compute_joules: f64,
+    /// Energy attributed to data movement (J).
+    pub movement_joules: f64,
+    /// Idle/base energy over the modeled duration (J).
+    pub idle_joules: f64,
+    /// Modeled execution time (s), deterministic from the counts.
+    pub modeled_secs: f64,
+    /// Observed wall-clock time (s), host-dependent, for reference only.
+    pub wall_secs: f64,
+}
+
+impl EnergyReport {
+    /// Total modeled energy in joules.
+    pub fn total_joules(&self) -> f64 {
+        self.compute_joules + self.movement_joules + self.idle_joules
+    }
+
+    /// Total modeled energy in kilojoules (the unit of the paper's Fig. 8).
+    pub fn total_kilojoules(&self) -> f64 {
+        self.total_joules() / 1e3
+    }
+
+    /// Sums two reports from the same machine model (e.g. sampling +
+    /// training phases, as the artifact instructions do: "Add CPU energy
+    /// from subsampling to total energy from training").
+    ///
+    /// # Panics
+    /// Panics if the machine names differ.
+    pub fn combined(&self, other: &EnergyReport) -> EnergyReport {
+        EnergyReport {
+            machine: if self.machine == other.machine {
+                self.machine.clone()
+            } else {
+                format!("{}+{}", self.machine, other.machine)
+            },
+            flops: self.flops + other.flops,
+            bytes: self.bytes + other.bytes,
+            compute_joules: self.compute_joules + other.compute_joules,
+            movement_joules: self.movement_joules + other.movement_joules,
+            idle_joules: self.idle_joules + other.idle_joules,
+            modeled_secs: self.modeled_secs + other.modeled_secs,
+            wall_secs: self.wall_secs + other.wall_secs,
+        }
+    }
+
+    /// The paper-style log block.
+    pub fn log_lines(&self) -> String {
+        format!(
+            "Total Energy Consumed: {:.3} kJ\nElapsed Time: {:.3} s (modeled), {:.3} s (wall)\nFLOPs: {} Bytes: {}",
+            self.total_kilojoules(),
+            self.modeled_secs,
+            self.wall_secs,
+            self.flops,
+            self.bytes
+        )
+    }
+}
+
+impl std::fmt::Display for EnergyReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] {:.3} kJ (compute {:.3}, movement {:.3}, idle {:.3})",
+            self.machine,
+            self.total_kilojoules(),
+            self.compute_joules / 1e3,
+            self.movement_joules / 1e3,
+            self.idle_joules / 1e3
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> EnergyReport {
+        EnergyReport {
+            machine: "m".to_string(),
+            flops: 100,
+            bytes: 10,
+            compute_joules: 1.0,
+            movement_joules: 2.0,
+            idle_joules: 3.0,
+            modeled_secs: 4.0,
+            wall_secs: 5.0,
+        }
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let r = sample_report();
+        assert_eq!(r.total_joules(), 6.0);
+        assert_eq!(r.total_kilojoules(), 0.006);
+    }
+
+    #[test]
+    fn combined_sums_fields() {
+        let r = sample_report().combined(&sample_report());
+        assert_eq!(r.flops, 200);
+        assert_eq!(r.total_joules(), 12.0);
+        assert_eq!(r.machine, "m");
+    }
+
+    #[test]
+    fn combined_different_machines_concatenates_names() {
+        let mut other = sample_report();
+        other.machine = "n".to_string();
+        let r = sample_report().combined(&other);
+        assert_eq!(r.machine, "m+n");
+    }
+
+    #[test]
+    fn log_lines_contain_paper_grep_targets() {
+        let lines = sample_report().log_lines();
+        assert!(lines.contains("Total Energy Consumed"));
+        assert!(lines.contains("Elapsed Time"));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = sample_report().to_string();
+        assert!(s.starts_with("[m]"));
+        assert!(s.contains("kJ"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let r = sample_report();
+        let j = serde_json::to_string(&r).unwrap();
+        let back: EnergyReport = serde_json::from_str(&j).unwrap();
+        assert_eq!(back.flops, r.flops);
+        assert_eq!(back.total_joules(), r.total_joules());
+    }
+}

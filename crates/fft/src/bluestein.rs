@@ -1,0 +1,222 @@
+//! Arbitrary-length FFT via Bluestein's chirp-z algorithm.
+//!
+//! The paper's real grids are not powers of two (SST-P1F4 is 514×512×256;
+//! SST-P1F100 is 4098×1024×4086), so a production port needs transforms of
+//! arbitrary length. Bluestein rewrites a length-`n` DFT as a circular
+//! convolution of chirp-modulated sequences, evaluated with one
+//! power-of-two FFT pair of length `m ≥ 2n − 1`:
+//!
+//! ```text
+//! X_k = conj(c_k) · IFFT( FFT(x·c) ⊙ FFT(ĉ) )_k,   c_j = exp(-iπ j²/n)
+//! ```
+//!
+//! [`AnyFft`] dispatches: power-of-two lengths use the radix-2
+//! [`FftPlan`](crate::FftPlan) directly; everything else uses Bluestein.
+
+use crate::complex::Complex;
+use crate::plan::FftPlan;
+
+/// Plan for forward/inverse complex FFTs of *any* fixed length.
+#[derive(Clone, Debug)]
+pub struct AnyFft {
+    n: usize,
+    kind: Kind,
+}
+
+#[derive(Clone, Debug)]
+enum Kind {
+    Pow2(FftPlan),
+    Bluestein(Bluestein),
+}
+
+#[derive(Clone, Debug)]
+struct Bluestein {
+    /// Padded power-of-two length.
+    m: usize,
+    inner: FftPlan,
+    /// Chirp `c_j = exp(-i π j² / n)` for j = 0..n.
+    chirp: Vec<Complex>,
+    /// FFT of the zero-padded conjugate-chirp kernel (length m).
+    kernel_hat: Vec<Complex>,
+}
+
+impl Bluestein {
+    fn new(n: usize) -> Self {
+        let m = (2 * n - 1).next_power_of_two();
+        let inner = FftPlan::new(m);
+        // j^2 mod 2n keeps the phase argument exact for large j.
+        let chirp: Vec<Complex> = (0..n)
+            .map(|j| {
+                let jj = (j * j) % (2 * n);
+                Complex::from_polar_unit(-std::f64::consts::PI * jj as f64 / n as f64)
+            })
+            .collect();
+        let mut kernel = vec![Complex::ZERO; m];
+        kernel[0] = chirp[0].conj();
+        for j in 1..n {
+            let v = chirp[j].conj();
+            kernel[j] = v;
+            kernel[m - j] = v;
+        }
+        inner.forward(&mut kernel);
+        Bluestein { m, inner, chirp, kernel_hat: kernel }
+    }
+
+    fn forward(&self, data: &mut [Complex]) {
+        let n = data.len();
+        let mut a = vec![Complex::ZERO; self.m];
+        for j in 0..n {
+            a[j] = data[j] * self.chirp[j];
+        }
+        self.inner.forward(&mut a);
+        for (v, &k) in a.iter_mut().zip(self.kernel_hat.iter()) {
+            *v = *v * k;
+        }
+        self.inner.inverse(&mut a);
+        for k in 0..n {
+            data[k] = a[k] * self.chirp[k];
+        }
+    }
+}
+
+impl AnyFft {
+    /// Creates a plan of length `n ≥ 1`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "FFT length must be positive");
+        let kind = if crate::is_power_of_two(n) {
+            Kind::Pow2(FftPlan::new(n))
+        } else {
+            Kind::Bluestein(Bluestein::new(n))
+        };
+        AnyFft { n, kind }
+    }
+
+    /// Transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false; for API symmetry.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Returns true if this plan uses the Bluestein path.
+    pub fn is_bluestein(&self) -> bool {
+        matches!(self.kind, Kind::Bluestein(_))
+    }
+
+    /// In-place forward transform.
+    ///
+    /// # Panics
+    /// Panics on buffer length mismatch.
+    pub fn forward(&self, data: &mut [Complex]) {
+        assert_eq!(data.len(), self.n, "buffer length mismatch");
+        match &self.kind {
+            Kind::Pow2(p) => p.forward(data),
+            Kind::Bluestein(b) => b.forward(data),
+        }
+    }
+
+    /// In-place inverse transform (normalized by `1/n`).
+    ///
+    /// # Panics
+    /// Panics on buffer length mismatch.
+    pub fn inverse(&self, data: &mut [Complex]) {
+        assert_eq!(data.len(), self.n, "buffer length mismatch");
+        match &self.kind {
+            Kind::Pow2(p) => p.inverse(data),
+            Kind::Bluestein(b) => {
+                // IFFT(x) = conj(FFT(conj(x))) / n.
+                for v in data.iter_mut() {
+                    *v = v.conj();
+                }
+                b.forward(data);
+                let inv = 1.0 / self.n as f64;
+                for v in data.iter_mut() {
+                    *v = v.conj().scale(inv);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft_naive;
+
+    fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
+        for (x, y) in a.iter().zip(b) {
+            assert!(
+                (x.re - y.re).abs() < tol && (x.im - y.im).abs() < tol,
+                "{x:?} vs {y:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft_for_awkward_sizes() {
+        for &n in &[1usize, 2, 3, 5, 6, 7, 9, 12, 17, 30, 100, 257] {
+            let input: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.71).sin(), (i as f64 * 0.37).cos()))
+                .collect();
+            let expected = dft_naive(&input);
+            let mut got = input.clone();
+            AnyFft::new(n).forward(&mut got);
+            assert_close(&got, &expected, 1e-8 * n as f64);
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity_arbitrary_sizes() {
+        for &n in &[3usize, 10, 37, 100, 514] {
+            let plan = AnyFft::new(n);
+            let input: Vec<Complex> = (0..n)
+                .map(|i| Complex::new(((i * 31) % 17) as f64 - 8.0, ((i * 7) % 13) as f64))
+                .collect();
+            let mut data = input.clone();
+            plan.forward(&mut data);
+            plan.inverse(&mut data);
+            assert_close(&data, &input, 1e-8);
+        }
+    }
+
+    #[test]
+    fn paper_grid_514_single_mode() {
+        // The SST-P1F4 x-extent. exp(2 pi i 5 j / 514) -> peak at k = 5.
+        let n = 514;
+        let input: Vec<Complex> = (0..n)
+            .map(|j| Complex::from_polar_unit(2.0 * std::f64::consts::PI * 5.0 * j as f64 / n as f64))
+            .collect();
+        let mut data = input;
+        let plan = AnyFft::new(n);
+        assert!(plan.is_bluestein());
+        plan.forward(&mut data);
+        for (k, v) in data.iter().enumerate() {
+            let expect = if k == 5 { n as f64 } else { 0.0 };
+            assert!((v.abs() - expect).abs() < 1e-6, "mode {k}: {}", v.abs());
+        }
+    }
+
+    #[test]
+    fn power_of_two_dispatches_to_radix2() {
+        assert!(!AnyFft::new(64).is_bluestein());
+        assert!(AnyFft::new(100).is_bluestein());
+    }
+
+    #[test]
+    fn parseval_holds_for_bluestein() {
+        let n = 37;
+        let input: Vec<Complex> =
+            (0..n).map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.5).cos())).collect();
+        let time_energy: f64 = input.iter().map(|z| z.norm_sqr()).sum();
+        let mut data = input;
+        AnyFft::new(n).forward(&mut data);
+        let freq_energy: f64 = data.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-8 * time_energy);
+    }
+}

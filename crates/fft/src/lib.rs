@@ -1,0 +1,83 @@
+//! # sickle-fft
+//!
+//! A small, dependency-light FFT library supporting power-of-two complex and
+//! real transforms in one, two, and three dimensions, with rayon-parallel
+//! multi-dimensional transforms.
+//!
+//! This crate exists because the paper's 3D turbulence substrates (SST and
+//! GESTS) are produced by Fourier pseudo-spectral solvers; re-implementing the
+//! transform from scratch keeps the reproduction self-contained.
+//!
+//! ## Example
+//!
+//! ```
+//! use sickle_fft::{Complex, FftPlan};
+//!
+//! let plan = FftPlan::new(8);
+//! let mut data: Vec<Complex> = (0..8).map(|i| Complex::new(i as f64, 0.0)).collect();
+//! let orig = data.clone();
+//! plan.forward(&mut data);
+//! plan.inverse(&mut data);
+//! for (a, b) in data.iter().zip(orig.iter()) {
+//!     assert!((a.re - b.re).abs() < 1e-12);
+//! }
+//! ```
+
+mod bluestein;
+mod complex;
+mod nd;
+mod plan;
+mod real;
+
+pub use bluestein::AnyFft;
+pub use complex::Complex;
+pub use nd::{Fft2d, Fft3d};
+pub use plan::FftPlan;
+pub use real::RealFft;
+
+/// Returns `true` if `n` is a power of two (and nonzero).
+pub fn is_power_of_two(n: usize) -> bool {
+    n != 0 && n & (n - 1) == 0
+}
+
+/// Naive O(n^2) discrete Fourier transform, used as a reference in tests and
+/// for tiny transforms where plan setup is not worthwhile.
+pub fn dft_naive(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    let mut out = vec![Complex::ZERO; n];
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut acc = Complex::ZERO;
+        for (j, &x) in input.iter().enumerate() {
+            let ang = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+            acc += x * Complex::new(ang.cos(), ang.sin());
+        }
+        *o = acc;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_of_two_detection() {
+        assert!(is_power_of_two(1));
+        assert!(is_power_of_two(2));
+        assert!(is_power_of_two(1024));
+        assert!(!is_power_of_two(0));
+        assert!(!is_power_of_two(3));
+        assert!(!is_power_of_two(1000));
+    }
+
+    #[test]
+    fn naive_dft_of_impulse_is_flat() {
+        let mut x = vec![Complex::ZERO; 8];
+        x[0] = Complex::new(1.0, 0.0);
+        let y = dft_naive(&x);
+        for v in y {
+            assert!((v.re - 1.0).abs() < 1e-12);
+            assert!(v.im.abs() < 1e-12);
+        }
+    }
+}

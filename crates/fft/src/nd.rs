@@ -1,0 +1,290 @@
+//! Multi-dimensional FFTs over row-major buffers, parallelized with rayon.
+//!
+//! Layouts:
+//! - 2D: `index = x * ny + y` (y contiguous)
+//! - 3D: `index = (x * ny + y) * nz + z` (z contiguous)
+//!
+//! Transforms along non-contiguous axes gather each pencil into a scratch
+//! buffer, transform it, and scatter back; pencils are processed in parallel.
+
+use rayon::prelude::*;
+
+use crate::complex::Complex;
+use crate::plan::FftPlan;
+
+/// Plan for 2D complex FFTs of fixed shape `(nx, ny)`.
+#[derive(Clone, Debug)]
+pub struct Fft2d {
+    nx: usize,
+    ny: usize,
+    plan_x: FftPlan,
+    plan_y: FftPlan,
+}
+
+/// Direction selector used internally by the axis kernels.
+#[derive(Clone, Copy, PartialEq)]
+enum Dir {
+    Forward,
+    Inverse,
+}
+
+fn transform_contiguous(plan: &FftPlan, data: &mut [Complex], dir: Dir) {
+    let n = plan.len();
+    data.par_chunks_mut(n).for_each(|row| match dir {
+        Dir::Forward => plan.forward(row),
+        Dir::Inverse => plan.inverse_unnormalized(row),
+    });
+}
+
+/// Transforms pencils of length `count` spaced `stride` apart; there are
+/// `outer * inner` pencils, where a pencil `(o, i)` starts at
+/// `o * block + i` with `block = count * stride`.
+fn transform_strided(
+    plan: &FftPlan,
+    data: &mut [Complex],
+    outer: usize,
+    inner: usize,
+    stride: usize,
+    dir: Dir,
+) {
+    let count = plan.len();
+    let block = count * stride;
+    // Each (outer, inner) pencil touches a disjoint set of indices, so we
+    // parallelize over pencils via unsafe shared access wrapped in a raw
+    // pointer; disjointness is guaranteed by the index arithmetic.
+    struct SendPtr(*mut Complex);
+    unsafe impl Send for SendPtr {}
+    unsafe impl Sync for SendPtr {}
+    impl SendPtr {
+        #[inline]
+        fn get(&self) -> *mut Complex {
+            self.0
+        }
+    }
+    let ptr = SendPtr(data.as_mut_ptr());
+    (0..outer * inner).into_par_iter().for_each_init(
+        || vec![Complex::ZERO; count],
+        |scratch, pid| {
+            let o = pid / inner;
+            let i = pid % inner;
+            let base = o * block + i;
+            let p = ptr.get();
+            unsafe {
+                for (k, s) in scratch.iter_mut().enumerate() {
+                    *s = *p.add(base + k * stride);
+                }
+            }
+            match dir {
+                Dir::Forward => plan.forward(scratch),
+                Dir::Inverse => plan.inverse_unnormalized(scratch),
+            }
+            unsafe {
+                for (k, s) in scratch.iter().enumerate() {
+                    *p.add(base + k * stride) = *s;
+                }
+            }
+        },
+    );
+}
+
+impl Fft2d {
+    /// Creates a 2D plan; both dimensions must be powers of two.
+    pub fn new(nx: usize, ny: usize) -> Self {
+        Fft2d { nx, ny, plan_x: FftPlan::new(nx), plan_y: FftPlan::new(ny) }
+    }
+
+    /// Shape `(nx, ny)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Returns true if the grid is degenerate.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// In-place forward 2D transform.
+    pub fn forward(&self, data: &mut [Complex]) {
+        assert_eq!(data.len(), self.len(), "buffer shape mismatch");
+        transform_contiguous(&self.plan_y, data, Dir::Forward);
+        transform_strided(&self.plan_x, data, 1, self.ny, self.ny, Dir::Forward);
+    }
+
+    /// In-place inverse 2D transform (normalized by `1/(nx*ny)`).
+    pub fn inverse(&self, data: &mut [Complex]) {
+        assert_eq!(data.len(), self.len(), "buffer shape mismatch");
+        transform_contiguous(&self.plan_y, data, Dir::Inverse);
+        transform_strided(&self.plan_x, data, 1, self.ny, self.ny, Dir::Inverse);
+        let scale = 1.0 / self.len() as f64;
+        data.par_iter_mut().for_each(|v| *v = v.scale(scale));
+    }
+}
+
+/// Plan for 3D complex FFTs of fixed shape `(nx, ny, nz)`.
+#[derive(Clone, Debug)]
+pub struct Fft3d {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    plan_x: FftPlan,
+    plan_y: FftPlan,
+    plan_z: FftPlan,
+}
+
+impl Fft3d {
+    /// Creates a 3D plan; all dimensions must be powers of two.
+    pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
+        Fft3d {
+            nx,
+            ny,
+            nz,
+            plan_x: FftPlan::new(nx),
+            plan_y: FftPlan::new(ny),
+            plan_z: FftPlan::new(nz),
+        }
+    }
+
+    /// Shape `(nx, ny, nz)`.
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.nx, self.ny, self.nz)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Returns true if the grid is degenerate.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn run(&self, data: &mut [Complex], dir: Dir) {
+        assert_eq!(data.len(), self.len(), "buffer shape mismatch");
+        // z axis: contiguous rows.
+        transform_contiguous(&self.plan_z, data, dir);
+        // y axis: stride nz, inner nz, outer nx.
+        transform_strided(&self.plan_y, data, self.nx, self.nz, self.nz, dir);
+        // x axis: stride ny*nz, inner ny*nz, outer 1.
+        transform_strided(&self.plan_x, data, 1, self.ny * self.nz, self.ny * self.nz, dir);
+    }
+
+    /// In-place forward 3D transform.
+    pub fn forward(&self, data: &mut [Complex]) {
+        self.run(data, Dir::Forward);
+    }
+
+    /// In-place inverse 3D transform (normalized by the grid size).
+    pub fn inverse(&self, data: &mut [Complex]) {
+        self.run(data, Dir::Inverse);
+        let scale = 1.0 / self.len() as f64;
+        data.par_iter_mut().for_each(|v| *v = v.scale(scale));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x.re - y.re).abs() < tol && (x.im - y.im).abs() < tol, "{x:?} != {y:?}");
+        }
+    }
+
+    #[test]
+    fn fft2d_roundtrip() {
+        let (nx, ny) = (8, 16);
+        let plan = Fft2d::new(nx, ny);
+        let input: Vec<Complex> = (0..nx * ny)
+            .map(|i| Complex::new((i % 7) as f64, (i % 5) as f64))
+            .collect();
+        let mut data = input.clone();
+        plan.forward(&mut data);
+        plan.inverse(&mut data);
+        assert_close(&data, &input, 1e-10);
+    }
+
+    #[test]
+    fn fft2d_separable_mode() {
+        // exp(i*2pi*(2x/nx + 3y/ny)) should produce a single peak at (2, 3).
+        let (nx, ny) = (8, 8);
+        let plan = Fft2d::new(nx, ny);
+        let tau = 2.0 * std::f64::consts::PI;
+        let mut data: Vec<Complex> = Vec::with_capacity(nx * ny);
+        for x in 0..nx {
+            for y in 0..ny {
+                let phase = tau * (2.0 * x as f64 / nx as f64 + 3.0 * y as f64 / ny as f64);
+                data.push(Complex::from_polar_unit(phase));
+            }
+        }
+        plan.forward(&mut data);
+        for x in 0..nx {
+            for y in 0..ny {
+                let v = data[x * ny + y].abs();
+                let expect = if (x, y) == (2, 3) { (nx * ny) as f64 } else { 0.0 };
+                assert!((v - expect).abs() < 1e-8, "({x},{y}): {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn fft3d_roundtrip() {
+        let (nx, ny, nz) = (4, 8, 16);
+        let plan = Fft3d::new(nx, ny, nz);
+        let input: Vec<Complex> = (0..nx * ny * nz)
+            .map(|i| Complex::new(((i * 31) % 17) as f64 - 8.0, ((i * 13) % 11) as f64))
+            .collect();
+        let mut data = input.clone();
+        plan.forward(&mut data);
+        plan.inverse(&mut data);
+        assert_close(&data, &input, 1e-9);
+    }
+
+    #[test]
+    fn fft3d_single_mode_peak() {
+        let (nx, ny, nz) = (8, 4, 4);
+        let plan = Fft3d::new(nx, ny, nz);
+        let tau = 2.0 * std::f64::consts::PI;
+        let (kx, ky, kz) = (3usize, 1usize, 2usize);
+        let mut data = Vec::with_capacity(nx * ny * nz);
+        for x in 0..nx {
+            for y in 0..ny {
+                for z in 0..nz {
+                    let phase = tau
+                        * (kx as f64 * x as f64 / nx as f64
+                            + ky as f64 * y as f64 / ny as f64
+                            + kz as f64 * z as f64 / nz as f64);
+                    data.push(Complex::from_polar_unit(phase));
+                }
+            }
+        }
+        plan.forward(&mut data);
+        let total = (nx * ny * nz) as f64;
+        for x in 0..nx {
+            for y in 0..ny {
+                for z in 0..nz {
+                    let v = data[(x * ny + y) * nz + z].abs();
+                    let expect = if (x, y, z) == (kx, ky, kz) { total } else { 0.0 };
+                    assert!((v - expect).abs() < 1e-8, "({x},{y},{z}): {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fft3d_dc_of_constant_field() {
+        let plan = Fft3d::new(4, 4, 4);
+        let mut data = vec![Complex::new(2.5, 0.0); 64];
+        plan.forward(&mut data);
+        assert!((data[0].re - 160.0).abs() < 1e-9);
+        for v in &data[1..] {
+            assert!(v.abs() < 1e-9);
+        }
+    }
+}

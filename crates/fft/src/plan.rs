@@ -1,0 +1,234 @@
+//! One-dimensional power-of-two FFT plan.
+//!
+//! The plan precomputes bit-reversal permutation indices and per-stage twiddle
+//! factors once, so repeated transforms of the same length (the common case in
+//! a pseudo-spectral solver, which transforms thousands of pencils per step)
+//! pay no setup cost and perform no allocation.
+
+use crate::complex::Complex;
+
+/// A reusable plan for forward/inverse complex FFTs of a fixed power-of-two
+/// length, using the iterative radix-2 Cooley–Tukey algorithm.
+///
+/// The forward transform computes `X[k] = sum_j x[j] exp(-2*pi*i*j*k/n)`;
+/// the inverse applies the conjugate transform and divides by `n`, so
+/// `inverse(forward(x)) == x` up to rounding.
+#[derive(Clone, Debug)]
+pub struct FftPlan {
+    n: usize,
+    /// Bit-reversed index for each position (identity-skipping pairs stored
+    /// as (i, j) with i < j so the permutation is swap-based).
+    swaps: Vec<(u32, u32)>,
+    /// Twiddle factors for the forward transform, concatenated per stage:
+    /// stage with half-size `m` contributes `m` factors `exp(-i*pi*t/m)`.
+    twiddles: Vec<Complex>,
+}
+
+impl FftPlan {
+    /// Creates a plan for transforms of length `n`.
+    ///
+    /// # Panics
+    /// Panics if `n` is not a power of two or is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(crate::is_power_of_two(n), "FFT length {n} must be a power of two");
+        let bits = n.trailing_zeros();
+        let mut swaps = Vec::new();
+        if bits > 0 {
+            for i in 0..n {
+                let j = i.reverse_bits() >> (usize::BITS - bits);
+                if i < j {
+                    swaps.push((i as u32, j as u32));
+                }
+            }
+        }
+        // Precompute twiddles per stage. Stages have half-sizes 1, 2, 4, ... n/2.
+        let mut twiddles = Vec::with_capacity(n.max(1));
+        let mut m = 1;
+        while m < n {
+            for t in 0..m {
+                let ang = -std::f64::consts::PI * t as f64 / m as f64;
+                twiddles.push(Complex::from_polar_unit(ang));
+            }
+            m <<= 1;
+        }
+        FftPlan { n, swaps, twiddles }
+    }
+
+    /// Transform length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` for the degenerate length-1 plan.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    #[inline]
+    fn permute(&self, data: &mut [Complex]) {
+        for &(i, j) in &self.swaps {
+            data.swap(i as usize, j as usize);
+        }
+    }
+
+    fn butterflies(&self, data: &mut [Complex], conjugate: bool) {
+        let n = self.n;
+        let mut m = 1; // half-size of the current butterfly group
+        let mut toff = 0; // offset into the twiddle table
+        while m < n {
+            let step = m << 1;
+            let tw = &self.twiddles[toff..toff + m];
+            let mut base = 0;
+            while base < n {
+                for t in 0..m {
+                    let w = if conjugate { tw[t].conj() } else { tw[t] };
+                    let a = data[base + t];
+                    let b = data[base + t + m] * w;
+                    data[base + t] = a + b;
+                    data[base + t + m] = a - b;
+                }
+                base += step;
+            }
+            toff += m;
+            m = step;
+        }
+    }
+
+    /// In-place forward transform.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` differs from the plan length.
+    pub fn forward(&self, data: &mut [Complex]) {
+        assert_eq!(data.len(), self.n, "buffer length mismatch");
+        self.permute(data);
+        self.butterflies(data, false);
+    }
+
+    /// In-place inverse transform, normalized by `1/n`.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` differs from the plan length.
+    pub fn inverse(&self, data: &mut [Complex]) {
+        assert_eq!(data.len(), self.n, "buffer length mismatch");
+        self.permute(data);
+        self.butterflies(data, true);
+        let inv = 1.0 / self.n as f64;
+        for v in data.iter_mut() {
+            *v = v.scale(inv);
+        }
+    }
+
+    /// In-place inverse transform **without** the `1/n` normalization.
+    ///
+    /// Multi-dimensional wrappers use this to apply the overall normalization
+    /// once instead of per-axis.
+    pub fn inverse_unnormalized(&self, data: &mut [Complex]) {
+        assert_eq!(data.len(), self.n, "buffer length mismatch");
+        self.permute(data);
+        self.butterflies(data, true);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft_naive;
+
+    fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!(
+                (x.re - y.re).abs() < tol && (x.im - y.im).abs() < tol,
+                "{x:?} != {y:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft_across_sizes() {
+        for &n in &[1usize, 2, 4, 8, 16, 64, 256] {
+            let input: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64).sin() + 0.3, (i as f64 * 0.7).cos()))
+                .collect();
+            let expected = dft_naive(&input);
+            let mut got = input.clone();
+            FftPlan::new(n).forward(&mut got);
+            assert_close(&got, &expected, 1e-9 * n as f64);
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let n = 128;
+        let plan = FftPlan::new(n);
+        let input: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i * 31 % 17) as f64, (i * 7 % 13) as f64))
+            .collect();
+        let mut data = input.clone();
+        plan.forward(&mut data);
+        plan.inverse(&mut data);
+        assert_close(&data, &input, 1e-10);
+    }
+
+    #[test]
+    fn pure_mode_has_single_peak() {
+        // x[j] = exp(2*pi*i*3*j/n) transforms to n * delta[k - 3].
+        let n = 32;
+        let input: Vec<Complex> = (0..n)
+            .map(|j| Complex::from_polar_unit(2.0 * std::f64::consts::PI * 3.0 * j as f64 / n as f64))
+            .collect();
+        let mut data = input;
+        FftPlan::new(n).forward(&mut data);
+        for (k, v) in data.iter().enumerate() {
+            let expect = if k == 3 { n as f64 } else { 0.0 };
+            assert!((v.abs() - expect).abs() < 1e-9, "mode {k}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let n = 64;
+        let input: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.11).sin(), (i as f64 * 0.07).cos()))
+            .collect();
+        let time_energy: f64 = input.iter().map(|z| z.norm_sqr()).sum();
+        let mut data = input;
+        FftPlan::new(n).forward(&mut data);
+        let freq_energy: f64 = data.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-9 * time_energy);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = FftPlan::new(12);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length mismatch")]
+    fn rejects_wrong_buffer_length() {
+        let plan = FftPlan::new(8);
+        let mut data = vec![Complex::ZERO; 4];
+        plan.forward(&mut data);
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 16;
+        let plan = FftPlan::new(n);
+        let a: Vec<Complex> = (0..n).map(|i| Complex::new(i as f64, 0.5)).collect();
+        let b: Vec<Complex> = (0..n).map(|i| Complex::new(1.0, -(i as f64))).collect();
+        let sum: Vec<Complex> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        let mut fs = sum.clone();
+        plan.forward(&mut fa);
+        plan.forward(&mut fb);
+        plan.forward(&mut fs);
+        let combined: Vec<Complex> = fa.iter().zip(&fb).map(|(&x, &y)| x + y).collect();
+        assert_close(&fs, &combined, 1e-9);
+    }
+}

@@ -1,0 +1,172 @@
+//! Real-input FFT using the standard "pack two reals into one complex"
+//! length-halving trick.
+//!
+//! A length-`n` real signal is transformed with a single length-`n/2` complex
+//! FFT plus an O(n) untangling pass, producing the `n/2 + 1` non-redundant
+//! Hermitian coefficients.
+
+use crate::complex::Complex;
+use crate::plan::FftPlan;
+
+/// Plan for forward/inverse real FFTs of fixed even power-of-two length.
+#[derive(Clone, Debug)]
+pub struct RealFft {
+    n: usize,
+    half_plan: FftPlan,
+    /// Twiddles `exp(-i*pi*k/ (n/2))` for the untangling pass, k = 0..n/4+1.
+    twiddles: Vec<Complex>,
+}
+
+impl RealFft {
+    /// Creates a real-FFT plan of length `n` (power of two, `n >= 2`).
+    ///
+    /// # Panics
+    /// Panics if `n < 2` or `n` is not a power of two.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2 && crate::is_power_of_two(n), "real FFT length {n} must be a power of two >= 2");
+        let half = n / 2;
+        let twiddles = (0..=half / 2)
+            .map(|k| Complex::from_polar_unit(-std::f64::consts::PI * k as f64 / half as f64))
+            .collect();
+        RealFft { n, half_plan: FftPlan::new(half), twiddles }
+    }
+
+    /// Transform length (number of real input samples).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always `false`; present for API symmetry.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of complex output coefficients (`n/2 + 1`).
+    #[inline]
+    pub fn spectrum_len(&self) -> usize {
+        self.n / 2 + 1
+    }
+
+    /// Forward transform: `input` has `n` reals, returns `n/2 + 1` complex
+    /// coefficients `X[0..=n/2]` (DC and Nyquist bins are purely real).
+    ///
+    /// # Panics
+    /// Panics on input length mismatch.
+    pub fn forward(&self, input: &[f64]) -> Vec<Complex> {
+        assert_eq!(input.len(), self.n, "buffer length mismatch");
+        let half = self.n / 2;
+        // Pack even samples into re, odd into im.
+        let mut z: Vec<Complex> = (0..half)
+            .map(|j| Complex::new(input[2 * j], input[2 * j + 1]))
+            .collect();
+        self.half_plan.forward(&mut z);
+
+        let mut out = vec![Complex::ZERO; half + 1];
+        // Untangle: with E[k], O[k] the FFTs of even/odd subsequences,
+        //   Z[k]        = E[k] + i O[k]
+        //   conj(Z[h-k]) = E[k] - i O[k]
+        // so E and O are recovered by symmetric combinations, and
+        //   X[k] = E[k] + w^k O[k],  w = exp(-2 pi i / n).
+        for k in 0..=half / 2 {
+            let zk = z[k];
+            let zmk = z[(half - k) % half].conj();
+            let e = (zk + zmk).scale(0.5);
+            let o = (zk - zmk).scale(0.5).mul_i().scale(-1.0); // -i*(..)/1 => O[k]
+            let w = self.twiddles[k];
+            out[k] = e + w * o;
+            // Mirror bin: X[h - k] = E[k].conj-symmetric partner.
+            let e2 = e.conj();
+            let o2 = o.conj();
+            let w2 = Complex::new(-w.re, w.im); // exp(-i*pi*(half-k)/half) = -conj(w)
+            out[half - k] = e2 + w2 * o2;
+        }
+        // DC and Nyquist from the k = 0 combination directly (purely real).
+        out[0] = Complex::new(z[0].re + z[0].im, 0.0);
+        out[half] = Complex::new(z[0].re - z[0].im, 0.0);
+        out
+    }
+
+    /// Inverse transform from `n/2 + 1` Hermitian coefficients back to `n`
+    /// real samples (normalized; `inverse(forward(x)) == x`).
+    ///
+    /// # Panics
+    /// Panics on spectrum length mismatch.
+    pub fn inverse(&self, spectrum: &[Complex]) -> Vec<f64> {
+        assert_eq!(spectrum.len(), self.spectrum_len(), "spectrum length mismatch");
+        let half = self.n / 2;
+        // Repack: Z[k] = E[k] + i O[k] with E[k] = (X[k] + conj(X[h-k]))/2,
+        // O[k] = w^{-k} (X[k] - conj(X[h-k]))/2.
+        let mut z = vec![Complex::ZERO; half];
+        for (k, zk) in z.iter_mut().enumerate() {
+            let xk = spectrum[k];
+            let xmk = spectrum[half - k].conj();
+            let e = (xk + xmk).scale(0.5);
+            // w^{-k} = conj(w^k); for k > half/2 use w^k = -conj(w^{half-k}),
+            // hence w^{-k} = -w^{half-k}.
+            let winv = if k <= half / 2 {
+                self.twiddles[k].conj()
+            } else {
+                let w = self.twiddles[half - k];
+                Complex::new(-w.re, -w.im)
+            };
+            let o = winv * (xk - xmk).scale(0.5);
+            *zk = e + o.mul_i();
+        }
+        self.half_plan.inverse(&mut z);
+        let mut out = vec![0.0; self.n];
+        for (j, zj) in z.iter().enumerate() {
+            out[2 * j] = zj.re;
+            out[2 * j + 1] = zj.im;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft_naive;
+
+    #[test]
+    fn forward_matches_full_complex_dft() {
+        for &n in &[4usize, 8, 16, 64] {
+            let input: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() + 0.2 * i as f64).collect();
+            let as_complex: Vec<Complex> = input.iter().map(|&x| Complex::new(x, 0.0)).collect();
+            let expected = dft_naive(&as_complex);
+            let got = RealFft::new(n).forward(&input);
+            for k in 0..=n / 2 {
+                assert!(
+                    (got[k].re - expected[k].re).abs() < 1e-8,
+                    "n={n} k={k}: {:?} vs {:?}",
+                    got[k],
+                    expected[k]
+                );
+                assert!((got[k].im - expected[k].im).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let n = 128;
+        let plan = RealFft::new(n);
+        let input: Vec<f64> = (0..n).map(|i| ((i * 13 % 29) as f64) - 14.0).collect();
+        let back = plan.inverse(&plan.forward(&input));
+        for (a, b) in input.iter().zip(back.iter()) {
+            assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn dc_and_nyquist_are_real() {
+        let n = 32;
+        let input: Vec<f64> = (0..n).map(|i| (i as f64).cos() * 3.0 + 1.0).collect();
+        let spec = RealFft::new(n).forward(&input);
+        assert!(spec[0].im.abs() < 1e-12);
+        assert!(spec[n / 2].im.abs() < 1e-12);
+        let mean: f64 = input.iter().sum::<f64>();
+        assert!((spec[0].re - mean).abs() < 1e-9);
+    }
+}

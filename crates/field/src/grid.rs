@@ -1,0 +1,274 @@
+//! Structured grid descriptors.
+//!
+//! Grids are uniform and periodic-friendly: spacing is `L/n` along each axis
+//! (the convention used by pseudo-spectral solvers, where the point at `L`
+//! coincides with the point at `0`).
+
+use serde::{Deserialize, Serialize};
+
+/// A coordinate axis, also used to name the gravity direction for stratified
+/// datasets (the paper's `--gravity y`/`z` flag).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Axis {
+    /// First (slowest-varying) axis.
+    X,
+    /// Second axis.
+    Y,
+    /// Third (fastest-varying in 3D) axis.
+    Z,
+}
+
+impl Axis {
+    /// Axis index: X→0, Y→1, Z→2.
+    pub fn index(self) -> usize {
+        match self {
+            Axis::X => 0,
+            Axis::Y => 1,
+            Axis::Z => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for Axis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Axis::X => write!(f, "x"),
+            Axis::Y => write!(f, "y"),
+            Axis::Z => write!(f, "z"),
+        }
+    }
+}
+
+/// Uniform 2D grid, row-major with `y` contiguous: `index = x * ny + y`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Grid2 {
+    /// Points along x.
+    pub nx: usize,
+    /// Points along y.
+    pub ny: usize,
+    /// Domain length along x.
+    pub lx: f64,
+    /// Domain length along y.
+    pub ly: f64,
+}
+
+impl Grid2 {
+    /// Creates a grid over `[0, lx) x [0, ly)`.
+    pub fn new(nx: usize, ny: usize, lx: f64, ly: f64) -> Self {
+        assert!(nx > 0 && ny > 0, "grid dimensions must be positive");
+        assert!(lx > 0.0 && ly > 0.0, "domain lengths must be positive");
+        Grid2 { nx, ny, lx, ly }
+    }
+
+    /// Unit-box grid (`lx = ly = 1`).
+    pub fn unit(nx: usize, ny: usize) -> Self {
+        Grid2::new(nx, ny, 1.0, 1.0)
+    }
+
+    /// Total number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Never true for a constructed grid; present for API completeness.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Grid spacing `(dx, dy)`.
+    #[inline]
+    pub fn spacing(&self) -> (f64, f64) {
+        (self.lx / self.nx as f64, self.ly / self.ny as f64)
+    }
+
+    /// Flat index of `(x, y)`.
+    #[inline]
+    pub fn idx(&self, x: usize, y: usize) -> usize {
+        debug_assert!(x < self.nx && y < self.ny);
+        x * self.ny + y
+    }
+
+    /// Inverse of [`idx`](Self::idx).
+    #[inline]
+    pub fn coords(&self, idx: usize) -> (usize, usize) {
+        (idx / self.ny, idx % self.ny)
+    }
+
+    /// Physical position of grid point `(x, y)`.
+    #[inline]
+    pub fn position(&self, x: usize, y: usize) -> (f64, f64) {
+        let (dx, dy) = self.spacing();
+        (x as f64 * dx, y as f64 * dy)
+    }
+
+    /// Periodic neighbor index offset by `(sx, sy)`.
+    #[inline]
+    pub fn periodic_idx(&self, x: isize, y: isize) -> usize {
+        let xm = x.rem_euclid(self.nx as isize) as usize;
+        let ym = y.rem_euclid(self.ny as isize) as usize;
+        self.idx(xm, ym)
+    }
+}
+
+/// Uniform 3D grid, row-major with `z` contiguous: `index = (x*ny + y)*nz + z`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Grid3 {
+    /// Points along x.
+    pub nx: usize,
+    /// Points along y.
+    pub ny: usize,
+    /// Points along z.
+    pub nz: usize,
+    /// Domain length along x.
+    pub lx: f64,
+    /// Domain length along y.
+    pub ly: f64,
+    /// Domain length along z.
+    pub lz: f64,
+}
+
+impl Grid3 {
+    /// Creates a grid over `[0, lx) x [0, ly) x [0, lz)`.
+    pub fn new(nx: usize, ny: usize, nz: usize, lx: f64, ly: f64, lz: f64) -> Self {
+        assert!(nx > 0 && ny > 0 && nz > 0, "grid dimensions must be positive");
+        assert!(lx > 0.0 && ly > 0.0 && lz > 0.0, "domain lengths must be positive");
+        Grid3 { nx, ny, nz, lx, ly, lz }
+    }
+
+    /// Cubic grid over `[0, 2π)^3`, the standard spectral-DNS box.
+    pub fn cube_2pi(n: usize) -> Self {
+        let l = 2.0 * std::f64::consts::PI;
+        Grid3::new(n, n, n, l, l, l)
+    }
+
+    /// Total number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Never true for a constructed grid; present for API completeness.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Grid spacing `(dx, dy, dz)`.
+    #[inline]
+    pub fn spacing(&self) -> (f64, f64, f64) {
+        (
+            self.lx / self.nx as f64,
+            self.ly / self.ny as f64,
+            self.lz / self.nz as f64,
+        )
+    }
+
+    /// Flat index of `(x, y, z)`.
+    #[inline]
+    pub fn idx(&self, x: usize, y: usize, z: usize) -> usize {
+        debug_assert!(x < self.nx && y < self.ny && z < self.nz);
+        (x * self.ny + y) * self.nz + z
+    }
+
+    /// Inverse of [`idx`](Self::idx).
+    #[inline]
+    pub fn coords(&self, idx: usize) -> (usize, usize, usize) {
+        let z = idx % self.nz;
+        let rest = idx / self.nz;
+        (rest / self.ny, rest % self.ny, z)
+    }
+
+    /// Physical position of grid point `(x, y, z)`.
+    #[inline]
+    pub fn position(&self, x: usize, y: usize, z: usize) -> (f64, f64, f64) {
+        let (dx, dy, dz) = self.spacing();
+        (x as f64 * dx, y as f64 * dy, z as f64 * dz)
+    }
+
+    /// Periodic neighbor flat index for possibly-out-of-range coordinates.
+    #[inline]
+    pub fn periodic_idx(&self, x: isize, y: isize, z: isize) -> usize {
+        let xm = x.rem_euclid(self.nx as isize) as usize;
+        let ym = y.rem_euclid(self.ny as isize) as usize;
+        let zm = z.rem_euclid(self.nz as isize) as usize;
+        self.idx(xm, ym, zm)
+    }
+
+    /// Extent along `axis` in points.
+    #[inline]
+    pub fn extent(&self, axis: Axis) -> usize {
+        match axis {
+            Axis::X => self.nx,
+            Axis::Y => self.ny,
+            Axis::Z => self.nz,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid2_index_roundtrip() {
+        let g = Grid2::unit(5, 7);
+        for x in 0..5 {
+            for y in 0..7 {
+                let i = g.idx(x, y);
+                assert_eq!(g.coords(i), (x, y));
+            }
+        }
+        assert_eq!(g.len(), 35);
+    }
+
+    #[test]
+    fn grid3_index_roundtrip() {
+        let g = Grid3::new(3, 4, 5, 1.0, 1.0, 1.0);
+        for x in 0..3 {
+            for y in 0..4 {
+                for z in 0..5 {
+                    let i = g.idx(x, y, z);
+                    assert_eq!(g.coords(i), (x, y, z));
+                }
+            }
+        }
+        assert_eq!(g.len(), 60);
+    }
+
+    #[test]
+    fn periodic_wrapping() {
+        let g = Grid3::new(4, 4, 4, 1.0, 1.0, 1.0);
+        assert_eq!(g.periodic_idx(-1, 0, 0), g.idx(3, 0, 0));
+        assert_eq!(g.periodic_idx(4, 2, 7), g.idx(0, 2, 3));
+        let g2 = Grid2::unit(4, 4);
+        assert_eq!(g2.periodic_idx(-1, -1), g2.idx(3, 3));
+    }
+
+    #[test]
+    fn spacing_and_positions() {
+        let g = Grid3::cube_2pi(8);
+        let (dx, _, _) = g.spacing();
+        assert!((dx - std::f64::consts::PI / 4.0).abs() < 1e-12);
+        let (px, py, pz) = g.position(4, 0, 2);
+        assert!((px - std::f64::consts::PI).abs() < 1e-12);
+        assert_eq!(py, 0.0);
+        assert!((pz - std::f64::consts::PI / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn axis_properties() {
+        assert_eq!(Axis::X.index(), 0);
+        assert_eq!(Axis::Z.index(), 2);
+        assert_eq!(Axis::Y.to_string(), "y");
+        let g = Grid3::new(2, 3, 4, 1.0, 1.0, 1.0);
+        assert_eq!(g.extent(Axis::Y), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_dimension() {
+        let _ = Grid2::new(0, 4, 1.0, 1.0);
+    }
+}

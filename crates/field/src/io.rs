@@ -1,0 +1,344 @@
+//! Compact binary snapshot I/O.
+//!
+//! The paper stresses that SICKLE "provides a convenient way to significantly
+//! reduce file storage requirements, by storing feature-rich subsampled
+//! datasets". This module implements the storage layer: a little-endian
+//! binary format (`SKLF`) for snapshots and sample sets, plus a CSV writer
+//! for experiment result tables.
+//!
+//! Format (all integers little-endian):
+//! ```text
+//! magic "SKLF" | u32 version | grid (6 x u64 dims/lengths as u64/f64) |
+//! f64 time | u32 nvars | nvars x (u32 name_len, name bytes) |
+//! nvars x (grid.len() x f64)
+//! ```
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::grid::Grid3;
+use crate::points::{FeatureMatrix, SampleSet};
+use crate::snapshot::Snapshot;
+
+const MAGIC: &[u8; 4] = b"SKLF";
+const VERSION: u32 = 1;
+
+/// Serializes a snapshot into a byte buffer.
+pub fn encode_snapshot(snap: &Snapshot) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + snap.nbytes());
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u64_le(snap.grid.nx as u64);
+    buf.put_u64_le(snap.grid.ny as u64);
+    buf.put_u64_le(snap.grid.nz as u64);
+    buf.put_f64_le(snap.grid.lx);
+    buf.put_f64_le(snap.grid.ly);
+    buf.put_f64_le(snap.grid.lz);
+    buf.put_f64_le(snap.time);
+    buf.put_u32_le(snap.names.len() as u32);
+    for name in &snap.names {
+        buf.put_u32_le(name.len() as u32);
+        buf.put_slice(name.as_bytes());
+    }
+    for var in &snap.vars {
+        for &v in var {
+            buf.put_f64_le(v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserializes a snapshot from bytes.
+///
+/// # Errors
+/// Returns `InvalidData` on bad magic, version, or truncation.
+pub fn decode_snapshot(mut data: &[u8]) -> io::Result<Snapshot> {
+    fn need(data: &[u8], n: usize) -> io::Result<()> {
+        if data.remaining() < n {
+            Err(io::Error::new(io::ErrorKind::InvalidData, "truncated snapshot"))
+        } else {
+            Ok(())
+        }
+    }
+    need(data, 8)?;
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let version = data.get_u32_le();
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported version {version}"),
+        ));
+    }
+    need(data, 3 * 8 + 3 * 8 + 8 + 4)?;
+    let nx = data.get_u64_le() as usize;
+    let ny = data.get_u64_le() as usize;
+    let nz = data.get_u64_le() as usize;
+    let lx = data.get_f64_le();
+    let ly = data.get_f64_le();
+    let lz = data.get_f64_le();
+    let time = data.get_f64_le();
+    let grid = Grid3::new(nx, ny, nz, lx, ly, lz);
+    let nvars = data.get_u32_le() as usize;
+    let mut names = Vec::with_capacity(nvars);
+    for _ in 0..nvars {
+        need(data, 4)?;
+        let len = data.get_u32_le() as usize;
+        need(data, len)?;
+        let mut raw = vec![0u8; len];
+        data.copy_to_slice(&mut raw);
+        let name = String::from_utf8(raw)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 variable name"))?;
+        names.push(name);
+    }
+    let npts = grid.len();
+    let mut snap = Snapshot::new(grid, time);
+    for name in names {
+        need(data, npts * 8)?;
+        let mut var = Vec::with_capacity(npts);
+        for _ in 0..npts {
+            var.push(data.get_f64_le());
+        }
+        snap.push_var(&name, var);
+    }
+    Ok(snap)
+}
+
+/// Writes a snapshot to `path` in SKLF format.
+pub fn save_snapshot(snap: &Snapshot, path: &Path) -> io::Result<()> {
+    let bytes = encode_snapshot(snap);
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&bytes)
+}
+
+/// Reads a snapshot from `path`.
+pub fn load_snapshot(path: &Path) -> io::Result<Snapshot> {
+    let mut f = std::fs::File::open(path)?;
+    let mut data = Vec::new();
+    f.read_to_end(&mut data)?;
+    decode_snapshot(&data)
+}
+
+/// Serializes a sample set (feature rows + indices) compactly.
+pub fn encode_sample_set(set: &SampleSet) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(b"SKLS");
+    buf.put_u32_le(VERSION);
+    buf.put_f64_le(set.time);
+    buf.put_u64_le(set.snapshot_index as u64);
+    buf.put_i64_le(set.hypercube.map_or(-1, |h| h as i64));
+    buf.put_u32_le(set.features.dim() as u32);
+    for name in &set.features.names {
+        buf.put_u32_le(name.len() as u32);
+        buf.put_slice(name.as_bytes());
+    }
+    buf.put_u64_le(set.len() as u64);
+    for &i in &set.indices {
+        buf.put_u64_le(i as u64);
+    }
+    for &v in &set.features.data {
+        buf.put_f64_le(v);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a sample set.
+///
+/// # Errors
+/// Returns `InvalidData` on bad magic or truncation.
+pub fn decode_sample_set(mut data: &[u8]) -> io::Result<SampleSet> {
+    let err = || io::Error::new(io::ErrorKind::InvalidData, "truncated sample set");
+    if data.remaining() < 8 {
+        return Err(err());
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != b"SKLS" {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let _version = data.get_u32_le();
+    if data.remaining() < 8 + 8 + 8 + 4 {
+        return Err(err());
+    }
+    let time = data.get_f64_le();
+    let snapshot_index = data.get_u64_le() as usize;
+    let hc = data.get_i64_le();
+    let dim = data.get_u32_le() as usize;
+    let mut names = Vec::with_capacity(dim);
+    for _ in 0..dim {
+        if data.remaining() < 4 {
+            return Err(err());
+        }
+        let len = data.get_u32_le() as usize;
+        if data.remaining() < len {
+            return Err(err());
+        }
+        let mut raw = vec![0u8; len];
+        data.copy_to_slice(&mut raw);
+        names.push(String::from_utf8(raw).map_err(|_| err())?);
+    }
+    if data.remaining() < 8 {
+        return Err(err());
+    }
+    let n = data.get_u64_le() as usize;
+    if data.remaining() < n * 8 + n * dim * 8 {
+        return Err(err());
+    }
+    let mut indices = Vec::with_capacity(n);
+    for _ in 0..n {
+        indices.push(data.get_u64_le() as usize);
+    }
+    let mut values = Vec::with_capacity(n * dim);
+    for _ in 0..n * dim {
+        values.push(data.get_f64_le());
+    }
+    let features = FeatureMatrix::new(names, values);
+    let mut set = SampleSet::new(features, indices, time, snapshot_index);
+    if hc >= 0 {
+        set.hypercube = Some(hc as usize);
+    }
+    Ok(set)
+}
+
+/// Minimal CSV writer for result tables (no quoting; values must not contain
+/// commas or newlines — experiment outputs are numeric).
+pub struct CsvWriter<W: Write> {
+    inner: W,
+}
+
+impl<W: Write> CsvWriter<W> {
+    /// Wraps a writer and emits the header row.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from the underlying writer.
+    pub fn new(mut inner: W, header: &[&str]) -> io::Result<Self> {
+        writeln!(inner, "{}", header.join(","))?;
+        Ok(CsvWriter { inner })
+    }
+
+    /// Writes one row of already-formatted cells.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from the underlying writer.
+    pub fn row(&mut self, cells: &[String]) -> io::Result<()> {
+        writeln!(self.inner, "{}", cells.join(","))
+    }
+
+    /// Finishes writing and returns the inner writer.
+    ///
+    /// # Errors
+    /// Propagates flush errors.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Grid3;
+
+    fn sample_snapshot() -> Snapshot {
+        let g = Grid3::new(2, 3, 4, 1.0, 2.0, 3.0);
+        Snapshot::new(g, 1.25)
+            .with_var("u", (0..24).map(|i| i as f64 * 0.5).collect())
+            .with_var("rho", (0..24).map(|i| 1.0 + i as f64).collect())
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let snap = sample_snapshot();
+        let bytes = encode_snapshot(&snap);
+        let back = decode_snapshot(&bytes).unwrap();
+        assert_eq!(back.grid, snap.grid);
+        assert_eq!(back.time, snap.time);
+        assert_eq!(back.names, snap.names);
+        assert_eq!(back.vars, snap.vars);
+    }
+
+    #[test]
+    fn snapshot_file_roundtrip() {
+        let snap = sample_snapshot();
+        let dir = std::env::temp_dir().join("sickle_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.sklf");
+        save_snapshot(&snap, &path).unwrap();
+        let back = load_snapshot(&path).unwrap();
+        assert_eq!(back.vars, snap.vars);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = decode_snapshot(b"NOPE0000000").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let snap = sample_snapshot();
+        let bytes = encode_snapshot(&snap);
+        let err = decode_snapshot(&bytes[..bytes.len() - 9]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn sample_set_roundtrip() {
+        let features = FeatureMatrix::new(
+            vec!["u".into(), "v".into()],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+        );
+        let set = SampleSet::new(features, vec![7, 8, 9], 0.5, 3).with_hypercube(12);
+        let bytes = encode_sample_set(&set);
+        let back = decode_sample_set(&bytes).unwrap();
+        assert_eq!(back.indices, set.indices);
+        assert_eq!(back.features, set.features);
+        assert_eq!(back.hypercube, Some(12));
+        assert_eq!(back.snapshot_index, 3);
+    }
+
+    #[test]
+    fn sample_set_without_hypercube() {
+        let features = FeatureMatrix::new(vec!["u".into()], vec![1.0]);
+        let set = SampleSet::new(features, vec![0], 0.0, 0);
+        let back = decode_sample_set(&encode_sample_set(&set)).unwrap();
+        assert_eq!(back.hypercube, None);
+    }
+
+    #[test]
+    fn csv_writer_produces_rows() {
+        let mut out = Vec::new();
+        {
+            let mut w = CsvWriter::new(&mut out, &["a", "b"]).unwrap();
+            w.row(&["1".into(), "2".into()]).unwrap();
+            w.finish().unwrap();
+        }
+        assert_eq!(String::from_utf8(out).unwrap(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn subsampled_storage_is_smaller() {
+        // The headline storage claim: a 10% sample set occupies ~10% of the
+        // dense snapshot (plus small index overhead).
+        let snap = sample_snapshot();
+        let dense = encode_snapshot(&snap).len();
+        let keep: Vec<usize> = (0..snap.num_points()).step_by(10).collect();
+        let vidx = snap.var_indices(&snap.names.clone());
+        let mut features =
+            FeatureMatrix::with_capacity(snap.names.clone(), keep.len());
+        let mut row = vec![0.0; vidx.len()];
+        for &i in &keep {
+            snap.gather_point(&vidx, i, &mut row);
+            features.push_row(&row);
+        }
+        let set = SampleSet::new(features, keep, snap.time, 0);
+        let sparse = encode_sample_set(&set).len();
+        assert!(sparse < dense / 2, "sparse {sparse} vs dense {dense}");
+    }
+}

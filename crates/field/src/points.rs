@@ -1,0 +1,269 @@
+//! Point-cloud outputs of the sampling pipeline.
+//!
+//! Samplers reduce dense snapshots to a [`SampleSet`]: a row-major feature
+//! matrix (one row per retained point) plus the spatial indices and time that
+//! identify where each row came from. This is the "feature-rich subsampled
+//! dataset" the paper stores instead of raw fields.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major `n x d` matrix of named features.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FeatureMatrix {
+    /// Column names (length `d`).
+    pub names: Vec<String>,
+    /// Row-major data (`n * d` values).
+    pub data: Vec<f64>,
+    /// Number of rows.
+    pub n: usize,
+}
+
+impl FeatureMatrix {
+    /// Creates a matrix from names and row-major data.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` is not a multiple of `names.len()`.
+    pub fn new(names: Vec<String>, data: Vec<f64>) -> Self {
+        let d = names.len();
+        assert!(d > 0, "feature matrix needs at least one column");
+        assert_eq!(data.len() % d, 0, "data length {} not divisible by {} columns", data.len(), d);
+        let n = data.len() / d;
+        FeatureMatrix { names, data, n }
+    }
+
+    /// Creates an empty matrix with capacity for `cap` rows.
+    pub fn with_capacity(names: Vec<String>, cap: usize) -> Self {
+        let d = names.len();
+        assert!(d > 0, "feature matrix needs at least one column");
+        FeatureMatrix { names, data: Vec::with_capacity(cap * d), n: 0 }
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns true if there are no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        let d = self.dim();
+        &self.data[i * d..(i + 1) * d]
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if `row.len() != dim()`.
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.dim(), "row length mismatch");
+        self.data.extend_from_slice(row);
+        self.n += 1;
+    }
+
+    /// Extracts column `c` into a fresh vector.
+    pub fn column(&self, c: usize) -> Vec<f64> {
+        let d = self.dim();
+        assert!(c < d, "column {c} out of range (dim {d})");
+        (0..self.n).map(|i| self.data[i * d + c]).collect()
+    }
+
+    /// Finds a column by name.
+    pub fn column_by_name(&self, name: &str) -> Option<Vec<f64>> {
+        self.names.iter().position(|n| n == name).map(|c| self.column(c))
+    }
+
+    /// Iterator over rows.
+    pub fn rows(&self) -> impl Iterator<Item = &[f64]> + '_ {
+        self.data.chunks_exact(self.dim())
+    }
+
+    /// Per-column minimum and maximum; returns `(mins, maxs)`.
+    /// Empty matrices return empty vectors.
+    pub fn column_ranges(&self) -> (Vec<f64>, Vec<f64>) {
+        let d = self.dim();
+        if self.n == 0 {
+            return (Vec::new(), Vec::new());
+        }
+        let mut mins = vec![f64::INFINITY; d];
+        let mut maxs = vec![f64::NEG_INFINITY; d];
+        for row in self.rows() {
+            for (j, &v) in row.iter().enumerate() {
+                if v < mins[j] {
+                    mins[j] = v;
+                }
+                if v > maxs[j] {
+                    maxs[j] = v;
+                }
+            }
+        }
+        (mins, maxs)
+    }
+
+    /// Gathers the given row indices into a new matrix.
+    pub fn gather(&self, indices: &[usize]) -> FeatureMatrix {
+        let d = self.dim();
+        let mut data = Vec::with_capacity(indices.len() * d);
+        for &i in indices {
+            data.extend_from_slice(self.row(i));
+        }
+        FeatureMatrix { names: self.names.clone(), data, n: indices.len() }
+    }
+}
+
+/// The output of sampling one snapshot (or one hypercube): retained feature
+/// rows, their source point indices, and provenance.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SampleSet {
+    /// Feature rows for retained points.
+    pub features: FeatureMatrix,
+    /// Flat grid index of each retained point in the source snapshot.
+    pub indices: Vec<usize>,
+    /// Simulation time of the source snapshot.
+    pub time: f64,
+    /// Index of the source snapshot within its dataset.
+    pub snapshot_index: usize,
+    /// Identifier of the source hypercube, if phase-1 tiling was used.
+    pub hypercube: Option<usize>,
+}
+
+impl SampleSet {
+    /// Creates a sample set; `indices` must be parallel to the feature rows.
+    ///
+    /// # Panics
+    /// Panics if lengths disagree.
+    pub fn new(features: FeatureMatrix, indices: Vec<usize>, time: f64, snapshot_index: usize) -> Self {
+        assert_eq!(features.len(), indices.len(), "feature/index length mismatch");
+        SampleSet { features, indices, time, snapshot_index, hypercube: None }
+    }
+
+    /// Tags the set with its source hypercube id (builder style).
+    pub fn with_hypercube(mut self, id: usize) -> Self {
+        self.hypercube = Some(id);
+        self
+    }
+
+    /// Number of retained points.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Returns true if no points were retained.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Merges many sample sets (e.g. per-hypercube outputs) into one, keeping
+    /// the earliest time/snapshot index and dropping hypercube provenance.
+    ///
+    /// # Panics
+    /// Panics if the sets have differing feature columns or the input is empty.
+    pub fn merge(sets: &[SampleSet]) -> SampleSet {
+        assert!(!sets.is_empty(), "cannot merge zero sample sets");
+        let names = sets[0].features.names.clone();
+        let total: usize = sets.iter().map(SampleSet::len).sum();
+        let mut features = FeatureMatrix::with_capacity(names.clone(), total);
+        let mut indices = Vec::with_capacity(total);
+        for s in sets {
+            assert_eq!(s.features.names, names, "mismatched feature columns in merge");
+            features.data.extend_from_slice(&s.features.data);
+            features.n += s.features.n;
+            indices.extend_from_slice(&s.indices);
+        }
+        SampleSet {
+            features,
+            indices,
+            time: sets[0].time,
+            snapshot_index: sets[0].snapshot_index,
+            hypercube: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn matrix_shape_and_access() {
+        let m = FeatureMatrix::new(names(&["a", "b"]), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.dim(), 2);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.column(0), vec![1.0, 3.0, 5.0]);
+        assert_eq!(m.column_by_name("b"), Some(vec![2.0, 4.0, 6.0]));
+        assert_eq!(m.column_by_name("zz"), None);
+    }
+
+    #[test]
+    fn push_and_gather() {
+        let mut m = FeatureMatrix::with_capacity(names(&["x"]), 4);
+        for i in 0..4 {
+            m.push_row(&[i as f64]);
+        }
+        let g = m.gather(&[3, 0]);
+        assert_eq!(g.data, vec![3.0, 0.0]);
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn column_ranges() {
+        let m = FeatureMatrix::new(names(&["a", "b"]), vec![1.0, -5.0, 3.0, 7.0]);
+        let (mins, maxs) = m.column_ranges();
+        assert_eq!(mins, vec![1.0, -5.0]);
+        assert_eq!(maxs, vec![3.0, 7.0]);
+        let empty = FeatureMatrix::with_capacity(names(&["a"]), 0);
+        assert!(empty.column_ranges().0.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn rejects_ragged_data() {
+        let _ = FeatureMatrix::new(names(&["a", "b"]), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn sample_set_merge() {
+        let s1 = SampleSet::new(
+            FeatureMatrix::new(names(&["a"]), vec![1.0, 2.0]),
+            vec![10, 20],
+            0.5,
+            0,
+        )
+        .with_hypercube(0);
+        let s2 = SampleSet::new(FeatureMatrix::new(names(&["a"]), vec![3.0]), vec![30], 0.5, 0)
+            .with_hypercube(1);
+        let m = SampleSet::merge(&[s1, s2]);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.indices, vec![10, 20, 30]);
+        assert_eq!(m.features.data, vec![1.0, 2.0, 3.0]);
+        assert!(m.hypercube.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn sample_set_rejects_mismatch() {
+        let _ = SampleSet::new(
+            FeatureMatrix::new(names(&["a"]), vec![1.0, 2.0]),
+            vec![1],
+            0.0,
+            0,
+        );
+    }
+}

@@ -1,0 +1,291 @@
+//! Snapshots and datasets.
+//!
+//! A [`Snapshot`] is one time instant of a simulation: a set of named scalar
+//! variables on a common grid. A [`Dataset`] is an ordered sequence of
+//! snapshots plus the metadata the paper records in Table 1 (label, K-means
+//! cluster variable, input/output variables).
+
+use serde::{Deserialize, Serialize};
+
+use crate::grid::{Axis, Grid3};
+
+/// One time instant of a (possibly multi-variable) field.
+///
+/// 2D data is stored as a `Grid3` with `nz = 1` so the sampling pipeline is
+/// dimension-agnostic, matching the Python framework's `--dims` switch.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Grid shared by all variables.
+    pub grid: Grid3,
+    /// Simulation time of this snapshot.
+    pub time: f64,
+    /// Variable names, parallel to `vars`.
+    pub names: Vec<String>,
+    /// Per-variable flat data (`grid.len()` each), same ordering as `names`.
+    pub vars: Vec<Vec<f64>>,
+}
+
+impl Snapshot {
+    /// Creates an empty snapshot on `grid` at time `time`.
+    pub fn new(grid: Grid3, time: f64) -> Self {
+        Snapshot { grid, time, names: Vec::new(), vars: Vec::new() }
+    }
+
+    /// Adds a variable; returns `self` for chaining.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != grid.len()` or the name already exists.
+    pub fn with_var(mut self, name: &str, data: Vec<f64>) -> Self {
+        self.push_var(name, data);
+        self
+    }
+
+    /// Adds a variable in place.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != grid.len()` or the name already exists.
+    pub fn push_var(&mut self, name: &str, data: Vec<f64>) {
+        assert_eq!(data.len(), self.grid.len(), "variable '{name}' has wrong length");
+        assert!(!self.names.iter().any(|n| n == name), "duplicate variable '{name}'");
+        self.names.push(name.to_string());
+        self.vars.push(data);
+    }
+
+    /// Returns the variable data by name, if present.
+    pub fn var(&self, name: &str) -> Option<&[f64]> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| self.vars[i].as_slice())
+    }
+
+    /// Returns the variable data by name.
+    ///
+    /// # Panics
+    /// Panics with a helpful message listing available variables if missing.
+    pub fn expect_var(&self, name: &str) -> &[f64] {
+        self.var(name).unwrap_or_else(|| {
+            panic!("variable '{name}' not in snapshot (have: {:?})", self.names)
+        })
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of grid points.
+    pub fn num_points(&self) -> usize {
+        self.grid.len()
+    }
+
+    /// In-memory size of the field data in bytes.
+    pub fn nbytes(&self) -> usize {
+        self.vars.len() * self.grid.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Gathers the values of `names` at flat point index `i` into `out`.
+    ///
+    /// # Panics
+    /// Panics if a name is missing or `out.len() != names.len()`.
+    pub fn gather_point(&self, var_indices: &[usize], i: usize, out: &mut [f64]) {
+        assert_eq!(var_indices.len(), out.len());
+        for (o, &v) in out.iter_mut().zip(var_indices.iter()) {
+            *o = self.vars[v][i];
+        }
+    }
+
+    /// Resolves variable names to indices.
+    ///
+    /// # Panics
+    /// Panics if any name is missing.
+    pub fn var_indices(&self, names: &[String]) -> Vec<usize> {
+        names
+            .iter()
+            .map(|name| {
+                self.names
+                    .iter()
+                    .position(|n| n == name)
+                    .unwrap_or_else(|| panic!("variable '{name}' not found (have: {:?})", self.names))
+            })
+            .collect()
+    }
+}
+
+/// Metadata mirroring one row of the paper's Table 1.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DatasetMeta {
+    /// Short label, e.g. "OF2D", "SST-P1F4".
+    pub label: String,
+    /// Human-readable description.
+    pub description: String,
+    /// K-means cluster variable (KCV) used by MaxEnt sampling.
+    pub cluster_var: String,
+    /// Neural-network input variables.
+    pub input_vars: Vec<String>,
+    /// Neural-network output variables.
+    pub output_vars: Vec<String>,
+    /// Gravity axis for stratified cases, if any.
+    pub gravity: Option<Axis>,
+}
+
+impl DatasetMeta {
+    /// Convenience constructor.
+    pub fn new(
+        label: &str,
+        description: &str,
+        cluster_var: &str,
+        input_vars: &[&str],
+        output_vars: &[&str],
+    ) -> Self {
+        DatasetMeta {
+            label: label.to_string(),
+            description: description.to_string(),
+            cluster_var: cluster_var.to_string(),
+            input_vars: input_vars.iter().map(|s| s.to_string()).collect(),
+            output_vars: output_vars.iter().map(|s| s.to_string()).collect(),
+            gravity: None,
+        }
+    }
+
+    /// Sets the gravity axis (builder style).
+    pub fn with_gravity(mut self, axis: Axis) -> Self {
+        self.gravity = Some(axis);
+        self
+    }
+}
+
+/// An ordered sequence of snapshots with Table-1 metadata.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Table-1 style metadata.
+    pub meta: DatasetMeta,
+    /// Snapshots ordered by time.
+    pub snapshots: Vec<Snapshot>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset.
+    pub fn new(meta: DatasetMeta) -> Self {
+        Dataset { meta, snapshots: Vec::new() }
+    }
+
+    /// Appends a snapshot, enforcing monotone time and consistent grids.
+    ///
+    /// # Panics
+    /// Panics if the snapshot's grid differs from existing ones or its time
+    /// does not increase.
+    pub fn push(&mut self, snap: Snapshot) {
+        if let Some(last) = self.snapshots.last() {
+            assert_eq!(last.grid, snap.grid, "inconsistent grids in dataset");
+            assert!(snap.time > last.time, "snapshot times must be strictly increasing");
+        }
+        self.snapshots.push(snap);
+    }
+
+    /// Number of snapshots.
+    pub fn num_snapshots(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// Grid shared by all snapshots.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset.
+    pub fn grid(&self) -> Grid3 {
+        self.snapshots.first().expect("empty dataset").grid
+    }
+
+    /// Total in-memory field size in bytes across all snapshots.
+    pub fn nbytes(&self) -> usize {
+        self.snapshots.iter().map(Snapshot::nbytes).sum()
+    }
+
+    /// Human-readable size string (B/KB/MB/GB/TB) like Table 1's Size column.
+    pub fn size_string(&self) -> String {
+        let mut v = self.nbytes() as f64;
+        for unit in ["B", "KB", "MB", "GB", "TB"] {
+            if v < 1024.0 {
+                return format!("{v:.1}{unit}");
+            }
+            v /= 1024.0;
+        }
+        format!("{v:.1}PB")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_snap(t: f64) -> Snapshot {
+        let g = Grid3::new(2, 2, 2, 1.0, 1.0, 1.0);
+        Snapshot::new(g, t)
+            .with_var("u", vec![0.0; 8])
+            .with_var("v", (0..8).map(|i| i as f64).collect())
+    }
+
+    #[test]
+    fn variable_lookup() {
+        let s = small_snap(0.0);
+        assert_eq!(s.num_vars(), 2);
+        assert!(s.var("u").is_some());
+        assert!(s.var("w").is_none());
+        assert_eq!(s.expect_var("v")[3], 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate variable")]
+    fn rejects_duplicate_variable() {
+        let _ = small_snap(0.0).with_var("u", vec![0.0; 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong length")]
+    fn rejects_wrong_length_variable() {
+        let _ = small_snap(0.0).with_var("w", vec![0.0; 7]);
+    }
+
+    #[test]
+    fn gather_point_collects_row() {
+        let s = small_snap(0.0);
+        let idx = s.var_indices(&["v".to_string(), "u".to_string()]);
+        let mut row = [0.0; 2];
+        s.gather_point(&idx, 5, &mut row);
+        assert_eq!(row, [5.0, 0.0]);
+    }
+
+    #[test]
+    fn dataset_push_enforces_invariants() {
+        let meta = DatasetMeta::new("T", "test", "v", &["u"], &["v"]);
+        let mut d = Dataset::new(meta);
+        d.push(small_snap(0.0));
+        d.push(small_snap(1.0));
+        assert_eq!(d.num_snapshots(), 2);
+        assert_eq!(d.nbytes(), 2 * 2 * 8 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn dataset_rejects_time_regression() {
+        let meta = DatasetMeta::new("T", "test", "v", &["u"], &["v"]);
+        let mut d = Dataset::new(meta);
+        d.push(small_snap(1.0));
+        d.push(small_snap(0.5));
+    }
+
+    #[test]
+    fn size_string_units() {
+        let meta = DatasetMeta::new("T", "test", "v", &["u"], &["v"]);
+        let mut d = Dataset::new(meta);
+        d.push(small_snap(0.0));
+        // 2 vars * 8 points * 8 bytes = 128 B
+        assert_eq!(d.size_string(), "128.0B");
+    }
+
+    #[test]
+    fn meta_builder_with_gravity() {
+        let m = DatasetMeta::new("SST", "d", "rho", &["u"], &["p"]).with_gravity(Axis::Z);
+        assert_eq!(m.gravity, Some(Axis::Z));
+    }
+}

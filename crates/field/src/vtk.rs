@@ -1,0 +1,153 @@
+//! Legacy-VTK export for snapshots and sample sets.
+//!
+//! The paper lists "enhanced visualization and analysis tools compatible
+//! with VTK and ParaView" as a goal and ships plotting scripts with the
+//! artifact; this module writes the two things one wants to look at —
+//! dense snapshots as `STRUCTURED_POINTS` volumes and sampled point clouds
+//! as `POLYDATA` vertices with per-point feature arrays — in the ASCII
+//! legacy format every ParaView build reads.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use crate::points::SampleSet;
+use crate::snapshot::Snapshot;
+
+/// Renders a snapshot as a legacy-VTK `STRUCTURED_POINTS` dataset with one
+/// scalar field per variable.
+pub fn snapshot_to_vtk(snap: &Snapshot) -> String {
+    let g = snap.grid;
+    let (dx, dy, dz) = g.spacing();
+    let mut out = String::new();
+    out.push_str("# vtk DataFile Version 3.0\n");
+    let _ = writeln!(out, "SICKLE snapshot t={}", snap.time);
+    out.push_str("ASCII\nDATASET STRUCTURED_POINTS\n");
+    let _ = writeln!(out, "DIMENSIONS {} {} {}", g.nx, g.ny, g.nz);
+    out.push_str("ORIGIN 0 0 0\n");
+    let _ = writeln!(out, "SPACING {dx} {dy} {dz}");
+    let _ = writeln!(out, "POINT_DATA {}", g.len());
+    for (name, var) in snap.names.iter().zip(&snap.vars) {
+        let _ = writeln!(out, "SCALARS {name} double 1");
+        out.push_str("LOOKUP_TABLE default\n");
+        // VTK structured points iterate x fastest; our layout is z fastest,
+        // so emit in VTK order (z slowest here means loop z outermost).
+        for z in 0..g.nz {
+            for y in 0..g.ny {
+                for x in 0..g.nx {
+                    let _ = writeln!(out, "{}", var[g.idx(x, y, z)]);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Renders a sample set as a legacy-VTK `POLYDATA` point cloud; `grid`
+/// resolves flat indices to physical coordinates, and every feature column
+/// becomes a scalar array.
+pub fn sample_set_to_vtk(set: &SampleSet, grid: &crate::grid::Grid3) -> String {
+    let mut out = String::new();
+    out.push_str("# vtk DataFile Version 3.0\n");
+    let _ = writeln!(out, "SICKLE samples t={} n={}", set.time, set.len());
+    out.push_str("ASCII\nDATASET POLYDATA\n");
+    let _ = writeln!(out, "POINTS {} double", set.len());
+    for &i in &set.indices {
+        let (x, y, z) = grid.coords(i);
+        let (px, py, pz) = grid.position(x, y, z);
+        let _ = writeln!(out, "{px} {py} {pz}");
+    }
+    let _ = writeln!(out, "VERTICES {} {}", set.len(), 2 * set.len());
+    for i in 0..set.len() {
+        let _ = writeln!(out, "1 {i}");
+    }
+    let _ = writeln!(out, "POINT_DATA {}", set.len());
+    for (c, name) in set.features.names.iter().enumerate() {
+        let _ = writeln!(out, "SCALARS {name} double 1");
+        out.push_str("LOOKUP_TABLE default\n");
+        for r in 0..set.len() {
+            let _ = writeln!(out, "{}", set.features.row(r)[c]);
+        }
+    }
+    out
+}
+
+/// Writes a snapshot to a `.vtk` file.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn save_snapshot_vtk(snap: &Snapshot, path: &Path) -> io::Result<()> {
+    std::fs::write(path, snapshot_to_vtk(snap))
+}
+
+/// Writes a sample set to a `.vtk` file.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn save_sample_set_vtk(set: &SampleSet, grid: &crate::grid::Grid3, path: &Path) -> io::Result<()> {
+    std::fs::write(path, sample_set_to_vtk(set, grid))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Grid3;
+    use crate::points::{FeatureMatrix, SampleSet};
+
+    fn snap() -> Snapshot {
+        let g = Grid3::new(2, 2, 2, 1.0, 1.0, 1.0);
+        Snapshot::new(g, 0.5).with_var("u", (0..8).map(|i| i as f64).collect())
+    }
+
+    #[test]
+    fn snapshot_vtk_structure() {
+        let s = snapshot_to_vtk(&snap());
+        assert!(s.starts_with("# vtk DataFile Version 3.0\n"));
+        assert!(s.contains("DATASET STRUCTURED_POINTS"));
+        assert!(s.contains("DIMENSIONS 2 2 2"));
+        assert!(s.contains("POINT_DATA 8"));
+        assert!(s.contains("SCALARS u double 1"));
+        // 8 data lines for the variable.
+        let data_lines = s.lines().skip_while(|l| !l.starts_with("LOOKUP_TABLE")).skip(1).count();
+        assert_eq!(data_lines, 8);
+    }
+
+    #[test]
+    fn snapshot_vtk_axis_order_is_x_fastest() {
+        let s = snapshot_to_vtk(&snap());
+        let values: Vec<&str> =
+            s.lines().skip_while(|l| !l.starts_with("LOOKUP_TABLE")).skip(1).collect();
+        // Our layout: idx = (x*2 + y)*2 + z. VTK wants x fastest:
+        // (x=0,y=0,z=0)=0, (x=1,y=0,z=0)=4, (x=0,y=1,z=0)=2, ...
+        assert_eq!(values[0], "0");
+        assert_eq!(values[1], "4");
+        assert_eq!(values[2], "2");
+        assert_eq!(values[3], "6");
+        assert_eq!(values[4], "1");
+    }
+
+    #[test]
+    fn sample_set_vtk_structure() {
+        let g = Grid3::new(4, 4, 1, 4.0, 4.0, 1.0);
+        let fm = FeatureMatrix::new(vec!["q".into()], vec![1.5, 2.5]);
+        let set = SampleSet::new(fm, vec![0, 5], 0.0, 0);
+        let s = sample_set_to_vtk(&set, &g);
+        assert!(s.contains("DATASET POLYDATA"));
+        assert!(s.contains("POINTS 2 double"));
+        assert!(s.contains("VERTICES 2 4"));
+        assert!(s.contains("SCALARS q double 1"));
+        // Index 5 = (x=1, y=1) at unit spacing.
+        assert!(s.contains("1 1 0"));
+    }
+
+    #[test]
+    fn files_roundtrip_to_disk() {
+        let dir = std::env::temp_dir().join("sickle_vtk_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("snap.vtk");
+        save_snapshot_vtk(&snap(), &p).unwrap();
+        let content = std::fs::read_to_string(&p).unwrap();
+        assert!(content.contains("STRUCTURED_POINTS"));
+        std::fs::remove_file(&p).ok();
+    }
+}

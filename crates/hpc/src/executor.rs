@@ -1,0 +1,173 @@
+//! Real threaded rank executor for the sampling pipeline.
+//!
+//! Mirrors `srun -n R python subsample.py`: the selected hypercubes of a
+//! snapshot are dealt round-robin to `R` ranks; each rank processes its
+//! share on a dedicated single-thread rayon pool (so one rank ≡ one core,
+//! as in the paper's CPU sampling runs), and the run time is the slowest
+//! rank's time.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sickle_core::pipeline::SamplingConfig;
+use sickle_field::{SampleSet, Snapshot, Tiling};
+
+/// Timing result of one ranked run.
+#[derive(Clone, Debug)]
+pub struct RankTiming {
+    /// Number of ranks used.
+    pub ranks: usize,
+    /// Wall-clock seconds (slowest rank).
+    pub elapsed_secs: f64,
+    /// Hypercubes processed per rank.
+    pub cubes_per_rank: Vec<usize>,
+    /// Total points retained.
+    pub points_out: usize,
+}
+
+/// Runs phase 1 + phase 2 for one snapshot with `ranks` worker threads.
+///
+/// Phase 1 (cube selection) runs on the calling thread — it is the serial
+/// fraction, as in the reference implementation where rank 0 broadcasts the
+/// selection. Phase 2 is distributed.
+///
+/// # Panics
+/// Panics if `ranks == 0`.
+pub fn run_with_ranks(snap: &Snapshot, cfg: &SamplingConfig, ranks: usize) -> RankTiming {
+    assert!(ranks > 0, "need at least one rank");
+    let t0 = Instant::now();
+    let tiling = Tiling::cubic(snap.grid, cfg.cube_edge);
+    let count = cfg.num_hypercubes.min(tiling.len());
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let selector = cfg.hypercubes.build();
+    let cube_ids = selector.select(&tiling, snap, &cfg.cluster_var, count, &mut rng);
+    let (vars, cluster_col) = cfg.extraction_vars();
+
+    // Round-robin deal, like MPI rank striding.
+    let mut assignments: Vec<Vec<usize>> = vec![Vec::new(); ranks];
+    for (i, &cube) in cube_ids.iter().enumerate() {
+        assignments[i % ranks].push(cube);
+    }
+    let cubes_per_rank: Vec<usize> = assignments.iter().map(Vec::len).collect();
+
+    let results: Vec<Vec<SampleSet>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = assignments
+            .iter()
+            .map(|my_cubes| {
+                let tiling = &tiling;
+                let vars = &vars;
+                scope.spawn(move || {
+                    // One rank = one core: confine rayon to a single thread.
+                    let pool = rayon::ThreadPoolBuilder::new()
+                        .num_threads(1)
+                        .build()
+                        .expect("failed to build rank pool");
+                    pool.install(|| {
+                        let sampler = cfg.method.build();
+                        my_cubes
+                            .iter()
+                            .map(|&cube_id| {
+                                let (features, indices) = tiling.extract(snap, cube_id, vars);
+                                let mut rng =
+                                    StdRng::seed_from_u64(cfg.seed ^ (cube_id as u64).wrapping_mul(0x9E37_79B9));
+                                let picked =
+                                    sampler.select(&features, cluster_col, cfg.num_samples, &mut rng);
+                                let sel = features.gather(&picked);
+                                let idx: Vec<usize> = picked.iter().map(|&p| indices[p]).collect();
+                                SampleSet::new(sel, idx, snap.time, 0).with_hypercube(cube_id)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
+    });
+
+    let points_out = results.iter().flatten().map(SampleSet::len).sum();
+    RankTiming {
+        ranks,
+        elapsed_secs: t0.elapsed().as_secs_f64(),
+        cubes_per_rank,
+        points_out,
+    }
+}
+
+/// Runs a strong-scaling sweep over the given rank counts, returning
+/// `(ranks, seconds)` pairs; speedups are relative to the first entry.
+pub fn scaling_sweep(snap: &Snapshot, cfg: &SamplingConfig, rank_counts: &[usize]) -> Vec<RankTiming> {
+    rank_counts.iter().map(|&r| run_with_ranks(snap, cfg, r)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sickle_core::pipeline::{CubeMethod, PointMethod};
+    use sickle_field::Grid3;
+
+    fn snapshot() -> Snapshot {
+        let grid = Grid3::new(32, 32, 32, 1.0, 1.0, 1.0);
+        let q: Vec<f64> = (0..grid.len())
+            .map(|i| ((i * 2654435761) % 1000) as f64 * 0.001 + if i % 211 == 0 { 5.0 } else { 0.0 })
+            .collect();
+        Snapshot::new(grid, 0.0).with_var("q", q)
+    }
+
+    fn config() -> SamplingConfig {
+        SamplingConfig {
+            hypercubes: CubeMethod::Random,
+            num_hypercubes: 16,
+            cube_edge: 8,
+            method: PointMethod::MaxEnt { num_clusters: 5, bins: 32 },
+            num_samples: 51,
+            cluster_var: "q".to_string(),
+            feature_vars: vec!["q".to_string()],
+            seed: 3,
+            temporal: sickle_core::pipeline::TemporalMethod::All,
+        }
+    }
+
+    #[test]
+    fn ranks_partition_cubes_evenly() {
+        let t = run_with_ranks(&snapshot(), &config(), 4);
+        assert_eq!(t.ranks, 4);
+        assert_eq!(t.cubes_per_rank, vec![4, 4, 4, 4]);
+        assert_eq!(t.points_out, 16 * 51);
+    }
+
+    #[test]
+    fn more_ranks_than_cubes_leaves_idle_ranks() {
+        let mut cfg = config();
+        cfg.num_hypercubes = 3;
+        let t = run_with_ranks(&snapshot(), &cfg, 8);
+        let idle = t.cubes_per_rank.iter().filter(|&&c| c == 0).count();
+        assert_eq!(idle, 5, "5 ranks must be starved: {:?}", t.cubes_per_rank);
+    }
+
+    #[test]
+    fn results_independent_of_rank_count() {
+        // The same cubes and seeds produce the same sample counts no matter
+        // how the work is partitioned.
+        let snap = snapshot();
+        let cfg = config();
+        let t1 = run_with_ranks(&snap, &cfg, 1);
+        let t4 = run_with_ranks(&snap, &cfg, 4);
+        assert_eq!(t1.points_out, t4.points_out);
+    }
+
+    #[test]
+    fn sweep_returns_all_rank_counts() {
+        let snap = snapshot();
+        let cfg = config();
+        let sweep = scaling_sweep(&snap, &cfg, &[1, 2, 4]);
+        assert_eq!(sweep.len(), 3);
+        assert!(sweep.iter().all(|t| t.elapsed_secs > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        let _ = run_with_ranks(&snapshot(), &config(), 0);
+    }
+}

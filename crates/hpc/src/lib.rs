@@ -1,0 +1,24 @@
+//! # sickle-hpc
+//!
+//! Strong-scaling machinery for the paper's Fig. 7 (MaxEnt parallel
+//! scalability, 1–512 MPI ranks).
+//!
+//! Two complementary pieces:
+//!
+//! - [`executor`] — a *real* rank executor: the sampling pipeline's
+//!   hypercubes are partitioned over OS threads, each pinned to a
+//!   single-thread rayon pool (one "MPI rank" = one core), and wall time is
+//!   measured. Valid up to the host's core count; validates the simulator.
+//! - [`simulator`] — an α–β performance model of the same computation on a
+//!   cluster: per-point compute cost, per-cube overhead, log-tree
+//!   all-reduce, and result gather. Reproduces the paper's observed shape —
+//!   quasi-linear speedup while every rank holds enough hypercubes, then a
+//!   knee and efficiency collapse once the dataset is spread too thin
+//!   (SST-P1F4 plateaus near 9× at 32 ranks; SST-P1F100 scales to 64 ranks
+//!   and reaches ~171× at 512).
+
+pub mod executor;
+pub mod simulator;
+
+pub use executor::{run_with_ranks, RankTiming};
+pub use simulator::{knee_point, ClusterModel, ScalingPoint};

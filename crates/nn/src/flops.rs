@@ -1,0 +1,54 @@
+//! Global FLOP counter for the energy model.
+//!
+//! Every tape op records its floating-point work here; the training loop
+//! reads the counter into a `sickle-energy` meter. A process-global atomic
+//! keeps the tape free of plumbing and works under rayon parallelism.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static FLOPS: AtomicU64 = AtomicU64::new(0);
+
+/// Adds `n` FLOPs to the global counter.
+#[inline]
+pub fn record(n: u64) {
+    FLOPS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Current counter value.
+pub fn total() -> u64 {
+    FLOPS.load(Ordering::Relaxed)
+}
+
+/// Resets the counter to zero and returns the previous value.
+pub fn reset() -> u64 {
+    FLOPS.swap(0, Ordering::Relaxed)
+}
+
+/// Returns the FLOPs accumulated while running `f` (not thread-isolated:
+/// concurrent recorders will be included).
+pub fn counted<R>(f: impl FnOnce() -> R) -> (R, u64) {
+    let before = total();
+    let r = f();
+    (r, total() - before)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_resets() {
+        reset();
+        record(100);
+        record(20);
+        assert!(total() >= 120);
+        let prev = reset();
+        assert!(prev >= 120);
+    }
+
+    #[test]
+    fn counted_measures_delta() {
+        let ((), d) = counted(|| record(42));
+        assert!(d >= 42);
+    }
+}

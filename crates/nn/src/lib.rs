@@ -1,0 +1,49 @@
+//! # sickle-nn
+//!
+//! A from-scratch, reverse-mode automatic-differentiation library — the
+//! PyTorch substitute for the reproduction (the paper trains its surrogates
+//! with `torch.distributed`; the Rust ecosystem has no equivalent
+//! spatiotemporal-ML stack, so this crate implements the needed subset).
+//!
+//! Design: a tape ([`Tape`]) records a graph of 2D `f32` tensors and the ops
+//! between them; [`Tape::backward`] walks it in reverse. Parameters live
+//! outside the tape in a [`ParamStore`] (with Adam moments), so a fresh tape
+//! per batch is cheap and layers are plain structs holding parameter ids —
+//! the same architecture as micrograd-family engines, scaled up with
+//! rayon-parallel matmuls and FLOP accounting for the energy model.
+//!
+//! ## Example
+//!
+//! ```
+//! use sickle_nn::{Tape, ParamStore, layers::Linear, optim::Adam};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut store = ParamStore::new();
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let layer = Linear::new(&mut store, 2, 1, &mut rng);
+//! let mut opt = Adam::new(1e-2);
+//! for _ in 0..200 {
+//!     let mut tape = Tape::new();
+//!     // Learn y = x0 + x1 on four fixed points.
+//!     let x = tape.leaf(vec![0.0, 0.0, 1.0, 0.0, 0.0, 1.0, 1.0, 1.0], (4, 2));
+//!     let y = layer.forward(&mut tape, &store, x);
+//!     let loss = tape.mse_loss(y, &[0.0, 1.0, 1.0, 2.0]);
+//!     tape.backward(loss);
+//!     tape.accumulate_grads(&mut store);
+//!     opt.step(&mut store);
+//!     store.zero_grads();
+//! }
+//! let mut tape = Tape::new();
+//! let x = tape.leaf(vec![1.0, 1.0], (1, 2));
+//! let y = layer.forward(&mut tape, &store, x);
+//! assert!((tape.value(y)[0] - 2.0).abs() < 0.1);
+//! ```
+
+pub mod flops;
+pub mod layers;
+pub mod optim;
+pub mod params;
+pub mod tape;
+
+pub use params::{ParamId, ParamStore};
+pub use tape::{Tape, Var};

@@ -1,0 +1,214 @@
+//! Optimizers and learning-rate scheduling.
+//!
+//! The paper trains with Adam at lr = 0.001 and "learning rate plateau with
+//! a patience of 20"; both are implemented here, plus plain SGD for
+//! baselines and ablations.
+
+use crate::params::ParamStore;
+
+/// Stochastic gradient descent with optional momentum.
+#[derive(Clone, Debug)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 disables).
+    pub momentum: f32,
+}
+
+impl Sgd {
+    /// Plain SGD.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr, momentum: 0.0 }
+    }
+
+    /// Applies one update step (uses the store's `m` slot for momentum).
+    pub fn step(&mut self, store: &mut ParamStore) {
+        for p in store.iter_mut() {
+            for i in 0..p.data.len() {
+                if self.momentum > 0.0 {
+                    p.m[i] = self.momentum * p.m[i] + p.grad[i];
+                    p.data[i] -= self.lr * p.m[i];
+                } else {
+                    p.data[i] -= self.lr * p.grad[i];
+                }
+            }
+        }
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical floor.
+    pub eps: f32,
+    t: u64,
+}
+
+impl Adam {
+    /// Adam with standard betas (0.9, 0.999).
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0 }
+    }
+
+    /// Applies one update step.
+    pub fn step(&mut self, store: &mut ParamStore) {
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for p in store.iter_mut() {
+            for i in 0..p.data.len() {
+                let g = p.grad[i];
+                p.m[i] = self.beta1 * p.m[i] + (1.0 - self.beta1) * g;
+                p.v[i] = self.beta2 * p.v[i] + (1.0 - self.beta2) * g * g;
+                let mhat = p.m[i] / b1t;
+                let vhat = p.v[i] / b2t;
+                p.data[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    /// Number of steps taken.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+/// `ReduceLROnPlateau`: halves the learning rate when the monitored loss has
+/// not improved for `patience` epochs (the paper's patience is 20).
+#[derive(Clone, Debug)]
+pub struct ReduceLrOnPlateau {
+    /// Multiplicative decay factor on plateau.
+    pub factor: f32,
+    /// Epochs without improvement before decaying.
+    pub patience: usize,
+    /// Lower bound on the learning rate.
+    pub min_lr: f32,
+    best: f32,
+    stale: usize,
+}
+
+impl ReduceLrOnPlateau {
+    /// Standard configuration: halve after `patience` stale epochs.
+    pub fn new(patience: usize) -> Self {
+        ReduceLrOnPlateau { factor: 0.5, patience, min_lr: 1e-6, best: f32::INFINITY, stale: 0 }
+    }
+
+    /// Observes an epoch loss; returns the (possibly reduced) lr to apply.
+    pub fn observe(&mut self, loss: f32, current_lr: f32) -> f32 {
+        if loss < self.best * (1.0 - 1e-4) {
+            self.best = loss;
+            self.stale = 0;
+            current_lr
+        } else {
+            self.stale += 1;
+            if self.stale > self.patience {
+                self.stale = 0;
+                (current_lr * self.factor).max(self.min_lr)
+            } else {
+                current_lr
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_param_store(grad: f32) -> ParamStore {
+        let mut s = ParamStore::new();
+        let id = s.alloc(vec![1.0], (1, 1));
+        s.get_mut(id).grad[0] = grad;
+        s
+    }
+
+    #[test]
+    fn sgd_moves_against_gradient() {
+        let mut s = one_param_store(2.0);
+        Sgd::new(0.1).step(&mut s);
+        let v = s.iter().next().unwrap().data[0];
+        assert!((v - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sgd_momentum_accumulates() {
+        let mut s = one_param_store(1.0);
+        let mut opt = Sgd { lr: 0.1, momentum: 0.9 };
+        opt.step(&mut s);
+        // Re-set the same gradient and step again: momentum term adds.
+        for p in s.iter_mut() {
+            p.grad[0] = 1.0;
+        }
+        opt.step(&mut s);
+        let v = s.iter().next().unwrap().data[0];
+        // step1: m=1, x=1-0.1=0.9; step2: m=1.9, x=0.9-0.19=0.71
+        assert!((v - 0.71).abs() < 1e-5);
+    }
+
+    #[test]
+    fn adam_first_step_size_is_lr() {
+        // With bias correction, the first Adam step ~= lr * sign(grad).
+        let mut s = one_param_store(0.37);
+        Adam::new(0.01).step(&mut s);
+        let v = s.iter().next().unwrap().data[0];
+        assert!((v - 0.99).abs() < 1e-4, "value {v}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        // Minimize (x-3)^2 by hand-computed gradients.
+        let mut s = ParamStore::new();
+        let id = s.alloc(vec![0.0], (1, 1));
+        let mut opt = Adam::new(0.1);
+        for _ in 0..500 {
+            let x = s.get(id).data[0];
+            s.get_mut(id).grad[0] = 2.0 * (x - 3.0);
+            opt.step(&mut s);
+            s.zero_grads();
+        }
+        assert!((s.get(id).data[0] - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn plateau_scheduler_halves_after_patience() {
+        let mut sched = ReduceLrOnPlateau::new(3);
+        let mut lr = 0.1f32;
+        lr = sched.observe(1.0, lr); // improvement (best = 1.0)
+        assert_eq!(lr, 0.1);
+        for _ in 0..3 {
+            lr = sched.observe(1.0, lr); // stale 1..3 — within patience
+        }
+        assert_eq!(lr, 0.1);
+        lr = sched.observe(1.0, lr); // stale 4 > patience -> halve
+        assert!((lr - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plateau_resets_on_improvement() {
+        let mut sched = ReduceLrOnPlateau::new(2);
+        let mut lr = 0.1f32;
+        lr = sched.observe(1.0, lr);
+        lr = sched.observe(1.0, lr);
+        lr = sched.observe(0.5, lr); // improvement resets staleness
+        lr = sched.observe(0.5, lr);
+        lr = sched.observe(0.5, lr);
+        assert_eq!(lr, 0.1, "should not halve yet");
+    }
+
+    #[test]
+    fn plateau_respects_min_lr() {
+        let mut sched = ReduceLrOnPlateau::new(0);
+        sched.min_lr = 0.01;
+        let mut lr = 0.02f32;
+        for _ in 0..10 {
+            lr = sched.observe(1.0, lr);
+        }
+        assert!(lr >= 0.01);
+    }
+}

@@ -1,0 +1,262 @@
+//! Distributed-data-parallel training analogue (`torch.distributed`
+//! stand-in, paper §5.1).
+//!
+//! `world` replicas run on OS threads. Each step: replicas pull the master
+//! weights, compute gradients on their shard of the batch, and the flat
+//! gradients are all-reduced (averaged) into the master before the
+//! optimizer step — exactly PyTorch DDP's synchronous data-parallel
+//! semantics, with the NCCL ring replaced by an in-memory reduction.
+//! Results are bitwise-deterministic for a fixed world size and seed.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sickle_energy::{EnergyMeter, MachineModel};
+use sickle_nn::optim::{Adam, ReduceLrOnPlateau};
+use sickle_nn::{flops, Tape};
+
+use crate::data::{Batch, TensorData};
+use crate::models::Model;
+use crate::trainer::{TrainConfig, TrainResult};
+
+/// Splits a batch into up to `world` contiguous shards (empty shards are
+/// dropped, so tiny batches degrade gracefully to fewer workers).
+pub fn shard_batch(batch: &Batch, world: usize) -> Vec<Batch> {
+    let b = batch.shape.batch;
+    let world = world.max(1);
+    let per_tok = batch.shape.tokens * batch.shape.features;
+    let mut shards = Vec::new();
+    let base = b / world;
+    let extra = b % world;
+    let mut start = 0;
+    for w in 0..world {
+        let take = base + usize::from(w < extra);
+        if take == 0 {
+            continue;
+        }
+        let inputs = batch.inputs[start * per_tok..(start + take) * per_tok].to_vec();
+        let targets = batch.targets
+            [start * batch.shape.outputs..(start + take) * batch.shape.outputs]
+            .to_vec();
+        let mut shape = batch.shape;
+        shape.batch = take;
+        shards.push(Batch { inputs, targets, shape });
+        start += take;
+    }
+    shards
+}
+
+/// All-reduce: averages flat gradient vectors elementwise.
+pub fn allreduce_mean(grads: &[Vec<f32>]) -> Vec<f32> {
+    assert!(!grads.is_empty(), "no gradients to reduce");
+    let n = grads[0].len();
+    let mut out = vec![0.0f32; n];
+    for g in grads {
+        assert_eq!(g.len(), n, "gradient length mismatch across replicas");
+        for (o, &v) in out.iter_mut().zip(g) {
+            *o += v;
+        }
+    }
+    let inv = 1.0 / grads.len() as f32;
+    out.iter_mut().for_each(|v| *v *= inv);
+    out
+}
+
+/// Data-parallel training over `world` thread replicas.
+///
+/// The master model owns the optimizer state; replicas are synchronized
+/// from it at each step (DDP broadcast), then gradients are averaged back.
+pub fn train_ddp<M>(
+    model: &mut M,
+    data: &TensorData,
+    cfg: &TrainConfig,
+    world: usize,
+    machine: MachineModel,
+) -> TrainResult
+where
+    M: Model + Clone + Sync,
+{
+    let (train_set, test_set) = data.split(cfg.test_frac, cfg.seed);
+    let meter = EnergyMeter::new(machine);
+    let mut opt = Adam::new(cfg.lr);
+    let mut sched = ReduceLrOnPlateau::new(cfg.patience);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xDEAD_BEEF);
+    let test_batch = test_set.full_batch();
+    let mut train_losses = Vec::with_capacity(cfg.epochs);
+    let mut test_losses = Vec::with_capacity(cfg.epochs);
+    let mut best = f32::INFINITY;
+    flops::reset();
+    let step_param_bytes = (model.num_params() * 2 * std::mem::size_of::<f32>()) as u64;
+    // Gradient all-reduce moves one full gradient vector per replica.
+    let allreduce_bytes = (model.num_params() * std::mem::size_of::<f32>()) as u64;
+
+    let mut replicas: Vec<M> = (0..world.max(1)).map(|_| model.clone()).collect();
+
+    for _epoch in 0..cfg.epochs {
+        let mut epoch_loss = 0.0f64;
+        let mut batches = 0usize;
+        for batch in train_set.batches(cfg.batch, &mut rng) {
+            let shards = shard_batch(&batch, world);
+            // Broadcast current master weights.
+            for r in replicas.iter_mut() {
+                r.store_mut().copy_values_from(model.store());
+                r.store_mut().zero_grads();
+            }
+            // Parallel backward per shard.
+            let active = shards.len();
+            let results: Vec<(f32, Vec<f32>)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = replicas[..active]
+                    .iter_mut()
+                    .zip(shards.iter())
+                    .map(|(replica, shard)| {
+                        scope.spawn(move || {
+                            let mut tape = Tape::new();
+                            let loss = replica.loss_on_batch(&mut tape, shard);
+                            let lv = tape.value(loss)[0];
+                            tape.backward(loss);
+                            tape.accumulate_grads(replica.store_mut());
+                            (lv, replica.store().flat_grads())
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("replica thread panicked")).collect()
+            });
+            let mean_loss =
+                results.iter().map(|(l, _)| *l as f64).sum::<f64>() / results.len() as f64;
+            epoch_loss += mean_loss;
+            batches += 1;
+            let grads: Vec<Vec<f32>> = results.into_iter().map(|(_, g)| g).collect();
+            let reduced = allreduce_mean(&grads);
+            model.store_mut().set_flat_grads(&reduced);
+            opt.step(model.store_mut());
+            model.store_mut().zero_grads();
+            meter.record_bytes(step_param_bytes + allreduce_bytes * active as u64);
+        }
+        meter.record_bytes(
+            ((train_set.inputs.len() + train_set.targets.len()) * std::mem::size_of::<f32>()) as u64,
+        );
+        let train_loss = (epoch_loss / batches.max(1) as f64) as f32;
+        let test_loss = model.eval_loss(&test_batch);
+        best = best.min(test_loss);
+        opt.lr = sched.observe(test_loss, opt.lr);
+        train_losses.push(train_loss);
+        test_losses.push(test_loss);
+    }
+    meter.record_flops(flops::reset());
+    TrainResult {
+        train_loss: train_losses,
+        test_loss: test_losses,
+        best_test: best,
+        energy: meter.report(),
+        params: model.num_params(),
+        samples: train_set.n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::BatchShape;
+    use crate::models::LstmModel;
+    use crate::trainer::train;
+
+    fn toy_data(n: usize) -> TensorData {
+        let tokens = 2;
+        let features = 3;
+        let mut inputs = Vec::new();
+        let mut targets = Vec::new();
+        for i in 0..n {
+            let mut sum = 0.0f32;
+            for t in 0..tokens {
+                for f in 0..features {
+                    let v = (((i * 5 + t * 2 + f) % 11) as f32) * 0.1 - 0.5;
+                    inputs.push(v);
+                    sum += v;
+                }
+            }
+            targets.push(sum);
+        }
+        TensorData::new(inputs, targets, tokens, features, 1)
+    }
+
+    #[test]
+    fn shard_batch_partitions_exactly() {
+        let batch = Batch {
+            inputs: (0..10 * 6).map(|i| i as f32).collect(),
+            targets: (0..10).map(|i| i as f32).collect(),
+            shape: BatchShape { batch: 10, tokens: 2, features: 3, outputs: 1 },
+        };
+        let shards = shard_batch(&batch, 4);
+        assert_eq!(shards.len(), 4);
+        let total: usize = shards.iter().map(|s| s.shape.batch).sum();
+        assert_eq!(total, 10);
+        // First shards get the remainder.
+        assert_eq!(shards[0].shape.batch, 3);
+        assert_eq!(shards[3].shape.batch, 2);
+        // Values preserved in order.
+        assert_eq!(shards[0].targets, vec![0.0, 1.0, 2.0]);
+        assert_eq!(shards[3].targets, vec![8.0, 9.0]);
+    }
+
+    #[test]
+    fn shard_batch_drops_empty_shards() {
+        let batch = Batch {
+            inputs: vec![0.0; 2 * 6],
+            targets: vec![0.0; 2],
+            shape: BatchShape { batch: 2, tokens: 2, features: 3, outputs: 1 },
+        };
+        let shards = shard_batch(&batch, 8);
+        assert_eq!(shards.len(), 2);
+    }
+
+    #[test]
+    fn allreduce_mean_averages() {
+        let g = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        assert_eq!(allreduce_mean(&g), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn ddp_matches_single_worker_training() {
+        // world=1 DDP must match the plain trainer exactly (same seeds).
+        let data = toy_data(24);
+        let cfg = TrainConfig { epochs: 4, batch: 8, ..Default::default() };
+        let mut m1 = LstmModel::new(3, 8, 1, 7);
+        let r1 = train(&mut m1, &data, &cfg, MachineModel::frontier_gcd());
+        let mut m2 = LstmModel::new(3, 8, 1, 7);
+        let r2 = train_ddp(&mut m2, &data, &cfg, 1, MachineModel::frontier_gcd());
+        for (a, b) in r1.test_loss.iter().zip(&r2.test_loss) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn ddp_multiworker_converges() {
+        let data = toy_data(32);
+        let cfg = TrainConfig { epochs: 15, batch: 8, lr: 0.01, ..Default::default() };
+        let mut model = LstmModel::new(3, 8, 1, 1);
+        let res = train_ddp(&mut model, &data, &cfg, 4, MachineModel::frontier_gcd());
+        assert!(res.train_loss[14] < res.train_loss[0]);
+        assert!(res.train_loss.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn ddp_is_deterministic() {
+        let data = toy_data(16);
+        let cfg = TrainConfig { epochs: 3, batch: 8, ..Default::default() };
+        let mut a = LstmModel::new(3, 8, 1, 2);
+        let ra = train_ddp(&mut a, &data, &cfg, 3, MachineModel::frontier_gcd());
+        let mut b = LstmModel::new(3, 8, 1, 2);
+        let rb = train_ddp(&mut b, &data, &cfg, 3, MachineModel::frontier_gcd());
+        assert_eq!(ra.test_loss, rb.test_loss);
+    }
+
+    #[test]
+    fn ddp_records_allreduce_traffic() {
+        let data = toy_data(16);
+        let cfg = TrainConfig { epochs: 2, batch: 8, ..Default::default() };
+        let mut m1 = LstmModel::new(3, 8, 1, 0);
+        let r1 = train_ddp(&mut m1, &data, &cfg, 1, MachineModel::frontier_gcd());
+        let mut m4 = LstmModel::new(3, 8, 1, 0);
+        let r4 = train_ddp(&mut m4, &data, &cfg, 4, MachineModel::frontier_gcd());
+        assert!(r4.energy.bytes > r1.energy.bytes, "more replicas => more traffic");
+    }
+}

@@ -1,0 +1,175 @@
+//! Federated training across sites — the paper's APPFL extension
+//! ("Support for federated learning across distributed HPC facilities").
+//!
+//! Implements FedAvg: each site holds its own data shard (e.g. DNS
+//! ensembles at different facilities), trains locally for a few epochs, and
+//! a coordinator replaces every site's weights with the sample-weighted
+//! average. No raw data crosses sites — only parameters, matching the
+//! privacy-preserving setup APPFL targets.
+
+use sickle_energy::MachineModel;
+use sickle_nn::ParamStore;
+
+use crate::data::TensorData;
+use crate::models::Model;
+use crate::trainer::{train, TrainConfig, TrainResult};
+
+/// Sample-weighted average of parameter stores (identical topologies).
+///
+/// # Panics
+/// Panics if stores/weights are empty, lengths differ, or topologies
+/// mismatch.
+pub fn average_params(stores: &[&ParamStore], weights: &[f64]) -> ParamStore {
+    assert!(!stores.is_empty(), "no stores to average");
+    assert_eq!(stores.len(), weights.len(), "stores/weights length mismatch");
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weights must sum to a positive value");
+    let mut out = stores[0].clone();
+    for (pi, p) in out.iter_mut().enumerate() {
+        for v in p.data.iter_mut() {
+            *v = 0.0;
+        }
+        for (s, &w) in stores.iter().zip(weights) {
+            let src = s.iter().nth(pi).expect("topology mismatch");
+            assert_eq!(src.shape, p.shape, "param shape mismatch across sites");
+            let f = (w / total) as f32;
+            for (d, &x) in p.data.iter_mut().zip(&src.data) {
+                *d += f * x;
+            }
+        }
+        // Optimizer moments are site-local; reset them on the new global.
+        p.m.iter_mut().for_each(|v| *v = 0.0);
+        p.v.iter_mut().for_each(|v| *v = 0.0);
+        p.grad.iter_mut().for_each(|v| *v = 0.0);
+    }
+    out
+}
+
+/// Result of a federated run.
+#[derive(Clone, Debug)]
+pub struct FederatedResult {
+    /// Global-model test loss per round, averaged over sites' test sets.
+    pub round_loss: Vec<f32>,
+    /// Per-site results of the final round.
+    pub final_site_results: Vec<TrainResult>,
+}
+
+/// Runs `rounds` of FedAvg: every site trains `local.epochs` locally, then
+/// weights are averaged by sample count and broadcast back.
+pub fn federated_train<M>(
+    sites: &mut [M],
+    data: &[TensorData],
+    rounds: usize,
+    local: &TrainConfig,
+    machine: MachineModel,
+) -> FederatedResult
+where
+    M: Model + Clone,
+{
+    assert_eq!(sites.len(), data.len(), "one data shard per site");
+    assert!(!sites.is_empty(), "need at least one site");
+    let mut round_loss = Vec::with_capacity(rounds);
+    let mut last_results = Vec::new();
+    for round in 0..rounds {
+        let mut results = Vec::with_capacity(sites.len());
+        for (site, shard) in sites.iter_mut().zip(data) {
+            let mut cfg = *local;
+            cfg.seed = local.seed ^ (round as u64);
+            results.push(train(site, shard, &cfg, machine.clone()));
+        }
+        let weights: Vec<f64> = results.iter().map(|r| r.samples as f64).collect();
+        let stores: Vec<&ParamStore> = sites.iter().map(|s| s.store()).collect();
+        let global = average_params(&stores, &weights);
+        for site in sites.iter_mut() {
+            site.store_mut().copy_values_from(&global);
+        }
+        // Global evaluation: average final test loss across sites after
+        // the broadcast (all sites now hold the same weights).
+        let mut loss = 0.0;
+        for (site, shard) in sites.iter().zip(data) {
+            let (_, test) = shard.split(local.test_frac, local.seed);
+            loss += site.eval_loss(&test.full_batch());
+        }
+        round_loss.push(loss / sites.len() as f32);
+        last_results = results;
+    }
+    FederatedResult { round_loss, final_site_results: last_results }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::LstmModel;
+
+    fn shard(n: usize, offset: f32) -> TensorData {
+        let tokens = 2;
+        let features = 2;
+        let mut inputs = Vec::new();
+        let mut targets = Vec::new();
+        for i in 0..n {
+            let mut s = 0.0;
+            for t in 0..tokens {
+                for f in 0..features {
+                    let v = (((i * 3 + t + f) % 9) as f32) * 0.1 + offset;
+                    inputs.push(v);
+                    s += v;
+                }
+            }
+            targets.push(s / 4.0);
+        }
+        TensorData::new(inputs, targets, tokens, features, 1)
+    }
+
+    #[test]
+    fn average_params_weighted_mean() {
+        let mut a = ParamStore::new();
+        a.alloc(vec![1.0, 2.0], (1, 2));
+        let mut b = ParamStore::new();
+        b.alloc(vec![3.0, 6.0], (1, 2));
+        let avg = average_params(&[&a, &b], &[1.0, 3.0]);
+        let p = avg.iter().next().unwrap();
+        assert!((p.data[0] - 2.5).abs() < 1e-6);
+        assert!((p.data[1] - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn average_resets_moments() {
+        let mut a = ParamStore::new();
+        let id = a.alloc(vec![1.0], (1, 1));
+        a.get_mut(id).m[0] = 9.0;
+        a.get_mut(id).grad[0] = 4.0;
+        let avg = average_params(&[&a], &[1.0]);
+        let p = avg.iter().next().unwrap();
+        assert_eq!(p.m[0], 0.0);
+        assert_eq!(p.grad[0], 0.0);
+        assert_eq!(p.data[0], 1.0);
+    }
+
+    #[test]
+    fn federated_training_converges_and_synchronizes() {
+        // Two sites with shifted data distributions.
+        let data = vec![shard(24, 0.0), shard(24, 0.3)];
+        let mut sites = vec![LstmModel::new(2, 8, 1, 0), LstmModel::new(2, 8, 1, 0)];
+        let local = TrainConfig { epochs: 4, batch: 8, lr: 0.02, test_frac: 0.2, ..Default::default() };
+        let res = federated_train(&mut sites, &data, 5, &local, MachineModel::frontier_gcd());
+        assert_eq!(res.round_loss.len(), 5);
+        assert!(res.round_loss[4] < res.round_loss[0], "{:?}", res.round_loss);
+        // After the last broadcast all sites hold identical weights.
+        let s0: Vec<f32> = sites[0].store().iter().flat_map(|p| p.data.clone()).collect();
+        let s1: Vec<f32> = sites[1].store().iter().flat_map(|p| p.data.clone()).collect();
+        assert_eq!(s0, s1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one data shard per site")]
+    fn mismatched_sites_rejected() {
+        let mut sites = vec![LstmModel::new(2, 4, 1, 0)];
+        let _ = federated_train(
+            &mut sites,
+            &[],
+            1,
+            &TrainConfig::default(),
+            MachineModel::frontier_gcd(),
+        );
+    }
+}

@@ -1,0 +1,211 @@
+//! Hyperparameter optimization — the analogue of the paper's `--tune`
+//! option (DeepHyper's asynchronous Bayesian search on Frontier).
+//!
+//! Two strategies over a small search space:
+//! - [`random_search`] — the unbiased baseline;
+//! - [`successive_halving`] — a budgeted racing strategy (Hyperband's inner
+//!   loop): evaluate many configs at a small epoch budget, keep the best
+//!   fraction, retrain survivors at a larger budget, repeat. This captures
+//!   DeepHyper's key practical property (cheap triage of bad configs)
+//!   without a surrogate model.
+//!
+//! The evaluator is a closure `(config, epoch_budget) -> loss`, so searches
+//! compose with [`crate::trainer::train`] or any cheaper proxy.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A candidate hyperparameter configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HpConfig {
+    /// Learning rate.
+    pub lr: f32,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Batch size.
+    pub batch: usize,
+}
+
+/// The search space: log-uniform learning rate, choice sets for the rest.
+#[derive(Clone, Debug)]
+pub struct SearchSpace {
+    /// Learning-rate bounds (log-uniform), e.g. `(1e-4, 1e-1)`.
+    pub lr: (f32, f32),
+    /// Candidate hidden widths.
+    pub hidden: Vec<usize>,
+    /// Candidate batch sizes.
+    pub batch: Vec<usize>,
+}
+
+impl Default for SearchSpace {
+    fn default() -> Self {
+        SearchSpace { lr: (1e-4, 3e-2), hidden: vec![8, 16, 32, 64], batch: vec![4, 8, 16] }
+    }
+}
+
+impl SearchSpace {
+    /// Draws one configuration.
+    pub fn sample(&self, rng: &mut StdRng) -> HpConfig {
+        let (lo, hi) = self.lr;
+        let loglr = rng.gen::<f32>() * (hi.ln() - lo.ln()) + lo.ln();
+        HpConfig {
+            lr: loglr.exp(),
+            hidden: self.hidden[rng.gen_range(0..self.hidden.len())],
+            batch: self.batch[rng.gen_range(0..self.batch.len())],
+        }
+    }
+}
+
+/// One evaluated trial.
+#[derive(Clone, Copy, Debug)]
+pub struct Trial {
+    /// The configuration.
+    pub config: HpConfig,
+    /// Validation loss achieved.
+    pub loss: f32,
+    /// Epoch budget the loss was measured at.
+    pub budget: usize,
+}
+
+/// Random search: `n_trials` independent draws at a fixed `budget`.
+/// Returns trials sorted best-first.
+pub fn random_search<F>(
+    space: &SearchSpace,
+    n_trials: usize,
+    budget: usize,
+    seed: u64,
+    mut eval: F,
+) -> Vec<Trial>
+where
+    F: FnMut(HpConfig, usize) -> f32,
+{
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trials: Vec<Trial> = (0..n_trials)
+        .map(|_| {
+            let config = space.sample(&mut rng);
+            Trial { config, loss: eval(config, budget), budget }
+        })
+        .collect();
+    trials.sort_by(|a, b| a.loss.partial_cmp(&b.loss).unwrap_or(std::cmp::Ordering::Equal));
+    trials
+}
+
+/// Successive halving: start `n_initial` configs at `min_budget` epochs;
+/// each rung keeps the best `1/eta` fraction and multiplies the budget by
+/// `eta`, until one (or few) configs remain. Returns all trials evaluated,
+/// best-first within the final rung first.
+pub fn successive_halving<F>(
+    space: &SearchSpace,
+    n_initial: usize,
+    min_budget: usize,
+    eta: usize,
+    seed: u64,
+    mut eval: F,
+) -> Vec<Trial>
+where
+    F: FnMut(HpConfig, usize) -> f32,
+{
+    assert!(eta >= 2, "halving factor must be at least 2");
+    assert!(n_initial > 0 && min_budget > 0, "degenerate search");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut survivors: Vec<HpConfig> = (0..n_initial).map(|_| space.sample(&mut rng)).collect();
+    let mut budget = min_budget;
+    let mut history: Vec<Trial> = Vec::new();
+    loop {
+        let mut rung: Vec<Trial> = survivors
+            .iter()
+            .map(|&config| Trial { config, loss: eval(config, budget), budget })
+            .collect();
+        rung.sort_by(|a, b| a.loss.partial_cmp(&b.loss).unwrap_or(std::cmp::Ordering::Equal));
+        let keep = (rung.len() / eta).max(1);
+        survivors = rung.iter().take(keep).map(|t| t.config).collect();
+        // Prepend so the final rung ends up first.
+        let mut next = rung;
+        next.extend(history);
+        history = next;
+        if survivors.len() == 1 && history[0].budget > min_budget {
+            break;
+        }
+        if keep == 1 && history[0].budget >= budget {
+            // Already raced down to one config at this budget.
+            if budget != min_budget {
+                break;
+            }
+        }
+        budget *= eta;
+        if budget > min_budget * eta.pow(6) {
+            break; // safety rail
+        }
+    }
+    history
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic objective: quadratic bowl in log-lr with a weak preference
+    /// for larger hidden widths; more budget reduces noise.
+    fn objective(c: HpConfig, budget: usize) -> f32 {
+        let opt_loglr = (3e-3f32).ln();
+        let d = c.lr.ln() - opt_loglr;
+        let width_term = 1.0 / c.hidden as f32;
+        let noise = 1.0 / budget as f32;
+        d * d + width_term + noise
+    }
+
+    #[test]
+    fn random_search_finds_good_lr() {
+        let space = SearchSpace::default();
+        let trials = random_search(&space, 40, 10, 0, objective);
+        assert_eq!(trials.len(), 40);
+        let best = trials[0];
+        assert!(best.loss <= trials.last().unwrap().loss);
+        // Best lr within ~one decade of the optimum.
+        assert!((best.config.lr.ln() - (3e-3f32).ln()).abs() < 2.0, "lr {}", best.config.lr);
+    }
+
+    #[test]
+    fn successive_halving_spends_less_on_bad_configs() {
+        let space = SearchSpace::default();
+        let mut evals = Vec::new();
+        let trials = successive_halving(&space, 16, 2, 4, 1, |c, b| {
+            evals.push((c, b));
+            objective(c, b)
+        });
+        // The big-budget evaluations must be fewer than the cheap ones.
+        let cheap = evals.iter().filter(|(_, b)| *b == 2).count();
+        let costly = evals.iter().filter(|(_, b)| *b > 2).count();
+        assert_eq!(cheap, 16);
+        assert!(costly < cheap, "costly {costly} cheap {cheap}");
+        // Final winner is evaluated at a larger budget.
+        assert!(trials[0].budget > 2);
+    }
+
+    #[test]
+    fn halving_winner_beats_random_median() {
+        let space = SearchSpace::default();
+        let sh = successive_halving(&space, 16, 2, 4, 2, objective);
+        let rs = random_search(&space, 16, 2, 2, objective);
+        let median_rs = rs[rs.len() / 2].loss;
+        assert!(sh[0].loss < median_rs, "sh {} vs rs median {median_rs}", sh[0].loss);
+    }
+
+    #[test]
+    fn sampling_respects_space() {
+        let space = SearchSpace { lr: (1e-3, 1e-2), hidden: vec![32], batch: vec![8, 16] };
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let c = space.sample(&mut rng);
+            assert!((1e-3..=1e-2).contains(&c.lr));
+            assert_eq!(c.hidden, 32);
+            assert!(c.batch == 8 || c.batch == 16);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "halving factor")]
+    fn rejects_eta_one() {
+        let _ = successive_halving(&SearchSpace::default(), 4, 1, 1, 0, |_, _| 0.0);
+    }
+}

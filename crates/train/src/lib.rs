@@ -1,0 +1,36 @@
+//! # sickle-train
+//!
+//! Training pipelines for the reproduction — the Rust analogue of the
+//! paper's `train.py`:
+//!
+//! - [`data`] turns sampler outputs ([`sickle_core`] sample sets) and dense
+//!   snapshots into batched tensors for the three learning problems of
+//!   paper §5.1: *sample-single* (global drag prediction), *sample-full*
+//!   (sparse-to-dense reconstruction), and *full-full* (dense hypercube
+//!   prediction).
+//! - [`models`] implements Table 2's architectures over `sickle-nn`: the
+//!   LSTM regressor, the MLP-Transformer, the CNN-Transformer (Conv3D
+//!   realized as equivalent strided patch embedding), and MATEY-mini, a
+//!   two-scale adaptive patch transformer standing in for the MATEY
+//!   foundation model of Fig. 9.
+//! - [`trainer`] is the epoch loop: Adam, ReduceLROnPlateau (patience 20 in
+//!   the paper), 90:10 train/test split, batch shuffling, and FLOP-based
+//!   energy metering.
+//! - [`ddp`] is the `torch.distributed` analogue: thread-based data-parallel
+//!   replicas with gradient all-reduce.
+
+//! - [`hpo`] implements the `--tune` analogue (random search and
+//!   successive halving standing in for DeepHyper).
+//! - [`federated`] implements FedAvg across sites (the paper's APPFL
+//!   extension).
+
+pub mod data;
+pub mod ddp;
+pub mod federated;
+pub mod hpo;
+pub mod models;
+pub mod trainer;
+
+pub use data::{Batch, BatchShape, TensorData};
+pub use models::{LstmModel, MateyMini, Model, TokenTransformer};
+pub use trainer::{TrainConfig, TrainResult};

@@ -1,0 +1,70 @@
+//! Domain scenario: temporal intelligent sampling (paper §4.3) on the
+//! periodic cylinder wake.
+//!
+//! Vortex shedding makes consecutive snapshots nearly redundant: a fixed
+//! output cadence stores many time instances occupying the same region of
+//! the input PDF. This example scores snapshot novelty, compares greedy
+//! max-KL selection against the naive uniform stride, and shows how much of
+//! the full dataset's distribution a handful of curated snapshots covers.
+//!
+//! ```sh
+//! cargo run --release --example temporal_curation
+//! ```
+
+use sickle::cfd::datasets::{of2d, Of2dParams};
+use sickle::cfd::LbmConfig;
+use sickle::core::temporal::{novelty_scores, novelty_select, uniform_stride};
+use sickle::field::stats::kl_divergence;
+use sickle::field::Histogram;
+
+fn coverage_kl(dataset: &sickle::field::Dataset, selected: &[usize], var: &str, bins: usize) -> f64 {
+    // KL(full mixture || selected mixture) over the variable's histogram.
+    let all: Vec<&[f64]> = dataset.snapshots.iter().map(|s| s.expect_var(var)).collect();
+    let lo = all.iter().flat_map(|v| v.iter()).cloned().fold(f64::MAX, f64::min);
+    let hi = all.iter().flat_map(|v| v.iter()).cloned().fold(f64::MIN, f64::max);
+    let mut full = Histogram::new(lo, hi, bins);
+    for v in &all {
+        full.extend(v);
+    }
+    let mut sel = Histogram::new(lo, hi, bins);
+    for &s in selected {
+        sel.extend(all[s]);
+    }
+    kl_divergence(&full.pmf(), &sel.pmf())
+}
+
+fn main() {
+    println!("simulating 40 snapshots of periodic vortex shedding...");
+    let data = of2d(&Of2dParams {
+        lbm: LbmConfig { nx: 160, ny: 64, diameter: 10.0, ..Default::default() },
+        warmup: 2000,
+        snapshots: 40,
+        interval: 30,
+    });
+    let dataset = &data.dataset;
+
+    let scores = novelty_scores(dataset, "wz", 100);
+    println!("\nper-snapshot novelty (KL vs full mixture), first 10:");
+    for (i, s) in scores.iter().take(10).enumerate() {
+        println!("  snapshot {i:>2}: {s:.5}");
+    }
+
+    println!("\nselecting 8 of 40 snapshots:");
+    let greedy = novelty_select(dataset, "wz", 8, 100);
+    let stride = uniform_stride(40, 8);
+    println!("  greedy max-KL : {greedy:?}");
+    println!("  uniform stride: {stride:?}");
+
+    let kl_greedy = coverage_kl(dataset, &greedy, "wz", 100);
+    let kl_stride = coverage_kl(dataset, &stride, "wz", 100);
+    println!("\ndistribution coverage, KL(full || selected) — lower is better:");
+    println!("  greedy max-KL : {kl_greedy:.6}");
+    println!("  uniform stride: {kl_stride:.6}");
+    if kl_greedy <= kl_stride {
+        println!("\ngreedy temporal curation covers the flow's PDF at least as well");
+        println!("as the naive cadence while keeping the same 5x storage reduction.");
+    } else {
+        println!("\nnote: for a strongly periodic flow both selections are close —");
+        println!("the gain grows for transient datasets (see SST cases).");
+    }
+}

@@ -1,0 +1,116 @@
+//! Integration test of the config-driven case workflow (the `subsample` /
+//! `train_case` CLI path) — exercised in-process at tiny scale.
+
+use sickle_bench::cases::{builtin_cases, CaseConfig, DatasetSpec, TrainSpec};
+use sickle_core::pipeline::{run_dataset, CubeMethod, PointMethod, SamplingConfig, TemporalMethod};
+use sickle_energy::MachineModel;
+use sickle_train::data::reconstruction_data;
+use sickle_train::models::TokenTransformer;
+use sickle_train::trainer::{train, TrainConfig};
+
+fn tiny_case() -> CaseConfig {
+    CaseConfig {
+        name: "tiny-Hmaxent-Xmaxent".to_string(),
+        dataset: DatasetSpec::SstP1f4 { n: 16, snapshots: 2 },
+        subsample: SamplingConfig {
+            hypercubes: CubeMethod::MaxEnt,
+            num_hypercubes: 4,
+            cube_edge: 8,
+            method: PointMethod::MaxEnt { num_clusters: 8, bins: 40 },
+            num_samples: 51,
+            cluster_var: "pv".into(),
+            feature_vars: vec!["u".into(), "v".into(), "w".into(), "r".into()],
+            seed: 0,
+            temporal: TemporalMethod::All,
+        },
+        train: TrainSpec {
+            arch: "mlp_transformer".into(),
+            epochs: 4,
+            batch: 4,
+            target: Some("p".into()),
+            tokens: 16,
+            patch: 2,
+            dim: 16,
+        },
+    }
+}
+
+#[test]
+fn case_config_json_file_roundtrip() {
+    let case = tiny_case();
+    let dir = std::env::temp_dir().join("sickle_case_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("case.json");
+    std::fs::write(&path, case.to_json()).unwrap();
+    let back = CaseConfig::load(&path).unwrap();
+    assert_eq!(back.name, case.name);
+    assert_eq!(back.subsample.case_name(), "Hmaxent-Xmaxent-8");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn case_executes_end_to_end() {
+    let case = tiny_case();
+    let dataset = case.dataset.build();
+    assert_eq!(dataset.num_snapshots(), 2);
+    let out = run_dataset(&dataset, &case.subsample);
+    assert_eq!(out.total_points(), 2 * 4 * 51);
+
+    let sets: Vec<_> = out.sets.iter().flatten().cloned().collect();
+    let mut tensor = reconstruction_data(
+        &sets,
+        &dataset.snapshots,
+        case.subsample.cube_edge,
+        case.train.target.as_deref().unwrap(),
+        case.train.tokens,
+    );
+    tensor.standardize();
+    let mut model = TokenTransformer::mlp_transformer(
+        tensor.tokens,
+        tensor.features,
+        case.train.dim,
+        1,
+        tensor.outputs,
+        0,
+    );
+    let cfg = TrainConfig {
+        epochs: case.train.epochs,
+        batch: case.train.batch,
+        test_frac: 0.2,
+        ..Default::default()
+    };
+    let res = train(&mut model, &tensor, &cfg, MachineModel::frontier_gcd());
+    assert!(res.best_test.is_finite());
+    assert!(res.energy.flops > 0);
+}
+
+#[test]
+fn shipped_configs_parse_back() {
+    // The files in configs/SST/P1 must always stay loadable.
+    for case in builtin_cases() {
+        let json = case.to_json();
+        let parsed = CaseConfig::from_json(&json).unwrap();
+        assert_eq!(parsed.name, case.name);
+    }
+    // And the checked-in files, when present (repo root execution).
+    let dir = std::path::Path::new("configs/SST/P1");
+    if dir.is_dir() {
+        let mut count = 0;
+        for entry in std::fs::read_dir(dir).unwrap() {
+            let path = entry.unwrap().path();
+            if path.extension().is_some_and(|e| e == "json") {
+                CaseConfig::load(&path).unwrap_or_else(|e| panic!("{path:?}: {e}"));
+                count += 1;
+            }
+        }
+        assert_eq!(count, 5, "expected the five shipped case files");
+    }
+}
+
+#[test]
+fn temporal_config_survives_case_serialization() {
+    let mut case = tiny_case();
+    case.subsample.temporal = TemporalMethod::Novelty { count: 2, bins: 32 };
+    let back = CaseConfig::from_json(&case.to_json()).unwrap();
+    assert_eq!(back.subsample.temporal, TemporalMethod::Novelty { count: 2, bins: 32 });
+}

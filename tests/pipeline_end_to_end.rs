@@ -1,0 +1,135 @@
+//! End-to-end integration: CFD substrate → two-phase sampling → compact
+//! storage → training — the full `subsample.py`/`train.py` workflow at
+//! miniature scale.
+
+use sickle::cfd::datasets::{self, SstParams};
+use sickle::core::pipeline::{run_dataset, CubeMethod, PointMethod, SamplingConfig};
+use sickle::energy::MachineModel;
+use sickle::field::io::{decode_sample_set, encode_sample_set, encode_snapshot};
+use sickle::train::data::{drag_windows, reconstruction_data};
+use sickle::train::models::{LstmModel, TokenTransformer};
+use sickle::train::trainer::{train, TrainConfig};
+
+fn tiny_sst() -> sickle::field::Dataset {
+    datasets::sst_p1f4(&SstParams { n: 16, snapshots: 3, interval: 3, warmup: 4, ..Default::default() })
+}
+
+fn maxent_config() -> SamplingConfig {
+    SamplingConfig {
+        hypercubes: CubeMethod::MaxEnt,
+        num_hypercubes: 4,
+        cube_edge: 8,
+        method: PointMethod::MaxEnt { num_clusters: 8, bins: 40 },
+        num_samples: 51,
+        cluster_var: "pv".into(),
+        feature_vars: vec!["u".into(), "v".into(), "w".into(), "r".into()],
+        seed: 0,
+        temporal: sickle::core::pipeline::TemporalMethod::All,
+    }
+}
+
+#[test]
+fn cfd_to_sampling_to_training_reconstruction() {
+    let dataset = tiny_sst();
+    let out = run_dataset(&dataset, &maxent_config());
+    assert_eq!(out.sets.len(), 3);
+    assert_eq!(out.total_points(), 3 * 4 * 51);
+
+    // Train a small MLP-Transformer to reconstruct pressure from samples.
+    let sets: Vec<_> = out.sets.iter().flatten().cloned().collect();
+    let mut tensor = reconstruction_data(&sets, &dataset.snapshots, 8, "p", 16);
+    tensor.standardize();
+    let mut model = TokenTransformer::mlp_transformer(16, tensor.features, 16, 1, tensor.outputs, 0);
+    let cfg = TrainConfig { epochs: 8, batch: 4, test_frac: 0.2, ..Default::default() };
+    let res = train(&mut model, &tensor, &cfg, MachineModel::frontier_gcd());
+    assert!(res.train_loss.iter().all(|l| l.is_finite()));
+    assert!(res.train_loss.last().unwrap() < res.train_loss.first().unwrap());
+    assert!(res.energy.flops > 0);
+}
+
+#[test]
+fn sampled_sets_roundtrip_through_storage() {
+    let dataset = tiny_sst();
+    let out = run_dataset(&dataset, &maxent_config());
+    for set in out.sets.iter().flatten() {
+        let bytes = encode_sample_set(set);
+        let back = decode_sample_set(&bytes).expect("decode");
+        assert_eq!(back.indices, set.indices);
+        assert_eq!(back.features.data, set.features.data);
+        assert_eq!(back.hypercube, set.hypercube);
+    }
+}
+
+#[test]
+fn storage_reduction_matches_retention() {
+    let dataset = tiny_sst();
+    let out = run_dataset(&dataset, &maxent_config());
+    let dense: usize = dataset.snapshots.iter().map(|s| encode_snapshot(s).len()).sum();
+    let sparse: usize = out.sets.iter().flatten().map(|s| encode_sample_set(s).len()).sum();
+    // 4 cubes * 512 points = 2048 of 4096 points considered; 51/512 kept.
+    // Sparse storage must be well under a quarter of dense.
+    assert!(sparse * 4 < dense, "sparse {sparse} vs dense {dense}");
+}
+
+#[test]
+fn of2d_to_drag_training() {
+    let data = datasets::of2d(&datasets::Of2dParams {
+        lbm: sickle::cfd::LbmConfig { nx: 80, ny: 32, diameter: 6.0, reynolds: 100.0, ..Default::default() },
+        warmup: 300,
+        snapshots: 12,
+        interval: 20,
+    });
+    // Uniform point sets per snapshot (test exercises drag_windows + LSTM).
+    let sets: Vec<_> = data
+        .dataset
+        .snapshots
+        .iter()
+        .enumerate()
+        .map(|(si, snap)| {
+            let vars = vec!["u".to_string(), "v".to_string()];
+            let tiling = sickle::field::Tiling::new(snap.grid, (snap.grid.nx, snap.grid.ny, 1));
+            let (features, indices) = tiling.extract(snap, 0, &vars);
+            let keep: Vec<usize> = (0..features.len()).step_by(40).collect();
+            sickle::field::SampleSet::new(features.gather(&keep), keep.iter().map(|&k| indices[k]).collect(), snap.time, si)
+        })
+        .collect();
+    let mut tensor = drag_windows(&sets, &data.drag, 2, 16);
+    tensor.standardize();
+    let mut model = LstmModel::new(tensor.features, 8, 1, 0);
+    let cfg = TrainConfig { epochs: 10, batch: 4, test_frac: 0.2, ..Default::default() };
+    let res = train(&mut model, &tensor, &cfg, MachineModel::frontier_gcd());
+    assert!(res.best_test.is_finite());
+    assert_eq!(res.train_loss.len(), 10);
+}
+
+#[test]
+fn pipeline_deterministic_across_runs() {
+    let dataset = tiny_sst();
+    let a = run_dataset(&dataset, &maxent_config());
+    let b = run_dataset(&dataset, &maxent_config());
+    for (sa, sb) in a.sets.iter().flatten().zip(b.sets.iter().flatten()) {
+        assert_eq!(sa.indices, sb.indices);
+    }
+}
+
+#[test]
+fn all_point_methods_run_on_real_data() {
+    let dataset = tiny_sst();
+    for method in [
+        PointMethod::Full,
+        PointMethod::Random,
+        PointMethod::Uniform,
+        PointMethod::Lhs,
+        PointMethod::Stratified { strata: 8 },
+        PointMethod::MaxEnt { num_clusters: 8, bins: 40 },
+        PointMethod::Uips { bins_per_dim: 8 },
+    ] {
+        let mut cfg = maxent_config();
+        cfg.method = method;
+        let out = run_dataset(&dataset, &cfg);
+        let expect = if matches!(method, PointMethod::Full) { 512 } else { 51 };
+        for set in out.sets.iter().flatten() {
+            assert_eq!(set.len(), expect, "method {:?}", method);
+        }
+    }
+}
