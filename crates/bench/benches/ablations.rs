@@ -31,7 +31,11 @@ fn bench_bins(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_maxent_bins");
     group.sample_size(10);
     for bins in [25usize, 50, 100, 200] {
-        let s = MaxEntSampler { num_clusters: 20, bins, ..Default::default() };
+        let s = MaxEntSampler {
+            num_clusters: 20,
+            bins,
+            ..Default::default()
+        };
         group.bench_with_input(BenchmarkId::from_parameter(bins), &s, |b, s| {
             b.iter(|| {
                 let mut rng = StdRng::seed_from_u64(0);
@@ -47,7 +51,11 @@ fn bench_clusters(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_maxent_clusters");
     group.sample_size(10);
     for k in [5usize, 10, 20, 40] {
-        let s = MaxEntSampler { num_clusters: k, bins: 100, ..Default::default() };
+        let s = MaxEntSampler {
+            num_clusters: k,
+            bins: 100,
+            ..Default::default()
+        };
         group.bench_with_input(BenchmarkId::from_parameter(k), &s, |b, s| {
             b.iter(|| {
                 let mut rng = StdRng::seed_from_u64(0);
@@ -64,7 +72,11 @@ fn bench_cube_edge(c: &mut Criterion) {
     group.sample_size(10);
     for edge in [8usize, 16, 32] {
         let f = features(edge * edge * edge);
-        let s = MaxEntSampler { num_clusters: 20, bins: 100, ..Default::default() };
+        let s = MaxEntSampler {
+            num_clusters: 20,
+            bins: 100,
+            ..Default::default()
+        };
         let budget = f.len() / 10;
         group.bench_with_input(BenchmarkId::from_parameter(edge), &f, |b, f| {
             b.iter(|| {
@@ -81,7 +93,10 @@ fn bench_uips_refinement(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_uips_refine");
     group.sample_size(10);
     for iters in [0usize, 1, 3] {
-        let s = UipsSampler { bins_per_dim: 10, refine_iterations: iters };
+        let s = UipsSampler {
+            bins_per_dim: 10,
+            refine_iterations: iters,
+        };
         group.bench_with_input(BenchmarkId::from_parameter(iters), &s, |b, s| {
             b.iter(|| {
                 let mut rng = StdRng::seed_from_u64(0);
@@ -97,7 +112,12 @@ fn bench_temperature(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_maxent_temperature");
     group.sample_size(10);
     for (label, t) in [("t0", 0.0f64), ("t05", 0.5), ("t1", 1.0), ("t2", 2.0)] {
-        let s = MaxEntSampler { num_clusters: 20, bins: 100, temperature: t, ..Default::default() };
+        let s = MaxEntSampler {
+            num_clusters: 20,
+            bins: 100,
+            temperature: t,
+            ..Default::default()
+        };
         group.bench_with_input(BenchmarkId::from_parameter(label), &s, |b, s| {
             b.iter(|| {
                 let mut rng = StdRng::seed_from_u64(0);

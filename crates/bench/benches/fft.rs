@@ -2,13 +2,15 @@
 //! transforms that dominate the pseudo-spectral solver's step cost.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sickle_fft::{Complex, Fft3d, FftPlan, RealFft};
+use sickle_fft::{Complex, Fft3d, FftPlan, RealFft, RealFft3d};
 
 fn bench_fft_1d(c: &mut Criterion) {
     let mut group = c.benchmark_group("fft_1d");
     for n in [256usize, 1024, 4096] {
         let plan = FftPlan::new(n);
-        let data: Vec<Complex> = (0..n).map(|i| Complex::new((i as f64).sin(), 0.0)).collect();
+        let data: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64).sin(), 0.0))
+            .collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &plan, |b, plan| {
             b.iter(|| {
                 let mut buf = data.clone();
@@ -24,7 +26,9 @@ fn bench_rfft(c: &mut Criterion) {
     let n = 4096;
     let plan = RealFft::new(n);
     let data: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin()).collect();
-    c.bench_function("rfft_4096", |b| b.iter(|| std::hint::black_box(plan.forward(&data))));
+    c.bench_function("rfft_4096", |b| {
+        b.iter(|| std::hint::black_box(plan.forward(&data)))
+    });
 }
 
 fn bench_fft_3d(c: &mut Criterion) {
@@ -32,13 +36,45 @@ fn bench_fft_3d(c: &mut Criterion) {
     group.sample_size(10);
     for n in [16usize, 32, 64] {
         let plan = Fft3d::new(n, n, n);
-        let data: Vec<Complex> =
-            (0..n * n * n).map(|i| Complex::new((i as f64 * 0.37).sin(), 0.0)).collect();
+        let data: Vec<Complex> = (0..n * n * n)
+            .map(|i| Complex::new((i as f64 * 0.37).sin(), 0.0))
+            .collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &plan, |b, plan| {
             b.iter(|| {
                 let mut buf = data.clone();
                 plan.forward(&mut buf);
                 std::hint::black_box(buf)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fft_3d_real_vs_complex(c: &mut Criterion) {
+    // Full roundtrips at matched sizes: the half-spectrum transform should
+    // run at roughly half the cost of the complex one on real data.
+    let mut group = c.benchmark_group("fft_3d_real_vs_complex");
+    group.sample_size(10);
+    for n in [32usize, 64] {
+        let field: Vec<f64> = (0..n * n * n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let cplan = Fft3d::new(n, n, n);
+        let cdata: Vec<Complex> = field.iter().map(|&x| Complex::new(x, 0.0)).collect();
+        group.bench_with_input(BenchmarkId::new("complex", n), &cplan, |b, plan| {
+            let mut buf = cdata.clone();
+            b.iter(|| {
+                plan.forward(&mut buf);
+                plan.inverse(&mut buf);
+                std::hint::black_box(&mut buf);
+            })
+        });
+        let rplan = RealFft3d::new(n, n, n);
+        group.bench_with_input(BenchmarkId::new("real", n), &rplan, |b, plan| {
+            let mut spec = vec![Complex::ZERO; plan.spectrum_len()];
+            let mut back = vec![0.0; field.len()];
+            b.iter(|| {
+                plan.forward(&field, &mut spec);
+                plan.inverse(&mut spec, &mut back);
+                std::hint::black_box(&mut back);
             })
         });
     }
@@ -51,7 +87,11 @@ fn bench_spectral_step(c: &mut Criterion) {
     group.sample_size(10);
     for n in [16usize, 32] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let mut solver = SpectralSolver::new(SpectralConfig { n, dt: 0.005, ..Default::default() });
+            let mut solver = SpectralSolver::new(SpectralConfig {
+                n,
+                dt: 0.005,
+                ..Default::default()
+            });
             solver.init_taylor_green(1.0);
             b.iter(|| {
                 solver.step();
@@ -62,5 +102,12 @@ fn bench_spectral_step(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fft_1d, bench_rfft, bench_fft_3d, bench_spectral_step);
+criterion_group!(
+    benches,
+    bench_fft_1d,
+    bench_rfft,
+    bench_fft_3d,
+    bench_fft_3d_real_vs_complex,
+    bench_spectral_step
+);
 criterion_main!(benches);

@@ -24,7 +24,12 @@ fn bench_fit_clusters(c: &mut Criterion) {
                 std::hint::black_box(KMeans::fit(
                     &data,
                     1,
-                    &KMeansConfig { k, batch_size: 1024, iterations: 30, seed: 0 },
+                    &KMeansConfig {
+                        k,
+                        batch_size: 1024,
+                        iterations: 30,
+                        seed: 0,
+                    },
                 ))
             })
         });
@@ -42,7 +47,12 @@ fn bench_fit_size(c: &mut Criterion) {
                 std::hint::black_box(KMeans::fit(
                     data,
                     4,
-                    &KMeansConfig { k: 20, batch_size: 1024, iterations: 30, seed: 0 },
+                    &KMeansConfig {
+                        k: 20,
+                        batch_size: 1024,
+                        iterations: 30,
+                        seed: 0,
+                    },
                 ))
             })
         });
@@ -52,7 +62,16 @@ fn bench_fit_size(c: &mut Criterion) {
 
 fn bench_assign(c: &mut Criterion) {
     let data = blob_data(262_144, 4);
-    let km = KMeans::fit(&data, 4, &KMeansConfig { k: 20, batch_size: 1024, iterations: 30, seed: 0 });
+    let km = KMeans::fit(
+        &data,
+        4,
+        &KMeansConfig {
+            k: 20,
+            batch_size: 1024,
+            iterations: 30,
+            seed: 0,
+        },
+    );
     c.bench_function("kmeans_assign_256k_4d", |b| {
         b.iter(|| std::hint::black_box(km.assign(&data)))
     });

@@ -5,8 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sickle_core::samplers::{
-    LhsSampler, MaxEntSampler, PointSampler, RandomSampler, StratifiedSampler,
-    UniformStrideSampler,
+    LhsSampler, MaxEntSampler, PointSampler, RandomSampler, StratifiedSampler, UniformStrideSampler,
 };
 use sickle_core::UipsSampler;
 use sickle_field::FeatureMatrix;
@@ -38,7 +37,14 @@ fn bench_samplers(c: &mut Criterion) {
         ("lhs", Box::new(LhsSampler)),
         ("stratified", Box::new(StratifiedSampler::default())),
         ("uips", Box::new(UipsSampler::default())),
-        ("maxent", Box::new(MaxEntSampler { num_clusters: 20, bins: 100, ..Default::default() })),
+        (
+            "maxent",
+            Box::new(MaxEntSampler {
+                num_clusters: 20,
+                bins: 100,
+                ..Default::default()
+            }),
+        ),
     ];
     for (name, sampler) in methods {
         group.bench_with_input(BenchmarkId::from_parameter(name), &features, |b, f| {
@@ -54,7 +60,11 @@ fn bench_samplers(c: &mut Criterion) {
 fn bench_budget_scaling(c: &mut Criterion) {
     // MaxEnt cost vs budget (should be dominated by clustering, ~flat).
     let features = cube_features(32 * 32 * 32);
-    let sampler = MaxEntSampler { num_clusters: 20, bins: 100, ..Default::default() };
+    let sampler = MaxEntSampler {
+        num_clusters: 20,
+        bins: 100,
+        ..Default::default()
+    };
     let mut group = c.benchmark_group("maxent_budget_scaling");
     group.sample_size(10);
     for pct in [1usize, 5, 10, 25] {

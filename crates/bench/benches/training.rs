@@ -2,16 +2,25 @@
 //! each Table-2 architecture, and the DDP all-reduce overhead.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sickle_train::data::{Batch, BatchShape};
-use sickle_train::models::{LstmModel, MateyMini, Model, TokenTransformer};
 use sickle_nn::optim::Adam;
 use sickle_nn::Tape;
+use sickle_train::data::{Batch, BatchShape};
+use sickle_train::models::{LstmModel, MateyMini, Model, TokenTransformer};
 
 fn toy_batch(batch: usize, tokens: usize, features: usize, outputs: usize) -> Batch {
     Batch {
-        inputs: (0..batch * tokens * features).map(|i| ((i * 37) % 19) as f32 * 0.05 - 0.4).collect(),
-        targets: (0..batch * outputs).map(|i| ((i * 13) % 7) as f32 * 0.1).collect(),
-        shape: BatchShape { batch, tokens, features, outputs },
+        inputs: (0..batch * tokens * features)
+            .map(|i| ((i * 37) % 19) as f32 * 0.05 - 0.4)
+            .collect(),
+        targets: (0..batch * outputs)
+            .map(|i| ((i * 13) % 7) as f32 * 0.1)
+            .collect(),
+        shape: BatchShape {
+            batch,
+            tokens,
+            features,
+            outputs,
+        },
     }
 }
 
@@ -44,12 +53,15 @@ fn bench_model_steps(c: &mut Criterion) {
         b.iter(|| std::hint::black_box(step(&mut model, &batch, &mut opt)));
     });
 
-    group.bench_function(BenchmarkId::from_parameter("cnn_transformer_b2_n512"), |b| {
-        let batch = toy_batch(2, 512, 32, 4096);
-        let mut model = TokenTransformer::cnn_transformer(512, 32, 32, 1, 4096, 0);
-        let mut opt = Adam::new(1e-3);
-        b.iter(|| std::hint::black_box(step(&mut model, &batch, &mut opt)));
-    });
+    group.bench_function(
+        BenchmarkId::from_parameter("cnn_transformer_b2_n512"),
+        |b| {
+            let batch = toy_batch(2, 512, 32, 4096);
+            let mut model = TokenTransformer::cnn_transformer(512, 32, 32, 1, 4096, 0);
+            let mut opt = Adam::new(1e-3);
+            b.iter(|| std::hint::black_box(step(&mut model, &batch, &mut opt)));
+        },
+    );
 
     group.bench_function(BenchmarkId::from_parameter("matey_b2_n64_keep25"), |b| {
         let batch = toy_batch(2, 64, 32, 4096);

@@ -56,16 +56,37 @@ fn main() {
     };
 
     for bins in [25usize, 50, 100, 200] {
-        let s = score(&MaxEntSampler { num_clusters: 20, bins, ..Default::default() }, &f, budget);
+        let s = score(
+            &MaxEntSampler {
+                num_clusters: 20,
+                bins,
+                ..Default::default()
+            },
+            &f,
+            budget,
+        );
         push("maxent_bins", bins.to_string(), s);
     }
     for k in [5usize, 10, 20, 40] {
-        let s = score(&MaxEntSampler { num_clusters: k, bins: 100, ..Default::default() }, &f, budget);
+        let s = score(
+            &MaxEntSampler {
+                num_clusters: k,
+                bins: 100,
+                ..Default::default()
+            },
+            &f,
+            budget,
+        );
         push("maxent_clusters", k.to_string(), s);
     }
     for t in [0.0f64, 0.5, 1.0, 2.0] {
         let s = score(
-            &MaxEntSampler { num_clusters: 20, bins: 100, temperature: t, ..Default::default() },
+            &MaxEntSampler {
+                num_clusters: 20,
+                bins: 100,
+                temperature: t,
+                ..Default::default()
+            },
             &f,
             budget,
         );
@@ -78,16 +99,34 @@ fn main() {
         let tiling = Tiling::cubic(snap.grid, edge);
         let (cf, _) = tiling.extract(&snap, 0, &vars);
         let s = score(
-            &MaxEntSampler { num_clusters: 20, bins: 100, ..Default::default() },
+            &MaxEntSampler {
+                num_clusters: 20,
+                bins: 100,
+                ..Default::default()
+            },
             &cf,
             cf.len() / 10,
         );
         push("cube_edge", edge.to_string(), s);
     }
     // UIPS density estimators.
-    let s = score(&UipsSampler { bins_per_dim: 10, refine_iterations: 1 }, &f, budget);
+    let s = score(
+        &UipsSampler {
+            bins_per_dim: 10,
+            refine_iterations: 1,
+        },
+        &f,
+        budget,
+    );
     push("uips_estimator", "binned".to_string(), s);
-    let s = score(&UipsGmmSampler { components: 8, em_iters: 8 }, &f, budget);
+    let s = score(
+        &UipsGmmSampler {
+            components: 8,
+            em_iters: 8,
+        },
+        &f,
+        budget,
+    );
     push("uips_estimator", "gmm".to_string(), s);
 
     println!();

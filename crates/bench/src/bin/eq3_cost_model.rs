@@ -35,7 +35,12 @@ fn measure(m: usize, hidden: usize, epochs: usize) -> (f64, usize) {
     let data = synthetic(m, 4);
     let mut model = LstmModel::new(4, hidden, 1, 0);
     let params = model.num_params();
-    let cfg = TrainConfig { epochs, batch: 8, test_frac: 0.1, ..Default::default() };
+    let cfg = TrainConfig {
+        epochs,
+        batch: 8,
+        test_frac: 0.1,
+        ..Default::default()
+    };
     let res = train(&mut model, &data, &cfg, MachineModel::frontier_gcd());
     (res.energy.total_joules(), params)
 }
@@ -56,7 +61,13 @@ fn main() {
         let (measured, params) = measure(m, hidden, e);
         let predicted = cost_to_train(0.0, m, params, e, k, &machine);
         let rel = (measured - predicted).abs() / measured;
-        rows.push(vec![sweep.to_string(), value, fmt(measured), fmt(predicted), fmt(rel)]);
+        rows.push(vec![
+            sweep.to_string(),
+            value,
+            fmt(measured),
+            fmt(predicted),
+            fmt(rel),
+        ]);
         rel
     };
 

@@ -10,7 +10,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sickle_bench::{fmt, print_table, write_csv, workloads};
+use sickle_bench::{fmt, print_table, workloads, write_csv};
 use sickle_core::samplers::{FullSampler, MaxEntSampler, PointSampler, RandomSampler};
 use sickle_core::UipsSampler;
 use sickle_field::Tiling;
@@ -41,7 +41,14 @@ fn main() {
         ("full", Box::new(FullSampler)),
         ("random", Box::new(RandomSampler)),
         ("uips", Box::new(UipsSampler::default())),
-        ("maxent", Box::new(MaxEntSampler { num_clusters: 10, bins: 100, ..Default::default() })),
+        (
+            "maxent",
+            Box::new(MaxEntSampler {
+                num_clusters: 10,
+                bins: 100,
+                ..Default::default()
+            }),
+        ),
     ];
 
     let header = vec!["method", "samples", "wake_fraction", "wake_enrichment"];
@@ -66,7 +73,11 @@ fn main() {
     }
     print_table(&header, &rows);
     write_csv("fig1_wake_coverage.csv", &header, &rows);
-    write_csv("fig1_sample_scatter.csv", &["method", "x", "y"], &scatter_rows);
+    write_csv(
+        "fig1_sample_scatter.csv",
+        &["method", "x", "y"],
+        &scatter_rows,
+    );
     println!("\nExpected shape (paper): maxent has the highest wake enrichment;");
     println!("random ~1.0 (unbiased); full = 1.0 by definition.");
 }

@@ -8,7 +8,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sickle_bench::{fmt, print_table, write_csv, workloads};
+use sickle_bench::{fmt, print_table, workloads, write_csv};
 use sickle_core::metrics::spatial_cov;
 use sickle_core::samplers::{PointSampler, RandomSampler};
 use sickle_core::uips::phase_space_cov;
@@ -24,7 +24,10 @@ fn run_case(label: &str, dataset: &Dataset, feature_vars: &[&str]) -> Vec<Vec<St
     let budget = features.len() / 10;
     let mut rows = Vec::new();
     for (name, sampler) in [
-        ("uips", Box::new(UipsSampler::default()) as Box<dyn PointSampler>),
+        (
+            "uips",
+            Box::new(UipsSampler::default()) as Box<dyn PointSampler>,
+        ),
         ("random", Box::new(RandomSampler)),
     ] {
         let mut rng = StdRng::seed_from_u64(4);

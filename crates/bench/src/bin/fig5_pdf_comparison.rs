@@ -8,7 +8,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sickle_bench::{fmt, mean_std, print_table, write_csv, workloads};
+use sickle_bench::{fmt, mean_std, print_table, workloads, write_csv};
 use sickle_core::metrics::{pdf_reports, wasserstein_reports};
 use sickle_core::samplers::{MaxEntSampler, PointSampler, RandomSampler, StratifiedSampler};
 use sickle_core::UipsSampler;
@@ -21,11 +21,23 @@ fn methods() -> Vec<(&'static str, Box<dyn PointSampler>)> {
         ("random", Box::new(RandomSampler)),
         ("stratified", Box::new(StratifiedSampler::default())),
         ("uips", Box::new(UipsSampler::default())),
-        ("maxent", Box::new(MaxEntSampler { num_clusters: 20, bins: BINS, ..Default::default() })),
+        (
+            "maxent",
+            Box::new(MaxEntSampler {
+                num_clusters: 20,
+                bins: BINS,
+                ..Default::default()
+            }),
+        ),
     ]
 }
 
-fn run_case(label: &str, dataset: &Dataset, feature_vars: &[&str], cluster_var: &str) -> Vec<Vec<String>> {
+fn run_case(
+    label: &str,
+    dataset: &Dataset,
+    feature_vars: &[&str],
+    cluster_var: &str,
+) -> Vec<Vec<String>> {
     let snap = dataset.snapshots.last().expect("dataset has snapshots");
     let grid = snap.grid;
     let mut vars: Vec<String> = feature_vars.iter().map(|s| s.to_string()).collect();
@@ -66,7 +78,13 @@ fn main() {
     let mut rows = run_case("OF2D", &of2d.dataset, &["u", "v"], "wz");
     rows.extend(run_case("SST-P1F4", &sst, &["u", "v", "w", "r"], "pv"));
     rows.extend(run_case("GESTS", &gests, &["u", "v", "w", "eps"], "omega"));
-    let header = vec!["dataset", "method", "mean_KL(full||sample)", "tail_coverage_ratio", "mean_W1(bins)"];
+    let header = vec![
+        "dataset",
+        "method",
+        "mean_KL(full||sample)",
+        "tail_coverage_ratio",
+        "mean_W1(bins)",
+    ];
     print_table(&header, &rows);
     write_csv("fig5_pdf_comparison.csv", &header, &rows);
     println!("\nExpected shape (paper): maxent has tail_coverage_ratio > 1 (tails");

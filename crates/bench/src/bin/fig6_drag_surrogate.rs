@@ -13,7 +13,7 @@
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use sickle_bench::{fmt, mean_std, print_table, write_csv, workloads};
+use sickle_bench::{fmt, mean_std, print_table, workloads, write_csv};
 use sickle_core::samplers::{MaxEntSampler, PointSampler, RandomSampler};
 use sickle_energy::MachineModel;
 use sickle_field::{FeatureMatrix, SampleSet, Tiling};
@@ -105,7 +105,12 @@ fn main() {
             for &seed in &SEEDS {
                 let sampler: Box<dyn PointSampler> = match method {
                     "random" => Box::new(RandomSampler),
-                    _ => Box::new(MaxEntSampler { num_clusters: 10, bins: 100, temperature: 0.5, ..Default::default() }),
+                    _ => Box::new(MaxEntSampler {
+                        num_clusters: 10,
+                        bins: 100,
+                        temperature: 0.5,
+                        ..Default::default()
+                    }),
                 };
                 let sets = probe_time_series(&data, sampler.as_ref(), budget, seed);
                 // The paper's ns is the LSTM's input size: use budget/10 probes
@@ -134,14 +139,23 @@ fn main() {
                 ]);
             }
             let (mean, std) = mean_std(&losses);
-            rows.push(vec![method.to_string(), budget.to_string(), fmt(mean), fmt(std)]);
+            rows.push(vec![
+                method.to_string(),
+                budget.to_string(),
+                fmt(mean),
+                fmt(std),
+            ]);
             println!("  {method} ns={budget}: loss {mean:.4} ± {std:.4}");
         }
     }
     println!();
     print_table(&header, &rows);
     write_csv("fig6_drag_surrogate.csv", &header, &rows);
-    write_csv("fig6_drag_raw.csv", &["method", "num_samples", "seed", "test_loss"], &raw_rows);
+    write_csv(
+        "fig6_drag_raw.csv",
+        &["method", "num_samples", "seed", "test_loss"],
+        &raw_rows,
+    );
     println!("\nExpected shape (paper): MaxEnt is the more *reproducible* sampler —");
     println!("\"MaxEnt exhibits less variance and is therefore more reproducible");
     println!("than random sampling (see Fig. 6)\" (per its Discussion) — i.e. a");

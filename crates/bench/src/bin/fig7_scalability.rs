@@ -12,14 +12,16 @@
 //! Expected shape: SST-P1F100 quasi-linear to ~64 ranks then a knee,
 //! reaching O(150–200)× at 512; SST-P1F4 plateaus near 10× by 32 ranks.
 
-use sickle_bench::{fmt, print_table, write_csv, workloads};
+use sickle_bench::{fmt, print_table, workloads, write_csv};
 use sickle_core::pipeline::{CubeMethod, PointMethod};
 use sickle_hpc::executor::scaling_sweep;
 use sickle_hpc::simulator::{knee_point, ClusterModel};
 
 fn main() {
     println!("== Fig. 7: MaxEnt sampling strong scaling (measured + modeled) ==\n");
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     println!("host cores: {cores} (rank counts beyond this oversubscribe and");
     println!("should show flat/no speedup — itself a validity check)\n");
     let measured_ranks: Vec<usize> = (0..)
@@ -34,12 +36,18 @@ fn main() {
     let cfg = workloads::sampling_config(
         &sst,
         CubeMethod::Random,
-        PointMethod::MaxEnt { num_clusters: 20, bins: 100 },
+        PointMethod::MaxEnt {
+            num_clusters: 20,
+            bins: 100,
+        },
         8,
         64,
         7,
     );
-    println!("measured executor sweep ({} cubes, up to {cores} cores):", cfg.num_hypercubes);
+    println!(
+        "measured executor sweep ({} cubes, up to {cores} cores):",
+        cfg.num_hypercubes
+    );
     let sweep = scaling_sweep(&snap, &cfg, &measured_ranks);
     let t1 = sweep[0].elapsed_secs;
     let mut meas_rows = Vec::new();
@@ -52,7 +60,11 @@ fn main() {
         ]);
     }
     print_table(&["ranks", "secs", "speedup", "efficiency"], &meas_rows);
-    write_csv("fig7_measured.csv", &["ranks", "secs", "speedup", "efficiency"], &meas_rows);
+    write_csv(
+        "fig7_measured.csv",
+        &["ranks", "secs", "speedup", "efficiency"],
+        &meas_rows,
+    );
 
     // --- Modeled stage, calibrated to the measured single-rank time. ---
     // Paper-scale problems. SST-P1F4 has only 12 hypercubes of work (the
@@ -86,8 +98,15 @@ fn main() {
         let best = points.iter().map(|p| p.speedup).fold(0.0, f64::max);
         println!("{label}: max speedup {best:.1}x at 512 ranks");
     }
-    print_table(&["dataset", "ranks", "secs", "speedup", "efficiency"], &rows);
-    write_csv("fig7_modeled.csv", &["dataset", "ranks", "secs", "speedup", "efficiency"], &rows);
+    print_table(
+        &["dataset", "ranks", "secs", "speedup", "efficiency"],
+        &rows,
+    );
+    write_csv(
+        "fig7_modeled.csv",
+        &["dataset", "ranks", "secs", "speedup", "efficiency"],
+        &rows,
+    );
     println!("\nExpected shape (paper): SST-P1F100 ~171x at 512 with knee ~64;");
     println!("SST-P1F4 plateaus ~9-10x around 32 ranks.");
 }

@@ -49,15 +49,36 @@ fn run_case(
             &target,
             FULL_PATCH,
         );
-        let m = TokenTransformer::cnn_transformer(t.tokens, t.features, 32, 1, t.tokens * (t.outputs / t.tokens), seed);
+        let m = TokenTransformer::cnn_transformer(
+            t.tokens,
+            t.features,
+            32,
+            1,
+            t.tokens * (t.outputs / t.tokens),
+            seed,
+        );
         (t, m)
     } else {
-        let t = reconstruction_data(&sets, &dataset.snapshots, CUBE_EDGE, &target, SAMPLED_TOKENS);
+        let t = reconstruction_data(
+            &sets,
+            &dataset.snapshots,
+            CUBE_EDGE,
+            &target,
+            SAMPLED_TOKENS,
+        );
         let m = TokenTransformer::mlp_transformer(t.tokens, t.features, 32, 1, t.outputs, seed);
         (t, m)
     };
     tensor.standardize();
-    let tcfg = TrainConfig { epochs: EPOCHS, batch: 4, lr: 1e-3, patience: 20, test_frac: 0.15, seed, ..Default::default() };
+    let tcfg = TrainConfig {
+        epochs: EPOCHS,
+        batch: 4,
+        lr: 1e-3,
+        patience: 20,
+        test_frac: 0.15,
+        seed,
+        ..Default::default()
+    };
     let res = train(&mut model, &tensor, &tcfg, MachineModel::frontier_gcd());
     let total_kj = (e_sample.total_joules() + res.energy.total_joules()) / 1e3;
     println!(
@@ -91,10 +112,19 @@ fn main() {
             if case == "Hmaxent-Xmaxent" {
                 maxent_kj = tkj;
             }
-            rows.push(vec![label.to_string(), case.to_string(), fmt(loss), fmt(skj), fmt(tkj)]);
+            rows.push(vec![
+                label.to_string(),
+                case.to_string(),
+                fmt(loss),
+                fmt(skj),
+                fmt(tkj),
+            ]);
         }
         if maxent_kj > 0.0 {
-            println!("    -> full/maxent energy ratio: {:.1}x\n", full_kj / maxent_kj);
+            println!(
+                "    -> full/maxent energy ratio: {:.1}x\n",
+                full_kj / maxent_kj
+            );
         }
     }
     print_table(&header, &rows);

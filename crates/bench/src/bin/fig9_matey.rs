@@ -30,7 +30,12 @@ const EPOCHS: usize = 30; // paper: 50 epochs at full scale
 const KEEP_FRAC: f64 = 0.10;
 
 /// Dense sample set covering one whole cube.
-fn full_cube_set(snap_idx: usize, snap: &sickle_field::Snapshot, tiling: &Tiling, cube: usize) -> SampleSet {
+fn full_cube_set(
+    snap_idx: usize,
+    snap: &sickle_field::Snapshot,
+    tiling: &Tiling,
+    cube: usize,
+) -> SampleSet {
     let vars: Vec<String> = vec!["u".into(), "v".into(), "w".into(), "r".into()];
     let (features, indices) = tiling.extract(snap, cube, &vars);
     SampleSet::new(features, indices, snap.time, snap_idx).with_hypercube(cube)
@@ -70,8 +75,14 @@ fn main() {
         .iter()
         .map(|&c| full_cube_set(n_snap - 1, val_snap, &tiling, c))
         .collect();
-    let mut val_tensor =
-        dense_cube_data(&val_sets, &dataset.snapshots, CUBE_EDGE, &dataset.meta.input_vars, "p", PATCH);
+    let mut val_tensor = dense_cube_data(
+        &val_sets,
+        &dataset.snapshots,
+        CUBE_EDGE,
+        &dataset.meta.input_vars,
+        "p",
+        PATCH,
+    );
 
     let header = vec!["sampling", "val_loss", "energy_kJ"];
     let mut rows = Vec::new();
@@ -79,7 +90,9 @@ fn main() {
         // --- Curation: pick `keep` (snapshot, cube) pairs. ---
         let sample_meter = EnergyMeter::new(MachineModel::frontier_cpu_rank());
         let picked: Vec<(usize, usize)> = match name {
-            "uniform" => (0..keep).map(|i| train_pool[i * train_pool.len() / keep]).collect(),
+            "uniform" => (0..keep)
+                .map(|i| train_pool[i * train_pool.len() / keep])
+                .collect(),
             "random" => {
                 use rand::seq::SliceRandom;
                 let mut rng = StdRng::seed_from_u64(9);
@@ -95,7 +108,8 @@ fn main() {
                 let mut out = Vec::new();
                 for s in 0..n_snap - 1 {
                     let mut rng = StdRng::seed_from_u64(9 ^ s as u64);
-                    let ids = selector.select(&tiling, &dataset.snapshots[s], "pv", per_snap, &mut rng);
+                    let ids =
+                        selector.select(&tiling, &dataset.snapshots[s], "pv", per_snap, &mut rng);
                     out.extend(ids.into_iter().map(|c| (s, c)));
                     // Cube scoring scans the snapshot once.
                     sample_meter.record_bytes(dataset.grid().len() as u64 * 8);
@@ -113,8 +127,14 @@ fn main() {
             .iter()
             .map(|&(s, c)| full_cube_set(s, &dataset.snapshots[s], &tiling, c))
             .collect();
-        let mut tensor =
-            dense_cube_data(&sets, &dataset.snapshots, CUBE_EDGE, &dataset.meta.input_vars, "p", PATCH);
+        let mut tensor = dense_cube_data(
+            &sets,
+            &dataset.snapshots,
+            CUBE_EDGE,
+            &dataset.meta.input_vars,
+            "p",
+            PATCH,
+        );
         // Train-fit / val-apply: validation must be scaled with the
         // *training* statistics or cross-method losses are incomparable.
         let scaler = tensor.fit_standardizer();
@@ -122,12 +142,26 @@ fn main() {
         let mut val = val_tensor.clone();
         scaler.apply(&mut val);
 
-        let mut model = MateyMini::new(tensor.tokens, tensor.features, 32, 1, tensor.outputs, 0.25, 9);
-        let tcfg = TrainConfig { epochs: EPOCHS, batch: 4, lr: 1e-3, test_frac: 0.1, seed: 9, ..Default::default() };
+        let mut model = MateyMini::new(
+            tensor.tokens,
+            tensor.features,
+            32,
+            1,
+            tensor.outputs,
+            0.25,
+            9,
+        );
+        let tcfg = TrainConfig {
+            epochs: EPOCHS,
+            batch: 4,
+            lr: 1e-3,
+            test_frac: 0.1,
+            seed: 9,
+            ..Default::default()
+        };
         let res = train(&mut model, &tensor, &tcfg, MachineModel::frontier_gcd());
         let val_loss = model.eval_loss(&val.full_batch());
-        let total_kj =
-            (sample_meter.report().total_joules() + res.energy.total_joules()) / 1e3;
+        let total_kj = (sample_meter.report().total_joules() + res.energy.total_joules()) / 1e3;
         println!("  {name:<8} val loss {val_loss:.4}  energy {total_kj:.4} kJ");
         rows.push(vec![name.to_string(), fmt(val_loss as f64), fmt(total_kj)]);
     }

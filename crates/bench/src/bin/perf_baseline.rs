@@ -1,0 +1,138 @@
+//! Machine-readable performance baseline for the FFT + spectral-solver hot
+//! path, emitted as `BENCH_fft_spectral.json` (see DESIGN.md for the
+//! `BENCH_*.json` conventions).
+//!
+//! Measures, at each grid size:
+//! - the complex [`Fft3d`] forward+inverse roundtrip,
+//! - the half-spectrum [`RealFft3d`] forward+inverse roundtrip into
+//!   preallocated buffers (the solver's steady-state transform path),
+//! - one `SpectralSolver` RK2 step on the Taylor–Green vortex,
+//!
+//! and reports ns/iter, grid throughput, and the real-vs-complex speedup.
+//! Numbers are wall-clock medians over enough iterations to fill a fixed
+//! time budget, so they are stable enough for a committed baseline while
+//! still honest about machine dependence (`threads` records the pool size).
+
+use std::time::Instant;
+
+use serde::Serialize;
+use sickle_cfd::{SpectralConfig, SpectralSolver};
+use sickle_fft::{Complex, Fft3d, RealFft3d};
+
+/// One measured kernel.
+#[derive(Serialize)]
+struct BenchResult {
+    name: String,
+    n: usize,
+    iters: usize,
+    ns_per_iter: f64,
+    mpoints_per_sec: f64,
+}
+
+/// Top-level report written to `BENCH_fft_spectral.json`.
+#[derive(Serialize)]
+struct Report {
+    suite: String,
+    threads: usize,
+    benches: Vec<BenchResult>,
+    speedup_real_vs_complex_32: f64,
+    speedup_real_vs_complex_64: f64,
+}
+
+/// Times `f` with a warmup pass and enough iterations to fill ~0.3 s,
+/// returning the mean ns/iter over the measured batch.
+fn time_ns(mut f: impl FnMut()) -> (usize, f64) {
+    f(); // warmup: page in buffers, spin up the thread pool
+    let probe = Instant::now();
+    f();
+    let once = probe.elapsed().as_secs_f64();
+    let iters = ((0.3 / once.max(1e-9)) as usize).clamp(3, 1000);
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let total = start.elapsed().as_secs_f64();
+    (iters, total / iters as f64 * 1e9)
+}
+
+fn bench_complex_roundtrip(n: usize) -> BenchResult {
+    let plan = Fft3d::new(n, n, n);
+    let mut buf: Vec<Complex> = (0..n * n * n)
+        .map(|i| Complex::new((i as f64 * 0.37).sin(), 0.0))
+        .collect();
+    let (iters, ns) = time_ns(|| {
+        plan.forward(&mut buf);
+        plan.inverse(&mut buf);
+        std::hint::black_box(&mut buf);
+    });
+    result(format!("fft3d_complex_roundtrip_{n}"), n, iters, ns)
+}
+
+fn bench_real_roundtrip(n: usize) -> BenchResult {
+    let plan = RealFft3d::new(n, n, n);
+    let field: Vec<f64> = (0..n * n * n).map(|i| (i as f64 * 0.37).sin()).collect();
+    let mut spec = vec![Complex::ZERO; plan.spectrum_len()];
+    let mut back = vec![0.0; field.len()];
+    let (iters, ns) = time_ns(|| {
+        plan.forward(&field, &mut spec);
+        plan.inverse(&mut spec, &mut back);
+        std::hint::black_box(&mut back);
+    });
+    result(format!("rfft3d_roundtrip_{n}"), n, iters, ns)
+}
+
+fn bench_spectral_step(n: usize) -> BenchResult {
+    let mut solver = SpectralSolver::new(SpectralConfig {
+        n,
+        dt: 0.002,
+        ..Default::default()
+    });
+    solver.init_taylor_green(1.0);
+    let (iters, ns) = time_ns(|| {
+        solver.step();
+        std::hint::black_box(solver.time());
+    });
+    result(format!("spectral_step_{n}"), n, iters, ns)
+}
+
+fn result(name: String, n: usize, iters: usize, ns_per_iter: f64) -> BenchResult {
+    let mpoints_per_sec = (n * n * n) as f64 / ns_per_iter * 1e3;
+    println!("  {name:<32} {ns_per_iter:>14.0} ns/iter  {mpoints_per_sec:>9.1} Mpts/s");
+    BenchResult {
+        name,
+        n,
+        iters,
+        ns_per_iter,
+        mpoints_per_sec,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_fft_spectral.json".into());
+    println!("perf_baseline: {} threads", rayon::current_num_threads());
+
+    let mut benches = Vec::new();
+    let mut speedup = [0.0f64; 2];
+    for (slot, n) in [(0usize, 32usize), (1, 64)] {
+        let c = bench_complex_roundtrip(n);
+        let r = bench_real_roundtrip(n);
+        speedup[slot] = c.ns_per_iter / r.ns_per_iter;
+        println!("  real-vs-complex speedup at {n}^3: {:.2}x", speedup[slot]);
+        benches.push(c);
+        benches.push(r);
+    }
+    benches.push(bench_spectral_step(32));
+
+    let report = Report {
+        suite: "fft_spectral".into(),
+        threads: rayon::current_num_threads(),
+        benches,
+        speedup_real_vs_complex_32: speedup[0],
+        speedup_real_vs_complex_64: speedup[1],
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out_path, json + "\n").expect("write baseline JSON");
+    println!("  wrote {out_path}");
+}

@@ -11,7 +11,10 @@
 //! block (`CPU Energy`, `Total Energy Consumed`, `Elapsed Time`) the
 //! artifact's analysis instructions grep for.
 
-use sickle_bench::{cases::{builtin_cases, CaseConfig}, sampling_energy};
+use sickle_bench::{
+    cases::{builtin_cases, CaseConfig},
+    sampling_energy,
+};
 use sickle_core::pipeline::run_dataset;
 use sickle_field::io::encode_sample_set;
 use std::path::PathBuf;

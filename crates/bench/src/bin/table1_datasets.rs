@@ -2,23 +2,43 @@
 //! grid, snapshots, size, cluster variable, inputs, outputs) at
 //! reproduction scale.
 
-use sickle_bench::{print_table, write_csv, workloads};
+use sickle_bench::{print_table, workloads, write_csv};
 use sickle_cfd::datasets::table_row;
 
 fn main() {
     println!("== Table 1: datasets used in the study (reproduction scale) ==\n");
     let of2d = workloads::of2d_small();
-    let datasets = [workloads::tc2d_small(0),
+    let datasets = [
+        workloads::tc2d_small(0),
         of2d.dataset,
         workloads::sst_p1f4_small(),
         workloads::sst_p1f100_small(),
-        workloads::gests_small()];
-    let header = vec!["Label", "Description", "Space", "Time", "Size", "KCV", "Input", "Output"];
+        workloads::gests_small(),
+    ];
+    let header = vec![
+        "Label",
+        "Description",
+        "Space",
+        "Time",
+        "Size",
+        "KCV",
+        "Input",
+        "Output",
+    ];
     let rows: Vec<Vec<String>> = datasets
         .iter()
         .map(|d| {
             let r = table_row(d);
-            vec![r.label, r.description, r.space, r.time.to_string(), r.size, r.kcv, r.input, r.output]
+            vec![
+                r.label,
+                r.description,
+                r.space,
+                r.time.to_string(),
+                r.size,
+                r.kcv,
+                r.input,
+                r.output,
+            ]
         })
         .collect();
     print_table(&header, &rows);

@@ -11,7 +11,14 @@ fn main() {
     let cnn_t = TokenTransformer::cnn_transformer(64, 256, 32, 2, 4096, 0);
     let matey = MateyMini::new(64, 256, 32, 2, 4096, 0.5, 0);
 
-    let header = vec!["Architecture", "Input Shape", "Output Shape", "Description", "Input Data", "Params"];
+    let header = vec![
+        "Architecture",
+        "Input Shape",
+        "Output Shape",
+        "Description",
+        "Input Data",
+        "Params",
+    ];
     let rows = vec![
         vec![
             lstm.name().to_string(),

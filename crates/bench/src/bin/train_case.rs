@@ -33,10 +33,13 @@ fn main() {
     }
     let (case, rest) = if args[0] == "--builtin" {
         let name = args.get(1).cloned().unwrap_or_else(|| usage());
-        let case = builtin_cases().into_iter().find(|c| c.name == name).unwrap_or_else(|| {
-            eprintln!("unknown builtin case '{name}'");
-            std::process::exit(2);
-        });
+        let case = builtin_cases()
+            .into_iter()
+            .find(|c| c.name == name)
+            .unwrap_or_else(|| {
+                eprintln!("unknown builtin case '{name}'");
+                std::process::exit(2);
+            });
         (case, &args[2..])
     } else {
         let case = CaseConfig::load(&std::path::PathBuf::from(&args[0])).unwrap_or_else(|e| {
@@ -49,7 +52,12 @@ fn main() {
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--ranks" => ranks = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--ranks" => {
+                ranks = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             _ => usage(),
         }
     }
@@ -65,8 +73,8 @@ fn main() {
         .or_else(|| dataset.meta.output_vars.first().cloned())
         .expect("case has no target variable");
 
-    let structured = matches!(case.subsample.method, PointMethod::Full)
-        || case.train.arch != "mlp_transformer";
+    let structured =
+        matches!(case.subsample.method, PointMethod::Full) || case.train.arch != "mlp_transformer";
     let mut tensor = if structured {
         dense_cube_data(
             &sets,
@@ -77,7 +85,13 @@ fn main() {
             case.train.patch,
         )
     } else {
-        reconstruction_data(&sets, &dataset.snapshots, case.subsample.cube_edge, &target, case.train.tokens)
+        reconstruction_data(
+            &sets,
+            &dataset.snapshots,
+            case.subsample.cube_edge,
+            &target,
+            case.train.tokens,
+        )
     };
     tensor.standardize();
     println!(
@@ -97,7 +111,14 @@ fn main() {
     let dim = case.train.dim;
     let res = match case.train.arch.as_str() {
         "mlp_transformer" => {
-            let mut m = TokenTransformer::mlp_transformer(tensor.tokens, tensor.features, dim, 1, tensor.outputs, 0);
+            let mut m = TokenTransformer::mlp_transformer(
+                tensor.tokens,
+                tensor.features,
+                dim,
+                1,
+                tensor.outputs,
+                0,
+            );
             if ranks > 1 {
                 train_ddp(&mut m, &tensor, &cfg, ranks, MachineModel::frontier_gcd())
             } else {
@@ -105,7 +126,14 @@ fn main() {
             }
         }
         "cnn_transformer" => {
-            let mut m = TokenTransformer::cnn_transformer(tensor.tokens, tensor.features, dim, 1, tensor.outputs, 0);
+            let mut m = TokenTransformer::cnn_transformer(
+                tensor.tokens,
+                tensor.features,
+                dim,
+                1,
+                tensor.outputs,
+                0,
+            );
             if ranks > 1 {
                 train_ddp(&mut m, &tensor, &cfg, ranks, MachineModel::frontier_gcd())
             } else {
@@ -113,7 +141,15 @@ fn main() {
             }
         }
         "matey" => {
-            let mut m = MateyMini::new(tensor.tokens, tensor.features, dim, 1, tensor.outputs, 0.25, 0);
+            let mut m = MateyMini::new(
+                tensor.tokens,
+                tensor.features,
+                dim,
+                1,
+                tensor.outputs,
+                0.25,
+                0,
+            );
             if ranks > 1 {
                 train_ddp(&mut m, &tensor, &cfg, ranks, MachineModel::frontier_gcd())
             } else {

@@ -60,16 +60,26 @@ impl DatasetSpec {
         match *self {
             DatasetSpec::Of2d { nx, ny, snapshots } => {
                 datasets::of2d(&Of2dParams {
-                    lbm: LbmConfig { nx, ny, diameter: (ny / 6) as f64, ..Default::default() },
+                    lbm: LbmConfig {
+                        nx,
+                        ny,
+                        diameter: (ny / 6) as f64,
+                        ..Default::default()
+                    },
                     warmup: 1200,
                     snapshots,
                     interval: 40,
                 })
                 .dataset
             }
-            DatasetSpec::Tc2d { n } => {
-                datasets::tc2d(&CombustionConfig { nx: n, ny: n, ..Default::default() }, 0)
-            }
+            DatasetSpec::Tc2d { n } => datasets::tc2d(
+                &CombustionConfig {
+                    nx: n,
+                    ny: n,
+                    ..Default::default()
+                },
+                0,
+            ),
             DatasetSpec::SstP1f4 { n, snapshots } => datasets::sst_p1f4(&SstParams {
                 n,
                 snapshots,
@@ -84,9 +94,14 @@ impl DatasetSpec {
                 warmup: 12,
                 ..Default::default()
             }),
-            DatasetSpec::Gests { n } => {
-                datasets::gests(&GestsParams { n, spinup: 20, ..Default::default() }, 42)
-            }
+            DatasetSpec::Gests { n } => datasets::gests(
+                &GestsParams {
+                    n,
+                    spinup: 20,
+                    ..Default::default()
+                },
+                42,
+            ),
         }
     }
 }
@@ -165,13 +180,38 @@ impl CaseConfig {
 /// `contrib/configs/SST/P1/*.yaml` set at reproduction scale.
 pub fn builtin_cases() -> Vec<CaseConfig> {
     use sickle_core::pipeline::{CubeMethod, PointMethod};
-    let sst = DatasetSpec::SstP1f4 { n: 32, snapshots: 4 };
+    let sst = DatasetSpec::SstP1f4 {
+        n: 32,
+        snapshots: 4,
+    };
     let combos = [
-        ("Hmaxent-Xmaxent-16", CubeMethod::MaxEnt, PointMethod::MaxEnt { num_clusters: 20, bins: 100 }),
-        ("Hmaxent-Xuips-16", CubeMethod::MaxEnt, PointMethod::Uips { bins_per_dim: 10 }),
+        (
+            "Hmaxent-Xmaxent-16",
+            CubeMethod::MaxEnt,
+            PointMethod::MaxEnt {
+                num_clusters: 20,
+                bins: 100,
+            },
+        ),
+        (
+            "Hmaxent-Xuips-16",
+            CubeMethod::MaxEnt,
+            PointMethod::Uips { bins_per_dim: 10 },
+        ),
         ("Hrandom-Xfull-16", CubeMethod::Random, PointMethod::Full),
-        ("Hrandom-Xmaxent-16", CubeMethod::Random, PointMethod::MaxEnt { num_clusters: 20, bins: 100 }),
-        ("Hrandom-Xuips-16", CubeMethod::Random, PointMethod::Uips { bins_per_dim: 10 }),
+        (
+            "Hrandom-Xmaxent-16",
+            CubeMethod::Random,
+            PointMethod::MaxEnt {
+                num_clusters: 20,
+                bins: 100,
+            },
+        ),
+        (
+            "Hrandom-Xuips-16",
+            CubeMethod::Random,
+            PointMethod::Uips { bins_per_dim: 10 },
+        ),
     ];
     combos
         .into_iter()
@@ -240,7 +280,11 @@ mod tests {
     fn tiny_dataset_specs_build() {
         let d = DatasetSpec::Tc2d { n: 32 }.build();
         assert_eq!(d.meta.label, "TC2D");
-        let d = DatasetSpec::SstP1f4 { n: 16, snapshots: 2 }.build();
+        let d = DatasetSpec::SstP1f4 {
+            n: 16,
+            snapshots: 2,
+        }
+        .build();
         assert_eq!(d.num_snapshots(), 2);
     }
 

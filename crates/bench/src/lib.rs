@@ -137,15 +137,30 @@ mod tests {
             hypercubes: CubeMethod::Random,
             num_hypercubes: 1,
             cube_edge: 8,
-            method: PointMethod::MaxEnt { num_clusters: 10, bins: 50 },
+            method: PointMethod::MaxEnt {
+                num_clusters: 10,
+                bins: 50,
+            },
             num_samples: 10,
             cluster_var: "q".into(),
             feature_vars: vec!["q".into()],
             seed: 0,
             temporal: sickle_core::pipeline::TemporalMethod::All,
         };
-        let small = SamplingStats { points_in: 1000, points_out: 100, cubes_selected: 1, phase1_points: 0, elapsed_secs: 0.1 };
-        let big = SamplingStats { points_in: 100_000, points_out: 100, cubes_selected: 1, phase1_points: 0, elapsed_secs: 0.1 };
+        let small = SamplingStats {
+            points_in: 1000,
+            points_out: 100,
+            cubes_selected: 1,
+            phase1_points: 0,
+            elapsed_secs: 0.1,
+        };
+        let big = SamplingStats {
+            points_in: 100_000,
+            points_out: 100,
+            cubes_selected: 1,
+            phase1_points: 0,
+            elapsed_secs: 0.1,
+        };
         let e_small = sampling_energy(&small, &cfg).total_joules();
         let e_big = sampling_energy(&big, &cfg).total_joules();
         assert!((e_big / e_small - 100.0).abs() < 1.0);

@@ -13,7 +13,13 @@ use sickle_field::Dataset;
 /// OF2D at bench scale: 160×64 lattice, 60 shedding-resolved snapshots.
 pub fn of2d_small() -> Of2dData {
     datasets::of2d(&Of2dParams {
-        lbm: LbmConfig { nx: 160, ny: 64, diameter: 10.0, reynolds: 150.0, ..Default::default() },
+        lbm: LbmConfig {
+            nx: 160,
+            ny: 64,
+            diameter: 10.0,
+            reynolds: 150.0,
+            ..Default::default()
+        },
         warmup: 1500,
         snapshots: 60,
         interval: 40,
@@ -27,34 +33,72 @@ pub fn tc2d_small(seed: u64) -> Dataset {
 
 /// SST-P1F4 at bench scale: 32³ decaying stratified Taylor–Green, 6 snaps.
 pub fn sst_p1f4_small() -> Dataset {
-    datasets::sst_p1f4(&SstParams { n: 32, snapshots: 6, interval: 8, warmup: 16, ..Default::default() })
+    datasets::sst_p1f4(&SstParams {
+        n: 32,
+        snapshots: 6,
+        interval: 8,
+        warmup: 16,
+        ..Default::default()
+    })
 }
 
 /// SST-P1F100 at bench scale: 32³ forced stratified turbulence, 6 snaps.
 pub fn sst_p1f100_small() -> Dataset {
-    datasets::sst_p1f100(&SstParams { n: 32, snapshots: 6, interval: 8, warmup: 16, ..Default::default() })
+    datasets::sst_p1f100(&SstParams {
+        n: 32,
+        snapshots: 6,
+        interval: 8,
+        warmup: 16,
+        ..Default::default()
+    })
 }
 
 /// GESTS at bench scale: 32³ forced isotropic turbulence, one snapshot.
 pub fn gests_small() -> Dataset {
-    datasets::gests(&GestsParams { n: 32, spinup: 20, ..Default::default() }, 42)
+    datasets::gests(
+        &GestsParams {
+            n: 32,
+            spinup: 20,
+            ..Default::default()
+        },
+        42,
+    )
 }
 
 /// SST-P1F4 at figure-8 scale: 64³ so the 16³ tiling yields 64 hypercubes
 /// and phase-1 selection (8 of 64) genuinely differentiates Hmaxent from
 /// Hrandom.
 pub fn sst_p1f4_medium() -> Dataset {
-    datasets::sst_p1f4(&SstParams { n: 64, snapshots: 4, interval: 5, warmup: 10, ..Default::default() })
+    datasets::sst_p1f4(&SstParams {
+        n: 64,
+        snapshots: 4,
+        interval: 5,
+        warmup: 10,
+        ..Default::default()
+    })
 }
 
 /// SST-P1F100 at figure-8 scale (64³ forced stratified).
 pub fn sst_p1f100_medium() -> Dataset {
-    datasets::sst_p1f100(&SstParams { n: 64, snapshots: 4, interval: 5, warmup: 10, ..Default::default() })
+    datasets::sst_p1f100(&SstParams {
+        n: 64,
+        snapshots: 4,
+        interval: 5,
+        warmup: 10,
+        ..Default::default()
+    })
 }
 
 /// GESTS at figure-8 scale (64³ forced isotropic, one snapshot).
 pub fn gests_medium() -> Dataset {
-    datasets::gests(&GestsParams { n: 64, spinup: 15, ..Default::default() }, 42)
+    datasets::gests(
+        &GestsParams {
+            n: 64,
+            spinup: 15,
+            ..Default::default()
+        },
+        42,
+    )
 }
 
 /// Builds a `H<h>-X<x>` sampling configuration for a dataset at a 10% point
@@ -91,11 +135,33 @@ pub fn sampling_config(
 /// The five Fig.-7/8 case names and their (H, X) methods.
 pub fn fig8_cases() -> Vec<(&'static str, CubeMethod, PointMethod)> {
     vec![
-        ("Hmaxent-Xmaxent", CubeMethod::MaxEnt, PointMethod::MaxEnt { num_clusters: 20, bins: 100 }),
-        ("Hmaxent-Xuips", CubeMethod::MaxEnt, PointMethod::Uips { bins_per_dim: 10 }),
+        (
+            "Hmaxent-Xmaxent",
+            CubeMethod::MaxEnt,
+            PointMethod::MaxEnt {
+                num_clusters: 20,
+                bins: 100,
+            },
+        ),
+        (
+            "Hmaxent-Xuips",
+            CubeMethod::MaxEnt,
+            PointMethod::Uips { bins_per_dim: 10 },
+        ),
         ("Hrandom-Xfull", CubeMethod::Random, PointMethod::Full),
-        ("Hrandom-Xmaxent", CubeMethod::Random, PointMethod::MaxEnt { num_clusters: 20, bins: 100 }),
-        ("Hrandom-Xuips", CubeMethod::Random, PointMethod::Uips { bins_per_dim: 10 }),
+        (
+            "Hrandom-Xmaxent",
+            CubeMethod::Random,
+            PointMethod::MaxEnt {
+                num_clusters: 20,
+                bins: 100,
+            },
+        ),
+        (
+            "Hrandom-Xuips",
+            CubeMethod::Random,
+            PointMethod::Uips { bins_per_dim: 10 },
+        ),
     ]
 }
 

@@ -35,7 +35,13 @@ pub struct CombustionConfig {
 
 impl Default for CombustionConfig {
     fn default() -> Self {
-        CombustionConfig { nx: 128, ny: 128, z_st: 0.0, delta: 0.25, filter_radius: 2 }
+        CombustionConfig {
+            nx: 128,
+            ny: 128,
+            z_st: 0.0,
+            delta: 0.25,
+            filter_radius: 2,
+        }
     }
 }
 
@@ -100,7 +106,9 @@ pub fn generate(cfg: &CombustionConfig, seed: u64) -> Snapshot {
         .map(|(&m2, &m1)| (m2 - m1 * m1).max(0.0))
         .collect();
 
-    Snapshot::new(grid, 0.0).with_var("C", c).with_var("Cvar", cvar)
+    Snapshot::new(grid, 0.0)
+        .with_var("C", c)
+        .with_var("Cvar", cvar)
 }
 
 #[cfg(test)]
@@ -119,7 +127,10 @@ mod tests {
     fn progress_variable_is_bimodal() {
         // Most mass near 0 and 1, little in the middle — the defining TC2D
         // property the surrogate must reproduce.
-        let cfg = CombustionConfig { delta: 0.1, ..Default::default() };
+        let cfg = CombustionConfig {
+            delta: 0.1,
+            ..Default::default()
+        };
         let snap = generate(&cfg, 2);
         let h = Histogram::of(snap.expect_var("C"), 10);
         let p = h.pmf();
@@ -146,7 +157,10 @@ mod tests {
         assert!(front.1 > 0 && burnt.1 > 0);
         let front_mean = front.0 / front.1 as f64;
         let burnt_mean = burnt.0 / burnt.1 as f64;
-        assert!(front_mean > 5.0 * burnt_mean, "front {front_mean} vs burnt {burnt_mean}");
+        assert!(
+            front_mean > 5.0 * burnt_mean,
+            "front {front_mean} vs burnt {burnt_mean}"
+        );
     }
 
     #[test]

@@ -31,7 +31,12 @@ pub struct Of2dParams {
 
 impl Default for Of2dParams {
     fn default() -> Self {
-        Of2dParams { lbm: LbmConfig::default(), warmup: 2000, snapshots: 100, interval: 50 }
+        Of2dParams {
+            lbm: LbmConfig::default(),
+            warmup: 2000,
+            snapshots: 100,
+            interval: 50,
+        }
     }
 }
 
@@ -68,7 +73,11 @@ pub fn of2d(params: &Of2dParams) -> Of2dData {
         drag.push(sim.drag_coefficient());
         lift.push(sim.lift());
     }
-    Of2dData { dataset, drag, lift }
+    Of2dData {
+        dataset,
+        drag,
+        lift,
+    }
 }
 
 /// Generates the TC2D analogue: one snapshot of progress variable `C` and
@@ -107,7 +116,15 @@ pub struct SstParams {
 
 impl Default for SstParams {
     fn default() -> Self {
-        SstParams { n: 32, n_bv: 2.0, snapshots: 8, interval: 10, warmup: 20, dt: 0.01, viscosity: 0.02 }
+        SstParams {
+            n: 32,
+            n_bv: 2.0,
+            snapshots: 8,
+            interval: 10,
+            warmup: 20,
+            dt: 0.01,
+            viscosity: 0.02,
+        }
     }
 }
 
@@ -130,7 +147,10 @@ pub fn sst_p1f4(params: &SstParams) -> Dataset {
         viscosity: params.viscosity,
         diffusivity: params.viscosity,
         dt: params.dt,
-        stratification: Stratification::Boussinesq { n_bv: params.n_bv, gravity: Axis::Z },
+        stratification: Stratification::Boussinesq {
+            n_bv: params.n_bv,
+            gravity: Axis::Z,
+        },
         forcing: None,
     };
     let mut solver = SpectralSolver::new(cfg);
@@ -163,7 +183,10 @@ pub fn sst_p1f100(params: &SstParams) -> Dataset {
         viscosity: params.viscosity,
         diffusivity: params.viscosity,
         dt: params.dt,
-        stratification: Stratification::Boussinesq { n_bv: params.n_bv, gravity: Axis::Y },
+        stratification: Stratification::Boussinesq {
+            n_bv: params.n_bv,
+            gravity: Axis::Y,
+        },
         forcing: Some(Forcing { k_f: 2.0 }),
     };
     let mut solver = SpectralSolver::new(cfg);
@@ -183,7 +206,13 @@ pub fn sst_p1f100(params: &SstParams) -> Dataset {
         solver.run(params.interval);
         let mut snap = solver.snapshot();
         let grid = snap.grid;
-        let ee = dissipation(&grid, snap.expect_var("u"), snap.expect_var("v"), snap.expect_var("w"), nu);
+        let ee = dissipation(
+            &grid,
+            snap.expect_var("u"),
+            snap.expect_var("v"),
+            snap.expect_var("w"),
+            nu,
+        );
         snap.push_var("ee", ee);
         d.push(snap);
     }
@@ -205,7 +234,12 @@ pub struct GestsParams {
 
 impl Default for GestsParams {
     fn default() -> Self {
-        GestsParams { n: 32, spinup: 30, dt: 0.01, viscosity: 0.02 }
+        GestsParams {
+            n: 32,
+            spinup: 30,
+            dt: 0.01,
+            viscosity: 0.02,
+        }
     }
 }
 
@@ -236,7 +270,11 @@ pub fn gests(params: &GestsParams, seed: u64) -> Dataset {
         },
         seed,
     );
-    solver.set_velocity(syn.expect_var("u"), syn.expect_var("v"), syn.expect_var("w"));
+    solver.set_velocity(
+        syn.expect_var("u"),
+        syn.expect_var("v"),
+        syn.expect_var("w"),
+    );
     solver.run(params.spinup);
     let mut snap = solver.snapshot();
     let grid = snap.grid;
@@ -329,7 +367,11 @@ pub fn mean_kinetic_energy(snap: &Snapshot) -> f64 {
             .zip(v.par_iter().zip(w.par_iter()))
             .map(|(a, (b, c))| a * a + b * b + c * c)
             .sum(),
-        (Some(v), None) => u.par_iter().zip(v.par_iter()).map(|(a, b)| a * a + b * b).sum(),
+        (Some(v), None) => u
+            .par_iter()
+            .zip(v.par_iter())
+            .map(|(a, b)| a * a + b * b)
+            .sum(),
         _ => u.par_iter().map(|a| a * a).sum(),
     };
     0.5 * ke / u.len() as f64
@@ -341,7 +383,13 @@ mod tests {
 
     fn tiny_of2d() -> Of2dParams {
         Of2dParams {
-            lbm: LbmConfig { nx: 60, ny: 32, diameter: 6.0, reynolds: 60.0, ..Default::default() },
+            lbm: LbmConfig {
+                nx: 60,
+                ny: 32,
+                diameter: 6.0,
+                reynolds: 60.0,
+                ..Default::default()
+            },
             warmup: 100,
             snapshots: 4,
             interval: 20,
@@ -359,7 +407,14 @@ mod tests {
 
     #[test]
     fn tc2d_metadata() {
-        let d = tc2d(&CombustionConfig { nx: 32, ny: 32, ..Default::default() }, 1);
+        let d = tc2d(
+            &CombustionConfig {
+                nx: 32,
+                ny: 32,
+                ..Default::default()
+            },
+            1,
+        );
         assert_eq!(d.meta.label, "TC2D");
         assert_eq!(d.num_snapshots(), 1);
         assert!(d.snapshots[0].var("C").is_some());
@@ -368,7 +423,13 @@ mod tests {
 
     #[test]
     fn sst_p1f4_has_cluster_variable() {
-        let params = SstParams { n: 16, snapshots: 2, interval: 3, warmup: 3, ..Default::default() };
+        let params = SstParams {
+            n: 16,
+            snapshots: 2,
+            interval: 3,
+            warmup: 3,
+            ..Default::default()
+        };
         let d = sst_p1f4(&params);
         assert_eq!(d.meta.cluster_var, "pv");
         for s in &d.snapshots {
@@ -380,7 +441,13 @@ mod tests {
 
     #[test]
     fn sst_p1f100_has_dissipation_output() {
-        let params = SstParams { n: 16, snapshots: 2, interval: 3, warmup: 3, ..Default::default() };
+        let params = SstParams {
+            n: 16,
+            snapshots: 2,
+            interval: 3,
+            warmup: 3,
+            ..Default::default()
+        };
         let d = sst_p1f100(&params);
         assert_eq!(d.meta.output_vars, vec!["ee"]);
         for s in &d.snapshots {
@@ -391,7 +458,14 @@ mod tests {
 
     #[test]
     fn gests_snapshot_is_isotropic_with_enstrophy() {
-        let d = gests(&GestsParams { n: 16, spinup: 5, ..Default::default() }, 2);
+        let d = gests(
+            &GestsParams {
+                n: 16,
+                spinup: 5,
+                ..Default::default()
+            },
+            2,
+        );
         assert_eq!(d.num_snapshots(), 1);
         let s = &d.snapshots[0];
         assert!(s.var("omega").is_some());
@@ -408,7 +482,14 @@ mod tests {
 
     #[test]
     fn table_row_formats() {
-        let d = tc2d(&CombustionConfig { nx: 32, ny: 32, ..Default::default() }, 1);
+        let d = tc2d(
+            &CombustionConfig {
+                nx: 32,
+                ny: 32,
+                ..Default::default()
+            },
+            1,
+        );
         let row = table_row(&d);
         assert_eq!(row.space, "32x32");
         assert_eq!(row.time, 1);

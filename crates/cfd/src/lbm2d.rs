@@ -126,15 +126,23 @@ impl CylinderFlow {
         for x in 0..cfg.nx {
             for y in 0..cfg.ny {
                 let idx = x * cfg.ny + y;
-                let pert =
-                    1e-3 * ((y as f64 / cfg.ny as f64) * std::f64::consts::TAU).sin();
+                let pert = 1e-3 * ((y as f64 / cfg.ny as f64) * std::f64::consts::TAU).sin();
                 for i in 0..9 {
                     f[idx * 9 + i] = equilibrium(i, 1.0, cfg.u_inlet, pert);
                 }
             }
         }
         let f_new = f.clone();
-        CylinderFlow { cfg, f, f_new, solid, tau, step_count: 0, drag: 0.0, lift: 0.0 }
+        CylinderFlow {
+            cfg,
+            f,
+            f_new,
+            solid,
+            tau,
+            step_count: 0,
+            drag: 0.0,
+            lift: 0.0,
+        }
     }
 
     /// Configuration used to build this simulation.
@@ -309,7 +317,14 @@ impl CylinderFlow {
     /// `u, v, p, wz` (pressure from the lattice equation of state
     /// `p = ρ c_s² = ρ/3`, vorticity from central differences).
     pub fn snapshot(&self, time: f64) -> Snapshot {
-        let grid = Grid3::new(self.cfg.nx, self.cfg.ny, 1, self.cfg.nx as f64, self.cfg.ny as f64, 1.0);
+        let grid = Grid3::new(
+            self.cfg.nx,
+            self.cfg.ny,
+            1,
+            self.cfg.nx as f64,
+            self.cfg.ny as f64,
+            1.0,
+        );
         let (rho, u, v) = self.macroscopic();
         let p: Vec<f64> = rho.iter().map(|&r| r / 3.0).collect();
         let wz = vorticity_2d(&grid, &u, &v);
@@ -332,7 +347,14 @@ mod tests {
     use super::*;
 
     fn tiny_config() -> LbmConfig {
-        LbmConfig { nx: 60, ny: 32, u_inlet: 0.1, reynolds: 60.0, diameter: 6.0, ..Default::default() }
+        LbmConfig {
+            nx: 60,
+            ny: 32,
+            u_inlet: 0.1,
+            reynolds: 60.0,
+            diameter: 6.0,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -402,7 +424,14 @@ mod tests {
         // At Re = 150 the wake goes unsteady; lift must change sign over a
         // long window. This is the physical feature (periodic snapshots) the
         // paper's temporal-sampling discussion relies on.
-        let cfg = LbmConfig { nx: 160, ny: 64, u_inlet: 0.1, reynolds: 150.0, diameter: 10.0, ..Default::default() };
+        let cfg = LbmConfig {
+            nx: 160,
+            ny: 64,
+            u_inlet: 0.1,
+            reynolds: 150.0,
+            diameter: 10.0,
+            ..Default::default()
+        };
         let mut sim = CylinderFlow::new(cfg);
         sim.run(2000);
         let mut lifts = Vec::new();
@@ -412,7 +441,10 @@ mod tests {
         }
         let max = lifts.iter().cloned().fold(f64::MIN, f64::max);
         let min = lifts.iter().cloned().fold(f64::MAX, f64::min);
-        assert!(max > 0.0 && min < 0.0, "lift range [{min}, {max}] not oscillating");
+        assert!(
+            max > 0.0 && min < 0.0,
+            "lift range [{min}, {max}] not oscillating"
+        );
     }
 
     #[test]

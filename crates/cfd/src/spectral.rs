@@ -12,11 +12,33 @@
 //! Time stepping is second-order Runge–Kutta (Heun) with explicit viscosity;
 //! the solver enforces `ν k_max² Δt < 2` and an advective CFL check on
 //! construction so misconfigured runs fail loudly instead of blowing up.
+//!
+//! ## Half-spectrum storage and scratch arenas
+//!
+//! All evolved fields are real, so their spectra are Hermitian and only the
+//! `kz >= 0` half is stored: each spectral field holds `n * n * (n/2 + 1)`
+//! coefficients laid out as `(x * n + y) * nzc + z` with `nzc = n/2 + 1`
+//! (see [`sickle_fft::RealFft3d`]). This halves the memory footprint and
+//! roughly halves the transform cost per right-hand-side evaluation.
+//!
+//! The steady-state [`SpectralSolver::step`] performs **no field-sized heap
+//! allocation**: the two RK stages, the midpoint state, and all
+//! physical-space work buffers are preallocated once in
+//! [`SpectralSolver::new`] and threaded through the right-hand-side
+//! evaluation as a scratch arena (see `Scratch`). Diagnostics like
+//! [`SpectralSolver::snapshot`] still allocate freely — they run once per
+//! recorded frame, not once per step.
+//!
+//! Derivatives use a Nyquist-zeroed wavenumber line (`kd[n/2] = 0`): for a
+//! real field the `+n/2` and `-n/2` contributions of an odd-order derivative
+//! cancel under the real-part projection, so zeroing the bin reproduces the
+//! full-complex pipeline exactly while keeping the stored half-spectrum
+//! Hermitian-consistent.
 
 #![allow(clippy::needless_range_loop)] // y/z index wavenumber tables in lockstep with chunks
 
 use rayon::prelude::*;
-use sickle_fft::{Complex, Fft3d};
+use sickle_fft::{Complex, RealFft3d};
 use sickle_field::{Axis, Grid3, Snapshot};
 
 /// Buoyancy treatment.
@@ -73,7 +95,8 @@ impl Default for SpectralConfig {
     }
 }
 
-/// Spectral-space velocity (+ buoyancy) state.
+/// Half-spectrum velocity (+ buoyancy) state: `n * n * (n/2 + 1)` complex
+/// coefficients per component, laid out `(x * n + y) * nzc + z`.
 #[derive(Clone)]
 struct State {
     u: Vec<Complex>,
@@ -83,9 +106,24 @@ struct State {
 }
 
 impl State {
+    fn zeros(slen: usize, stratified: bool) -> Self {
+        State {
+            u: vec![Complex::ZERO; slen],
+            v: vec![Complex::ZERO; slen],
+            w: vec![Complex::ZERO; slen],
+            b: if stratified {
+                Some(vec![Complex::ZERO; slen])
+            } else {
+                None
+            },
+        }
+    }
+
     fn axpy(&mut self, a: f64, rhs: &State) {
         let f = |dst: &mut [Complex], src: &[Complex]| {
-            dst.par_iter_mut().zip(src.par_iter()).for_each(|(d, s)| *d += s.scale(a));
+            dst.par_iter_mut()
+                .zip(src.par_iter())
+                .for_each(|(d, s)| *d += s.scale(a));
         };
         f(&mut self.u, &rhs.u);
         f(&mut self.v, &rhs.v);
@@ -94,17 +132,175 @@ impl State {
             f(b, rb);
         }
     }
+
+    fn copy_from(&mut self, src: &State) {
+        self.u.copy_from_slice(&src.u);
+        self.v.copy_from_slice(&src.v);
+        self.w.copy_from_slice(&src.w);
+        if let (Some(b), Some(sb)) = (self.b.as_mut(), src.b.as_ref()) {
+            b.copy_from_slice(sb);
+        }
+    }
+}
+
+/// Preallocated work buffers threaded through the right-hand-side
+/// evaluation so that steady-state stepping never allocates field-sized
+/// memory. Seven physical-space reals (three velocities, three gradient
+/// components, one nonlinear product) plus one half-spectrum complex buffer
+/// that doubles as the inverse-transform workspace.
+struct Scratch {
+    up: Vec<f64>,
+    vp: Vec<f64>,
+    wp: Vec<f64>,
+    gx: Vec<f64>,
+    gy: Vec<f64>,
+    gz: Vec<f64>,
+    nl: Vec<f64>,
+    cspec: Vec<Complex>,
+}
+
+impl Scratch {
+    fn new(plen: usize, slen: usize) -> Self {
+        Scratch {
+            up: vec![0.0; plen],
+            vp: vec![0.0; plen],
+            wp: vec![0.0; plen],
+            gx: vec![0.0; plen],
+            gy: vec![0.0; plen],
+            gz: vec![0.0; plen],
+            nl: vec![0.0; plen],
+            cspec: vec![Complex::ZERO; slen],
+        }
+    }
+}
+
+/// Immutable per-run context: configuration, transform plans, wavenumber
+/// tables, and the dealiasing mask. Split from the mutable state so the
+/// borrow checker can hand `rhs_into` the context, one state, the scratch
+/// arena, and an output state simultaneously.
+struct SolverCtx {
+    cfg: SpectralConfig,
+    rfft: RealFft3d,
+    /// Integer wavenumber along each axis for each 1D index (`+n/2` at the
+    /// Nyquist bin); used for `k²` magnitudes and shell masks.
+    kline: Vec<f64>,
+    /// Derivative wavenumbers: same as `kline` but zero at the Nyquist bin,
+    /// so odd-order spectral derivatives of real fields stay Hermitian.
+    kd: Vec<f64>,
+    /// Dealiasing mask over the half-spectrum (true = keep).
+    keep: Vec<bool>,
+}
+
+impl SolverCtx {
+    #[inline]
+    fn n(&self) -> usize {
+        self.cfg.n
+    }
+
+    #[inline]
+    fn nzc(&self) -> usize {
+        self.cfg.n / 2 + 1
+    }
+
+    /// Copies `spec` into `work` and inverse-transforms into `out`
+    /// (the inverse destroys its spectral input).
+    fn to_physical_into(&self, spec: &[Complex], work: &mut [Complex], out: &mut [f64]) {
+        work.copy_from_slice(spec);
+        self.rfft.inverse(work, out);
+    }
+
+    /// Spectral derivative of `spec` along `axis`, written to `out` in
+    /// physical space; `work` is the half-spectrum workspace.
+    fn deriv_into(&self, spec: &[Complex], axis: Axis, work: &mut [Complex], out: &mut [f64]) {
+        let n = self.n();
+        let nzc = self.nzc();
+        let kd = &self.kd;
+        work.par_chunks_mut(n * nzc)
+            .enumerate()
+            .for_each(|(x, chunk)| {
+                for y in 0..n {
+                    for z in 0..nzc {
+                        let k = match axis {
+                            Axis::X => kd[x],
+                            Axis::Y => kd[y],
+                            Axis::Z => kd[z],
+                        };
+                        chunk[y * nzc + z] = spec[(x * n + y) * nzc + z].mul_i().scale(k);
+                    }
+                }
+            });
+        self.rfft.inverse(work, out);
+    }
+
+    /// Adds the viscous/diffusive term and applies the dealiasing mask:
+    /// `r -= coeff * k² * f` on kept modes, `r = 0` elsewhere.
+    fn damp(&self, r: &mut [Complex], f: &[Complex], coeff: f64) {
+        let n = self.n();
+        let nzc = self.nzc();
+        let kline = &self.kline;
+        let keep = &self.keep;
+        r.par_chunks_mut(n * nzc)
+            .enumerate()
+            .for_each(|(x, chunk)| {
+                let kx = kline[x];
+                for y in 0..n {
+                    let ky = kline[y];
+                    for z in 0..nzc {
+                        let kz = z as f64;
+                        let i = y * nzc + z;
+                        let gi = (x * n + y) * nzc + z;
+                        if !keep[gi] {
+                            chunk[i] = Complex::ZERO;
+                            continue;
+                        }
+                        let k2 = kx * kx + ky * ky + kz * kz;
+                        chunk[i] -= f[gi].scale(coeff * k2);
+                    }
+                }
+            });
+    }
+
+    /// Leray projection onto divergence-free fields, all three components.
+    /// Uses the derivative wavenumbers so the projected field is exactly
+    /// divergence-free under the solver's own gradient operator.
+    fn project3(&self, u: &mut [Complex], v: &mut [Complex], w: &mut [Complex]) {
+        let n = self.n();
+        let nzc = self.nzc();
+        let kd = &self.kd;
+        u.par_chunks_mut(n * nzc)
+            .zip(v.par_chunks_mut(n * nzc).zip(w.par_chunks_mut(n * nzc)))
+            .enumerate()
+            .for_each(|(x, (us, (vs, ws)))| {
+                let kx = kd[x];
+                for y in 0..n {
+                    let ky = kd[y];
+                    for z in 0..nzc {
+                        let kz = kd[z];
+                        let k2 = kx * kx + ky * ky + kz * kz;
+                        if k2 == 0.0 {
+                            continue;
+                        }
+                        let i = y * nzc + z;
+                        let dot = us[i].scale(kx) + vs[i].scale(ky) + ws[i].scale(kz);
+                        let s = dot.scale(1.0 / k2);
+                        us[i] -= s.scale(kx);
+                        vs[i] -= s.scale(ky);
+                        ws[i] -= s.scale(kz);
+                    }
+                }
+            });
+    }
 }
 
 /// The pseudo-spectral solver.
 pub struct SpectralSolver {
-    cfg: SpectralConfig,
-    fft: Fft3d,
-    /// Integer wavenumber along each axis for each 1D index.
-    kline: Vec<f64>,
-    /// Dealiasing mask (true = keep).
-    keep: Vec<bool>,
+    ctx: SolverCtx,
     state: State,
+    /// RK2 stage buffers and midpoint state, preallocated once.
+    k1: State,
+    k2: State,
+    mid: State,
+    scratch: Scratch,
     time: f64,
     /// Target band energy for forcing (captured at init when forcing is on).
     band_energy: Option<f64>,
@@ -118,7 +314,10 @@ impl SpectralSolver {
     /// Panics if `n` is not a power of two or the explicit time step is
     /// unstable for the configured viscosity.
     pub fn new(cfg: SpectralConfig) -> Self {
-        assert!(sickle_fft::is_power_of_two(cfg.n), "grid size must be a power of two");
+        assert!(
+            sickle_fft::is_power_of_two(cfg.n),
+            "grid size must be a power of two"
+        );
         let n = cfg.n;
         let kmax = (n as f64) / 3.0; // post-dealias maximum wavenumber
         let visc_limit = cfg.viscosity * kmax * kmax * cfg.dt;
@@ -127,30 +326,47 @@ impl SpectralSolver {
             "explicit viscous step unstable: nu*kmax^2*dt = {visc_limit:.3} >= 2"
         );
         let kline: Vec<f64> = (0..n)
-            .map(|i| if i <= n / 2 { i as f64 } else { i as f64 - n as f64 })
+            .map(|i| {
+                if i <= n / 2 {
+                    i as f64
+                } else {
+                    i as f64 - n as f64
+                }
+            })
             .collect();
+        let kd: Vec<f64> = kline
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| if i == n / 2 { 0.0 } else { k })
+            .collect();
+        let nzc = n / 2 + 1;
         let cut = n as f64 / 3.0;
-        let mut keep = vec![true; n * n * n];
+        let mut keep = vec![true; n * n * nzc];
         for x in 0..n {
             for y in 0..n {
-                for z in 0..n {
-                    if kline[x].abs() > cut || kline[y].abs() > cut || kline[z].abs() > cut {
-                        keep[(x * n + y) * n + z] = false;
+                for z in 0..nzc {
+                    if kline[x].abs() > cut || kline[y].abs() > cut || z as f64 > cut {
+                        keep[(x * n + y) * nzc + z] = false;
                     }
                 }
             }
         }
-        let len = n * n * n;
-        let b = match cfg.stratification {
-            Stratification::None => None,
-            Stratification::Boussinesq { .. } => Some(vec![Complex::ZERO; len]),
-        };
+        let plen = n * n * n;
+        let slen = n * n * nzc;
+        let stratified = matches!(cfg.stratification, Stratification::Boussinesq { .. });
         SpectralSolver {
-            cfg,
-            fft: Fft3d::new(n, n, n),
-            kline,
-            keep,
-            state: State { u: vec![Complex::ZERO; len], v: vec![Complex::ZERO; len], w: vec![Complex::ZERO; len], b },
+            ctx: SolverCtx {
+                cfg,
+                rfft: RealFft3d::new(n, n, n),
+                kline,
+                kd,
+                keep,
+            },
+            state: State::zeros(slen, stratified),
+            k1: State::zeros(slen, stratified),
+            k2: State::zeros(slen, stratified),
+            mid: State::zeros(slen, stratified),
+            scratch: Scratch::new(plen, slen),
             time: 0.0,
             band_energy: None,
             steps: 0,
@@ -159,7 +375,7 @@ impl SpectralSolver {
 
     /// Grid describing the physical domain.
     pub fn grid(&self) -> Grid3 {
-        Grid3::cube_2pi(self.cfg.n)
+        Grid3::cube_2pi(self.ctx.cfg.n)
     }
 
     /// Current simulation time.
@@ -174,48 +390,39 @@ impl SpectralSolver {
 
     /// Configuration.
     pub fn config(&self) -> &SpectralConfig {
-        &self.cfg
+        &self.ctx.cfg
     }
 
     /// Initializes the classic Taylor–Green vortex (the SST ensemble's
     /// initial condition): `u = sin x cos y cos z`, `v = -cos x sin y cos z`,
     /// `w = 0`, optionally with a sinusoidal buoyancy perturbation.
     pub fn init_taylor_green(&mut self, amplitude: f64) {
-        let n = self.cfg.n;
+        let n = self.ctx.cfg.n;
         let grid = self.grid();
-        let len = grid.len();
-        let mut u = vec![Complex::ZERO; len];
-        let mut v = vec![Complex::ZERO; len];
-        for x in 0..n {
-            for y in 0..n {
-                for z in 0..n {
-                    let (px, py, pz) = grid.position(x, y, z);
-                    let idx = (x * n + y) * n + z;
-                    u[idx] = Complex::new(amplitude * px.sin() * py.cos() * pz.cos(), 0.0);
-                    v[idx] = Complex::new(-amplitude * px.cos() * py.sin() * pz.cos(), 0.0);
+        let fill = |buf: &mut [f64], f: &(dyn Fn(f64, f64, f64) -> f64 + Sync)| {
+            buf.par_chunks_mut(n * n).enumerate().for_each(|(x, slab)| {
+                for y in 0..n {
+                    for z in 0..n {
+                        let (px, py, pz) = grid.position(x, y, z);
+                        slab[y * n + z] = f(px, py, pz);
+                    }
                 }
-            }
-        }
-        self.fft.forward(&mut u);
-        self.fft.forward(&mut v);
-        self.state.u = u;
-        self.state.v = v;
-        self.state.w = vec![Complex::ZERO; len];
+            });
+        };
+        fill(&mut self.scratch.up, &|px, py, pz| {
+            amplitude * px.sin() * py.cos() * pz.cos()
+        });
+        fill(&mut self.scratch.vp, &|px, py, pz| {
+            -amplitude * px.cos() * py.sin() * pz.cos()
+        });
+        self.ctx.rfft.forward(&self.scratch.up, &mut self.state.u);
+        self.ctx.rfft.forward(&self.scratch.vp, &mut self.state.v);
+        self.state.w.fill(Complex::ZERO);
         if let Some(b) = self.state.b.as_mut() {
             // Small buoyancy perturbation at the largest scale so the
             // stratified dynamics have something to act on.
-            let mut bp = vec![Complex::ZERO; len];
-            for x in 0..n {
-                for y in 0..n {
-                    for z in 0..n {
-                        let (px, _, _) = grid.position(x, y, z);
-                        bp[(x * n + y) * n + z] =
-                            Complex::new(0.1 * amplitude * px.sin(), 0.0);
-                    }
-                }
-            }
-            self.fft.forward(&mut bp);
-            *b = bp;
+            fill(&mut self.scratch.wp, &|px, _, _| 0.1 * amplitude * px.sin());
+            self.ctx.rfft.forward(&self.scratch.wp, b);
         }
         self.capture_band_energy();
     }
@@ -228,20 +435,15 @@ impl SpectralSolver {
     /// Panics on length mismatch.
     pub fn set_velocity(&mut self, u: &[f64], v: &[f64], w: &[f64]) {
         let len = self.grid().len();
-        assert!(u.len() == len && v.len() == len && w.len() == len, "field length mismatch");
-        let to_spec = |f: &[f64]| {
-            let mut c: Vec<Complex> = f.iter().map(|&x| Complex::new(x, 0.0)).collect();
-            self.fft.forward(&mut c);
-            c
-        };
-        self.state.u = to_spec(u);
-        self.state.v = to_spec(v);
-        self.state.w = to_spec(w);
-        let mut uvw = (std::mem::take(&mut self.state.u), std::mem::take(&mut self.state.v), std::mem::take(&mut self.state.w));
-        self.project3(&mut uvw.0, &mut uvw.1, &mut uvw.2);
-        self.state.u = uvw.0;
-        self.state.v = uvw.1;
-        self.state.w = uvw.2;
+        assert!(
+            u.len() == len && v.len() == len && w.len() == len,
+            "field length mismatch"
+        );
+        self.ctx.rfft.forward(u, &mut self.state.u);
+        self.ctx.rfft.forward(v, &mut self.state.v);
+        self.ctx.rfft.forward(w, &mut self.state.w);
+        let Self { ctx, state, .. } = self;
+        ctx.project3(&mut state.u, &mut state.v, &mut state.w);
         self.capture_band_energy();
     }
 
@@ -251,233 +453,181 @@ impl SpectralSolver {
     /// Panics if the solver is not stratified or on length mismatch.
     pub fn set_buoyancy(&mut self, b: &[f64]) {
         assert_eq!(b.len(), self.grid().len(), "field length mismatch");
-        let mut c: Vec<Complex> = b.iter().map(|&x| Complex::new(x, 0.0)).collect();
-        self.fft.forward(&mut c);
-        *self.state.b.as_mut().expect("solver is not stratified") = c;
+        self.ctx
+            .rfft
+            .forward(b, self.state.b.as_mut().expect("solver is not stratified"));
     }
 
     fn capture_band_energy(&mut self) {
-        if let Some(forcing) = self.cfg.forcing {
+        if let Some(forcing) = self.ctx.cfg.forcing {
             self.band_energy = Some(self.band_energy_value(forcing.k_f));
         }
     }
 
+    /// Energy in modes `0 < |k| <= k_f`, summed over the half-spectrum with
+    /// conjugate weights (interior `kz` bins stand for two full-spectrum
+    /// modes).
     fn band_energy_value(&self, k_f: f64) -> f64 {
-        let n = self.cfg.n;
+        let n = self.ctx.cfg.n;
+        let nzc = self.ctx.nzc();
         let norm = (n as f64).powi(6);
-        let mut e = 0.0;
-        for x in 0..n {
-            for y in 0..n {
-                for z in 0..n {
-                    let k2 = self.k2_at(x, y, z);
-                    if k2 > 0.0 && k2 <= k_f * k_f {
-                        let idx = (x * n + y) * n + z;
-                        e += self.state.u[idx].norm_sqr()
-                            + self.state.v[idx].norm_sqr()
-                            + self.state.w[idx].norm_sqr();
+        let kf2 = k_f * k_f;
+        let (u, v, w) = (&self.state.u, &self.state.v, &self.state.w);
+        let kline = &self.ctx.kline;
+        let e: f64 = (0..n)
+            .into_par_iter()
+            .map(|x| {
+                let kx = kline[x];
+                let mut acc = 0.0;
+                for y in 0..n {
+                    let ky = kline[y];
+                    for z in 0..nzc {
+                        let kz = z as f64;
+                        let k2 = kx * kx + ky * ky + kz * kz;
+                        if k2 > 0.0 && k2 <= kf2 {
+                            let wgt = if z == 0 || z == n / 2 { 1.0 } else { 2.0 };
+                            let idx = (x * n + y) * nzc + z;
+                            acc +=
+                                wgt * (u[idx].norm_sqr() + v[idx].norm_sqr() + w[idx].norm_sqr());
+                        }
                     }
                 }
-            }
-        }
+                acc
+            })
+            .sum();
         0.5 * e / norm
     }
 
-    #[inline]
-    fn k2_at(&self, x: usize, y: usize, z: usize) -> f64 {
-        let kx = self.kline[x];
-        let ky = self.kline[y];
-        let kz = self.kline[z];
-        kx * kx + ky * ky + kz * kz
-    }
-
-    /// Leray projection onto divergence-free fields, all three components.
-    fn project3(&self, u: &mut [Complex], v: &mut [Complex], w: &mut [Complex]) {
-        let n = self.cfg.n;
-        let kline = &self.kline;
-        u.par_chunks_mut(n * n)
-            .zip(v.par_chunks_mut(n * n).zip(w.par_chunks_mut(n * n)))
-            .enumerate()
-            .for_each(|(x, (us, (vs, ws)))| {
-                let kx = kline[x];
-                for y in 0..n {
-                    let ky = kline[y];
-                    for z in 0..n {
-                        let kz = kline[z];
-                        let k2 = kx * kx + ky * ky + kz * kz;
-                        if k2 == 0.0 {
-                            continue;
-                        }
-                        let i = y * n + z;
-                        let dot = us[i].scale(kx) + vs[i].scale(ky) + ws[i].scale(kz);
-                        let s = dot.scale(1.0 / k2);
-                        us[i] -= s.scale(kx);
-                        vs[i] -= s.scale(ky);
-                        ws[i] -= s.scale(kz);
-                    }
-                }
-            });
-    }
-
-    /// Inverse-transforms a spectral field to physical space (real parts).
+    /// Inverse-transforms a half-spectrum field to physical space
+    /// (diagnostic path; allocates).
     fn to_physical(&self, spec: &[Complex]) -> Vec<f64> {
-        let mut c = spec.to_vec();
-        self.fft.inverse(&mut c);
-        c.iter().map(|z| z.re).collect()
+        let mut work = spec.to_vec();
+        let mut out = vec![0.0; self.grid().len()];
+        self.ctx.rfft.inverse(&mut work, &mut out);
+        out
     }
 
-    /// Spectral derivative along `axis`, returned in physical space.
-    #[allow(clippy::needless_range_loop)]
+    /// Spectral derivative along `axis`, returned in physical space
+    /// (diagnostic path; allocates).
     fn deriv_physical(&self, spec: &[Complex], axis: Axis) -> Vec<f64> {
-        let n = self.cfg.n;
-        let kline = &self.kline;
-        let mut d = vec![Complex::ZERO; spec.len()];
-        d.par_chunks_mut(n * n).enumerate().for_each(|(x, chunk)| {
-            for y in 0..n {
-                for z in 0..n {
-                    let k = match axis {
-                        Axis::X => kline[x],
-                        Axis::Y => kline[y],
-                        Axis::Z => kline[z],
-                    };
-                    let i = y * n + z;
-                    chunk[i] = spec[(x * n + y) * n + z].mul_i().scale(k);
-                }
-            }
-        });
-        let mut c = d;
-        self.fft.inverse(&mut c);
-        c.iter().map(|z| z.re).collect()
+        let mut work = vec![Complex::ZERO; spec.len()];
+        let mut out = vec![0.0; self.grid().len()];
+        self.ctx.deriv_into(spec, axis, &mut work, &mut out);
+        out
     }
 
     /// Computes the full right-hand side of the (projected) momentum and
-    /// buoyancy equations for `s`.
-    fn rhs(&self, s: &State) -> State {
-        let n = self.cfg.n;
-        let len = s.u.len();
+    /// buoyancy equations for `s`, writing into the preallocated `out` state
+    /// without any field-sized allocation.
+    fn rhs_into(ctx: &SolverCtx, s: &State, scr: &mut Scratch, out: &mut State) {
         // Physical-space velocities.
-        let up = self.to_physical(&s.u);
-        let vp = self.to_physical(&s.v);
-        let wp = self.to_physical(&s.w);
-        // All nine velocity gradients (physical space).
-        let grads = [
-            [self.deriv_physical(&s.u, Axis::X), self.deriv_physical(&s.u, Axis::Y), self.deriv_physical(&s.u, Axis::Z)],
-            [self.deriv_physical(&s.v, Axis::X), self.deriv_physical(&s.v, Axis::Y), self.deriv_physical(&s.v, Axis::Z)],
-            [self.deriv_physical(&s.w, Axis::X), self.deriv_physical(&s.w, Axis::Y), self.deriv_physical(&s.w, Axis::Z)],
-        ];
-        // Advection: N_i = -(u . grad) u_i, then forward transform.
-        let advect = |g: &[Vec<f64>; 3]| -> Vec<Complex> {
-            let mut c: Vec<Complex> = (0..len)
-                .into_par_iter()
-                .map(|i| Complex::new(-(up[i] * g[0][i] + vp[i] * g[1][i] + wp[i] * g[2][i]), 0.0))
-                .collect();
-            self.fft.forward(&mut c);
-            c
-        };
-        let mut ru = advect(&grads[0]);
-        let mut rv = advect(&grads[1]);
-        let mut rw = advect(&grads[2]);
+        ctx.to_physical_into(&s.u, &mut scr.cspec, &mut scr.up);
+        ctx.to_physical_into(&s.v, &mut scr.cspec, &mut scr.vp);
+        ctx.to_physical_into(&s.w, &mut scr.cspec, &mut scr.wp);
+
+        // Advection, one component at a time: N_i = -(u . grad) u_i needs
+        // only the three gradients of u_i, so the gradient buffers recycle.
+        for comp in 0..3 {
+            let src = match comp {
+                0 => &s.u,
+                1 => &s.v,
+                _ => &s.w,
+            };
+            ctx.deriv_into(src, Axis::X, &mut scr.cspec, &mut scr.gx);
+            ctx.deriv_into(src, Axis::Y, &mut scr.cspec, &mut scr.gy);
+            ctx.deriv_into(src, Axis::Z, &mut scr.cspec, &mut scr.gz);
+            let (up, vp, wp) = (&scr.up, &scr.vp, &scr.wp);
+            let (gx, gy, gz) = (&scr.gx, &scr.gy, &scr.gz);
+            scr.nl.par_iter_mut().enumerate().for_each(|(i, o)| {
+                *o = -(up[i] * gx[i] + vp[i] * gy[i] + wp[i] * gz[i]);
+            });
+            let dst = match comp {
+                0 => &mut out.u,
+                1 => &mut out.v,
+                _ => &mut out.w,
+            };
+            ctx.rfft.forward(&scr.nl, dst);
+        }
 
         // Buoyancy terms.
-        let rb = if let (Some(bh), Stratification::Boussinesq { n_bv, gravity }) =
-            (s.b.as_ref(), self.cfg.stratification)
+        if let (Some(bh), Stratification::Boussinesq { n_bv, gravity }) =
+            (s.b.as_ref(), ctx.cfg.stratification)
         {
-            let bdx = self.deriv_physical(bh, Axis::X);
-            let bdy = self.deriv_physical(bh, Axis::Y);
-            let bdz = self.deriv_physical(bh, Axis::Z);
+            ctx.deriv_into(bh, Axis::X, &mut scr.cspec, &mut scr.gx);
+            ctx.deriv_into(bh, Axis::Y, &mut scr.cspec, &mut scr.gy);
+            ctx.deriv_into(bh, Axis::Z, &mut scr.cspec, &mut scr.gz);
             let ug: &[f64] = match gravity {
-                Axis::X => &up,
-                Axis::Y => &vp,
-                Axis::Z => &wp,
+                Axis::X => &scr.up,
+                Axis::Y => &scr.vp,
+                Axis::Z => &scr.wp,
             };
+            let (up, vp, wp) = (&scr.up, &scr.vp, &scr.wp);
+            let (gx, gy, gz) = (&scr.gx, &scr.gy, &scr.gz);
             // db/dt = -(u . grad b) - N^2 u_g + kappa laplacian b
-            let mut rbv: Vec<Complex> = (0..len)
-                .into_par_iter()
-                .map(|i| {
-                    Complex::new(
-                        -(up[i] * bdx[i] + vp[i] * bdy[i] + wp[i] * bdz[i]) - n_bv * n_bv * ug[i],
-                        0.0,
-                    )
-                })
-                .collect();
-            self.fft.forward(&mut rbv);
+            scr.nl.par_iter_mut().enumerate().for_each(|(i, o)| {
+                *o = -(up[i] * gx[i] + vp[i] * gy[i] + wp[i] * gz[i]) - n_bv * n_bv * ug[i];
+            });
+            ctx.rfft
+                .forward(&scr.nl, out.b.as_mut().expect("output state is stratified"));
             // Momentum feedback: + b along gravity.
             let target: &mut Vec<Complex> = match gravity {
-                Axis::X => &mut ru,
-                Axis::Y => &mut rv,
-                Axis::Z => &mut rw,
+                Axis::X => &mut out.u,
+                Axis::Y => &mut out.v,
+                Axis::Z => &mut out.w,
             };
-            target.par_iter_mut().zip(bh.par_iter()).for_each(|(t, &b)| *t += b);
-            Some(rbv)
-        } else {
-            None
-        };
+            target
+                .par_iter_mut()
+                .zip(bh.par_iter())
+                .for_each(|(t, &b)| *t += b);
+        }
 
         // Viscous terms, dealiasing, projection (spectral space).
-        let nu = self.cfg.viscosity;
-        let kappa = self.cfg.diffusivity;
-        let keep = &self.keep;
-        let kline = &self.kline;
-        let damp = |r: &mut Vec<Complex>, f: &[Complex], coeff: f64| {
-            r.par_chunks_mut(n * n).enumerate().for_each(|(x, chunk)| {
-                let kx = kline[x];
-                for y in 0..n {
-                    let ky = kline[y];
-                    for z in 0..n {
-                        let kz = kline[z];
-                        let i = y * n + z;
-                        let gi = (x * n + y) * n + z;
-                        if !keep[gi] {
-                            chunk[i] = Complex::ZERO;
-                            continue;
-                        }
-                        let k2 = kx * kx + ky * ky + kz * kz;
-                        chunk[i] -= f[gi].scale(coeff * k2);
-                    }
-                }
-            });
-        };
-        damp(&mut ru, &s.u, nu);
-        damp(&mut rv, &s.v, nu);
-        damp(&mut rw, &s.w, nu);
-        let rb = rb.map(|mut r| {
-            damp(&mut r, s.b.as_ref().unwrap(), kappa);
-            r
-        });
-        self.project3(&mut ru, &mut rv, &mut rw);
-        State { u: ru, v: rv, w: rw, b: rb }
+        let nu = ctx.cfg.viscosity;
+        let kappa = ctx.cfg.diffusivity;
+        ctx.damp(&mut out.u, &s.u, nu);
+        ctx.damp(&mut out.v, &s.v, nu);
+        ctx.damp(&mut out.w, &s.w, nu);
+        if let (Some(rb), Some(bh)) = (out.b.as_mut(), s.b.as_ref()) {
+            ctx.damp(rb, bh, kappa);
+        }
+        ctx.project3(&mut out.u, &mut out.v, &mut out.w);
     }
 
     /// Advances one RK2 (Heun) step and applies forcing if configured.
+    /// Steady-state calls perform no field-sized heap allocation.
     pub fn step(&mut self) {
-        let dt = self.cfg.dt;
-        let k1 = self.rhs(&self.state);
-        let mut mid = self.state.clone();
-        mid.axpy(dt, &k1);
-        let k2 = self.rhs(&mid);
-        self.state.axpy(0.5 * dt, &k1);
-        self.state.axpy(0.5 * dt, &k2);
-        if let (Some(f), Some(target)) = (self.cfg.forcing, self.band_energy) {
+        let dt = self.ctx.cfg.dt;
+        Self::rhs_into(&self.ctx, &self.state, &mut self.scratch, &mut self.k1);
+        self.mid.copy_from(&self.state);
+        self.mid.axpy(dt, &self.k1);
+        Self::rhs_into(&self.ctx, &self.mid, &mut self.scratch, &mut self.k2);
+        self.state.axpy(0.5 * dt, &self.k1);
+        self.state.axpy(0.5 * dt, &self.k2);
+        if let (Some(f), Some(target)) = (self.ctx.cfg.forcing, self.band_energy) {
             let current = self.band_energy_value(f.k_f);
             if current > 1e-30 {
                 let scale = (target / current).sqrt();
-                let n = self.cfg.n;
-                let kline = &self.kline;
+                let n = self.ctx.cfg.n;
+                let nzc = self.ctx.nzc();
+                let kline = &self.ctx.kline;
                 let kf2 = f.k_f * f.k_f;
                 let apply = |arr: &mut Vec<Complex>| {
-                    arr.par_chunks_mut(n * n).enumerate().for_each(|(x, chunk)| {
-                        let kx = kline[x];
-                        for y in 0..n {
-                            let ky = kline[y];
-                            for z in 0..n {
-                                let kz = kline[z];
-                                let k2 = kx * kx + ky * ky + kz * kz;
-                                if k2 > 0.0 && k2 <= kf2 {
-                                    let i = y * n + z;
-                                    chunk[i] = chunk[i].scale(scale);
+                    arr.par_chunks_mut(n * nzc)
+                        .enumerate()
+                        .for_each(|(x, chunk)| {
+                            let kx = kline[x];
+                            for y in 0..n {
+                                let ky = kline[y];
+                                for z in 0..nzc {
+                                    let kz = z as f64;
+                                    let k2 = kx * kx + ky * ky + kz * kz;
+                                    if k2 > 0.0 && k2 <= kf2 {
+                                        let i = y * nzc + z;
+                                        chunk[i] = chunk[i].scale(scale);
+                                    }
                                 }
                             }
-                        }
-                    });
+                        });
                 };
                 apply(&mut self.state.u);
                 apply(&mut self.state.v);
@@ -495,15 +645,24 @@ impl SpectralSolver {
         }
     }
 
-    /// Total kinetic energy `0.5 <|u|²>` (volume-averaged).
+    /// Total kinetic energy `0.5 <|u|²>` (volume-averaged), summed over the
+    /// half-spectrum with conjugate weights.
     pub fn kinetic_energy(&self) -> f64 {
-        let norm = (self.cfg.n as f64).powi(6);
-        let e: f64 = self
-            .state
-            .u
-            .par_iter()
-            .zip(self.state.v.par_iter().zip(self.state.w.par_iter()))
-            .map(|(u, (v, w))| u.norm_sqr() + v.norm_sqr() + w.norm_sqr())
+        let n = self.ctx.cfg.n;
+        let nzc = self.ctx.nzc();
+        let norm = (n as f64).powi(6);
+        let (u, v, w) = (&self.state.u, &self.state.v, &self.state.w);
+        let e: f64 = (0..n * n)
+            .into_par_iter()
+            .map(|row| {
+                let mut acc = 0.0;
+                for z in 0..nzc {
+                    let wgt = if z == 0 || z == n / 2 { 1.0 } else { 2.0 };
+                    let idx = row * nzc + z;
+                    acc += wgt * (u[idx].norm_sqr() + v[idx].norm_sqr() + w[idx].norm_sqr());
+                }
+                acc
+            })
             .sum();
         0.5 * e / norm
     }
@@ -528,54 +687,75 @@ impl SpectralSolver {
         let wp = self.to_physical(&self.state.w);
 
         // Pressure from the divergence of advection + buoyancy.
-        let n = self.cfg.n;
+        let n = self.ctx.cfg.n;
+        let nzc = self.ctx.nzc();
         // Recompute the unprojected advection spectrum cheaply.
         let grads = [
-            [self.deriv_physical(&self.state.u, Axis::X), self.deriv_physical(&self.state.u, Axis::Y), self.deriv_physical(&self.state.u, Axis::Z)],
-            [self.deriv_physical(&self.state.v, Axis::X), self.deriv_physical(&self.state.v, Axis::Y), self.deriv_physical(&self.state.v, Axis::Z)],
-            [self.deriv_physical(&self.state.w, Axis::X), self.deriv_physical(&self.state.w, Axis::Y), self.deriv_physical(&self.state.w, Axis::Z)],
+            [
+                self.deriv_physical(&self.state.u, Axis::X),
+                self.deriv_physical(&self.state.u, Axis::Y),
+                self.deriv_physical(&self.state.u, Axis::Z),
+            ],
+            [
+                self.deriv_physical(&self.state.v, Axis::X),
+                self.deriv_physical(&self.state.v, Axis::Y),
+                self.deriv_physical(&self.state.v, Axis::Z),
+            ],
+            [
+                self.deriv_physical(&self.state.w, Axis::X),
+                self.deriv_physical(&self.state.w, Axis::Y),
+                self.deriv_physical(&self.state.w, Axis::Z),
+            ],
         ];
         let len = grid.len();
+        let slen = self.ctx.rfft.spectrum_len();
         let advect = |g: &[Vec<f64>; 3]| -> Vec<Complex> {
-            let mut c: Vec<Complex> = (0..len)
+            let prod: Vec<f64> = (0..len)
                 .into_par_iter()
-                .map(|i| Complex::new(-(up[i] * g[0][i] + vp[i] * g[1][i] + wp[i] * g[2][i]), 0.0))
+                .map(|i| -(up[i] * g[0][i] + vp[i] * g[1][i] + wp[i] * g[2][i]))
                 .collect();
-            self.fft.forward(&mut c);
+            let mut c = vec![Complex::ZERO; slen];
+            self.ctx.rfft.forward(&prod, &mut c);
             c
         };
         let mut fu = advect(&grads[0]);
         let mut fv = advect(&grads[1]);
         let mut fw = advect(&grads[2]);
         if let (Some(bh), Stratification::Boussinesq { gravity, .. }) =
-            (self.state.b.as_ref(), self.cfg.stratification)
+            (self.state.b.as_ref(), self.ctx.cfg.stratification)
         {
             let target = match gravity {
                 Axis::X => &mut fu,
                 Axis::Y => &mut fv,
                 Axis::Z => &mut fw,
             };
-            target.par_iter_mut().zip(bh.par_iter()).for_each(|(t, &b)| *t += b);
+            target
+                .par_iter_mut()
+                .zip(bh.par_iter())
+                .for_each(|(t, &b)| *t += b);
         }
-        let kline = &self.kline;
-        let mut phat = vec![Complex::ZERO; len];
-        phat.par_chunks_mut(n * n).enumerate().for_each(|(x, chunk)| {
-            let kx = kline[x];
-            for y in 0..n {
-                let ky = kline[y];
-                for z in 0..n {
-                    let kz = kline[z];
-                    let k2 = kx * kx + ky * ky + kz * kz;
-                    if k2 == 0.0 {
-                        continue;
+        let kd = &self.ctx.kd;
+        let kline = &self.ctx.kline;
+        let mut phat = vec![Complex::ZERO; slen];
+        phat.par_chunks_mut(n * nzc)
+            .enumerate()
+            .for_each(|(x, chunk)| {
+                let kx = kd[x];
+                for y in 0..n {
+                    let ky = kd[y];
+                    for z in 0..nzc {
+                        let kz = kd[z];
+                        let km = kline[x] * kline[x] + kline[y] * kline[y] + (z * z) as f64;
+                        if km == 0.0 {
+                            continue;
+                        }
+                        let gi = (x * n + y) * nzc + z;
+                        let div = fu[gi].scale(kx) + fv[gi].scale(ky) + fw[gi].scale(kz);
+                        // -k^2 p_hat = i k . F  =>  p_hat = -i (k . F) / k^2
+                        chunk[y * nzc + z] = div.mul_i().scale(-1.0 / km);
                     }
-                    let gi = (x * n + y) * n + z;
-                    let div = fu[gi].scale(kx) + fv[gi].scale(ky) + fw[gi].scale(kz);
-                    // -k^2 p_hat = i k . F  =>  p_hat = -i (k . F) / k^2
-                    chunk[y * n + z] = div.mul_i().scale(-1.0 / k2);
                 }
-            }
-        });
+            });
         let p = self.to_physical(&phat);
 
         let mut snap = Snapshot::new(grid, self.time)
@@ -593,9 +773,14 @@ impl SpectralSolver {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sickle_fft::Fft3d;
 
     fn tg_solver(n: usize) -> SpectralSolver {
-        let mut s = SpectralSolver::new(SpectralConfig { n, dt: 0.005, ..Default::default() });
+        let mut s = SpectralSolver::new(SpectralConfig {
+            n,
+            dt: 0.005,
+            ..Default::default()
+        });
         s.init_taylor_green(1.0);
         s
     }
@@ -630,14 +815,21 @@ mod tests {
 
     #[test]
     fn forcing_maintains_band_energy() {
-        let mut cfg = SpectralConfig { n: 16, dt: 0.005, ..Default::default() };
+        let mut cfg = SpectralConfig {
+            n: 16,
+            dt: 0.005,
+            ..Default::default()
+        };
         cfg.forcing = Some(Forcing { k_f: 2.0 });
         let mut s = SpectralSolver::new(cfg);
         s.init_taylor_green(1.0);
         let e0 = s.band_energy_value(2.0);
         s.run(30);
         let e1 = s.band_energy_value(2.0);
-        assert!((e1 - e0).abs() < 1e-8 * e0.max(1e-30) + 1e-12, "band energy {e0} -> {e1}");
+        assert!(
+            (e1 - e0).abs() < 1e-8 * e0.max(1e-30) + 1e-12,
+            "band energy {e0} -> {e1}"
+        );
     }
 
     #[test]
@@ -645,7 +837,10 @@ mod tests {
         let cfg = SpectralConfig {
             n: 16,
             dt: 0.005,
-            stratification: Stratification::Boussinesq { n_bv: 2.0, gravity: Axis::Z },
+            stratification: Stratification::Boussinesq {
+                n_bv: 2.0,
+                gravity: Axis::Z,
+            },
             ..Default::default()
         };
         let mut s = SpectralSolver::new(cfg);
@@ -653,7 +848,10 @@ mod tests {
         s.run(20);
         let snap = s.snapshot();
         let r = snap.expect_var("r");
-        assert!(r.iter().any(|&v| v.abs() > 1e-8), "buoyancy field should evolve");
+        assert!(
+            r.iter().any(|&v| v.abs() > 1e-8),
+            "buoyancy field should evolve"
+        );
         assert!(r.iter().all(|v| v.is_finite()));
     }
 
@@ -670,13 +868,22 @@ mod tests {
     #[test]
     #[should_panic(expected = "unstable")]
     fn rejects_unstable_time_step() {
-        let cfg = SpectralConfig { n: 64, viscosity: 0.1, dt: 0.5, ..Default::default() };
+        let cfg = SpectralConfig {
+            n: 64,
+            viscosity: 0.1,
+            dt: 0.5,
+            ..Default::default()
+        };
         let _ = SpectralSolver::new(cfg);
     }
 
     #[test]
     fn set_velocity_projects_to_divergence_free() {
-        let mut s = SpectralSolver::new(SpectralConfig { n: 16, dt: 0.005, ..Default::default() });
+        let mut s = SpectralSolver::new(SpectralConfig {
+            n: 16,
+            dt: 0.005,
+            ..Default::default()
+        });
         let grid = s.grid();
         // A compressible field: u = sin(x), rest zero has du/dx != 0.
         let mut u = vec![0.0; grid.len()];
@@ -691,5 +898,219 @@ mod tests {
         let zeros = vec![0.0; grid.len()];
         s.set_velocity(&u, &zeros, &zeros);
         assert!(s.max_divergence() < 1e-8);
+    }
+
+    /// Full-complex-spectrum RK2 reference (the pre-half-spectrum
+    /// implementation, unstratified and unforced), used to pin the
+    /// half-spectrum solver to the original algorithm.
+    struct ComplexRef {
+        n: usize,
+        nu: f64,
+        dt: f64,
+        fft: Fft3d,
+        kline: Vec<f64>,
+        keep: Vec<bool>,
+        u: Vec<Complex>,
+        v: Vec<Complex>,
+        w: Vec<Complex>,
+    }
+
+    impl ComplexRef {
+        fn new(n: usize, nu: f64, dt: f64) -> Self {
+            let kline: Vec<f64> = (0..n)
+                .map(|i| {
+                    if i <= n / 2 {
+                        i as f64
+                    } else {
+                        i as f64 - n as f64
+                    }
+                })
+                .collect();
+            let cut = n as f64 / 3.0;
+            let mut keep = vec![true; n * n * n];
+            for x in 0..n {
+                for y in 0..n {
+                    for z in 0..n {
+                        if kline[x].abs() > cut || kline[y].abs() > cut || kline[z].abs() > cut {
+                            keep[(x * n + y) * n + z] = false;
+                        }
+                    }
+                }
+            }
+            let len = n * n * n;
+            ComplexRef {
+                n,
+                nu,
+                dt,
+                fft: Fft3d::new(n, n, n),
+                kline,
+                keep,
+                u: vec![Complex::ZERO; len],
+                v: vec![Complex::ZERO; len],
+                w: vec![Complex::ZERO; len],
+            }
+        }
+
+        fn init_taylor_green(&mut self, a: f64) {
+            let n = self.n;
+            let grid = Grid3::cube_2pi(n);
+            for x in 0..n {
+                for y in 0..n {
+                    for z in 0..n {
+                        let (px, py, pz) = grid.position(x, y, z);
+                        let idx = (x * n + y) * n + z;
+                        self.u[idx] = Complex::new(a * px.sin() * py.cos() * pz.cos(), 0.0);
+                        self.v[idx] = Complex::new(-a * px.cos() * py.sin() * pz.cos(), 0.0);
+                    }
+                }
+            }
+            self.fft.forward(&mut self.u);
+            self.fft.forward(&mut self.v);
+        }
+
+        fn to_phys(&self, f: &[Complex]) -> Vec<f64> {
+            let mut c = f.to_vec();
+            self.fft.inverse(&mut c);
+            c.iter().map(|z| z.re).collect()
+        }
+
+        fn deriv(&self, f: &[Complex], axis: Axis) -> Vec<f64> {
+            let n = self.n;
+            let mut d = vec![Complex::ZERO; f.len()];
+            for x in 0..n {
+                for y in 0..n {
+                    for z in 0..n {
+                        let k = match axis {
+                            Axis::X => self.kline[x],
+                            Axis::Y => self.kline[y],
+                            Axis::Z => self.kline[z],
+                        };
+                        let i = (x * n + y) * n + z;
+                        d[i] = f[i].mul_i().scale(k);
+                    }
+                }
+            }
+            self.fft.inverse(&mut d);
+            d.iter().map(|z| z.re).collect()
+        }
+
+        fn rhs(
+            &self,
+            u: &[Complex],
+            v: &[Complex],
+            w: &[Complex],
+        ) -> (Vec<Complex>, Vec<Complex>, Vec<Complex>) {
+            let n = self.n;
+            let len = u.len();
+            let up = self.to_phys(u);
+            let vp = self.to_phys(v);
+            let wp = self.to_phys(w);
+            let advect = |f: &[Complex]| -> Vec<Complex> {
+                let gx = self.deriv(f, Axis::X);
+                let gy = self.deriv(f, Axis::Y);
+                let gz = self.deriv(f, Axis::Z);
+                let mut c: Vec<Complex> = (0..len)
+                    .map(|i| Complex::new(-(up[i] * gx[i] + vp[i] * gy[i] + wp[i] * gz[i]), 0.0))
+                    .collect();
+                self.fft.forward(&mut c);
+                c
+            };
+            let mut ru = advect(u);
+            let mut rv = advect(v);
+            let mut rw = advect(w);
+            let damp = |r: &mut [Complex], f: &[Complex], coeff: f64| {
+                for x in 0..n {
+                    for y in 0..n {
+                        for z in 0..n {
+                            let i = (x * n + y) * n + z;
+                            if !self.keep[i] {
+                                r[i] = Complex::ZERO;
+                                continue;
+                            }
+                            let k2 = self.kline[x] * self.kline[x]
+                                + self.kline[y] * self.kline[y]
+                                + self.kline[z] * self.kline[z];
+                            r[i] -= f[i].scale(coeff * k2);
+                        }
+                    }
+                }
+            };
+            damp(&mut ru, u, self.nu);
+            damp(&mut rv, v, self.nu);
+            damp(&mut rw, w, self.nu);
+            // Leray projection.
+            for x in 0..n {
+                for y in 0..n {
+                    for z in 0..n {
+                        let (kx, ky, kz) = (self.kline[x], self.kline[y], self.kline[z]);
+                        let k2 = kx * kx + ky * ky + kz * kz;
+                        if k2 == 0.0 {
+                            continue;
+                        }
+                        let i = (x * n + y) * n + z;
+                        let dot = ru[i].scale(kx) + rv[i].scale(ky) + rw[i].scale(kz);
+                        let s = dot.scale(1.0 / k2);
+                        ru[i] -= s.scale(kx);
+                        rv[i] -= s.scale(ky);
+                        rw[i] -= s.scale(kz);
+                    }
+                }
+            }
+            (ru, rv, rw)
+        }
+
+        fn step(&mut self) {
+            let dt = self.dt;
+            let (k1u, k1v, k1w) = self.rhs(&self.u, &self.v, &self.w);
+            let mid = |s: &[Complex], k: &[Complex]| -> Vec<Complex> {
+                s.iter().zip(k).map(|(a, b)| *a + b.scale(dt)).collect()
+            };
+            let (mu, mv, mw) = (mid(&self.u, &k1u), mid(&self.v, &k1v), mid(&self.w, &k1w));
+            let (k2u, k2v, k2w) = self.rhs(&mu, &mv, &mw);
+            let upd = |s: &mut [Complex], k1: &[Complex], k2: &[Complex]| {
+                for i in 0..s.len() {
+                    s[i] += k1[i].scale(0.5 * dt) + k2[i].scale(0.5 * dt);
+                }
+            };
+            upd(&mut self.u, &k1u, &k2u);
+            upd(&mut self.v, &k1v, &k2v);
+            upd(&mut self.w, &k1w, &k2w);
+        }
+    }
+
+    #[test]
+    fn half_spectrum_step_matches_complex_reference() {
+        // One RK2 step on the 32^3 Taylor-Green vortex must agree with the
+        // original full-complex-spectrum implementation to near machine
+        // precision in every physical velocity sample.
+        let n = 32;
+        let (nu, dt) = (0.02, 0.005);
+        let mut solver = SpectralSolver::new(SpectralConfig {
+            n,
+            viscosity: nu,
+            dt,
+            ..Default::default()
+        });
+        solver.init_taylor_green(1.0);
+        let mut reference = ComplexRef::new(n, nu, dt);
+        reference.init_taylor_green(1.0);
+
+        solver.step();
+        reference.step();
+
+        let snap = solver.snapshot();
+        for (name, refspec) in [
+            ("u", &reference.u),
+            ("v", &reference.v),
+            ("w", &reference.w),
+        ] {
+            let got = snap.expect_var(name);
+            let want = reference.to_phys(refspec);
+            let mut worst = 0.0f64;
+            for (a, b) in got.iter().zip(&want) {
+                worst = worst.max((a - b).abs());
+            }
+            assert!(worst < 1e-8, "component {name}: max |Δ| = {worst:e}");
+        }
     }
 }

@@ -95,7 +95,15 @@ impl Default for SynthConfig {
 }
 
 fn kline(n: usize) -> Vec<f64> {
-    (0..n).map(|i| if i <= n / 2 { i as f64 } else { i as f64 - n as f64 }).collect()
+    (0..n)
+        .map(|i| {
+            if i <= n / 2 {
+                i as f64
+            } else {
+                i as f64 - n as f64
+            }
+        })
+        .collect()
 }
 
 /// Fills one spectral field with random phases shaped by the spectrum and an
@@ -123,7 +131,8 @@ fn shaped_field(
                     continue;
                 }
                 // Isotropic shell amplitude: |u_hat|^2 ~ E(k) / (4 pi k^2).
-                let mut amp = (cfg.spectrum.energy(k) / (4.0 * std::f64::consts::PI * k * k)).sqrt();
+                let mut amp =
+                    (cfg.spectrum.energy(k) / (4.0 * std::f64::consts::PI * k * k)).sqrt();
                 if layering > 0.0 {
                     // Weight toward modes with large gravity-aligned
                     // wavenumber fraction => thin horizontal layers.
@@ -148,7 +157,11 @@ fn shaped_field(
     // Rescale to the requested rms (zero-mean by construction up to the
     // missing k=0 mode).
     let mean = phys.par_iter().sum::<f64>() / phys.len() as f64;
-    let var = phys.par_iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / phys.len() as f64;
+    let var = phys
+        .par_iter()
+        .map(|v| (v - mean) * (v - mean))
+        .sum::<f64>()
+        / phys.len() as f64;
     if var > 0.0 {
         let s = target_rms / var.sqrt();
         phys.par_iter_mut().for_each(|v| *v = (*v - mean) * s);
@@ -176,7 +189,11 @@ pub fn generate(cfg: &SynthConfig, seed: u64) -> Snapshot {
     let rms = [cfg.urms, cfg.urms, cfg.urms];
     let mut comps: Vec<Vec<f64>> = Vec::with_capacity(3);
     for (i, &r) in rms.iter().enumerate() {
-        let target = if i == cfg.gravity.index() { r * wsupp } else { r };
+        let target = if i == cfg.gravity.index() {
+            r * wsupp
+        } else {
+            r
+        };
         comps.push(shaped_field(&fft, cfg, &mut rng, target, cfg.anisotropy));
     }
     let w = comps.pop().unwrap();
@@ -190,7 +207,8 @@ pub fn generate(cfg: &SynthConfig, seed: u64) -> Snapshot {
         // Density perturbation: strongly layered scalar, heavier tails than
         // the velocities (intermittency of stratified density fields).
         let mut r = shaped_field(&fft, cfg, &mut rng, 1.0, 2.0 * cfg.anisotropy);
-        r.par_iter_mut().for_each(|v| *v = v.signum() * v.abs().powf(1.3));
+        r.par_iter_mut()
+            .for_each(|v| *v = v.signum() * v.abs().powf(1.3));
         snap.push_var("r", r);
     }
     snap
@@ -209,8 +227,9 @@ pub fn measured_spectrum(grid: &Grid3, f: &[f64]) -> Vec<f64> {
     for x in 0..grid.nx {
         for y in 0..grid.ny {
             for z in 0..grid.nz {
-                let k =
-                    (kx[x] * kx[x] + ky[y] * ky[y] + kz[z] * kz[z]).sqrt().round() as usize;
+                let k = (kx[x] * kx[x] + ky[y] * ky[y] + kz[z] * kz[z])
+                    .sqrt()
+                    .round() as usize;
                 if k >= 1 && k <= kmax {
                     e[k] += spec[(x * grid.ny + y) * grid.nz + z].norm_sqr() / norm;
                 }
@@ -243,14 +262,20 @@ mod tests {
 
     #[test]
     fn stratified_adds_density() {
-        let cfg = SynthConfig { anisotropy: 3.0, ..Default::default() };
+        let cfg = SynthConfig {
+            anisotropy: 3.0,
+            ..Default::default()
+        };
         let snap = generate(&cfg, 1);
         assert_eq!(snap.names, vec!["u", "v", "w", "r"]);
     }
 
     #[test]
     fn rms_matches_target() {
-        let cfg = SynthConfig { urms: 2.5, ..Default::default() };
+        let cfg = SynthConfig {
+            urms: 2.5,
+            ..Default::default()
+        };
         let snap = generate(&cfg, 7);
         let s = SummaryStats::of(snap.expect_var("u"));
         assert!((s.std() - 2.5).abs() < 1e-9, "std {}", s.std());
@@ -259,7 +284,11 @@ mod tests {
 
     #[test]
     fn vertical_velocity_suppressed_when_stratified() {
-        let cfg = SynthConfig { anisotropy: 4.0, gravity: Axis::Z, ..Default::default() };
+        let cfg = SynthConfig {
+            anisotropy: 4.0,
+            gravity: Axis::Z,
+            ..Default::default()
+        };
         let snap = generate(&cfg, 3);
         let sw = SummaryStats::of(snap.expect_var("w")).std();
         let su = SummaryStats::of(snap.expect_var("u")).std();
@@ -291,17 +320,27 @@ mod tests {
         // Gravity-axis gradients of the density field should dominate
         // horizontal ones when layered.
         use sickle_field::derived::partial;
-        let cfg = SynthConfig { anisotropy: 4.0, gravity: Axis::Z, ..Default::default() };
+        let cfg = SynthConfig {
+            anisotropy: 4.0,
+            gravity: Axis::Z,
+            ..Default::default()
+        };
         let snap = generate(&cfg, 5);
         let r = snap.expect_var("r");
         let gz = SummaryStats::of(&partial(&snap.grid, r, Axis::Z)).std();
         let gx = SummaryStats::of(&partial(&snap.grid, r, Axis::X)).std();
-        assert!(gz > 1.3 * gx, "vertical gradient rms {gz} vs horizontal {gx}");
+        assert!(
+            gz > 1.3 * gx,
+            "vertical gradient rms {gz} vs horizontal {gx}"
+        );
     }
 
     #[test]
     fn kolmogorov_spectrum_shape() {
-        let s = SpectrumKind::Kolmogorov { k_min: 2.0, k_max: 16.0 };
+        let s = SpectrumKind::Kolmogorov {
+            k_min: 2.0,
+            k_max: 16.0,
+        };
         assert_eq!(s.energy(1.0), 0.0);
         assert_eq!(s.energy(20.0), 0.0);
         assert!(s.energy(4.0) > s.energy(8.0));

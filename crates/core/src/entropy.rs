@@ -52,7 +52,10 @@ impl ClusterDistributions {
             hists[l].push(v);
             sizes[l] += 1;
         }
-        ClusterDistributions { pmfs: hists.iter().map(Histogram::pmf).collect(), sizes }
+        ClusterDistributions {
+            pmfs: hists.iter().map(Histogram::pmf).collect(),
+            sizes,
+        }
     }
 
     /// Number of clusters.
@@ -120,7 +123,11 @@ pub fn weighted_sample_without_replacement(
     count: usize,
     rng: &mut StdRng,
 ) -> Vec<usize> {
-    assert!(count <= weights.len(), "cannot draw {count} from {}", weights.len());
+    assert!(
+        count <= weights.len(),
+        "cannot draw {count} from {}",
+        weights.len()
+    );
     let mut w: Vec<f64> = weights.iter().map(|&x| x.max(0.0)).collect();
     let mut taken = vec![false; w.len()];
     let mut picked = Vec::with_capacity(count);
@@ -129,7 +136,10 @@ pub fn weighted_sample_without_replacement(
         let idx = if total <= 0.0 {
             // Remaining weight exhausted (zero-weight items left): take the
             // first unpicked index deterministically.
-            taken.iter().position(|&t| !t).expect("count <= len guarantees a free slot")
+            taken
+                .iter()
+                .position(|&t| !t)
+                .expect("count <= len guarantees a free slot")
         } else {
             let mut target = rng.gen::<f64>() * total;
             let mut pick = None;
@@ -146,7 +156,9 @@ pub fn weighted_sample_without_replacement(
             // Rounding may leave target slightly positive after the loop;
             // fall back to the last positive-weight index.
             pick.unwrap_or_else(|| {
-                w.iter().rposition(|&wi| wi > 0.0).expect("total > 0 implies a positive weight")
+                w.iter()
+                    .rposition(|&wi| wi > 0.0)
+                    .expect("total > 0 implies a positive weight")
             })
         };
         picked.push(idx);
@@ -162,7 +174,11 @@ pub fn weighted_sample_without_replacement(
 /// order. Returns per-cluster allocations summing to
 /// `min(budget, Σ capacities)`.
 pub fn allocate_budget(weights: &[f64], capacities: &[usize], budget: usize) -> Vec<usize> {
-    assert_eq!(weights.len(), capacities.len(), "weights/capacities length mismatch");
+    assert_eq!(
+        weights.len(),
+        capacities.len(),
+        "weights/capacities length mismatch"
+    );
     let k = weights.len();
     let mut alloc = vec![0usize; k];
     if k == 0 {
@@ -180,7 +196,11 @@ pub fn allocate_budget(weights: &[f64], capacities: &[usize], budget: usize) -> 
     }
     // Redistribute the remainder by descending weight among non-full.
     let mut order: Vec<usize> = (0..k).collect();
-    order.sort_by(|&a, &b| weights[b].partial_cmp(&weights[a]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        weights[b]
+            .partial_cmp(&weights[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let total_cap: usize = capacities.iter().sum();
     let target = budget.min(total_cap);
     let mut assigned: usize = alloc.iter().sum();
@@ -227,10 +247,10 @@ mod tests {
         let labels: Vec<usize> = (0..100).map(|i| i % 3).collect();
         let d = ClusterDistributions::estimate(&values, &labels, 3, 10);
         let a = adjacency_matrix(&d);
-        for i in 0..3 {
-            assert_eq!(a[i][i], 0.0);
-            for j in 0..3 {
-                assert!(a[i][j] >= -1e-12, "A[{i}][{j}] = {}", a[i][j]);
+        for (i, row) in a.iter().enumerate() {
+            assert_eq!(row[i], 0.0);
+            for (j, &v) in row.iter().enumerate() {
+                assert!(v >= -1e-12, "A[{i}][{j}] = {v}");
             }
         }
     }
@@ -320,6 +340,9 @@ mod tests {
         let labels = vec![0, 0, 0, 0, 1, 1, 1, 1];
         let d = ClusterDistributions::estimate(&values, &labels, 2, 10);
         let e = d.entropies();
-        assert!(e[1] > e[0], "spread cluster should have higher entropy: {e:?}");
+        assert!(
+            e[1] > e[0],
+            "spread cluster should have higher entropy: {e:?}"
+        );
     }
 }

@@ -42,7 +42,16 @@ impl Gmm {
     pub fn fit(data: &[f64], dim: usize, k: usize, iters: usize, seed: u64) -> Self {
         assert!(dim > 0 && !data.is_empty(), "degenerate GMM fit");
         let n = data.len() / dim;
-        let km = KMeans::fit(data, dim, &KMeansConfig { k, batch_size: 1024, iterations: 20, seed });
+        let km = KMeans::fit(
+            data,
+            dim,
+            &KMeansConfig {
+                k,
+                batch_size: 1024,
+                iterations: 20,
+                seed,
+            },
+        );
         let k = km.k;
         let labels = km.assign(data);
         // Initialize from the k-means partition.
@@ -63,7 +72,13 @@ impl Gmm {
                 vars[c * dim + j] = (vars[c * dim + j] / counts[c].max(1) as f64).max(VAR_FLOOR);
             }
         }
-        let mut gmm = Gmm { means, vars, weights, dim, k };
+        let mut gmm = Gmm {
+            means,
+            vars,
+            weights,
+            dim,
+            k,
+        };
 
         // EM sweeps.
         for _ in 0..iters {
@@ -155,7 +170,11 @@ impl Gmm {
         let n = data.len() / self.dim;
         (0..n)
             .into_par_iter()
-            .map(|i| self.density(&data[i * self.dim..(i + 1) * self.dim]).max(1e-300).ln())
+            .map(|i| {
+                self.density(&data[i * self.dim..(i + 1) * self.dim])
+                    .max(1e-300)
+                    .ln()
+            })
             .sum::<f64>()
             / n as f64
     }
@@ -174,7 +193,10 @@ pub struct UipsGmmSampler {
 
 impl Default for UipsGmmSampler {
     fn default() -> Self {
-        UipsGmmSampler { components: 8, em_iters: 10 }
+        UipsGmmSampler {
+            components: 8,
+            em_iters: 10,
+        }
     }
 }
 
@@ -183,7 +205,13 @@ impl PointSampler for UipsGmmSampler {
         "uips-gmm"
     }
 
-    fn select(&self, features: &FeatureMatrix, _c: usize, budget: usize, rng: &mut StdRng) -> Vec<usize> {
+    fn select(
+        &self,
+        features: &FeatureMatrix,
+        _c: usize,
+        budget: usize,
+        rng: &mut StdRng,
+    ) -> Vec<usize> {
         let n = features.len();
         if budget >= n {
             return (0..n).collect();
@@ -191,8 +219,16 @@ impl PointSampler for UipsGmmSampler {
         if budget == 0 || n == 0 {
             return Vec::new();
         }
-        let gmm = Gmm::fit(&features.data, features.dim(), self.components, self.em_iters, rng.gen());
-        let rho: Vec<f64> = (0..n).map(|i| gmm.density(features.row(i)).max(1e-300)).collect();
+        let gmm = Gmm::fit(
+            &features.data,
+            features.dim(),
+            self.components,
+            self.em_iters,
+            rng.gen(),
+        );
+        let rho: Vec<f64> = (0..n)
+            .map(|i| gmm.density(features.row(i)).max(1e-300))
+            .collect();
         // Solve for C with sum min(1, C/rho) = budget, then draw an
         // unequal-probability sample without replacement via A-Res keys
         // (Efraimidis–Spirakis): key_i = u^(1/p_i); take the largest keys.
@@ -219,7 +255,13 @@ mod tests {
 
     fn two_blob_data(n: usize) -> Vec<f64> {
         (0..n)
-            .map(|i| if i % 2 == 0 { (i % 97) as f64 * 0.001 } else { 5.0 + (i % 89) as f64 * 0.001 })
+            .map(|i| {
+                if i % 2 == 0 {
+                    (i % 97) as f64 * 0.001
+                } else {
+                    5.0 + (i % 89) as f64 * 0.001
+                }
+            })
             .collect()
     }
 
@@ -253,7 +295,13 @@ mod tests {
     fn sampler_contract_and_flattening() {
         use rand::SeedableRng;
         let data: Vec<f64> = (0..2000usize)
-            .map(|i| if i % 20 == 0 { (i.wrapping_mul(7919) % 1000) as f64 * 0.01 } else { 5.0 })
+            .map(|i| {
+                if i % 20 == 0 {
+                    (i.wrapping_mul(7919) % 1000) as f64 * 0.01
+                } else {
+                    5.0
+                }
+            })
             .collect();
         let features = FeatureMatrix::new(vec!["q".into()], data);
         let mut rng = StdRng::seed_from_u64(4);
@@ -262,7 +310,10 @@ mod tests {
         validate_selection(&picked, 2000, 150);
         assert_eq!(picked.len(), 150);
         // Sparse spread points (2% of data) must be over-represented.
-        let sparse = picked.iter().filter(|&&i| (features.row(i)[0] - 5.0).abs() > 0.5).count();
+        let sparse = picked
+            .iter()
+            .filter(|&&i| (features.row(i)[0] - 5.0).abs() > 0.5)
+            .count();
         assert!(sparse > 30, "sparse kept {sparse}");
     }
 

@@ -39,7 +39,11 @@ pub enum HypercubeSelector {
 impl HypercubeSelector {
     /// The default MaxEnt selector used by the paper's configs.
     pub fn maxent_default() -> Self {
-        HypercubeSelector::MaxEnt { num_clusters: 8, bins: 64, temperature: 1.0 }
+        HypercubeSelector::MaxEnt {
+            num_clusters: 8,
+            bins: 64,
+            temperature: 1.0,
+        }
     }
 
     /// Config-file name (`"random"` / `"maxent"`).
@@ -82,13 +86,20 @@ impl HypercubeSelector {
         rng: &mut StdRng,
     ) -> Vec<usize> {
         let total = tiling.len();
-        assert!(count <= total, "cannot select {count} of {total} hypercubes");
+        assert!(
+            count <= total,
+            "cannot select {count} of {total} hypercubes"
+        );
         if count == total {
             return (0..total).collect();
         }
         match *self {
             HypercubeSelector::Random => uniform_sample(rng, total, count).into_vec(),
-            HypercubeSelector::MaxEnt { num_clusters, bins, temperature } => {
+            HypercubeSelector::MaxEnt {
+                num_clusters,
+                bins,
+                temperature,
+            } => {
                 let summaries = Self::cube_summaries(tiling, snap, cluster_var);
                 let km = KMeans::fit(
                     &summaries,
@@ -200,7 +211,8 @@ mod tests {
     fn selecting_all_returns_identity() {
         let (snap, tiling) = hotspot_snapshot(8, 4);
         let mut rng = StdRng::seed_from_u64(2);
-        let sel = HypercubeSelector::maxent_default().select(&tiling, &snap, "q", tiling.len(), &mut rng);
+        let sel =
+            HypercubeSelector::maxent_default().select(&tiling, &snap, "q", tiling.len(), &mut rng);
         assert_eq!(sel.len(), tiling.len());
     }
 

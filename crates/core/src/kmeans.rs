@@ -26,7 +26,12 @@ pub struct KMeansConfig {
 
 impl Default for KMeansConfig {
     fn default() -> Self {
-        KMeansConfig { k: 20, batch_size: 1024, iterations: 50, seed: 0 }
+        KMeansConfig {
+            k: 20,
+            batch_size: 1024,
+            iterations: 50,
+            seed: 0,
+        }
     }
 }
 
@@ -64,7 +69,9 @@ impl KMeans {
 
         // --- k-means++ seeding (on a capped subsample for large n). ---
         let seed_pool: Vec<usize> = if n > 16 * cfg.batch_size {
-            (0..16 * cfg.batch_size).map(|_| rng.gen_range(0..n)).collect()
+            (0..16 * cfg.batch_size)
+                .map(|_| rng.gen_range(0..n))
+                .collect()
         } else {
             (0..n).collect()
         };
@@ -138,7 +145,11 @@ impl KMeans {
     /// # Panics
     /// Panics if `data.len()` is not a multiple of the fitted dimension.
     pub fn assign(&self, data: &[f64]) -> Vec<usize> {
-        assert_eq!(data.len() % self.dim, 0, "data length not a multiple of dim");
+        assert_eq!(
+            data.len() % self.dim,
+            0,
+            "data length not a multiple of dim"
+        );
         data.par_chunks(self.dim)
             .map(|row| nearest(&self.centroids, self.dim, self.k, row).0)
             .collect()
@@ -206,7 +217,16 @@ mod tests {
     #[test]
     fn recovers_separated_blobs() {
         let (data, truth) = blobs();
-        let km = KMeans::fit(&data, 2, &KMeansConfig { k: 3, batch_size: 64, iterations: 60, seed: 1 });
+        let km = KMeans::fit(
+            &data,
+            2,
+            &KMeansConfig {
+                k: 3,
+                batch_size: 64,
+                iterations: 60,
+                seed: 1,
+            },
+        );
         let labels = km.assign(&data);
         // Every true cluster must map to exactly one k-means label.
         for t in 0..3 {
@@ -223,7 +243,12 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let (data, _) = blobs();
-        let cfg = KMeansConfig { k: 3, batch_size: 64, iterations: 30, seed: 5 };
+        let cfg = KMeansConfig {
+            k: 3,
+            batch_size: 64,
+            iterations: 30,
+            seed: 5,
+        };
         let a = KMeans::fit(&data, 2, &cfg);
         let b = KMeans::fit(&data, 2, &cfg);
         assert_eq!(a.centroids, b.centroids);
@@ -232,24 +257,55 @@ mod tests {
     #[test]
     fn k_clamped_to_sample_count() {
         let data = vec![1.0, 2.0, 3.0]; // three 1D points
-        let km = KMeans::fit(&data, 1, &KMeansConfig { k: 10, ..Default::default() });
+        let km = KMeans::fit(
+            &data,
+            1,
+            &KMeansConfig {
+                k: 10,
+                ..Default::default()
+            },
+        );
         assert_eq!(km.k, 3);
     }
 
     #[test]
     fn inertia_decreases_with_more_clusters() {
         let (data, _) = blobs();
-        let i1 = KMeans::fit(&data, 2, &KMeansConfig { k: 1, iterations: 30, ..Default::default() })
-            .inertia(&data);
-        let i3 = KMeans::fit(&data, 2, &KMeansConfig { k: 3, iterations: 30, ..Default::default() })
-            .inertia(&data);
+        let i1 = KMeans::fit(
+            &data,
+            2,
+            &KMeansConfig {
+                k: 1,
+                iterations: 30,
+                ..Default::default()
+            },
+        )
+        .inertia(&data);
+        let i3 = KMeans::fit(
+            &data,
+            2,
+            &KMeansConfig {
+                k: 3,
+                iterations: 30,
+                ..Default::default()
+            },
+        )
+        .inertia(&data);
         assert!(i3 < i1 * 0.2, "inertia k=1 {i1} vs k=3 {i3}");
     }
 
     #[test]
     fn assign_one_matches_assign() {
         let (data, _) = blobs();
-        let km = KMeans::fit(&data, 2, &KMeansConfig { k: 3, iterations: 20, ..Default::default() });
+        let km = KMeans::fit(
+            &data,
+            2,
+            &KMeansConfig {
+                k: 3,
+                iterations: 20,
+                ..Default::default()
+            },
+        );
         let labels = km.assign(&data);
         for (i, &l) in labels.iter().enumerate().step_by(17) {
             assert_eq!(km.assign_one(&data[i * 2..i * 2 + 2]).0, l);
@@ -266,7 +322,14 @@ mod tests {
     #[test]
     fn identical_points_dont_crash() {
         let data = vec![2.0; 100]; // 100 identical 1D points
-        let km = KMeans::fit(&data, 1, &KMeansConfig { k: 5, ..Default::default() });
+        let km = KMeans::fit(
+            &data,
+            1,
+            &KMeansConfig {
+                k: 5,
+                ..Default::default()
+            },
+        );
         let labels = km.assign(&data);
         assert!(labels.iter().all(|&l| l < km.k));
         assert!(km.inertia(&data) < 1e-20);

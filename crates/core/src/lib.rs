@@ -28,9 +28,9 @@ pub mod entropy;
 pub mod gmm;
 pub mod hypercube;
 pub mod kmeans;
-pub mod pod;
 pub mod metrics;
 pub mod pipeline;
+pub mod pod;
 pub mod samplers;
 pub mod streaming;
 pub mod temporal;

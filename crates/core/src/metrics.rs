@@ -59,7 +59,11 @@ pub fn pdf_reports(features: &FeatureMatrix, indices: &[usize], bins: usize) -> 
             kl_full_vs_sample: kl_divergence(&h_full.pmf(), &h_sample.pmf()),
             tail_mass_full: tail_full,
             tail_mass_sample: tail_sample,
-            tail_coverage_ratio: if tail_full > 0.0 { tail_sample / tail_full } else { 0.0 },
+            tail_coverage_ratio: if tail_full > 0.0 {
+                tail_sample / tail_full
+            } else {
+                0.0
+            },
         });
     }
     out
@@ -173,7 +177,11 @@ mod tests {
         assert!(!center.is_empty());
         let r = &pdf_reports(&f, &center, 50)[0];
         assert!(r.kl_full_vs_sample > 0.1, "kl {}", r.kl_full_vs_sample);
-        assert!(r.tail_coverage_ratio < 0.2, "tail ratio {}", r.tail_coverage_ratio);
+        assert!(
+            r.tail_coverage_ratio < 0.2,
+            "tail ratio {}",
+            r.tail_coverage_ratio
+        );
     }
 
     #[test]
@@ -182,7 +190,11 @@ mod tests {
         let tails: Vec<usize> = (0..1000).filter(|&i| f.row(i)[0].abs() > 1.0).collect();
         assert!(!tails.is_empty());
         let r = &pdf_reports(&f, &tails, 50)[0];
-        assert!(r.tail_coverage_ratio > 2.0, "tail ratio {}", r.tail_coverage_ratio);
+        assert!(
+            r.tail_coverage_ratio > 2.0,
+            "tail ratio {}",
+            r.tail_coverage_ratio
+        );
     }
 
     #[test]
@@ -194,10 +206,16 @@ mod tests {
         // does only if the data ordering correlates with value — with our
         // residue construction both are decorrelated, so compare against an
         // adversarial center-only pick instead.
-        let center: Vec<usize> = (0..2000).filter(|&i| f.row(i)[0].abs() < 0.1).take(200).collect();
+        let center: Vec<usize> = (0..2000)
+            .filter(|&i| f.row(i)[0].abs() < 0.1)
+            .take(200)
+            .collect();
         let kl_sweep = mean_kl(&f, &every_10th, 50);
         let kl_center = mean_kl(&f, &center, 50);
-        assert!(kl_sweep < kl_center, "sweep {kl_sweep} vs center {kl_center}");
+        assert!(
+            kl_sweep < kl_center,
+            "sweep {kl_sweep} vs center {kl_center}"
+        );
         let _ = first_200;
     }
 

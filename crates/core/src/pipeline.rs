@@ -123,10 +123,11 @@ impl CubeMethod {
 
 /// Snapshot-level (temporal) selection applied before spatial sampling
 /// (paper §4.3).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 #[serde(rename_all = "lowercase", tag = "kind")]
 pub enum TemporalMethod {
     /// Keep every snapshot (default).
+    #[default]
     All,
     /// Evenly strided subset of `count` snapshots (the naive cadence).
     Stride {
@@ -148,12 +149,6 @@ pub enum TemporalMethod {
         /// Histogram bins.
         bins: usize,
     },
-}
-
-impl Default for TemporalMethod {
-    fn default() -> Self {
-        TemporalMethod::All
-    }
 }
 
 /// Full sampling configuration — the Rust mirror of the paper's YAML files
@@ -189,7 +184,10 @@ impl SamplingConfig {
             hypercubes: CubeMethod::MaxEnt,
             num_hypercubes: 8,
             cube_edge: 16,
-            method: PointMethod::MaxEnt { num_clusters: 20, bins: 100 },
+            method: PointMethod::MaxEnt {
+                num_clusters: 20,
+                bins: 100,
+            },
             num_samples: 410, // ~10% of 16^3
             cluster_var: cluster_var.to_string(),
             feature_vars: feature_vars.iter().map(|s| s.to_string()).collect(),
@@ -281,9 +279,10 @@ impl SamplingOutput {
 /// Derives a per-(snapshot, cube) RNG stream from the base seed via
 /// SplitMix64 mixing — parallel execution order cannot perturb results.
 fn derive_rng(seed: u64, snapshot: usize, cube: usize) -> StdRng {
+    // `cube` may be usize::MAX (the per-snapshot sentinel), so the +1 must wrap.
     let mut z = seed
-        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(1 + snapshot as u64))
-        .wrapping_add(0xBF58_476D_1CE4_E5B9u64.wrapping_mul(1 + cube as u64));
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul((snapshot as u64).wrapping_add(1)))
+        .wrapping_add(0xBF58_476D_1CE4_E5B9u64.wrapping_mul((cube as u64).wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     StdRng::seed_from_u64(z ^ (z >> 31))
@@ -291,7 +290,11 @@ fn derive_rng(seed: u64, snapshot: usize, cube: usize) -> StdRng {
 
 /// Runs the two-phase pipeline on one snapshot, returning one sample set per
 /// selected hypercube. Cubes are processed in parallel.
-pub fn run_snapshot(snap: &Snapshot, snapshot_index: usize, cfg: &SamplingConfig) -> Vec<SampleSet> {
+pub fn run_snapshot(
+    snap: &Snapshot,
+    snapshot_index: usize,
+    cfg: &SamplingConfig,
+) -> Vec<SampleSet> {
     let tiling = Tiling::cubic(snap.grid, cfg.cube_edge);
     let count = cfg.num_hypercubes.min(tiling.len());
     let mut rng = derive_rng(cfg.seed, snapshot_index, usize::MAX);
@@ -346,7 +349,9 @@ pub fn run_dataset(dataset: &Dataset, cfg: &SamplingConfig) -> SamplingOutput {
         .iter()
         .map(|&i| run_snapshot(&dataset.snapshots[i], i, cfg))
         .collect();
-    let cube_points = cfg.cube_edge.pow(if dataset.grid().nz == 1 { 2 } else { 3 });
+    let cube_points = cfg
+        .cube_edge
+        .pow(if dataset.grid().nz == 1 { 2 } else { 3 });
     let cubes_selected: usize = sets.iter().map(Vec::len).sum();
     let stats = SamplingStats {
         points_in: cubes_selected * cube_points,
@@ -355,7 +360,11 @@ pub fn run_dataset(dataset: &Dataset, cfg: &SamplingConfig) -> SamplingOutput {
         phase1_points: dataset.grid().len() * keep.len(),
         elapsed_secs: t0.elapsed().as_secs_f64(),
     };
-    SamplingOutput { sets, stats, config: cfg.clone() }
+    SamplingOutput {
+        sets,
+        stats,
+        config: cfg.clone(),
+    }
 }
 
 #[cfg(test)]
@@ -368,11 +377,23 @@ mod tests {
         let meta = DatasetMeta::new("T", "test", "q", &["u", "q"], &[]);
         let mut d = Dataset::new(meta);
         for s in 0..snapshots {
-            let u: Vec<f64> = (0..grid.len()).map(|i| ((i * 31 + s * 7) % 100) as f64 * 0.01).collect();
-            let q: Vec<f64> = (0..grid.len())
-                .map(|i| if i % 50 == 0 { 10.0 } else { ((i * 17) % 100) as f64 * 0.001 })
+            let u: Vec<f64> = (0..grid.len())
+                .map(|i| ((i * 31 + s * 7) % 100) as f64 * 0.01)
                 .collect();
-            d.push(Snapshot::new(grid, s as f64).with_var("u", u).with_var("q", q));
+            let q: Vec<f64> = (0..grid.len())
+                .map(|i| {
+                    if i % 50 == 0 {
+                        10.0
+                    } else {
+                        ((i * 17) % 100) as f64 * 0.001
+                    }
+                })
+                .collect();
+            d.push(
+                Snapshot::new(grid, s as f64)
+                    .with_var("u", u)
+                    .with_var("q", q),
+            );
         }
         d
     }
@@ -382,7 +403,10 @@ mod tests {
             hypercubes: CubeMethod::MaxEnt,
             num_hypercubes: 4,
             cube_edge: 8,
-            method: PointMethod::MaxEnt { num_clusters: 5, bins: 32 },
+            method: PointMethod::MaxEnt {
+                num_clusters: 5,
+                bins: 32,
+            },
             num_samples: 51, // ~10% of 8^3
             cluster_var: "q".to_string(),
             feature_vars: vec!["u".to_string(), "q".to_string()],
@@ -390,7 +414,6 @@ mod tests {
             temporal: TemporalMethod::All,
         }
     }
-
 
     #[test]
     fn temporal_stride_reduces_snapshots() {
@@ -416,7 +439,10 @@ mod tests {
     fn temporal_adaptive_collapses_repetitive_data() {
         let d = test_dataset(8); // near-identical snapshots
         let mut cfg = test_config();
-        cfg.temporal = TemporalMethod::Adaptive { threshold: 0.5, bins: 16 };
+        cfg.temporal = TemporalMethod::Adaptive {
+            threshold: 0.5,
+            bins: 16,
+        };
         let out = run_dataset(&d, &cfg);
         assert!(out.sets.len() < 8, "kept {} snapshots", out.sets.len());
         assert!(!out.sets.is_empty());

@@ -73,7 +73,11 @@ pub fn jacobi_eigen(mat: &[f64], m: usize, sweeps: usize) -> (Vec<f64>, Vec<f64>
     }
     let mut order: Vec<usize> = (0..m).collect();
     let evals: Vec<f64> = (0..m).map(|i| a[i * m + i]).collect();
-    order.sort_by(|&x, &y| evals[y].partial_cmp(&evals[x]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&x, &y| {
+        evals[y]
+            .partial_cmp(&evals[x])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let sorted_vals: Vec<f64> = order.iter().map(|&i| evals[i]).collect();
     let mut sorted_vecs = vec![0.0; m * m];
     for (new_c, &old_c) in order.iter().enumerate() {
@@ -92,12 +96,19 @@ pub fn pod_modes(snapshots: &[&[f64]], rank: usize) -> (Vec<f64>, Vec<f64>, usiz
     assert!(!snapshots.is_empty(), "POD needs at least one snapshot");
     let m = snapshots.len();
     let n = snapshots[0].len();
-    assert!(snapshots.iter().all(|s| s.len() == n), "snapshot length mismatch");
+    assert!(
+        snapshots.iter().all(|s| s.len() == n),
+        "snapshot length mismatch"
+    );
     // Correlation matrix C = X^T X / m (m x m).
     let mut corr = vec![0.0; m * m];
     for i in 0..m {
         for j in i..m {
-            let dot: f64 = snapshots[i].iter().zip(snapshots[j]).map(|(a, b)| a * b).sum();
+            let dot: f64 = snapshots[i]
+                .iter()
+                .zip(snapshots[j])
+                .map(|(a, b)| a * b)
+                .sum();
             corr[i * m + j] = dot / m as f64;
             corr[j * m + i] = corr[i * m + j];
         }
@@ -232,7 +243,13 @@ impl PointSampler for PodSampler {
         "pod-deim"
     }
 
-    fn select(&self, features: &FeatureMatrix, _c: usize, budget: usize, _rng: &mut StdRng) -> Vec<usize> {
+    fn select(
+        &self,
+        features: &FeatureMatrix,
+        _c: usize,
+        budget: usize,
+        _rng: &mut StdRng,
+    ) -> Vec<usize> {
         let n = features.len();
         if budget >= n {
             return (0..n).collect();
@@ -262,7 +279,9 @@ impl PointSampler for PodSampler {
             // Leverage-score fill.
             let mut lev: Vec<(f64, usize)> = (0..n)
                 .map(|p| {
-                    let s: f64 = (0..r).map(|k| compact[p * r + k] * compact[p * r + k]).sum();
+                    let s: f64 = (0..r)
+                        .map(|k| compact[p * r + k] * compact[p * r + k])
+                        .sum();
                     (s, p)
                 })
                 .collect();
@@ -329,7 +348,10 @@ mod tests {
         let s2: Vec<f64> = base.iter().map(|v| -1.0 * v).collect();
         let s3: Vec<f64> = base.iter().map(|v| 0.5 * v).collect();
         let (modes, energy, kept) = pod_modes(&[&s1, &s2, &s3], 3);
-        assert_eq!(kept, 1, "rank-1 data must keep one mode (energies {energy:?})");
+        assert_eq!(
+            kept, 1,
+            "rank-1 data must keep one mode (energies {energy:?})"
+        );
         // Mode is proportional to base (normalized).
         let norm: f64 = base.iter().map(|v| v * v).sum::<f64>().sqrt();
         for (p, &b) in base.iter().enumerate() {
@@ -346,7 +368,9 @@ mod tests {
     fn pod_modes_are_orthonormal() {
         let a: Vec<f64> = (0..64).map(|i| (i as f64 * 0.2).sin()).collect();
         let b: Vec<f64> = (0..64).map(|i| (i as f64 * 0.7).cos()).collect();
-        let c: Vec<f64> = (0..64).map(|i| a[i] + 0.3 * b[i] + (i as f64 * 1.3).sin() * 0.1).collect();
+        let c: Vec<f64> = (0..64)
+            .map(|i| a[i] + 0.3 * b[i] + (i as f64 * 1.3).sin() * 0.1)
+            .collect();
         let (modes, _, kept) = pod_modes(&[&a, &b, &c], 3);
         for k1 in 0..kept {
             for k2 in 0..kept {

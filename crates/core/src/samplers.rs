@@ -43,7 +43,13 @@ impl PointSampler for FullSampler {
         "full"
     }
 
-    fn select(&self, features: &FeatureMatrix, _c: usize, _budget: usize, _rng: &mut StdRng) -> Vec<usize> {
+    fn select(
+        &self,
+        features: &FeatureMatrix,
+        _c: usize,
+        _budget: usize,
+        _rng: &mut StdRng,
+    ) -> Vec<usize> {
         (0..features.len()).collect()
     }
 }
@@ -57,7 +63,13 @@ impl PointSampler for RandomSampler {
         "random"
     }
 
-    fn select(&self, features: &FeatureMatrix, _c: usize, budget: usize, rng: &mut StdRng) -> Vec<usize> {
+    fn select(
+        &self,
+        features: &FeatureMatrix,
+        _c: usize,
+        budget: usize,
+        rng: &mut StdRng,
+    ) -> Vec<usize> {
         let n = features.len();
         if budget >= n {
             return (0..n).collect();
@@ -78,7 +90,13 @@ impl PointSampler for LhsSampler {
         "lhs"
     }
 
-    fn select(&self, features: &FeatureMatrix, _c: usize, budget: usize, rng: &mut StdRng) -> Vec<usize> {
+    fn select(
+        &self,
+        features: &FeatureMatrix,
+        _c: usize,
+        budget: usize,
+        rng: &mut StdRng,
+    ) -> Vec<usize> {
         let n = features.len();
         if budget >= n {
             return (0..n).collect();
@@ -107,7 +125,11 @@ impl PointSampler for LhsSampler {
                 break;
             }
             let row = features.row(i);
-            if row.iter().enumerate().all(|(j, &v)| !filled[j][bin_of(v, j)]) {
+            if row
+                .iter()
+                .enumerate()
+                .all(|(j, &v)| !filled[j][bin_of(v, j)])
+            {
                 for (j, &v) in row.iter().enumerate() {
                     filled[j][bin_of(v, j)] = true;
                 }
@@ -124,7 +146,11 @@ impl PointSampler for LhsSampler {
                 continue;
             }
             let row = features.row(i);
-            if row.iter().enumerate().any(|(j, &v)| !filled[j][bin_of(v, j)]) {
+            if row
+                .iter()
+                .enumerate()
+                .any(|(j, &v)| !filled[j][bin_of(v, j)])
+            {
                 for (j, &v) in row.iter().enumerate() {
                     filled[j][bin_of(v, j)] = true;
                 }
@@ -157,7 +183,13 @@ impl PointSampler for UniformStrideSampler {
         "uniform"
     }
 
-    fn select(&self, features: &FeatureMatrix, _c: usize, budget: usize, _rng: &mut StdRng) -> Vec<usize> {
+    fn select(
+        &self,
+        features: &FeatureMatrix,
+        _c: usize,
+        budget: usize,
+        _rng: &mut StdRng,
+    ) -> Vec<usize> {
         let n = features.len();
         if budget >= n {
             return (0..n).collect();
@@ -188,7 +220,13 @@ impl PointSampler for StratifiedSampler {
         "stratified"
     }
 
-    fn select(&self, features: &FeatureMatrix, cluster_col: usize, budget: usize, rng: &mut StdRng) -> Vec<usize> {
+    fn select(
+        &self,
+        features: &FeatureMatrix,
+        cluster_col: usize,
+        budget: usize,
+        rng: &mut StdRng,
+    ) -> Vec<usize> {
         let n = features.len();
         if budget >= n {
             return (0..n).collect();
@@ -199,7 +237,11 @@ impl PointSampler for StratifiedSampler {
         let strata = self.strata.max(1).min(n);
         let values = features.column(cluster_col);
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).unwrap_or(std::cmp::Ordering::Equal));
+        order.sort_by(|&a, &b| {
+            values[a]
+                .partial_cmp(&values[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         // Equal-count strata boundaries over the sorted order.
         let weights = vec![1.0 / strata as f64; strata];
         let caps: Vec<usize> = (0..strata)
@@ -245,7 +287,13 @@ impl PointSampler for ImportanceSampler {
         "importance"
     }
 
-    fn select(&self, features: &FeatureMatrix, cluster_col: usize, budget: usize, rng: &mut StdRng) -> Vec<usize> {
+    fn select(
+        &self,
+        features: &FeatureMatrix,
+        cluster_col: usize,
+        budget: usize,
+        rng: &mut StdRng,
+    ) -> Vec<usize> {
         use rand::Rng;
         let n = features.len();
         if budget >= n {
@@ -294,7 +342,13 @@ pub struct MaxEntSampler {
 
 impl Default for MaxEntSampler {
     fn default() -> Self {
-        MaxEntSampler { num_clusters: 20, bins: 100, temperature: 1.0, batch_size: 1024, iterations: 30 }
+        MaxEntSampler {
+            num_clusters: 20,
+            bins: 100,
+            temperature: 1.0,
+            batch_size: 1024,
+            iterations: 30,
+        }
     }
 }
 
@@ -303,7 +357,13 @@ impl PointSampler for MaxEntSampler {
         "maxent"
     }
 
-    fn select(&self, features: &FeatureMatrix, cluster_col: usize, budget: usize, rng: &mut StdRng) -> Vec<usize> {
+    fn select(
+        &self,
+        features: &FeatureMatrix,
+        cluster_col: usize,
+        budget: usize,
+        rng: &mut StdRng,
+    ) -> Vec<usize> {
         use rand::Rng;
         let n = features.len();
         if budget >= n {
@@ -350,7 +410,11 @@ impl PointSampler for MaxEntSampler {
 pub fn validate_selection(indices: &[usize], n: usize, budget: usize) {
     assert!(indices.len() <= n);
     if budget >= n {
-        assert_eq!(indices.len(), n, "must return all rows when budget covers them");
+        assert_eq!(
+            indices.len(),
+            n,
+            "must return all rows when budget covers them"
+        );
     }
     let mut seen = vec![false; n];
     for &i in indices {
@@ -384,7 +448,11 @@ mod tests {
             Box::new(RandomSampler),
             Box::new(LhsSampler),
             Box::new(StratifiedSampler::default()),
-            Box::new(MaxEntSampler { num_clusters: 5, bins: 50, ..Default::default() }),
+            Box::new(MaxEntSampler {
+                num_clusters: 5,
+                bins: 50,
+                ..Default::default()
+            }),
         ]
     }
 
@@ -414,14 +482,21 @@ mod tests {
         let budget = n / 10;
         let tail_lo = 5.0;
         let count_tail = |idx: &[usize]| {
-            idx.iter().filter(|&&i| features.row(i)[0] > tail_lo).count() as f64 / idx.len() as f64
+            idx.iter()
+                .filter(|&&i| features.row(i)[0] > tail_lo)
+                .count() as f64
+                / idx.len() as f64
         };
         let mut maxent_frac = 0.0;
         let mut random_frac = 0.0;
         for seed in 0..5 {
             let mut rng = StdRng::seed_from_u64(seed);
-            let m = MaxEntSampler { num_clusters: 5, bins: 50, ..Default::default() }
-                .select(&features, 0, budget, &mut rng);
+            let m = MaxEntSampler {
+                num_clusters: 5,
+                bins: 50,
+                ..Default::default()
+            }
+            .select(&features, 0, budget, &mut rng);
             maxent_frac += count_tail(&m);
             let mut rng = StdRng::seed_from_u64(seed);
             let r = RandomSampler.select(&features, 0, budget, &mut rng);
@@ -453,7 +528,10 @@ mod tests {
         let vals: Vec<f64> = idx.iter().map(|&i| features.row(i)[0]).collect();
         let low = vals.iter().filter(|&&v| v < 5.0).count();
         let high = vals.iter().filter(|&&v| v >= 5.0).count();
-        assert!(low > 0 && high > 0, "LHS must cover both modes: {low}/{high}");
+        assert!(
+            low > 0 && high > 0,
+            "LHS must cover both modes: {low}/{high}"
+        );
     }
 
     #[test]
@@ -467,7 +545,10 @@ mod tests {
             total_tail += idx.iter().filter(|&&i| features.row(i)[0] > 5.0).count() as f64;
         }
         let mean_tail = total_tail / 20.0;
-        assert!((mean_tail - 10.0).abs() < 4.0, "mean tail picks {mean_tail}");
+        assert!(
+            (mean_tail - 10.0).abs() < 4.0,
+            "mean tail picks {mean_tail}"
+        );
     }
 
     #[test]

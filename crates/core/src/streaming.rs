@@ -157,7 +157,13 @@ impl StreamingSampler {
         let weights: Vec<f64> = self
             .counts
             .iter()
-            .map(|&c| if c == 0 { 0.0 } else { (1.0 / c as f64).powf(self.temperature) })
+            .map(|&c| {
+                if c == 0 {
+                    0.0
+                } else {
+                    (1.0 / c as f64).powf(self.temperature)
+                }
+            })
             .collect();
         let caps: Vec<usize> = self.reservoirs.iter().map(Vec::len).collect();
         let alloc = allocate_budget(&weights, &caps, self.budget);

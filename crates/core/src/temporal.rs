@@ -16,7 +16,10 @@ use sickle_field::{Dataset, Histogram};
 /// # Panics
 /// Panics if `count == 0` or `count > total`.
 pub fn uniform_stride(total: usize, count: usize) -> Vec<usize> {
-    assert!(count > 0 && count <= total, "invalid stride selection {count}/{total}");
+    assert!(
+        count > 0 && count <= total,
+        "invalid stride selection {count}/{total}"
+    );
     (0..count).map(|i| i * total / count).collect()
 }
 
@@ -56,7 +59,10 @@ fn snapshot_histograms(dataset: &Dataset, var: &str, bins: usize) -> Vec<Histogr
 /// Panics if `count == 0` or exceeds the number of snapshots.
 pub fn novelty_select(dataset: &Dataset, var: &str, count: usize, bins: usize) -> Vec<usize> {
     let total = dataset.num_snapshots();
-    assert!(count > 0 && count <= total, "invalid selection {count}/{total}");
+    assert!(
+        count > 0 && count <= total,
+        "invalid selection {count}/{total}"
+    );
     let hists = snapshot_histograms(dataset, var, bins);
     let pmfs: Vec<Vec<f64>> = hists.iter().map(Histogram::pmf).collect();
 
@@ -124,7 +130,10 @@ pub fn novelty_scores(dataset: &Dataset, var: &str, bins: usize) -> Vec<f64> {
         mixture.merge(h);
     }
     let mix_pmf = mixture.pmf();
-    hists.iter().map(|h| kl_divergence(&h.pmf(), &mix_pmf)).collect()
+    hists
+        .iter()
+        .map(|h| kl_divergence(&h.pmf(), &mix_pmf))
+        .collect()
 }
 
 #[cfg(test)]

@@ -31,7 +31,10 @@ pub struct UipsSampler {
 
 impl Default for UipsSampler {
     fn default() -> Self {
-        UipsSampler { bins_per_dim: 10, refine_iterations: 1 }
+        UipsSampler {
+            bins_per_dim: 10,
+            refine_iterations: 1,
+        }
     }
 }
 
@@ -73,7 +76,9 @@ fn solve_cap(counts: &[f64], budget: usize) -> f64 {
 /// diagnostic use and tested directly.
 pub fn solve_threshold(rho: &[f64], budget: usize) -> f64 {
     let expected = |c: f64| -> f64 {
-        rho.iter().map(|&r| if r <= 0.0 { 1.0 } else { (c / r).min(1.0) }).sum()
+        rho.iter()
+            .map(|&r| if r <= 0.0 { 1.0 } else { (c / r).min(1.0) })
+            .sum()
     };
     let max_rho = rho.iter().cloned().fold(0.0, f64::max).max(1.0);
     let (mut lo, mut hi) = (0.0, max_rho);
@@ -109,7 +114,13 @@ impl PointSampler for UipsSampler {
         "uips"
     }
 
-    fn select(&self, features: &FeatureMatrix, _c: usize, budget: usize, rng: &mut StdRng) -> Vec<usize> {
+    fn select(
+        &self,
+        features: &FeatureMatrix,
+        _c: usize,
+        budget: usize,
+        rng: &mut StdRng,
+    ) -> Vec<usize> {
         use rand::seq::SliceRandom;
         let n = features.len();
         if budget >= n {

@@ -100,7 +100,12 @@ pub struct EnergyMeter {
 impl EnergyMeter {
     /// Creates a meter and starts its wall clock.
     pub fn new(model: MachineModel) -> Self {
-        EnergyMeter { model, flops: AtomicU64::new(0), bytes: AtomicU64::new(0), start: Instant::now() }
+        EnergyMeter {
+            model,
+            flops: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            start: Instant::now(),
+        }
     }
 
     /// Records `n` floating-point operations.

@@ -59,7 +59,12 @@ impl Bluestein {
             kernel[m - j] = v;
         }
         inner.forward(&mut kernel);
-        Bluestein { m, inner, chirp, kernel_hat: kernel }
+        Bluestein {
+            m,
+            inner,
+            chirp,
+            kernel_hat: kernel,
+        }
     }
 
     fn forward(&self, data: &mut [Complex]) {
@@ -70,7 +75,7 @@ impl Bluestein {
         }
         self.inner.forward(&mut a);
         for (v, &k) in a.iter_mut().zip(self.kernel_hat.iter()) {
-            *v = *v * k;
+            *v *= k;
         }
         self.inner.inverse(&mut a);
         for k in 0..n {
@@ -190,7 +195,9 @@ mod tests {
         // The SST-P1F4 x-extent. exp(2 pi i 5 j / 514) -> peak at k = 5.
         let n = 514;
         let input: Vec<Complex> = (0..n)
-            .map(|j| Complex::from_polar_unit(2.0 * std::f64::consts::PI * 5.0 * j as f64 / n as f64))
+            .map(|j| {
+                Complex::from_polar_unit(2.0 * std::f64::consts::PI * 5.0 * j as f64 / n as f64)
+            })
             .collect();
         let mut data = input;
         let plan = AnyFft::new(n);
@@ -211,8 +218,9 @@ mod tests {
     #[test]
     fn parseval_holds_for_bluestein() {
         let n = 37;
-        let input: Vec<Complex> =
-            (0..n).map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.5).cos())).collect();
+        let input: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.5).cos()))
+            .collect();
         let time_energy: f64 = input.iter().map(|z| z.norm_sqr()).sum();
         let mut data = input;
         AnyFft::new(n).forward(&mut data);

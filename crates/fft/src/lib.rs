@@ -28,12 +28,14 @@ mod complex;
 mod nd;
 mod plan;
 mod real;
+mod realnd;
 
 pub use bluestein::AnyFft;
 pub use complex::Complex;
 pub use nd::{Fft2d, Fft3d};
 pub use plan::FftPlan;
 pub use real::RealFft;
+pub use realnd::{RealFft2d, RealFft3d};
 
 /// Returns `true` if `n` is a power of two (and nonzero).
 pub fn is_power_of_two(n: usize) -> bool {

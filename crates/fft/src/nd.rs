@@ -23,7 +23,7 @@ pub struct Fft2d {
 
 /// Direction selector used internally by the axis kernels.
 #[derive(Clone, Copy, PartialEq)]
-enum Dir {
+pub(crate) enum Dir {
     Forward,
     Inverse,
 }
@@ -39,7 +39,7 @@ fn transform_contiguous(plan: &FftPlan, data: &mut [Complex], dir: Dir) {
 /// Transforms pencils of length `count` spaced `stride` apart; there are
 /// `outer * inner` pencils, where a pencil `(o, i)` starts at
 /// `o * block + i` with `block = count * stride`.
-fn transform_strided(
+pub(crate) fn transform_strided(
     plan: &FftPlan,
     data: &mut [Complex],
     outer: usize,
@@ -90,7 +90,12 @@ fn transform_strided(
 impl Fft2d {
     /// Creates a 2D plan; both dimensions must be powers of two.
     pub fn new(nx: usize, ny: usize) -> Self {
-        Fft2d { nx, ny, plan_x: FftPlan::new(nx), plan_y: FftPlan::new(ny) }
+        Fft2d {
+            nx,
+            ny,
+            plan_x: FftPlan::new(nx),
+            plan_y: FftPlan::new(ny),
+        }
     }
 
     /// Shape `(nx, ny)`.
@@ -171,7 +176,14 @@ impl Fft3d {
         // y axis: stride nz, inner nz, outer nx.
         transform_strided(&self.plan_y, data, self.nx, self.nz, self.nz, dir);
         // x axis: stride ny*nz, inner ny*nz, outer 1.
-        transform_strided(&self.plan_x, data, 1, self.ny * self.nz, self.ny * self.nz, dir);
+        transform_strided(
+            &self.plan_x,
+            data,
+            1,
+            self.ny * self.nz,
+            self.ny * self.nz,
+            dir,
+        );
     }
 
     /// In-place forward 3D transform.
@@ -193,7 +205,10 @@ mod tests {
 
     fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
         for (x, y) in a.iter().zip(b.iter()) {
-            assert!((x.re - y.re).abs() < tol && (x.im - y.im).abs() < tol, "{x:?} != {y:?}");
+            assert!(
+                (x.re - y.re).abs() < tol && (x.im - y.im).abs() < tol,
+                "{x:?} != {y:?}"
+            );
         }
     }
 
@@ -227,7 +242,11 @@ mod tests {
         for x in 0..nx {
             for y in 0..ny {
                 let v = data[x * ny + y].abs();
-                let expect = if (x, y) == (2, 3) { (nx * ny) as f64 } else { 0.0 };
+                let expect = if (x, y) == (2, 3) {
+                    (nx * ny) as f64
+                } else {
+                    0.0
+                };
                 assert!((v - expect).abs() < 1e-8, "({x},{y}): {v}");
             }
         }
@@ -270,7 +289,11 @@ mod tests {
             for y in 0..ny {
                 for z in 0..nz {
                     let v = data[(x * ny + y) * nz + z].abs();
-                    let expect = if (x, y, z) == (kx, ky, kz) { total } else { 0.0 };
+                    let expect = if (x, y, z) == (kx, ky, kz) {
+                        total
+                    } else {
+                        0.0
+                    };
                     assert!((v - expect).abs() < 1e-8, "({x},{y},{z}): {v}");
                 }
             }

@@ -30,7 +30,10 @@ impl FftPlan {
     /// # Panics
     /// Panics if `n` is not a power of two or is zero.
     pub fn new(n: usize) -> Self {
-        assert!(crate::is_power_of_two(n), "FFT length {n} must be a power of two");
+        assert!(
+            crate::is_power_of_two(n),
+            "FFT length {n} must be a power of two"
+        );
         let bits = n.trailing_zeros();
         let mut swaps = Vec::new();
         if bits > 0 {
@@ -177,7 +180,9 @@ mod tests {
         // x[j] = exp(2*pi*i*3*j/n) transforms to n * delta[k - 3].
         let n = 32;
         let input: Vec<Complex> = (0..n)
-            .map(|j| Complex::from_polar_unit(2.0 * std::f64::consts::PI * 3.0 * j as f64 / n as f64))
+            .map(|j| {
+                Complex::from_polar_unit(2.0 * std::f64::consts::PI * 3.0 * j as f64 / n as f64)
+            })
             .collect();
         let mut data = input;
         FftPlan::new(n).forward(&mut data);

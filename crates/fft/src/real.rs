@@ -23,12 +23,19 @@ impl RealFft {
     /// # Panics
     /// Panics if `n < 2` or `n` is not a power of two.
     pub fn new(n: usize) -> Self {
-        assert!(n >= 2 && crate::is_power_of_two(n), "real FFT length {n} must be a power of two >= 2");
+        assert!(
+            n >= 2 && crate::is_power_of_two(n),
+            "real FFT length {n} must be a power of two >= 2"
+        );
         let half = n / 2;
         let twiddles = (0..=half / 2)
             .map(|k| Complex::from_polar_unit(-std::f64::consts::PI * k as f64 / half as f64))
             .collect();
-        RealFft { n, half_plan: FftPlan::new(half), twiddles }
+        RealFft {
+            n,
+            half_plan: FftPlan::new(half),
+            twiddles,
+        }
     }
 
     /// Transform length (number of real input samples).
@@ -55,37 +62,50 @@ impl RealFft {
     /// # Panics
     /// Panics on input length mismatch.
     pub fn forward(&self, input: &[f64]) -> Vec<Complex> {
-        assert_eq!(input.len(), self.n, "buffer length mismatch");
-        let half = self.n / 2;
-        // Pack even samples into re, odd into im.
-        let mut z: Vec<Complex> = (0..half)
-            .map(|j| Complex::new(input[2 * j], input[2 * j + 1]))
-            .collect();
-        self.half_plan.forward(&mut z);
+        let mut out = vec![Complex::ZERO; self.spectrum_len()];
+        self.forward_into(input, &mut out);
+        out
+    }
 
-        let mut out = vec![Complex::ZERO; half + 1];
-        // Untangle: with E[k], O[k] the FFTs of even/odd subsequences,
+    /// Zero-allocation forward transform into a caller-provided buffer of
+    /// `n/2 + 1` coefficients. The length-`n/2` complex sub-FFT runs in place
+    /// inside `out`, so no scratch is needed.
+    ///
+    /// # Panics
+    /// Panics if `input.len() != n` or `out.len() != n/2 + 1`.
+    pub fn forward_into(&self, input: &[f64], out: &mut [Complex]) {
+        assert_eq!(input.len(), self.n, "buffer length mismatch");
+        assert_eq!(out.len(), self.spectrum_len(), "spectrum length mismatch");
+        let half = self.n / 2;
+        // Pack even samples into re, odd into im, directly in `out[..half]`.
+        for (j, slot) in out[..half].iter_mut().enumerate() {
+            *slot = Complex::new(input[2 * j], input[2 * j + 1]);
+        }
+        self.half_plan.forward(&mut out[..half]);
+
+        // Untangle in place: with E[k], O[k] the FFTs of even/odd
+        // subsequences,
         //   Z[k]        = E[k] + i O[k]
         //   conj(Z[h-k]) = E[k] - i O[k]
         // so E and O are recovered by symmetric combinations, and
         //   X[k] = E[k] + w^k O[k],  w = exp(-2 pi i / n).
-        for k in 0..=half / 2 {
-            let zk = z[k];
-            let zmk = z[(half - k) % half].conj();
+        // Each iteration reads and writes only slots {k, half-k}, so reading
+        // both before writing keeps the in-place update exact.
+        let z0 = out[0];
+        for k in 1..=half / 2 {
+            let zk = out[k];
+            let zmk = out[half - k].conj();
             let e = (zk + zmk).scale(0.5);
             let o = (zk - zmk).scale(0.5).mul_i().scale(-1.0); // -i*(..)/1 => O[k]
             let w = self.twiddles[k];
             out[k] = e + w * o;
             // Mirror bin: X[h - k] = E[k].conj-symmetric partner.
-            let e2 = e.conj();
-            let o2 = o.conj();
             let w2 = Complex::new(-w.re, w.im); // exp(-i*pi*(half-k)/half) = -conj(w)
-            out[half - k] = e2 + w2 * o2;
+            out[half - k] = e.conj() + w2 * o.conj();
         }
         // DC and Nyquist from the k = 0 combination directly (purely real).
-        out[0] = Complex::new(z[0].re + z[0].im, 0.0);
-        out[half] = Complex::new(z[0].re - z[0].im, 0.0);
-        out
+        out[0] = Complex::new(z0.re + z0.im, 0.0);
+        out[half] = Complex::new(z0.re - z0.im, 0.0);
     }
 
     /// Inverse transform from `n/2 + 1` Hermitian coefficients back to `n`
@@ -94,11 +114,44 @@ impl RealFft {
     /// # Panics
     /// Panics on spectrum length mismatch.
     pub fn inverse(&self, spectrum: &[Complex]) -> Vec<f64> {
-        assert_eq!(spectrum.len(), self.spectrum_len(), "spectrum length mismatch");
+        let mut out = vec![0.0; self.n];
+        self.inverse_into(spectrum, &mut out);
+        out
+    }
+
+    /// Zero-allocation inverse transform into a caller-provided buffer of `n`
+    /// reals. The length-`n/2` complex sub-FFT runs inside `out` reinterpreted
+    /// as complex pairs, so no scratch is needed.
+    ///
+    /// # Panics
+    /// Panics if `spectrum.len() != n/2 + 1` or `out.len() != n`.
+    pub fn inverse_into(&self, spectrum: &[Complex], out: &mut [f64]) {
+        self.inverse_into_scaled(spectrum, out, 1.0);
+    }
+
+    /// Like [`RealFft::inverse_into`] but multiplies the result by `scale`,
+    /// letting multi-dimensional wrappers fold their per-axis normalization
+    /// into the repack pass for free.
+    ///
+    /// # Panics
+    /// Panics if `spectrum.len() != n/2 + 1` or `out.len() != n`.
+    pub fn inverse_into_scaled(&self, spectrum: &[Complex], out: &mut [f64], scale: f64) {
+        assert_eq!(
+            spectrum.len(),
+            self.spectrum_len(),
+            "spectrum length mismatch"
+        );
+        assert_eq!(out.len(), self.n, "buffer length mismatch");
         let half = self.n / 2;
+        // `out` holds n = 2*half f64s; viewed as `half` (re, im) pairs it is
+        // exactly the packed complex buffer the sub-FFT needs, and unpacking
+        // the result back to interleaved reals is then a no-op. Complex is
+        // repr(C) { re: f64, im: f64 } with the same alignment as f64, so the
+        // cast is sound, and the regions are the same allocation.
+        let z: &mut [Complex] =
+            unsafe { std::slice::from_raw_parts_mut(out.as_mut_ptr().cast::<Complex>(), half) };
         // Repack: Z[k] = E[k] + i O[k] with E[k] = (X[k] + conj(X[h-k]))/2,
         // O[k] = w^{-k} (X[k] - conj(X[h-k]))/2.
-        let mut z = vec![Complex::ZERO; half];
         for (k, zk) in z.iter_mut().enumerate() {
             let xk = spectrum[k];
             let xmk = spectrum[half - k].conj();
@@ -112,15 +165,9 @@ impl RealFft {
                 Complex::new(-w.re, -w.im)
             };
             let o = winv * (xk - xmk).scale(0.5);
-            *zk = e + o.mul_i();
+            *zk = (e + o.mul_i()).scale(scale);
         }
-        self.half_plan.inverse(&mut z);
-        let mut out = vec![0.0; self.n];
-        for (j, zj) in z.iter().enumerate() {
-            out[2 * j] = zj.re;
-            out[2 * j + 1] = zj.im;
-        }
-        out
+        self.half_plan.inverse(z);
     }
 }
 
@@ -132,7 +179,9 @@ mod tests {
     #[test]
     fn forward_matches_full_complex_dft() {
         for &n in &[4usize, 8, 16, 64] {
-            let input: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() + 0.2 * i as f64).collect();
+            let input: Vec<f64> = (0..n)
+                .map(|i| (i as f64 * 0.37).sin() + 0.2 * i as f64)
+                .collect();
             let as_complex: Vec<Complex> = input.iter().map(|&x| Complex::new(x, 0.0)).collect();
             let expected = dft_naive(&as_complex);
             let got = RealFft::new(n).forward(&input);

@@ -1,0 +1,328 @@
+//! Multi-dimensional real-to-complex FFTs storing only the Hermitian
+//! half-spectrum.
+//!
+//! A real field is conjugate-symmetric in spectral space, so only the
+//! coefficients with non-negative wavenumber along the contiguous axis are
+//! stored: the last axis shrinks from `n` to `n/2 + 1`. This halves both the
+//! arithmetic (the contiguous-axis transforms run at half length) and the
+//! memory traffic of the remaining axis passes — the main win for a
+//! pseudo-spectral solver whose fields are all real.
+//!
+//! Layouts (matching [`crate::Fft2d`] / [`crate::Fft3d`] on the leading axes):
+//! - 2D: real `index = x * ny + y`, spectrum `index = x * nyc + y` with
+//!   `nyc = ny/2 + 1`
+//! - 3D: real `index = (x * ny + y) * nz + z`, spectrum
+//!   `index = (x * ny + y) * nzc + z` with `nzc = nz/2 + 1`
+//!
+//! All transforms write into caller-provided buffers and allocate no
+//! field-sized scratch: the contiguous-axis passes run in place row by row
+//! (see [`RealFft::forward_into`]), and the strided passes reuse the pencil
+//! machinery shared with the complex transforms.
+
+use rayon::prelude::*;
+
+use crate::complex::Complex;
+use crate::nd::{transform_strided, Dir};
+use crate::plan::FftPlan;
+use crate::real::RealFft;
+
+/// Plan for 2D real-to-complex FFTs of fixed shape `(nx, ny)`.
+#[derive(Clone, Debug)]
+pub struct RealFft2d {
+    nx: usize,
+    ny: usize,
+    row: RealFft,
+    plan_x: FftPlan,
+}
+
+impl RealFft2d {
+    /// Creates a 2D real-FFT plan; both dimensions must be powers of two and
+    /// `ny >= 2`.
+    ///
+    /// # Panics
+    /// Panics if a dimension is not a power of two or `ny < 2`.
+    pub fn new(nx: usize, ny: usize) -> Self {
+        RealFft2d {
+            nx,
+            ny,
+            row: RealFft::new(ny),
+            plan_x: FftPlan::new(nx),
+        }
+    }
+
+    /// Shape `(nx, ny)` of the real field.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nx, self.ny)
+    }
+
+    /// Number of real samples (`nx * ny`).
+    pub fn len(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Returns true if the grid is degenerate.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of stored half-spectrum coefficients (`nx * (ny/2 + 1)`).
+    pub fn spectrum_len(&self) -> usize {
+        self.nx * self.row.spectrum_len()
+    }
+
+    /// Forward transform: real field (`nx * ny`) into the half-spectrum
+    /// (`nx * (ny/2 + 1)`).
+    ///
+    /// # Panics
+    /// Panics on buffer length mismatch.
+    pub fn forward(&self, real: &[f64], spec: &mut [Complex]) {
+        assert_eq!(real.len(), self.len(), "real buffer shape mismatch");
+        assert_eq!(
+            spec.len(),
+            self.spectrum_len(),
+            "spectrum buffer shape mismatch"
+        );
+        let nyc = self.row.spectrum_len();
+        real.par_chunks(self.ny)
+            .zip(spec.par_chunks_mut(nyc))
+            .for_each(|(r, s)| self.row.forward_into(r, s));
+        transform_strided(&self.plan_x, spec, 1, nyc, nyc, Dir::Forward);
+    }
+
+    /// Inverse transform back to a real field (normalized so that
+    /// `inverse(forward(x)) == x`). **Destroys** `spec`, which doubles as the
+    /// workspace for the strided pass.
+    ///
+    /// # Panics
+    /// Panics on buffer length mismatch.
+    pub fn inverse(&self, spec: &mut [Complex], real: &mut [f64]) {
+        assert_eq!(real.len(), self.len(), "real buffer shape mismatch");
+        assert_eq!(
+            spec.len(),
+            self.spectrum_len(),
+            "spectrum buffer shape mismatch"
+        );
+        let nyc = self.row.spectrum_len();
+        transform_strided(&self.plan_x, spec, 1, nyc, nyc, Dir::Inverse);
+        let scale = 1.0 / self.nx as f64;
+        spec.par_chunks(nyc)
+            .zip(real.par_chunks_mut(self.ny))
+            .for_each(|(s, r)| self.row.inverse_into_scaled(s, r, scale));
+    }
+}
+
+/// Plan for 3D real-to-complex FFTs of fixed shape `(nx, ny, nz)`.
+#[derive(Clone, Debug)]
+pub struct RealFft3d {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    row: RealFft,
+    plan_x: FftPlan,
+    plan_y: FftPlan,
+}
+
+impl RealFft3d {
+    /// Creates a 3D real-FFT plan; all dimensions must be powers of two and
+    /// `nz >= 2`.
+    ///
+    /// # Panics
+    /// Panics if a dimension is not a power of two or `nz < 2`.
+    pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
+        RealFft3d {
+            nx,
+            ny,
+            nz,
+            row: RealFft::new(nz),
+            plan_x: FftPlan::new(nx),
+            plan_y: FftPlan::new(ny),
+        }
+    }
+
+    /// Shape `(nx, ny, nz)` of the real field.
+    pub fn shape(&self) -> (usize, usize, usize) {
+        (self.nx, self.ny, self.nz)
+    }
+
+    /// Number of real samples (`nx * ny * nz`).
+    pub fn len(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Returns true if the grid is degenerate.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Stored coefficients along the contiguous axis (`nz/2 + 1`).
+    pub fn nzc(&self) -> usize {
+        self.row.spectrum_len()
+    }
+
+    /// Number of stored half-spectrum coefficients (`nx * ny * (nz/2 + 1)`).
+    pub fn spectrum_len(&self) -> usize {
+        self.nx * self.ny * self.nzc()
+    }
+
+    /// Forward transform: real field (`nx * ny * nz`) into the half-spectrum
+    /// (`nx * ny * (nz/2 + 1)`).
+    ///
+    /// # Panics
+    /// Panics on buffer length mismatch.
+    pub fn forward(&self, real: &[f64], spec: &mut [Complex]) {
+        assert_eq!(real.len(), self.len(), "real buffer shape mismatch");
+        assert_eq!(
+            spec.len(),
+            self.spectrum_len(),
+            "spectrum buffer shape mismatch"
+        );
+        let nzc = self.nzc();
+        // z axis: real-to-complex on contiguous rows, in parallel.
+        real.par_chunks(self.nz)
+            .zip(spec.par_chunks_mut(nzc))
+            .for_each(|(r, s)| self.row.forward_into(r, s));
+        // y axis: pencils of stride nzc within each x-slab.
+        transform_strided(&self.plan_y, spec, self.nx, nzc, nzc, Dir::Forward);
+        // x axis: pencils of stride ny*nzc.
+        let slab = self.ny * nzc;
+        transform_strided(&self.plan_x, spec, 1, slab, slab, Dir::Forward);
+    }
+
+    /// Inverse transform back to a real field (normalized so that
+    /// `inverse(forward(x)) == x`). **Destroys** `spec`, which doubles as the
+    /// workspace for the strided passes — callers that need to keep the
+    /// spectrum must copy it first.
+    ///
+    /// # Panics
+    /// Panics on buffer length mismatch.
+    pub fn inverse(&self, spec: &mut [Complex], real: &mut [f64]) {
+        assert_eq!(real.len(), self.len(), "real buffer shape mismatch");
+        assert_eq!(
+            spec.len(),
+            self.spectrum_len(),
+            "spectrum buffer shape mismatch"
+        );
+        let nzc = self.nzc();
+        let slab = self.ny * nzc;
+        transform_strided(&self.plan_x, spec, 1, slab, slab, Dir::Inverse);
+        transform_strided(&self.plan_y, spec, self.nx, nzc, nzc, Dir::Inverse);
+        // z axis: complex-to-real rows; the x/y passes above skipped their
+        // 1/(nx*ny) normalization, folded into the row repack here.
+        let scale = 1.0 / (self.nx * self.ny) as f64;
+        spec.par_chunks(nzc)
+            .zip(real.par_chunks_mut(self.nz))
+            .for_each(|(s, r)| self.row.inverse_into_scaled(s, r, scale));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nd::{Fft2d, Fft3d};
+
+    fn sample_field(len: usize) -> Vec<f64> {
+        (0..len)
+            .map(|i| ((i * 37 % 61) as f64) * 0.25 - 7.0 + (i as f64 * 0.13).sin())
+            .collect()
+    }
+
+    #[test]
+    fn rfft2d_roundtrip() {
+        let (nx, ny) = (8, 16);
+        let plan = RealFft2d::new(nx, ny);
+        let input = sample_field(nx * ny);
+        let mut spec = vec![Complex::ZERO; plan.spectrum_len()];
+        plan.forward(&input, &mut spec);
+        let mut back = vec![0.0; nx * ny];
+        plan.inverse(&mut spec, &mut back);
+        for (a, b) in input.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn rfft2d_matches_complex_fft2d() {
+        let (nx, ny) = (8, 8);
+        let rplan = RealFft2d::new(nx, ny);
+        let cplan = Fft2d::new(nx, ny);
+        let input = sample_field(nx * ny);
+        let mut spec = vec![Complex::ZERO; rplan.spectrum_len()];
+        rplan.forward(&input, &mut spec);
+        let mut full: Vec<Complex> = input.iter().map(|&x| Complex::new(x, 0.0)).collect();
+        cplan.forward(&mut full);
+        let nyc = ny / 2 + 1;
+        for x in 0..nx {
+            for y in 0..nyc {
+                let got = spec[x * nyc + y];
+                let want = full[x * ny + y];
+                assert!(
+                    (got.re - want.re).abs() < 1e-9 && (got.im - want.im).abs() < 1e-9,
+                    "({x},{y}): {got:?} vs {want:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rfft3d_roundtrip() {
+        let (nx, ny, nz) = (4, 8, 16);
+        let plan = RealFft3d::new(nx, ny, nz);
+        let input = sample_field(nx * ny * nz);
+        let mut spec = vec![Complex::ZERO; plan.spectrum_len()];
+        plan.forward(&input, &mut spec);
+        let mut back = vec![0.0; nx * ny * nz];
+        plan.inverse(&mut spec, &mut back);
+        for (a, b) in input.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn rfft3d_matches_complex_fft3d() {
+        let (nx, ny, nz) = (8, 4, 8);
+        let rplan = RealFft3d::new(nx, ny, nz);
+        let cplan = Fft3d::new(nx, ny, nz);
+        let input = sample_field(nx * ny * nz);
+        let mut spec = vec![Complex::ZERO; rplan.spectrum_len()];
+        rplan.forward(&input, &mut spec);
+        let mut full: Vec<Complex> = input.iter().map(|&x| Complex::new(x, 0.0)).collect();
+        cplan.forward(&mut full);
+        let nzc = nz / 2 + 1;
+        for x in 0..nx {
+            for y in 0..ny {
+                for z in 0..nzc {
+                    let got = spec[(x * ny + y) * nzc + z];
+                    let want = full[(x * ny + y) * nz + z];
+                    assert!(
+                        (got.re - want.re).abs() < 1e-9 && (got.im - want.im).abs() < 1e-9,
+                        "({x},{y},{z}): {got:?} vs {want:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rfft3d_hermitian_redundant_half_is_recoverable() {
+        // The dropped modes are conj(X[-kx, -ky, -kz]); verify one of them.
+        let (nx, ny, nz) = (4, 4, 8);
+        let rplan = RealFft3d::new(nx, ny, nz);
+        let cplan = Fft3d::new(nx, ny, nz);
+        let input = sample_field(nx * ny * nz);
+        let mut spec = vec![Complex::ZERO; rplan.spectrum_len()];
+        rplan.forward(&input, &mut spec);
+        let mut full: Vec<Complex> = input.iter().map(|&x| Complex::new(x, 0.0)).collect();
+        cplan.forward(&mut full);
+        let nzc = nz / 2 + 1;
+        for (x, y, z) in [(1usize, 2usize, 5usize), (3, 1, 7), (0, 3, 6)] {
+            let want = full[(x * ny + y) * nz + z];
+            // X[x, y, z] = conj(X[(nx-x)%nx, (ny-y)%ny, nz-z]) for z > nz/2.
+            let (mx, my, mz) = ((nx - x) % nx, (ny - y) % ny, nz - z);
+            let got = spec[(mx * ny + my) * nzc + mz].conj();
+            assert!(
+                (got.re - want.re).abs() < 1e-9 && (got.im - want.im).abs() < 1e-9,
+                "({x},{y},{z}): {got:?} vs {want:?}"
+            );
+        }
+    }
+}

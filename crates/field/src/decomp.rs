@@ -33,7 +33,10 @@ impl SlabDecomposition {
     pub fn new(grid: Grid3, ranks: usize, axis: Axis) -> Self {
         let extent = grid.extent(axis);
         assert!(ranks >= 1, "need at least one rank");
-        assert!(ranks <= extent, "cannot split {extent} planes across {ranks} ranks");
+        assert!(
+            ranks <= extent,
+            "cannot split {extent} planes across {ranks} ranks"
+        );
         SlabDecomposition { grid, ranks, axis }
     }
 

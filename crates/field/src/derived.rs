@@ -24,19 +24,30 @@ pub fn partial(grid: &Grid3, f: &[f64], axis: Axis) -> Vec<f64> {
     };
     let (ny, nz) = (grid.ny, grid.nz);
     let mut out = vec![0.0; f.len()];
-    out.par_chunks_mut(ny * nz).enumerate().for_each(|(x, slab)| {
-        for y in 0..ny {
-            for z in 0..nz {
-                let (xi, yi, zi) = (x as isize, y as isize, z as isize);
-                let (ip, im) = match axis {
-                    Axis::X => (grid.periodic_idx(xi + 1, yi, zi), grid.periodic_idx(xi - 1, yi, zi)),
-                    Axis::Y => (grid.periodic_idx(xi, yi + 1, zi), grid.periodic_idx(xi, yi - 1, zi)),
-                    Axis::Z => (grid.periodic_idx(xi, yi, zi + 1), grid.periodic_idx(xi, yi, zi - 1)),
-                };
-                slab[y * nz + z] = (f[ip] - f[im]) / h2;
+    out.par_chunks_mut(ny * nz)
+        .enumerate()
+        .for_each(|(x, slab)| {
+            for y in 0..ny {
+                for z in 0..nz {
+                    let (xi, yi, zi) = (x as isize, y as isize, z as isize);
+                    let (ip, im) = match axis {
+                        Axis::X => (
+                            grid.periodic_idx(xi + 1, yi, zi),
+                            grid.periodic_idx(xi - 1, yi, zi),
+                        ),
+                        Axis::Y => (
+                            grid.periodic_idx(xi, yi + 1, zi),
+                            grid.periodic_idx(xi, yi - 1, zi),
+                        ),
+                        Axis::Z => (
+                            grid.periodic_idx(xi, yi, zi + 1),
+                            grid.periodic_idx(xi, yi, zi - 1),
+                        ),
+                    };
+                    slab[y * nz + z] = (f[ip] - f[im]) / h2;
+                }
             }
-        }
-    });
+        });
     out
 }
 
@@ -52,7 +63,12 @@ pub fn vorticity_2d(grid: &Grid3, u: &[f64], v: &[f64]) -> Vec<f64> {
 }
 
 /// Full vorticity vector `(wx, wy, wz) = curl(u, v, w)`.
-pub fn vorticity_3d(grid: &Grid3, u: &[f64], v: &[f64], w: &[f64]) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+pub fn vorticity_3d(
+    grid: &Grid3,
+    u: &[f64],
+    v: &[f64],
+    w: &[f64],
+) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
     let dwdy = partial(grid, w, Axis::Y);
     let dvdz = partial(grid, v, Axis::Z);
     let dudz = partial(grid, u, Axis::Z);
@@ -94,20 +110,15 @@ pub fn dissipation(grid: &Grid3, u: &[f64], v: &[f64], w: &[f64], nu: f64) -> Ve
             let sxy = 0.5 * (dudy[i] + dvdx[i]);
             let sxz = 0.5 * (dudz[i] + dwdx[i]);
             let syz = 0.5 * (dvdz[i] + dwdy[i]);
-            2.0 * nu * (sxx * sxx + syy * syy + szz * szz + 2.0 * (sxy * sxy + sxz * sxz + syz * syz))
+            2.0 * nu
+                * (sxx * sxx + syy * syy + szz * szz + 2.0 * (sxy * sxy + sxz * sxz + syz * syz))
         })
         .collect()
 }
 
 /// Ertel potential vorticity `q = ω · ∇ρ` (up to the constant background
 /// factor), the cluster variable the paper uses for SST-P1F4.
-pub fn potential_vorticity(
-    grid: &Grid3,
-    u: &[f64],
-    v: &[f64],
-    w: &[f64],
-    rho: &[f64],
-) -> Vec<f64> {
+pub fn potential_vorticity(grid: &Grid3, u: &[f64], v: &[f64], w: &[f64], rho: &[f64]) -> Vec<f64> {
     let (wx, wy, wz) = vorticity_3d(grid, u, v, w);
     let rx = partial(grid, rho, Axis::X);
     let ry = partial(grid, rho, Axis::Y);
@@ -150,7 +161,11 @@ mod tests {
             let (px, _, _) = grid.position(x, 0, 0);
             let got = d[grid.idx(x, 0, 0)];
             // Second-order accuracy: error ~ (dx^2)/6 * max|f'''|
-            assert!((got - px.cos()).abs() < 2e-3, "x={x}: {got} vs {}", px.cos());
+            assert!(
+                (got - px.cos()).abs() < 2e-3,
+                "x={x}: {got} vs {}",
+                px.cos()
+            );
         }
     }
 

@@ -132,9 +132,22 @@ pub struct Grid3 {
 impl Grid3 {
     /// Creates a grid over `[0, lx) x [0, ly) x [0, lz)`.
     pub fn new(nx: usize, ny: usize, nz: usize, lx: f64, ly: f64, lz: f64) -> Self {
-        assert!(nx > 0 && ny > 0 && nz > 0, "grid dimensions must be positive");
-        assert!(lx > 0.0 && ly > 0.0 && lz > 0.0, "domain lengths must be positive");
-        Grid3 { nx, ny, nz, lx, ly, lz }
+        assert!(
+            nx > 0 && ny > 0 && nz > 0,
+            "grid dimensions must be positive"
+        );
+        assert!(
+            lx > 0.0 && ly > 0.0 && lz > 0.0,
+            "domain lengths must be positive"
+        );
+        Grid3 {
+            nx,
+            ny,
+            nz,
+            lx,
+            ly,
+            lz,
+        }
     }
 
     /// Cubic grid over `[0, 2π)^3`, the standard spectral-DNS box.

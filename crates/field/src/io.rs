@@ -57,7 +57,10 @@ pub fn encode_snapshot(snap: &Snapshot) -> Bytes {
 pub fn decode_snapshot(mut data: &[u8]) -> io::Result<Snapshot> {
     fn need(data: &[u8], n: usize) -> io::Result<()> {
         if data.remaining() < n {
-            Err(io::Error::new(io::ErrorKind::InvalidData, "truncated snapshot"))
+            Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "truncated snapshot",
+            ))
         } else {
             Ok(())
         }
@@ -330,8 +333,7 @@ mod tests {
         let dense = encode_snapshot(&snap).len();
         let keep: Vec<usize> = (0..snap.num_points()).step_by(10).collect();
         let vidx = snap.var_indices(&snap.names.clone());
-        let mut features =
-            FeatureMatrix::with_capacity(snap.names.clone(), keep.len());
+        let mut features = FeatureMatrix::with_capacity(snap.names.clone(), keep.len());
         let mut row = vec![0.0; vidx.len()];
         for &i in &keep {
             snap.gather_point(&vidx, i, &mut row);

@@ -26,7 +26,13 @@ impl FeatureMatrix {
     pub fn new(names: Vec<String>, data: Vec<f64>) -> Self {
         let d = names.len();
         assert!(d > 0, "feature matrix needs at least one column");
-        assert_eq!(data.len() % d, 0, "data length {} not divisible by {} columns", data.len(), d);
+        assert_eq!(
+            data.len() % d,
+            0,
+            "data length {} not divisible by {} columns",
+            data.len(),
+            d
+        );
         let n = data.len() / d;
         FeatureMatrix { names, data, n }
     }
@@ -35,7 +41,11 @@ impl FeatureMatrix {
     pub fn with_capacity(names: Vec<String>, cap: usize) -> Self {
         let d = names.len();
         assert!(d > 0, "feature matrix needs at least one column");
-        FeatureMatrix { names, data: Vec::with_capacity(cap * d), n: 0 }
+        FeatureMatrix {
+            names,
+            data: Vec::with_capacity(cap * d),
+            n: 0,
+        }
     }
 
     /// Number of columns.
@@ -82,7 +92,10 @@ impl FeatureMatrix {
 
     /// Finds a column by name.
     pub fn column_by_name(&self, name: &str) -> Option<Vec<f64>> {
-        self.names.iter().position(|n| n == name).map(|c| self.column(c))
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|c| self.column(c))
     }
 
     /// Iterator over rows.
@@ -119,7 +132,11 @@ impl FeatureMatrix {
         for &i in indices {
             data.extend_from_slice(self.row(i));
         }
-        FeatureMatrix { names: self.names.clone(), data, n: indices.len() }
+        FeatureMatrix {
+            names: self.names.clone(),
+            data,
+            n: indices.len(),
+        }
     }
 }
 
@@ -144,9 +161,24 @@ impl SampleSet {
     ///
     /// # Panics
     /// Panics if lengths disagree.
-    pub fn new(features: FeatureMatrix, indices: Vec<usize>, time: f64, snapshot_index: usize) -> Self {
-        assert_eq!(features.len(), indices.len(), "feature/index length mismatch");
-        SampleSet { features, indices, time, snapshot_index, hypercube: None }
+    pub fn new(
+        features: FeatureMatrix,
+        indices: Vec<usize>,
+        time: f64,
+        snapshot_index: usize,
+    ) -> Self {
+        assert_eq!(
+            features.len(),
+            indices.len(),
+            "feature/index length mismatch"
+        );
+        SampleSet {
+            features,
+            indices,
+            time,
+            snapshot_index,
+            hypercube: None,
+        }
     }
 
     /// Tags the set with its source hypercube id (builder style).
@@ -177,7 +209,10 @@ impl SampleSet {
         let mut features = FeatureMatrix::with_capacity(names.clone(), total);
         let mut indices = Vec::with_capacity(total);
         for s in sets {
-            assert_eq!(s.features.names, names, "mismatched feature columns in merge");
+            assert_eq!(
+                s.features.names, names,
+                "mismatched feature columns in merge"
+            );
             features.data.extend_from_slice(&s.features.data);
             features.n += s.features.n;
             indices.extend_from_slice(&s.indices);
@@ -247,8 +282,13 @@ mod tests {
             0,
         )
         .with_hypercube(0);
-        let s2 = SampleSet::new(FeatureMatrix::new(names(&["a"]), vec![3.0]), vec![30], 0.5, 0)
-            .with_hypercube(1);
+        let s2 = SampleSet::new(
+            FeatureMatrix::new(names(&["a"]), vec![3.0]),
+            vec![30],
+            0.5,
+            0,
+        )
+        .with_hypercube(1);
         let m = SampleSet::merge(&[s1, s2]);
         assert_eq!(m.len(), 3);
         assert_eq!(m.indices, vec![10, 20, 30]);

@@ -28,7 +28,12 @@ pub struct Snapshot {
 impl Snapshot {
     /// Creates an empty snapshot on `grid` at time `time`.
     pub fn new(grid: Grid3, time: f64) -> Self {
-        Snapshot { grid, time, names: Vec::new(), vars: Vec::new() }
+        Snapshot {
+            grid,
+            time,
+            names: Vec::new(),
+            vars: Vec::new(),
+        }
     }
 
     /// Adds a variable; returns `self` for chaining.
@@ -45,8 +50,15 @@ impl Snapshot {
     /// # Panics
     /// Panics if `data.len() != grid.len()` or the name already exists.
     pub fn push_var(&mut self, name: &str, data: Vec<f64>) {
-        assert_eq!(data.len(), self.grid.len(), "variable '{name}' has wrong length");
-        assert!(!self.names.iter().any(|n| n == name), "duplicate variable '{name}'");
+        assert_eq!(
+            data.len(),
+            self.grid.len(),
+            "variable '{name}' has wrong length"
+        );
+        assert!(
+            !self.names.iter().any(|n| n == name),
+            "duplicate variable '{name}'"
+        );
         self.names.push(name.to_string());
         self.vars.push(data);
     }
@@ -64,9 +76,8 @@ impl Snapshot {
     /// # Panics
     /// Panics with a helpful message listing available variables if missing.
     pub fn expect_var(&self, name: &str) -> &[f64] {
-        self.var(name).unwrap_or_else(|| {
-            panic!("variable '{name}' not in snapshot (have: {:?})", self.names)
-        })
+        self.var(name)
+            .unwrap_or_else(|| panic!("variable '{name}' not in snapshot (have: {:?})", self.names))
     }
 
     /// Number of variables.
@@ -106,7 +117,9 @@ impl Snapshot {
                 self.names
                     .iter()
                     .position(|n| n == name)
-                    .unwrap_or_else(|| panic!("variable '{name}' not found (have: {:?})", self.names))
+                    .unwrap_or_else(|| {
+                        panic!("variable '{name}' not found (have: {:?})", self.names)
+                    })
             })
             .collect()
     }
@@ -167,7 +180,10 @@ pub struct Dataset {
 impl Dataset {
     /// Creates an empty dataset.
     pub fn new(meta: DatasetMeta) -> Self {
-        Dataset { meta, snapshots: Vec::new() }
+        Dataset {
+            meta,
+            snapshots: Vec::new(),
+        }
     }
 
     /// Appends a snapshot, enforcing monotone time and consistent grids.
@@ -178,7 +194,10 @@ impl Dataset {
     pub fn push(&mut self, snap: Snapshot) {
         if let Some(last) = self.snapshots.last() {
             assert_eq!(last.grid, snap.grid, "inconsistent grids in dataset");
-            assert!(snap.time > last.time, "snapshot times must be strictly increasing");
+            assert!(
+                snap.time > last.time,
+                "snapshot times must be strictly increasing"
+            );
         }
         self.snapshots.push(snap);
     }

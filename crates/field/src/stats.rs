@@ -23,7 +23,13 @@ pub struct SummaryStats {
 impl SummaryStats {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        SummaryStats { count: 0, min: f64::INFINITY, max: f64::NEG_INFINITY, mean: 0.0, m2: 0.0 }
+        SummaryStats {
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            mean: 0.0,
+            m2: 0.0,
+        }
     }
 
     /// Computes statistics of a slice in one pass.
@@ -111,9 +117,21 @@ impl Histogram {
     /// widened by a tiny epsilon so degenerate data still bins).
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins > 0, "histogram needs at least one bin");
-        assert!(lo.is_finite() && hi.is_finite(), "histogram bounds must be finite");
-        let (lo, hi) = if hi > lo { (lo, hi) } else { (lo - 0.5, lo + 0.5) };
-        Histogram { lo, hi, counts: vec![0; bins], total: 0 }
+        assert!(
+            lo.is_finite() && hi.is_finite(),
+            "histogram bounds must be finite"
+        );
+        let (lo, hi) = if hi > lo {
+            (lo, hi)
+        } else {
+            (lo - 0.5, lo + 0.5)
+        };
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        }
     }
 
     /// Builds a histogram of `data` with `bins` bins spanning the data range.
@@ -192,7 +210,10 @@ impl Histogram {
         if self.total == 0 {
             return vec![1.0 / self.bins() as f64; self.bins()];
         }
-        self.counts.iter().map(|&c| c as f64 / self.total as f64).collect()
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
     }
 
     /// Bin centers, for plotting/export.
@@ -220,7 +241,10 @@ impl Histogram {
 /// Shannon entropy (nats) of a probability mass function; zero-probability
 /// bins contribute nothing.
 pub fn shannon_entropy(pmf: &[f64]) -> f64 {
-    -pmf.iter().filter(|&&p| p > 0.0).map(|&p| p * p.ln()).sum::<f64>()
+    -pmf.iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| p * p.ln())
+        .sum::<f64>()
 }
 
 /// Kullback–Leibler divergence `D(p ‖ q)` in nats with additive smoothing of

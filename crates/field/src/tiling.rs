@@ -80,7 +80,11 @@ impl Tiling {
             grid.nz
         );
         let counts = (grid.nx / ex, grid.ny / ey, grid.nz / ez);
-        Tiling { grid, edges, counts }
+        Tiling {
+            grid,
+            edges,
+            counts,
+        }
     }
 
     /// Tiles with a cubic edge (`s`, `s`, `s` clamped to 1 along z for 2D
@@ -105,7 +109,11 @@ impl Tiling {
     /// # Panics
     /// Panics if `i >= len()`.
     pub fn tile(&self, i: usize) -> Hypercube {
-        assert!(i < self.len(), "tile {i} out of range ({} tiles)", self.len());
+        assert!(
+            i < self.len(),
+            "tile {i} out of range ({} tiles)",
+            self.len()
+        );
         let (cx, cy, cz) = self.counts;
         let tz = i % cz;
         let rest = i / cz;

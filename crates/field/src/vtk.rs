@@ -84,7 +84,11 @@ pub fn save_snapshot_vtk(snap: &Snapshot, path: &Path) -> io::Result<()> {
 ///
 /// # Errors
 /// Propagates I/O errors.
-pub fn save_sample_set_vtk(set: &SampleSet, grid: &crate::grid::Grid3, path: &Path) -> io::Result<()> {
+pub fn save_sample_set_vtk(
+    set: &SampleSet,
+    grid: &crate::grid::Grid3,
+    path: &Path,
+) -> io::Result<()> {
     std::fs::write(path, sample_set_to_vtk(set, grid))
 }
 
@@ -108,15 +112,22 @@ mod tests {
         assert!(s.contains("POINT_DATA 8"));
         assert!(s.contains("SCALARS u double 1"));
         // 8 data lines for the variable.
-        let data_lines = s.lines().skip_while(|l| !l.starts_with("LOOKUP_TABLE")).skip(1).count();
+        let data_lines = s
+            .lines()
+            .skip_while(|l| !l.starts_with("LOOKUP_TABLE"))
+            .skip(1)
+            .count();
         assert_eq!(data_lines, 8);
     }
 
     #[test]
     fn snapshot_vtk_axis_order_is_x_fastest() {
         let s = snapshot_to_vtk(&snap());
-        let values: Vec<&str> =
-            s.lines().skip_while(|l| !l.starts_with("LOOKUP_TABLE")).skip(1).collect();
+        let values: Vec<&str> = s
+            .lines()
+            .skip_while(|l| !l.starts_with("LOOKUP_TABLE"))
+            .skip(1)
+            .collect();
         // Our layout: idx = (x*2 + y)*2 + z. VTK wants x fastest:
         // (x=0,y=0,z=0)=0, (x=1,y=0,z=0)=4, (x=0,y=1,z=0)=2, ...
         assert_eq!(values[0], "0");

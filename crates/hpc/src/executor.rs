@@ -69,10 +69,15 @@ pub fn run_with_ranks(snap: &Snapshot, cfg: &SamplingConfig, ranks: usize) -> Ra
                             .iter()
                             .map(|&cube_id| {
                                 let (features, indices) = tiling.extract(snap, cube_id, vars);
-                                let mut rng =
-                                    StdRng::seed_from_u64(cfg.seed ^ (cube_id as u64).wrapping_mul(0x9E37_79B9));
-                                let picked =
-                                    sampler.select(&features, cluster_col, cfg.num_samples, &mut rng);
+                                let mut rng = StdRng::seed_from_u64(
+                                    cfg.seed ^ (cube_id as u64).wrapping_mul(0x9E37_79B9),
+                                );
+                                let picked = sampler.select(
+                                    &features,
+                                    cluster_col,
+                                    cfg.num_samples,
+                                    &mut rng,
+                                );
                                 let sel = features.gather(&picked);
                                 let idx: Vec<usize> = picked.iter().map(|&p| indices[p]).collect();
                                 SampleSet::new(sel, idx, snap.time, 0).with_hypercube(cube_id)
@@ -82,7 +87,10 @@ pub fn run_with_ranks(snap: &Snapshot, cfg: &SamplingConfig, ranks: usize) -> Ra
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread panicked"))
+            .collect()
     });
 
     let points_out = results.iter().flatten().map(SampleSet::len).sum();
@@ -96,8 +104,15 @@ pub fn run_with_ranks(snap: &Snapshot, cfg: &SamplingConfig, ranks: usize) -> Ra
 
 /// Runs a strong-scaling sweep over the given rank counts, returning
 /// `(ranks, seconds)` pairs; speedups are relative to the first entry.
-pub fn scaling_sweep(snap: &Snapshot, cfg: &SamplingConfig, rank_counts: &[usize]) -> Vec<RankTiming> {
-    rank_counts.iter().map(|&r| run_with_ranks(snap, cfg, r)).collect()
+pub fn scaling_sweep(
+    snap: &Snapshot,
+    cfg: &SamplingConfig,
+    rank_counts: &[usize],
+) -> Vec<RankTiming> {
+    rank_counts
+        .iter()
+        .map(|&r| run_with_ranks(snap, cfg, r))
+        .collect()
 }
 
 #[cfg(test)]
@@ -109,7 +124,9 @@ mod tests {
     fn snapshot() -> Snapshot {
         let grid = Grid3::new(32, 32, 32, 1.0, 1.0, 1.0);
         let q: Vec<f64> = (0..grid.len())
-            .map(|i| ((i * 2654435761) % 1000) as f64 * 0.001 + if i % 211 == 0 { 5.0 } else { 0.0 })
+            .map(|i| {
+                ((i * 2654435761) % 1000) as f64 * 0.001 + if i % 211 == 0 { 5.0 } else { 0.0 }
+            })
             .collect();
         Snapshot::new(grid, 0.0).with_var("q", q)
     }
@@ -119,7 +136,10 @@ mod tests {
             hypercubes: CubeMethod::Random,
             num_hypercubes: 16,
             cube_edge: 8,
-            method: PointMethod::MaxEnt { num_clusters: 5, bins: 32 },
+            method: PointMethod::MaxEnt {
+                num_clusters: 5,
+                bins: 32,
+            },
             num_samples: 51,
             cluster_var: "q".to_string(),
             feature_vars: vec!["q".to_string()],

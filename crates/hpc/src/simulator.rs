@@ -53,7 +53,11 @@ impl ClusterModel {
 
     /// Derives a model whose single-rank time matches a measured run of
     /// `cubes` hypercubes of `points_per_cube` points each.
-    pub fn calibrated(measured_single_rank_secs: f64, cubes: usize, points_per_cube: usize) -> Self {
+    pub fn calibrated(
+        measured_single_rank_secs: f64,
+        cubes: usize,
+        points_per_cube: usize,
+    ) -> Self {
         let mut m = ClusterModel::frontier();
         let work = (cubes * points_per_cube) as f64;
         // Attribute 5% to serial selection, 5% to per-cube overhead, the
@@ -65,7 +69,13 @@ impl ClusterModel {
     }
 
     /// Predicted wall time for `ranks` ranks over `cubes` hypercubes.
-    pub fn time(&self, cubes: usize, points_per_cube: usize, samples_per_cube: usize, ranks: usize) -> f64 {
+    pub fn time(
+        &self,
+        cubes: usize,
+        points_per_cube: usize,
+        samples_per_cube: usize,
+        ranks: usize,
+    ) -> f64 {
         assert!(ranks > 0, "need at least one rank");
         // Integer work quantization: the slowest rank holds ceil(C/R) cubes.
         let max_cubes = cubes.div_ceil(ranks);
@@ -77,9 +87,9 @@ impl ClusterModel {
             let stages = (ranks as f64).log2().ceil();
             let allreduce =
                 stages * (self.comm_latency + self.comm_inv_bandwidth * self.reduce_bytes);
-            let gather_bytes = (cubes * samples_per_cubes(samples_per_cube)) as f64 * self.bytes_per_sample;
-            let gather = self.comm_latency * ranks as f64
-                + self.comm_inv_bandwidth * gather_bytes;
+            let gather_bytes =
+                (cubes * samples_per_cubes(samples_per_cube)) as f64 * self.bytes_per_sample;
+            let gather = self.comm_latency * ranks as f64 + self.comm_inv_bandwidth * gather_bytes;
             allreduce + gather
         };
         self.serial_secs + compute + comm
@@ -165,7 +175,11 @@ mod tests {
         assert!(p64.efficiency > 0.7, "efficiency at 64: {}", p64.efficiency);
         // Speedup at 512 is large but clearly sublinear (paper: ~171).
         let p512 = pts.iter().find(|p| p.ranks == 512).unwrap();
-        assert!(p512.speedup > 50.0 && p512.speedup < 512.0, "512-rank speedup {}", p512.speedup);
+        assert!(
+            p512.speedup > 50.0 && p512.speedup < 512.0,
+            "512-rank speedup {}",
+            p512.speedup
+        );
         assert!(p512.efficiency < p64.efficiency);
     }
 
@@ -174,12 +188,20 @@ mod tests {
         // SST-P1F4-like: few cubes -> starved ranks.
         let m = ClusterModel::frontier();
         let pts = m.strong_scaling(32, 32_768, 3277, &ranks());
-        let best = pts.iter().cloned().fold(pts[0], |a, b| if b.speedup > a.speedup { b } else { a });
+        let best = pts
+            .iter()
+            .cloned()
+            .fold(pts[0], |a, b| if b.speedup > a.speedup { b } else { a });
         assert!(best.speedup < 40.0, "plateau speedup {}", best.speedup);
         // Beyond 32 ranks there is no extra speedup (work quantized to 1 cube).
         let p32 = pts.iter().find(|p| p.ranks == 32).unwrap();
         let p512 = pts.iter().find(|p| p.ranks == 512).unwrap();
-        assert!(p512.speedup <= p32.speedup * 1.05, "{} vs {}", p512.speedup, p32.speedup);
+        assert!(
+            p512.speedup <= p32.speedup * 1.05,
+            "{} vs {}",
+            p512.speedup,
+            p32.speedup
+        );
     }
 
     #[test]
@@ -189,7 +211,10 @@ mod tests {
         let small = m.strong_scaling(32, 32_768, 3277, &ranks());
         let knee_big = knee_point(&big, 0.5);
         let knee_small = knee_point(&small, 0.5);
-        assert!(knee_big > knee_small, "knees: big {knee_big} small {knee_small}");
+        assert!(
+            knee_big > knee_small,
+            "knees: big {knee_big} small {knee_small}"
+        );
     }
 
     #[test]

@@ -67,7 +67,13 @@ impl Lstm {
             *bf = 1.0;
         }
         let b = store.alloc(bias, (1, 4 * hidden));
-        Lstm { wx, wh, b, in_dim, hidden }
+        Lstm {
+            wx,
+            wh,
+            b,
+            in_dim,
+            hidden,
+        }
     }
 
     /// Runs the sequence, returning hidden states per timestep (each
@@ -120,7 +126,10 @@ impl Lstm {
 
     /// Convenience: the final hidden state only.
     pub fn forward_last(&self, tape: &mut Tape, store: &ParamStore, xs: &[Var]) -> Var {
-        *self.forward_seq(tape, store, xs).last().expect("non-empty sequence")
+        *self
+            .forward_seq(tape, store, xs)
+            .last()
+            .expect("non-empty sequence")
     }
 }
 
@@ -183,7 +192,10 @@ impl MultiHeadAttention {
     /// # Panics
     /// Panics unless `heads` divides `dim`.
     pub fn new(store: &mut ParamStore, dim: usize, heads: usize, rng: &mut StdRng) -> Self {
-        assert!(heads >= 1 && dim % heads == 0, "heads {heads} must divide dim {dim}");
+        assert!(
+            heads >= 1 && dim.is_multiple_of(heads),
+            "heads {heads} must divide dim {dim}"
+        );
         MultiHeadAttention {
             wq: Linear::new(store, dim, dim, rng),
             wk: Linear::new(store, dim, dim, rng),
@@ -210,8 +222,8 @@ impl MultiHeadAttention {
             let scaled = tape.scale(scores, scale);
             let attn = tape.softmax_rows(scaled);
             let ctx = tape.matmul(attn, vh); // (seq, dh)
-            // Place the head's columns back into the full width: a constant
-            // (dh, dim) matrix with an identity block at the head's offset.
+                                             // Place the head's columns back into the full width: a constant
+                                             // (dh, dim) matrix with an identity block at the head's offset.
             let mut placement = vec![0.0f32; dh * self.dim];
             for r in 0..dh {
                 placement[r * self.dim + h * dh + r] = 1.0;
@@ -287,7 +299,10 @@ impl Mlp {
     /// # Panics
     /// Panics with fewer than two widths.
     pub fn new(store: &mut ParamStore, widths: &[usize], rng: &mut StdRng) -> Self {
-        assert!(widths.len() >= 2, "MLP needs at least input and output widths");
+        assert!(
+            widths.len() >= 2,
+            "MLP needs at least input and output widths"
+        );
         let layers = widths
             .windows(2)
             .map(|w| Linear::new(store, w[0], w[1], rng))
@@ -400,10 +415,13 @@ mod tests {
         let x = tape.leaf((0..20).map(|i| (i as f32 * 0.1).sin()).collect(), (5, 4));
         let y = attn.forward(&mut tape, &store, x);
         assert_eq!(tape.shape(y), (5, 4));
-        let loss = tape.mse_loss(y, &vec![0.0; 20]);
+        let loss = tape.mse_loss(y, &[0.0; 20]);
         tape.backward(loss);
         tape.accumulate_grads(&mut store);
-        let total_grad: f32 = store.iter().map(|p| p.grad.iter().map(|g| g.abs()).sum::<f32>()).sum();
+        let total_grad: f32 = store
+            .iter()
+            .map(|p| p.grad.iter().map(|g| g.abs()).sum::<f32>())
+            .sum();
         assert!(total_grad > 0.0, "gradients must reach attention weights");
     }
 
@@ -456,7 +474,9 @@ mod tests {
         let block = TransformerBlock::new(&mut store, 4, &mut rng);
         let head = Linear::new(&mut store, 4, 2, &mut rng);
         let mut opt = Adam::new(5e-3);
-        let x_data: Vec<f32> = (0..16).map(|i| ((i * 37) % 11) as f32 * 0.1 - 0.5).collect();
+        let x_data: Vec<f32> = (0..16)
+            .map(|i| ((i * 37) % 11) as f32 * 0.1 - 0.5)
+            .collect();
         let y_data: Vec<f32> = (0..8).map(|i| ((i * 13) % 7) as f32 * 0.1).collect();
         let mut first = 0.0;
         let mut last = 0.0;

@@ -22,7 +22,7 @@
 //! let mut rng = StdRng::seed_from_u64(0);
 //! let layer = Linear::new(&mut store, 2, 1, &mut rng);
 //! let mut opt = Adam::new(1e-2);
-//! for _ in 0..200 {
+//! for _ in 0..500 {
 //!     let mut tape = Tape::new();
 //!     // Learn y = x0 + x1 on four fixed points.
 //!     let x = tape.leaf(vec![0.0, 0.0, 1.0, 0.0, 0.0, 1.0, 1.0, 1.0], (4, 2));

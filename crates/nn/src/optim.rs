@@ -53,7 +53,13 @@ pub struct Adam {
 impl Adam {
     /// Adam with standard betas (0.9, 0.999).
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0 }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+        }
     }
 
     /// Applies one update step.
@@ -96,7 +102,13 @@ pub struct ReduceLrOnPlateau {
 impl ReduceLrOnPlateau {
     /// Standard configuration: halve after `patience` stale epochs.
     pub fn new(patience: usize) -> Self {
-        ReduceLrOnPlateau { factor: 0.5, patience, min_lr: 1e-6, best: f32::INFINITY, stale: 0 }
+        ReduceLrOnPlateau {
+            factor: 0.5,
+            patience,
+            min_lr: 1e-6,
+            best: f32::INFINITY,
+            stale: 0,
+        }
     }
 
     /// Observes an epoch loss; returns the (possibly reduced) lr to apply.
@@ -139,7 +151,10 @@ mod tests {
     #[test]
     fn sgd_momentum_accumulates() {
         let mut s = one_param_store(1.0);
-        let mut opt = Sgd { lr: 0.1, momentum: 0.9 };
+        let mut opt = Sgd {
+            lr: 0.1,
+            momentum: 0.9,
+        };
         opt.step(&mut s);
         // Re-set the same gradient and step again: momentum term adds.
         for p in s.iter_mut() {

@@ -130,7 +130,11 @@ impl ParamStore {
     /// # Panics
     /// Panics if the length does not match.
     pub fn set_flat_grads(&mut self, flat: &[f32]) {
-        assert_eq!(flat.len(), self.num_scalars(), "flat gradient length mismatch");
+        assert_eq!(
+            flat.len(),
+            self.num_scalars(),
+            "flat gradient length mismatch"
+        );
         let mut off = 0;
         for p in &mut self.params {
             let n = p.grad.len();
@@ -236,7 +240,6 @@ mod tests {
         b.copy_values_from(&a);
         assert_eq!(a.get(ParamId(0)).data, b.get(ParamId(0)).data);
     }
-
 
     #[test]
     fn checkpoint_roundtrip_preserves_state() {

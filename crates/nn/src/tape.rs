@@ -18,24 +18,68 @@ pub struct Var(usize);
 #[derive(Clone, Debug)]
 enum Op {
     Leaf,
-    MatMul { a: Var, b: Var },
+    MatMul {
+        a: Var,
+        b: Var,
+    },
     /// `C = A · Bᵀ` where `B` is stored untransposed `(n, k)`.
-    MatMulNT { a: Var, b: Var },
-    Add { a: Var, b: Var },
+    MatMulNT {
+        a: Var,
+        b: Var,
+    },
+    Add {
+        a: Var,
+        b: Var,
+    },
     /// Adds a `(1, n)` row vector to every row of `a`.
-    AddRow { a: Var, bias: Var },
-    Sub { a: Var, b: Var },
-    Mul { a: Var, b: Var },
-    Scale { a: Var, c: f32 },
-    Tanh { a: Var },
-    Sigmoid { a: Var },
-    Relu { a: Var },
-    SoftmaxRows { a: Var },
-    SliceCols { a: Var, start: usize },
-    ConcatRows { parts: Vec<Var> },
-    LayerNorm { a: Var, gamma: Var, beta: Var, eps: f32 },
-    MeanAll { a: Var },
-    Mse { pred: Var, target: Vec<f32> },
+    AddRow {
+        a: Var,
+        bias: Var,
+    },
+    Sub {
+        a: Var,
+        b: Var,
+    },
+    Mul {
+        a: Var,
+        b: Var,
+    },
+    Scale {
+        a: Var,
+        c: f32,
+    },
+    Tanh {
+        a: Var,
+    },
+    Sigmoid {
+        a: Var,
+    },
+    Relu {
+        a: Var,
+    },
+    SoftmaxRows {
+        a: Var,
+    },
+    SliceCols {
+        a: Var,
+        start: usize,
+    },
+    ConcatRows {
+        parts: Vec<Var>,
+    },
+    LayerNorm {
+        a: Var,
+        gamma: Var,
+        beta: Var,
+        eps: f32,
+    },
+    MeanAll {
+        a: Var,
+    },
+    Mse {
+        pred: Var,
+        target: Vec<f32>,
+    },
 }
 
 struct Node {
@@ -62,7 +106,13 @@ impl Tape {
     fn push(&mut self, data: Vec<f32>, shape: (usize, usize), op: Op) -> Var {
         debug_assert_eq!(data.len(), shape.0 * shape.1);
         let grad = vec![0.0; data.len()];
-        self.nodes.push(Node { data, grad, shape, op, param: None });
+        self.nodes.push(Node {
+            data,
+            grad,
+            shape,
+            op,
+            param: None,
+        });
         Var(self.nodes.len() - 1)
     }
 
@@ -158,7 +208,12 @@ impl Tape {
         let out: Vec<f32> = self.nodes[a.0]
             .data
             .chunks_exact(n)
-            .flat_map(|row| row.iter().zip(bdata.iter()).map(|(x, b)| x + b).collect::<Vec<_>>())
+            .flat_map(|row| {
+                row.iter()
+                    .zip(bdata.iter())
+                    .map(|(x, b)| x + b)
+                    .collect::<Vec<_>>()
+            })
             .collect();
         flops::record((m * n) as u64);
         self.push(out, (m, n), Op::AddRow { a, bias })
@@ -206,7 +261,11 @@ impl Tape {
 
     /// Elementwise logistic sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        let out: Vec<f32> = self.nodes[a.0].data.iter().map(|x| 1.0 / (1.0 + (-x).exp())).collect();
+        let out: Vec<f32> = self.nodes[a.0]
+            .data
+            .iter()
+            .map(|x| 1.0 / (1.0 + (-x).exp()))
+            .collect();
         flops::record(4 * out.len() as u64);
         self.push(out, self.shape(a), Op::Sigmoid { a })
     }
@@ -222,7 +281,10 @@ impl Tape {
     pub fn softmax_rows(&mut self, a: Var) -> Var {
         let (m, n) = self.shape(a);
         let mut out = vec![0.0f32; m * n];
-        for (orow, irow) in out.chunks_exact_mut(n).zip(self.nodes[a.0].data.chunks_exact(n)) {
+        for (orow, irow) in out
+            .chunks_exact_mut(n)
+            .zip(self.nodes[a.0].data.chunks_exact(n))
+        {
             let max = irow.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
             let mut sum = 0.0;
             for (o, &x) in orow.iter_mut().zip(irow) {
@@ -239,7 +301,11 @@ impl Tape {
     /// Extracts columns `start..start+len` of `a`.
     pub fn slice_cols(&mut self, a: Var, start: usize, len: usize) -> Var {
         let (m, n) = self.shape(a);
-        assert!(start + len <= n, "slice {start}..{} out of {n} cols", start + len);
+        assert!(
+            start + len <= n,
+            "slice {start}..{} out of {n} cols",
+            start + len
+        );
         let mut out = Vec::with_capacity(m * len);
         for row in self.nodes[a.0].data.chunks_exact(n) {
             out.extend_from_slice(&row[start..start + len]);
@@ -262,7 +328,13 @@ impl Tape {
             data.extend_from_slice(&self.nodes[p.0].data);
             rows += m;
         }
-        self.push(data, (rows, n), Op::ConcatRows { parts: parts.to_vec() })
+        self.push(
+            data,
+            (rows, n),
+            Op::ConcatRows {
+                parts: parts.to_vec(),
+            },
+        )
     }
 
     /// Row-wise layer normalization with learnable `(1, n)` gain and bias.
@@ -274,7 +346,10 @@ impl Tape {
         let g = &self.nodes[gamma.0].data;
         let b = &self.nodes[beta.0].data;
         let mut out = vec![0.0f32; m * n];
-        for (orow, irow) in out.chunks_exact_mut(n).zip(self.nodes[a.0].data.chunks_exact(n)) {
+        for (orow, irow) in out
+            .chunks_exact_mut(n)
+            .zip(self.nodes[a.0].data.chunks_exact(n))
+        {
             let mean = irow.iter().sum::<f32>() / n as f32;
             let var = irow.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
             let inv = 1.0 / (var + eps).sqrt();
@@ -283,7 +358,16 @@ impl Tape {
             }
         }
         flops::record(8 * (m * n) as u64);
-        self.push(out, (m, n), Op::LayerNorm { a, gamma, beta, eps })
+        self.push(
+            out,
+            (m, n),
+            Op::LayerNorm {
+                a,
+                gamma,
+                beta,
+                eps,
+            },
+        )
     }
 
     /// Mean over all elements → `(1, 1)`.
@@ -308,7 +392,14 @@ impl Tape {
             .sum::<f32>()
             / data.len() as f32;
         flops::record(3 * data.len() as u64);
-        self.push(vec![loss], (1, 1), Op::Mse { pred, target: target.to_vec() })
+        self.push(
+            vec![loss],
+            (1, 1),
+            Op::Mse {
+                pred,
+                target: target.to_vec(),
+            },
+        )
     }
 
     // ----- backward -----
@@ -453,7 +544,12 @@ impl Tape {
                     off += len;
                 }
             }
-            Op::LayerNorm { a, gamma, beta, eps } => {
+            Op::LayerNorm {
+                a,
+                gamma,
+                beta,
+                eps,
+            } => {
                 let dy = self.nodes[i].grad.clone();
                 let x = self.nodes[a.0].data.clone();
                 let g = self.nodes[gamma.0].data.clone();

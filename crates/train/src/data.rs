@@ -60,13 +60,30 @@ impl TensorData {
     ///
     /// # Panics
     /// Panics if buffer lengths are inconsistent.
-    pub fn new(inputs: Vec<f32>, targets: Vec<f32>, tokens: usize, features: usize, outputs: usize) -> Self {
+    pub fn new(
+        inputs: Vec<f32>,
+        targets: Vec<f32>,
+        tokens: usize,
+        features: usize,
+        outputs: usize,
+    ) -> Self {
         let per = tokens * features;
         assert!(per > 0 && outputs > 0, "degenerate shape");
-        assert_eq!(inputs.len() % per, 0, "input length not a multiple of tokens*features");
+        assert_eq!(
+            inputs.len() % per,
+            0,
+            "input length not a multiple of tokens*features"
+        );
         let n = inputs.len() / per;
         assert_eq!(targets.len(), n * outputs, "target length mismatch");
-        TensorData { inputs, targets, n, tokens, features, outputs }
+        TensorData {
+            inputs,
+            targets,
+            n,
+            tokens,
+            features,
+            outputs,
+        }
     }
 
     /// Fits a [`Standardizer`] (per-feature and per-output z-score
@@ -75,8 +92,8 @@ impl TensorData {
         let stat = |values: &mut dyn Iterator<Item = f32>, count: usize| -> (f32, f32) {
             let vals: Vec<f32> = values.collect();
             let mean = vals.iter().map(|&v| v as f64).sum::<f64>() / count.max(1) as f64;
-            let var = vals.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>()
-                / count.max(1) as f64;
+            let var =
+                vals.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / count.max(1) as f64;
             (mean as f32, var.sqrt().max(1e-9) as f32)
         };
         let n_rows = self.inputs.len() / self.features.max(1);
@@ -100,7 +117,12 @@ impl TensorData {
             out_mean[o] = m;
             out_std[o] = s;
         }
-        Standardizer { in_mean, in_std, out_mean, out_std }
+        Standardizer {
+            in_mean,
+            in_std,
+            out_mean,
+            out_std,
+        }
     }
 
     /// Standardizes inputs and targets in place (z-score per feature column
@@ -120,7 +142,8 @@ impl TensorData {
         let mut order: Vec<usize> = (0..self.n).collect();
         let mut rng = StdRng::seed_from_u64(seed);
         order.shuffle(&mut rng);
-        let n_test = ((self.n as f64 * test_frac).round() as usize).clamp(1, self.n.saturating_sub(1).max(1));
+        let n_test = ((self.n as f64 * test_frac).round() as usize)
+            .clamp(1, self.n.saturating_sub(1).max(1));
         let (test_idx, train_idx) = order.split_at(n_test);
         (self.gather(train_idx), self.gather(test_idx))
     }
@@ -196,7 +219,10 @@ impl Standardizer {
             }
         }
         for chunk in data.targets.chunks_exact_mut(self.out_mean.len()) {
-            for (v, (m, s)) in chunk.iter_mut().zip(self.out_mean.iter().zip(&self.out_std)) {
+            for (v, (m, s)) in chunk
+                .iter_mut()
+                .zip(self.out_mean.iter().zip(&self.out_std))
+            {
                 *v = (*v - m) / s;
             }
         }
@@ -217,8 +243,15 @@ pub fn drag_windows(
     window: usize,
     points_per_step: usize,
 ) -> TensorData {
-    assert_eq!(sets.len(), drag.len(), "one sample set per snapshot required");
-    assert!(sets.len() >= window && window > 0, "not enough snapshots for window {window}");
+    assert_eq!(
+        sets.len(),
+        drag.len(),
+        "one sample set per snapshot required"
+    );
+    assert!(
+        sets.len() >= window && window > 0,
+        "not enough snapshots for window {window}"
+    );
     let d = sets[0].features.dim();
     let feat_per_step = points_per_step * d;
     let mut inputs = Vec::new();
@@ -226,7 +259,11 @@ pub fn drag_windows(
     for end in (window - 1)..sets.len() {
         for t in 0..window {
             let set = &sets[end + 1 - window + t];
-            assert!(!set.is_empty(), "empty sample set at snapshot {}", end + 1 - window + t);
+            assert!(
+                !set.is_empty(),
+                "empty sample set at snapshot {}",
+                end + 1 - window + t
+            );
             for p in 0..points_per_step {
                 let row = set.features.row(p % set.len());
                 inputs.extend(row.iter().map(|&v| v as f32));
@@ -265,7 +302,9 @@ pub fn reconstruction_data(
         out_dim = cube_idx.len();
         assert!(!set.is_empty(), "empty sample set for cube {}", cube.id);
         for t in 0..tokens {
-            let row = set.features.row((t * set.len() / tokens.max(1)) % set.len());
+            let row = set
+                .features
+                .row((t * set.len() / tokens.max(1)) % set.len());
             inputs.extend(row.iter().map(|&v| v as f32));
         }
         targets.extend(cube_idx.iter().map(|&i| dense[i] as f32));
@@ -290,7 +329,11 @@ pub fn dense_cube_data(
 ) -> TensorData {
     use sickle_field::Tiling;
     assert!(!sets.is_empty(), "no sample sets");
-    assert_eq!(tiling_edge % patch, 0, "patch {patch} must divide cube edge {tiling_edge}");
+    assert_eq!(
+        tiling_edge % patch,
+        0,
+        "patch {patch} must divide cube edge {tiling_edge}"
+    );
     let mut inputs = Vec::new();
     let mut targets = Vec::new();
     let mut tokens = 0;
@@ -302,7 +345,10 @@ pub fn dense_cube_data(
         let cube = tiling.tile(set.hypercube.expect("sample set must carry hypercube id"));
         let cube_idx = cube.point_indices(&snap.grid);
         out_dim = cube_idx.len();
-        let dense_in: Vec<&[f64]> = input_vars.iter().map(|v| snap.expect_var(v.as_str())).collect();
+        let dense_in: Vec<&[f64]> = input_vars
+            .iter()
+            .map(|v| snap.expect_var(v.as_str()))
+            .collect();
         let dense_out = snap.expect_var(target_var);
         // Patchify: cube edge e -> (e/patch)^3 patches of patch^3 points.
         let e = cube.edges.0;
@@ -347,8 +393,13 @@ mod tests {
             vec!["u".into(), "v".into()],
             (0..n * 2).map(|i| i as f64 * 0.1).collect(),
         );
-        SampleSet::new(features, (0..n).collect(), snapshot_index as f64, snapshot_index)
-            .with_hypercube(cube)
+        SampleSet::new(
+            features,
+            (0..n).collect(),
+            snapshot_index as f64,
+            snapshot_index,
+        )
+        .with_hypercube(cube)
     }
 
     #[test]
@@ -414,8 +465,7 @@ mod tests {
     #[test]
     fn reconstruction_data_targets_are_dense_cube() {
         let grid = Grid3::new(8, 8, 8, 1.0, 1.0, 1.0);
-        let snap = Snapshot::new(grid, 0.0)
-            .with_var("p", (0..512).map(|i| i as f64).collect());
+        let snap = Snapshot::new(grid, 0.0).with_var("p", (0..512).map(|i| i as f64).collect());
         let set = tiny_set(0, 20, 0);
         let d = reconstruction_data(&[set], &[snap], 4, "p", 16);
         assert_eq!(d.n, 1);

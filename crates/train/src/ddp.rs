@@ -39,7 +39,11 @@ pub fn shard_batch(batch: &Batch, world: usize) -> Vec<Batch> {
             .to_vec();
         let mut shape = batch.shape;
         shape.batch = take;
-        shards.push(Batch { inputs, targets, shape });
+        shards.push(Batch {
+            inputs,
+            targets,
+            shape,
+        });
         start += take;
     }
     shards
@@ -118,7 +122,10 @@ where
                         })
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("replica thread panicked")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("replica thread panicked"))
+                    .collect()
             });
             let mean_loss =
                 results.iter().map(|(l, _)| *l as f64).sum::<f64>() / results.len() as f64;
@@ -132,7 +139,8 @@ where
             meter.record_bytes(step_param_bytes + allreduce_bytes * active as u64);
         }
         meter.record_bytes(
-            ((train_set.inputs.len() + train_set.targets.len()) * std::mem::size_of::<f32>()) as u64,
+            ((train_set.inputs.len() + train_set.targets.len()) * std::mem::size_of::<f32>())
+                as u64,
         );
         let train_loss = (epoch_loss / batches.max(1) as f64) as f32;
         let test_loss = model.eval_loss(&test_batch);
@@ -183,7 +191,12 @@ mod tests {
         let batch = Batch {
             inputs: (0..10 * 6).map(|i| i as f32).collect(),
             targets: (0..10).map(|i| i as f32).collect(),
-            shape: BatchShape { batch: 10, tokens: 2, features: 3, outputs: 1 },
+            shape: BatchShape {
+                batch: 10,
+                tokens: 2,
+                features: 3,
+                outputs: 1,
+            },
         };
         let shards = shard_batch(&batch, 4);
         assert_eq!(shards.len(), 4);
@@ -202,7 +215,12 @@ mod tests {
         let batch = Batch {
             inputs: vec![0.0; 2 * 6],
             targets: vec![0.0; 2],
-            shape: BatchShape { batch: 2, tokens: 2, features: 3, outputs: 1 },
+            shape: BatchShape {
+                batch: 2,
+                tokens: 2,
+                features: 3,
+                outputs: 1,
+            },
         };
         let shards = shard_batch(&batch, 8);
         assert_eq!(shards.len(), 2);
@@ -218,7 +236,11 @@ mod tests {
     fn ddp_matches_single_worker_training() {
         // world=1 DDP must match the plain trainer exactly (same seeds).
         let data = toy_data(24);
-        let cfg = TrainConfig { epochs: 4, batch: 8, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 4,
+            batch: 8,
+            ..Default::default()
+        };
         let mut m1 = LstmModel::new(3, 8, 1, 7);
         let r1 = train(&mut m1, &data, &cfg, MachineModel::frontier_gcd());
         let mut m2 = LstmModel::new(3, 8, 1, 7);
@@ -231,7 +253,12 @@ mod tests {
     #[test]
     fn ddp_multiworker_converges() {
         let data = toy_data(32);
-        let cfg = TrainConfig { epochs: 15, batch: 8, lr: 0.01, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 15,
+            batch: 8,
+            lr: 0.01,
+            ..Default::default()
+        };
         let mut model = LstmModel::new(3, 8, 1, 1);
         let res = train_ddp(&mut model, &data, &cfg, 4, MachineModel::frontier_gcd());
         assert!(res.train_loss[14] < res.train_loss[0]);
@@ -241,7 +268,11 @@ mod tests {
     #[test]
     fn ddp_is_deterministic() {
         let data = toy_data(16);
-        let cfg = TrainConfig { epochs: 3, batch: 8, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 3,
+            batch: 8,
+            ..Default::default()
+        };
         let mut a = LstmModel::new(3, 8, 1, 2);
         let ra = train_ddp(&mut a, &data, &cfg, 3, MachineModel::frontier_gcd());
         let mut b = LstmModel::new(3, 8, 1, 2);
@@ -252,11 +283,18 @@ mod tests {
     #[test]
     fn ddp_records_allreduce_traffic() {
         let data = toy_data(16);
-        let cfg = TrainConfig { epochs: 2, batch: 8, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch: 8,
+            ..Default::default()
+        };
         let mut m1 = LstmModel::new(3, 8, 1, 0);
         let r1 = train_ddp(&mut m1, &data, &cfg, 1, MachineModel::frontier_gcd());
         let mut m4 = LstmModel::new(3, 8, 1, 0);
         let r4 = train_ddp(&mut m4, &data, &cfg, 4, MachineModel::frontier_gcd());
-        assert!(r4.energy.bytes > r1.energy.bytes, "more replicas => more traffic");
+        assert!(
+            r4.energy.bytes > r1.energy.bytes,
+            "more replicas => more traffic"
+        );
     }
 }

@@ -21,7 +21,11 @@ use crate::trainer::{train, TrainConfig, TrainResult};
 /// mismatch.
 pub fn average_params(stores: &[&ParamStore], weights: &[f64]) -> ParamStore {
     assert!(!stores.is_empty(), "no stores to average");
-    assert_eq!(stores.len(), weights.len(), "stores/weights length mismatch");
+    assert_eq!(
+        stores.len(),
+        weights.len(),
+        "stores/weights length mismatch"
+    );
     let total: f64 = weights.iter().sum();
     assert!(total > 0.0, "weights must sum to a positive value");
     let mut out = stores[0].clone();
@@ -93,7 +97,10 @@ where
         round_loss.push(loss / sites.len() as f32);
         last_results = results;
     }
-    FederatedResult { round_loss, final_site_results: last_results }
+    FederatedResult {
+        round_loss,
+        final_site_results: last_results,
+    }
 }
 
 #[cfg(test)]
@@ -150,13 +157,31 @@ mod tests {
         // Two sites with shifted data distributions.
         let data = vec![shard(24, 0.0), shard(24, 0.3)];
         let mut sites = vec![LstmModel::new(2, 8, 1, 0), LstmModel::new(2, 8, 1, 0)];
-        let local = TrainConfig { epochs: 4, batch: 8, lr: 0.02, test_frac: 0.2, ..Default::default() };
+        let local = TrainConfig {
+            epochs: 4,
+            batch: 8,
+            lr: 0.02,
+            test_frac: 0.2,
+            ..Default::default()
+        };
         let res = federated_train(&mut sites, &data, 5, &local, MachineModel::frontier_gcd());
         assert_eq!(res.round_loss.len(), 5);
-        assert!(res.round_loss[4] < res.round_loss[0], "{:?}", res.round_loss);
+        assert!(
+            res.round_loss[4] < res.round_loss[0],
+            "{:?}",
+            res.round_loss
+        );
         // After the last broadcast all sites hold identical weights.
-        let s0: Vec<f32> = sites[0].store().iter().flat_map(|p| p.data.clone()).collect();
-        let s1: Vec<f32> = sites[1].store().iter().flat_map(|p| p.data.clone()).collect();
+        let s0: Vec<f32> = sites[0]
+            .store()
+            .iter()
+            .flat_map(|p| p.data.clone())
+            .collect();
+        let s1: Vec<f32> = sites[1]
+            .store()
+            .iter()
+            .flat_map(|p| p.data.clone())
+            .collect();
         assert_eq!(s0, s1);
     }
 

@@ -39,7 +39,11 @@ pub struct SearchSpace {
 
 impl Default for SearchSpace {
     fn default() -> Self {
-        SearchSpace { lr: (1e-4, 3e-2), hidden: vec![8, 16, 32, 64], batch: vec![4, 8, 16] }
+        SearchSpace {
+            lr: (1e-4, 3e-2),
+            hidden: vec![8, 16, 32, 64],
+            batch: vec![4, 8, 16],
+        }
     }
 }
 
@@ -83,10 +87,18 @@ where
     let mut trials: Vec<Trial> = (0..n_trials)
         .map(|_| {
             let config = space.sample(&mut rng);
-            Trial { config, loss: eval(config, budget), budget }
+            Trial {
+                config,
+                loss: eval(config, budget),
+                budget,
+            }
         })
         .collect();
-    trials.sort_by(|a, b| a.loss.partial_cmp(&b.loss).unwrap_or(std::cmp::Ordering::Equal));
+    trials.sort_by(|a, b| {
+        a.loss
+            .partial_cmp(&b.loss)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     trials
 }
 
@@ -114,9 +126,17 @@ where
     loop {
         let mut rung: Vec<Trial> = survivors
             .iter()
-            .map(|&config| Trial { config, loss: eval(config, budget), budget })
+            .map(|&config| Trial {
+                config,
+                loss: eval(config, budget),
+                budget,
+            })
             .collect();
-        rung.sort_by(|a, b| a.loss.partial_cmp(&b.loss).unwrap_or(std::cmp::Ordering::Equal));
+        rung.sort_by(|a, b| {
+            a.loss
+                .partial_cmp(&b.loss)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         let keep = (rung.len() / eta).max(1);
         survivors = rung.iter().take(keep).map(|t| t.config).collect();
         // Prepend so the final rung ends up first.
@@ -162,7 +182,11 @@ mod tests {
         let best = trials[0];
         assert!(best.loss <= trials.last().unwrap().loss);
         // Best lr within ~one decade of the optimum.
-        assert!((best.config.lr.ln() - (3e-3f32).ln()).abs() < 2.0, "lr {}", best.config.lr);
+        assert!(
+            (best.config.lr.ln() - (3e-3f32).ln()).abs() < 2.0,
+            "lr {}",
+            best.config.lr
+        );
     }
 
     #[test]
@@ -188,12 +212,20 @@ mod tests {
         let sh = successive_halving(&space, 16, 2, 4, 2, objective);
         let rs = random_search(&space, 16, 2, 2, objective);
         let median_rs = rs[rs.len() / 2].loss;
-        assert!(sh[0].loss < median_rs, "sh {} vs rs median {median_rs}", sh[0].loss);
+        assert!(
+            sh[0].loss < median_rs,
+            "sh {} vs rs median {median_rs}",
+            sh[0].loss
+        );
     }
 
     #[test]
     fn sampling_respects_space() {
-        let space = SearchSpace { lr: (1e-3, 1e-2), hidden: vec![32], batch: vec![8, 16] };
+        let space = SearchSpace {
+            lr: (1e-3, 1e-2),
+            hidden: vec![32],
+            batch: vec![8, 16],
+        };
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..50 {
             let c = space.sample(&mut rng);

@@ -93,7 +93,12 @@ impl LstmModel {
         let lstm1 = Lstm::new(&mut store, features, hidden, &mut rng);
         let lstm2 = Lstm::new(&mut store, hidden, hidden, &mut rng);
         let head = Mlp::new(&mut store, &[hidden, hidden, hidden / 2, outputs], &mut rng);
-        LstmModel { store, lstm1, lstm2, head }
+        LstmModel {
+            store,
+            lstm1,
+            lstm2,
+            head,
+        }
     }
 }
 
@@ -103,7 +108,9 @@ impl Model for LstmModel {
     }
 
     fn forward_batch(&self, tape: &mut Tape, batch: &Batch) -> Var {
-        let xs: Vec<Var> = (0..batch.shape.tokens).map(|t| timestep_leaf(tape, batch, t)).collect();
+        let xs: Vec<Var> = (0..batch.shape.tokens)
+            .map(|t| timestep_leaf(tape, batch, t))
+            .collect();
         let h1 = self.lstm1.forward_seq(tape, &self.store, &xs);
         let h2 = self.lstm2.forward_seq(tape, &self.store, &h1);
         let last = *h2.last().expect("non-empty sequence");
@@ -156,7 +163,16 @@ impl TokenTransformer {
         outputs: usize,
         seed: u64,
     ) -> Self {
-        Self::build(tokens, features, dim, depth, outputs, DecodeMode::Pooled, "MLP-Transformer", seed)
+        Self::build(
+            tokens,
+            features,
+            dim,
+            depth,
+            outputs,
+            DecodeMode::Pooled,
+            "MLP-Transformer",
+            seed,
+        )
     }
 
     /// The paper's **CNN-Transformer** (full-full): patch tokens (Conv3D ≡
@@ -170,8 +186,21 @@ impl TokenTransformer {
         outputs: usize,
         seed: u64,
     ) -> Self {
-        assert_eq!(outputs % tokens, 0, "outputs {outputs} not divisible by tokens {tokens}");
-        Self::build(tokens, features, dim, depth, outputs, DecodeMode::PerToken, "CNN-Transformer", seed)
+        assert_eq!(
+            outputs % tokens,
+            0,
+            "outputs {outputs} not divisible by tokens {tokens}"
+        );
+        Self::build(
+            tokens,
+            features,
+            dim,
+            depth,
+            outputs,
+            DecodeMode::PerToken,
+            "CNN-Transformer",
+            seed,
+        )
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -189,13 +218,25 @@ impl TokenTransformer {
         let mut rng = StdRng::seed_from_u64(seed);
         let embed = Mlp::new(&mut store, &[features, dim, dim], &mut rng);
         let pos = store.xavier((tokens, dim), &mut rng);
-        let blocks = (0..depth).map(|_| TransformerBlock::new(&mut store, dim, &mut rng)).collect();
+        let blocks = (0..depth)
+            .map(|_| TransformerBlock::new(&mut store, dim, &mut rng))
+            .collect();
         let decode_out = match mode {
             DecodeMode::Pooled => outputs,
             DecodeMode::PerToken => outputs / tokens,
         };
         let decode = Linear::new(&mut store, dim, decode_out, &mut rng);
-        TokenTransformer { store, embed, pos, blocks, decode, mode, tokens, outputs, name }
+        TokenTransformer {
+            store,
+            embed,
+            pos,
+            blocks,
+            decode,
+            mode,
+            tokens,
+            outputs,
+            name,
+        }
     }
 
     /// Forward for one sample's token matrix → `(1, outputs)`.
@@ -208,7 +249,10 @@ impl TokenTransformer {
         }
         match self.mode {
             DecodeMode::Pooled => {
-                let ones = tape.leaf(vec![1.0 / self.tokens as f32; self.tokens], (1, self.tokens));
+                let ones = tape.leaf(
+                    vec![1.0 / self.tokens as f32; self.tokens],
+                    (1, self.tokens),
+                );
                 let pooled = tape.matmul(ones, h);
                 self.decode.forward(tape, &self.store, pooled)
             }
@@ -289,14 +333,29 @@ impl MateyMini {
         keep_frac: f64,
         seed: u64,
     ) -> Self {
-        assert_eq!(outputs % tokens, 0, "outputs {outputs} not divisible by tokens {tokens}");
+        assert_eq!(
+            outputs % tokens,
+            0,
+            "outputs {outputs} not divisible by tokens {tokens}"
+        );
         let mut store = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(seed);
         let embed = Mlp::new(&mut store, &[features, dim, dim], &mut rng);
         let pos = store.xavier((tokens, dim), &mut rng);
-        let blocks = (0..depth).map(|_| TransformerBlock::new(&mut store, dim, &mut rng)).collect();
+        let blocks = (0..depth)
+            .map(|_| TransformerBlock::new(&mut store, dim, &mut rng))
+            .collect();
         let decode = Linear::new(&mut store, dim, outputs / tokens, &mut rng);
-        MateyMini { store, embed, pos, blocks, decode, tokens, outputs, keep_frac }
+        MateyMini {
+            store,
+            embed,
+            pos,
+            blocks,
+            decode,
+            tokens,
+            outputs,
+            keep_frac,
+        }
     }
 
     /// Indices of the highest-variance tokens for one sample.
@@ -308,7 +367,8 @@ impl MateyMini {
                 let off = (b * s.tokens + t) * s.features;
                 let row = &batch.inputs[off..off + s.features];
                 let mean = row.iter().map(|&v| v as f64).sum::<f64>() / s.features as f64;
-                let v = row.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / s.features as f64;
+                let v =
+                    row.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / s.features as f64;
                 (t, v)
             })
             .collect();
@@ -345,16 +405,14 @@ impl Model for MateyMini {
                     }
                 } else {
                     // Build the active sub-matrix by stacking row slices.
-                    let rows: Vec<Var> = active
-                        .iter()
-                        .map(|&t| slice_row(tape, h, t))
-                        .collect();
+                    let rows: Vec<Var> = active.iter().map(|&t| slice_row(tape, h, t)).collect();
                     let mut sub = tape.concat_rows(&rows);
                     for blk in &self.blocks {
                         sub = blk.forward(tape, &self.store, sub);
                     }
                     // Scatter refined rows back: passive rows keep h.
-                    let mut out_rows: Vec<Var> = (0..self.tokens).map(|t| slice_row(tape, h, t)).collect();
+                    let mut out_rows: Vec<Var> =
+                        (0..self.tokens).map(|t| slice_row(tape, h, t)).collect();
                     for (k, &t) in active.iter().enumerate() {
                         out_rows[t] = slice_row(tape, sub, k);
                     }
@@ -395,8 +453,19 @@ mod tests {
         let inputs: Vec<f32> = (0..batch * tokens * features)
             .map(|i| ((i * 37) % 19) as f32 * 0.05 - 0.4)
             .collect();
-        let targets: Vec<f32> = (0..batch * outputs).map(|i| ((i * 13) % 7) as f32 * 0.1).collect();
-        Batch { inputs, targets, shape: BatchShape { batch, tokens, features, outputs } }
+        let targets: Vec<f32> = (0..batch * outputs)
+            .map(|i| ((i * 13) % 7) as f32 * 0.1)
+            .collect();
+        Batch {
+            inputs,
+            targets,
+            shape: BatchShape {
+                batch,
+                tokens,
+                features,
+                outputs,
+            },
+        }
     }
 
     fn train_steps(model: &mut dyn Model, batch: &Batch, steps: usize, lr: f32) -> (f32, f32) {

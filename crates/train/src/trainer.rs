@@ -177,10 +177,19 @@ mod tests {
     fn training_reduces_loss_and_meters_energy() {
         let data = linear_sequence_data(40);
         let mut model = LstmModel::new(2, 8, 1, 0);
-        let cfg = TrainConfig { epochs: 30, batch: 8, lr: 0.01, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 30,
+            batch: 8,
+            lr: 0.01,
+            ..Default::default()
+        };
         let res = train(&mut model, &data, &cfg, MachineModel::frontier_gcd());
         assert_eq!(res.train_loss.len(), 30);
-        assert!(res.train_loss[29] < res.train_loss[0], "{:?}", &res.train_loss[..3]);
+        assert!(
+            res.train_loss[29] < res.train_loss[0],
+            "{:?}",
+            &res.train_loss[..3]
+        );
         assert!(res.best_test <= res.test_loss[0]);
         assert!(res.energy.flops > 0, "energy metering must see FLOPs");
         assert!(res.energy.total_joules() > 0.0);
@@ -190,9 +199,23 @@ mod tests {
     #[test]
     fn training_is_deterministic_under_seed() {
         let data = linear_sequence_data(20);
-        let cfg = TrainConfig { epochs: 5, batch: 4, ..Default::default() };
-        let r1 = train(&mut LstmModel::new(2, 8, 1, 3), &data, &cfg, MachineModel::frontier_gcd());
-        let r2 = train(&mut LstmModel::new(2, 8, 1, 3), &data, &cfg, MachineModel::frontier_gcd());
+        let cfg = TrainConfig {
+            epochs: 5,
+            batch: 4,
+            ..Default::default()
+        };
+        let r1 = train(
+            &mut LstmModel::new(2, 8, 1, 3),
+            &data,
+            &cfg,
+            MachineModel::frontier_gcd(),
+        );
+        let r2 = train(
+            &mut LstmModel::new(2, 8, 1, 3),
+            &data,
+            &cfg,
+            MachineModel::frontier_gcd(),
+        );
         assert_eq!(r1.train_loss, r2.train_loss);
         assert_eq!(r1.test_loss, r2.test_loss);
     }
@@ -216,10 +239,28 @@ mod tests {
     #[test]
     fn more_epochs_cost_more_energy() {
         let data = linear_sequence_data(20);
-        let cfg_short = TrainConfig { epochs: 3, batch: 4, ..Default::default() };
-        let cfg_long = TrainConfig { epochs: 9, batch: 4, ..Default::default() };
-        let e_short = train(&mut LstmModel::new(2, 8, 1, 0), &data, &cfg_short, MachineModel::frontier_gcd());
-        let e_long = train(&mut LstmModel::new(2, 8, 1, 0), &data, &cfg_long, MachineModel::frontier_gcd());
+        let cfg_short = TrainConfig {
+            epochs: 3,
+            batch: 4,
+            ..Default::default()
+        };
+        let cfg_long = TrainConfig {
+            epochs: 9,
+            batch: 4,
+            ..Default::default()
+        };
+        let e_short = train(
+            &mut LstmModel::new(2, 8, 1, 0),
+            &data,
+            &cfg_short,
+            MachineModel::frontier_gcd(),
+        );
+        let e_long = train(
+            &mut LstmModel::new(2, 8, 1, 0),
+            &data,
+            &cfg_long,
+            MachineModel::frontier_gcd(),
+        );
         let ratio = e_long.energy.total_joules() / e_short.energy.total_joules();
         assert!((ratio - 3.0).abs() < 0.5, "energy ratio {ratio}");
     }
@@ -229,9 +270,23 @@ mod tests {
         // The paper's core efficiency claim at the trainer level.
         let small = linear_sequence_data(10);
         let large = linear_sequence_data(100);
-        let cfg = TrainConfig { epochs: 5, batch: 8, ..Default::default() };
-        let e_small = train(&mut LstmModel::new(2, 8, 1, 0), &small, &cfg, MachineModel::frontier_gcd());
-        let e_large = train(&mut LstmModel::new(2, 8, 1, 0), &large, &cfg, MachineModel::frontier_gcd());
+        let cfg = TrainConfig {
+            epochs: 5,
+            batch: 8,
+            ..Default::default()
+        };
+        let e_small = train(
+            &mut LstmModel::new(2, 8, 1, 0),
+            &small,
+            &cfg,
+            MachineModel::frontier_gcd(),
+        );
+        let e_large = train(
+            &mut LstmModel::new(2, 8, 1, 0),
+            &large,
+            &cfg,
+            MachineModel::frontier_gcd(),
+        );
         assert!(
             e_small.energy.total_joules() < 0.3 * e_large.energy.total_joules(),
             "small {} vs large {}",

@@ -26,7 +26,12 @@ fn main() {
     // 1. Simulate vortex shedding behind a cylinder (Re = 150).
     println!("running LBM cylinder flow (160x64, Re 150)...");
     let data = of2d(&Of2dParams {
-        lbm: LbmConfig { nx: 160, ny: 64, diameter: 10.0, ..Default::default() },
+        lbm: LbmConfig {
+            nx: 160,
+            ny: 64,
+            diameter: 10.0,
+            ..Default::default()
+        },
         warmup: 1500,
         snapshots: 50,
         interval: 40,
@@ -41,7 +46,11 @@ fn main() {
 
     // 2. MaxEnt-sample 540 probe locations per snapshot (5% of the field).
     println!("\nMaxEnt sampling 540 probes per snapshot...");
-    let sampler = MaxEntSampler { num_clusters: 10, bins: 100, ..Default::default() };
+    let sampler = MaxEntSampler {
+        num_clusters: 10,
+        bins: 100,
+        ..Default::default()
+    };
     let sets: Vec<SampleSet> = data
         .dataset
         .snapshots
@@ -63,12 +72,29 @@ fn main() {
     // 3. Build 3-step windows and train the Table-2 LSTM.
     let mut tensor = drag_windows(&sets, &data.drag, 3, 64);
     let (tmean, tstd) = tensor.standardize();
-    println!("  {} windows of {} features", tensor.n, tensor.tokens * tensor.features);
+    println!(
+        "  {} windows of {} features",
+        tensor.n,
+        tensor.tokens * tensor.features
+    );
     let mut model = LstmModel::new(tensor.features, 24, 1, 0);
-    println!("\ntraining LSTM surrogate ({} parameters)...", model.num_params());
-    let cfg = TrainConfig { epochs: 100, batch: 8, lr: 3e-3, test_frac: 0.15, seed: 0, ..Default::default() };
+    println!(
+        "\ntraining LSTM surrogate ({} parameters)...",
+        model.num_params()
+    );
+    let cfg = TrainConfig {
+        epochs: 100,
+        batch: 8,
+        lr: 3e-3,
+        test_frac: 0.15,
+        seed: 0,
+        ..Default::default()
+    };
     let res = train(&mut model, &tensor, &cfg, MachineModel::frontier_gcd());
-    println!("  Evaluation on test set: {:.4} (standardized MSE)", res.best_test);
+    println!(
+        "  Evaluation on test set: {:.4} (standardized MSE)",
+        res.best_test
+    );
     println!("  {}", res.energy.log_lines().replace('\n', "\n  "));
 
     // 4. Predict drag on the last few windows and unscale.

@@ -19,13 +19,22 @@ use sickle::train::trainer::{train, TrainConfig};
 
 fn main() {
     println!("generating SST-P1F4 analogue for foundation-model pretraining...");
-    let dataset = sst_p1f4(&SstParams { n: 32, snapshots: 5, interval: 6, warmup: 12, ..Default::default() });
+    let dataset = sst_p1f4(&SstParams {
+        n: 32,
+        snapshots: 5,
+        interval: 6,
+        warmup: 12,
+        ..Default::default()
+    });
 
     let cfg = SamplingConfig {
         hypercubes: CubeMethod::MaxEnt,
         num_hypercubes: 8,
         cube_edge: 16,
-        method: PointMethod::MaxEnt { num_clusters: 20, bins: 100 },
+        method: PointMethod::MaxEnt {
+            num_clusters: 20,
+            bins: 100,
+        },
         num_samples: 410,
         cluster_var: "pv".into(),
         feature_vars: vec!["u".into(), "v".into(), "w".into(), "r".into()],
@@ -35,7 +44,11 @@ fn main() {
     println!("sampling training cubes with {} ...", cfg.case_name());
     let out = run_dataset(&dataset, &cfg);
     let sets: Vec<_> = out.sets.iter().flatten().cloned().collect();
-    println!("  {} cubes, {} retained points", sets.len(), out.total_points());
+    println!(
+        "  {} cubes, {} retained points",
+        sets.len(),
+        out.total_points()
+    );
 
     // Mask inputs to the sampled points, keep the dense target.
     let mut masked = dataset.snapshots.clone();
@@ -63,9 +76,27 @@ fn main() {
         tensor.n, tensor.tokens, tensor.features, tensor.outputs
     );
 
-    let mut model = MateyMini::new(tensor.tokens, tensor.features, 32, 2, tensor.outputs, 0.25, 3);
-    println!("\npretraining MATEY-mini ({} parameters, 25% adaptive tokens)...", model.num_params());
-    let tcfg = TrainConfig { epochs: 30, batch: 4, lr: 1e-3, test_frac: 0.15, seed: 3, ..Default::default() };
+    let mut model = MateyMini::new(
+        tensor.tokens,
+        tensor.features,
+        32,
+        2,
+        tensor.outputs,
+        0.25,
+        3,
+    );
+    println!(
+        "\npretraining MATEY-mini ({} parameters, 25% adaptive tokens)...",
+        model.num_params()
+    );
+    let tcfg = TrainConfig {
+        epochs: 30,
+        batch: 4,
+        lr: 1e-3,
+        test_frac: 0.15,
+        seed: 3,
+        ..Default::default()
+    };
     let res = train(&mut model, &tensor, &tcfg, MachineModel::frontier_gcd());
     println!("  validation loss: {:.4}", res.best_test);
     println!("  {}", res.energy.log_lines().replace('\n', "\n  "));

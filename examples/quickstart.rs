@@ -14,7 +14,13 @@ use sickle::field::Tiling;
 fn main() {
     // 1. A 32^3 stratified Taylor-Green DNS, 4 snapshots (SST-P1F4 analogue).
     println!("generating SST-P1F4 analogue (32^3, 4 snapshots)...");
-    let params = SstParams { n: 32, snapshots: 4, interval: 6, warmup: 12, ..Default::default() };
+    let params = SstParams {
+        n: 32,
+        snapshots: 4,
+        interval: 6,
+        warmup: 12,
+        ..Default::default()
+    };
     let dataset = datasets::sst_p1f4(&params);
     println!(
         "  dataset '{}': {} snapshots, {} points each, {}",
@@ -30,7 +36,10 @@ fn main() {
         hypercubes: CubeMethod::MaxEnt,
         num_hypercubes: 6,
         cube_edge: 16,
-        method: PointMethod::MaxEnt { num_clusters: 20, bins: 100 },
+        method: PointMethod::MaxEnt {
+            num_clusters: 20,
+            bins: 100,
+        },
         num_samples: 410, // ~10% of 16^3
         cluster_var: "pv".into(),
         feature_vars: vec!["u".into(), "v".into(), "w".into(), "r".into()],
@@ -55,8 +64,11 @@ fn main() {
     let (features, indices) = tiling.extract(snap, 0, &cfg.feature_vars);
     let merged = out.merged_snapshot(dataset.num_snapshots() - 1);
     // Map retained grid indices back to feature rows.
-    let pos_of: std::collections::HashMap<usize, usize> =
-        indices.iter().enumerate().map(|(row, &gi)| (gi, row)).collect();
+    let pos_of: std::collections::HashMap<usize, usize> = indices
+        .iter()
+        .enumerate()
+        .map(|(row, &gi)| (gi, row))
+        .collect();
     let picked: Vec<usize> = merged.indices.iter().map(|gi| pos_of[gi]).collect();
     println!("\nPDF fidelity of the 10% subset vs the full field:");
     for r in pdf_reports(&features, &picked, 100) {

@@ -13,15 +13,32 @@ use sickle::field::io::{encode_sample_set, encode_snapshot};
 
 fn main() {
     println!("generating forced stratified turbulence (SST-P1F100 analogue)...");
-    let dataset = sst_p1f100(&SstParams { n: 32, snapshots: 4, interval: 6, warmup: 12, ..Default::default() });
-    let dense_bytes: usize = dataset.snapshots.iter().map(|s| encode_snapshot(s).len()).sum();
-    println!("  dense dataset: {} ({} bytes on disk)", dataset.size_string(), dense_bytes);
+    let dataset = sst_p1f100(&SstParams {
+        n: 32,
+        snapshots: 4,
+        interval: 6,
+        warmup: 12,
+        ..Default::default()
+    });
+    let dense_bytes: usize = dataset
+        .snapshots
+        .iter()
+        .map(|s| encode_snapshot(s).len())
+        .sum();
+    println!(
+        "  dense dataset: {} ({} bytes on disk)",
+        dataset.size_string(),
+        dense_bytes
+    );
 
     let base = SamplingConfig {
         hypercubes: CubeMethod::MaxEnt,
         num_hypercubes: 8,
         cube_edge: 16,
-        method: PointMethod::MaxEnt { num_clusters: 20, bins: 100 },
+        method: PointMethod::MaxEnt {
+            num_clusters: 20,
+            bins: 100,
+        },
         num_samples: 410,
         cluster_var: "r".into(),
         feature_vars: vec!["u".into(), "v".into(), "w".into(), "r".into(), "ee".into()],
@@ -30,11 +47,17 @@ fn main() {
     };
 
     println!("\ncomparing sampling strategies at a 10% in-cube budget:");
-    println!("{:<22} {:>10} {:>12} {:>10}", "case", "points", "bytes", "time(s)");
+    println!(
+        "{:<22} {:>10} {:>12} {:>10}",
+        "case", "points", "bytes", "time(s)"
+    );
     for method in [
         PointMethod::Random,
         PointMethod::Uips { bins_per_dim: 10 },
-        PointMethod::MaxEnt { num_clusters: 20, bins: 100 },
+        PointMethod::MaxEnt {
+            num_clusters: 20,
+            bins: 100,
+        },
     ] {
         let mut cfg = base.clone();
         cfg.method = method;
@@ -75,7 +98,17 @@ fn main() {
         dense_bytes as f64 / total as f64
     );
     // Round-trip one file to prove the format.
-    let one = std::fs::read_dir(&dir).unwrap().next().unwrap().unwrap().path();
+    let one = std::fs::read_dir(&dir)
+        .unwrap()
+        .next()
+        .unwrap()
+        .unwrap()
+        .path();
     let set = sickle::field::io::decode_sample_set(&std::fs::read(&one).unwrap()).unwrap();
-    println!("reloaded {}: {} points, {} features", one.file_name().unwrap().to_string_lossy(), set.len(), set.features.dim());
+    println!(
+        "reloaded {}: {} points, {} features",
+        one.file_name().unwrap().to_string_lossy(),
+        set.len(),
+        set.features.dim()
+    );
 }

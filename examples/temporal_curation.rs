@@ -17,11 +17,28 @@ use sickle::core::temporal::{novelty_scores, novelty_select, uniform_stride};
 use sickle::field::stats::kl_divergence;
 use sickle::field::Histogram;
 
-fn coverage_kl(dataset: &sickle::field::Dataset, selected: &[usize], var: &str, bins: usize) -> f64 {
+fn coverage_kl(
+    dataset: &sickle::field::Dataset,
+    selected: &[usize],
+    var: &str,
+    bins: usize,
+) -> f64 {
     // KL(full mixture || selected mixture) over the variable's histogram.
-    let all: Vec<&[f64]> = dataset.snapshots.iter().map(|s| s.expect_var(var)).collect();
-    let lo = all.iter().flat_map(|v| v.iter()).cloned().fold(f64::MAX, f64::min);
-    let hi = all.iter().flat_map(|v| v.iter()).cloned().fold(f64::MIN, f64::max);
+    let all: Vec<&[f64]> = dataset
+        .snapshots
+        .iter()
+        .map(|s| s.expect_var(var))
+        .collect();
+    let lo = all
+        .iter()
+        .flat_map(|v| v.iter())
+        .cloned()
+        .fold(f64::MAX, f64::min);
+    let hi = all
+        .iter()
+        .flat_map(|v| v.iter())
+        .cloned()
+        .fold(f64::MIN, f64::max);
     let mut full = Histogram::new(lo, hi, bins);
     for v in &all {
         full.extend(v);
@@ -36,7 +53,12 @@ fn coverage_kl(dataset: &sickle::field::Dataset, selected: &[usize], var: &str, 
 fn main() {
     println!("simulating 40 snapshots of periodic vortex shedding...");
     let data = of2d(&Of2dParams {
-        lbm: LbmConfig { nx: 160, ny: 64, diameter: 10.0, ..Default::default() },
+        lbm: LbmConfig {
+            nx: 160,
+            ny: 64,
+            diameter: 10.0,
+            ..Default::default()
+        },
         warmup: 2000,
         snapshots: 40,
         interval: 30,

@@ -11,12 +11,18 @@ use sickle_train::trainer::{train, TrainConfig};
 fn tiny_case() -> CaseConfig {
     CaseConfig {
         name: "tiny-Hmaxent-Xmaxent".to_string(),
-        dataset: DatasetSpec::SstP1f4 { n: 16, snapshots: 2 },
+        dataset: DatasetSpec::SstP1f4 {
+            n: 16,
+            snapshots: 2,
+        },
         subsample: SamplingConfig {
             hypercubes: CubeMethod::MaxEnt,
             num_hypercubes: 4,
             cube_edge: 8,
-            method: PointMethod::MaxEnt { num_clusters: 8, bins: 40 },
+            method: PointMethod::MaxEnt {
+                num_clusters: 8,
+                bins: 40,
+            },
             num_samples: 51,
             cluster_var: "pv".into(),
             feature_vars: vec!["u".into(), "v".into(), "w".into(), "r".into()],
@@ -112,5 +118,8 @@ fn temporal_config_survives_case_serialization() {
     let mut case = tiny_case();
     case.subsample.temporal = TemporalMethod::Novelty { count: 2, bins: 32 };
     let back = CaseConfig::from_json(&case.to_json()).unwrap();
-    assert_eq!(back.subsample.temporal, TemporalMethod::Novelty { count: 2, bins: 32 });
+    assert_eq!(
+        back.subsample.temporal,
+        TemporalMethod::Novelty { count: 2, bins: 32 }
+    );
 }

@@ -20,7 +20,10 @@ fn config() -> SamplingConfig {
         hypercubes: CubeMethod::Random,
         num_hypercubes: 8,
         cube_edge: 8,
-        method: PointMethod::MaxEnt { num_clusters: 6, bins: 32 },
+        method: PointMethod::MaxEnt {
+            num_clusters: 6,
+            bins: 32,
+        },
         num_samples: 51,
         cluster_var: "q".to_string(),
         feature_vars: vec!["q".to_string()],
@@ -36,7 +39,8 @@ fn executor_output_matches_pipeline_budget() {
     let t = run_with_ranks(&snap, &cfg, 2);
     assert_eq!(t.points_out, 8 * 51);
     // The serial pipeline retains the same number of points.
-    let mut d = sickle::field::Dataset::new(sickle::field::DatasetMeta::new("T", "t", "q", &["q"], &[]));
+    let mut d =
+        sickle::field::Dataset::new(sickle::field::DatasetMeta::new("T", "t", "q", &["q"], &[]));
     d.push(snap);
     let out = run_dataset(&d, &cfg);
     assert_eq!(out.total_points(), t.points_out);
@@ -52,15 +56,18 @@ fn simulator_calibration_is_self_consistent() {
     let mut prev = t1;
     for r in [2usize, 4, 8, 16, 32, 64] {
         let t = model.time(64, 512, 51, r);
-        assert!(t <= prev * 1.01, "time must not grow before the knee: {t} at {r}");
+        assert!(
+            t <= prev * 1.01,
+            "time must not grow before the knee: {t} at {r}"
+        );
         prev = t;
     }
 }
 
 #[test]
 fn nn_flops_flow_into_energy_meter() {
-    use sickle::nn::{flops, layers::Linear, ParamStore, Tape};
     use rand::{rngs::StdRng, SeedableRng};
+    use sickle::nn::{flops, layers::Linear, ParamStore, Tape};
     let meter = EnergyMeter::new(MachineModel::frontier_gcd());
     let mut store = ParamStore::new();
     let mut rng = StdRng::seed_from_u64(0);
@@ -98,7 +105,10 @@ fn sampling_energy_is_tiny_next_to_dense_training() {
     };
     let full_training = cost_to_train(0.0, 1_000_000, 100_000, 1000, 6.0, &m_gpu);
     let sub_training = cost_to_train(sampling, 100_000, 100_000, 1000, 6.0, &m_gpu);
-    assert!(sub_training < 0.25 * full_training, "sub {sub_training} vs full {full_training}");
+    assert!(
+        sub_training < 0.25 * full_training,
+        "sub {sub_training} vs full {full_training}"
+    );
 }
 
 #[test]

@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use sickle::fft::{dft_naive, Complex, FftPlan, RealFft};
-use sickle::nn::{Tape, Var};
+use sickle::nn::Tape;
 
 fn arb_signal(max_log: u32) -> impl Strategy<Value = Vec<f64>> {
     (1u32..=max_log).prop_flat_map(|log| {

@@ -11,7 +11,13 @@ use sickle::train::models::{LstmModel, TokenTransformer};
 use sickle::train::trainer::{train, TrainConfig};
 
 fn tiny_sst() -> sickle::field::Dataset {
-    datasets::sst_p1f4(&SstParams { n: 16, snapshots: 3, interval: 3, warmup: 4, ..Default::default() })
+    datasets::sst_p1f4(&SstParams {
+        n: 16,
+        snapshots: 3,
+        interval: 3,
+        warmup: 4,
+        ..Default::default()
+    })
 }
 
 fn maxent_config() -> SamplingConfig {
@@ -19,7 +25,10 @@ fn maxent_config() -> SamplingConfig {
         hypercubes: CubeMethod::MaxEnt,
         num_hypercubes: 4,
         cube_edge: 8,
-        method: PointMethod::MaxEnt { num_clusters: 8, bins: 40 },
+        method: PointMethod::MaxEnt {
+            num_clusters: 8,
+            bins: 40,
+        },
         num_samples: 51,
         cluster_var: "pv".into(),
         feature_vars: vec!["u".into(), "v".into(), "w".into(), "r".into()],
@@ -39,8 +48,14 @@ fn cfd_to_sampling_to_training_reconstruction() {
     let sets: Vec<_> = out.sets.iter().flatten().cloned().collect();
     let mut tensor = reconstruction_data(&sets, &dataset.snapshots, 8, "p", 16);
     tensor.standardize();
-    let mut model = TokenTransformer::mlp_transformer(16, tensor.features, 16, 1, tensor.outputs, 0);
-    let cfg = TrainConfig { epochs: 8, batch: 4, test_frac: 0.2, ..Default::default() };
+    let mut model =
+        TokenTransformer::mlp_transformer(16, tensor.features, 16, 1, tensor.outputs, 0);
+    let cfg = TrainConfig {
+        epochs: 8,
+        batch: 4,
+        test_frac: 0.2,
+        ..Default::default()
+    };
     let res = train(&mut model, &tensor, &cfg, MachineModel::frontier_gcd());
     assert!(res.train_loss.iter().all(|l| l.is_finite()));
     assert!(res.train_loss.last().unwrap() < res.train_loss.first().unwrap());
@@ -64,8 +79,17 @@ fn sampled_sets_roundtrip_through_storage() {
 fn storage_reduction_matches_retention() {
     let dataset = tiny_sst();
     let out = run_dataset(&dataset, &maxent_config());
-    let dense: usize = dataset.snapshots.iter().map(|s| encode_snapshot(s).len()).sum();
-    let sparse: usize = out.sets.iter().flatten().map(|s| encode_sample_set(s).len()).sum();
+    let dense: usize = dataset
+        .snapshots
+        .iter()
+        .map(|s| encode_snapshot(s).len())
+        .sum();
+    let sparse: usize = out
+        .sets
+        .iter()
+        .flatten()
+        .map(|s| encode_sample_set(s).len())
+        .sum();
     // 4 cubes * 512 points = 2048 of 4096 points considered; 51/512 kept.
     // Sparse storage must be well under a quarter of dense.
     assert!(sparse * 4 < dense, "sparse {sparse} vs dense {dense}");
@@ -74,7 +98,13 @@ fn storage_reduction_matches_retention() {
 #[test]
 fn of2d_to_drag_training() {
     let data = datasets::of2d(&datasets::Of2dParams {
-        lbm: sickle::cfd::LbmConfig { nx: 80, ny: 32, diameter: 6.0, reynolds: 100.0, ..Default::default() },
+        lbm: sickle::cfd::LbmConfig {
+            nx: 80,
+            ny: 32,
+            diameter: 6.0,
+            reynolds: 100.0,
+            ..Default::default()
+        },
         warmup: 300,
         snapshots: 12,
         interval: 20,
@@ -90,13 +120,23 @@ fn of2d_to_drag_training() {
             let tiling = sickle::field::Tiling::new(snap.grid, (snap.grid.nx, snap.grid.ny, 1));
             let (features, indices) = tiling.extract(snap, 0, &vars);
             let keep: Vec<usize> = (0..features.len()).step_by(40).collect();
-            sickle::field::SampleSet::new(features.gather(&keep), keep.iter().map(|&k| indices[k]).collect(), snap.time, si)
+            sickle::field::SampleSet::new(
+                features.gather(&keep),
+                keep.iter().map(|&k| indices[k]).collect(),
+                snap.time,
+                si,
+            )
         })
         .collect();
     let mut tensor = drag_windows(&sets, &data.drag, 2, 16);
     tensor.standardize();
     let mut model = LstmModel::new(tensor.features, 8, 1, 0);
-    let cfg = TrainConfig { epochs: 10, batch: 4, test_frac: 0.2, ..Default::default() };
+    let cfg = TrainConfig {
+        epochs: 10,
+        batch: 4,
+        test_frac: 0.2,
+        ..Default::default()
+    };
     let res = train(&mut model, &tensor, &cfg, MachineModel::frontier_gcd());
     assert!(res.best_test.is_finite());
     assert_eq!(res.train_loss.len(), 10);
@@ -121,13 +161,20 @@ fn all_point_methods_run_on_real_data() {
         PointMethod::Uniform,
         PointMethod::Lhs,
         PointMethod::Stratified { strata: 8 },
-        PointMethod::MaxEnt { num_clusters: 8, bins: 40 },
+        PointMethod::MaxEnt {
+            num_clusters: 8,
+            bins: 40,
+        },
         PointMethod::Uips { bins_per_dim: 8 },
     ] {
         let mut cfg = maxent_config();
         cfg.method = method;
         let out = run_dataset(&dataset, &cfg);
-        let expect = if matches!(method, PointMethod::Full) { 512 } else { 51 };
+        let expect = if matches!(method, PointMethod::Full) {
+            512
+        } else {
+            51
+        };
         for set in out.sets.iter().flatten() {
             assert_eq!(set.len(), expect, "method {:?}", method);
         }

@@ -21,22 +21,36 @@ fn maxent_covers_tails_better_than_random() {
     let (features, _) = tiling.extract(&snap, 0, &vars);
     let budget = features.len() / 10;
     let mut rng = StdRng::seed_from_u64(0);
-    let maxent = MaxEntSampler { num_clusters: 10, bins: 64, ..Default::default() }
-        .select(&features, 3, budget, &mut rng);
+    let maxent = MaxEntSampler {
+        num_clusters: 10,
+        bins: 64,
+        ..Default::default()
+    }
+    .select(&features, 3, budget, &mut rng);
     let mut rng = StdRng::seed_from_u64(0);
     let random = RandomSampler.select(&features, 3, budget, &mut rng);
     // Tail coverage of the cluster variable (pv, heavy-tailed).
     let tail_of = |idx: &[usize]| pdf_reports(&features, idx, 64)[3].tail_coverage_ratio;
     let t_max = tail_of(&maxent);
     let t_rnd = tail_of(&random);
-    assert!(t_max > 1.5 * t_rnd, "maxent tail {t_max:.2} vs random {t_rnd:.2}");
+    assert!(
+        t_max > 1.5 * t_rnd,
+        "maxent tail {t_max:.2} vs random {t_rnd:.2}"
+    );
 }
 
 /// Claim (Fig. 4): UIPS achieves more uniform phase-space coverage than
 /// random on a low-dimensional manifold.
 #[test]
 fn uips_phase_space_uniformity_on_tc2d() {
-    let d = datasets::tc2d(&sickle::cfd::CombustionConfig { nx: 64, ny: 64, ..Default::default() }, 2);
+    let d = datasets::tc2d(
+        &sickle::cfd::CombustionConfig {
+            nx: 64,
+            ny: 64,
+            ..Default::default()
+        },
+        2,
+    );
     let snap = &d.snapshots[0];
     let vars = vec!["C".into(), "Cvar".into()];
     let tiling = Tiling::new(snap.grid, (64, 64, 1));
@@ -48,7 +62,10 @@ fn uips_phase_space_uniformity_on_tc2d() {
     let random = RandomSampler.select(&features, 0, budget, &mut rng);
     let cov_u = phase_space_cov(&features, &uips, 10);
     let cov_r = phase_space_cov(&features, &random, 10);
-    assert!(cov_u < 0.8 * cov_r, "UIPS CoV {cov_u:.3} vs random {cov_r:.3}");
+    assert!(
+        cov_u < 0.8 * cov_r,
+        "UIPS CoV {cov_u:.3} vs random {cov_r:.3}"
+    );
 }
 
 /// Claim (Fig. 7): a small dataset's scaling plateaus where a large one
@@ -84,9 +101,23 @@ fn subsampling_reduces_training_energy_proportionally() {
             1,
         )
     };
-    let cfg = TrainConfig { epochs: 3, batch: 8, ..Default::default() };
-    let full = train(&mut LstmModel::new(3, 8, 1, 0), &make(200), &cfg, MachineModel::frontier_gcd());
-    let sub = train(&mut LstmModel::new(3, 8, 1, 0), &make(20), &cfg, MachineModel::frontier_gcd());
+    let cfg = TrainConfig {
+        epochs: 3,
+        batch: 8,
+        ..Default::default()
+    };
+    let full = train(
+        &mut LstmModel::new(3, 8, 1, 0),
+        &make(200),
+        &cfg,
+        MachineModel::frontier_gcd(),
+    );
+    let sub = train(
+        &mut LstmModel::new(3, 8, 1, 0),
+        &make(20),
+        &cfg,
+        MachineModel::frontier_gcd(),
+    );
     let ratio = full.energy.total_joules() / sub.energy.total_joules();
     assert!((5.0..20.0).contains(&ratio), "energy ratio {ratio}");
 }
@@ -102,12 +133,21 @@ fn temporal_novelty_beats_stride_on_transient_data() {
     // 20 snapshots; a transient event only at t = 13.
     for s in 0..20 {
         let data: Vec<f64> = (0..64)
-            .map(|i| if s == 13 { 9.0 + (i % 3) as f64 } else { (i % 8) as f64 * 0.1 })
+            .map(|i| {
+                if s == 13 {
+                    9.0 + (i % 3) as f64
+                } else {
+                    (i % 8) as f64 * 0.1
+                }
+            })
             .collect();
         d.push(Snapshot::new(grid, s as f64).with_var("q", data));
     }
     let greedy = novelty_select(&d, "q", 4, 32);
-    assert!(greedy.contains(&13), "greedy misses the transient: {greedy:?}");
+    assert!(
+        greedy.contains(&13),
+        "greedy misses the transient: {greedy:?}"
+    );
     let stride = uniform_stride(20, 4);
     assert!(!stride.contains(&13), "stride should miss t=13: {stride:?}");
 }
@@ -125,11 +165,20 @@ fn stratified_substrate_is_anisotropic_isotropic_is_not() {
     assert!(gz > 1.3 * gx, "stratified: z-grad {gz} vs x-grad {gx}");
 
     let iso = sickle::cfd::synth::generate(
-        &sickle::cfd::SynthConfig { nx: 16, ny: 16, nz: 16, anisotropy: 0.0, ..Default::default() },
+        &sickle::cfd::SynthConfig {
+            nx: 16,
+            ny: 16,
+            nz: 16,
+            anisotropy: 0.0,
+            ..Default::default()
+        },
         5,
     );
     let gz = SummaryStats::of(&partial(&iso.grid, iso.expect_var("u"), Axis::Z)).std();
     let gx = SummaryStats::of(&partial(&iso.grid, iso.expect_var("u"), Axis::X)).std();
     let ratio = gz / gx;
-    assert!((0.6..1.6).contains(&ratio), "isotropic gradient ratio {ratio}");
+    assert!(
+        (0.6..1.6).contains(&ratio),
+        "isotropic gradient ratio {ratio}"
+    );
 }

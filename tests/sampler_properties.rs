@@ -6,10 +6,11 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sickle::core::entropy::{allocate_budget, strength_weights, weighted_sample_without_replacement};
+use sickle::core::entropy::{
+    allocate_budget, strength_weights, weighted_sample_without_replacement,
+};
 use sickle::core::samplers::{
-    LhsSampler, MaxEntSampler, PointSampler, RandomSampler, StratifiedSampler,
-    UniformStrideSampler,
+    LhsSampler, MaxEntSampler, PointSampler, RandomSampler, StratifiedSampler, UniformStrideSampler,
 };
 use sickle::core::UipsSampler;
 use sickle::field::stats::{kl_divergence, shannon_entropy};
@@ -30,11 +31,22 @@ fn arb_features() -> impl Strategy<Value = (FeatureMatrix, usize)> {
     })
 }
 
-fn check_contract(sampler: &dyn PointSampler, features: &FeatureMatrix, ccol: usize, budget: usize, seed: u64) {
+fn check_contract(
+    sampler: &dyn PointSampler,
+    features: &FeatureMatrix,
+    ccol: usize,
+    budget: usize,
+    seed: u64,
+) {
     let mut rng = StdRng::seed_from_u64(seed);
     let picked = sampler.select(features, ccol, budget, &mut rng);
     let n = features.len();
-    assert_eq!(picked.len(), budget.min(n), "{} returned wrong count", sampler.name());
+    assert_eq!(
+        picked.len(),
+        budget.min(n),
+        "{} returned wrong count",
+        sampler.name()
+    );
     let mut seen = vec![false; n];
     for &i in &picked {
         assert!(i < n, "{}: index {i} out of range", sampler.name());

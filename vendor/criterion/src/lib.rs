@@ -1,0 +1,200 @@
+//! Offline stand-in for [criterion](https://crates.io/crates/criterion).
+//!
+//! Provides the same macro/type surface the workspace benches use
+//! (`criterion_group!`, `criterion_main!`, `Criterion`, `BenchmarkId`,
+//! `black_box`) with a simple median-of-samples timer instead of upstream's
+//! statistical machinery. Results are printed as `ns/iter` lines.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one parameterized benchmark case.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from a bench parameter (e.g. a problem size).
+    pub fn from_parameter<P: std::fmt::Display>(p: P) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// Builds an id from a function name and a parameter.
+    pub fn new<P: std::fmt::Display>(name: &str, p: P) -> Self {
+        BenchmarkId(format!("{name}/{p}"))
+    }
+}
+
+/// Anything usable as a benchmark name: `&str`, `String`, or [`BenchmarkId`]
+/// (mirroring upstream's `IntoBenchmarkId`).
+pub trait IntoBenchmarkId {
+    /// Converts to the printable id string.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.0
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Runs the closure under timing.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled by [`Bencher::iter`].
+    ns_per_iter: f64,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Times `f`, storing the median time per call over several samples.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // Warm up and estimate a batch size targeting ~10ms per sample.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let batch = (Duration::from_millis(10).as_nanos() / once.as_nanos()).clamp(1, 1_000_000);
+        let mut times: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            times.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        times.sort_by(f64::total_cmp);
+        self.ns_per_iter = times[times.len() / 2];
+    }
+}
+
+/// A named group of related benchmark cases.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per case.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Runs one case with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            ns_per_iter: 0.0,
+            samples: self.samples,
+        };
+        f(&mut b, input);
+        println!("bench {}/{}: {:.1} ns/iter", self.name, id.0, b.ns_per_iter);
+        self
+    }
+
+    /// Runs one case without input.
+    pub fn bench_function<N: IntoBenchmarkId, F>(&mut self, name: N, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let mut b = Bencher {
+            ns_per_iter: 0.0,
+            samples: self.samples,
+        };
+        f(&mut b);
+        println!(
+            "bench {}/{}: {:.1} ns/iter",
+            self.name,
+            name.into_id(),
+            b.ns_per_iter
+        );
+        self
+    }
+
+    /// Ends the group (printing already happened per case).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark driver handed to `criterion_group!` functions.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples: 10,
+            _parent: self,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<N: IntoBenchmarkId, F>(&mut self, name: N, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let mut b = Bencher {
+            ns_per_iter: 0.0,
+            samples: 10,
+        };
+        f(&mut b);
+        println!("bench {}: {:.1} ns/iter", name.into_id(), b.ns_per_iter);
+        self
+    }
+}
+
+/// Declares a benchmark group runner, mirroring upstream's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups, mirroring upstream's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_work() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::from_parameter(8), &8usize, |b, &n| {
+            b.iter(|| (0..n).map(black_box).sum::<usize>())
+        });
+        g.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(2u64).pow(10)));
+    }
+}

@@ -1,0 +1,814 @@
+//! Offline stand-in for [rayon](https://crates.io/crates/rayon).
+//!
+//! The build container has no network access to crates.io, so the workspace
+//! vendors the *subset* of rayon's API it actually uses, backed by a real
+//! persistent thread pool (not a sequential fake): `par_iter`,
+//! `par_iter_mut`, `par_chunks`, `par_chunks_mut`, `into_par_iter` on ranges
+//! and vectors, and the combinators `map`, `zip`, `enumerate`, `for_each`,
+//! `for_each_init`, `sum`, `max`, `min`, `reduce`, and `collect`.
+//!
+//! The implementation is an *indexed* parallel iterator model: every source
+//! knows its exact length and can produce the item at index `i` from a shared
+//! reference. Work is split into `~4 x threads` contiguous chunks which
+//! workers claim with an atomic counter, giving coarse work stealing without
+//! rayon's deque machinery. Nested parallel calls from inside a worker run
+//! sequentially (no deadlock, no oversubscription).
+
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::{
+        IntoParallelIterator, ParSliceExt, ParSliceMutExt, ParStrExt, ParallelIterator,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Thread pool
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Set for pool workers and for threads inside a `num_threads(1)` install:
+    /// parallel calls on such threads run sequentially.
+    static SEQUENTIAL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// A unit of splittable work: `body(start, end)` processes items in
+/// `[start, end)`. The pointer is erased to `'static`; the submitting thread
+/// blocks until all chunks complete, so the borrow stays valid.
+struct Job {
+    body: *const (dyn Fn(usize, usize) + Sync),
+    next_chunk: AtomicUsize,
+    chunks_done: AtomicUsize,
+    total_chunks: usize,
+    n: usize,
+    chunk_size: usize,
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    fn work(&self) {
+        loop {
+            let c = self.next_chunk.fetch_add(1, Ordering::Relaxed);
+            if c >= self.total_chunks {
+                break;
+            }
+            let start = c * self.chunk_size;
+            let end = (start + self.chunk_size).min(self.n);
+            // SAFETY: the submitting thread keeps the closure alive until
+            // `chunks_done == total_chunks` (it waits on `cv`).
+            unsafe { (*self.body)(start, end) };
+            if self.chunks_done.fetch_add(1, Ordering::AcqRel) + 1 == self.total_chunks {
+                let mut d = self.done.lock().unwrap();
+                *d = true;
+                self.cv.notify_all();
+            }
+        }
+    }
+
+    fn wait(&self) {
+        let mut d = self.done.lock().unwrap();
+        while !*d {
+            d = self.cv.wait(d).unwrap();
+        }
+    }
+}
+
+struct Pool {
+    senders: Vec<std::sync::mpsc::Sender<Arc<Job>>>,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let workers = current_num_threads().saturating_sub(1);
+        let mut senders = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = std::sync::mpsc::channel::<Arc<Job>>();
+            senders.push(tx);
+            std::thread::spawn(move || {
+                SEQUENTIAL.with(|s| s.set(true));
+                while let Ok(job) = rx.recv() {
+                    job.work();
+                }
+            });
+        }
+        Pool { senders }
+    })
+}
+
+/// Number of threads parallel operations will use (`RAYON_NUM_THREADS`
+/// overrides the detected core count, as with real rayon).
+pub fn current_num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = v.parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Runs `body(start, end)` over disjoint subranges of `0..n` in parallel.
+fn run_parallel(n: usize, body: &(dyn Fn(usize, usize) + Sync)) {
+    if n == 0 {
+        return;
+    }
+    let threads = current_num_threads();
+    let sequential = threads <= 1 || n == 1 || SEQUENTIAL.with(|s| s.get());
+    if sequential {
+        body(0, n);
+        return;
+    }
+    let total_chunks = (threads * 4).min(n);
+    let chunk_size = n.div_ceil(total_chunks);
+    let total_chunks = n.div_ceil(chunk_size);
+    // SAFETY: lifetime erasure; `job.wait()` below outlives all chunk runs.
+    let body_static: *const (dyn Fn(usize, usize) + Sync) =
+        unsafe { std::mem::transmute(body as *const (dyn Fn(usize, usize) + Sync)) };
+    let job = Arc::new(Job {
+        body: body_static,
+        next_chunk: AtomicUsize::new(0),
+        chunks_done: AtomicUsize::new(0),
+        total_chunks,
+        n,
+        chunk_size,
+        done: Mutex::new(false),
+        cv: Condvar::new(),
+    });
+    for tx in &pool().senders {
+        // A worker that has exited (channel closed) is simply skipped.
+        let _ = tx.send(Arc::clone(&job));
+    }
+    job.work();
+    job.wait();
+}
+
+// ---------------------------------------------------------------------------
+// Indexed parallel iterator trait
+// ---------------------------------------------------------------------------
+
+/// An exact-length parallel iterator whose items can be produced by index
+/// from a shared reference (each index is consumed at most once).
+pub trait ParallelIterator: Sized + Send + Sync {
+    /// Item type.
+    type Item: Send;
+
+    /// Exact number of items.
+    fn par_len(&self) -> usize;
+
+    /// Produces item `i`. Called concurrently for distinct `i`, each at most
+    /// once.
+    fn item(&self, i: usize) -> Self::Item;
+
+    /// Maps each item through `f`.
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Send + Sync,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Zips with another indexed parallel iterator (length = shorter side).
+    fn zip<B>(self, other: B) -> Zip<Self, B::Iter>
+    where
+        B: IntoParallelIterator,
+    {
+        Zip {
+            a: self,
+            b: other.into_par_iter(),
+        }
+    }
+
+    /// Pairs each item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Maps each item to a sequential iterator, concatenating the results in
+    /// item order. The result only supports [`FlatMapIter::collect`], since
+    /// per-item lengths are unknown up front.
+    fn flat_map_iter<F, SI>(self, f: F) -> FlatMapIter<Self, F>
+    where
+        F: Fn(Self::Item) -> SI + Send + Sync,
+        SI: IntoIterator,
+        SI::Item: Send,
+    {
+        FlatMapIter { base: self, f }
+    }
+
+    /// Calls `f` on every item, in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        let n = self.par_len();
+        run_parallel(n, &|s, e| {
+            for i in s..e {
+                f(self.item(i));
+            }
+        });
+    }
+
+    /// Calls `f` on every item with a per-chunk scratch value built by `init`.
+    fn for_each_init<I, T, F>(self, init: I, f: F)
+    where
+        I: Fn() -> T + Send + Sync,
+        F: Fn(&mut T, Self::Item) + Send + Sync,
+    {
+        let n = self.par_len();
+        run_parallel(n, &|s, e| {
+            let mut scratch = init();
+            for i in s..e {
+                f(&mut scratch, self.item(i));
+            }
+        });
+    }
+
+    /// Sums all items (chunk partial sums, then a sequential combine).
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+    {
+        let partials = self.partials(|iter| iter.sum::<S>());
+        partials.into_iter().sum()
+    }
+
+    /// Maximum item, if any.
+    fn max(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        let partials = self.partials(|iter| iter.max());
+        partials.into_iter().flatten().max()
+    }
+
+    /// Minimum item, if any.
+    fn min(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        let partials = self.partials(|iter| iter.min());
+        partials.into_iter().flatten().min()
+    }
+
+    /// Reduces items with `op`, seeding each chunk with `identity()`.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Send + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Send + Sync,
+    {
+        let partials = self.partials(|iter| iter.fold(identity(), &op));
+        partials.into_iter().fold(identity(), &op)
+    }
+
+    /// Collects into a container (currently `Vec<T>`).
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+
+    /// Runs `fold` over each chunk's sequential iterator, returning the
+    /// per-chunk results in chunk order.
+    fn partials<R, F>(self, fold: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&mut dyn Iterator<Item = Self::Item>) -> R + Send + Sync,
+    {
+        let n = self.par_len();
+        let slots: Mutex<Vec<R>> = Mutex::new(Vec::new());
+        run_parallel(n, &|s, e| {
+            let mut iter = (s..e).map(|i| self.item(i));
+            let r = fold(&mut iter);
+            slots.lock().unwrap().push(r);
+        });
+        slots.into_inner().unwrap()
+    }
+}
+
+/// Collection types constructible from a parallel iterator.
+pub trait FromParallelIterator<T: Send> {
+    /// Builds the collection, consuming the iterator in parallel.
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
+        let n = iter.par_len();
+        let mut out: Vec<T> = Vec::with_capacity(n);
+        let ptr = SendPtr(out.as_mut_ptr());
+        run_parallel(n, &|s, e| {
+            let p = ptr.get();
+            for i in s..e {
+                // SAFETY: index i is written exactly once, within capacity.
+                unsafe { p.add(i).write(iter.item(i)) };
+            }
+        });
+        // SAFETY: all n slots initialized above.
+        unsafe { out.set_len(n) };
+        out
+    }
+}
+
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+impl<T> SendPtr<T> {
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+/// Parallel iterator over `&[T]`.
+pub struct SlicePar<'a, T> {
+    s: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SlicePar<'a, T> {
+    type Item = &'a T;
+    fn par_len(&self) -> usize {
+        self.s.len()
+    }
+    fn item(&self, i: usize) -> &'a T {
+        &self.s[i]
+    }
+}
+
+/// Parallel iterator over `&mut [T]`.
+pub struct SliceMutPar<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _m: PhantomData<&'a mut [T]>,
+}
+
+unsafe impl<T: Send> Send for SliceMutPar<'_, T> {}
+unsafe impl<T: Send> Sync for SliceMutPar<'_, T> {}
+
+impl<'a, T: Send + 'a> ParallelIterator for SliceMutPar<'a, T> {
+    type Item = &'a mut T;
+    fn par_len(&self) -> usize {
+        self.len
+    }
+    fn item(&self, i: usize) -> &'a mut T {
+        assert!(i < self.len);
+        // SAFETY: each index produced at most once => disjoint &mut.
+        unsafe { &mut *self.ptr.add(i) }
+    }
+}
+
+/// Parallel iterator over non-overlapping `&[T]` chunks.
+pub struct ChunksPar<'a, T> {
+    s: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ChunksPar<'a, T> {
+    type Item = &'a [T];
+    fn par_len(&self) -> usize {
+        self.s.len().div_ceil(self.size)
+    }
+    fn item(&self, i: usize) -> &'a [T] {
+        let start = i * self.size;
+        &self.s[start..(start + self.size).min(self.s.len())]
+    }
+}
+
+/// Parallel iterator over non-overlapping `&mut [T]` chunks.
+pub struct ChunksMutPar<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    size: usize,
+    _m: PhantomData<&'a mut [T]>,
+}
+
+unsafe impl<T: Send> Send for ChunksMutPar<'_, T> {}
+unsafe impl<T: Send> Sync for ChunksMutPar<'_, T> {}
+
+impl<'a, T: Send + 'a> ParallelIterator for ChunksMutPar<'a, T> {
+    type Item = &'a mut [T];
+    fn par_len(&self) -> usize {
+        self.len.div_ceil(self.size)
+    }
+    fn item(&self, i: usize) -> &'a mut [T] {
+        let start = i * self.size;
+        assert!(start < self.len);
+        let end = (start + self.size).min(self.len);
+        // SAFETY: chunks are disjoint and each index produced at most once.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), end - start) }
+    }
+}
+
+/// Parallel iterator over an integer range.
+pub struct RangePar {
+    start: usize,
+    len: usize,
+}
+
+impl ParallelIterator for RangePar {
+    type Item = usize;
+    fn par_len(&self) -> usize {
+        self.len
+    }
+    fn item(&self, i: usize) -> usize {
+        self.start + i
+    }
+}
+
+/// Parallel iterator consuming a `Vec<T>`.
+pub struct VecPar<T> {
+    // Items are moved out exactly once by index; Drop frees only the
+    // allocation (elements are considered moved).
+    buf: Vec<std::mem::ManuallyDrop<T>>,
+}
+
+unsafe impl<T: Send> Send for VecPar<T> {}
+unsafe impl<T: Send> Sync for VecPar<T> {}
+
+impl<T: Send> ParallelIterator for VecPar<T> {
+    type Item = T;
+    fn par_len(&self) -> usize {
+        self.buf.len()
+    }
+    fn item(&self, i: usize) -> T {
+        // SAFETY: contract says each index is taken at most once.
+        unsafe { std::ptr::read(&*self.buf[i]) }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adapters
+// ---------------------------------------------------------------------------
+
+/// `map` adapter.
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, F, R> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) -> R + Send + Sync,
+    R: Send,
+{
+    type Item = R;
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn item(&self, i: usize) -> R {
+        (self.f)(self.base.item(i))
+    }
+}
+
+/// `zip` adapter.
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> ParallelIterator for Zip<A, B>
+where
+    A: ParallelIterator,
+    B: ParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+    fn par_len(&self) -> usize {
+        self.a.par_len().min(self.b.par_len())
+    }
+    fn item(&self, i: usize) -> (A::Item, B::Item) {
+        (self.a.item(i), self.b.item(i))
+    }
+}
+
+/// `flat_map_iter` adapter. Not itself a [`ParallelIterator`] (item lengths
+/// vary); only supports terminal [`collect`](FlatMapIter::collect).
+pub struct FlatMapIter<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, F, SI> FlatMapIter<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) -> SI + Send + Sync,
+    SI: IntoIterator,
+    SI::Item: Send,
+{
+    /// Materializes each item's iterator in parallel, then concatenates the
+    /// results in item order.
+    pub fn collect<C: FromIterator<SI::Item>>(self) -> C {
+        let FlatMapIter { base, f } = self;
+        let nested: Vec<Vec<SI::Item>> =
+            base.map(|x| f(x).into_iter().collect::<Vec<_>>()).collect();
+        nested.into_iter().flatten().collect()
+    }
+}
+
+/// `enumerate` adapter.
+pub struct Enumerate<I> {
+    base: I,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn item(&self, i: usize) -> (usize, I::Item) {
+        (i, self.base.item(i))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Conversion into a parallel iterator (`(0..n).into_par_iter()`, vectors).
+pub trait IntoParallelIterator {
+    /// Resulting iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type.
+    type Item: Send;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: ParallelIterator> IntoParallelIterator for I {
+    type Iter = I;
+    type Item = I::Item;
+    fn into_par_iter(self) -> I {
+        self
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = RangePar;
+    type Item = usize;
+    fn into_par_iter(self) -> RangePar {
+        RangePar {
+            start: self.start,
+            len: self.end.saturating_sub(self.start),
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = VecPar<T>;
+    type Item = T;
+    fn into_par_iter(self) -> VecPar<T> {
+        // SAFETY: ManuallyDrop<T> has the same layout as T.
+        let buf = unsafe {
+            let mut v = std::mem::ManuallyDrop::new(self);
+            Vec::from_raw_parts(
+                v.as_mut_ptr() as *mut std::mem::ManuallyDrop<T>,
+                v.len(),
+                v.capacity(),
+            )
+        };
+        VecPar { buf }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Iter = SlicePar<'a, T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> SlicePar<'a, T> {
+        SlicePar { s: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Iter = SlicePar<'a, T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> SlicePar<'a, T> {
+        SlicePar { s: self }
+    }
+}
+
+/// `par_iter` / `par_chunks` on slices.
+pub trait ParSliceExt<T: Sync> {
+    /// Parallel shared iterator.
+    fn par_iter(&self) -> SlicePar<'_, T>;
+    /// Parallel iterator over `size`-element chunks.
+    fn par_chunks(&self, size: usize) -> ChunksPar<'_, T>;
+}
+
+impl<T: Sync> ParSliceExt<T> for [T] {
+    fn par_iter(&self) -> SlicePar<'_, T> {
+        SlicePar { s: self }
+    }
+    fn par_chunks(&self, size: usize) -> ChunksPar<'_, T> {
+        assert!(size > 0, "chunk size must be nonzero");
+        ChunksPar { s: self, size }
+    }
+}
+
+/// `par_iter_mut` / `par_chunks_mut` on slices.
+pub trait ParSliceMutExt<T: Send> {
+    /// Parallel exclusive iterator.
+    fn par_iter_mut(&mut self) -> SliceMutPar<'_, T>;
+    /// Parallel iterator over `size`-element exclusive chunks.
+    fn par_chunks_mut(&mut self, size: usize) -> ChunksMutPar<'_, T>;
+}
+
+impl<T: Send> ParSliceMutExt<T> for [T] {
+    fn par_iter_mut(&mut self) -> SliceMutPar<'_, T> {
+        SliceMutPar {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            _m: PhantomData,
+        }
+    }
+    fn par_chunks_mut(&mut self, size: usize) -> ChunksMutPar<'_, T> {
+        assert!(size > 0, "chunk size must be nonzero");
+        ChunksMutPar {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            size,
+            _m: PhantomData,
+        }
+    }
+}
+
+/// Placeholder trait so `use rayon::prelude::*` keeps working if string
+/// parallel helpers are referenced later.
+pub trait ParStrExt {}
+
+// ---------------------------------------------------------------------------
+// ThreadPoolBuilder (used by sickle-hpc to confine ranks to one thread)
+// ---------------------------------------------------------------------------
+
+/// Error type for [`ThreadPoolBuilder::build`]; construction cannot fail here.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder` for the `num_threads(1)`
+/// confinement pattern.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests a thread count. Only `1` changes behavior (sequential
+    /// execution inside `install`); other values use the global pool.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            sequential: self.num_threads == Some(1),
+        })
+    }
+}
+
+/// Handle returned by [`ThreadPoolBuilder::build`].
+pub struct ThreadPool {
+    sequential: bool,
+}
+
+impl ThreadPool {
+    /// Runs `f`; with `num_threads(1)` all parallel calls inside run
+    /// sequentially on the current thread.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        if self.sequential {
+            let prev = SEQUENTIAL.with(|s| s.replace(true));
+            let r = f();
+            SEQUENTIAL.with(|s| s.set(prev));
+            r
+        } else {
+            f()
+        }
+    }
+}
+
+/// Runs two closures, potentially in parallel (here: sequentially; the
+/// workspace only uses data-parallel iterators on hot paths).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn for_each_mut_touches_every_element() {
+        let mut v = vec![0usize; 10_000];
+        v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i * 2);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i * 2);
+        }
+    }
+
+    #[test]
+    fn map_collect_matches_sequential() {
+        let v: Vec<u64> = (0..5000usize)
+            .into_par_iter()
+            .map(|i| (i * i) as u64)
+            .collect();
+        let expect: Vec<u64> = (0..5000usize).map(|i| (i * i) as u64).collect();
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn sum_and_max() {
+        let data: Vec<u64> = (0..1000).collect();
+        let s: u64 = data.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 999 * 1000 / 2);
+        assert_eq!(data.par_iter().map(|&x| x).max(), Some(999));
+    }
+
+    #[test]
+    fn chunks_mut_are_disjoint_and_complete() {
+        let mut v = vec![0u32; 1037];
+        v.par_chunks_mut(64).enumerate().for_each(|(c, chunk)| {
+            for x in chunk.iter_mut() {
+                *x = c as u32 + 1;
+            }
+        });
+        assert!(v.iter().all(|&x| x > 0));
+    }
+
+    #[test]
+    fn zip_pairs_by_index() {
+        let a: Vec<usize> = (0..800).collect();
+        let mut b = vec![0usize; 800];
+        b.par_iter_mut()
+            .zip(a.par_iter())
+            .for_each(|(dst, &src)| *dst = src + 1);
+        assert!(b.iter().enumerate().all(|(i, &x)| x == i + 1));
+    }
+
+    #[test]
+    fn vec_into_par_iter_moves_items() {
+        let v: Vec<String> = (0..100).map(|i| format!("s{i}")).collect();
+        let lens: Vec<usize> = v.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens.len(), 100);
+        assert_eq!(lens[0], 2);
+    }
+
+    #[test]
+    fn sequential_install_runs_inline() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let s: u64 = pool.install(|| (0..100usize).into_par_iter().map(|i| i as u64).sum());
+        assert_eq!(s, 99 * 100 / 2);
+    }
+
+    #[test]
+    fn for_each_init_reuses_scratch() {
+        let data: Vec<usize> = (0..4096).collect();
+        let total = std::sync::atomic::AtomicUsize::new(0);
+        data.par_iter().for_each_init(
+            || vec![0u8; 16],
+            |scratch, &x| {
+                scratch[0] = 1;
+                total.fetch_add(x, std::sync::atomic::Ordering::Relaxed);
+            },
+        );
+        assert_eq!(total.into_inner(), 4095 * 4096 / 2);
+    }
+}

@@ -1,0 +1,378 @@
+//! Offline stand-in for [serde](https://serde.rs).
+//!
+//! Instead of upstream's visitor architecture, this vendored replacement uses
+//! a simple value-tree model: [`Serialize`] renders a type into a [`Value`],
+//! [`Deserialize`] rebuilds it from one. `serde_json` (also vendored) maps
+//! [`Value`] to and from JSON text. The `#[derive(Serialize, Deserialize)]`
+//! macros (in `serde_derive`) support named-field structs and enums with unit
+//! or struct variants, including the container attributes used in this
+//! workspace: `rename_all` (`lowercase`, `snake_case`, `kebab-case`),
+//! `tag = "..."` (internal tagging), and field attributes `default` /
+//! `default = "path"`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A dynamically-typed serialized value (the interchange tree).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Any number (stored as `f64`; integers up to 2^53 round-trip exactly).
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Array(Vec<Value>),
+    /// Ordered key–value map (insertion order preserved).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up `key` in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Object view.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Human-readable kind name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Clone, Debug)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Builds an error from any message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders a type into a [`Value`] tree.
+pub trait Serialize {
+    /// Produces the value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuilds a type from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parses the value tree.
+    ///
+    /// # Errors
+    /// Returns an error describing the first mismatch encountered.
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+
+    /// Called by derived code when a struct field is absent and has no
+    /// `#[serde(default)]`. `Option<T>` overrides this to yield `None`
+    /// (matching upstream semantics); everything else errors.
+    ///
+    /// # Errors
+    /// Returns a "missing field" error by default.
+    fn missing_field(field: &str) -> Result<Self, Error> {
+        Err(Error::msg(format!("missing field `{field}`")))
+    }
+}
+
+// --- primitive impls -------------------------------------------------------
+
+macro_rules! impl_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                v.as_f64()
+                    .map(|x| x as $t)
+                    .ok_or_else(|| Error::msg(format!(
+                        "expected number, found {}", v.kind()
+                    )))
+            }
+        }
+    )*};
+}
+
+impl_num!(f64, f32, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_bool()
+            .ok_or_else(|| Error::msg(format!("expected bool, found {}", v.kind())))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::msg(format!("expected string, found {}", v.kind())))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::deserialize(other)?)),
+        }
+    }
+
+    fn missing_field(_field: &str) -> Result<Self, Error> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::msg(format!("expected array, found {}", v.kind())))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Default + Copy, const N: usize> Deserialize for [T; N] {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let arr = v
+            .as_array()
+            .ok_or_else(|| Error::msg(format!("expected array, found {}", v.kind())))?;
+        if arr.len() != N {
+            return Err(Error::msg(format!(
+                "expected array of {N}, found {}",
+                arr.len()
+            )));
+        }
+        let mut out = [T::default(); N];
+        for (slot, item) in out.iter_mut().zip(arr) {
+            *slot = T::deserialize(item)?;
+        }
+        Ok(out)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($len:literal => $($name:ident : $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let arr = v.as_array().ok_or_else(|| {
+                    Error::msg(format!("expected {}-tuple, found {}", $len, v.kind()))
+                })?;
+                if arr.len() != $len {
+                    return Err(Error::msg(format!(
+                        "expected {}-tuple, found {} items",
+                        $len,
+                        arr.len()
+                    )));
+                }
+                Ok(($($name::deserialize(&arr[$idx])?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple!(2 => A: 0, B: 1);
+impl_tuple!(3 => A: 0, B: 1, C: 2);
+impl_tuple!(4 => A: 0, B: 1, C: 2, D: 3);
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(Box::new(T::deserialize(v)?))
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        let mut pairs: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(pairs)
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::HashMap<String, V> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::msg(format!("expected object, found {}", v.kind())))?
+            .iter()
+            .map(|(k, val)| Ok((k.clone(), V::deserialize(val)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::msg(format!("expected object, found {}", v.kind())))?
+            .iter()
+            .map(|(k, val)| Ok((k.clone(), V::deserialize(val)?)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_missing_field_yields_none() {
+        let r: Result<Option<u32>, Error> = Deserialize::missing_field("x");
+        assert_eq!(r.unwrap(), None);
+        let r: Result<u32, Error> = Deserialize::missing_field("x");
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn vec_roundtrip_through_value() {
+        let v = vec![1.5f64, -2.0, 0.0];
+        let val = v.to_value();
+        let back: Vec<f64> = Deserialize::deserialize(&val).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn object_lookup() {
+        let v = Value::Object(vec![("a".into(), Value::Num(1.0))]);
+        assert_eq!(v.get("a").and_then(Value::as_f64), Some(1.0));
+        assert!(v.get("b").is_none());
+    }
+}

@@ -1,0 +1,465 @@
+//! Derive macros for the vendored value-tree `serde`.
+//!
+//! Implemented without `syn`/`quote` (unavailable offline): the input item is
+//! parsed directly from the `proc_macro::TokenTree` stream, and the generated
+//! impl is emitted by string formatting and re-parsed into a `TokenStream`.
+//!
+//! Supported shapes (the ones this workspace uses):
+//! - named-field structs,
+//! - enums whose variants are unit or struct-like,
+//! - container attributes `rename_all` (`lowercase`, `UPPERCASE`,
+//!   `snake_case`, `kebab-case`) and `tag = "..."`,
+//! - field attributes `default` and `default = "path"`.
+//!
+//! Tuple structs and tuple enum variants are rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Model
+// ---------------------------------------------------------------------------
+
+#[derive(Default, Debug)]
+struct ContainerAttrs {
+    rename_all: Option<String>,
+    tag: Option<String>,
+}
+
+#[derive(Debug)]
+enum FieldDefault {
+    /// No `default` attribute: missing fields error (except `Option`).
+    Required,
+    /// `#[serde(default)]`: `Default::default()`.
+    DefaultTrait,
+    /// `#[serde(default = "path")]`.
+    Path(String),
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    default: FieldDefault,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    /// `None` for unit variants, `Some(fields)` for struct variants.
+    fields: Option<Vec<Field>>,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    attrs: ContainerAttrs,
+    shape: Shape,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Parses `#[serde(...)]` argument groups into key/value pairs; a bare key
+/// maps to an empty value.
+fn parse_serde_args(group: &proc_macro::Group) -> Vec<(String, Option<String>)> {
+    let mut out = Vec::new();
+    let mut toks = group.stream().into_iter().peekable();
+    while let Some(t) = toks.next() {
+        if let TokenTree::Ident(key) = t {
+            let mut val = None;
+            if let Some(TokenTree::Punct(p)) = toks.peek() {
+                if p.as_char() == '=' {
+                    toks.next();
+                    if let Some(TokenTree::Literal(lit)) = toks.next() {
+                        let s = lit.to_string();
+                        val = Some(s.trim_matches('"').to_string());
+                    }
+                }
+            }
+            out.push((key.to_string(), val));
+            // Skip a trailing comma if present.
+            if let Some(TokenTree::Punct(p)) = toks.peek() {
+                if p.as_char() == ',' {
+                    toks.next();
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Consumes leading attributes from `toks`, returning any `serde` key/values.
+fn take_attrs(
+    toks: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>,
+) -> Vec<(String, Option<String>)> {
+    let mut serde_args = Vec::new();
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                // Outer attribute group: `[...]`.
+                if let Some(TokenTree::Group(g)) = toks.next() {
+                    let mut inner = g.stream().into_iter();
+                    if let Some(TokenTree::Ident(name)) = inner.next() {
+                        if name.to_string() == "serde" {
+                            if let Some(TokenTree::Group(args)) = inner.next() {
+                                serde_args.extend(parse_serde_args(&args));
+                            }
+                        }
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    serde_args
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...), if present.
+fn skip_vis(toks: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if let Some(TokenTree::Ident(id)) = toks.peek() {
+        if id.to_string() == "pub" {
+            toks.next();
+            if let Some(TokenTree::Group(g)) = toks.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    toks.next();
+                }
+            }
+        }
+    }
+}
+
+fn field_default(args: &[(String, Option<String>)]) -> FieldDefault {
+    for (k, v) in args {
+        if k == "default" {
+            return match v {
+                Some(path) => FieldDefault::Path(path.clone()),
+                None => FieldDefault::DefaultTrait,
+            };
+        }
+    }
+    FieldDefault::Required
+}
+
+/// Parses the fields of a brace-delimited body: `attrs vis name : type , ...`.
+fn parse_fields(group: &proc_macro::Group) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    let mut toks = group.stream().into_iter().peekable();
+    loop {
+        let args = take_attrs(&mut toks);
+        skip_vis(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => return Err(format!("unexpected token in fields: {other}")),
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
+        }
+        // Skip the type: consume until a comma at zero angle-bracket depth.
+        let mut angle = 0i32;
+        for t in toks.by_ref() {
+            match &t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(Field {
+            name,
+            default: field_default(&args),
+        });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut toks = group.stream().into_iter().peekable();
+    loop {
+        let _args = take_attrs(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => return Err(format!("unexpected token in variants: {other}")),
+        };
+        let mut fields = None;
+        if let Some(TokenTree::Group(g)) = toks.peek() {
+            match g.delimiter() {
+                Delimiter::Brace => {
+                    fields = Some(parse_fields(g)?);
+                    toks.next();
+                }
+                Delimiter::Parenthesis => {
+                    return Err(format!("tuple variant `{name}` is not supported"));
+                }
+                _ => {}
+            }
+        }
+        // Skip discriminant (`= expr`) — not used — and the separating comma.
+        for t in toks.by_ref() {
+            if let TokenTree::Punct(p) = &t {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut toks = input.into_iter().peekable();
+    let serde_args = take_attrs(&mut toks);
+    let mut attrs = ContainerAttrs::default();
+    for (k, v) in &serde_args {
+        match k.as_str() {
+            "rename_all" => attrs.rename_all = v.clone(),
+            "tag" => attrs.tag = v.clone(),
+            _ => {}
+        }
+    }
+    skip_vis(&mut toks);
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "generic type `{name}` is not supported by the vendored derive"
+            ));
+        }
+    }
+    let body = match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            return Err(format!(
+                "tuple struct `{name}` is not supported by the vendored derive"
+            ));
+        }
+        other => return Err(format!("expected item body for `{name}`, got {other:?}")),
+    };
+    let shape = match kind.as_str() {
+        "struct" => Shape::Struct(parse_fields(&body)?),
+        "enum" => Shape::Enum(parse_variants(&body)?),
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+    Ok(Item { name, attrs, shape })
+}
+
+// ---------------------------------------------------------------------------
+// Renaming
+// ---------------------------------------------------------------------------
+
+/// Splits a CamelCase identifier into lowercase words.
+fn camel_words(name: &str) -> Vec<String> {
+    let mut words: Vec<String> = Vec::new();
+    for ch in name.chars() {
+        if ch.is_uppercase() || words.is_empty() {
+            words.push(String::new());
+        }
+        let w = words.last_mut().unwrap();
+        w.extend(ch.to_lowercase());
+    }
+    words
+}
+
+fn apply_rename(rule: Option<&str>, name: &str) -> String {
+    match rule {
+        Some("lowercase") => name.to_lowercase(),
+        Some("UPPERCASE") => name.to_uppercase(),
+        Some("snake_case") => camel_words(name).join("_"),
+        Some("kebab-case") => camel_words(name).join("-"),
+        Some("SCREAMING_SNAKE_CASE") => camel_words(name).join("_").to_uppercase(),
+        _ => name.to_string(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn serialize_fields_body(fields: &[Field], accessor: impl Fn(&str) -> String) -> String {
+    let mut s = String::new();
+    for f in fields {
+        s.push_str(&format!(
+            "__m.push(({n:?}.to_string(), ::serde::Serialize::to_value({a})));\n",
+            n = f.name,
+            a = accessor(&f.name),
+        ));
+    }
+    s
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let rule = item.attrs.rename_all.as_deref();
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let pushes = serialize_fields_body(fields, |f| format!("&self.{f}"));
+            format!(
+                "let mut __m: Vec<(String, ::serde::Value)> = Vec::new();\n{pushes}::serde::Value::Object(__m)"
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = apply_rename(rule, &v.name);
+                match (&item.attrs.tag, &v.fields) {
+                    (Some(tag), None) => {
+                        arms.push_str(&format!(
+                            "{name}::{v} => ::serde::Value::Object(vec![({tag:?}.to_string(), ::serde::Value::Str({vn:?}.to_string()))]),\n",
+                            v = v.name, vn = vname,
+                        ));
+                    }
+                    (Some(tag), Some(fields)) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let pushes = serialize_fields_body(fields, |f| f.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {b} }} => {{ let mut __m: Vec<(String, ::serde::Value)> = vec![({tag:?}.to_string(), ::serde::Value::Str({vn:?}.to_string()))];\n{pushes}::serde::Value::Object(__m) }}\n",
+                            v = v.name, b = binds.join(", "), vn = vname,
+                        ));
+                    }
+                    (None, None) => {
+                        arms.push_str(&format!(
+                            "{name}::{v} => ::serde::Value::Str({vn:?}.to_string()),\n",
+                            v = v.name,
+                            vn = vname,
+                        ));
+                    }
+                    (None, Some(fields)) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let pushes = serialize_fields_body(fields, |f| f.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {b} }} => {{ let mut __m: Vec<(String, ::serde::Value)> = Vec::new();\n{pushes}::serde::Value::Object(vec![({vn:?}.to_string(), ::serde::Value::Object(__m))]) }}\n",
+                            v = v.name, b = binds.join(", "), vn = vname,
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n  fn to_value(&self) -> ::serde::Value {{\n{body}\n  }}\n}}"
+    )
+}
+
+/// Generates the expression deserializing one field from object value `src`.
+fn field_expr(f: &Field, src: &str) -> String {
+    let miss = match &f.default {
+        FieldDefault::Required => {
+            format!("::serde::Deserialize::missing_field({n:?})?", n = f.name)
+        }
+        FieldDefault::DefaultTrait => "::std::default::Default::default()".to_string(),
+        FieldDefault::Path(p) => format!("{p}()"),
+    };
+    format!(
+        "match ::serde::Value::get({src}, {n:?}) {{ Some(__x) => ::serde::Deserialize::deserialize(__x)?, None => {miss} }}",
+        n = f.name,
+    )
+}
+
+fn struct_literal(type_path: &str, fields: &[Field], src: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{}: {}", f.name, field_expr(f, src)))
+        .collect();
+    format!("{type_path} {{ {} }}", inits.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let rule = item.attrs.rename_all.as_deref();
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let lit = struct_literal(name, fields, "__v");
+            format!(
+                "if !matches!(__v, ::serde::Value::Object(_)) {{\n  return Err(::serde::Error::msg(format!(\"expected object for {name}, found {{}}\", __v.kind())));\n}}\nOk({lit})"
+            )
+        }
+        Shape::Enum(variants) => {
+            if let Some(tag) = &item.attrs.tag {
+                let mut arms = String::new();
+                for v in variants {
+                    let vname = apply_rename(rule, &v.name);
+                    match &v.fields {
+                        None => {
+                            arms.push_str(&format!("{vname:?} => Ok({name}::{v}),\n", v = v.name))
+                        }
+                        Some(fields) => {
+                            let lit = struct_literal(&format!("{name}::{}", v.name), fields, "__v");
+                            arms.push_str(&format!("{vname:?} => Ok({lit}),\n"));
+                        }
+                    }
+                }
+                format!(
+                    "let __tag = ::serde::Value::get(__v, {tag:?}).and_then(::serde::Value::as_str).ok_or_else(|| ::serde::Error::msg(format!(\"missing tag `{tag}` for {name}\")))?;\nmatch __tag {{\n{arms}__other => Err(::serde::Error::msg(format!(\"unknown {name} variant `{{}}`\", __other))),\n}}"
+                )
+            } else {
+                // Externally tagged: unit variants are strings, struct
+                // variants single-key objects.
+                let mut str_arms = String::new();
+                let mut obj_arms = String::new();
+                for v in variants {
+                    let vname = apply_rename(rule, &v.name);
+                    match &v.fields {
+                        None => str_arms
+                            .push_str(&format!("{vname:?} => Ok({name}::{v}),\n", v = v.name)),
+                        Some(fields) => {
+                            let lit =
+                                struct_literal(&format!("{name}::{}", v.name), fields, "__inner");
+                            obj_arms.push_str(&format!("{vname:?} => Ok({lit}),\n"));
+                        }
+                    }
+                }
+                format!(
+                    "match __v {{\n::serde::Value::Str(__s) => match __s.as_str() {{\n{str_arms}__other => Err(::serde::Error::msg(format!(\"unknown {name} variant `{{}}`\", __other))),\n}},\n::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{\nlet (__k, __inner) = &__pairs[0];\nlet __inner = __inner;\nmatch __k.as_str() {{\n{obj_arms}__other => Err(::serde::Error::msg(format!(\"unknown {name} variant `{{}}`\", __other))),\n}}\n}},\n__other => Err(::serde::Error::msg(format!(\"expected {name}, found {{}}\", __other.kind()))),\n}}"
+                )
+            }
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n  fn deserialize(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n  }}\n}}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Derives the vendored value-tree `Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().unwrap(),
+        Err(e) => compile_error(&e),
+    }
+}
+
+/// Derives the vendored value-tree `Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().unwrap(),
+        Err(e) => compile_error(&e),
+    }
+}
