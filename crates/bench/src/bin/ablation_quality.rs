@@ -45,7 +45,11 @@ fn score(sampler: &dyn PointSampler, f: &FeatureMatrix, budget: usize) -> (f64, 
 }
 
 fn main() {
-    println!("== Ablations (quality): MaxEnt/UIPS knobs on anisotropic SST ==\n");
+    let _obs = sickle_bench::obs_init();
+    sickle_obs::info!(
+        "ablation",
+        "== Ablations (quality): MaxEnt/UIPS knobs on anisotropic SST =="
+    );
     let f = features();
     let budget = f.len() / 10;
     let header = vec!["knob", "value", "tail_coverage", "mean_KL"];
@@ -132,8 +136,17 @@ fn main() {
     println!();
     print_table(&header, &rows);
     write_csv("ablation_quality.csv", &header, &rows);
-    println!("\nReading: tail_coverage ≈ 1 matches the true PDF; MaxEnt's working");
-    println!("point should over-cover (>1). τ interpolates uniform (0) to fully");
-    println!("strength-weighted (1+); bin/cluster counts are plateaus around the");
-    println!("paper's choices (100 bins, 20 clusters).");
+    sickle_obs::info!(
+        "ablation",
+        "Reading: tail_coverage ≈ 1 matches the true PDF; MaxEnt's working"
+    );
+    sickle_obs::info!(
+        "ablation",
+        "point should over-cover (>1). τ interpolates uniform (0) to fully"
+    );
+    sickle_obs::info!(
+        "ablation",
+        "strength-weighted (1+); bin/cluster counts are plateaus around the"
+    );
+    sickle_obs::info!("ablation", "paper's choices (100 bins, 20 clusters).");
 }

@@ -46,14 +46,21 @@ fn measure(m: usize, hidden: usize, epochs: usize) -> (f64, usize) {
 }
 
 fn main() {
-    println!("== Eq. 3: cost-model validation — Cost ~ c(m) + m*p*e ==\n");
+    let _obs = sickle_bench::obs_init();
+    sickle_obs::info!(
+        "eq3",
+        "== Eq. 3: cost-model validation — Cost ~ c(m) + m*p*e =="
+    );
     let machine = MachineModel::frontier_gcd();
 
     // Calibrate k = flops/(sample*param*epoch) at a base point.
     let (e_base, p_base) = measure(64, 16, 10);
     let base_pred_raw = cost_to_train(0.0, 64, p_base, 10, 1.0, &machine);
     let k = e_base / base_pred_raw;
-    println!("calibrated flops-per-sample-param constant k = {k:.2}\n");
+    sickle_obs::info!(
+        "eq3",
+        "calibrated flops-per-sample-param constant k = {k:.2}"
+    );
 
     let header = vec!["sweep", "value", "measured_J", "predicted_J", "rel_err"];
     let mut rows = Vec::new();
@@ -84,7 +91,16 @@ fn main() {
     print_table(&header, &rows);
     write_csv("eq3_cost_model.csv", &header, &rows);
     println!("\nmax relative error across sweeps: {}", fmt(max_rel));
-    println!("Eq. 3 holds when rel_err stays small as each factor scales; the");
-    println!("parameter sweep deviates most (LSTM cost is not exactly linear in p");
-    println!("because recurrent matmuls scale with hidden^2 — the O(.) in Eq. 3).");
+    sickle_obs::info!(
+        "eq3",
+        "Eq. 3 holds when rel_err stays small as each factor scales; the"
+    );
+    sickle_obs::info!(
+        "eq3",
+        "parameter sweep deviates most (LSTM cost is not exactly linear in p"
+    );
+    sickle_obs::info!(
+        "eq3",
+        "because recurrent matmuls scale with hidden^2 — the O(.) in Eq. 3)."
+    );
 }

@@ -16,7 +16,11 @@ use sickle_core::UipsSampler;
 use sickle_field::Tiling;
 
 fn main() {
-    println!("== Fig. 1/3: OF2D sampling comparison (10% budget) ==\n");
+    let _obs = sickle_bench::obs_init();
+    sickle_obs::info!(
+        "fig1",
+        "== Fig. 1/3: OF2D sampling comparison (10% budget) =="
+    );
     let data = workloads::of2d_small();
     // Use the paper's snapshot 97-style late snapshot (fully developed wake).
     let snap = &data.dataset.snapshots[data.dataset.num_snapshots() - 3];
@@ -78,6 +82,9 @@ fn main() {
         &["method", "x", "y"],
         &scatter_rows,
     );
-    println!("\nExpected shape (paper): maxent has the highest wake enrichment;");
-    println!("random ~1.0 (unbiased); full = 1.0 by definition.");
+    sickle_obs::info!(
+        "fig1",
+        "Expected shape (paper): maxent has the highest wake enrichment;"
+    );
+    sickle_obs::info!("fig1", "random ~1.0 (unbiased); full = 1.0 by definition.");
 }

@@ -44,7 +44,11 @@ fn run_case(label: &str, dataset: &Dataset, feature_vars: &[&str]) -> Vec<Vec<St
 }
 
 fn main() {
-    println!("== Fig. 4: UIPS coverage — TC2D (left) vs SST-P1F4 (right) ==\n");
+    let _obs = sickle_bench::obs_init();
+    sickle_obs::info!(
+        "fig4",
+        "== Fig. 4: UIPS coverage — TC2D (left) vs SST-P1F4 (right) =="
+    );
     let tc2d = workloads::tc2d_small(1);
     let sst = workloads::sst_p1f4_small();
     let mut rows = run_case("TC2D", &tc2d, &["C", "Cvar"]);
@@ -52,7 +56,16 @@ fn main() {
     let header = vec!["dataset", "method", "features", "phase_cov", "spatial_cov"];
     print_table(&header, &rows);
     write_csv("fig4_uips_clumping.csv", &header, &rows);
-    println!("\nExpected shape (paper): on TC2D, UIPS phase_cov is low (uniform");
-    println!("coverage); on SST-P1F4 UIPS spatial_cov rises well above random —");
-    println!("phase-space-uniform points concentrate in rare physical regions.");
+    sickle_obs::info!(
+        "fig4",
+        "Expected shape (paper): on TC2D, UIPS phase_cov is low (uniform"
+    );
+    sickle_obs::info!(
+        "fig4",
+        "coverage); on SST-P1F4 UIPS spatial_cov rises well above random —"
+    );
+    sickle_obs::info!(
+        "fig4",
+        "phase-space-uniform points concentrate in rare physical regions."
+    );
 }

@@ -71,7 +71,11 @@ fn run_case(
 }
 
 fn main() {
-    println!("== Fig. 5: PDF fidelity of subsampling methods (10%, {BINS} bins) ==\n");
+    let _obs = sickle_bench::obs_init();
+    sickle_obs::info!(
+        "fig5",
+        "== Fig. 5: PDF fidelity of subsampling methods (10%, {BINS} bins) =="
+    );
     let of2d = workloads::of2d_small();
     let sst = workloads::sst_p1f4_small();
     let gests = workloads::gests_small();
@@ -87,8 +91,17 @@ fn main() {
     ];
     print_table(&header, &rows);
     write_csv("fig5_pdf_comparison.csv", &header, &rows);
-    println!("\nExpected shape (paper): maxent has tail_coverage_ratio > 1 (tails");
-    println!("over-represented, the intended behaviour) where random/uips sit near");
-    println!("or below 1; random has the lowest KL (it matches the bulk by");
-    println!("construction) but loses the tails.");
+    sickle_obs::info!(
+        "fig5",
+        "Expected shape (paper): maxent has tail_coverage_ratio > 1 (tails"
+    );
+    sickle_obs::info!(
+        "fig5",
+        "over-represented, the intended behaviour) where random/uips sit near"
+    );
+    sickle_obs::info!(
+        "fig5",
+        "or below 1; random has the lowest KL (it matches the bulk by"
+    );
+    sickle_obs::info!("fig5", "construction) but loses the tails.");
 }

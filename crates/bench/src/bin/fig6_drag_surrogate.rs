@@ -94,7 +94,11 @@ fn probe_time_series(
 }
 
 fn main() {
-    println!("== Fig. 6: OF2D drag surrogate — MaxEnt vs random probes, 5 seeds ==\n");
+    let _obs = sickle_bench::obs_init();
+    sickle_obs::info!(
+        "fig6",
+        "== Fig. 6: OF2D drag surrogate — MaxEnt vs random probes, 5 seeds =="
+    );
     let data = workloads::of2d_small();
     let header = vec!["method", "num_samples", "test_loss_mean", "test_loss_std"];
     let mut rows = Vec::new();
@@ -156,9 +160,24 @@ fn main() {
         &["method", "num_samples", "seed", "test_loss"],
         &raw_rows,
     );
-    println!("\nExpected shape (paper): MaxEnt is the more *reproducible* sampler —");
-    println!("\"MaxEnt exhibits less variance and is therefore more reproducible");
-    println!("than random sampling (see Fig. 6)\" (per its Discussion) — i.e. a");
-    println!("clearly smaller std; on the mean, \"random sampling performs");
-    println!("competitively in many scenarios\", so mean ordering may go either way.");
+    sickle_obs::info!(
+        "fig6",
+        "Expected shape (paper): MaxEnt is the more *reproducible* sampler —"
+    );
+    sickle_obs::info!(
+        "fig6",
+        "\"MaxEnt exhibits less variance and is therefore more reproducible"
+    );
+    sickle_obs::info!(
+        "fig6",
+        "than random sampling (see Fig. 6)\" (per its Discussion) — i.e. a"
+    );
+    sickle_obs::info!(
+        "fig6",
+        "clearly smaller std; on the mean, \"random sampling performs"
+    );
+    sickle_obs::info!(
+        "fig6",
+        "competitively in many scenarios\", so mean ordering may go either way."
+    );
 }

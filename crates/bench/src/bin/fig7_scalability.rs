@@ -18,12 +18,22 @@ use sickle_hpc::executor::scaling_sweep;
 use sickle_hpc::simulator::{knee_point, ClusterModel};
 
 fn main() {
-    println!("== Fig. 7: MaxEnt sampling strong scaling (measured + modeled) ==\n");
+    let _obs = sickle_bench::obs_init();
+    sickle_obs::info!(
+        "fig7",
+        "== Fig. 7: MaxEnt sampling strong scaling (measured + modeled) =="
+    );
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);
-    println!("host cores: {cores} (rank counts beyond this oversubscribe and");
-    println!("should show flat/no speedup — itself a validity check)\n");
+    sickle_obs::info!(
+        "fig7",
+        "host cores: {cores} (rank counts beyond this oversubscribe and"
+    );
+    sickle_obs::info!(
+        "fig7",
+        "should show flat/no speedup — itself a validity check)"
+    );
     let measured_ranks: Vec<usize> = (0..)
         .map(|i| 1usize << i)
         .take_while(|&r| r <= (2 * cores).max(4))
@@ -44,7 +54,8 @@ fn main() {
         64,
         7,
     );
-    println!(
+    sickle_obs::info!(
+        "fig7",
         "measured executor sweep ({} cubes, up to {cores} cores):",
         cfg.num_hypercubes
     );
@@ -57,14 +68,12 @@ fn main() {
             fmt(t.elapsed_secs),
             fmt(t1 / t.elapsed_secs),
             fmt(t1 / t.elapsed_secs / t.ranks as f64),
+            fmt(t.imbalance()),
         ]);
     }
-    print_table(&["ranks", "secs", "speedup", "efficiency"], &meas_rows);
-    write_csv(
-        "fig7_measured.csv",
-        &["ranks", "secs", "speedup", "efficiency"],
-        &meas_rows,
-    );
+    let meas_header = ["ranks", "secs", "speedup", "efficiency", "imbalance"];
+    print_table(&meas_header, &meas_rows);
+    write_csv("fig7_measured.csv", &meas_header, &meas_rows);
 
     // --- Modeled stage, calibrated to the measured single-rank time. ---
     // Paper-scale problems. SST-P1F4 has only 12 hypercubes of work (the
@@ -107,6 +116,9 @@ fn main() {
         &["dataset", "ranks", "secs", "speedup", "efficiency"],
         &rows,
     );
-    println!("\nExpected shape (paper): SST-P1F100 ~171x at 512 with knee ~64;");
-    println!("SST-P1F4 plateaus ~9-10x around 32 ranks.");
+    sickle_obs::info!(
+        "fig7",
+        "Expected shape (paper): SST-P1F100 ~171x at 512 with knee ~64;"
+    );
+    sickle_obs::info!("fig7", "SST-P1F4 plateaus ~9-10x around 32 ranks.");
 }

@@ -92,7 +92,11 @@ fn run_case(
 }
 
 fn main() {
-    println!("== Fig. 8: training loss vs energy (lower-left optimal) ==\n");
+    let _obs = sickle_bench::obs_init();
+    sickle_obs::info!(
+        "fig8",
+        "== Fig. 8: training loss vs energy (lower-left optimal) =="
+    );
     let datasets: Vec<(&str, Dataset)> = vec![
         ("SST-P1F4", workloads::sst_p1f4_medium()),
         ("SST-P1F100", workloads::sst_p1f100_medium()),
@@ -129,7 +133,13 @@ fn main() {
     }
     print_table(&header, &rows);
     write_csv("fig8_loss_vs_energy.csv", &header, &rows);
-    println!("\nExpected shape (paper): MaxEnt lower-left for the stratified (SST)");
-    println!("cases with an order-of-magnitude energy gap vs Xfull; GESTS shows");
-    println!("little loss separation between methods.");
+    sickle_obs::info!(
+        "fig8",
+        "Expected shape (paper): MaxEnt lower-left for the stratified (SST)"
+    );
+    sickle_obs::info!(
+        "fig8",
+        "cases with an order-of-magnitude energy gap vs Xfull; GESTS shows"
+    );
+    sickle_obs::info!("fig8", "little loss separation between methods.");
 }

@@ -42,7 +42,11 @@ fn full_cube_set(
 }
 
 fn main() {
-    println!("== Fig. 9: MATEY-mini on SST-P1F4, 10% sampling rate ==\n");
+    let _obs = sickle_bench::obs_init();
+    sickle_obs::info!(
+        "fig9",
+        "== Fig. 9: MATEY-mini on SST-P1F4, 10% sampling rate =="
+    );
     let dataset = workloads::sst_p1f4_small();
     let n_snap = dataset.num_snapshots();
     let tiling = Tiling::cubic(dataset.grid(), CUBE_EDGE);
@@ -51,7 +55,8 @@ fn main() {
         .flat_map(|s| (0..cubes_per_snap).map(move |c| (s, c)))
         .collect();
     let keep = ((train_pool.len() as f64 * KEEP_FRAC).round() as usize).max(4);
-    println!(
+    sickle_obs::info!(
+        "fig9",
         "pool: {} cubes over {} snapshots; keeping {} (10%); validating on snapshot {}",
         train_pool.len(),
         n_snap - 1,
@@ -168,7 +173,13 @@ fn main() {
     println!();
     print_table(&header, &rows);
     write_csv("fig9_matey.csv", &header, &rows);
-    println!("\nExpected shape (paper): random and maxent close (random slightly");
-    println!("ahead), uniform clearly worse; energies within ~10% of each other.");
+    sickle_obs::info!(
+        "fig9",
+        "Expected shape (paper): random and maxent close (random slightly"
+    );
+    sickle_obs::info!(
+        "fig9",
+        "ahead), uniform clearly worse; energies within ~10% of each other."
+    );
     let _ = &mut val_tensor;
 }

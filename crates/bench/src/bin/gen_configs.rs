@@ -2,6 +2,7 @@
 //! mirror of the artifact's `contrib/configs/SST/P1` directory.
 
 fn main() {
+    let _obs = sickle_bench::obs_init();
     std::fs::create_dir_all("configs/SST/P1").expect("create configs dir");
     for case in sickle_bench::cases::builtin_cases() {
         let path = format!("configs/SST/P1/{}.json", case.name);

@@ -108,10 +108,15 @@ fn result(name: String, n: usize, iters: usize, ns_per_iter: f64) -> BenchResult
 }
 
 fn main() {
+    let _obs = sickle_bench::obs_init();
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_fft_spectral.json".into());
-    println!("perf_baseline: {} threads", rayon::current_num_threads());
+    sickle_obs::info!(
+        "perf",
+        "perf_baseline: {} threads",
+        rayon::current_num_threads()
+    );
 
     let mut benches = Vec::new();
     let mut speedup = [0.0f64; 2];

@@ -1,0 +1,166 @@
+//! Tracing-overhead baseline for the observability layer, emitted as
+//! `BENCH_obs_overhead.json` (see DESIGN.md for the `BENCH_*.json`
+//! conventions).
+//!
+//! Measures two instrumented hot paths — a `SpectralSolver` RK2 step (6
+//! spans/step) and a small `run_dataset` sampling pass — with tracing
+//! disabled and enabled, and reports:
+//!
+//! - `disabled_overhead_pct`: the cost of the dormant instrumentation
+//!   relative to an uninstrumented build, estimated as
+//!   `spans × disabled-span cost / workload time` (a disabled span is one
+//!   relaxed atomic load, measured directly). Budget: ≤ 1%.
+//! - `enabled_overhead_pct`: the measured slowdown with event recording
+//!   on. Budget: ≤ 10%.
+
+use std::time::Instant;
+
+use serde::Serialize;
+use sickle_cfd::{SpectralConfig, SpectralSolver};
+use sickle_core::pipeline::{run_dataset, CubeMethod, PointMethod};
+
+/// One workload measured with tracing off and on.
+#[derive(Serialize)]
+struct WorkloadResult {
+    name: String,
+    spans_per_iter: f64,
+    disabled_ns_per_iter: f64,
+    enabled_ns_per_iter: f64,
+    disabled_overhead_pct: f64,
+    enabled_overhead_pct: f64,
+}
+
+/// Top-level report written to `BENCH_obs_overhead.json`.
+#[derive(Serialize)]
+struct Report {
+    suite: String,
+    disabled_span_ns: f64,
+    workloads: Vec<WorkloadResult>,
+    disabled_budget_pct: f64,
+    enabled_budget_pct: f64,
+    within_budget: bool,
+}
+
+/// Times `f` with a warmup pass and enough iterations to fill ~0.3 s.
+fn time_ns(mut f: impl FnMut()) -> f64 {
+    f();
+    let probe = Instant::now();
+    f();
+    let once = probe.elapsed().as_secs_f64();
+    let iters = ((0.3 / once.max(1e-9)) as usize).clamp(3, 1000);
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() / iters as f64 * 1e9
+}
+
+/// Cost of one `span!` while tracing is disabled (one relaxed atomic
+/// load + an inert guard), measured over a tight batch.
+fn disabled_span_ns() -> f64 {
+    assert!(!sickle_obs::enabled());
+    const BATCH: u32 = 100_000;
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let start = Instant::now();
+        for i in 0..BATCH {
+            let g = sickle_obs::span!("obs.overhead.probe");
+            std::hint::black_box(&g);
+            std::hint::black_box(i);
+        }
+        best = best.min(start.elapsed().as_secs_f64() * 1e9 / BATCH as f64);
+    }
+    best
+}
+
+fn measure(name: &str, spans_per_iter: f64, span_ns: f64, mut f: impl FnMut()) -> WorkloadResult {
+    sickle_obs::set_enabled(false);
+    let disabled = time_ns(&mut f);
+    sickle_obs::set_enabled(true);
+    let enabled = time_ns(&mut f);
+    sickle_obs::set_enabled(false);
+    let _ = sickle_obs::drain(); // discard the recorded events
+    let r = WorkloadResult {
+        name: name.to_string(),
+        spans_per_iter,
+        disabled_ns_per_iter: disabled,
+        enabled_ns_per_iter: enabled,
+        // The instrumentation cannot be compiled out at runtime, so the
+        // disabled overhead is modeled from the measured per-span cost.
+        disabled_overhead_pct: 100.0 * spans_per_iter * span_ns / disabled,
+        enabled_overhead_pct: 100.0 * (enabled - disabled).max(0.0) / disabled,
+    };
+    println!(
+        "  {:<24} disabled {:>12.0} ns  enabled {:>12.0} ns  overhead: {:.4}% off / {:.2}% on",
+        r.name,
+        r.disabled_ns_per_iter,
+        r.enabled_ns_per_iter,
+        r.disabled_overhead_pct,
+        r.enabled_overhead_pct
+    );
+    r
+}
+
+fn main() {
+    let _obs = sickle_bench::obs_init();
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_obs_overhead.json".into());
+
+    let span_ns = disabled_span_ns();
+    println!("  disabled span cost: {span_ns:.2} ns");
+
+    let mut workloads = Vec::new();
+
+    // Spectral step: cfd.step + 2 × (fft_inverse, nonlinear, buoyancy,
+    // damp, projection) = 11 spans per iteration.
+    let mut solver = SpectralSolver::new(SpectralConfig {
+        n: 32,
+        dt: 0.002,
+        ..Default::default()
+    });
+    solver.init_taylor_green(1.0);
+    workloads.push(measure("spectral_step_32", 11.0, span_ns, || {
+        solver.step();
+        std::hint::black_box(solver.time());
+    }));
+
+    // Sampling pass: run_dataset + temporal + snapshot + phase1 + 4 cubes
+    // = 8 spans per iteration (counters excluded: they are cheaper).
+    let sst = sickle_bench::workloads::sst_p1f4_small();
+    let cfg = sickle_bench::workloads::sampling_config(
+        &sst,
+        CubeMethod::MaxEnt,
+        PointMethod::MaxEnt {
+            num_clusters: 5,
+            bins: 32,
+        },
+        4,
+        8,
+        7,
+    );
+    let spans_per_run = (4.0 + 3.0) * sst.num_snapshots() as f64 + 2.0;
+    workloads.push(measure(
+        "run_dataset_sst_small",
+        spans_per_run,
+        span_ns,
+        || {
+            std::hint::black_box(run_dataset(&sst, &cfg));
+        },
+    ));
+
+    let within_budget = workloads
+        .iter()
+        .all(|w| w.disabled_overhead_pct <= 1.0 && w.enabled_overhead_pct <= 10.0);
+    let report = Report {
+        suite: "obs_overhead".into(),
+        disabled_span_ns: span_ns,
+        workloads,
+        disabled_budget_pct: 1.0,
+        enabled_budget_pct: 10.0,
+        within_budget,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out_path, json + "\n").expect("write overhead JSON");
+    println!("  wrote {out_path} (within budget: {within_budget})");
+}

@@ -27,6 +27,7 @@ fn usage() -> ! {
 }
 
 fn main() {
+    let _obs = sickle_bench::obs_init();
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         usage();
@@ -65,18 +66,24 @@ fn main() {
         }
     }
 
-    println!("case: {} ({})", case.name, case.subsample.case_name());
-    println!("generating dataset...");
+    sickle_obs::info!(
+        "subsample",
+        "case: {} ({})",
+        case.name,
+        case.subsample.case_name()
+    );
+    sickle_obs::info!("subsample", "generating dataset...");
     let dataset = case.dataset.build();
-    println!(
-        "  {}: {} snapshots x {} points ({})",
+    sickle_obs::info!(
+        "subsample",
+        "{}: {} snapshots x {} points ({})",
         dataset.meta.label,
         dataset.num_snapshots(),
         dataset.grid().len(),
         dataset.size_string()
     );
 
-    println!("sampling...");
+    sickle_obs::info!("subsample", "sampling...");
     let out = run_dataset(&dataset, &case.subsample);
     std::fs::create_dir_all(&output_dir).expect("create output dir");
     let mut bytes_written = 0usize;
@@ -92,8 +99,9 @@ fn main() {
             std::fs::write(&path, &bytes).expect("write sample set");
         }
     }
-    println!(
-        "  kept {} / {} points ({:.1}%), {} cubes, {} bytes -> {}",
+    sickle_obs::info!(
+        "subsample",
+        "kept {} / {} points ({:.1}%), {} cubes, {} bytes -> {}",
         out.stats.points_out,
         out.stats.points_in,
         100.0 * out.stats.retention(),

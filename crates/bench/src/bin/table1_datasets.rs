@@ -6,7 +6,11 @@ use sickle_bench::{print_table, workloads, write_csv};
 use sickle_cfd::datasets::table_row;
 
 fn main() {
-    println!("== Table 1: datasets used in the study (reproduction scale) ==\n");
+    let _obs = sickle_bench::obs_init();
+    sickle_obs::info!(
+        "table1",
+        "== Table 1: datasets used in the study (reproduction scale) =="
+    );
     let of2d = workloads::of2d_small();
     let datasets = [
         workloads::tc2d_small(0),
@@ -43,6 +47,12 @@ fn main() {
         .collect();
     print_table(&header, &rows);
     write_csv("table1_datasets.csv", &header, &rows);
-    println!("\nPaper-scale originals range from 31 MB (TC2D) to 12 TB (GESTS-8192);");
-    println!("the physics, variables, and statistics are reproduced at laptop scale (DESIGN.md).");
+    sickle_obs::info!(
+        "table1",
+        "Paper-scale originals range from 31 MB (TC2D) to 12 TB (GESTS-8192);"
+    );
+    sickle_obs::info!(
+        "table1",
+        "the physics, variables, and statistics are reproduced at laptop scale (DESIGN.md)."
+    );
 }

@@ -5,7 +5,8 @@ use sickle_bench::{print_table, write_csv};
 use sickle_train::models::{LstmModel, MateyMini, Model, TokenTransformer};
 
 fn main() {
-    println!("== Table 2: neural network architectures ==\n");
+    let _obs = sickle_bench::obs_init();
+    sickle_obs::info!("table2", "== Table 2: neural network architectures ==");
     let lstm = LstmModel::new(64, 32, 1, 0);
     let mlp_t = TokenTransformer::mlp_transformer(64, 5, 32, 2, 4096, 0);
     let cnn_t = TokenTransformer::cnn_transformer(64, 256, 32, 2, 4096, 0);
@@ -55,6 +56,12 @@ fn main() {
     ];
     print_table(&header, &rows);
     write_csv("table2_architectures.csv", &header, &rows);
-    println!("\nB=batch, T=input window, T'=horizon, C/C'=in/out variables, N=points,");
-    println!("(H,W,D)=hypercube grid. Conv3D stride-p == patch-p embedding (DESIGN.md).");
+    sickle_obs::info!(
+        "table2",
+        "B=batch, T=input window, T'=horizon, C/C'=in/out variables, N=points,"
+    );
+    sickle_obs::info!(
+        "table2",
+        "(H,W,D)=hypercube grid. Conv3D stride-p == patch-p embedding (DESIGN.md)."
+    );
 }

@@ -1,0 +1,43 @@
+//! `trace_validate` — checks that a trace file emitted via `SICKLE_TRACE`
+//! is well-formed:
+//!
+//! ```sh
+//! trace_validate trace.json        # Chrome trace_event format
+//! trace_validate events.jsonl      # JSONL event stream
+//! ```
+//!
+//! Validates (via `sickle_obs::export`): the file parses as JSON, every
+//! span begin has a matching end, timestamps are monotone per thread, and
+//! required fields are present. Exits non-zero with a diagnostic on the
+//! first violation — CI runs this against `trace_smoke`'s output.
+
+use sickle_obs::export::{validate_chrome_trace, validate_jsonl};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let (Some(path), None) = (args.next(), args.next()) else {
+        eprintln!("usage: trace_validate <trace.json | events.jsonl>");
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("trace_validate: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let result = if path.ends_with(".jsonl") {
+        validate_jsonl(&text)
+    } else {
+        validate_chrome_trace(&text)
+    };
+    match result {
+        Ok(stats) => {
+            println!(
+                "{path}: OK — {} events ({} spans, max depth {}, {} values, {} logs)",
+                stats.events, stats.spans, stats.max_depth, stats.values, stats.logs
+            );
+        }
+        Err(e) => {
+            eprintln!("{path}: INVALID — {e}");
+            std::process::exit(1);
+        }
+    }
+}

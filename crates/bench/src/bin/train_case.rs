@@ -27,6 +27,7 @@ fn usage() -> ! {
 }
 
 fn main() {
+    let _obs = sickle_bench::obs_init();
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         usage();
@@ -62,7 +63,12 @@ fn main() {
         }
     }
 
-    println!("case: {} (arch {})", case.name, case.train.arch);
+    sickle_obs::info!(
+        "train_case",
+        "case: {} (arch {})",
+        case.name,
+        case.train.arch
+    );
     let dataset = case.dataset.build();
     let out = run_dataset(&dataset, &case.subsample);
     let sets: Vec<SampleSet> = out.sets.iter().flatten().cloned().collect();
@@ -94,9 +100,13 @@ fn main() {
         )
     };
     tensor.standardize();
-    println!(
+    sickle_obs::info!(
+        "train_case",
         "tensors: {} samples x {} tokens x {} features -> {} outputs",
-        tensor.n, tensor.tokens, tensor.features, tensor.outputs
+        tensor.n,
+        tensor.tokens,
+        tensor.features,
+        tensor.outputs
     );
 
     let cfg = TrainConfig {

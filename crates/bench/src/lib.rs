@@ -27,6 +27,27 @@ use sickle_energy::{EnergyMeter, EnergyReport, MachineModel};
 pub mod cases;
 pub mod workloads;
 
+/// RAII observability session for the figure binaries: flushes the
+/// `SICKLE_TRACE` file (if any) when dropped at the end of `main`.
+pub struct ObsSession;
+
+impl Drop for ObsSession {
+    fn drop(&mut self) {
+        sickle_obs::finish();
+    }
+}
+
+/// Reads `SICKLE_TRACE` / `SICKLE_LOG` and returns the guard every binary
+/// holds for the duration of `main`:
+///
+/// ```ignore
+/// let _obs = sickle_bench::obs_init();
+/// ```
+pub fn obs_init() -> ObsSession {
+    sickle_obs::init_from_env();
+    ObsSession
+}
+
 /// Directory where figure binaries drop their CSV outputs.
 pub fn results_dir() -> PathBuf {
     let dir = std::env::var("SICKLE_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());

@@ -521,12 +521,16 @@ impl SpectralSolver {
     /// without any field-sized allocation.
     fn rhs_into(ctx: &SolverCtx, s: &State, scr: &mut Scratch, out: &mut State) {
         // Physical-space velocities.
-        ctx.to_physical_into(&s.u, &mut scr.cspec, &mut scr.up);
-        ctx.to_physical_into(&s.v, &mut scr.cspec, &mut scr.vp);
-        ctx.to_physical_into(&s.w, &mut scr.cspec, &mut scr.wp);
+        {
+            let _fft = sickle_obs::span!("cfd.fft_inverse");
+            ctx.to_physical_into(&s.u, &mut scr.cspec, &mut scr.up);
+            ctx.to_physical_into(&s.v, &mut scr.cspec, &mut scr.vp);
+            ctx.to_physical_into(&s.w, &mut scr.cspec, &mut scr.wp);
+        }
 
         // Advection, one component at a time: N_i = -(u . grad) u_i needs
         // only the three gradients of u_i, so the gradient buffers recycle.
+        let nl_span = sickle_obs::span!("cfd.nonlinear");
         for comp in 0..3 {
             let src = match comp {
                 0 => &s.u,
@@ -548,8 +552,10 @@ impl SpectralSolver {
             };
             ctx.rfft.forward(&scr.nl, dst);
         }
+        drop(nl_span);
 
         // Buoyancy terms.
+        let buoy_span = sickle_obs::span!("cfd.buoyancy");
         if let (Some(bh), Stratification::Boussinesq { n_bv, gravity }) =
             (s.b.as_ref(), ctx.cfg.stratification)
         {
@@ -581,21 +587,28 @@ impl SpectralSolver {
                 .for_each(|(t, &b)| *t += b);
         }
 
+        drop(buoy_span);
+
         // Viscous terms, dealiasing, projection (spectral space).
         let nu = ctx.cfg.viscosity;
         let kappa = ctx.cfg.diffusivity;
-        ctx.damp(&mut out.u, &s.u, nu);
-        ctx.damp(&mut out.v, &s.v, nu);
-        ctx.damp(&mut out.w, &s.w, nu);
-        if let (Some(rb), Some(bh)) = (out.b.as_mut(), s.b.as_ref()) {
-            ctx.damp(rb, bh, kappa);
+        {
+            let _damp = sickle_obs::span!("cfd.damp");
+            ctx.damp(&mut out.u, &s.u, nu);
+            ctx.damp(&mut out.v, &s.v, nu);
+            ctx.damp(&mut out.w, &s.w, nu);
+            if let (Some(rb), Some(bh)) = (out.b.as_mut(), s.b.as_ref()) {
+                ctx.damp(rb, bh, kappa);
+            }
         }
+        let _proj = sickle_obs::span!("cfd.projection");
         ctx.project3(&mut out.u, &mut out.v, &mut out.w);
     }
 
     /// Advances one RK2 (Heun) step and applies forcing if configured.
     /// Steady-state calls perform no field-sized heap allocation.
     pub fn step(&mut self) {
+        let _step = sickle_obs::span!("cfd.step", step = self.steps);
         let dt = self.ctx.cfg.dt;
         Self::rhs_into(&self.ctx, &self.state, &mut self.scratch, &mut self.k1);
         self.mid.copy_from(&self.state);
@@ -604,6 +617,7 @@ impl SpectralSolver {
         self.state.axpy(0.5 * dt, &self.k1);
         self.state.axpy(0.5 * dt, &self.k2);
         if let (Some(f), Some(target)) = (self.ctx.cfg.forcing, self.band_energy) {
+            let _forcing = sickle_obs::span!("cfd.forcing");
             let current = self.band_energy_value(f.k_f);
             if current > 1e-30 {
                 let scale = (target / current).sqrt();

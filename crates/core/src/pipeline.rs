@@ -295,20 +295,29 @@ pub fn run_snapshot(
     snapshot_index: usize,
     cfg: &SamplingConfig,
 ) -> Vec<SampleSet> {
+    let _snap_span = sickle_obs::span!("sample.snapshot", snapshot = snapshot_index);
     let tiling = Tiling::cubic(snap.grid, cfg.cube_edge);
     let count = cfg.num_hypercubes.min(tiling.len());
     let mut rng = derive_rng(cfg.seed, snapshot_index, usize::MAX);
     let selector = cfg.hypercubes.build();
-    let cube_ids = selector.select(&tiling, snap, &cfg.cluster_var, count, &mut rng);
+    let cube_ids = {
+        let _p1 = sickle_obs::span!("sample.phase1.select", tiles = tiling.len(), keep = count);
+        selector.select(&tiling, snap, &cfg.cluster_var, count, &mut rng)
+    };
     let (vars, cluster_col) = cfg.extraction_vars();
     let sampler = cfg.method.build();
 
+    // Rayon workers run on pool threads with their own (empty) span stacks,
+    // so the phase-2 spans must name their parent explicitly.
+    let parent = sickle_obs::current_span_id();
     cube_ids
         .par_iter()
         .map(|&cube_id| {
+            let _cube = sickle_obs::child_span!(parent, "sample.phase2.cube", cube = cube_id);
             let (features, indices) = tiling.extract(snap, cube_id, &vars);
             let mut rng = derive_rng(cfg.seed, snapshot_index, cube_id);
             let picked = sampler.select(&features, cluster_col, cfg.num_samples, &mut rng);
+            sickle_obs::counter!("sample.points_out", picked.len());
             let sel_features = features.gather(&picked);
             let sel_indices: Vec<usize> = picked.iter().map(|&p| indices[p]).collect();
             SampleSet::new(sel_features, sel_indices, snap.time, snapshot_index)
@@ -343,8 +352,16 @@ pub fn temporal_selection(dataset: &Dataset, cfg: &SamplingConfig) -> Vec<usize>
 
 /// Runs the pipeline over every temporally selected snapshot of a dataset.
 pub fn run_dataset(dataset: &Dataset, cfg: &SamplingConfig) -> SamplingOutput {
+    let _run = sickle_obs::span!(
+        "sample.run_dataset",
+        snapshots = dataset.num_snapshots(),
+        cubes_per_snapshot = cfg.num_hypercubes
+    );
     let t0 = std::time::Instant::now();
-    let keep = temporal_selection(dataset, cfg);
+    let keep = {
+        let _t = sickle_obs::span!("sample.temporal", total = dataset.num_snapshots());
+        temporal_selection(dataset, cfg)
+    };
     let sets: Vec<Vec<SampleSet>> = keep
         .iter()
         .map(|&i| run_snapshot(&dataset.snapshots[i], i, cfg))
@@ -360,6 +377,9 @@ pub fn run_dataset(dataset: &Dataset, cfg: &SamplingConfig) -> SamplingOutput {
         phase1_points: dataset.grid().len() * keep.len(),
         elapsed_secs: t0.elapsed().as_secs_f64(),
     };
+    let secs = stats.elapsed_secs.max(1e-12);
+    sickle_obs::histogram!("sample.points_per_sec", stats.points_out as f64 / secs);
+    sickle_obs::histogram!("sample.cubes_per_sec", cubes_selected as f64 / secs);
     SamplingOutput {
         sets,
         stats,

@@ -108,16 +108,25 @@ impl EnergyMeter {
         }
     }
 
-    /// Records `n` floating-point operations.
+    /// Records `n` floating-point operations. While tracing is enabled the
+    /// count is mirrored into the process-wide `sickle-obs` totals so open
+    /// spans attribute it to their energy sub-totals.
     #[inline]
     pub fn record_flops(&self, n: u64) {
         self.flops.fetch_add(n, Ordering::Relaxed);
+        if sickle_obs::enabled() {
+            sickle_obs::metrics::add_flops(n);
+        }
     }
 
-    /// Records `n` bytes moved.
+    /// Records `n` bytes moved. Mirrored into `sickle-obs` like
+    /// [`record_flops`](Self::record_flops).
     #[inline]
     pub fn record_bytes(&self, n: u64) {
         self.bytes.fetch_add(n, Ordering::Relaxed);
+        if sickle_obs::enabled() {
+            sickle_obs::metrics::add_bytes(n);
+        }
     }
 
     /// Total FLOPs recorded so far.

@@ -18,12 +18,43 @@ use sickle_field::{SampleSet, Snapshot, Tiling};
 pub struct RankTiming {
     /// Number of ranks used.
     pub ranks: usize,
-    /// Wall-clock seconds (slowest rank).
+    /// Wall-clock seconds for the whole run (serial phase 1 + parallel
+    /// phase 2, i.e. bounded below by the slowest rank).
     pub elapsed_secs: f64,
+    /// Busy seconds of each rank's phase-2 work, indexed by rank.
+    pub rank_secs: Vec<f64>,
     /// Hypercubes processed per rank.
     pub cubes_per_rank: Vec<usize>,
     /// Total points retained.
     pub points_out: usize,
+}
+
+impl RankTiming {
+    /// Phase-2 seconds of the slowest rank (0 when no ranks ran).
+    pub fn slowest_rank_secs(&self) -> f64 {
+        self.rank_secs.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Mean phase-2 seconds across ranks.
+    pub fn mean_rank_secs(&self) -> f64 {
+        if self.rank_secs.is_empty() {
+            0.0
+        } else {
+            self.rank_secs.iter().sum::<f64>() / self.rank_secs.len() as f64
+        }
+    }
+
+    /// Load-imbalance ratio: slowest rank / mean rank. 1.0 means perfectly
+    /// balanced; 2.0 means the critical rank worked twice the average.
+    /// Returns 1.0 when the run is too short to measure.
+    pub fn imbalance(&self) -> f64 {
+        let mean = self.mean_rank_secs();
+        if mean <= 0.0 {
+            1.0
+        } else {
+            self.slowest_rank_secs() / mean
+        }
+    }
 }
 
 /// Runs phase 1 + phase 2 for one snapshot with `ranks` worker threads.
@@ -36,12 +67,16 @@ pub struct RankTiming {
 /// Panics if `ranks == 0`.
 pub fn run_with_ranks(snap: &Snapshot, cfg: &SamplingConfig, ranks: usize) -> RankTiming {
     assert!(ranks > 0, "need at least one rank");
+    let _run = sickle_obs::span!("hpc.run_with_ranks", ranks = ranks);
     let t0 = Instant::now();
     let tiling = Tiling::cubic(snap.grid, cfg.cube_edge);
     let count = cfg.num_hypercubes.min(tiling.len());
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let selector = cfg.hypercubes.build();
-    let cube_ids = selector.select(&tiling, snap, &cfg.cluster_var, count, &mut rng);
+    let cube_ids = {
+        let _p1 = sickle_obs::span!("hpc.phase1.select", tiles = tiling.len(), keep = count);
+        selector.select(&tiling, snap, &cfg.cluster_var, count, &mut rng)
+    };
     let (vars, cluster_col) = cfg.extraction_vars();
 
     // Round-robin deal, like MPI rank striding.
@@ -51,19 +86,29 @@ pub fn run_with_ranks(snap: &Snapshot, cfg: &SamplingConfig, ranks: usize) -> Ra
     }
     let cubes_per_rank: Vec<usize> = assignments.iter().map(Vec::len).collect();
 
-    let results: Vec<Vec<SampleSet>> = std::thread::scope(|scope| {
+    // Rank threads start with empty span stacks; parent them explicitly.
+    let parent = sickle_obs::current_span_id();
+    let results: Vec<(Vec<SampleSet>, f64)> = std::thread::scope(|scope| {
         let handles: Vec<_> = assignments
             .iter()
-            .map(|my_cubes| {
+            .enumerate()
+            .map(|(rank, my_cubes)| {
                 let tiling = &tiling;
                 let vars = &vars;
                 scope.spawn(move || {
+                    let _rank_span = sickle_obs::child_span!(
+                        parent,
+                        "hpc.rank",
+                        rank = rank,
+                        cubes = my_cubes.len()
+                    );
+                    let rank_t0 = Instant::now();
                     // One rank = one core: confine rayon to a single thread.
                     let pool = rayon::ThreadPoolBuilder::new()
                         .num_threads(1)
                         .build()
                         .expect("failed to build rank pool");
-                    pool.install(|| {
+                    let sets = pool.install(|| {
                         let sampler = cfg.method.build();
                         my_cubes
                             .iter()
@@ -83,7 +128,8 @@ pub fn run_with_ranks(snap: &Snapshot, cfg: &SamplingConfig, ranks: usize) -> Ra
                                 SampleSet::new(sel, idx, snap.time, 0).with_hypercube(cube_id)
                             })
                             .collect::<Vec<_>>()
-                    })
+                    });
+                    (sets, rank_t0.elapsed().as_secs_f64())
                 })
             })
             .collect();
@@ -93,13 +139,22 @@ pub fn run_with_ranks(snap: &Snapshot, cfg: &SamplingConfig, ranks: usize) -> Ra
             .collect()
     });
 
-    let points_out = results.iter().flatten().map(SampleSet::len).sum();
-    RankTiming {
+    let rank_secs: Vec<f64> = results.iter().map(|(_, s)| *s).collect();
+    let points_out = results
+        .iter()
+        .flat_map(|(sets, _)| sets)
+        .map(SampleSet::len)
+        .sum();
+    let timing = RankTiming {
         ranks,
         elapsed_secs: t0.elapsed().as_secs_f64(),
+        rank_secs,
         cubes_per_rank,
         points_out,
-    }
+    };
+    sickle_obs::gauge!("hpc.imbalance", timing.imbalance());
+    sickle_obs::counter!("hpc.points_out", points_out);
+    timing
 }
 
 /// Runs a strong-scaling sweep over the given rank counts, returning
@@ -189,5 +244,48 @@ mod tests {
     #[should_panic(expected = "at least one rank")]
     fn zero_ranks_rejected() {
         let _ = run_with_ranks(&snapshot(), &config(), 0);
+    }
+
+    #[test]
+    fn per_rank_seconds_are_recorded() {
+        let t = run_with_ranks(&snapshot(), &config(), 4);
+        assert_eq!(t.rank_secs.len(), 4);
+        assert!(t.rank_secs.iter().all(|&s| s >= 0.0));
+        // The whole-run wall time includes serial phase 1, so it bounds the
+        // slowest rank's phase-2 time from above.
+        assert!(t.slowest_rank_secs() <= t.elapsed_secs);
+    }
+
+    #[test]
+    fn imbalance_is_at_least_one_and_sane() {
+        let t = run_with_ranks(&snapshot(), &config(), 4);
+        let ratio = t.imbalance();
+        assert!(ratio >= 1.0 - 1e-12, "imbalance {ratio}");
+        // slowest/mean can never exceed the rank count.
+        assert!(ratio <= t.ranks as f64 + 1e-12, "imbalance {ratio}");
+    }
+
+    #[test]
+    fn imbalance_of_empty_timing_is_one() {
+        let t = RankTiming {
+            ranks: 0,
+            elapsed_secs: 0.0,
+            rank_secs: Vec::new(),
+            cubes_per_rank: Vec::new(),
+            points_out: 0,
+        };
+        assert_eq!(t.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn starved_ranks_skew_imbalance() {
+        // 3 cubes on 8 ranks: 5 ranks do nothing, so the critical path is
+        // well above the mean (unless timings are below clock resolution).
+        let mut cfg = config();
+        cfg.num_hypercubes = 3;
+        let t = run_with_ranks(&snapshot(), &cfg, 8);
+        if t.mean_rank_secs() > 0.0 {
+            assert!(t.imbalance() >= 1.0);
+        }
     }
 }

@@ -1,0 +1,527 @@
+//! Trace exporters and validators: JSONL event stream, Chrome
+//! `trace_event` JSON (loadable in `chrome://tracing` and Perfetto), and the
+//! end-of-run plain-text summary table.
+//!
+//! Schemas are documented in DESIGN.md §8; the validators here are the same
+//! code CI runs against an instrumented end-to-end run, so the documented
+//! schema and the enforced schema cannot drift apart.
+
+use std::collections::HashMap;
+
+use serde::Value;
+
+use crate::logging::Level;
+use crate::metrics::{self, bucket_of, quantile_of_buckets, HIST_BUCKETS};
+use crate::sink::{Event, EventKind};
+
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn num(x: f64) -> Value {
+    Value::Num(x)
+}
+
+fn s(x: &str) -> Value {
+    Value::Str(x.to_string())
+}
+
+// ---------------------------------------------------------------------------
+// JSONL
+// ---------------------------------------------------------------------------
+
+/// Serializes events as one JSON object per line (the `.jsonl` exporter).
+pub fn to_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        let mut pairs: Vec<(&str, Value)> = Vec::new();
+        match &e.kind {
+            EventKind::Begin { id, parent, args } => {
+                pairs.push(("type", s("span_begin")));
+                pairs.push(("name", s(e.name)));
+                pairs.push(("id", num(*id as f64)));
+                pairs.push(("parent", num(*parent as f64)));
+                pairs.push((
+                    "args",
+                    obj(args.iter().map(|(k, v)| (*k, num(*v))).collect()),
+                ));
+            }
+            EventKind::End {
+                id,
+                dur_ns,
+                flops,
+                bytes,
+            } => {
+                pairs.push(("type", s("span_end")));
+                pairs.push(("name", s(e.name)));
+                pairs.push(("id", num(*id as f64)));
+                pairs.push(("dur_ns", num(*dur_ns as f64)));
+                pairs.push(("flops", num(*flops as f64)));
+                pairs.push(("bytes", num(*bytes as f64)));
+                pairs.push(("joules", num(metrics::span_joules(*flops, *bytes))));
+            }
+            EventKind::Value { value } => {
+                pairs.push(("type", s("value")));
+                pairs.push(("name", s(e.name)));
+                pairs.push(("value", num(*value)));
+            }
+            EventKind::Log { level, message } => {
+                pairs.push(("type", s("log")));
+                pairs.push(("name", s(e.name)));
+                pairs.push(("level", s(level.name())));
+                pairs.push(("message", s(message)));
+            }
+        }
+        pairs.push(("tid", num(e.tid as f64)));
+        pairs.push(("ts_ns", num(e.ts_ns as f64)));
+        out.push_str(&serde_json::to_string(&obj(pairs)).expect("jsonl serialize"));
+        out.push('\n');
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace_event
+// ---------------------------------------------------------------------------
+
+/// Serializes events in Chrome `trace_event` format: an object with a
+/// `traceEvents` array of `B`/`E` (span), `C` (counter/gauge), and `i`
+/// (instant log) phases. Timestamps are microseconds, `pid` is always 1.
+pub fn to_chrome_trace(events: &[Event]) -> String {
+    let mut trace: Vec<Value> = Vec::with_capacity(events.len());
+    for e in events {
+        let ts = e.ts_ns as f64 / 1e3;
+        let common = |ph: &str, args: Value| {
+            obj(vec![
+                ("name", s(e.name)),
+                ("cat", s("sickle")),
+                ("ph", s(ph)),
+                ("ts", num(ts)),
+                ("pid", num(1.0)),
+                ("tid", num(e.tid as f64)),
+                ("args", args),
+            ])
+        };
+        trace.push(match &e.kind {
+            EventKind::Begin { id, parent, args } => {
+                let mut a: Vec<(&str, Value)> = vec![
+                    ("span_id", num(*id as f64)),
+                    ("parent", num(*parent as f64)),
+                ];
+                a.extend(args.iter().map(|(k, v)| (*k, num(*v))));
+                common("B", obj(a))
+            }
+            EventKind::End {
+                id, flops, bytes, ..
+            } => common(
+                "E",
+                obj(vec![
+                    ("span_id", num(*id as f64)),
+                    ("flops", num(*flops as f64)),
+                    ("bytes", num(*bytes as f64)),
+                    ("joules", num(metrics::span_joules(*flops, *bytes))),
+                ]),
+            ),
+            EventKind::Value { value } => common("C", obj(vec![("value", num(*value))])),
+            EventKind::Log { level, message } => {
+                let v = common(
+                    "i",
+                    obj(vec![("level", s(level.name())), ("message", s(message))]),
+                );
+                // Instant events carry a scope field ("t" = thread).
+                if let Value::Object(mut pairs) = v {
+                    pairs.push(("s".to_string(), s("t")));
+                    Value::Object(pairs)
+                } else {
+                    v
+                }
+            }
+        });
+    }
+    let root = obj(vec![
+        ("traceEvents", Value::Array(trace)),
+        ("displayTimeUnit", s("ms")),
+    ]);
+    serde_json::to_string_pretty(&root).expect("chrome trace serialize")
+}
+
+// ---------------------------------------------------------------------------
+// Summary table
+// ---------------------------------------------------------------------------
+
+struct SpanAgg {
+    name: String,
+    count: u64,
+    total_ns: u64,
+    dur_buckets: [u64; HIST_BUCKETS],
+    flops: u64,
+    bytes: u64,
+}
+
+/// Renders the end-of-run plain-text summary: per-span-name count, total
+/// time, p50/p95/p99 (log-bucket approximate), FLOPs, bytes, and modeled
+/// joules, followed by registered metrics.
+pub fn summary_table(events: &[Event]) -> String {
+    let mut order: Vec<String> = Vec::new();
+    let mut aggs: HashMap<String, SpanAgg> = HashMap::new();
+    for e in events {
+        if let EventKind::End {
+            dur_ns,
+            flops,
+            bytes,
+            ..
+        } = &e.kind
+        {
+            let agg = aggs.entry(e.name.to_string()).or_insert_with(|| {
+                order.push(e.name.to_string());
+                SpanAgg {
+                    name: e.name.to_string(),
+                    count: 0,
+                    total_ns: 0,
+                    dur_buckets: [0; HIST_BUCKETS],
+                    flops: 0,
+                    bytes: 0,
+                }
+            });
+            agg.count += 1;
+            agg.total_ns += *dur_ns;
+            agg.dur_buckets[bucket_of(*dur_ns as f64)] += 1;
+            agg.flops += *flops;
+            agg.bytes += *bytes;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<28} {:>7} {:>11} {:>9} {:>9} {:>9} {:>12} {:>12} {:>10}\n",
+        "span", "count", "total ms", "p50 ms", "p95 ms", "p99 ms", "flops", "bytes", "joules"
+    ));
+    for name in &order {
+        let a = &aggs[name];
+        let q = |p: f64| quantile_of_buckets(&a.dur_buckets, p) / 1e6;
+        out.push_str(&format!(
+            "{:<28} {:>7} {:>11.3} {:>9.3} {:>9.3} {:>9.3} {:>12} {:>12} {:>10.3e}\n",
+            a.name,
+            a.count,
+            a.total_ns as f64 / 1e6,
+            q(0.50),
+            q(0.95),
+            q(0.99),
+            a.flops,
+            a.bytes,
+            metrics::span_joules(a.flops, a.bytes),
+        ));
+    }
+    let metric_rows = metrics::snapshot();
+    if !metric_rows.is_empty() {
+        out.push_str(&format!(
+            "\n{:<28} {:>10} {:>14} {:>11} {:>11} {:>11}\n",
+            "metric", "kind", "value", "p50", "p95", "p99"
+        ));
+        for (name, kind, value, p50, p95, p99) in metric_rows {
+            out.push_str(&format!(
+                "{name:<28} {kind:>10} {value:>14.3} {p50:>11.3} {p95:>11.3} {p99:>11.3}\n"
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Validators (shared by tests and the CI `trace_validate` binary)
+// ---------------------------------------------------------------------------
+
+/// Statistics from a validated trace.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TraceStats {
+    /// Total events in the file.
+    pub events: usize,
+    /// Completed spans (balanced begin/end pairs).
+    pub spans: usize,
+    /// Deepest span nesting observed: the per-thread begin/end stack for
+    /// Chrome traces, the logical parent chain for JSONL streams.
+    pub max_depth: usize,
+    /// Counter/gauge samples.
+    pub values: usize,
+    /// Log lines.
+    pub logs: usize,
+}
+
+fn field<'a>(e: &'a Value, key: &str, ctx: &str) -> Result<&'a Value, String> {
+    e.get(key).ok_or_else(|| format!("{ctx}: missing `{key}`"))
+}
+
+fn field_num(e: &Value, key: &str, ctx: &str) -> Result<f64, String> {
+    field(e, key, ctx)?
+        .as_f64()
+        .ok_or_else(|| format!("{ctx}: `{key}` is not a number"))
+}
+
+fn field_str<'a>(e: &'a Value, key: &str, ctx: &str) -> Result<&'a str, String> {
+    field(e, key, ctx)?
+        .as_str()
+        .ok_or_else(|| format!("{ctx}: `{key}` is not a string"))
+}
+
+/// Validates a Chrome `trace_event` JSON document: well-formed JSON, a
+/// `traceEvents` array (or bare array), required fields on every event,
+/// per-thread non-decreasing timestamps, and properly nested (balanced,
+/// name-matched) begin/end pairs. Returns trace statistics on success.
+pub fn validate_chrome_trace(text: &str) -> Result<TraceStats, String> {
+    let root = serde_json::value_from_str(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let events: &[Value] = if let Some(arr) = root.as_array() {
+        arr
+    } else {
+        field(&root, "traceEvents", "root")?
+            .as_array()
+            .ok_or_else(|| "root: `traceEvents` is not an array".to_string())?
+    };
+    let mut stats = TraceStats {
+        events: events.len(),
+        ..Default::default()
+    };
+    let mut stacks: HashMap<u64, Vec<String>> = HashMap::new();
+    let mut last_ts: HashMap<u64, f64> = HashMap::new();
+    for (i, e) in events.iter().enumerate() {
+        let ctx = format!("event {i}");
+        let name = field_str(e, "name", &ctx)?;
+        let ph = field_str(e, "ph", &ctx)?;
+        let ts = field_num(e, "ts", &ctx)?;
+        field_num(e, "pid", &ctx)?;
+        let tid = field_num(e, "tid", &ctx)? as u64;
+        if let Some(&prev) = last_ts.get(&tid) {
+            if ts < prev {
+                return Err(format!(
+                    "{ctx}: timestamp {ts} goes backwards on tid {tid} (prev {prev})"
+                ));
+            }
+        }
+        last_ts.insert(tid, ts);
+        match ph {
+            "B" => {
+                let stack = stacks.entry(tid).or_default();
+                stack.push(name.to_string());
+                stats.max_depth = stats.max_depth.max(stack.len());
+            }
+            "E" => {
+                let stack = stacks.entry(tid).or_default();
+                match stack.pop() {
+                    Some(open) if open == name => stats.spans += 1,
+                    Some(open) => {
+                        return Err(format!(
+                            "{ctx}: end `{name}` does not match open span `{open}` on tid {tid}"
+                        ))
+                    }
+                    None => {
+                        return Err(format!(
+                            "{ctx}: end `{name}` with no open span on tid {tid}"
+                        ))
+                    }
+                }
+            }
+            "C" => stats.values += 1,
+            "i" => stats.logs += 1,
+            other => return Err(format!("{ctx}: unknown phase `{other}`")),
+        }
+    }
+    for (tid, stack) in &stacks {
+        if !stack.is_empty() {
+            return Err(format!(
+                "tid {tid}: {} span(s) never ended: {:?}",
+                stack.len(),
+                stack
+            ));
+        }
+    }
+    Ok(stats)
+}
+
+/// Validates a JSONL event stream: every line is a JSON object with a
+/// `type`, begin/end ids balance, and per-thread timestamps never go
+/// backwards.
+pub fn validate_jsonl(text: &str) -> Result<TraceStats, String> {
+    let mut stats = TraceStats::default();
+    let mut open: HashMap<u64, String> = HashMap::new();
+    let mut depths: HashMap<u64, usize> = HashMap::new();
+    let mut last_ts: HashMap<u64, f64> = HashMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ctx = format!("line {}", lineno + 1);
+        let v = serde_json::value_from_str(line).map_err(|e| format!("{ctx}: bad JSON: {e}"))?;
+        stats.events += 1;
+        let ty = field_str(&v, "type", &ctx)?;
+        let tid = field_num(&v, "tid", &ctx)? as u64;
+        let ts = field_num(&v, "ts_ns", &ctx)?;
+        if let Some(&prev) = last_ts.get(&tid) {
+            if ts < prev {
+                return Err(format!("{ctx}: ts_ns goes backwards on tid {tid}"));
+            }
+        }
+        last_ts.insert(tid, ts);
+        match ty {
+            "span_begin" => {
+                let id = field_num(&v, "id", &ctx)? as u64;
+                let name = field_str(&v, "name", &ctx)?;
+                let parent = field_num(&v, "parent", &ctx)? as u64;
+                // Cross-thread children begin after their parent, so the
+                // parent's depth is always known here.
+                let depth = depths.get(&parent).copied().unwrap_or(0) + 1;
+                depths.insert(id, depth);
+                stats.max_depth = stats.max_depth.max(depth);
+                open.insert(id, name.to_string());
+            }
+            "span_end" => {
+                let id = field_num(&v, "id", &ctx)? as u64;
+                let name = field_str(&v, "name", &ctx)?;
+                match open.remove(&id) {
+                    Some(begun) if begun == name => stats.spans += 1,
+                    Some(begun) => {
+                        return Err(format!(
+                            "{ctx}: span {id} ended as `{name}` but began as `{begun}`"
+                        ))
+                    }
+                    None => return Err(format!("{ctx}: span {id} ended without a begin")),
+                }
+            }
+            "value" => stats.values += 1,
+            "log" => {
+                Level::parse(field_str(&v, "level", &ctx)?)
+                    .ok_or_else(|| format!("{ctx}: unknown log level"))?;
+                stats.logs += 1;
+            }
+            other => return Err(format!("{ctx}: unknown event type `{other}`")),
+        }
+    }
+    if !open.is_empty() {
+        return Err(format!("{} span(s) never ended", open.len()));
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span_events() -> Vec<Event> {
+        vec![
+            Event {
+                name: "outer",
+                tid: 1,
+                ts_ns: 100,
+                kind: EventKind::Begin {
+                    id: 1,
+                    parent: 0,
+                    args: vec![("cubes", 4.0)],
+                },
+            },
+            Event {
+                name: "inner",
+                tid: 1,
+                ts_ns: 200,
+                kind: EventKind::Begin {
+                    id: 2,
+                    parent: 1,
+                    args: vec![],
+                },
+            },
+            Event {
+                name: "points",
+                tid: 1,
+                ts_ns: 250,
+                kind: EventKind::Value { value: 51.0 },
+            },
+            Event {
+                name: "inner",
+                tid: 1,
+                ts_ns: 300,
+                kind: EventKind::End {
+                    id: 2,
+                    dur_ns: 100,
+                    flops: 10,
+                    bytes: 20,
+                },
+            },
+            Event {
+                name: "bench",
+                tid: 1,
+                ts_ns: 350,
+                kind: EventKind::Log {
+                    level: Level::Info,
+                    message: "halfway \"there\"".to_string(),
+                },
+            },
+            Event {
+                name: "outer",
+                tid: 1,
+                ts_ns: 400,
+                kind: EventKind::End {
+                    id: 1,
+                    dur_ns: 300,
+                    flops: 30,
+                    bytes: 60,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn chrome_export_round_trips_through_validator() {
+        let json = to_chrome_trace(&span_events());
+        let stats = validate_chrome_trace(&json).expect("valid trace");
+        assert_eq!(stats.events, 6);
+        assert_eq!(stats.spans, 2);
+        assert_eq!(stats.max_depth, 2);
+        assert_eq!(stats.values, 1);
+        assert_eq!(stats.logs, 1);
+    }
+
+    #[test]
+    fn jsonl_export_round_trips_through_validator() {
+        let text = to_jsonl(&span_events());
+        assert_eq!(text.lines().count(), 6);
+        let stats = validate_jsonl(&text).expect("valid jsonl");
+        assert_eq!(stats.spans, 2);
+        assert_eq!(stats.values, 1);
+        assert_eq!(stats.logs, 1);
+    }
+
+    #[test]
+    fn validator_rejects_unbalanced_and_interleaved_traces() {
+        let mut events = span_events();
+        events.pop(); // drop the outer End
+        let err = validate_chrome_trace(&to_chrome_trace(&events)).unwrap_err();
+        assert!(err.contains("never ended"), "{err}");
+
+        // Cross the end order: outer ends while inner is still open.
+        let mut bad = span_events();
+        bad.swap(3, 5);
+        let err = validate_chrome_trace(&to_chrome_trace(&bad)).unwrap_err();
+        assert!(err.contains("does not match"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_backwards_timestamps() {
+        let mut events = span_events();
+        events[5].ts_ns = 10; // before everything else on tid 1
+        let err = validate_chrome_trace(&to_chrome_trace(&events)).unwrap_err();
+        assert!(err.contains("backwards"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\": 7}").is_err());
+        assert!(validate_jsonl("{\"type\": \"mystery\", \"tid\": 1, \"ts_ns\": 0}").is_err());
+    }
+
+    #[test]
+    fn summary_table_aggregates_by_span_name() {
+        let table = summary_table(&span_events());
+        assert!(table.contains("outer"), "{table}");
+        assert!(table.contains("inner"), "{table}");
+        let outer_line = table.lines().find(|l| l.starts_with("outer")).unwrap();
+        assert!(outer_line.contains(" 1 "), "count column: {outer_line}");
+    }
+}

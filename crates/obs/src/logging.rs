@@ -1,0 +1,114 @@
+//! Leveled logging gated by `SICKLE_LOG`, replacing the bench binaries'
+//! ad-hoc `println!` progress output.
+//!
+//! Lines that pass the filter go to stderr (results and tables stay on
+//! stdout, so piping a figure binary still yields clean data) and, when
+//! tracing is enabled, are also recorded as `Log` events so the trace file
+//! interleaves log lines with spans. Disabled levels never format their
+//! arguments.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use crate::sink::{self, Event, EventKind};
+use crate::{now_ns, thread_id};
+
+/// Log severity (ordered: a level admits itself and everything below).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Logging disabled.
+    Off = 0,
+    /// Unrecoverable or surprising failures.
+    Error = 1,
+    /// Suspicious but non-fatal conditions.
+    Warn = 2,
+    /// Progress milestones (the default).
+    Info = 3,
+    /// Per-phase details.
+    Debug = 4,
+    /// Per-item details.
+    Trace = 5,
+}
+
+impl Level {
+    /// Parses a `SICKLE_LOG` value; unknown strings yield `None`.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" | "none" | "0" => Some(Level::Off),
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+
+    /// Lowercase name used in log prefixes and trace events.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+/// Default level when `SICKLE_LOG` is unset: progress stays visible.
+pub const DEFAULT_LEVEL: Level = Level::Info;
+
+static LOG_LEVEL: AtomicU8 = AtomicU8::new(DEFAULT_LEVEL as u8);
+
+/// Sets the active log level.
+pub fn set_log_level(level: Level) {
+    LOG_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// True when `level` would be printed.
+#[inline]
+pub fn log_enabled(level: Level) -> bool {
+    level as u8 <= LOG_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Formats and emits one log line (used via the `info!`-family macros, which
+/// check [`log_enabled`] first so disabled levels cost one atomic load).
+pub fn log(level: Level, target: &'static str, args: std::fmt::Arguments<'_>) {
+    let message = std::fmt::format(args);
+    eprintln!("[sickle {} {target}] {message}", level.name());
+    if crate::enabled() {
+        sink::push(Event {
+            name: target,
+            tid: thread_id(),
+            ts_ns: now_ns(),
+            kind: EventKind::Log { level, message },
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_documented_forms() {
+        assert_eq!(Level::parse("info"), Some(Level::Info));
+        assert_eq!(Level::parse("DEBUG"), Some(Level::Debug));
+        assert_eq!(Level::parse("off"), Some(Level::Off));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse("bogus"), None);
+    }
+
+    #[test]
+    fn level_ordering_gates_correctly() {
+        set_log_level(Level::Info);
+        assert!(log_enabled(Level::Error));
+        assert!(log_enabled(Level::Info));
+        assert!(!log_enabled(Level::Debug));
+        set_log_level(Level::Off);
+        assert!(!log_enabled(Level::Error));
+        set_log_level(DEFAULT_LEVEL);
+    }
+}

@@ -1,0 +1,381 @@
+//! Counters, gauges, and fixed-bucket log₂ histograms, plus the global
+//! FLOP/byte totals that bridge `sickle-energy` meters into span energy
+//! attribution.
+//!
+//! Metric handles are `&'static` and registered once by name (the
+//! `counter!`/`gauge!`/`histogram!` macros cache the handle in a local
+//! `OnceLock`), so the steady-state update path is a single relaxed atomic
+//! RMW — no locks, no allocation, no map lookup.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::sink::{self, Event, EventKind};
+use crate::{now_ns, thread_id};
+
+// ---------------------------------------------------------------------------
+// Process-wide FLOP/byte totals (the sickle-energy bridge)
+// ---------------------------------------------------------------------------
+
+static FLOPS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Joules per FLOP / per byte used for span energy attribution; defaults
+/// match `sickle_energy::MachineModel::frontier_node`.
+static J_PER_FLOP: AtomicU64 = AtomicU64::new(0);
+static J_PER_BYTE: AtomicU64 = AtomicU64::new(0);
+
+/// Adds to the process-wide FLOP total (called by `EnergyMeter`).
+#[inline]
+pub fn add_flops(n: u64) {
+    FLOPS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Adds to the process-wide byte total (called by `EnergyMeter`).
+#[inline]
+pub fn add_bytes(n: u64) {
+    BYTES.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Process-wide FLOPs recorded so far.
+pub fn flops_total() -> u64 {
+    FLOPS.load(Ordering::Relaxed)
+}
+
+/// Process-wide bytes recorded so far.
+pub fn bytes_total() -> u64 {
+    BYTES.load(Ordering::Relaxed)
+}
+
+/// Sets the energy coefficients used to convert a span's FLOP/byte deltas
+/// into joules in exports and summaries.
+pub fn set_energy_coefficients(joules_per_flop: f64, joules_per_byte: f64) {
+    J_PER_FLOP.store(joules_per_flop.to_bits(), Ordering::Relaxed);
+    J_PER_BYTE.store(joules_per_byte.to_bits(), Ordering::Relaxed);
+}
+
+/// Modeled joules for `flops` + `bytes` under the configured coefficients.
+pub fn span_joules(flops: u64, bytes: u64) -> f64 {
+    let jf = match J_PER_FLOP.load(Ordering::Relaxed) {
+        0 => 10e-12, // frontier-node defaults
+        bits => f64::from_bits(bits),
+    };
+    let jb = match J_PER_BYTE.load(Ordering::Relaxed) {
+        0 => 1e-9,
+        bits => f64::from_bits(bits),
+    };
+    flops as f64 * jf + bytes as f64 * jb
+}
+
+// ---------------------------------------------------------------------------
+// Numeric conversion for macro arguments
+// ---------------------------------------------------------------------------
+
+/// Converts span/metric argument values to `f64` (implemented for the
+/// numeric primitives so `span!("x", cubes = n)` takes a `usize` directly).
+pub trait ToMetric {
+    /// The value as `f64`.
+    fn to_metric(&self) -> f64;
+}
+
+macro_rules! impl_to_metric {
+    ($($t:ty),*) => {$(
+        impl ToMetric for $t {
+            #[inline]
+            fn to_metric(&self) -> f64 {
+                *self as f64
+            }
+        }
+    )*};
+}
+
+impl_to_metric!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+// ---------------------------------------------------------------------------
+// Counters, gauges, histograms
+// ---------------------------------------------------------------------------
+
+/// Monotone counter. Updates are relaxed atomic adds; when tracing is
+/// enabled each update also emits a `Value` event with the running total.
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n` and (when tracing) records the new total.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        let total = self.value.fetch_add(n, Ordering::Relaxed) + n;
+        if crate::enabled() {
+            sink::push(Event {
+                name: self.name,
+                tid: thread_id(),
+                ts_ns: now_ns(),
+                kind: EventKind::Value {
+                    value: total as f64,
+                },
+            });
+        }
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins gauge.
+pub struct Gauge {
+    name: &'static str,
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the gauge and (when tracing) records the observation.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+        if crate::enabled() {
+            sink::push(Event {
+                name: self.name,
+                tid: thread_id(),
+                ts_ns: now_ns(),
+                kind: EventKind::Value { value: v },
+            });
+        }
+    }
+
+    /// Current value (NaN before the first `set`).
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of log₂ buckets in a histogram: bucket `i` covers `[2^i, 2^(i+1))`
+/// (bucket 0 also absorbs everything below 1).
+pub const HIST_BUCKETS: usize = 64;
+
+/// Fixed-bucket log₂ histogram with lock-free recording; percentiles are
+/// approximate (geometric midpoint of the covering bucket), which is
+/// accurate to within a factor of √2 — plenty for p50/p95/p99 latency and
+/// rate reporting.
+pub struct Histogram {
+    name: &'static str,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Histogram {
+    #[inline]
+    fn bucket_of(v: f64) -> usize {
+        if v < 1.0 || !v.is_finite() {
+            0
+        } else {
+            (v.log2().floor() as usize).min(HIST_BUCKETS - 1)
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: f64) {
+        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        if crate::enabled() {
+            sink::push(Event {
+                name: self.name,
+                tid: thread_id(),
+                ts_ns: now_ns(),
+                kind: EventKind::Value { value: v },
+            });
+        }
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Approximate `q`-quantile (`q` in `[0, 1]`): the geometric midpoint of
+    /// the bucket where the cumulative count crosses `q`. Returns 0 when
+    /// empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        quantile_of_buckets(&counts, q)
+    }
+}
+
+/// Shared bucket→quantile math, usable on non-atomic bucket snapshots (the
+/// exporter aggregates span durations into plain `[u64; 64]` arrays).
+pub fn quantile_of_buckets(counts: &[u64], q: f64) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let target = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= target {
+            // Geometric midpoint of [2^i, 2^(i+1)); bucket 0 reports 1.0.
+            return 2f64.powi(i as i32) * std::f64::consts::SQRT_2;
+        }
+    }
+    2f64.powi(counts.len() as i32 - 1)
+}
+
+/// Index of the log₂ bucket covering `v` (exposed for exporter reuse).
+pub fn bucket_of(v: f64) -> usize {
+    Histogram::bucket_of(v)
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+enum Metric {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+fn registry() -> &'static Mutex<Vec<Metric>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Metric>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Registers (or retrieves) the counter named `name`. Call once and cache
+/// the handle — the macros do this via a local `OnceLock`.
+pub fn register_counter(name: &'static str) -> &'static Counter {
+    let mut reg = registry().lock().expect("metric registry poisoned");
+    for m in reg.iter() {
+        if let Metric::Counter(c) = m {
+            if c.name == name {
+                return c;
+            }
+        }
+    }
+    let c: &'static Counter = Box::leak(Box::new(Counter {
+        name,
+        value: AtomicU64::new(0),
+    }));
+    reg.push(Metric::Counter(c));
+    c
+}
+
+/// Registers (or retrieves) the gauge named `name`.
+pub fn register_gauge(name: &'static str) -> &'static Gauge {
+    let mut reg = registry().lock().expect("metric registry poisoned");
+    for m in reg.iter() {
+        if let Metric::Gauge(g) = m {
+            if g.name == name {
+                return g;
+            }
+        }
+    }
+    let g: &'static Gauge = Box::leak(Box::new(Gauge {
+        name,
+        bits: AtomicU64::new(f64::NAN.to_bits()),
+    }));
+    reg.push(Metric::Gauge(g));
+    g
+}
+
+/// Registers (or retrieves) the histogram named `name`.
+pub fn register_histogram(name: &'static str) -> &'static Histogram {
+    let mut reg = registry().lock().expect("metric registry poisoned");
+    for m in reg.iter() {
+        if let Metric::Histogram(h) = m {
+            if h.name == name {
+                return h;
+            }
+        }
+    }
+    let h: &'static Histogram = Box::leak(Box::new(Histogram {
+        name,
+        buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+    }));
+    reg.push(Metric::Histogram(h));
+    h
+}
+
+/// Snapshot of every registered metric as `(name, kind, value, p50, p95,
+/// p99)` rows for the end-of-run summary (percentiles are 0 for
+/// counters/gauges).
+pub fn snapshot() -> Vec<(String, &'static str, f64, f64, f64, f64)> {
+    let reg = registry().lock().expect("metric registry poisoned");
+    reg.iter()
+        .map(|m| match m {
+            Metric::Counter(c) => (c.name.to_string(), "counter", c.get() as f64, 0.0, 0.0, 0.0),
+            Metric::Gauge(g) => (g.name.to_string(), "gauge", g.get(), 0.0, 0.0, 0.0),
+            Metric::Histogram(h) => (
+                h.name.to_string(),
+                "histogram",
+                h.count() as f64,
+                h.quantile(0.50),
+                h.quantile(0.95),
+                h.quantile(0.99),
+            ),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_dedupes_by_name() {
+        let a = register_counter("metrics.test.dedupe");
+        let b = register_counter("metrics.test.dedupe");
+        assert!(std::ptr::eq(a, b));
+        a.add(2);
+        assert_eq!(b.get(), 2);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_the_data() {
+        let h = register_histogram("metrics.test.hist");
+        for _ in 0..90 {
+            h.record(100.0); // bucket 6: [64, 128)
+        }
+        for _ in 0..10 {
+            h.record(100_000.0); // bucket 16: [65536, 131072)
+        }
+        let p50 = h.quantile(0.50);
+        let p99 = h.quantile(0.99);
+        assert!((64.0..128.0).contains(&p50), "p50 = {p50}");
+        assert!((65536.0..131072.0).contains(&p99), "p99 = {p99}");
+        assert!(h.quantile(0.95) <= p99);
+    }
+
+    #[test]
+    fn quantile_handles_empty_and_tiny() {
+        let h = register_histogram("metrics.test.empty");
+        assert_eq!(h.quantile(0.5), 0.0);
+        h.record(0.0); // below 1 → bucket 0
+        assert!(h.quantile(0.5) >= 1.0);
+    }
+
+    #[test]
+    fn flop_byte_totals_accumulate() {
+        let f0 = flops_total();
+        let b0 = bytes_total();
+        add_flops(123);
+        add_bytes(45);
+        assert!(flops_total() >= f0 + 123);
+        assert!(bytes_total() >= b0 + 45);
+    }
+
+    #[test]
+    fn span_joules_uses_defaults_and_overrides() {
+        let j = span_joules(1_000_000_000, 0);
+        assert!((j - 0.01).abs() < 1e-9, "default 10 pJ/flop: {j}");
+        set_energy_coefficients(1e-12, 2e-9);
+        let j2 = span_joules(0, 1_000_000_000);
+        assert!((j2 - 2.0).abs() < 1e-9, "{j2}");
+        set_energy_coefficients(10e-12, 1e-9); // restore defaults for peers
+    }
+}

@@ -1,0 +1,134 @@
+//! RAII spans with a thread-local parent stack.
+//!
+//! A span begins when [`SpanGuard::begin`] runs and ends when the guard
+//! drops, so nesting on one thread is enforced by scope structure. Crossing
+//! a thread boundary (rank threads, rayon workers) is explicit: capture
+//! [`current_span_id`] on the spawning thread and open the child with
+//! [`SpanGuard::begin_with_parent`] (or the `child_span!` macro) inside the
+//! worker. Every guard must drop on the thread that created it — true by
+//! construction for RAII usage.
+//!
+//! When tracing is disabled ([`crate::enabled`] is false) `begin` returns an
+//! inert guard without reading the clock or touching the heap, which is what
+//! keeps fully-instrumented hot loops (e.g. `SpectralSolver::step`)
+//! allocation-free in the default configuration.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::sink::{self, Event, EventKind};
+use crate::{metrics, now_ns, thread_id};
+
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Id of the innermost span open on this thread, or 0 if none. Use it to
+/// re-parent spans opened on worker threads.
+pub fn current_span_id() -> u64 {
+    SPAN_STACK.with(|s| s.borrow().last().copied().unwrap_or(0))
+}
+
+struct ActiveSpan {
+    id: u64,
+    name: &'static str,
+    start_ns: u64,
+    flops0: u64,
+    bytes0: u64,
+}
+
+/// RAII handle for one span; emits the `End` event on drop.
+pub struct SpanGuard(Option<ActiveSpan>);
+
+impl SpanGuard {
+    /// An inert guard (tracing disabled).
+    #[inline]
+    pub fn disabled() -> Self {
+        SpanGuard(None)
+    }
+
+    /// Opens a span parented to the innermost span on this thread.
+    #[inline]
+    pub fn begin(name: &'static str, args: &[(&'static str, f64)]) -> Self {
+        if !crate::enabled() {
+            return Self::disabled();
+        }
+        Self::begin_at(name, current_span_id(), args)
+    }
+
+    /// Opens a span under an explicitly captured parent (0 = root). This is
+    /// the cross-thread entry point: capture [`current_span_id`] before
+    /// spawning and pass it here from the worker.
+    #[inline]
+    pub fn begin_with_parent(
+        name: &'static str,
+        parent: u64,
+        args: &[(&'static str, f64)],
+    ) -> Self {
+        if !crate::enabled() {
+            return Self::disabled();
+        }
+        Self::begin_at(name, parent, args)
+    }
+
+    fn begin_at(name: &'static str, parent: u64, args: &[(&'static str, f64)]) -> Self {
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let start_ns = now_ns();
+        sink::push(Event {
+            name,
+            tid: thread_id(),
+            ts_ns: start_ns,
+            kind: EventKind::Begin {
+                id,
+                parent,
+                args: args.to_vec(),
+            },
+        });
+        SPAN_STACK.with(|s| s.borrow_mut().push(id));
+        SpanGuard(Some(ActiveSpan {
+            id,
+            name,
+            start_ns,
+            flops0: metrics::flops_total(),
+            bytes0: metrics::bytes_total(),
+        }))
+    }
+
+    /// True when this guard traces a live span (i.e. tracing was enabled at
+    /// construction time).
+    pub fn is_active(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.0.take() else {
+            return;
+        };
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            // RAII makes this LIFO; the position-search tolerates a guard
+            // kept across an enable/disable toggle.
+            if stack.last() == Some(&active.id) {
+                stack.pop();
+            } else if let Some(pos) = stack.iter().rposition(|&i| i == active.id) {
+                stack.remove(pos);
+            }
+        });
+        let end_ns = now_ns();
+        sink::push(Event {
+            name: active.name,
+            tid: thread_id(),
+            ts_ns: end_ns,
+            kind: EventKind::End {
+                id: active.id,
+                dur_ns: end_ns.saturating_sub(active.start_ns),
+                flops: metrics::flops_total().saturating_sub(active.flops0),
+                bytes: metrics::bytes_total().saturating_sub(active.bytes0),
+            },
+        });
+    }
+}

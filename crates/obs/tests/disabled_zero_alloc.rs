@@ -1,0 +1,69 @@
+//! Proves the zero-cost contract of disabled tracing: once metric handles
+//! are registered (a one-time `OnceLock` initialization), `span!`,
+//! `child_span!`, `counter!`, `gauge!`, `histogram!`, and level-filtered
+//! log macros must perform **zero** heap allocations of any size while
+//! tracing is off — the instrumented CFD/sampling hot loops keep the
+//! workspace's allocation-free stepping guarantees.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+static TRACKING: AtomicUsize = AtomicUsize::new(0);
+
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if TRACKING.load(Ordering::Relaxed) != 0 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn hot_loop(n: usize) -> u64 {
+    let mut acc = 0u64;
+    for i in 0..n {
+        let _outer = sickle_obs::span!("alloc.test.outer", iter = i);
+        let _inner = sickle_obs::child_span!(0u64, "alloc.test.inner");
+        sickle_obs::counter!("alloc.test.counter", 3usize);
+        sickle_obs::gauge!("alloc.test.gauge", i as f64);
+        sickle_obs::histogram!("alloc.test.histogram", (i + 1) as f64);
+        // Filtered out at the default Info level, so the format args are
+        // never rendered.
+        sickle_obs::debug!("alloc.test", "iteration {i}");
+        acc = acc.wrapping_add(i as u64 ^ sickle_obs::current_span_id());
+    }
+    acc
+}
+
+#[test]
+fn disabled_tracing_allocates_nothing() {
+    sickle_obs::set_enabled(false);
+    sickle_obs::set_log_level(sickle_obs::Level::Info);
+    // Warmup: registers the metric handles (OnceLock + registry) and pins
+    // the trace clock — the only allocations the layer ever makes while
+    // disabled, all one-time.
+    std::hint::black_box(hot_loop(2));
+    sickle_obs::now_ns();
+
+    TRACKING.store(1, Ordering::SeqCst);
+    let acc = std::hint::black_box(hot_loop(10_000));
+    TRACKING.store(0, Ordering::SeqCst);
+
+    let count = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        count, 0,
+        "10k disabled span/counter/gauge/histogram/log iterations made \
+         {count} heap allocation(s); the disabled path must be allocation-free"
+    );
+    std::hint::black_box(acc);
+}

@@ -99,6 +99,12 @@ pub fn train(
     machine: MachineModel,
 ) -> TrainResult {
     let (train_set, test_set) = data.split(cfg.test_frac, cfg.seed);
+    let _run_span = sickle_obs::span!(
+        "train.run",
+        epochs = cfg.epochs,
+        samples = train_set.n,
+        params = model.num_params()
+    );
     let meter = EnergyMeter::new(machine);
     let mut opt = Adam::new(cfg.lr);
     let mut sched = ReduceLrOnPlateau::new(cfg.patience);
@@ -112,9 +118,11 @@ pub fn train(
         ((train_set.inputs.len() + train_set.targets.len()) * std::mem::size_of::<f32>()) as u64;
     let step_param_bytes = (model.num_params() * 2 * std::mem::size_of::<f32>()) as u64;
 
-    for _epoch in 0..cfg.epochs {
+    for epoch in 0..cfg.epochs {
+        let _epoch_span = sickle_obs::span!("train.epoch", epoch = epoch);
         let mut epoch_loss = 0.0f64;
         let mut batches = 0usize;
+        let mut grad_norm = f64::NAN;
         for batch in train_set.batches(cfg.batch, &mut rng) {
             let mut tape = Tape::new();
             let loss = model.loss_on_batch(&mut tape, &batch);
@@ -125,6 +133,17 @@ pub fn train(
             if cfg.precision == Precision::Bf16 {
                 truncate_bf16(model.store_mut());
             }
+            // Gradient L2 norm of the epoch's last batch — only computed
+            // while tracing, so the untraced hot loop pays nothing.
+            if sickle_obs::enabled() {
+                let sq: f64 = model
+                    .store_mut()
+                    .iter()
+                    .flat_map(|p| p.grad.iter())
+                    .map(|&g| g as f64 * g as f64)
+                    .sum();
+                grad_norm = sq.sqrt();
+            }
             opt.step(model.store_mut());
             model.store_mut().zero_grads();
             meter.record_bytes(step_param_bytes);
@@ -134,6 +153,16 @@ pub fn train(
         let test_loss = model.eval_loss(&test_batch);
         best = best.min(test_loss);
         opt.lr = sched.observe(test_loss, opt.lr);
+        sickle_obs::gauge!("train.loss", train_loss);
+        sickle_obs::gauge!("train.test_loss", test_loss);
+        if grad_norm.is_finite() {
+            sickle_obs::gauge!("train.grad_norm", grad_norm);
+        }
+        sickle_obs::debug!(
+            "train",
+            "epoch {epoch}: train {train_loss:.6} test {test_loss:.6} lr {:.2e}",
+            opt.lr
+        );
         train_losses.push(train_loss);
         test_losses.push(test_loss);
     }

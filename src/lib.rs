@@ -17,6 +17,8 @@
 //! - [`train`] — Table 2's models, trainers, DDP analogue
 //! - [`energy`] — FLOP/byte energy accounting (Cray PM counter substitute)
 //! - [`hpc`] — rank executor + cluster simulator for scaling studies
+//! - [`obs`] — structured tracing, metrics, and Chrome-trace export
+//!   (`SICKLE_TRACE` / `SICKLE_LOG`)
 //!
 //! ## Quickstart
 //!
@@ -50,4 +52,5 @@ pub use sickle_fft as fft;
 pub use sickle_field as field;
 pub use sickle_hpc as hpc;
 pub use sickle_nn as nn;
+pub use sickle_obs as obs;
 pub use sickle_train as train;

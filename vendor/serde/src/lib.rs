@@ -116,6 +116,12 @@ pub trait Serialize {
     fn to_value(&self) -> Value;
 }
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
 /// Rebuilds a type from a [`Value`] tree.
 pub trait Deserialize: Sized {
     /// Parses the value tree.
