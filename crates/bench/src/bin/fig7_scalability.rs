@@ -14,7 +14,8 @@
 
 use sickle_bench::{fmt, print_table, workloads, write_csv};
 use sickle_core::pipeline::{CubeMethod, PointMethod};
-use sickle_hpc::executor::scaling_sweep;
+use sickle_hpc::executor::{run_resilient, scaling_sweep, RetryPolicy};
+use sickle_hpc::fault::{FaultInjector, FaultPlan};
 use sickle_hpc::simulator::{knee_point, ClusterModel};
 
 fn main() {
@@ -74,6 +75,67 @@ fn main() {
     let meas_header = ["ranks", "secs", "speedup", "efficiency", "imbalance"];
     print_table(&meas_header, &meas_rows);
     write_csv("fig7_measured.csv", &meas_header, &meas_rows);
+
+    // --- Optional chaos stage: rerun under SICKLE_FAULT_PLAN. ---
+    // `SICKLE_FAULT_PLAN="kill@2:1,delay@0:3:50" fig7_scalability` replays
+    // the measured sweep's largest rank count with faults injected, reports
+    // the recovery overhead, and verifies the determinism contract (the
+    // faulted output must match the fault-free one bit for bit).
+    match FaultPlan::from_env() {
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("error: bad SICKLE_FAULT_PLAN: {e}");
+            std::process::exit(2);
+        }
+        Ok(Some(plan)) => {
+            let ranks = *measured_ranks.last().unwrap();
+            sickle_obs::info!(
+                "fig7",
+                "chaos stage: {} fault(s) on {ranks} ranks",
+                plan.faults.len()
+            );
+            let policy = RetryPolicy::default();
+            let clean = run_resilient(&snap, 0, &cfg, ranks, &FaultInjector::none(), &policy)
+                .expect("fault-free run");
+            match run_resilient(&snap, 0, &cfg, ranks, &FaultInjector::new(plan), &policy) {
+                Err(e) => {
+                    eprintln!("error: chaos run did not recover: {e}");
+                    std::process::exit(1);
+                }
+                Ok(chaos) => {
+                    let identical = clean.sets.len() == chaos.sets.len()
+                        && clean.sets.iter().zip(&chaos.sets).all(|(a, b)| {
+                            a.indices == b.indices && a.features.data == b.features.data
+                        });
+                    let overhead_pct = (chaos.timing.elapsed_secs - clean.timing.elapsed_secs)
+                        / clean.timing.elapsed_secs
+                        * 100.0;
+                    let chaos_header = [
+                        "ranks",
+                        "faults_injected",
+                        "failed_ranks",
+                        "retry_rounds",
+                        "overhead_pct",
+                        "bit_identical",
+                    ];
+                    let chaos_rows = vec![vec![
+                        ranks.to_string(),
+                        chaos.timing.faults_injected.to_string(),
+                        format!("{:?}", chaos.timing.failed_ranks),
+                        chaos.timing.retry_rounds.to_string(),
+                        fmt(overhead_pct),
+                        identical.to_string(),
+                    ]];
+                    print_table(&chaos_header, &chaos_rows);
+                    write_csv("fig7_chaos.csv", &chaos_header, &chaos_rows);
+                    if !identical {
+                        eprintln!("error: chaos output differs from the fault-free run");
+                        std::process::exit(1);
+                    }
+                }
+            }
+        }
+    }
 
     // --- Modeled stage, calibrated to the measured single-rank time. ---
     // Paper-scale problems. SST-P1F4 has only 12 hypercubes of work (the

@@ -110,6 +110,10 @@ fn main() {
         let mut maxent_kj = 0.0;
         for (case, h, x) in workloads::fig8_cases() {
             let (loss, skj, tkj) = run_case(dataset, case, h, x, 8);
+            sickle_bench::require_finite(
+                &format!("fig8 {label} {case}"),
+                &[("test_loss", loss), ("sampling_kJ", skj), ("total_kJ", tkj)],
+            );
             if case == "Hrandom-Xfull" {
                 full_kj = tkj;
             }

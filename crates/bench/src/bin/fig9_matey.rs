@@ -166,6 +166,13 @@ fn main() {
         };
         let res = train(&mut model, &tensor, &tcfg, MachineModel::frontier_gcd());
         let val_loss = model.eval_loss(&val.full_batch());
+        sickle_bench::require_finite(
+            &format!("fig9 {name}"),
+            &[
+                ("val_loss", val_loss as f64),
+                ("train_loss", res.best_test as f64),
+            ],
+        );
         let total_kj = (sample_meter.report().total_joules() + res.energy.total_joules()) / 1e3;
         println!("  {name:<8} val loss {val_loss:.4}  energy {total_kj:.4} kJ");
         rows.push(vec![name.to_string(), fmt(val_loss as f64), fmt(total_kj)]);

@@ -171,6 +171,10 @@ fn main() {
             std::process::exit(2);
         }
     };
+    sickle_bench::require_finite(
+        &format!("train_case {}", case.name),
+        &[("test loss", res.best_test as f64)],
+    );
     println!("params: {}", res.params);
     println!("Evaluation on test set: {:.6}", res.best_test);
     println!("{}", res.energy.log_lines());

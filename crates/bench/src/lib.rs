@@ -111,6 +111,27 @@ pub fn sampling_energy(stats: &SamplingStats, cfg: &SamplingConfig) -> EnergyRep
     meter.report()
 }
 
+/// True when every named value is finite — the testable core of
+/// [`require_finite`].
+pub fn all_finite(values: &[(&str, f64)]) -> bool {
+    values.iter().all(|(_, v)| v.is_finite())
+}
+
+/// Aborts the benchmark binary with exit code 1 when any named value is
+/// non-finite. Training-loss NaNs must fail the run loudly, not flow into
+/// CSVs and JSON reports as `NaN` cells that plot as gaps.
+pub fn require_finite(context: &str, values: &[(&str, f64)]) {
+    if all_finite(values) {
+        return;
+    }
+    for (name, v) in values {
+        if !v.is_finite() {
+            eprintln!("error: {context}: {name} is {v} (non-finite)");
+        }
+    }
+    std::process::exit(1);
+}
+
 /// Convenience: mean and (population) standard deviation of a slice.
 pub fn mean_std(xs: &[f64]) -> (f64, f64) {
     if xs.is_empty() {
@@ -143,6 +164,15 @@ mod tests {
         assert!((m - 2.0).abs() < 1e-12);
         assert!((s - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
         assert!(mean_std(&[]).0.is_nan());
+    }
+
+    #[test]
+    fn all_finite_flags_nan_and_infinity() {
+        assert!(all_finite(&[("loss", 0.5), ("val", 1.0e9)]));
+        assert!(!all_finite(&[("loss", f64::NAN)]));
+        assert!(!all_finite(&[("loss", 0.5), ("val", f64::INFINITY)]));
+        assert!(!all_finite(&[("loss", f64::NEG_INFINITY)]));
+        assert!(all_finite(&[]));
     }
 
     #[test]

@@ -7,10 +7,13 @@
 //! over every snapshot, parallelizing across hypercubes exactly where the
 //! reference implementation parallelizes across MPI ranks.
 
+use std::path::Path;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use sickle_field::io as fio;
 use sickle_field::{Dataset, SampleSet, Snapshot, Tiling};
 
 use crate::hypercube::HypercubeSelector;
@@ -278,7 +281,12 @@ impl SamplingOutput {
 
 /// Derives a per-(snapshot, cube) RNG stream from the base seed via
 /// SplitMix64 mixing — parallel execution order cannot perturb results.
-fn derive_rng(seed: u64, snapshot: usize, cube: usize) -> StdRng {
+///
+/// Public because every executor (the in-process rayon pipeline here, the
+/// ranked thread executor in `sickle-hpc`) must draw from the same streams:
+/// that is the determinism contract (DESIGN.md §9) that makes rank counts,
+/// work redistribution, and retries invisible in the output.
+pub fn derive_rng(seed: u64, snapshot: usize, cube: usize) -> StdRng {
     // `cube` may be usize::MAX (the per-snapshot sentinel), so the +1 must wrap.
     let mut z = seed
         .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul((snapshot as u64).wrapping_add(1)))
@@ -385,6 +393,139 @@ pub fn run_dataset(dataset: &Dataset, cfg: &SamplingConfig) -> SamplingOutput {
         stats,
         config: cfg.clone(),
     }
+}
+
+/// Fingerprint of a sampling configuration (FNV-1a over its canonical JSON,
+/// in hex-string form so it survives the JSON manifest round-trip), used to
+/// guard checkpoints against being resumed into the wrong run.
+pub fn config_fingerprint(cfg: &SamplingConfig) -> String {
+    let json = serde_json::to_string(cfg).expect("config serializes");
+    fio::fnv1a64_hex(json.as_bytes())
+}
+
+fn shard_file_name(snapshot_index: usize) -> String {
+    format!("snap_{snapshot_index:05}.sklshard")
+}
+
+/// Tries to restore one snapshot's sample sets from a checkpoint entry,
+/// verifying the manifest hash. Any failure (missing file, hash mismatch,
+/// decode error) returns `None` and the snapshot is recomputed.
+fn restore_snapshot(dir: &Path, entry: &fio::ManifestEntry) -> Option<Vec<SampleSet>> {
+    let path = dir.join(&entry.file);
+    let bytes = std::fs::read(&path).ok()?;
+    if fio::fnv1a64_hex(&bytes) != entry.hash {
+        sickle_obs::warn!(
+            "checkpoint",
+            "hash mismatch for {} — recomputing snapshot {}",
+            entry.file,
+            entry.snapshot_index
+        );
+        return None;
+    }
+    match fio::decode_sample_sets(&bytes) {
+        Ok(sets) => Some(sets),
+        Err(e) => {
+            sickle_obs::warn!(
+                "checkpoint",
+                "failed to decode {}: {e} — recomputing snapshot {}",
+                entry.file,
+                entry.snapshot_index
+            );
+            None
+        }
+    }
+}
+
+/// Runs the pipeline over a dataset with snapshot-granularity checkpointing:
+/// after each snapshot completes, its per-cube sample sets are written as a
+/// hashed shard under `dir` and recorded in an atomically-updated
+/// `manifest.json`. A rerun with the same configuration skips every
+/// snapshot whose shard still verifies, so a process killed between
+/// snapshots resumes where it left off; the restored output is bit-identical
+/// to an uninterrupted [`run_dataset`] (the determinism contract, DESIGN.md
+/// §9). A manifest from a *different* configuration is ignored wholesale.
+///
+/// # Errors
+/// Propagates I/O errors from shard or manifest writes. Unreadable or
+/// corrupt checkpoint state is never an error — those snapshots are simply
+/// recomputed.
+pub fn run_dataset_resumable(
+    dataset: &Dataset,
+    cfg: &SamplingConfig,
+    dir: &Path,
+) -> std::io::Result<SamplingOutput> {
+    let _run = sickle_obs::span!(
+        "sample.run_dataset_resumable",
+        snapshots = dataset.num_snapshots()
+    );
+    let t0 = std::time::Instant::now();
+    std::fs::create_dir_all(dir)?;
+    let fingerprint = config_fingerprint(cfg);
+    let manifest_path = dir.join("manifest.json");
+    let mut manifest = match fio::CheckpointManifest::load(&manifest_path) {
+        Ok(m) if m.config_hash == fingerprint => m,
+        Ok(_) => {
+            sickle_obs::warn!(
+                "checkpoint",
+                "manifest at {} belongs to a different configuration — starting fresh",
+                manifest_path.display()
+            );
+            fio::CheckpointManifest::new(fingerprint.clone())
+        }
+        Err(_) => fio::CheckpointManifest::new(fingerprint.clone()),
+    };
+
+    let keep = {
+        let _t = sickle_obs::span!("sample.temporal", total = dataset.num_snapshots());
+        temporal_selection(dataset, cfg)
+    };
+    let mut sets: Vec<Vec<SampleSet>> = Vec::with_capacity(keep.len());
+    for &i in &keep {
+        if let Some(restored) = manifest.entry(i).and_then(|e| restore_snapshot(dir, e)) {
+            sickle_obs::counter!("checkpoint.skipped", 1usize);
+            sickle_obs::info!("checkpoint", "snapshot {i}: restored from checkpoint");
+            sets.push(restored);
+            continue;
+        }
+        let snap_sets = run_snapshot(&dataset.snapshots[i], i, cfg);
+        let w0 = std::time::Instant::now();
+        {
+            let _w = sickle_obs::span!("checkpoint.write", snapshot = i);
+            let bytes = fio::encode_sample_sets(&snap_sets);
+            let file = shard_file_name(i);
+            let path = dir.join(&file);
+            let tmp = dir.join(format!("{file}.tmp"));
+            std::fs::write(&tmp, &bytes)?;
+            std::fs::rename(&tmp, &path)?;
+            manifest.upsert(fio::ManifestEntry {
+                snapshot_index: i,
+                file,
+                hash: fio::fnv1a64_hex(&bytes),
+                sets: snap_sets.len(),
+                points: snap_sets.iter().map(SampleSet::len).sum(),
+            });
+            manifest.save_atomic(&manifest_path)?;
+        }
+        sickle_obs::histogram!("checkpoint.write_secs", w0.elapsed().as_secs_f64());
+        sets.push(snap_sets);
+    }
+
+    let cube_points = cfg
+        .cube_edge
+        .pow(if dataset.grid().nz == 1 { 2 } else { 3 });
+    let cubes_selected: usize = sets.iter().map(Vec::len).sum();
+    let stats = SamplingStats {
+        points_in: cubes_selected * cube_points,
+        points_out: sets.iter().flatten().map(SampleSet::len).sum(),
+        cubes_selected,
+        phase1_points: dataset.grid().len() * keep.len(),
+        elapsed_secs: t0.elapsed().as_secs_f64(),
+    };
+    Ok(SamplingOutput {
+        sets,
+        stats,
+        config: cfg.clone(),
+    })
 }
 
 #[cfg(test)]
@@ -499,6 +640,22 @@ mod tests {
         }
         assert_eq!(out.total_points(), 2 * 4 * 51);
         assert!((out.stats.retention() - 51.0 / 512.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retention_of_degenerate_stats_is_zero_not_nan() {
+        // A run that selected nothing (empty dataset, zero cubes) must
+        // report 0.0 retention, never 0/0 = NaN — this number lands in CSVs
+        // and JSON benchmark reports downstream.
+        let stats = SamplingStats {
+            points_in: 0,
+            points_out: 0,
+            cubes_selected: 0,
+            phase1_points: 0,
+            elapsed_secs: 0.0,
+        };
+        assert_eq!(stats.retention(), 0.0);
+        assert!(stats.retention().is_finite());
     }
 
     #[test]

@@ -1,0 +1,183 @@
+//! Checkpoint/resume semantics of `run_dataset_resumable`: snapshot shards
+//! are written as the run progresses, a resumed run skips every snapshot
+//! whose shard verifies against the manifest hash, and the restored output
+//! is bit-identical to an uninterrupted `run_dataset`.
+
+use std::path::PathBuf;
+
+use sickle_core::pipeline::{
+    run_dataset, run_dataset_resumable, CubeMethod, PointMethod, SamplingConfig, SamplingOutput,
+    TemporalMethod,
+};
+use sickle_field::{Dataset, DatasetMeta, Grid3, Snapshot};
+
+fn dataset(snapshots: usize) -> Dataset {
+    let grid = Grid3::new(16, 16, 16, 1.0, 1.0, 1.0);
+    let meta = DatasetMeta::new("T", "checkpoint test", "q", &["u", "q"], &[]);
+    let mut d = Dataset::new(meta);
+    for s in 0..snapshots {
+        let u: Vec<f64> = (0..grid.len())
+            .map(|i| ((i * 31 + s * 7) % 100) as f64 * 0.01)
+            .collect();
+        let q: Vec<f64> = (0..grid.len())
+            .map(|i| {
+                if i % 50 == s {
+                    10.0
+                } else {
+                    ((i * 17 + s) % 100) as f64 * 0.001
+                }
+            })
+            .collect();
+        d.push(
+            Snapshot::new(grid, s as f64)
+                .with_var("u", u)
+                .with_var("q", q),
+        );
+    }
+    d
+}
+
+fn config() -> SamplingConfig {
+    SamplingConfig {
+        hypercubes: CubeMethod::MaxEnt,
+        num_hypercubes: 4,
+        cube_edge: 8,
+        method: PointMethod::MaxEnt {
+            num_clusters: 5,
+            bins: 32,
+        },
+        num_samples: 51,
+        cluster_var: "q".to_string(),
+        feature_vars: vec!["u".to_string(), "q".to_string()],
+        seed: 11,
+        temporal: TemporalMethod::All,
+    }
+}
+
+/// Fresh scratch directory per test (removed on entry, not exit, so a
+/// failing test leaves its state behind for inspection).
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("sickle_ckpt_tests").join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn assert_outputs_identical(a: &SamplingOutput, b: &SamplingOutput) {
+    assert_eq!(a.sets.len(), b.sets.len(), "snapshot count");
+    for (snap_a, snap_b) in a.sets.iter().zip(&b.sets) {
+        assert_eq!(snap_a.len(), snap_b.len(), "cube count");
+        for (sa, sb) in snap_a.iter().zip(snap_b) {
+            assert_eq!(sa.hypercube, sb.hypercube);
+            assert_eq!(sa.snapshot_index, sb.snapshot_index);
+            assert_eq!(sa.indices, sb.indices);
+            assert_eq!(sa.features.data, sb.features.data);
+            assert_eq!(sa.features.names, sb.features.names);
+        }
+    }
+}
+
+#[test]
+fn checkpointed_run_matches_plain_run() {
+    let d = dataset(3);
+    let cfg = config();
+    let dir = scratch("matches_plain");
+    let plain = run_dataset(&d, &cfg);
+    let ckpt = run_dataset_resumable(&d, &cfg, &dir).unwrap();
+    assert_outputs_identical(&plain, &ckpt);
+    assert!(dir.join("manifest.json").exists());
+    assert!(dir.join("snap_00000.sklshard").exists());
+    assert!(dir.join("snap_00002.sklshard").exists());
+}
+
+#[test]
+fn resume_skips_completed_snapshots() {
+    let d = dataset(3);
+    let cfg = config();
+    let dir = scratch("resume_skips");
+    let first = run_dataset_resumable(&d, &cfg, &dir).unwrap();
+
+    // Tamper with the dataset. If the resumed run recomputed any snapshot,
+    // its output would change; loading from checkpoint must preserve the
+    // original results exactly.
+    let mut tampered = dataset(3);
+    for snap in &mut tampered.snapshots {
+        for var in &mut snap.vars {
+            for v in var.iter_mut() {
+                *v += 100.0;
+            }
+        }
+    }
+    let resumed = run_dataset_resumable(&tampered, &cfg, &dir).unwrap();
+    assert_outputs_identical(&first, &resumed);
+}
+
+#[test]
+fn killing_between_snapshots_resumes_where_it_stopped() {
+    // Simulate a process killed after two of three snapshots: run on the
+    // truncated dataset first, then hand the full dataset to a fresh call
+    // with the same checkpoint directory.
+    let full = dataset(3);
+    let truncated = dataset(2);
+    let cfg = config();
+    let dir = scratch("kill_between");
+    let partial = run_dataset_resumable(&truncated, &cfg, &dir).unwrap();
+    assert_eq!(partial.sets.len(), 2);
+
+    let resumed = run_dataset_resumable(&full, &cfg, &dir).unwrap();
+    let plain = run_dataset(&full, &cfg);
+    assert_outputs_identical(&plain, &resumed);
+}
+
+#[test]
+fn corrupt_shard_is_recomputed_not_trusted() {
+    let d = dataset(2);
+    let cfg = config();
+    let dir = scratch("corrupt_shard");
+    let first = run_dataset_resumable(&d, &cfg, &dir).unwrap();
+
+    // Flip bytes in snapshot 1's shard; the manifest hash no longer matches.
+    let shard = dir.join("snap_00001.sklshard");
+    let mut bytes = std::fs::read(&shard).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&shard, bytes).unwrap();
+
+    let resumed = run_dataset_resumable(&d, &cfg, &dir).unwrap();
+    assert_outputs_identical(&first, &resumed);
+    // The recomputed shard must verify again on a third run.
+    let third = run_dataset_resumable(&d, &cfg, &dir).unwrap();
+    assert_outputs_identical(&first, &third);
+}
+
+#[test]
+fn foreign_config_checkpoint_is_ignored() {
+    let d = dataset(2);
+    let cfg = config();
+    let dir = scratch("foreign_config");
+    run_dataset_resumable(&d, &cfg, &dir).unwrap();
+
+    // A different seed is a different run; its results must not be reused.
+    let mut cfg2 = cfg.clone();
+    cfg2.seed = 99;
+    let fresh = run_dataset_resumable(&d, &cfg2, &dir).unwrap();
+    let plain = run_dataset(&d, &cfg2);
+    assert_outputs_identical(&plain, &fresh);
+}
+
+#[test]
+fn temporal_selection_checkpoints_by_snapshot_index() {
+    // Stride selection keeps snapshots {0, 2}; the checkpoint must key
+    // shards by dataset snapshot index, not by position in the kept list.
+    let d = dataset(4);
+    let mut cfg = config();
+    cfg.temporal = TemporalMethod::Stride { count: 2 };
+    let dir = scratch("temporal_stride");
+    let first = run_dataset_resumable(&d, &cfg, &dir).unwrap();
+    assert_eq!(first.sets.len(), 2);
+    assert!(dir.join("snap_00000.sklshard").exists());
+    assert!(!dir.join("snap_00001.sklshard").exists());
+    let resumed = run_dataset_resumable(&d, &cfg, &dir).unwrap();
+    assert_outputs_identical(&first, &resumed);
+    let plain = run_dataset(&d, &cfg);
+    assert_outputs_identical(&plain, &first);
+}

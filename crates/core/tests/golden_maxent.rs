@@ -1,0 +1,152 @@
+//! Golden-regression test for the two-phase MaxEnt sampler: the phase-1
+//! hypercube selection and phase-2 retained point indices on a seeded 16³
+//! synthetic snapshot are pinned to a committed JSON file. Any algorithmic
+//! drift — a changed RNG stream, a reordered reduction, a tweaked entropy
+//! estimate — shows up as a readable diff, not a silent behavior change.
+//!
+//! To intentionally re-baseline after a deliberate algorithm change:
+//!
+//! ```text
+//! SICKLE_UPDATE_GOLDEN=1 cargo test -p sickle-core --test golden_maxent
+//! ```
+
+use std::path::PathBuf;
+
+use serde::{Deserialize, Serialize};
+use sickle_cfd::synth::{generate, SynthConfig};
+use sickle_core::pipeline::{
+    run_snapshot, CubeMethod, PointMethod, SamplingConfig, TemporalMethod,
+};
+
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+struct GoldenCube {
+    /// Phase-1 selected hypercube id, in selection order.
+    cube: usize,
+    /// Phase-2 retained grid-point indices for this cube, in retention order.
+    indices: Vec<usize>,
+}
+
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+struct Golden {
+    description: String,
+    grid: Vec<usize>,
+    synth_seed: usize,
+    sampling_seed: usize,
+    cubes: Vec<GoldenCube>,
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("maxent_16cube.json")
+}
+
+fn compute_golden() -> Golden {
+    let synth = SynthConfig {
+        nx: 16,
+        ny: 16,
+        nz: 16,
+        ..SynthConfig::default()
+    };
+    let snap = generate(&synth, 42);
+    let cfg = SamplingConfig {
+        hypercubes: CubeMethod::MaxEnt,
+        num_hypercubes: 4,
+        cube_edge: 8,
+        method: PointMethod::MaxEnt {
+            num_clusters: 5,
+            bins: 32,
+        },
+        num_samples: 40,
+        cluster_var: "u".to_string(),
+        feature_vars: vec!["u".to_string(), "v".to_string(), "w".to_string()],
+        seed: 42,
+        temporal: TemporalMethod::All,
+    };
+    let sets = run_snapshot(&snap, 0, &cfg);
+    Golden {
+        description: "MaxEnt phase-1 cube selection + phase-2 retained points, \
+                      16^3 synthetic HIT snapshot (synth seed 42, sampling seed 42)"
+            .to_string(),
+        grid: vec![16, 16, 16],
+        synth_seed: 42,
+        sampling_seed: 42,
+        cubes: sets
+            .iter()
+            .map(|s| GoldenCube {
+                cube: s.hypercube.expect("phase-1 cube id"),
+                indices: s.indices.clone(),
+            })
+            .collect(),
+    }
+}
+
+/// A human-readable description of how `actual` drifted from `expected`.
+fn diff_report(expected: &Golden, actual: &Golden) -> String {
+    let mut report = String::new();
+    let exp_cubes: Vec<usize> = expected.cubes.iter().map(|c| c.cube).collect();
+    let act_cubes: Vec<usize> = actual.cubes.iter().map(|c| c.cube).collect();
+    if exp_cubes != act_cubes {
+        report.push_str(&format!(
+            "phase-1 cube selection drifted:\n  expected {exp_cubes:?}\n  actual   {act_cubes:?}\n"
+        ));
+    }
+    for (e, a) in expected.cubes.iter().zip(&actual.cubes) {
+        if e.cube != a.cube || e.indices == a.indices {
+            continue;
+        }
+        let first_diff = e
+            .indices
+            .iter()
+            .zip(&a.indices)
+            .position(|(x, y)| x != y)
+            .unwrap_or_else(|| e.indices.len().min(a.indices.len()));
+        report.push_str(&format!(
+            "phase-2 points drifted in cube {}: {} expected vs {} actual points, \
+             first difference at position {} (expected {:?}, actual {:?})\n",
+            e.cube,
+            e.indices.len(),
+            a.indices.len(),
+            first_diff,
+            e.indices.get(first_diff),
+            a.indices.get(first_diff),
+        ));
+    }
+    report
+}
+
+#[test]
+fn maxent_selection_matches_committed_golden() {
+    let actual = compute_golden();
+    let path = golden_path();
+    if std::env::var("SICKLE_UPDATE_GOLDEN").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        let json = serde_json::to_string_pretty(&actual).unwrap();
+        std::fs::write(&path, json).unwrap();
+        println!("golden regenerated at {}", path.display());
+        return;
+    }
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden at {} ({e}); regenerate with SICKLE_UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    let expected: Golden = serde_json::from_str(&text).expect("golden parses");
+    if expected != actual {
+        let report = diff_report(&expected, &actual);
+        panic!(
+            "MaxEnt sampling drifted from the committed golden.\n{report}\
+             If this change is intentional, re-baseline with:\n  \
+             SICKLE_UPDATE_GOLDEN=1 cargo test -p sickle-core --test golden_maxent"
+        );
+    }
+}
+
+#[test]
+fn golden_run_is_reproducible_in_process() {
+    // The golden only makes sense if the computation is deterministic within
+    // one build; two back-to-back runs must agree exactly.
+    assert_eq!(compute_golden(), compute_golden());
+}

@@ -17,6 +17,7 @@ use std::io::{self, Read, Write};
 use std::path::Path;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
 
 use crate::grid::Grid3;
 use crate::points::{FeatureMatrix, SampleSet};
@@ -208,6 +209,163 @@ pub fn decode_sample_set(mut data: &[u8]) -> io::Result<SampleSet> {
     Ok(set)
 }
 
+// ---------------------------------------------------------------------------
+// Checkpoint shards and manifest
+// ---------------------------------------------------------------------------
+
+/// FNV-1a 64-bit hash — the integrity check for checkpoint shards. Stable,
+/// dependency-free, and fast enough to be invisible next to the I/O.
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// [`fnv1a64`] formatted as a fixed-width hex string — the form hashes take
+/// in JSON manifests, where a raw `u64` would not survive the f64 number
+/// round-trip of the JSON layer.
+pub fn fnv1a64_hex(data: &[u8]) -> String {
+    format!("{:016x}", fnv1a64(data))
+}
+
+const SHARD_MAGIC: &[u8; 4] = b"SKLH";
+
+/// Serializes one snapshot's per-cube sample sets as a checkpoint shard:
+/// `SKLH | u32 version | u64 count | count x (u64 len, SKLS blob)`.
+pub fn encode_sample_sets(sets: &[SampleSet]) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(SHARD_MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u64_le(sets.len() as u64);
+    for set in sets {
+        let blob = encode_sample_set(set);
+        buf.put_u64_le(blob.len() as u64);
+        buf.put_slice(&blob);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a checkpoint shard written by [`encode_sample_sets`].
+///
+/// # Errors
+/// Returns `InvalidData` on bad magic, version, or truncation.
+pub fn decode_sample_sets(mut data: &[u8]) -> io::Result<Vec<SampleSet>> {
+    let err = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+    if data.remaining() < 16 {
+        return Err(err("truncated shard"));
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != SHARD_MAGIC {
+        return Err(err("bad shard magic"));
+    }
+    let version = data.get_u32_le();
+    if version != VERSION {
+        return Err(err(&format!("unsupported shard version {version}")));
+    }
+    let count = data.get_u64_le() as usize;
+    let mut sets = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        if data.remaining() < 8 {
+            return Err(err("truncated shard"));
+        }
+        let len = data.get_u64_le() as usize;
+        if data.remaining() < len {
+            return Err(err("truncated shard"));
+        }
+        let (blob, rest) = data.split_at(len);
+        sets.push(decode_sample_set(blob)?);
+        data = rest;
+    }
+    Ok(sets)
+}
+
+/// One completed snapshot recorded in a [`CheckpointManifest`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ManifestEntry {
+    /// Index of the snapshot within its dataset.
+    pub snapshot_index: usize,
+    /// Shard file name, relative to the manifest's directory.
+    pub file: String,
+    /// [`fnv1a64_hex`] of the shard file's bytes. Hex rather than a raw
+    /// `u64` because JSON numbers are f64 and would truncate 64-bit hashes.
+    pub hash: String,
+    /// Sample sets (hypercubes) in the shard.
+    pub sets: usize,
+    /// Total retained points in the shard.
+    pub points: usize,
+}
+
+/// The resume index of a checkpointed sampling run: which snapshots are
+/// complete, where their shards live, and the hash each shard must match.
+/// `config_hash` fingerprints the sampling configuration so a checkpoint
+/// is never resumed into a run it does not belong to.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CheckpointManifest {
+    /// Format version (matches the SKLF/SKLS/SKLH version).
+    pub version: u32,
+    /// Fingerprint of the producing configuration ([`fnv1a64_hex`] form).
+    pub config_hash: String,
+    /// Completed snapshots, in completion order.
+    pub entries: Vec<ManifestEntry>,
+}
+
+impl CheckpointManifest {
+    /// An empty manifest for a run fingerprinted by `config_hash`.
+    pub fn new(config_hash: impl Into<String>) -> Self {
+        CheckpointManifest {
+            version: VERSION,
+            config_hash: config_hash.into(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// The entry for a snapshot, if that snapshot completed.
+    pub fn entry(&self, snapshot_index: usize) -> Option<&ManifestEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.snapshot_index == snapshot_index)
+    }
+
+    /// Inserts or replaces the entry for `entry.snapshot_index`.
+    pub fn upsert(&mut self, entry: ManifestEntry) {
+        match self
+            .entries
+            .iter_mut()
+            .find(|e| e.snapshot_index == entry.snapshot_index)
+        {
+            Some(slot) => *slot = entry,
+            None => self.entries.push(entry),
+        }
+    }
+
+    /// Loads a manifest from a JSON file.
+    ///
+    /// # Errors
+    /// I/O errors, or `InvalidData` when the JSON does not parse.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        serde_json::from_str(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad manifest: {e}")))
+    }
+
+    /// Writes the manifest atomically (temp file + rename), so a crash
+    /// mid-write can never leave a torn manifest behind.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from the write or the rename.
+    pub fn save_atomic(&self, path: &Path) -> io::Result<()> {
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, path)
+    }
+}
+
 /// Minimal CSV writer for result tables (no quoting; values must not contain
 /// commas or newlines — experiment outputs are numeric).
 pub struct CsvWriter<W: Write> {
@@ -323,6 +481,95 @@ mod tests {
             w.finish().unwrap();
         }
         assert_eq!(String::from_utf8(out).unwrap(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+        assert_eq!(fnv1a64_hex(b""), "cbf29ce484222325");
+    }
+
+    fn two_sets() -> Vec<SampleSet> {
+        vec![
+            SampleSet::new(
+                FeatureMatrix::new(vec!["u".into()], vec![1.0, 2.0]),
+                vec![3, 4],
+                0.5,
+                2,
+            )
+            .with_hypercube(7),
+            SampleSet::new(
+                FeatureMatrix::new(vec!["u".into()], vec![9.0]),
+                vec![8],
+                0.5,
+                2,
+            ),
+        ]
+    }
+
+    #[test]
+    fn shard_roundtrip() {
+        let sets = two_sets();
+        let bytes = encode_sample_sets(&sets);
+        let back = decode_sample_sets(&bytes).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].indices, sets[0].indices);
+        assert_eq!(back[0].hypercube, Some(7));
+        assert_eq!(back[1].features.data, sets[1].features.data);
+    }
+
+    #[test]
+    fn shard_rejects_corruption() {
+        let bytes = encode_sample_sets(&two_sets());
+        assert!(decode_sample_sets(&bytes[..bytes.len() - 3]).is_err());
+        let mut bad = bytes.to_vec();
+        bad[0] = b'X';
+        assert!(decode_sample_sets(&bad).is_err());
+    }
+
+    #[test]
+    fn manifest_roundtrip_and_upsert() {
+        let dir = std::env::temp_dir().join("sickle_manifest_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("manifest.json");
+        // Hashes with all 64 bits set must survive the JSON round-trip —
+        // that is the point of the hex-string representation.
+        let mut m = CheckpointManifest::new(fnv1a64_hex(b"config"));
+        m.upsert(ManifestEntry {
+            snapshot_index: 0,
+            file: "snap_00000.sklshard".into(),
+            hash: fnv1a64_hex(b"first"),
+            sets: 4,
+            points: 100,
+        });
+        // Replacing the same snapshot keeps one entry.
+        m.upsert(ManifestEntry {
+            snapshot_index: 0,
+            file: "snap_00000.sklshard".into(),
+            hash: fnv1a64_hex(b"second"),
+            sets: 4,
+            points: 100,
+        });
+        assert_eq!(m.entries.len(), 1);
+        m.save_atomic(&path).unwrap();
+        let back = CheckpointManifest::load(&path).unwrap();
+        assert_eq!(back.config_hash, fnv1a64_hex(b"config"));
+        assert_eq!(back.entry(0).unwrap().hash, fnv1a64_hex(b"second"));
+        assert!(back.entry(1).is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn manifest_load_rejects_garbage() {
+        let dir = std::env::temp_dir().join("sickle_manifest_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.json");
+        std::fs::write(&path, "{not json").unwrap();
+        assert!(CheckpointManifest::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

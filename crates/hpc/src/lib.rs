@@ -1,14 +1,21 @@
 //! # sickle-hpc
 //!
 //! Strong-scaling machinery for the paper's Fig. 7 (MaxEnt parallel
-//! scalability, 1–512 MPI ranks).
+//! scalability, 1–512 MPI ranks), hardened for the rank loss and node
+//! flakiness that are routine at Frontier scale.
 //!
-//! Two complementary pieces:
+//! Three complementary pieces:
 //!
 //! - [`executor`] — a *real* rank executor: the sampling pipeline's
 //!   hypercubes are partitioned over OS threads, each pinned to a
 //!   single-thread rayon pool (one "MPI rank" = one core), and wall time is
 //!   measured. Valid up to the host's core count; validates the simulator.
+//!   Fault-tolerant: dead ranks' cubes are re-dealt to survivors with
+//!   backoff, corrupted results are detected and re-queued, and the
+//!   recovered output is bit-identical to the failure-free run.
+//! - [`fault`] — deterministic, replayable fault injection ([`FaultPlan`]
+//!   / [`FaultInjector`]): kill, delay, or poison chosen ranks at chosen
+//!   cube indices, seeded or parsed from `SICKLE_FAULT_PLAN`.
 //! - [`simulator`] — an α–β performance model of the same computation on a
 //!   cluster: per-point compute cost, per-cube overhead, log-tree
 //!   all-reduce, and result gather. Reproduces the paper's observed shape —
@@ -18,7 +25,12 @@
 //!   and reaches ~171× at 512).
 
 pub mod executor;
+pub mod fault;
 pub mod simulator;
 
-pub use executor::{run_with_ranks, RankTiming};
+pub use executor::{
+    run_dataset_with_ranks, run_resilient, run_with_ranks, ExecutorError, ExecutorOutput,
+    RankTiming, RetryPolicy,
+};
+pub use fault::{Fault, FaultAction, FaultInjector, FaultKind, FaultPlan};
 pub use simulator::{knee_point, ClusterModel, ScalingPoint};

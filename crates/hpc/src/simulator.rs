@@ -246,4 +246,71 @@ mod tests {
     fn zero_ranks_rejected() {
         let _ = ClusterModel::frontier().time(10, 10, 1, 0);
     }
+
+    #[test]
+    fn speedup_saturates_at_cube_count() {
+        // Once R > C, every extra rank idles: the slowest rank still holds
+        // one whole cube, so speedup can never exceed C (and adding ranks
+        // past C cannot improve the time at all).
+        let m = ClusterModel::frontier();
+        let cubes = 16;
+        let sweep = m.strong_scaling(cubes, 32_768, 3277, &ranks());
+        for p in &sweep {
+            assert!(
+                p.speedup <= cubes as f64 + 1e-9,
+                "{} ranks: speedup {} exceeds cube count {cubes}",
+                p.ranks,
+                p.speedup
+            );
+        }
+        let t_at_c = m.time(cubes, 32_768, 3277, cubes);
+        for r in [2 * cubes, 4 * cubes, 32 * cubes] {
+            let t = m.time(cubes, 32_768, 3277, r);
+            assert!(
+                t >= t_at_c - 1e-12,
+                "{r} ranks beat {cubes} ranks: {t} < {t_at_c}"
+            );
+        }
+    }
+
+    #[test]
+    fn efficiency_monotone_non_increasing_over_pow2_ranks() {
+        // Over a power-of-two sweep the per-rank cube share halves cleanly,
+        // so parallel efficiency can only erode (serial fraction + comm).
+        // (Non-power-of-two sweeps can jitter: ceil(C/R) is non-monotone in
+        // R·ceil(C/R) terms.)
+        let m = ClusterModel::frontier();
+        for cubes in [32usize, 512, 4096] {
+            let sweep = m.strong_scaling(cubes, 32_768, 3277, &ranks());
+            for pair in sweep.windows(2) {
+                assert!(
+                    pair[1].efficiency <= pair[0].efficiency + 1e-9,
+                    "{cubes} cubes: efficiency rose from {} ({} ranks) to {} ({} ranks)",
+                    pair[0].efficiency,
+                    pair[0].ranks,
+                    pair[1].efficiency,
+                    pair[1].ranks
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn calibration_round_trips_many_measurements() {
+        // calibrated(t, C, P).time(C, P, _, 1) must reproduce t for any
+        // plausible measured single-rank time and workload shape.
+        for &(secs, cubes, points) in &[
+            (0.5f64, 4usize, 512usize),
+            (10.0, 50, 10_000),
+            (120.0, 4096, 32_768),
+            (3600.0, 100_000, 32_768),
+        ] {
+            let m = ClusterModel::calibrated(secs, cubes, points);
+            let t1 = m.time(cubes, points, 1000, 1);
+            assert!(
+                (t1 - secs).abs() / secs < 1e-9,
+                "calibrated({secs}, {cubes}, {points}) reproduces {t1}"
+            );
+        }
+    }
 }

@@ -1,0 +1,157 @@
+//! The executor's determinism contract (DESIGN.md §9), as property tests:
+//! the sampled point sets are bit-identical to the serial pipeline for any
+//! rank count, and for any recoverable fault plan — kills, stragglers, and
+//! silent corruption must be invisible in the output.
+
+use proptest::prelude::*;
+
+use sickle_cfd::synth::{generate, SynthConfig};
+use sickle_core::pipeline::{
+    run_dataset, CubeMethod, PointMethod, SamplingConfig, SamplingOutput, TemporalMethod,
+};
+use sickle_field::{Dataset, DatasetMeta};
+use sickle_hpc::{run_dataset_with_ranks, FaultInjector, FaultPlan, RetryPolicy};
+
+fn dataset(snapshots: usize) -> Dataset {
+    let synth = SynthConfig {
+        nx: 16,
+        ny: 16,
+        nz: 16,
+        ..SynthConfig::default()
+    };
+    let meta = DatasetMeta::new("synth", "determinism test", "u", &["u", "v", "w"], &[]);
+    let mut d = Dataset::new(meta);
+    for s in 0..snapshots {
+        let mut snap = generate(&synth, 1000 + s as u64);
+        snap.time = s as f64;
+        d.push(snap);
+    }
+    d
+}
+
+fn config() -> SamplingConfig {
+    SamplingConfig {
+        hypercubes: CubeMethod::MaxEnt,
+        num_hypercubes: 6,
+        cube_edge: 8,
+        method: PointMethod::MaxEnt {
+            num_clusters: 5,
+            bins: 32,
+        },
+        num_samples: 40,
+        cluster_var: "u".to_string(),
+        feature_vars: vec!["u".to_string(), "v".to_string()],
+        seed: 7,
+        temporal: TemporalMethod::All,
+    }
+}
+
+fn fast_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_rounds: 8,
+        backoff: std::time::Duration::from_millis(1),
+        multiplier: 1.0,
+    }
+}
+
+fn assert_bit_identical(a: &SamplingOutput, b: &SamplingOutput, context: &str) {
+    assert_eq!(a.sets.len(), b.sets.len(), "{context}: snapshot count");
+    for (snap_a, snap_b) in a.sets.iter().zip(&b.sets) {
+        assert_eq!(snap_a.len(), snap_b.len(), "{context}: cube count");
+        for (sa, sb) in snap_a.iter().zip(snap_b) {
+            assert_eq!(sa.hypercube, sb.hypercube, "{context}: cube id");
+            assert_eq!(sa.snapshot_index, sb.snapshot_index, "{context}");
+            assert_eq!(sa.indices, sb.indices, "{context}: point indices");
+            assert_eq!(sa.features.data, sb.features.data, "{context}: features");
+            assert_eq!(sa.features.names, sb.features.names, "{context}");
+        }
+    }
+}
+
+#[test]
+fn ranked_executor_matches_serial_pipeline_for_all_rank_counts() {
+    let d = dataset(2);
+    let cfg = config();
+    let serial = run_dataset(&d, &cfg);
+    for ranks in [1, 2, 4, 8] {
+        let ranked = run_dataset_with_ranks(
+            &d,
+            &cfg,
+            ranks,
+            &FaultInjector::none(),
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+        assert_bit_identical(&serial, &ranked, &format!("{ranks} ranks"));
+    }
+}
+
+#[test]
+fn two_of_eight_ranks_killed_is_bit_identical() {
+    // The ISSUE acceptance scenario: kill 2 of 8 ranks mid-run; the output
+    // must match the failure-free serial run exactly.
+    let d = dataset(2);
+    let cfg = config();
+    let serial = run_dataset(&d, &cfg);
+    let plan = FaultPlan::parse("kill@3:0,kill@6:1").unwrap();
+    let ranked =
+        run_dataset_with_ranks(&d, &cfg, 8, &FaultInjector::new(plan), &fast_retry()).unwrap();
+    assert_bit_identical(&serial, &ranked, "2 of 8 ranks killed");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any seeded recoverable fault plan — random mixtures of kills,
+    /// delays, and poisons on any rank count — produces the exact point
+    /// sets of the fault-free serial pipeline.
+    #[test]
+    fn any_recoverable_fault_plan_is_bit_identical(
+        (plan_seed, ranks) in (0u64..1_000_000, 2usize..9)
+    ) {
+        let plan = FaultPlan::random(plan_seed, ranks, 4);
+        prop_assert!(plan.recoverable(ranks));
+        let d = dataset(1);
+        let cfg = config();
+        let serial = run_dataset(&d, &cfg);
+        let ranked = run_dataset_with_ranks(
+            &d,
+            &cfg,
+            ranks,
+            &FaultInjector::new(plan.clone()),
+            &fast_retry(),
+        );
+        match ranked {
+            Ok(out) => {
+                assert_bit_identical(
+                    &serial,
+                    &out,
+                    &format!("plan seed {plan_seed}, {ranks} ranks, {plan:?}"),
+                );
+            }
+            Err(e) => {
+                prop_assert!(false, "recoverable plan {plan:?} failed: {e}");
+            }
+        }
+    }
+
+    /// Rank count never changes the output, proptest form: a uniformly
+    /// drawn rank count matches the serial pipeline with no faults at all.
+    #[test]
+    fn any_rank_count_matches_serial(ranks in 1usize..17) {
+        let d = dataset(1);
+        let cfg = config();
+        let serial = run_dataset(&d, &cfg);
+        let ranked = run_dataset_with_ranks(
+            &d,
+            &cfg,
+            ranks,
+            &FaultInjector::none(),
+            &RetryPolicy::default(),
+        );
+        match ranked {
+            Ok(out) => assert_bit_identical(&serial, &out, &format!("{ranks} ranks")),
+            Err(e) => prop_assert!(false, "fault-free run failed: {e}"),
+        }
+    }
+}
