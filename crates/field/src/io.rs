@@ -51,17 +51,35 @@ pub fn encode_snapshot(snap: &Snapshot) -> Bytes {
     buf.freeze()
 }
 
+fn invalid(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// `count * item_size` as a `usize`, or `InvalidData` when the product
+/// overflows. Every decoder below sizes its reads through this so a
+/// bit-flipped count can never wrap a length check (release) or panic on
+/// multiply overflow (debug).
+fn checked_size(count: u64, item_size: usize, what: &str) -> io::Result<usize> {
+    usize::try_from(count)
+        .ok()
+        .and_then(|c| c.checked_mul(item_size))
+        .ok_or_else(|| invalid(what))
+}
+
 /// Deserializes a snapshot from bytes.
 ///
+/// Defensive by contract: counts and dimensions read from the buffer are
+/// attacker-controlled, so every allocation and length check uses checked
+/// arithmetic and is bounded by the bytes actually present — truncated or
+/// bit-flipped input returns `InvalidData`, never panics or aborts.
+///
 /// # Errors
-/// Returns `InvalidData` on bad magic, version, or truncation.
+/// Returns `InvalidData` on bad magic, version, corrupt geometry, or
+/// truncation.
 pub fn decode_snapshot(mut data: &[u8]) -> io::Result<Snapshot> {
     fn need(data: &[u8], n: usize) -> io::Result<()> {
         if data.remaining() < n {
-            Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "truncated snapshot",
-            ))
+            Err(invalid("truncated snapshot"))
         } else {
             Ok(())
         }
@@ -70,7 +88,7 @@ pub fn decode_snapshot(mut data: &[u8]) -> io::Result<Snapshot> {
     let mut magic = [0u8; 4];
     data.copy_to_slice(&mut magic);
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+        return Err(invalid("bad magic"));
     }
     let version = data.get_u32_le();
     if version != VERSION {
@@ -80,30 +98,41 @@ pub fn decode_snapshot(mut data: &[u8]) -> io::Result<Snapshot> {
         ));
     }
     need(data, 3 * 8 + 3 * 8 + 8 + 4)?;
-    let nx = data.get_u64_le() as usize;
-    let ny = data.get_u64_le() as usize;
-    let nz = data.get_u64_le() as usize;
+    let nx = data.get_u64_le();
+    let ny = data.get_u64_le();
+    let nz = data.get_u64_le();
     let lx = data.get_f64_le();
     let ly = data.get_f64_le();
     let lz = data.get_f64_le();
     let time = data.get_f64_le();
-    let grid = Grid3::new(nx, ny, nz, lx, ly, lz);
+    if nx == 0 || ny == 0 || nz == 0 {
+        return Err(invalid("zero grid dimension"));
+    }
+    let npts_bytes = checked_size(nx, 8, "grid size overflow")?
+        .checked_mul(usize::try_from(ny).map_err(|_| invalid("grid size overflow"))?)
+        .and_then(|v| v.checked_mul(usize::try_from(nz).ok()?))
+        .ok_or_else(|| invalid("grid size overflow"))?;
+    let npts = npts_bytes / 8;
+    if !(lx.is_finite() && ly.is_finite() && lz.is_finite() && lx > 0.0 && ly > 0.0 && lz > 0.0) {
+        return Err(invalid("bad domain extent"));
+    }
+    let grid = Grid3::new(nx as usize, ny as usize, nz as usize, lx, ly, lz);
     let nvars = data.get_u32_le() as usize;
-    let mut names = Vec::with_capacity(nvars);
+    // Each name needs ≥ 4 bytes of length prefix, so the remaining buffer
+    // bounds how many can really follow — never trust the count alone.
+    let mut names = Vec::with_capacity(nvars.min(data.remaining() / 4));
     for _ in 0..nvars {
         need(data, 4)?;
         let len = data.get_u32_le() as usize;
         need(data, len)?;
         let mut raw = vec![0u8; len];
         data.copy_to_slice(&mut raw);
-        let name = String::from_utf8(raw)
-            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 variable name"))?;
+        let name = String::from_utf8(raw).map_err(|_| invalid("non-utf8 variable name"))?;
         names.push(name);
     }
-    let npts = grid.len();
     let mut snap = Snapshot::new(grid, time);
     for name in names {
-        need(data, npts * 8)?;
+        need(data, npts_bytes)?;
         let mut var = Vec::with_capacity(npts);
         for _ in 0..npts {
             var.push(data.get_f64_le());
@@ -153,17 +182,21 @@ pub fn encode_sample_set(set: &SampleSet) -> Bytes {
 
 /// Deserializes a sample set.
 ///
+/// Defensive like [`decode_snapshot`]: counts from the buffer never drive
+/// an allocation or length check without overflow-checked arithmetic.
+///
 /// # Errors
-/// Returns `InvalidData` on bad magic or truncation.
+/// Returns `InvalidData` on bad magic, a zero feature dimension, or
+/// truncation.
 pub fn decode_sample_set(mut data: &[u8]) -> io::Result<SampleSet> {
-    let err = || io::Error::new(io::ErrorKind::InvalidData, "truncated sample set");
+    let err = || invalid("truncated sample set");
     if data.remaining() < 8 {
         return Err(err());
     }
     let mut magic = [0u8; 4];
     data.copy_to_slice(&mut magic);
     if &magic != b"SKLS" {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+        return Err(invalid("bad magic"));
     }
     let _version = data.get_u32_le();
     if data.remaining() < 8 + 8 + 8 + 4 {
@@ -173,7 +206,10 @@ pub fn decode_sample_set(mut data: &[u8]) -> io::Result<SampleSet> {
     let snapshot_index = data.get_u64_le() as usize;
     let hc = data.get_i64_le();
     let dim = data.get_u32_le() as usize;
-    let mut names = Vec::with_capacity(dim);
+    if dim == 0 {
+        return Err(invalid("zero feature dimension"));
+    }
+    let mut names = Vec::with_capacity(dim.min(data.remaining() / 4));
     for _ in 0..dim {
         if data.remaining() < 4 {
             return Err(err());
@@ -189,10 +225,18 @@ pub fn decode_sample_set(mut data: &[u8]) -> io::Result<SampleSet> {
     if data.remaining() < 8 {
         return Err(err());
     }
-    let n = data.get_u64_le() as usize;
-    if data.remaining() < n * 8 + n * dim * 8 {
+    let n = data.get_u64_le();
+    let idx_bytes = checked_size(n, 8, "sample count overflow")?;
+    let val_bytes = checked_size(n, dim, "sample payload overflow")?
+        .checked_mul(8)
+        .ok_or_else(|| invalid("sample payload overflow"))?;
+    let payload_bytes = idx_bytes
+        .checked_add(val_bytes)
+        .ok_or_else(|| invalid("sample payload overflow"))?;
+    if data.remaining() < payload_bytes {
         return Err(err());
     }
+    let n = n as usize;
     let mut indices = Vec::with_capacity(n);
     for _ in 0..n {
         indices.push(data.get_u64_le() as usize);
@@ -267,7 +311,10 @@ pub fn decode_sample_sets(mut data: &[u8]) -> io::Result<Vec<SampleSet>> {
         return Err(err(&format!("unsupported shard version {version}")));
     }
     let count = data.get_u64_le() as usize;
-    let mut sets = Vec::with_capacity(count.min(1 << 20));
+    // Each entry needs at least its 8-byte length prefix, so the buffer
+    // bounds the plausible count — a bit-flipped count cannot force a huge
+    // allocation before the truncation error surfaces.
+    let mut sets = Vec::with_capacity(count.min(data.remaining() / 8));
     for _ in 0..count {
         if data.remaining() < 8 {
             return Err(err("truncated shard"));

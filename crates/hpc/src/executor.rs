@@ -269,6 +269,9 @@ pub fn run_resilient(
                                         sickle_obs::counter!("fault.injected", 1usize);
                                         true
                                     }
+                                    // Connection faults belong to the serve
+                                    // data plane; a rank has no socket to cut.
+                                    FaultAction::Drop => false,
                                 };
                                 let (features, indices) = tiling.extract(snap, cube_id, vars);
                                 let mut rng = derive_rng(cfg.seed, snapshot_index, cube_id);

@@ -13,6 +13,10 @@
 //! - [`FaultKind::Poison`] — silent corruption: the cube's result is
 //!   produced but wrong (an out-of-range point index). The executor's
 //!   output validation detects it and re-queues the cube.
+//! - [`FaultKind::Drop`] — a severed connection: the `sickle-store` serve
+//!   plane interprets the coordinate as `(connection, k-th request)` and
+//!   cuts the socket mid-response, exercising the client's
+//!   reconnect-and-retry path. The rank executor treats it as a no-op.
 //!
 //! Every fault fires **at most once**, so any plan that leaves at least one
 //! rank alive eventually lets all cubes complete — the determinism contract
@@ -22,8 +26,9 @@
 //! or parsed from the `SICKLE_FAULT_PLAN` environment variable:
 //!
 //! ```text
-//! SICKLE_FAULT_PLAN="kill@2:1,delay@0:3:50,poison@1:0"
-//! #                  kind@rank:cube[:millis]
+//! SICKLE_FAULT_PLAN="kill@2:1,delay@0:3:50,poison@1:0,drop@0:2"
+//! #                  kind@rank:cube[:millis]   (drop reads rank:cube as
+//! #                                             conn:request)
 //! ```
 
 use std::collections::HashSet;
@@ -45,6 +50,9 @@ pub enum FaultKind {
     },
     /// Silent corruption: the cube result is produced but invalid.
     Poison,
+    /// Severed connection: the serve data plane cuts the socket
+    /// mid-response at this `(connection, request)` coordinate.
+    Drop,
 }
 
 /// One fault pinned to a `(rank, k-th lifetime cube)` coordinate.
@@ -148,6 +156,7 @@ impl FaultPlan {
             let kind = match kind_str.trim() {
                 "kill" => FaultKind::Kill,
                 "poison" => FaultKind::Poison,
+                "drop" => FaultKind::Drop,
                 "delay" => {
                     let ms = parts
                         .get(2)
@@ -198,6 +207,9 @@ pub enum FaultAction {
     Poison,
     /// Die without processing the cube (or any later one).
     Kill,
+    /// Sever the connection mid-response (serve plane only; the rank
+    /// executor proceeds normally on this action).
+    Drop,
 }
 
 struct InjectorState {
@@ -255,6 +267,7 @@ impl FaultInjector {
                 match fault.kind {
                     FaultKind::Kill => FaultAction::Kill,
                     FaultKind::Poison => FaultAction::Poison,
+                    FaultKind::Drop => FaultAction::Drop,
                     FaultKind::Delay { millis } => {
                         FaultAction::Delay(Duration::from_millis(millis))
                     }
@@ -300,6 +313,33 @@ mod tests {
                 },
             ]
         );
+    }
+
+    #[test]
+    fn parse_drop_reads_conn_request_coordinates() {
+        let plan = FaultPlan::parse("drop@0:2").unwrap();
+        assert_eq!(
+            plan.faults,
+            vec![Fault {
+                rank: 0,
+                at_cube: 2,
+                kind: FaultKind::Drop
+            }]
+        );
+        // Drop takes no third field, like kill/poison.
+        assert!(FaultPlan::parse("drop@0:2:9").is_err());
+        // Drop is not a kill: it cannot make a plan unrecoverable.
+        assert_eq!(plan.kills(), 0);
+        assert!(plan.recoverable(1));
+    }
+
+    #[test]
+    fn injector_replays_drop_faults() {
+        let inj = FaultInjector::new(FaultPlan::parse("drop@1:1").unwrap());
+        assert_eq!(inj.on_cube(1), FaultAction::Proceed);
+        assert_eq!(inj.on_cube(1), FaultAction::Drop);
+        assert_eq!(inj.on_cube(1), FaultAction::Proceed);
+        assert_eq!(inj.fired(), 1);
     }
 
     #[test]

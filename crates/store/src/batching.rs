@@ -1,0 +1,264 @@
+//! Deterministic batch assembly over shard keys.
+//!
+//! The serving plane's promise is **bit-identity**: a client streaming
+//! batches for `(seed, batch_shape)` receives exactly the bytes an
+//! in-memory trainer would build from the same sample sets. That holds
+//! because both sides run the same three steps, in the same canonical
+//! order:
+//!
+//! 1. sets sorted by `(snapshot, cube)` ([`ShardKey`] order, which the
+//!    manifest enforces);
+//! 2. an epoch permutation from [`epoch_order`] — `(0..n)` shuffled by
+//!    `StdRng::seed_from_u64(seed)`, the very code
+//!    `sickle_train::TensorData::batches` runs;
+//! 3. per-set tensorization in [`tensorize_set`] — `tokens` feature rows
+//!    at an even stride plus per-column-mean targets, each set independent
+//!    of every other so a batch only ever touches its own shards
+//!    (the out-of-core property).
+//!
+//! `f32` values cross the wire via `to_le_bytes`/`from_le_bytes`, which is
+//! lossless, so equality is exact, not approximate.
+
+use std::io;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use sickle_field::SampleSet;
+
+use crate::manifest::ShardKey;
+
+/// What a client asks one batch stream to be.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchSpec {
+    /// Epoch shuffle seed.
+    pub seed: u64,
+    /// Samples (sets) per batch.
+    pub batch_size: usize,
+    /// Tokens (strided feature rows) per sample.
+    pub tokens: usize,
+}
+
+/// Shape metadata for one batch, mirroring `sickle_train::BatchShape`
+/// field-for-field (train depends on store, so the mirror lives here).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchShape {
+    /// Samples in the batch.
+    pub batch: usize,
+    /// Tokens per sample.
+    pub tokens: usize,
+    /// Features per token.
+    pub features: usize,
+    /// Output scalars per sample.
+    pub outputs: usize,
+}
+
+/// One assembled batch: flat `f32` tensors plus shape metadata.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Batch {
+    /// Inputs, `batch * tokens * features` long.
+    pub inputs: Vec<f32>,
+    /// Targets, `batch * outputs` long.
+    pub targets: Vec<f32>,
+    /// Shape metadata.
+    pub shape: BatchShape,
+}
+
+/// The epoch permutation for `n` samples under `seed`: byte-for-byte the
+/// shuffle `sickle_train::TensorData::batches` performs with a fresh
+/// `StdRng::seed_from_u64(seed)`.
+pub fn epoch_order(n: usize, seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    order
+}
+
+/// Number of batches one epoch yields (`ceil(n / batch_size)`, with the
+/// same `batch_size.max(1)` clamp the train loop applies).
+pub fn num_batches(n: usize, batch_size: usize) -> usize {
+    n.div_ceil(batch_size.max(1))
+}
+
+/// The sample positions (indices into the canonical key order) making up
+/// batch `index` of the epoch, or `None` past the last batch.
+pub fn batch_positions(n: usize, spec: BatchSpec, index: usize) -> Option<Vec<usize>> {
+    let order = epoch_order(n, spec.seed);
+    order
+        .chunks(spec.batch_size.max(1))
+        .nth(index)
+        .map(<[usize]>::to_vec)
+}
+
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Tensorizes one sample set: inputs are `tokens` feature rows at stride
+/// `(t * len / tokens) % len` (the spread `reconstruction_data` uses, so
+/// cluster-major samplers contribute representative tokens); targets are
+/// the per-column mean of the whole set, accumulated in `f64` and rounded
+/// once to `f32`.
+///
+/// # Errors
+/// `InvalidData` for an empty set or `tokens == 0`.
+pub fn tensorize_set(set: &SampleSet, tokens: usize) -> io::Result<(Vec<f32>, Vec<f32>)> {
+    if set.is_empty() {
+        return Err(invalid(format!(
+            "cannot tensorize empty sample set (snapshot {})",
+            set.snapshot_index
+        )));
+    }
+    if tokens == 0 {
+        return Err(invalid("tokens must be positive".into()));
+    }
+    let d = set.features.dim();
+    let mut inputs = Vec::with_capacity(tokens * d);
+    for t in 0..tokens {
+        let row = set.features.row((t * set.len() / tokens) % set.len());
+        inputs.extend(row.iter().map(|&v| v as f32));
+    }
+    let mut sums = vec![0.0f64; d];
+    for row in set.features.data.chunks_exact(d) {
+        for (s, &v) in sums.iter_mut().zip(row) {
+            *s += v;
+        }
+    }
+    let n = set.len() as f64;
+    let targets = sums.iter().map(|s| (s / n) as f32).collect();
+    Ok((inputs, targets))
+}
+
+/// Assembles one batch from already-fetched sets (in batch order).
+///
+/// # Errors
+/// `InvalidData` for an empty batch, an empty set, or sets whose feature
+/// dimensions disagree.
+pub fn batch_from_sets(sets: &[Arc<SampleSet>], tokens: usize) -> io::Result<Batch> {
+    let first = sets
+        .first()
+        .ok_or_else(|| invalid("cannot build an empty batch".into()))?;
+    let features = first.features.dim();
+    let mut inputs = Vec::with_capacity(sets.len() * tokens * features);
+    let mut targets = Vec::with_capacity(sets.len() * features);
+    for set in sets {
+        if set.features.dim() != features {
+            return Err(invalid(format!(
+                "feature dimension mismatch in batch: {} vs {}",
+                set.features.dim(),
+                features
+            )));
+        }
+        let (i, t) = tensorize_set(set, tokens)?;
+        inputs.extend(i);
+        targets.extend(t);
+    }
+    Ok(Batch {
+        shape: BatchShape {
+            batch: sets.len(),
+            tokens,
+            features,
+            outputs: features,
+        },
+        inputs,
+        targets,
+    })
+}
+
+/// Convenience for tests and the in-memory comparison path: batch `index`
+/// assembled directly from a slice of canonical-order sets.
+///
+/// # Errors
+/// `InvalidData` past the last batch or on tensorization failure.
+pub fn local_batch(sets: &[Arc<SampleSet>], spec: BatchSpec, index: usize) -> io::Result<Batch> {
+    let positions = batch_positions(sets.len(), spec, index)
+        .ok_or_else(|| invalid(format!("batch index {index} out of range")))?;
+    let picked: Vec<Arc<SampleSet>> = positions.iter().map(|&p| Arc::clone(&sets[p])).collect();
+    batch_from_sets(&picked, spec.tokens)
+}
+
+/// The shard keys batch `index` touches, in batch order. This is what the
+/// server fetches (and what the prefetcher warms for `index + 1`).
+pub fn batch_keys(keys: &[ShardKey], spec: BatchSpec, index: usize) -> Option<Vec<ShardKey>> {
+    batch_positions(keys.len(), spec, index)
+        .map(|positions| positions.into_iter().map(|p| keys[p]).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::fixture_set;
+
+    fn spec(seed: u64, batch_size: usize, tokens: usize) -> BatchSpec {
+        BatchSpec {
+            seed,
+            batch_size,
+            tokens,
+        }
+    }
+
+    #[test]
+    fn epoch_order_is_seed_deterministic_permutation() {
+        let a = epoch_order(17, 42);
+        let b = epoch_order(17, 42);
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..17).collect::<Vec<_>>());
+        assert_ne!(epoch_order(17, 43), a, "different seed, different order");
+    }
+
+    #[test]
+    fn batches_partition_the_epoch() {
+        let n = 10;
+        let s = spec(3, 4, 2);
+        assert_eq!(num_batches(n, s.batch_size), 3);
+        let mut seen: Vec<usize> = (0..3)
+            .flat_map(|i| batch_positions(n, s, i).unwrap())
+            .collect();
+        assert!(batch_positions(n, s, 3).is_none());
+        seen.sort_unstable();
+        assert_eq!(seen, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tensorize_strides_and_means() {
+        let set = Arc::new(fixture_set(0, 0, 8));
+        let (inputs, targets) = tensorize_set(&set, 4).unwrap();
+        assert_eq!(inputs.len(), 4 * 2);
+        assert_eq!(targets.len(), 2);
+        // Token t reads row (t * 8 / 4) % 8 = 2t.
+        for t in 0..4 {
+            let row = set.features.row(2 * t);
+            assert_eq!(inputs[t * 2], row[0] as f32);
+            assert_eq!(inputs[t * 2 + 1], row[1] as f32);
+        }
+        // Targets are exact column means.
+        let mean0: f64 = set.features.data.iter().step_by(2).sum::<f64>() / 8.0;
+        assert_eq!(targets[0], mean0 as f32);
+    }
+
+    #[test]
+    fn tensorize_rejects_empty_and_zero_tokens() {
+        let set = Arc::new(fixture_set(0, 0, 8));
+        assert!(tensorize_set(&set, 0).is_err());
+    }
+
+    #[test]
+    fn local_batch_matches_manual_assembly() {
+        let sets: Vec<Arc<SampleSet>> = (0..6).map(|c| Arc::new(fixture_set(0, c, 10))).collect();
+        let s = spec(9, 4, 3);
+        let batch = local_batch(&sets, s, 0).unwrap();
+        assert_eq!(batch.shape.batch, 4);
+        assert_eq!(batch.shape.tokens, 3);
+        assert_eq!(batch.shape.features, 2);
+        assert_eq!(batch.shape.outputs, 2);
+        let positions = batch_positions(6, s, 0).unwrap();
+        let (first_inputs, _) = tensorize_set(&sets[positions[0]], 3).unwrap();
+        assert_eq!(&batch.inputs[..6], &first_inputs[..]);
+        // Last (ragged) batch holds the remaining 2 sets.
+        assert_eq!(local_batch(&sets, s, 1).unwrap().shape.batch, 2);
+        assert!(local_batch(&sets, s, 2).is_err());
+    }
+}

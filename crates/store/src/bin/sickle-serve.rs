@@ -1,0 +1,132 @@
+//! `sickle-serve` — serve a shard store to training clients over TCP.
+//!
+//! ```text
+//! sickle-serve --root runs/store [--addr 127.0.0.1] [--port 7077]
+//!              [--threads 8] [--cache-mb 256] [--lookahead 1]
+//!              [--max-seconds N]
+//! ```
+//!
+//! `--max-seconds` bounds the serving window (for CI smoke runs); without
+//! it the server runs until the process is terminated. The fault plan, if
+//! any, is read from `SICKLE_FAULT_PLAN` (`drop@conn:request`, ...).
+//! Tracing honours the usual `SICKLE_TRACE*` environment.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use sickle_hpc::FaultPlan;
+use sickle_store::server::{serve, ServeConfig};
+use sickle_store::store::{ShardStore, StoreConfig};
+
+struct Args {
+    root: PathBuf,
+    addr: String,
+    port: u16,
+    threads: usize,
+    cache_mb: usize,
+    lookahead: usize,
+    max_seconds: Option<u64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::new(),
+        addr: "127.0.0.1".to_string(),
+        port: 7077,
+        threads: 8,
+        cache_mb: 256,
+        lookahead: 1,
+        max_seconds: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--root" => args.root = PathBuf::from(value("--root")?),
+            "--addr" => args.addr = value("--addr")?,
+            "--port" => {
+                args.port = value("--port")?
+                    .parse()
+                    .map_err(|e| format!("--port: {e}"))?;
+            }
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--cache-mb" => {
+                args.cache_mb = value("--cache-mb")?
+                    .parse()
+                    .map_err(|e| format!("--cache-mb: {e}"))?;
+            }
+            "--lookahead" => {
+                args.lookahead = value("--lookahead")?
+                    .parse()
+                    .map_err(|e| format!("--lookahead: {e}"))?;
+            }
+            "--max-seconds" => {
+                args.max_seconds = Some(
+                    value("--max-seconds")?
+                        .parse()
+                        .map_err(|e| format!("--max-seconds: {e}"))?,
+                );
+            }
+            "--help" | "-h" => {
+                return Err("usage: sickle-serve --root DIR [--addr A] [--port P] \
+                            [--threads N] [--cache-mb MB] [--lookahead N] [--max-seconds S]"
+                    .to_string());
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.root.as_os_str().is_empty() {
+        return Err("--root is required".to_string());
+    }
+    Ok(args)
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let store = ShardStore::open(
+        &args.root,
+        StoreConfig {
+            cache_bytes: args.cache_mb << 20,
+        },
+    )
+    .map_err(|e| format!("open store {}: {e}", args.root.display()))?;
+    let fault_plan = FaultPlan::from_env().map_err(|e| format!("SICKLE_FAULT_PLAN: {e}"))?;
+    let handle = serve(
+        Arc::new(store),
+        ServeConfig {
+            addr: format!("{}:{}", args.addr, args.port),
+            threads: args.threads,
+            lookahead: args.lookahead,
+            fault_plan,
+            ..ServeConfig::default()
+        },
+    )
+    .map_err(|e| format!("bind {}:{}: {e}", args.addr, args.port))?;
+    eprintln!("sickle-serve: listening on {}", handle.addr());
+    match args.max_seconds {
+        Some(secs) => std::thread::sleep(Duration::from_secs(secs)),
+        None => loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        },
+    }
+    drop(handle); // graceful: joins accept loop and workers
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    sickle_obs::init_from_env();
+    let result = parse_args().and_then(|args| run(&args));
+    sickle_obs::finish();
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("sickle-serve: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Byte-budgeted LRU block cache for decoded shards.
+//!
+//! The cache is what makes the store *out-of-core*: a dataset far larger
+//! than RAM streams through a bounded working set, with only the
+//! most-recently-touched shards resident as decoded
+//! [`SampleSet`](sickle_field::SampleSet)s. Shards are shared out as
+//! `Arc`s, so a hit costs one lock and one refcount bump — no copy, no
+//! decode, no disk.
+//!
+//! Hits and misses are counted on the `store.cache.hit` /
+//! `store.cache.miss` counters, the primary signals the
+//! `perf_store_throughput` benchmark reads its warm/cold claims from.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use sickle_field::SampleSet;
+
+use crate::manifest::ShardKey;
+
+struct CacheEntry {
+    value: Arc<SampleSet>,
+    bytes: usize,
+    last_used: u64,
+}
+
+struct CacheInner {
+    map: HashMap<ShardKey, CacheEntry>,
+    resident_bytes: usize,
+    tick: u64,
+}
+
+/// Approximate resident size of a decoded sample set (heap payload; the
+/// fixed struct overhead is noise next to the data arrays).
+pub fn sample_set_bytes(set: &SampleSet) -> usize {
+    set.features.data.len() * 8
+        + set.indices.len() * 8
+        + set
+            .features
+            .names
+            .iter()
+            .map(|n| n.capacity() + 24)
+            .sum::<usize>()
+}
+
+/// A thread-safe LRU cache of decoded shards bounded by a byte budget.
+pub struct BlockCache {
+    inner: Mutex<CacheInner>,
+    budget_bytes: usize,
+}
+
+impl BlockCache {
+    /// Creates a cache holding at most ~`budget_bytes` of decoded shards.
+    /// A budget of zero still admits one shard at a time (the item being
+    /// served must be resident to be served at all).
+    pub fn new(budget_bytes: usize) -> Self {
+        BlockCache {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                resident_bytes: 0,
+                tick: 0,
+            }),
+            budget_bytes,
+        }
+    }
+
+    /// Looks a shard up, bumping its recency. Counts `store.cache.hit` or
+    /// `store.cache.miss`.
+    pub fn get(&self, key: ShardKey) -> Option<Arc<SampleSet>> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(&key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                sickle_obs::counter!("store.cache.hit", 1usize);
+                Some(Arc::clone(&entry.value))
+            }
+            None => {
+                sickle_obs::counter!("store.cache.miss", 1usize);
+                None
+            }
+        }
+    }
+
+    /// True when the shard is resident. Does not touch recency or counters
+    /// (used by the prefetcher to avoid skewing hit statistics).
+    pub fn contains(&self, key: ShardKey) -> bool {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .map
+            .contains_key(&key)
+    }
+
+    /// Inserts a decoded shard, evicting least-recently-used shards until
+    /// the budget holds again. The newly inserted shard is never evicted by
+    /// its own insertion, so a single oversized shard still serves.
+    pub fn insert(&self, key: ShardKey, value: Arc<SampleSet>) {
+        let bytes = sample_set_bytes(&value);
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(old) = inner.map.insert(
+            key,
+            CacheEntry {
+                value,
+                bytes,
+                last_used: tick,
+            },
+        ) {
+            inner.resident_bytes -= old.bytes;
+        }
+        inner.resident_bytes += bytes;
+        while inner.resident_bytes > self.budget_bytes && inner.map.len() > 1 {
+            let victim = inner
+                .map
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k);
+            match victim {
+                Some(v) => {
+                    if let Some(evicted) = inner.map.remove(&v) {
+                        inner.resident_bytes -= evicted.bytes;
+                        sickle_obs::counter!("store.cache.evicted", 1usize);
+                    }
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Resident shard count.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .map
+            .len()
+    }
+
+    /// True when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate resident bytes.
+    pub fn resident_bytes(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .resident_bytes
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sickle_field::FeatureMatrix;
+
+    fn set_of(n: usize) -> Arc<SampleSet> {
+        let features = FeatureMatrix::new(vec!["u".into()], vec![0.5; n]);
+        Arc::new(SampleSet::new(features, (0..n).collect(), 0.0, 0))
+    }
+
+    fn key(cube: usize) -> ShardKey {
+        ShardKey { snapshot: 0, cube }
+    }
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let cache = BlockCache::new(1 << 20);
+        assert!(cache.get(key(0)).is_none());
+        cache.insert(key(0), set_of(4));
+        let got = cache.get(key(0)).expect("resident");
+        assert_eq!(got.len(), 4);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_under_budget_pressure() {
+        // Each set is ~16B/point of payload; budget fits roughly two sets.
+        let per = sample_set_bytes(&set_of(100));
+        let cache = BlockCache::new(per * 2 + per / 2);
+        cache.insert(key(0), set_of(100));
+        cache.insert(key(1), set_of(100));
+        // Touch 0 so 1 becomes the LRU victim.
+        assert!(cache.get(key(0)).is_some());
+        cache.insert(key(2), set_of(100));
+        assert!(cache.contains(key(0)), "recently used survives");
+        assert!(!cache.contains(key(1)), "LRU evicted");
+        assert!(cache.contains(key(2)), "new entry resident");
+        assert!(cache.resident_bytes() <= cache.budget_bytes());
+    }
+
+    #[test]
+    fn oversized_single_shard_still_resides() {
+        let cache = BlockCache::new(8); // far below one shard
+        cache.insert(key(0), set_of(1000));
+        assert!(cache.contains(key(0)));
+        // The next insert displaces it (budget admits only one).
+        cache.insert(key(1), set_of(1000));
+        assert!(!cache.contains(key(0)));
+        assert!(cache.contains(key(1)));
+    }
+
+    #[test]
+    fn reinsert_replaces_without_double_counting() {
+        let cache = BlockCache::new(1 << 20);
+        cache.insert(key(0), set_of(10));
+        let b1 = cache.resident_bytes();
+        cache.insert(key(0), set_of(10));
+        assert_eq!(cache.resident_bytes(), b1);
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,164 @@
+//! Streaming client for the serving plane, with reconnect-and-retry.
+//!
+//! Transient failures — a refused or dropped connection, a timeout, a
+//! frame cut off mid-read (exactly what the `drop@conn:request` fault
+//! injects) — are retried on a **fresh connection** with linear backoff.
+//! Retries are safe because every request is a pure read: refetching batch
+//! `i` returns the same bytes, so a retry can neither duplicate nor lose
+//! samples. An error *frame* from the server, by contrast, is a definitive
+//! answer (the request itself is wrong) and is returned immediately.
+
+use std::io;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::batching::{Batch, BatchSpec};
+use crate::manifest::{ShardKey, StoreManifest};
+use crate::protocol::{read_frame, write_frame, Request, Response};
+
+/// Client retry/timeout tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct ClientConfig {
+    /// Additional attempts after the first failure.
+    pub retries: u32,
+    /// Sleep between attempts (multiplied by the attempt number).
+    pub backoff: Duration,
+    /// Socket read timeout per response.
+    pub timeout: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            retries: 3,
+            backoff: Duration::from_millis(50),
+            timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// A connection-caching client for one server address.
+pub struct StoreClient {
+    addr: String,
+    cfg: ClientConfig,
+    conn: Option<TcpStream>,
+}
+
+impl StoreClient {
+    /// Creates a client for `addr` (`host:port`). No connection is made
+    /// until the first request.
+    pub fn new(addr: impl Into<String>, cfg: ClientConfig) -> Self {
+        StoreClient {
+            addr: addr.into(),
+            cfg,
+            conn: None,
+        }
+    }
+
+    /// Client with default tuning.
+    pub fn connect(addr: impl Into<String>) -> Self {
+        Self::new(addr, ClientConfig::default())
+    }
+
+    fn stream(&mut self) -> io::Result<&mut TcpStream> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(&self.addr)?;
+            stream.set_read_timeout(Some(self.cfg.timeout))?;
+            stream.set_nodelay(true)?;
+            self.conn = Some(stream);
+        }
+        Ok(self.conn.as_mut().expect("connection just established"))
+    }
+
+    fn try_once(&mut self, tag: u8, payload: &[u8]) -> io::Result<Response> {
+        let stream = self.stream()?;
+        write_frame(stream, tag, payload)?;
+        let (rtag, rpayload) = read_frame(stream)?;
+        Response::decode(rtag, &rpayload)
+    }
+
+    /// Sends one request, retrying transient failures on a fresh
+    /// connection.
+    ///
+    /// # Errors
+    /// The server's error frame mapped back to an [`io::Error`], or the
+    /// last transport error once retries are exhausted.
+    pub fn request(&mut self, req: &Request) -> io::Result<Response> {
+        let (tag, payload) = req.encode();
+        let mut last = None;
+        for attempt in 0..=self.cfg.retries {
+            if attempt > 0 {
+                sickle_obs::counter!("store.client.retry", 1usize);
+                std::thread::sleep(self.cfg.backoff * attempt);
+            }
+            match self.try_once(tag, &payload) {
+                Ok(Response::Error { kind, message }) => {
+                    return Err(io::Error::new(kind.to_io(), message));
+                }
+                Ok(resp) => return Ok(resp),
+                Err(e) => {
+                    // Any transport/decode failure makes the cached
+                    // connection suspect; the next attempt reconnects.
+                    if self.conn.take().is_some() {
+                        sickle_obs::counter!("store.client.reconnect", 1usize);
+                    }
+                    last = Some(e);
+                }
+            }
+        }
+        Err(last.unwrap_or_else(|| io::Error::other("retries exhausted")))
+    }
+
+    /// Fetches and parses the store manifest.
+    ///
+    /// # Errors
+    /// Transport errors or `InvalidData` on unparseable JSON.
+    pub fn manifest(&mut self) -> io::Result<StoreManifest> {
+        match self.request(&Request::Manifest)? {
+            Response::Manifest(json) => serde_json::from_str(
+                std::str::from_utf8(&json)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?,
+            )
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+            other => Err(unexpected(&other, "manifest")),
+        }
+    }
+
+    /// Fetches one raw SKLH shard.
+    ///
+    /// # Errors
+    /// `NotFound` for an unknown key; transport errors.
+    pub fn shard(&mut self, key: ShardKey) -> io::Result<Vec<u8>> {
+        match self.request(&Request::GetShard(key))? {
+            Response::Shard(bytes) => Ok(bytes),
+            other => Err(unexpected(&other, "shard")),
+        }
+    }
+
+    /// Fetches batch `index` of the epoch described by `spec`.
+    ///
+    /// # Errors
+    /// `NotFound` past the last batch; transport errors.
+    pub fn batch(&mut self, spec: BatchSpec, index: usize) -> io::Result<Batch> {
+        match self.request(&Request::GetBatch {
+            spec,
+            index: index as u64,
+        })? {
+            Response::Batch(batch) => Ok(batch),
+            other => Err(unexpected(&other, "batch")),
+        }
+    }
+}
+
+fn unexpected(resp: &Response, wanted: &str) -> io::Error {
+    let got = match resp {
+        Response::Manifest(_) => "manifest",
+        Response::Shard(_) => "shard",
+        Response::Batch(_) => "batch",
+        Response::Error { .. } => "error",
+    };
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("expected {wanted} response, got {got}"),
+    )
+}

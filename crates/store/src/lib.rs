@@ -1,0 +1,39 @@
+//! # sickle-store — out-of-core shard store + batch-serving data plane
+//!
+//! Curated datasets from the sampling pipeline are big enough that the
+//! training hosts cannot (and should not) hold them in memory. This crate
+//! turns a [`SamplingOutput`](sickle_core::pipeline::SamplingOutput) into
+//! a persistent, content-addressed **shard store** and serves it to many
+//! trainers at once:
+//!
+//! - [`store`] / [`manifest`] / [`cache`] / [`prefetch`] — the storage
+//!   layer: per-`(snapshot, cube)` SKLH shards behind a `manifest.json`
+//!   whose shard names are their own FNV-1a hashes, read back through a
+//!   byte-budgeted LRU cache warmed by a lookahead prefetcher.
+//! - [`protocol`] / [`server`] — the serving layer: a length-prefixed
+//!   binary protocol over plain `std::net` TCP, a fixed worker pool, and
+//!   fault-plan hooks (`drop@conn:request`) for resilience testing. The
+//!   `sickle-serve` binary wraps it.
+//! - [`client`] / [`batching`] — the consumption layer: a
+//!   reconnect-and-retry [`StoreClient`] and the deterministic batch
+//!   assembly that makes streamed batches **bit-identical** to what an
+//!   in-memory trainer would build from the same sets and seed.
+
+pub mod batching;
+pub mod cache;
+pub mod client;
+pub mod manifest;
+pub mod prefetch;
+pub mod protocol;
+pub mod server;
+pub mod store;
+pub mod testutil;
+
+pub use batching::{Batch, BatchShape, BatchSpec};
+pub use cache::BlockCache;
+pub use client::{ClientConfig, StoreClient};
+pub use manifest::{ShardEntry, ShardKey, StoreManifest};
+pub use prefetch::Prefetcher;
+pub use protocol::{Request, Response};
+pub use server::{serve, ServeConfig, ServerHandle};
+pub use store::{set_key, ShardStore, StoreConfig};

@@ -1,0 +1,101 @@
+//! Lookahead prefetcher: a background thread that warms the block cache
+//! with the shards a consumer is about to ask for.
+//!
+//! The serving loop hints the keys of batch `i + 1` while batch `i` is
+//! being encoded and written to the socket, so the next request's disk
+//! reads overlap the current response's network writes. Hints are
+//! best-effort: a failed shard read is recorded on the
+//! `store.prefetch.error` counter and otherwise ignored — the foreground
+//! `get` will surface the real error to the requester.
+
+use std::sync::mpsc::{self, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::manifest::ShardKey;
+use crate::store::ShardStore;
+
+/// Handle to the prefetcher thread. Dropping it stops the thread (the
+/// channel disconnects and the worker drains out).
+pub struct Prefetcher {
+    tx: Option<Sender<ShardKey>>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl Prefetcher {
+    /// Spawns a prefetcher over a shared store.
+    pub fn new(store: Arc<ShardStore>) -> Self {
+        let (tx, rx) = mpsc::channel::<ShardKey>();
+        let worker = std::thread::Builder::new()
+            .name("sickle-store-prefetch".into())
+            .spawn(move || {
+                let _span = sickle_obs::span!("store.prefetch.worker");
+                while let Ok(key) = rx.recv() {
+                    if store.is_cached(key) {
+                        continue;
+                    }
+                    match store.get(key) {
+                        Ok(_) => sickle_obs::counter!("store.prefetch.loaded", 1usize),
+                        Err(_) => sickle_obs::counter!("store.prefetch.error", 1usize),
+                    }
+                }
+            })
+            .expect("spawn prefetch thread");
+        Prefetcher {
+            tx: Some(tx),
+            worker: Some(worker),
+        }
+    }
+
+    /// Queues keys for background loading (skips already-resident shards
+    /// cheaply on the worker side). Never blocks; if the worker is gone the
+    /// hint is dropped.
+    pub fn hint(&self, keys: &[ShardKey]) {
+        if let Some(tx) = &self.tx {
+            for &key in keys {
+                if tx.send(key).is_err() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Prefetcher {
+    fn drop(&mut self) {
+        self.tx.take(); // disconnect: worker's recv() errors and it exits
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreConfig;
+    use crate::testutil::small_output;
+
+    #[test]
+    fn hints_warm_the_cache() {
+        let root =
+            std::env::temp_dir().join(format!("sickle_store_prefetch_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let out = small_output(1, 4, 20);
+        let store = Arc::new(ShardStore::ingest(&root, &out, StoreConfig::default()).unwrap());
+        let keys = store.keys();
+        let pf = Prefetcher::new(Arc::clone(&store));
+        pf.hint(&keys);
+        // The worker is asynchronous; wait briefly for residency.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while std::time::Instant::now() < deadline {
+            if keys.iter().all(|&k| store.is_cached(k)) {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert!(keys.iter().all(|&k| store.is_cached(k)));
+        drop(pf); // joins cleanly
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

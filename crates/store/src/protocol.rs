@@ -1,0 +1,461 @@
+//! Length-prefixed binary wire protocol for the serving plane.
+//!
+//! Every message is one frame:
+//!
+//! ```text
+//! +--------+----------------+------------------+
+//! | tag u8 | len u32 LE     | payload (len B)  |
+//! +--------+----------------+------------------+
+//! ```
+//!
+//! Request tags: `0x01` Manifest, `0x02` GetShard, `0x03` GetBatch.
+//! Response tags: `0x81` Manifest (JSON), `0x82` Shard (raw SKLH bytes),
+//! `0x83` Batch (f32 tensors), `0xEE` Error (kind byte + UTF-8 message).
+//!
+//! Frames are capped at [`MAX_FRAME`] and every count in a payload is
+//! checked against the bytes actually present before any allocation — the
+//! same hostile-input discipline as the SKLF/SKLH decoders, because a
+//! network peer is the canonical untrusted source.
+
+use std::io::{self, Read, Write};
+
+use bytes::{Buf, BufMut};
+
+use crate::batching::{Batch, BatchShape, BatchSpec};
+use crate::manifest::ShardKey;
+
+/// Hard ceiling on one frame's payload (256 MiB).
+pub const MAX_FRAME: usize = 1 << 28;
+
+/// Request tag: fetch the store manifest.
+pub const TAG_REQ_MANIFEST: u8 = 0x01;
+/// Request tag: fetch one raw shard.
+pub const TAG_REQ_SHARD: u8 = 0x02;
+/// Request tag: fetch one assembled batch.
+pub const TAG_REQ_BATCH: u8 = 0x03;
+/// Response tag: manifest JSON.
+pub const TAG_RESP_MANIFEST: u8 = 0x81;
+/// Response tag: raw shard bytes.
+pub const TAG_RESP_SHARD: u8 = 0x82;
+/// Response tag: assembled batch tensors.
+pub const TAG_RESP_BATCH: u8 = 0x83;
+/// Response tag: error.
+pub const TAG_RESP_ERROR: u8 = 0xEE;
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn need(buf: &[u8], n: usize, what: &str) -> io::Result<()> {
+    if buf.remaining() < n {
+        return Err(invalid(format!("truncated {what}")));
+    }
+    Ok(())
+}
+
+/// A client request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// The store manifest, as JSON.
+    Manifest,
+    /// One raw shard by key.
+    GetShard(ShardKey),
+    /// Batch `index` of the epoch described by `spec`.
+    GetBatch {
+        /// Epoch seed / batch size / tokens per sample.
+        spec: BatchSpec,
+        /// Zero-based batch index within the epoch.
+        index: u64,
+    },
+}
+
+impl Request {
+    /// Serializes to `(tag, payload)`.
+    pub fn encode(&self) -> (u8, Vec<u8>) {
+        match self {
+            Request::Manifest => (TAG_REQ_MANIFEST, Vec::new()),
+            Request::GetShard(key) => {
+                let mut p = Vec::with_capacity(16);
+                p.put_u64_le(key.snapshot as u64);
+                p.put_u64_le(key.cube as u64);
+                (TAG_REQ_SHARD, p)
+            }
+            Request::GetBatch { spec, index } => {
+                let mut p = Vec::with_capacity(24);
+                p.put_u64_le(spec.seed);
+                p.put_u32_le(spec.batch_size as u32);
+                p.put_u32_le(spec.tokens as u32);
+                p.put_u64_le(*index);
+                (TAG_REQ_BATCH, p)
+            }
+        }
+    }
+
+    /// Parses a request frame.
+    ///
+    /// # Errors
+    /// `InvalidData` for unknown tags, truncated or oversized payloads.
+    pub fn decode(tag: u8, mut payload: &[u8]) -> io::Result<Request> {
+        let req = match tag {
+            TAG_REQ_MANIFEST => Request::Manifest,
+            TAG_REQ_SHARD => {
+                need(payload, 16, "GetShard request")?;
+                let snapshot = usize::try_from(payload.get_u64_le())
+                    .map_err(|_| invalid("GetShard snapshot overflows usize"))?;
+                let cube = usize::try_from(payload.get_u64_le())
+                    .map_err(|_| invalid("GetShard cube overflows usize"))?;
+                Request::GetShard(ShardKey { snapshot, cube })
+            }
+            TAG_REQ_BATCH => {
+                need(payload, 24, "GetBatch request")?;
+                let seed = payload.get_u64_le();
+                let batch_size = payload.get_u32_le() as usize;
+                let tokens = payload.get_u32_le() as usize;
+                let index = payload.get_u64_le();
+                Request::GetBatch {
+                    spec: BatchSpec {
+                        seed,
+                        batch_size,
+                        tokens,
+                    },
+                    index,
+                }
+            }
+            other => return Err(invalid(format!("unknown request tag {other:#04x}"))),
+        };
+        if !payload.is_empty() {
+            return Err(invalid("trailing bytes after request"));
+        }
+        Ok(req)
+    }
+}
+
+/// Wire error kinds, a coarse projection of [`io::ErrorKind`] that
+/// round-trips the retry-relevant distinctions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireErrorKind {
+    /// Anything without a dedicated code.
+    Other = 0,
+    /// The requested shard or batch does not exist.
+    NotFound = 1,
+    /// The request (or stored data) was malformed.
+    InvalidData = 2,
+}
+
+impl WireErrorKind {
+    fn from_u8(v: u8) -> WireErrorKind {
+        match v {
+            1 => WireErrorKind::NotFound,
+            2 => WireErrorKind::InvalidData,
+            _ => WireErrorKind::Other,
+        }
+    }
+
+    fn from_io(kind: io::ErrorKind) -> WireErrorKind {
+        match kind {
+            io::ErrorKind::NotFound => WireErrorKind::NotFound,
+            io::ErrorKind::InvalidData => WireErrorKind::InvalidData,
+            _ => WireErrorKind::Other,
+        }
+    }
+
+    /// The matching [`io::ErrorKind`] on the client side.
+    pub fn to_io(self) -> io::ErrorKind {
+        match self {
+            WireErrorKind::NotFound => io::ErrorKind::NotFound,
+            WireErrorKind::InvalidData => io::ErrorKind::InvalidData,
+            WireErrorKind::Other => io::ErrorKind::Other,
+        }
+    }
+}
+
+/// A server response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Manifest JSON bytes.
+    Manifest(Vec<u8>),
+    /// Raw SKLH shard bytes (hash-verified server-side).
+    Shard(Vec<u8>),
+    /// One assembled batch.
+    Batch(Batch),
+    /// The request failed; the error is a *response*, so the connection
+    /// stays usable for the next request.
+    Error {
+        /// Coarse error kind for client-side mapping.
+        kind: WireErrorKind,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Wraps a server-side failure as an error response.
+    pub fn from_error(err: &io::Error) -> Response {
+        Response::Error {
+            kind: WireErrorKind::from_io(err.kind()),
+            message: err.to_string(),
+        }
+    }
+
+    /// Serializes to `(tag, payload)`.
+    pub fn encode(&self) -> (u8, Vec<u8>) {
+        match self {
+            Response::Manifest(json) => (TAG_RESP_MANIFEST, json.clone()),
+            Response::Shard(bytes) => (TAG_RESP_SHARD, bytes.clone()),
+            Response::Batch(batch) => {
+                let mut p = Vec::with_capacity(16 + (batch.inputs.len() + batch.targets.len()) * 4);
+                p.put_u32_le(batch.shape.batch as u32);
+                p.put_u32_le(batch.shape.tokens as u32);
+                p.put_u32_le(batch.shape.features as u32);
+                p.put_u32_le(batch.shape.outputs as u32);
+                for &v in &batch.inputs {
+                    p.put_slice(&v.to_le_bytes());
+                }
+                for &v in &batch.targets {
+                    p.put_slice(&v.to_le_bytes());
+                }
+                (TAG_RESP_BATCH, p)
+            }
+            Response::Error { kind, message } => {
+                let mut p = Vec::with_capacity(1 + message.len());
+                p.push(*kind as u8);
+                p.put_slice(message.as_bytes());
+                (TAG_RESP_ERROR, p)
+            }
+        }
+    }
+
+    /// Parses a response frame.
+    ///
+    /// # Errors
+    /// `InvalidData` for unknown tags or payloads whose counts disagree
+    /// with the bytes present.
+    pub fn decode(tag: u8, payload: &[u8]) -> io::Result<Response> {
+        match tag {
+            TAG_RESP_MANIFEST => Ok(Response::Manifest(payload.to_vec())),
+            TAG_RESP_SHARD => Ok(Response::Shard(payload.to_vec())),
+            TAG_RESP_BATCH => decode_batch(payload),
+            TAG_RESP_ERROR => {
+                let (kind, msg) = payload
+                    .split_first()
+                    .ok_or_else(|| invalid("empty error response"))?;
+                Ok(Response::Error {
+                    kind: WireErrorKind::from_u8(*kind),
+                    message: String::from_utf8_lossy(msg).into_owned(),
+                })
+            }
+            other => Err(invalid(format!("unknown response tag {other:#04x}"))),
+        }
+    }
+}
+
+fn get_f32s(buf: &mut &[u8], count: usize) -> Vec<f32> {
+    let mut out = Vec::with_capacity(count);
+    let mut raw = [0u8; 4];
+    for _ in 0..count {
+        buf.copy_to_slice(&mut raw);
+        out.push(f32::from_le_bytes(raw));
+    }
+    out
+}
+
+fn decode_batch(mut payload: &[u8]) -> io::Result<Response> {
+    need(payload, 16, "batch header")?;
+    let batch = payload.get_u32_le() as usize;
+    let tokens = payload.get_u32_le() as usize;
+    let features = payload.get_u32_le() as usize;
+    let outputs = payload.get_u32_le() as usize;
+    let n_inputs = batch
+        .checked_mul(tokens)
+        .and_then(|v| v.checked_mul(features))
+        .ok_or_else(|| invalid("batch input count overflows"))?;
+    let n_targets = batch
+        .checked_mul(outputs)
+        .ok_or_else(|| invalid("batch target count overflows"))?;
+    let total_bytes = n_inputs
+        .checked_add(n_targets)
+        .and_then(|v| v.checked_mul(4))
+        .ok_or_else(|| invalid("batch payload size overflows"))?;
+    if payload.remaining() != total_bytes {
+        return Err(invalid(format!(
+            "batch payload holds {} bytes, shape requires {}",
+            payload.remaining(),
+            total_bytes
+        )));
+    }
+    let inputs = get_f32s(&mut payload, n_inputs);
+    let targets = get_f32s(&mut payload, n_targets);
+    Ok(Response::Batch(Batch {
+        inputs,
+        targets,
+        shape: BatchShape {
+            batch,
+            tokens,
+            features,
+            outputs,
+        },
+    }))
+}
+
+/// Writes one frame.
+///
+/// # Errors
+/// `InvalidData` if the payload exceeds [`MAX_FRAME`]; otherwise I/O
+/// errors from the writer.
+pub fn write_frame(w: &mut impl Write, tag: u8, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(invalid(format!(
+            "frame of {} bytes exceeds MAX_FRAME",
+            payload.len()
+        )));
+    }
+    let mut header = [0u8; 5];
+    header[0] = tag;
+    header[1..5].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame, returning `(tag, payload)`.
+///
+/// # Errors
+/// `UnexpectedEof` on a closed peer, `InvalidData` on an oversized length
+/// prefix, otherwise I/O errors from the reader.
+pub fn read_frame(r: &mut impl Read) -> io::Result<(u8, Vec<u8>)> {
+    let mut header = [0u8; 5];
+    r.read_exact(&mut header)?;
+    let tag = header[0];
+    let len = u32::from_le_bytes([header[1], header[2], header[3], header[4]]) as usize;
+    if len > MAX_FRAME {
+        return Err(invalid(format!("frame length {len} exceeds MAX_FRAME")));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok((tag, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let (tag, payload) = req.encode();
+        assert_eq!(Request::decode(tag, &payload).unwrap(), req);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(Request::Manifest);
+        roundtrip_request(Request::GetShard(ShardKey {
+            snapshot: 3,
+            cube: 250,
+        }));
+        roundtrip_request(Request::GetBatch {
+            spec: BatchSpec {
+                seed: 0xDEAD_BEEF,
+                batch_size: 32,
+                tokens: 64,
+            },
+            index: 7,
+        });
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let batch = Batch {
+            inputs: vec![1.5, -2.25, f32::MIN_POSITIVE, 0.1],
+            targets: vec![0.5, -0.5],
+            shape: BatchShape {
+                batch: 2,
+                tokens: 1,
+                features: 2,
+                outputs: 1,
+            },
+        };
+        for resp in [
+            Response::Manifest(b"{\"version\":1}".to_vec()),
+            Response::Shard(vec![1, 2, 3, 4]),
+            Response::Batch(batch),
+            Response::Error {
+                kind: WireErrorKind::NotFound,
+                message: "no shard".into(),
+            },
+        ] {
+            let (tag, payload) = resp.encode();
+            assert_eq!(Response::decode(tag, &payload).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn batch_floats_are_bit_exact_across_the_wire() {
+        let inputs = vec![0.1f32, 1.0 / 3.0, f32::EPSILON, -0.0];
+        let batch = Batch {
+            inputs: inputs.clone(),
+            targets: vec![2.0 / 7.0],
+            shape: BatchShape {
+                batch: 1,
+                tokens: 2,
+                features: 2,
+                outputs: 1,
+            },
+        };
+        let (tag, payload) = Response::Batch(batch).encode();
+        match Response::decode(tag, &payload).unwrap() {
+            Response::Batch(b) => {
+                for (a, b) in inputs.iter().zip(&b.inputs) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+            other => panic!("expected batch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frame_io_roundtrips_and_rejects_oversize() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, TAG_REQ_MANIFEST, &[]).unwrap();
+        write_frame(&mut wire, TAG_RESP_SHARD, &[9, 9, 9]).unwrap();
+        let mut cursor = &wire[..];
+        assert_eq!(read_frame(&mut cursor).unwrap(), (TAG_REQ_MANIFEST, vec![]));
+        assert_eq!(
+            read_frame(&mut cursor).unwrap(),
+            (TAG_RESP_SHARD, vec![9, 9, 9])
+        );
+        assert!(read_frame(&mut cursor).is_err(), "EOF is an error");
+
+        let mut bad = vec![TAG_RESP_SHARD];
+        bad.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(read_frame(&mut &bad[..]).is_err(), "oversize rejected");
+    }
+
+    #[test]
+    fn hostile_batch_header_is_error_not_abort() {
+        // Counts claiming far more data than present must fail cleanly.
+        let mut p = Vec::new();
+        p.put_u32_le(u32::MAX);
+        p.put_u32_le(u32::MAX);
+        p.put_u32_le(u32::MAX);
+        p.put_u32_le(u32::MAX);
+        assert!(decode_batch(&p).is_err());
+        // Shape/payload disagreement is rejected, not padded.
+        let mut q = Vec::new();
+        q.put_u32_le(1);
+        q.put_u32_le(1);
+        q.put_u32_le(2);
+        q.put_u32_le(1);
+        q.put_slice(&[0u8; 4]); // needs 12 bytes, has 4
+        assert!(decode_batch(&q).is_err());
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        assert!(Request::decode(0x55, &[]).is_err());
+        assert!(Request::decode(TAG_REQ_SHARD, &[0u8; 15]).is_err());
+        assert!(
+            Request::decode(TAG_REQ_SHARD, &[0u8; 17]).is_err(),
+            "trailing bytes"
+        );
+        assert!(Request::decode(TAG_REQ_BATCH, &[0u8; 8]).is_err());
+    }
+}

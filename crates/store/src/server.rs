@@ -1,0 +1,332 @@
+//! Multi-client batch server over plain `std::net` TCP.
+//!
+//! The server is deliberately std-only: a nonblocking accept loop that
+//! polls a stop flag, a fixed pool of worker threads draining accepted
+//! connections from a channel, and blocking per-connection I/O bounded by
+//! `SO_RCVTIMEO`. No async runtime — the protocol is strictly
+//! request/response per connection, so a thread per in-flight connection
+//! (queued beyond the pool) is the simplest correct design and the pool
+//! bounds memory.
+//!
+//! Error handling contract: a *request* failure (unknown shard, malformed
+//! frame) is answered with an error frame and the connection stays usable;
+//! a *connection* failure (EOF, injected drop, repeated idle timeouts)
+//! closes only that connection. The server never dies because a client
+//! did.
+//!
+//! Fault injection: a [`FaultPlan`] entry `drop@C:R` severs connection `C`
+//! mid-way through the response to its `R`-th request (a partial frame is
+//! written, then the socket is shut down), exercising client
+//! reconnect-and-retry. `delay@C:R:ms` stalls a response; `kill@C:R`
+//! closes the connection before responding. Poison entries are ignored —
+//! the data plane has no in-place result to corrupt.
+
+use std::io::{self, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use sickle_hpc::fault::{FaultAction, FaultInjector, FaultPlan};
+
+use crate::batching::{batch_from_sets, batch_keys, num_batches, BatchSpec};
+use crate::manifest::ShardKey;
+use crate::prefetch::Prefetcher;
+use crate::protocol::{read_frame, write_frame, Request, Response};
+use crate::store::ShardStore;
+
+/// Server tuning.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads (= concurrently served connections).
+    pub threads: usize,
+    /// Per-read socket timeout; also the stop-flag poll cadence for idle
+    /// connections.
+    pub read_timeout: Duration,
+    /// Consecutive idle timeouts before a silent connection is closed.
+    pub idle_timeouts: u32,
+    /// How many upcoming batches to hint to the prefetcher after serving a
+    /// `GetBatch` (0 disables lookahead).
+    pub lookahead: usize,
+    /// Optional fault plan (`drop@conn:request` etc.) for resilience tests.
+    pub fault_plan: Option<FaultPlan>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 8,
+            read_timeout: Duration::from_millis(250),
+            idle_timeouts: 40,
+            lookahead: 1,
+            fault_plan: None,
+        }
+    }
+}
+
+struct Shared {
+    store: Arc<ShardStore>,
+    keys: Vec<ShardKey>,
+    injector: FaultInjector,
+    prefetcher: Prefetcher,
+    cfg: ServeConfig,
+    stop: Arc<AtomicBool>,
+}
+
+/// A running server. [`shutdown`](Self::shutdown) (or drop) stops the
+/// accept loop and joins every thread; connections in flight finish their
+/// current request first.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when `:0` was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals every thread to stop and joins them.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Binds and starts serving a store.
+///
+/// # Errors
+/// I/O errors from binding the listener.
+pub fn serve(store: Arc<ShardStore>, cfg: ServeConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    sickle_obs::info!("serve", "listening on {addr}");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let plan = cfg.fault_plan.clone().unwrap_or_else(FaultPlan::none);
+    let shared = Arc::new(Shared {
+        keys: store.keys(),
+        prefetcher: Prefetcher::new(Arc::clone(&store)),
+        injector: FaultInjector::new(plan),
+        store,
+        cfg: cfg.clone(),
+        stop: Arc::clone(&stop),
+    });
+
+    let (conn_tx, conn_rx) = mpsc::channel::<(TcpStream, usize)>();
+    let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+    let workers = (0..cfg.threads.max(1))
+        .map(|w| {
+            let rx = Arc::clone(&conn_rx);
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("sickle-serve-worker-{w}"))
+                .spawn(move || worker_loop(&rx, &shared))
+                .expect("spawn serve worker")
+        })
+        .collect();
+
+    let accept_stop = Arc::clone(&stop);
+    let accept = std::thread::Builder::new()
+        .name("sickle-serve-accept".into())
+        .spawn(move || {
+            let next_conn = AtomicUsize::new(0);
+            while !accept_stop.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let id = next_conn.fetch_add(1, Ordering::SeqCst);
+                        sickle_obs::counter!("serve.conn.accepted", 1usize);
+                        if conn_tx.send((stream, id)).is_err() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(2)),
+                }
+            }
+            // conn_tx drops here; idle workers see Disconnected and exit.
+        })
+        .expect("spawn serve accept loop");
+
+    Ok(ServerHandle {
+        addr,
+        stop,
+        accept: Some(accept),
+        workers,
+    })
+}
+
+fn worker_loop(rx: &Mutex<Receiver<(TcpStream, usize)>>, shared: &Shared) {
+    loop {
+        let next = {
+            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
+            guard.recv_timeout(Duration::from_millis(50))
+        };
+        match next {
+            Ok((stream, conn_id)) => handle_connection(stream, conn_id, shared),
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+fn is_timeout(kind: io::ErrorKind) -> bool {
+    // SO_RCVTIMEO surfaces as WouldBlock on Unix, TimedOut on Windows.
+    matches!(kind, io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+fn handle_connection(mut stream: TcpStream, conn_id: usize, shared: &Shared) {
+    let _span = sickle_obs::span!("serve.conn", conn = conn_id);
+    if stream
+        .set_read_timeout(Some(shared.cfg.read_timeout))
+        .is_err()
+    {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let mut idle = 0u32;
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let (tag, payload) = match read_frame(&mut stream) {
+            Ok(frame) => frame,
+            Err(e) if is_timeout(e.kind()) => {
+                idle += 1;
+                if idle > shared.cfg.idle_timeouts {
+                    sickle_obs::counter!("serve.conn.idle_closed", 1usize);
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return, // EOF or reset: client is gone
+        };
+        idle = 0;
+        let t0 = std::time::Instant::now();
+
+        match shared.injector.on_cube(conn_id) {
+            FaultAction::Proceed | FaultAction::Poison => {}
+            FaultAction::Delay(d) => std::thread::sleep(d),
+            FaultAction::Kill => {
+                sickle_obs::counter!("serve.conn.killed", 1usize);
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
+            }
+            FaultAction::Drop => {
+                sickle_obs::counter!("serve.conn.dropped", 1usize);
+                sever_mid_response(&mut stream, tag, &payload, shared);
+                return;
+            }
+        }
+
+        let response = match Request::decode(tag, &payload) {
+            Ok(req) => answer(req, shared),
+            Err(e) => {
+                sickle_obs::counter!("serve.request.malformed", 1usize);
+                Response::from_error(&e)
+            }
+        };
+        let (rtag, rpayload) = response.encode();
+        if write_frame(&mut stream, rtag, &rpayload).is_err() {
+            return;
+        }
+        sickle_obs::histogram!("serve.request_secs", t0.elapsed().as_secs_f64());
+        sickle_obs::counter!("serve.request.ok", 1usize);
+    }
+}
+
+/// Builds the real response, writes a deliberately truncated frame, and
+/// cuts the socket — the injected `drop` fault. The client observes a
+/// mid-frame EOF, which its retry loop must treat as transient.
+fn sever_mid_response(stream: &mut TcpStream, tag: u8, payload: &[u8], shared: &Shared) {
+    let response = match Request::decode(tag, payload) {
+        Ok(req) => answer(req, shared),
+        Err(e) => Response::from_error(&e),
+    };
+    let (rtag, rpayload) = response.encode();
+    let mut header = [0u8; 5];
+    header[0] = rtag;
+    header[1..5].copy_from_slice(&(rpayload.len() as u32).to_le_bytes());
+    let _ = stream.write_all(&header);
+    let _ = stream.write_all(&rpayload[..rpayload.len() / 2]);
+    let _ = stream.flush();
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn answer(req: Request, shared: &Shared) -> Response {
+    match serve_request(req, shared) {
+        Ok(resp) => resp,
+        Err(e) => Response::from_error(&e),
+    }
+}
+
+fn serve_request(req: Request, shared: &Shared) -> io::Result<Response> {
+    match req {
+        Request::Manifest => {
+            let json = serde_json::to_string(shared.store.manifest())
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            Ok(Response::Manifest(json.into_bytes()))
+        }
+        Request::GetShard(key) => Ok(Response::Shard(shared.store.shard_bytes(key)?)),
+        Request::GetBatch { spec, index } => {
+            let index = usize::try_from(index).map_err(|_| {
+                io::Error::new(io::ErrorKind::InvalidData, "batch index overflows usize")
+            })?;
+            let keys = batch_keys(&shared.keys, spec, index).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!(
+                        "batch {index} out of range ({} batches per epoch)",
+                        num_batches(shared.keys.len(), spec.batch_size)
+                    ),
+                )
+            })?;
+            let sets = keys
+                .iter()
+                .map(|&k| shared.store.get(k))
+                .collect::<io::Result<Vec<_>>>()?;
+            hint_lookahead(shared, spec, index);
+            Ok(Response::Batch(batch_from_sets(&sets, spec.tokens)?))
+        }
+    }
+}
+
+/// Warms the cache for the batches this stream will likely ask for next.
+fn hint_lookahead(shared: &Shared, spec: BatchSpec, index: usize) {
+    for ahead in 1..=shared.cfg.lookahead {
+        if let Some(next) = batch_keys(&shared.keys, spec, index + ahead) {
+            let cold: Vec<ShardKey> = next
+                .into_iter()
+                .filter(|&k| !shared.store.is_cached(k))
+                .collect();
+            shared.prefetcher.hint(&cold);
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! Out-of-core shard store: persist a [`SamplingOutput`] as per-
+//! `(snapshot, cube)` SKLH shards, read them back through a byte-budgeted
+//! LRU cache.
+//!
+//! On disk a store is:
+//!
+//! ```text
+//! <root>/manifest.json          index + hashes (see [`StoreManifest`])
+//! <root>/shards/<hash>.sklh     one single-set SKLH shard per sample set,
+//!                               named by its own FNV-1a content hash
+//! ```
+//!
+//! Shard payloads reuse the checkpoint encoder
+//! ([`sickle_field::io::encode_sample_sets`]) verbatim — the store is a new
+//! index over the proven format, not a new format.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use sickle_core::pipeline::{config_fingerprint, SamplingOutput};
+use sickle_field::io as fio;
+use sickle_field::SampleSet;
+
+use crate::cache::BlockCache;
+use crate::manifest::{ShardEntry, ShardKey, StoreManifest};
+
+/// Tuning for an opened store.
+#[derive(Clone, Copy, Debug)]
+pub struct StoreConfig {
+    /// Byte budget for the decoded-shard LRU cache.
+    pub cache_bytes: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            cache_bytes: 256 << 20,
+        }
+    }
+}
+
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// The canonical `(snapshot, cube)` key of one sample set within its
+/// output: the set's own provenance when tagged, its position otherwise.
+/// Ingest and in-memory consumers must agree on this or remote batches
+/// would reorder against local ones.
+pub fn set_key(set: &SampleSet, position: usize) -> ShardKey {
+    ShardKey {
+        snapshot: set.snapshot_index,
+        cube: set.hypercube.unwrap_or(position),
+    }
+}
+
+/// A shard store rooted at a directory, with a shared decoded-shard cache.
+/// All methods take `&self`; the store is `Send + Sync` and is typically
+/// wrapped in an `Arc` to share between the serving threads and the
+/// prefetcher.
+pub struct ShardStore {
+    root: PathBuf,
+    manifest: StoreManifest,
+    cache: BlockCache,
+}
+
+impl ShardStore {
+    /// Persists a sampling output as a new store under `root`, then opens
+    /// it. Existing shards with matching content-addressed names are reused
+    /// (ingest is idempotent); the manifest is rewritten atomically last,
+    /// so a crash mid-ingest never leaves a manifest naming missing shards.
+    ///
+    /// # Errors
+    /// Propagates I/O errors; `InvalidData` if the output holds no sets.
+    pub fn ingest(root: &Path, output: &SamplingOutput, cfg: StoreConfig) -> io::Result<Self> {
+        let _span = sickle_obs::span!("store.ingest");
+        let shards_dir = root.join("shards");
+        std::fs::create_dir_all(&shards_dir)?;
+        let first = output
+            .sets
+            .iter()
+            .flatten()
+            .next()
+            .ok_or_else(|| invalid("cannot ingest an empty sampling output".into()))?;
+        let mut manifest = StoreManifest::new(
+            config_fingerprint(&output.config),
+            first.features.names.clone(),
+        );
+        for snap_sets in &output.sets {
+            for (position, set) in snap_sets.iter().enumerate() {
+                let key = set_key(set, position);
+                let bytes = fio::encode_sample_sets(std::slice::from_ref(set));
+                let hash = fio::fnv1a64_hex(&bytes);
+                let file = format!("shards/{hash}.sklh");
+                let path = root.join(&file);
+                if !path.exists() {
+                    let tmp = shards_dir.join(format!("{hash}.sklh.tmp"));
+                    std::fs::write(&tmp, &bytes)?;
+                    std::fs::rename(&tmp, &path)?;
+                }
+                manifest.entries.push(ShardEntry {
+                    snapshot: key.snapshot,
+                    cube: key.cube,
+                    file,
+                    hash,
+                    points: set.len(),
+                    bytes: bytes.len(),
+                });
+                sickle_obs::counter!("store.ingest.shards", 1usize);
+            }
+        }
+        manifest.sort();
+        manifest.save_atomic(&root.join("manifest.json"))?;
+        Ok(ShardStore {
+            root: root.to_path_buf(),
+            manifest,
+            cache: BlockCache::new(cfg.cache_bytes),
+        })
+    }
+
+    /// Opens an existing store by reading its manifest. Shard files are not
+    /// touched until read — opening a terabyte store costs one JSON parse.
+    ///
+    /// # Errors
+    /// I/O errors; `InvalidData` for a bad manifest.
+    pub fn open(root: &Path, cfg: StoreConfig) -> io::Result<Self> {
+        let _span = sickle_obs::span!("store.open");
+        let manifest = StoreManifest::load(&root.join("manifest.json"))?;
+        Ok(ShardStore {
+            root: root.to_path_buf(),
+            manifest,
+            cache: BlockCache::new(cfg.cache_bytes),
+        })
+    }
+
+    /// The store's manifest.
+    pub fn manifest(&self) -> &StoreManifest {
+        &self.manifest
+    }
+
+    /// The store root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// All shard keys in canonical `(snapshot, cube)` order.
+    pub fn keys(&self) -> Vec<ShardKey> {
+        self.manifest.keys()
+    }
+
+    /// True when the shard is already decoded in cache (prefetcher probe;
+    /// no recency bump, no hit/miss accounting).
+    pub fn is_cached(&self, key: ShardKey) -> bool {
+        self.cache.contains(key)
+    }
+
+    /// Reads a shard's raw verified bytes from disk, bypassing the decoded
+    /// cache (the `GetShard` wire path, which ships bytes as-is).
+    ///
+    /// # Errors
+    /// `NotFound` for an unknown key, `InvalidData` on a hash mismatch.
+    pub fn shard_bytes(&self, key: ShardKey) -> io::Result<Vec<u8>> {
+        let entry = self.manifest.entry(key).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no shard for snapshot {} cube {}", key.snapshot, key.cube),
+            )
+        })?;
+        let bytes = std::fs::read(self.root.join(&entry.file))?;
+        if fio::fnv1a64_hex(&bytes) != entry.hash {
+            return Err(invalid(format!("hash mismatch for {}", entry.file)));
+        }
+        Ok(bytes)
+    }
+
+    /// Fetches a decoded shard through the cache: a hit is an `Arc` clone;
+    /// a miss reads the file, verifies its hash, decodes it, and makes it
+    /// resident (possibly evicting colder shards).
+    ///
+    /// # Errors
+    /// `NotFound` for an unknown key, `InvalidData` on hash mismatch or a
+    /// shard that does not hold exactly one sample set.
+    pub fn get(&self, key: ShardKey) -> io::Result<Arc<SampleSet>> {
+        if let Some(hit) = self.cache.get(key) {
+            return Ok(hit);
+        }
+        let bytes = self.shard_bytes(key)?;
+        let mut sets = fio::decode_sample_sets(&bytes)?;
+        if sets.len() != 1 {
+            return Err(invalid(format!(
+                "shard for snapshot {} cube {} holds {} sets, expected 1",
+                key.snapshot,
+                key.cube,
+                sets.len()
+            )));
+        }
+        let set = Arc::new(sets.pop().expect("length checked"));
+        self.cache.insert(key, Arc::clone(&set));
+        Ok(set)
+    }
+
+    /// Cache introspection for benchmarks: `(resident shards, resident
+    /// bytes, budget bytes)`.
+    pub fn cache_stats(&self) -> (usize, usize, usize) {
+        (
+            self.cache.len(),
+            self.cache.resident_bytes(),
+            self.cache.budget_bytes(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::small_output;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sickle_store_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn ingest_open_get_roundtrip() {
+        let root = temp_root("roundtrip");
+        let out = small_output(2, 3, 20);
+        let store = ShardStore::ingest(&root, &out, StoreConfig::default()).unwrap();
+        assert_eq!(store.keys().len(), 2 * 3);
+
+        let reopened = ShardStore::open(&root, StoreConfig::default()).unwrap();
+        for (snap_sets, snap) in out.sets.iter().zip(0..) {
+            for (pos, set) in snap_sets.iter().enumerate() {
+                let key = set_key(set, pos);
+                let got = reopened.get(key).unwrap();
+                assert_eq!(got.indices, set.indices, "snapshot {snap} pos {pos}");
+                assert_eq!(got.features.data, set.features.data);
+                assert_eq!(got.hypercube, set.hypercube);
+            }
+        }
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn second_get_hits_cache() {
+        let root = temp_root("cachehit");
+        let out = small_output(1, 2, 10);
+        let store = ShardStore::ingest(&root, &out, StoreConfig::default()).unwrap();
+        let key = store.keys()[0];
+        let a = store.get(key).unwrap();
+        assert!(store.is_cached(key));
+        let b = store.get(key).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "warm read must share the Arc");
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn tampered_shard_is_detected() {
+        let root = temp_root("tamper");
+        let out = small_output(1, 1, 10);
+        let store = ShardStore::ingest(&root, &out, StoreConfig::default()).unwrap();
+        let key = store.keys()[0];
+        let file = root.join(&store.manifest().entries[0].file);
+        let mut bytes = std::fs::read(&file).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&file, &bytes).unwrap();
+        let err = store.get(key).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn unknown_key_is_not_found() {
+        let root = temp_root("unknown");
+        let out = small_output(1, 1, 10);
+        let store = ShardStore::ingest(&root, &out, StoreConfig::default()).unwrap();
+        let err = store
+            .get(ShardKey {
+                snapshot: 99,
+                cube: 0,
+            })
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn tiny_cache_streams_whole_store() {
+        // A cache budget far below the dataset must still read everything —
+        // the out-of-core contract.
+        let root = temp_root("tinycache");
+        let out = small_output(3, 4, 50);
+        let store = ShardStore::ingest(&root, &out, StoreConfig { cache_bytes: 1 }).unwrap();
+        for key in store.keys() {
+            assert!(store.get(key).is_ok());
+        }
+        let (resident, bytes, budget) = store.cache_stats();
+        assert_eq!(resident, 1, "budget of 1 byte keeps a single shard");
+        let _ = (bytes, budget);
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

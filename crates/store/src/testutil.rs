@@ -1,0 +1,61 @@
+//! Deterministic synthetic fixtures shared by the store's unit tests, the
+//! loopback integration tests, the train-side bit-identity test, and the
+//! throughput benchmark. Building the [`SamplingOutput`] directly (rather
+//! than running the full sampling pipeline) keeps fixtures fast and makes
+//! every value an exact, reproducible function of `(snapshot, cube, row)`.
+
+use sickle_core::pipeline::{
+    CubeMethod, PointMethod, SamplingConfig, SamplingOutput, SamplingStats, TemporalMethod,
+};
+use sickle_field::{FeatureMatrix, SampleSet};
+
+/// The fixed sampling configuration stamped on fixture outputs (provenance
+/// for the store's `config_hash`; its values are never re-executed).
+pub fn fixture_config() -> SamplingConfig {
+    SamplingConfig {
+        hypercubes: CubeMethod::MaxEnt,
+        num_hypercubes: 4,
+        cube_edge: 8,
+        method: PointMethod::Random,
+        num_samples: 51,
+        cluster_var: "q".to_string(),
+        feature_vars: vec!["u".to_string(), "q".to_string()],
+        seed: 7,
+        temporal: TemporalMethod::All,
+    }
+}
+
+/// One synthetic sample set for `(snapshot, cube)` with `points` rows of
+/// two features. Values are exact functions of the coordinates so any
+/// reordering, truncation, or corruption downstream changes bits.
+pub fn fixture_set(snapshot: usize, cube: usize, points: usize) -> SampleSet {
+    let mut data = Vec::with_capacity(points * 2);
+    for row in 0..points {
+        let base = (snapshot * 1_000_003 + cube * 10_007 + row * 101) as f64;
+        data.push((base * 0.001).sin());
+        data.push((base * 0.002).cos());
+    }
+    let features = FeatureMatrix::new(vec!["u".to_string(), "q".to_string()], data);
+    let indices = (0..points).map(|r| r * 3 + cube * 7 + snapshot).collect();
+    SampleSet::new(features, indices, snapshot as f64 * 0.5, snapshot).with_hypercube(cube)
+}
+
+/// A full synthetic sampling output: `snapshots × cubes` sets of `points`
+/// rows each, tagged with [`fixture_config`] provenance.
+pub fn small_output(snapshots: usize, cubes: usize, points: usize) -> SamplingOutput {
+    let sets: Vec<Vec<SampleSet>> = (0..snapshots)
+        .map(|s| (0..cubes).map(|c| fixture_set(s, c, points)).collect())
+        .collect();
+    let points_out = snapshots * cubes * points;
+    SamplingOutput {
+        stats: SamplingStats {
+            points_in: points_out * 10,
+            points_out,
+            cubes_selected: snapshots * cubes,
+            phase1_points: points_out * 10,
+            elapsed_secs: 0.0,
+        },
+        config: fixture_config(),
+        sets,
+    }
+}

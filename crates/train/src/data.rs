@@ -383,6 +383,96 @@ pub fn dense_cube_data(
     TensorData::new(inputs, targets, tokens, feat, out_dim)
 }
 
+/// A training dataset streamed from a `sickle-serve` endpoint instead of
+/// held in memory.
+///
+/// Batches come back **bit-identical** to what [`TensorData::batches`]
+/// would produce from the same sample sets and seed: the server runs the
+/// same shuffle (`StdRng::seed_from_u64(seed)` over `0..n`), the same
+/// chunking, and the same per-set tensorization, and `f32` values cross
+/// the wire losslessly. Transient connection failures (including injected
+/// `drop@conn:request` faults) are retried by the underlying
+/// [`StoreClient`]; since every batch fetch is a pure read, retries cannot
+/// duplicate or lose samples.
+pub struct RemoteDataset {
+    client: sickle_store::StoreClient,
+    /// Samples (shards) available on the server.
+    pub n: usize,
+    /// Tokens per sample requested from the server.
+    pub tokens: usize,
+    /// Features per token (from the server's manifest).
+    pub features: usize,
+    /// Fingerprint of the sampling configuration that produced the store.
+    pub config_hash: String,
+}
+
+impl RemoteDataset {
+    /// Connects to a serve endpoint and reads its manifest.
+    ///
+    /// # Errors
+    /// Transport errors, or `InvalidData` for an empty store.
+    pub fn connect(
+        addr: impl Into<String>,
+        tokens: usize,
+        cfg: sickle_store::ClientConfig,
+    ) -> std::io::Result<RemoteDataset> {
+        let mut client = sickle_store::StoreClient::new(addr, cfg);
+        let manifest = client.manifest()?;
+        if manifest.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "remote store is empty",
+            ));
+        }
+        Ok(RemoteDataset {
+            client,
+            n: manifest.len(),
+            tokens,
+            features: manifest.feature_names.len(),
+            config_hash: manifest.config_hash,
+        })
+    }
+
+    /// Number of batches one epoch yields at `batch_size`.
+    pub fn num_batches(&self, batch_size: usize) -> usize {
+        sickle_store::batching::num_batches(self.n, batch_size)
+    }
+
+    /// Fetches batch `index` of the epoch seeded by `seed`.
+    ///
+    /// # Errors
+    /// `NotFound` past the last batch; transport errors after retries.
+    pub fn batch(&mut self, seed: u64, batch_size: usize, index: usize) -> std::io::Result<Batch> {
+        let spec = sickle_store::BatchSpec {
+            seed,
+            batch_size,
+            tokens: self.tokens,
+        };
+        let remote = self.client.batch(spec, index)?;
+        Ok(Batch {
+            shape: BatchShape {
+                batch: remote.shape.batch,
+                tokens: remote.shape.tokens,
+                features: remote.shape.features,
+                outputs: remote.shape.outputs,
+            },
+            inputs: remote.inputs,
+            targets: remote.targets,
+        })
+    }
+
+    /// Streams one full epoch, in epoch order — the drop-in replacement
+    /// for `TensorData::batches(batch_size, StdRng::seed_from_u64(seed))`.
+    ///
+    /// # Errors
+    /// Propagates the first failed fetch.
+    pub fn epoch(&mut self, seed: u64, batch_size: usize) -> std::io::Result<Vec<Batch>> {
+        (0..self.num_batches(batch_size))
+            .map(|i| self.batch(seed, batch_size, i))
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

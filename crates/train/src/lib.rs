@@ -31,6 +31,6 @@ pub mod hpo;
 pub mod models;
 pub mod trainer;
 
-pub use data::{Batch, BatchShape, TensorData};
+pub use data::{Batch, BatchShape, RemoteDataset, TensorData};
 pub use models::{LstmModel, MateyMini, Model, TokenTransformer};
 pub use trainer::{TrainConfig, TrainResult};

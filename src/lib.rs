@@ -19,6 +19,8 @@
 //! - [`hpc`] — rank executor + cluster simulator for scaling studies
 //! - [`obs`] — structured tracing, metrics, and Chrome-trace export
 //!   (`SICKLE_TRACE` / `SICKLE_LOG`)
+//! - [`store`] — out-of-core shard store + the `sickle-serve` TCP data
+//!   plane streaming bit-identical training batches to many clients
 //!
 //! ## Quickstart
 //!
@@ -53,4 +55,5 @@ pub use sickle_field as field;
 pub use sickle_hpc as hpc;
 pub use sickle_nn as nn;
 pub use sickle_obs as obs;
+pub use sickle_store as store;
 pub use sickle_train as train;
