@@ -1,0 +1,66 @@
+//! Criterion benches for the GEMM kernels: naive serial triple loop vs the
+//! blocked, packed, FMA-dispatched kernel on the shapes the fig8 models
+//! actually run — MLP hidden layers, the LSTM gate step, and per-head
+//! attention products — plus the 256³ reference the perf budget enforces.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sickle_nn::gemm;
+
+fn pseudo(seed: u64, len: usize) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f32) / (1u64 << 31) as f32 - 0.5
+        })
+        .collect()
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    group.sample_size(20);
+
+    // (label, m, k, n, nt): NN unless `nt`, matching the model's layouts.
+    let shapes = [
+        ("mlp_hidden_64x32x32", 64usize, 32usize, 32usize, false),
+        ("mlp_expand_64x32x64", 64, 32, 64, false),
+        ("lstm_gates_8x80x256", 8, 80, 256, false),
+        ("attn_scores_nt_64x8x64", 64, 8, 64, true),
+        ("attn_values_64x64x8", 64, 64, 8, false),
+        ("reference_256x256x256", 256, 256, 256, false),
+    ];
+
+    for &(label, m, k, n, nt) in &shapes {
+        let a = pseudo(11, m * k);
+        let b = pseudo(13, k * n);
+        let mut out = vec![0.0f32; m * n];
+
+        group.bench_function(BenchmarkId::new("naive", label), |bch| {
+            bch.iter(|| {
+                if nt {
+                    gemm::naive_matmul_nt_into(&mut out, &a, &b, m, k, n, false);
+                } else {
+                    gemm::naive_matmul_into(&mut out, &a, &b, m, k, n, false);
+                }
+                std::hint::black_box(&mut out);
+            });
+        });
+
+        group.bench_function(BenchmarkId::new("blocked", label), |bch| {
+            bch.iter(|| {
+                if nt {
+                    gemm::matmul_nt_into(&mut out, &a, &b, m, k, n, false);
+                } else {
+                    gemm::matmul_into(&mut out, &a, &b, m, k, n, false);
+                }
+                std::hint::black_box(&mut out);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm);
+criterion_main!(benches);

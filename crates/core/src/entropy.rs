@@ -11,8 +11,12 @@
 
 use rand::rngs::StdRng;
 use rand::Rng;
+use rayon::prelude::*;
 use sickle_field::stats::{kl_divergence, shannon_entropy};
 use sickle_field::Histogram;
+
+/// Points per parallel chunk in [`ClusterDistributions::estimate`].
+const ESTIMATE_CHUNK: usize = 8192;
 
 /// Per-cluster PDFs of a scalar variable over a common binning.
 #[derive(Clone, Debug)]
@@ -27,11 +31,23 @@ impl ClusterDistributions {
     /// Estimates per-cluster PMFs of `values` (parallel to `labels`) using a
     /// common `bins`-bin histogram over the global value range.
     ///
+    /// The bin fill is rayon-parallel over fixed-size point chunks; each
+    /// chunk folds into private `k × bins` integer counts and the partials
+    /// are merged in chunk order, so the result is bit-identical to the
+    /// serial loop regardless of thread count.
+    ///
     /// # Panics
-    /// Panics if `values.len() != labels.len()` or `k == 0`.
+    /// Panics if `values.len() != labels.len()`, `k == 0`, or any label is
+    /// `>= k`.
     pub fn estimate(values: &[f64], labels: &[usize], k: usize, bins: usize) -> Self {
         assert_eq!(values.len(), labels.len(), "values/labels length mismatch");
         assert!(k > 0, "need at least one cluster");
+        // Validate labels *before* the parallel region: a panic inside a
+        // worker would hang the pool, and validating here keeps the hot
+        // chunk loop assert-free.
+        for &l in labels {
+            assert!(l < k, "label {l} out of range for k = {k}");
+        }
         // Global range for a shared binning.
         let mut lo = f64::INFINITY;
         let mut hi = f64::NEG_INFINITY;
@@ -45,17 +61,45 @@ impl ClusterDistributions {
             lo = 0.0;
             hi = 1.0;
         }
-        let mut hists: Vec<Histogram> = (0..k).map(|_| Histogram::new(lo, hi, bins)).collect();
+        // The template carries the (possibly widened) bounds so `bin_of`
+        // matches `Histogram::push` semantics exactly.
+        let template = Histogram::new(lo, hi, bins);
+        let nchunks = values.len().div_ceil(ESTIMATE_CHUNK).max(1);
+        let partials: Vec<(Vec<u64>, Vec<usize>)> = (0..nchunks)
+            .into_par_iter()
+            .map(|c| {
+                let s = c * ESTIMATE_CHUNK;
+                let e = (s + ESTIMATE_CHUNK).min(values.len());
+                let mut counts = vec![0u64; k * bins];
+                let mut sizes = vec![0usize; k];
+                for (&v, &l) in values[s..e].iter().zip(&labels[s..e]) {
+                    // Sizes count every member; bins only finite values —
+                    // the same split `push` makes.
+                    sizes[l] += 1;
+                    if v.is_finite() {
+                        counts[l * bins + template.bin_of(v)] += 1;
+                    }
+                }
+                (counts, sizes)
+            })
+            .collect();
+        let mut counts = vec![0u64; k * bins];
         let mut sizes = vec![0usize; k];
-        for (&v, &l) in values.iter().zip(labels) {
-            assert!(l < k, "label {l} out of range for k = {k}");
-            hists[l].push(v);
-            sizes[l] += 1;
+        for (pc, ps) in &partials {
+            for (c, &p) in counts.iter_mut().zip(pc) {
+                *c += p;
+            }
+            for (s, &p) in sizes.iter_mut().zip(ps) {
+                *s += p;
+            }
         }
-        ClusterDistributions {
-            pmfs: hists.iter().map(Histogram::pmf).collect(),
-            sizes,
-        }
+        let pmfs = (0..k)
+            .map(|i| {
+                let row = counts[i * bins..(i + 1) * bins].to_vec();
+                Histogram::from_counts(template.lo, template.hi, row).pmf()
+            })
+            .collect();
+        ClusterDistributions { pmfs, sizes }
     }
 
     /// Number of clusters.

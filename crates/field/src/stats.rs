@@ -134,6 +134,32 @@ impl Histogram {
         }
     }
 
+    /// Rebuilds a histogram from precomputed per-bin counts, e.g. after a
+    /// parallel fold over partial count vectors. Equal bounds are widened
+    /// exactly as in [`Histogram::new`].
+    ///
+    /// # Panics
+    /// Panics if `counts` is empty or the bounds are not finite.
+    pub fn from_counts(lo: f64, hi: f64, counts: Vec<u64>) -> Self {
+        assert!(!counts.is_empty(), "histogram needs at least one bin");
+        assert!(
+            lo.is_finite() && hi.is_finite(),
+            "histogram bounds must be finite"
+        );
+        let (lo, hi) = if hi > lo {
+            (lo, hi)
+        } else {
+            (lo - 0.5, lo + 0.5)
+        };
+        let total = counts.iter().sum();
+        Histogram {
+            lo,
+            hi,
+            counts,
+            total,
+        }
+    }
+
     /// Builds a histogram of `data` with `bins` bins spanning the data range.
     /// Empty or non-finite-only data produces an empty unit-range histogram.
     pub fn of(data: &[f64], bins: usize) -> Self {
@@ -264,6 +290,17 @@ pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn from_counts_matches_push() {
+        let data: Vec<f64> = (0..200).map(|i| (i as f64 * 0.13).sin()).collect();
+        let mut pushed = Histogram::new(-1.0, 1.0, 16);
+        pushed.extend(&data);
+        let rebuilt = Histogram::from_counts(-1.0, 1.0, pushed.counts.clone());
+        assert_eq!(rebuilt.counts, pushed.counts);
+        assert_eq!(rebuilt.total, pushed.total);
+        assert_eq!(rebuilt.pmf(), pushed.pmf());
+    }
 
     #[test]
     fn summary_stats_basic() {

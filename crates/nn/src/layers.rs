@@ -224,11 +224,12 @@ impl MultiHeadAttention {
             let ctx = tape.matmul(attn, vh); // (seq, dh)
                                              // Place the head's columns back into the full width: a constant
                                              // (dh, dim) matrix with an identity block at the head's offset.
-            let mut placement = vec![0.0f32; dh * self.dim];
-            for r in 0..dh {
-                placement[r * self.dim + h * dh + r] = 1.0;
-            }
-            let p = tape.leaf(placement, (dh, self.dim));
+            let dim = self.dim;
+            let p = tape.leaf_with((dh, dim), |buf| {
+                for r in 0..dh {
+                    buf[r * dim + h * dh + r] = 1.0;
+                }
+            });
             let placed = tape.matmul(ctx, p); // (seq, dim)
             combined = Some(match combined {
                 None => placed,

@@ -7,10 +7,13 @@
 //!
 //! Design: a tape ([`Tape`]) records a graph of 2D `f32` tensors and the ops
 //! between them; [`Tape::backward`] walks it in reverse. Parameters live
-//! outside the tape in a [`ParamStore`] (with Adam moments), so a fresh tape
-//! per batch is cheap and layers are plain structs holding parameter ids —
-//! the same architecture as micrograd-family engines, scaled up with
-//! rayon-parallel matmuls and FLOP accounting for the energy model.
+//! outside the tape in a [`ParamStore`] (with Adam moments), and the tape
+//! itself is an arena: [`Tape::reset`] recycles every value/gradient buffer
+//! into a size-keyed free-list, so one tape reused across batches performs
+//! zero tensor-sized heap allocations in steady state. Matmuls go through
+//! the cache-blocked, register-tiled kernels in [`gemm`], with FLOP
+//! accounting for the energy model — the same architecture as
+//! micrograd-family engines, scaled up for production training loops.
 //!
 //! ## Example
 //!
@@ -40,6 +43,7 @@
 //! ```
 
 pub mod flops;
+pub mod gemm;
 pub mod layers;
 pub mod optim;
 pub mod params;

@@ -22,14 +22,21 @@ impl Sgd {
     }
 
     /// Applies one update step (uses the store's `m` slot for momentum).
+    ///
+    /// Fused: a single zipped pass per parameter with the momentum branch
+    /// hoisted out of the inner loop — no temporaries, no bounds checks.
     pub fn step(&mut self, store: &mut ParamStore) {
+        let lr = self.lr;
+        let momentum = self.momentum;
         for p in store.iter_mut() {
-            for i in 0..p.data.len() {
-                if self.momentum > 0.0 {
-                    p.m[i] = self.momentum * p.m[i] + p.grad[i];
-                    p.data[i] -= self.lr * p.m[i];
-                } else {
-                    p.data[i] -= self.lr * p.grad[i];
+            if momentum > 0.0 {
+                for ((x, &g), m) in p.data.iter_mut().zip(&p.grad).zip(p.m.iter_mut()) {
+                    *m = momentum * *m + g;
+                    *x -= lr * *m;
+                }
+            } else {
+                for (x, &g) in p.data.iter_mut().zip(&p.grad) {
+                    *x -= lr * g;
                 }
             }
         }
@@ -63,18 +70,28 @@ impl Adam {
     }
 
     /// Applies one update step.
+    ///
+    /// Fused: moment updates, bias correction, and the parameter write
+    /// happen in one zipped pass per parameter with no temporary buffers;
+    /// the bias-correction factors are computed once per step.
     pub fn step(&mut self, store: &mut ParamStore) {
         self.t += 1;
         let b1t = 1.0 - self.beta1.powi(self.t as i32);
         let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        let (lr, b1, b2, eps) = (self.lr, self.beta1, self.beta2, self.eps);
         for p in store.iter_mut() {
-            for i in 0..p.data.len() {
-                let g = p.grad[i];
-                p.m[i] = self.beta1 * p.m[i] + (1.0 - self.beta1) * g;
-                p.v[i] = self.beta2 * p.v[i] + (1.0 - self.beta2) * g * g;
-                let mhat = p.m[i] / b1t;
-                let vhat = p.v[i] / b2t;
-                p.data[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            for (((x, &g), m), v) in p
+                .data
+                .iter_mut()
+                .zip(&p.grad)
+                .zip(p.m.iter_mut())
+                .zip(p.v.iter_mut())
+            {
+                *m = b1 * *m + (1.0 - b1) * g;
+                *v = b2 * *v + (1.0 - b2) * g * g;
+                let mhat = *m / b1t;
+                let vhat = *v / b2t;
+                *x -= lr * mhat / (vhat.sqrt() + eps);
             }
         }
     }

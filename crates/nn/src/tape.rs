@@ -2,20 +2,40 @@
 //!
 //! All tensors are row-major matrices `(rows, cols)`; batched sequences are
 //! expressed as one matrix per timestep (LSTM) or one per sample
-//! (attention), which keeps every kernel a plain matrix op. Matmuls are
-//! rayon-parallel over output rows; every op records its FLOPs in
-//! [`crate::flops`].
+//! (attention), which keeps every kernel a plain matrix op. Matmuls dispatch
+//! to the cache-blocked kernels in [`crate::gemm`]; every op records its
+//! FLOPs in [`crate::flops`].
+//!
+//! ## Buffer arena
+//!
+//! The tape owns a length-keyed free-list of `Vec<f32>` buffers.
+//! [`Tape::reset`] clears the graph and recycles every node's value and
+//! gradient buffer (plus MSE target copies) into the free-list; subsequent
+//! ops pop same-length buffers instead of allocating. Because a training
+//! step replays the same graph shapes every batch, a tape reused via
+//! `reset()` reaches a steady state where **no tensor-sized heap
+//! allocation occurs** — enforced by `crates/train/tests/train_alloc.rs`.
+//!
+//! The arena contract: buffers handed out by the free-list contain stale
+//! data, so every forward op fully overwrites its output, and `backward`
+//! zeroes all gradients before seeding. [`Tape::leaf_with`] zero-fills
+//! before invoking its initializer so sparse writes (one-hots, placement
+//! matrices) stay correct.
+
+use std::collections::HashMap;
+use std::mem;
 
 use rayon::prelude::*;
 
 use crate::flops;
+use crate::gemm;
 use crate::params::{ParamId, ParamStore};
 
 /// Handle to a tensor on the tape.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Var(usize);
 
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 enum Op {
     Leaf,
     MatMul {
@@ -91,21 +111,74 @@ struct Node {
     param: Option<ParamId>,
 }
 
-/// A single-use computation graph.
+/// A computation graph backed by a reusable buffer arena.
+///
+/// Create once, then [`reset`](Self::reset) between batches instead of
+/// constructing a fresh tape — recycled buffers make steady-state steps
+/// allocation-free.
 #[derive(Default)]
 pub struct Tape {
     nodes: Vec<Node>,
+    /// Length-keyed free-list of recycled buffers.
+    free: HashMap<usize, Vec<Vec<f32>>>,
+}
+
+/// Returns a recycled buffer to the free-list.
+fn recycle(free: &mut HashMap<usize, Vec<Vec<f32>>>, buf: Vec<f32>) {
+    if buf.capacity() > 0 {
+        free.entry(buf.len()).or_default().push(buf);
+    }
+}
+
+/// Per-row mean and inverse standard deviation for layer-norm backward.
+fn row_stats(xr: &[f32], eps: f32) -> (f32, f32) {
+    let n = xr.len() as f32;
+    let mean = xr.iter().sum::<f32>() / n;
+    let var = xr.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+    (mean, 1.0 / (var + eps).sqrt())
 }
 
 impl Tape {
     /// Creates an empty tape.
     pub fn new() -> Self {
-        Tape { nodes: Vec::new() }
+        Tape::default()
+    }
+
+    /// Clears the graph and recycles every buffer into the arena free-list.
+    ///
+    /// After a warm-up pass that populates the free-list, rebuilding a graph
+    /// with the same tensor shapes performs no tensor-sized allocation.
+    pub fn reset(&mut self) {
+        let free = &mut self.free;
+        for node in self.nodes.drain(..) {
+            recycle(free, node.data);
+            recycle(free, node.grad);
+            if let Op::Mse { target, .. } = node.op {
+                recycle(free, target);
+            }
+        }
+    }
+
+    /// Pops a recycled buffer of exactly `len` elements, or allocates one.
+    /// Contents are unspecified — callers must fully overwrite.
+    fn take_buf(&mut self, len: usize) -> Vec<f32> {
+        match self.free.get_mut(&len).and_then(|bufs| bufs.pop()) {
+            Some(buf) => buf,
+            None => vec![0.0; len],
+        }
+    }
+
+    /// Like [`take_buf`](Self::take_buf) but zero-filled.
+    fn take_zeroed(&mut self, len: usize) -> Vec<f32> {
+        let mut buf = self.take_buf(len);
+        buf.fill(0.0);
+        buf
     }
 
     fn push(&mut self, data: Vec<f32>, shape: (usize, usize), op: Op) -> Var {
         debug_assert_eq!(data.len(), shape.0 * shape.1);
-        let grad = vec![0.0; data.len()];
+        // Gradient contents are stale until `backward` zeroes them.
+        let grad = self.take_buf(data.len());
         self.nodes.push(Node {
             data,
             grad,
@@ -116,7 +189,10 @@ impl Tape {
         Var(self.nodes.len() - 1)
     }
 
-    /// Creates a constant leaf tensor.
+    /// Creates a constant leaf tensor from an owned buffer (the buffer joins
+    /// the arena on [`reset`](Self::reset); prefer
+    /// [`leaf_copy`](Self::leaf_copy) or [`leaf_with`](Self::leaf_with) in
+    /// steady-state loops).
     ///
     /// # Panics
     /// Panics if `data.len() != shape.0 * shape.1`.
@@ -125,16 +201,39 @@ impl Tape {
         self.push(data, shape, Op::Leaf)
     }
 
+    /// Creates a leaf by copying `data` into an arena buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != shape.0 * shape.1`.
+    pub fn leaf_copy(&mut self, data: &[f32], shape: (usize, usize)) -> Var {
+        assert_eq!(data.len(), shape.0 * shape.1, "leaf shape mismatch");
+        let mut buf = self.take_buf(data.len());
+        buf.copy_from_slice(data);
+        self.push(buf, shape, Op::Leaf)
+    }
+
+    /// Creates a leaf whose zero-initialized arena buffer is filled in place
+    /// by `init` (sparse writes are safe — untouched entries stay 0).
+    pub fn leaf_with(&mut self, shape: (usize, usize), init: impl FnOnce(&mut [f32])) -> Var {
+        let mut buf = self.take_zeroed(shape.0 * shape.1);
+        init(&mut buf);
+        self.push(buf, shape, Op::Leaf)
+    }
+
     /// Creates a zero leaf (e.g. initial LSTM state).
     pub fn zeros(&mut self, shape: (usize, usize)) -> Var {
-        self.push(vec![0.0; shape.0 * shape.1], shape, Op::Leaf)
+        let buf = self.take_zeroed(shape.0 * shape.1);
+        self.push(buf, shape, Op::Leaf)
     }
 
     /// Binds a stored parameter into the tape as a leaf; gradients flow back
     /// to the store via [`accumulate_grads`](Self::accumulate_grads).
     pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
         let p = store.get(id);
-        let v = self.push(p.data.clone(), p.shape, Op::Leaf);
+        let mut data = self.take_buf(p.data.len());
+        data.copy_from_slice(&p.data);
+        let shape = p.shape;
+        let v = self.push(data, shape, Op::Leaf);
         self.nodes[v.0].param = Some(id);
         v
     }
@@ -149,7 +248,8 @@ impl Tape {
         &self.nodes[v.0].data
     }
 
-    /// Gradient buffer of `v` (valid after [`backward`](Self::backward)).
+    /// Gradient buffer of `v` (valid after [`backward`](Self::backward);
+    /// stale arena contents before).
     pub fn grad(&self, v: Var) -> &[f32] {
         &self.nodes[v.0].grad
     }
@@ -165,13 +265,25 @@ impl Tape {
     }
 
     // ----- forward ops -----
+    //
+    // Every op writes its full output into an arena buffer (stale contents),
+    // so no buffer may be only partially written.
 
     /// Matrix product `a (m,k) · b (k,n) → (m,n)`.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
         let (m, k) = self.shape(a);
         let (k2, n) = self.shape(b);
         assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
-        let out = matmul_kernel(&self.nodes[a.0].data, &self.nodes[b.0].data, m, k, n, false);
+        let mut out = self.take_buf(m * n);
+        gemm::matmul_into(
+            &mut out,
+            &self.nodes[a.0].data,
+            &self.nodes[b.0].data,
+            m,
+            k,
+            n,
+            false,
+        );
         flops::record((2 * m * k * n) as u64);
         self.push(out, (m, n), Op::MatMul { a, b })
     }
@@ -182,7 +294,16 @@ impl Tape {
         let (m, k) = self.shape(a);
         let (n, k2) = self.shape(b);
         assert_eq!(k, k2, "matmul_nt inner dims {k} vs {k2}");
-        let out = matmul_kernel(&self.nodes[a.0].data, &self.nodes[b.0].data, m, k, n, true);
+        let mut out = self.take_buf(m * n);
+        gemm::matmul_nt_into(
+            &mut out,
+            &self.nodes[a.0].data,
+            &self.nodes[b.0].data,
+            m,
+            k,
+            n,
+            false,
+        );
         flops::record((2 * m * k * n) as u64);
         self.push(out, (m, n), Op::MatMulNT { a, b })
     }
@@ -190,31 +311,32 @@ impl Tape {
     /// Elementwise sum (same shape).
     pub fn add(&mut self, a: Var, b: Var) -> Var {
         assert_eq!(self.shape(a), self.shape(b), "add shape mismatch");
-        let out: Vec<f32> = self.nodes[a.0]
-            .data
-            .iter()
-            .zip(&self.nodes[b.0].data)
-            .map(|(x, y)| x + y)
-            .collect();
+        let shape = self.shape(a);
+        let mut out = self.take_buf(shape.0 * shape.1);
+        for (o, (x, y)) in out
+            .iter_mut()
+            .zip(self.nodes[a.0].data.iter().zip(&self.nodes[b.0].data))
+        {
+            *o = x + y;
+        }
         flops::record(out.len() as u64);
-        self.push(out, self.shape(a), Op::Add { a, b })
+        self.push(out, shape, Op::Add { a, b })
     }
 
     /// Adds a `(1, n)` bias row to each row of `a (m, n)`.
     pub fn add_row(&mut self, a: Var, bias: Var) -> Var {
         let (m, n) = self.shape(a);
         assert_eq!(self.shape(bias), (1, n), "bias must be (1, {n})");
-        let bdata = &self.nodes[bias.0].data;
-        let out: Vec<f32> = self.nodes[a.0]
-            .data
-            .chunks_exact(n)
-            .flat_map(|row| {
-                row.iter()
-                    .zip(bdata.iter())
-                    .map(|(x, b)| x + b)
-                    .collect::<Vec<_>>()
-            })
-            .collect();
+        let mut out = self.take_buf(m * n);
+        {
+            let adata = &self.nodes[a.0].data;
+            let bdata = &self.nodes[bias.0].data;
+            for (orow, irow) in out.chunks_exact_mut(n).zip(adata.chunks_exact(n)) {
+                for ((o, &x), &bv) in orow.iter_mut().zip(irow).zip(bdata) {
+                    *o = x + bv;
+                }
+            }
+        }
         flops::record((m * n) as u64);
         self.push(out, (m, n), Op::AddRow { a, bias })
     }
@@ -222,65 +344,81 @@ impl Tape {
     /// Elementwise difference (same shape).
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
         assert_eq!(self.shape(a), self.shape(b), "sub shape mismatch");
-        let out: Vec<f32> = self.nodes[a.0]
-            .data
-            .iter()
-            .zip(&self.nodes[b.0].data)
-            .map(|(x, y)| x - y)
-            .collect();
+        let shape = self.shape(a);
+        let mut out = self.take_buf(shape.0 * shape.1);
+        for (o, (x, y)) in out
+            .iter_mut()
+            .zip(self.nodes[a.0].data.iter().zip(&self.nodes[b.0].data))
+        {
+            *o = x - y;
+        }
         flops::record(out.len() as u64);
-        self.push(out, self.shape(a), Op::Sub { a, b })
+        self.push(out, shape, Op::Sub { a, b })
     }
 
     /// Elementwise (Hadamard) product.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
         assert_eq!(self.shape(a), self.shape(b), "mul shape mismatch");
-        let out: Vec<f32> = self.nodes[a.0]
-            .data
-            .iter()
-            .zip(&self.nodes[b.0].data)
-            .map(|(x, y)| x * y)
-            .collect();
+        let shape = self.shape(a);
+        let mut out = self.take_buf(shape.0 * shape.1);
+        for (o, (x, y)) in out
+            .iter_mut()
+            .zip(self.nodes[a.0].data.iter().zip(&self.nodes[b.0].data))
+        {
+            *o = x * y;
+        }
         flops::record(out.len() as u64);
-        self.push(out, self.shape(a), Op::Mul { a, b })
+        self.push(out, shape, Op::Mul { a, b })
     }
 
     /// Multiplication by a constant scalar.
     pub fn scale(&mut self, a: Var, c: f32) -> Var {
-        let out: Vec<f32> = self.nodes[a.0].data.iter().map(|x| x * c).collect();
+        let shape = self.shape(a);
+        let mut out = self.take_buf(shape.0 * shape.1);
+        for (o, x) in out.iter_mut().zip(&self.nodes[a.0].data) {
+            *o = x * c;
+        }
         flops::record(out.len() as u64);
-        self.push(out, self.shape(a), Op::Scale { a, c })
+        self.push(out, shape, Op::Scale { a, c })
     }
 
     /// Elementwise tanh.
     pub fn tanh(&mut self, a: Var) -> Var {
-        let out: Vec<f32> = self.nodes[a.0].data.iter().map(|x| x.tanh()).collect();
+        let shape = self.shape(a);
+        let mut out = self.take_buf(shape.0 * shape.1);
+        for (o, x) in out.iter_mut().zip(&self.nodes[a.0].data) {
+            *o = x.tanh();
+        }
         flops::record(4 * out.len() as u64);
-        self.push(out, self.shape(a), Op::Tanh { a })
+        self.push(out, shape, Op::Tanh { a })
     }
 
     /// Elementwise logistic sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        let out: Vec<f32> = self.nodes[a.0]
-            .data
-            .iter()
-            .map(|x| 1.0 / (1.0 + (-x).exp()))
-            .collect();
+        let shape = self.shape(a);
+        let mut out = self.take_buf(shape.0 * shape.1);
+        for (o, x) in out.iter_mut().zip(&self.nodes[a.0].data) {
+            *o = 1.0 / (1.0 + (-x).exp());
+        }
         flops::record(4 * out.len() as u64);
-        self.push(out, self.shape(a), Op::Sigmoid { a })
+        self.push(out, shape, Op::Sigmoid { a })
     }
 
     /// Elementwise ReLU.
     pub fn relu(&mut self, a: Var) -> Var {
-        let out: Vec<f32> = self.nodes[a.0].data.iter().map(|x| x.max(0.0)).collect();
+        let shape = self.shape(a);
+        let mut out = self.take_buf(shape.0 * shape.1);
+        for (o, x) in out.iter_mut().zip(&self.nodes[a.0].data) {
+            *o = x.max(0.0);
+        }
         flops::record(out.len() as u64);
-        self.push(out, self.shape(a), Op::Relu { a })
+        self.push(out, shape, Op::Relu { a })
     }
 
     /// Row-wise softmax (numerically stabilized).
     pub fn softmax_rows(&mut self, a: Var) -> Var {
         let (m, n) = self.shape(a);
-        let mut out = vec![0.0f32; m * n];
+        let mut out = self.take_buf(m * n);
         for (orow, irow) in out
             .chunks_exact_mut(n)
             .zip(self.nodes[a.0].data.chunks_exact(n))
@@ -306,9 +444,14 @@ impl Tape {
             "slice {start}..{} out of {n} cols",
             start + len
         );
-        let mut out = Vec::with_capacity(m * len);
-        for row in self.nodes[a.0].data.chunks_exact(n) {
-            out.extend_from_slice(&row[start..start + len]);
+        let mut out = self.take_buf(m * len);
+        if len > 0 {
+            for (orow, irow) in out
+                .chunks_exact_mut(len)
+                .zip(self.nodes[a.0].data.chunks_exact(n))
+            {
+                orow.copy_from_slice(&irow[start..start + len]);
+            }
         }
         self.push(out, (m, len), Op::SliceCols { a, start })
     }
@@ -320,13 +463,18 @@ impl Tape {
     pub fn concat_rows(&mut self, parts: &[Var]) -> Var {
         assert!(!parts.is_empty(), "concat of zero parts");
         let n = self.shape(parts[0]).1;
-        let mut data = Vec::new();
         let mut rows = 0;
         for &p in parts {
             let (m, pn) = self.shape(p);
             assert_eq!(pn, n, "concat column mismatch");
-            data.extend_from_slice(&self.nodes[p.0].data);
             rows += m;
+        }
+        let mut data = self.take_buf(rows * n);
+        let mut off = 0;
+        for &p in parts {
+            let src = &self.nodes[p.0].data;
+            data[off..off + src.len()].copy_from_slice(src);
+            off += src.len();
         }
         self.push(
             data,
@@ -343,18 +491,18 @@ impl Tape {
         assert_eq!(self.shape(gamma), (1, n), "gamma must be (1, {n})");
         assert_eq!(self.shape(beta), (1, n), "beta must be (1, {n})");
         let eps = 1e-5;
-        let g = &self.nodes[gamma.0].data;
-        let b = &self.nodes[beta.0].data;
-        let mut out = vec![0.0f32; m * n];
-        for (orow, irow) in out
-            .chunks_exact_mut(n)
-            .zip(self.nodes[a.0].data.chunks_exact(n))
+        let mut out = self.take_buf(m * n);
         {
-            let mean = irow.iter().sum::<f32>() / n as f32;
-            let var = irow.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
-            let inv = 1.0 / (var + eps).sqrt();
-            for j in 0..n {
-                orow[j] = g[j] * (irow[j] - mean) * inv + b[j];
+            let g = &self.nodes[gamma.0].data;
+            let b = &self.nodes[beta.0].data;
+            for (orow, irow) in out
+                .chunks_exact_mut(n)
+                .zip(self.nodes[a.0].data.chunks_exact(n))
+            {
+                let (mean, inv) = row_stats(irow, eps);
+                for j in 0..n {
+                    orow[j] = g[j] * (irow[j] - mean) * inv + b[j];
+                }
             }
         }
         flops::record(8 * (m * n) as u64);
@@ -373,9 +521,11 @@ impl Tape {
     /// Mean over all elements → `(1, 1)`.
     pub fn mean_all(&mut self, a: Var) -> Var {
         let data = &self.nodes[a.0].data;
-        let mean = data.iter().sum::<f32>() / data.len() as f32;
-        flops::record(data.len() as u64);
-        self.push(vec![mean], (1, 1), Op::MeanAll { a })
+        let (sum, len) = (data.iter().sum::<f32>(), data.len());
+        let mut out = self.take_buf(1);
+        out[0] = sum / len as f32;
+        flops::record(len as u64);
+        self.push(out, (1, 1), Op::MeanAll { a })
     }
 
     /// Mean-squared-error loss against a constant target → `(1, 1)`.
@@ -383,23 +533,24 @@ impl Tape {
     /// # Panics
     /// Panics if target length differs from `pred`.
     pub fn mse_loss(&mut self, pred: Var, target: &[f32]) -> Var {
-        let data = &self.nodes[pred.0].data;
-        assert_eq!(data.len(), target.len(), "target length mismatch");
-        let loss = data
+        assert_eq!(
+            self.nodes[pred.0].data.len(),
+            target.len(),
+            "target length mismatch"
+        );
+        let mut tbuf = self.take_buf(target.len());
+        tbuf.copy_from_slice(target);
+        let loss = self.nodes[pred.0]
+            .data
             .iter()
             .zip(target)
             .map(|(p, t)| (p - t) * (p - t))
             .sum::<f32>()
-            / data.len() as f32;
-        flops::record(3 * data.len() as u64);
-        self.push(
-            vec![loss],
-            (1, 1),
-            Op::Mse {
-                pred,
-                target: target.to_vec(),
-            },
-        )
+            / target.len() as f32;
+        let mut out = self.take_buf(1);
+        out[0] = loss;
+        flops::record(3 * target.len() as u64);
+        self.push(out, (1, 1), Op::Mse { pred, target: tbuf })
     }
 
     // ----- backward -----
@@ -410,8 +561,8 @@ impl Tape {
     /// Panics if `loss` is not a scalar.
     pub fn backward(&mut self, loss: Var) {
         assert_eq!(self.shape(loss), (1, 1), "backward needs a scalar loss");
-        for n in &mut self.nodes {
-            n.grad.iter_mut().for_each(|g| *g = 0.0);
+        for node in &mut self.nodes {
+            node.grad.fill(0.0);
         }
         self.nodes[loss.0].grad[0] = 1.0;
         for i in (0..=loss.0).rev() {
@@ -420,127 +571,168 @@ impl Tape {
     }
 
     /// Propagates node `i`'s gradient to its parents.
+    ///
+    /// Borrow discipline: the op is moved out of the node and restored at the
+    /// end; each parent's gradient buffer is `mem::take`n, updated against
+    /// immutable reads, and put back. Taking parents one at a time keeps
+    /// aliased operands (`matmul(x, x)`, `concat_rows(&[s, s])`) correct.
     fn step_back(&mut self, i: usize) {
-        // Split borrows: take the op out, operate, put nothing back (ops are
-        // cheap to clone for the few variants carrying vectors).
-        let op = self.nodes[i].op.clone();
+        let op = mem::replace(&mut self.nodes[i].op, Op::Leaf);
         let (m, n) = self.nodes[i].shape;
-        match op {
+        match &op {
             Op::Leaf => {}
             Op::MatMul { a, b } => {
                 let (am, ak) = self.nodes[a.0].shape;
-                let dy = self.nodes[i].grad.clone();
-                // dA += dY · Bᵀ
-                let da = matmul_kernel(&dy, &self.nodes[b.0].data, am, n, ak, true);
-                axpy(&mut self.nodes[a.0].grad, &da);
-                // dB += Aᵀ · dY — computed as (dYᵀ · A)ᵀ via loop.
-                let adata = self.nodes[a.0].data.clone();
-                let db = matmul_tn(&adata, &dy, am, ak, n);
-                axpy(&mut self.nodes[b.0].grad, &db);
+                let dy = mem::take(&mut self.nodes[i].grad);
+                // dA += dY · Bᵀ (B stored (ak, n) — the NT layout).
+                let mut ga = mem::take(&mut self.nodes[a.0].grad);
+                gemm::matmul_nt_into(&mut ga, &dy, &self.nodes[b.0].data, am, n, ak, true);
+                self.nodes[a.0].grad = ga;
+                // dB += Aᵀ · dY.
+                let mut gb = mem::take(&mut self.nodes[b.0].grad);
+                gemm::matmul_tn_into(&mut gb, &self.nodes[a.0].data, &dy, am, ak, n, true);
+                self.nodes[b.0].grad = gb;
+                self.nodes[i].grad = dy;
                 flops::record((4 * am * ak * n) as u64);
             }
             Op::MatMulNT { a, b } => {
                 let (am, ak) = self.nodes[a.0].shape;
                 let (bn, _) = self.nodes[b.0].shape;
-                let dy = self.nodes[i].grad.clone();
-                // C = A·Bᵀ: dA += dY·B ; dB += dYᵀ·A
-                let da = matmul_kernel(&dy, &self.nodes[b.0].data, am, bn, ak, false);
-                axpy(&mut self.nodes[a.0].grad, &da);
-                let adata = self.nodes[a.0].data.clone();
-                let db = matmul_tn(&dy, &adata, am, bn, ak);
-                axpy(&mut self.nodes[b.0].grad, &db);
+                let dy = mem::take(&mut self.nodes[i].grad);
+                // C = A·Bᵀ: dA += dY·B ; dB += dYᵀ·A.
+                let mut ga = mem::take(&mut self.nodes[a.0].grad);
+                gemm::matmul_into(&mut ga, &dy, &self.nodes[b.0].data, am, bn, ak, true);
+                self.nodes[a.0].grad = ga;
+                let mut gb = mem::take(&mut self.nodes[b.0].grad);
+                gemm::matmul_tn_into(&mut gb, &dy, &self.nodes[a.0].data, am, bn, ak, true);
+                self.nodes[b.0].grad = gb;
+                self.nodes[i].grad = dy;
                 flops::record((4 * am * ak * bn) as u64);
             }
             Op::Add { a, b } => {
-                let dy = self.nodes[i].grad.clone();
-                axpy(&mut self.nodes[a.0].grad, &dy);
-                axpy(&mut self.nodes[b.0].grad, &dy);
+                for p in [a.0, b.0] {
+                    let mut g = mem::take(&mut self.nodes[p].grad);
+                    axpy(&mut g, &self.nodes[i].grad);
+                    self.nodes[p].grad = g;
+                }
             }
             Op::AddRow { a, bias } => {
-                let dy = self.nodes[i].grad.clone();
-                axpy(&mut self.nodes[a.0].grad, &dy);
-                let bg = &mut self.nodes[bias.0].grad;
-                for row in dy.chunks_exact(n) {
+                let mut ga = mem::take(&mut self.nodes[a.0].grad);
+                axpy(&mut ga, &self.nodes[i].grad);
+                self.nodes[a.0].grad = ga;
+                let mut bg = mem::take(&mut self.nodes[bias.0].grad);
+                for row in self.nodes[i].grad.chunks_exact(n) {
                     for (g, &d) in bg.iter_mut().zip(row) {
                         *g += d;
                     }
                 }
+                self.nodes[bias.0].grad = bg;
             }
             Op::Sub { a, b } => {
-                let dy = self.nodes[i].grad.clone();
-                axpy(&mut self.nodes[a.0].grad, &dy);
-                for (g, &d) in self.nodes[b.0].grad.iter_mut().zip(&dy) {
+                let mut ga = mem::take(&mut self.nodes[a.0].grad);
+                axpy(&mut ga, &self.nodes[i].grad);
+                self.nodes[a.0].grad = ga;
+                let mut gb = mem::take(&mut self.nodes[b.0].grad);
+                for (g, &d) in gb.iter_mut().zip(&self.nodes[i].grad) {
                     *g -= d;
                 }
+                self.nodes[b.0].grad = gb;
             }
             Op::Mul { a, b } => {
-                let dy = self.nodes[i].grad.clone();
-                let bdata = self.nodes[b.0].data.clone();
-                for ((g, &d), &bv) in self.nodes[a.0].grad.iter_mut().zip(&dy).zip(&bdata) {
+                let mut ga = mem::take(&mut self.nodes[a.0].grad);
+                for ((g, &d), &bv) in ga
+                    .iter_mut()
+                    .zip(&self.nodes[i].grad)
+                    .zip(&self.nodes[b.0].data)
+                {
                     *g += d * bv;
                 }
-                let adata = self.nodes[a.0].data.clone();
-                for ((g, &d), &av) in self.nodes[b.0].grad.iter_mut().zip(&dy).zip(&adata) {
+                self.nodes[a.0].grad = ga;
+                let mut gb = mem::take(&mut self.nodes[b.0].grad);
+                for ((g, &d), &av) in gb
+                    .iter_mut()
+                    .zip(&self.nodes[i].grad)
+                    .zip(&self.nodes[a.0].data)
+                {
                     *g += d * av;
                 }
+                self.nodes[b.0].grad = gb;
             }
             Op::Scale { a, c } => {
-                let dy = self.nodes[i].grad.clone();
-                for (g, &d) in self.nodes[a.0].grad.iter_mut().zip(&dy) {
+                let c = *c;
+                let mut ga = mem::take(&mut self.nodes[a.0].grad);
+                for (g, &d) in ga.iter_mut().zip(&self.nodes[i].grad) {
                     *g += d * c;
                 }
+                self.nodes[a.0].grad = ga;
             }
             Op::Tanh { a } => {
-                let dy = self.nodes[i].grad.clone();
-                let y = self.nodes[i].data.clone();
-                for ((g, &d), &yv) in self.nodes[a.0].grad.iter_mut().zip(&dy).zip(&y) {
+                let mut ga = mem::take(&mut self.nodes[a.0].grad);
+                for ((g, &d), &yv) in ga
+                    .iter_mut()
+                    .zip(&self.nodes[i].grad)
+                    .zip(&self.nodes[i].data)
+                {
                     *g += d * (1.0 - yv * yv);
                 }
+                self.nodes[a.0].grad = ga;
             }
             Op::Sigmoid { a } => {
-                let dy = self.nodes[i].grad.clone();
-                let y = self.nodes[i].data.clone();
-                for ((g, &d), &yv) in self.nodes[a.0].grad.iter_mut().zip(&dy).zip(&y) {
+                let mut ga = mem::take(&mut self.nodes[a.0].grad);
+                for ((g, &d), &yv) in ga
+                    .iter_mut()
+                    .zip(&self.nodes[i].grad)
+                    .zip(&self.nodes[i].data)
+                {
                     *g += d * yv * (1.0 - yv);
                 }
+                self.nodes[a.0].grad = ga;
             }
             Op::Relu { a } => {
-                let dy = self.nodes[i].grad.clone();
-                let x = self.nodes[a.0].data.clone();
-                for ((g, &d), &xv) in self.nodes[a.0].grad.iter_mut().zip(&dy).zip(&x) {
+                let mut ga = mem::take(&mut self.nodes[a.0].grad);
+                for ((g, &d), &xv) in ga
+                    .iter_mut()
+                    .zip(&self.nodes[i].grad)
+                    .zip(&self.nodes[a.0].data)
+                {
                     *g += if xv > 0.0 { d } else { 0.0 };
                 }
+                self.nodes[a.0].grad = ga;
             }
             Op::SoftmaxRows { a } => {
-                let dy = self.nodes[i].grad.clone();
-                let y = self.nodes[i].data.clone();
-                let ga = &mut self.nodes[a.0].grad;
+                let mut ga = mem::take(&mut self.nodes[a.0].grad);
+                let y = &self.nodes[i].data;
+                let dy = &self.nodes[i].grad;
                 for r in 0..m {
                     let yr = &y[r * n..(r + 1) * n];
                     let dyr = &dy[r * n..(r + 1) * n];
-                    let dot: f32 = yr.iter().zip(dyr).map(|(a, b)| a * b).sum();
+                    let dot: f32 = yr.iter().zip(dyr).map(|(x, d)| x * d).sum();
                     for j in 0..n {
                         ga[r * n + j] += yr[j] * (dyr[j] - dot);
                     }
                 }
+                self.nodes[a.0].grad = ga;
             }
             Op::SliceCols { a, start } => {
-                let dy = self.nodes[i].grad.clone();
+                let start = *start;
                 let an = self.nodes[a.0].shape.1;
-                let ga = &mut self.nodes[a.0].grad;
+                let mut ga = mem::take(&mut self.nodes[a.0].grad);
+                let dy = &self.nodes[i].grad;
                 for r in 0..m {
                     for j in 0..n {
                         ga[r * an + start + j] += dy[r * n + j];
                     }
                 }
+                self.nodes[a.0].grad = ga;
             }
             Op::ConcatRows { parts } => {
-                let dy = self.nodes[i].grad.clone();
                 let mut off = 0;
-                for p in parts {
+                for &p in parts {
                     let (pm, pn) = self.nodes[p.0].shape;
                     let len = pm * pn;
-                    axpy(&mut self.nodes[p.0].grad, &dy[off..off + len]);
+                    let mut g = mem::take(&mut self.nodes[p.0].grad);
+                    axpy(&mut g, &self.nodes[i].grad[off..off + len]);
+                    self.nodes[p.0].grad = g;
                     off += len;
                 }
             }
@@ -550,109 +742,108 @@ impl Tape {
                 beta,
                 eps,
             } => {
-                let dy = self.nodes[i].grad.clone();
-                let x = self.nodes[a.0].data.clone();
-                let g = self.nodes[gamma.0].data.clone();
-                for r in 0..m {
-                    let xr = &x[r * n..(r + 1) * n];
-                    let dyr = &dy[r * n..(r + 1) * n];
-                    let mean = xr.iter().sum::<f32>() / n as f32;
-                    let var = xr.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
-                    let inv = 1.0 / (var + eps).sqrt();
-                    let xhat: Vec<f32> = xr.iter().map(|v| (v - mean) * inv).collect();
-                    // Parameter grads.
-                    {
-                        let gg = &mut self.nodes[gamma.0].grad;
-                        for j in 0..n {
-                            gg[j] += dyr[j] * xhat[j];
-                        }
-                    }
-                    {
-                        let gb = &mut self.nodes[beta.0].grad;
-                        for j in 0..n {
-                            gb[j] += dyr[j];
-                        }
-                    }
-                    // Input grad.
-                    let gd: Vec<f32> = (0..n).map(|j| g[j] * dyr[j]).collect();
-                    let mean_gd = gd.iter().sum::<f32>() / n as f32;
-                    let mean_gdx = gd.iter().zip(&xhat).map(|(a, b)| a * b).sum::<f32>() / n as f32;
-                    let ga = &mut self.nodes[a.0].grad;
-                    for j in 0..n {
-                        ga[r * n + j] += inv * (gd[j] - mean_gd - xhat[j] * mean_gdx);
+                let eps = *eps;
+                // Three alias-safe phases, one gradient buffer at a time.
+                let mut gb = mem::take(&mut self.nodes[beta.0].grad);
+                for row in self.nodes[i].grad.chunks_exact(n) {
+                    for (g, &d) in gb.iter_mut().zip(row) {
+                        *g += d;
                     }
                 }
+                self.nodes[beta.0].grad = gb;
+
+                let mut gg = mem::take(&mut self.nodes[gamma.0].grad);
+                {
+                    let x = &self.nodes[a.0].data;
+                    let dy = &self.nodes[i].grad;
+                    for r in 0..m {
+                        let xr = &x[r * n..(r + 1) * n];
+                        let dyr = &dy[r * n..(r + 1) * n];
+                        let (mean, inv) = row_stats(xr, eps);
+                        for j in 0..n {
+                            gg[j] += dyr[j] * (xr[j] - mean) * inv;
+                        }
+                    }
+                }
+                self.nodes[gamma.0].grad = gg;
+
+                let mut ga = mem::take(&mut self.nodes[a.0].grad);
+                {
+                    let x = &self.nodes[a.0].data;
+                    let g = &self.nodes[gamma.0].data;
+                    let dy = &self.nodes[i].grad;
+                    for r in 0..m {
+                        let xr = &x[r * n..(r + 1) * n];
+                        let dyr = &dy[r * n..(r + 1) * n];
+                        let (mean, inv) = row_stats(xr, eps);
+                        let mut mean_gd = 0.0f32;
+                        let mut mean_gdx = 0.0f32;
+                        for j in 0..n {
+                            let gd = g[j] * dyr[j];
+                            let xhat = (xr[j] - mean) * inv;
+                            mean_gd += gd;
+                            mean_gdx += gd * xhat;
+                        }
+                        mean_gd /= n as f32;
+                        mean_gdx /= n as f32;
+                        for j in 0..n {
+                            let xhat = (xr[j] - mean) * inv;
+                            ga[r * n + j] += inv * (g[j] * dyr[j] - mean_gd - xhat * mean_gdx);
+                        }
+                    }
+                }
+                self.nodes[a.0].grad = ga;
             }
             Op::MeanAll { a } => {
                 let d = self.nodes[i].grad[0];
-                let len = self.nodes[a.0].data.len() as f32;
-                for g in self.nodes[a.0].grad.iter_mut() {
+                let mut ga = mem::take(&mut self.nodes[a.0].grad);
+                let len = ga.len() as f32;
+                for g in ga.iter_mut() {
                     *g += d / len;
                 }
+                self.nodes[a.0].grad = ga;
             }
             Op::Mse { pred, target } => {
                 let d = self.nodes[i].grad[0];
                 let len = target.len() as f32;
-                let pdata = self.nodes[pred.0].data.clone();
-                let gp = &mut self.nodes[pred.0].grad;
-                for ((g, &p), &t) in gp.iter_mut().zip(&pdata).zip(&target) {
+                let mut gp = mem::take(&mut self.nodes[pred.0].grad);
+                for ((g, &p), &t) in gp
+                    .iter_mut()
+                    .zip(&self.nodes[pred.0].data)
+                    .zip(target.iter())
+                {
                     *g += d * 2.0 * (p - t) / len;
                 }
+                self.nodes[pred.0].grad = gp;
             }
         }
+        self.nodes[i].op = op;
     }
 
-    /// Adds the gradients of parameter-bound leaves into the store.
+    /// Adds the gradients of parameter-bound leaves into the store, parallel
+    /// over parameters. Per-parameter accumulation stays in node order, so
+    /// the result is bit-identical to the serial loop regardless of thread
+    /// count.
     pub fn accumulate_grads(&self, store: &mut ParamStore) {
-        for node in &self.nodes {
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); store.len()];
+        for (idx, node) in self.nodes.iter().enumerate() {
             if let Some(pid) = node.param {
-                let p = store.get_mut(pid);
-                for (g, &d) in p.grad.iter_mut().zip(&node.grad) {
-                    *g += d;
-                }
+                groups[pid.0].push(idx);
             }
         }
+        let nodes = &self.nodes;
+        store
+            .as_mut_slice()
+            .par_iter_mut()
+            .zip(&groups)
+            .for_each(|(p, idxs)| {
+                for &idx in idxs {
+                    for (g, &d) in p.grad.iter_mut().zip(&nodes[idx].grad) {
+                        *g += d;
+                    }
+                }
+            });
     }
-}
-
-/// `C = A·B` (or `A·Bᵀ` when `bt`): A is `(m,k)`, B is `(k,n)` (or `(n,k)`).
-fn matmul_kernel(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, bt: bool) -> Vec<f32> {
-    let mut out = vec![0.0f32; m * n];
-    out.par_chunks_mut(n).enumerate().for_each(|(r, orow)| {
-        let arow = &a[r * k..(r + 1) * k];
-        if bt {
-            for (j, o) in orow.iter_mut().enumerate() {
-                let brow = &b[j * k..(j + 1) * k];
-                *o = arow.iter().zip(brow).map(|(x, y)| x * y).sum();
-            }
-        } else {
-            for (kk, &av) in arow.iter().enumerate() {
-                let brow = &b[kk * n..(kk + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
-                }
-            }
-        }
-    });
-    out
-}
-
-/// `C = Aᵀ·B`: A is `(m,k)`, B is `(m,n)` → `(k,n)`.
-fn matmul_tn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
-    let mut out = vec![0.0f32; k * n];
-    // Sequential over m (accumulation), parallel over k rows of the output.
-    out.par_chunks_mut(n).enumerate().for_each(|(kk, orow)| {
-        for r in 0..m {
-            let av = a[r * k + kk];
-            if av != 0.0 {
-                let brow = &b[r * n..(r + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
-                }
-            }
-        }
-    });
-    out
 }
 
 fn axpy(dst: &mut [f32], src: &[f32]) {
@@ -735,6 +926,14 @@ mod tests {
             let w = t.leaf(vec![0.2, -0.5, 0.7, 0.9], (2, 2));
             t.matmul_nt(x, w)
         });
+    }
+
+    #[test]
+    fn gradcheck_shared_operands() {
+        // Aliased parents exercise the take-one-at-a-time backward paths.
+        grad_check(vec![0.5, -1.0, 0.3, 0.8], (2, 2), |t, x| t.matmul(x, x));
+        grad_check(vec![0.5, -1.0, 0.3, 0.8], (2, 2), |t, x| t.mul(x, x));
+        grad_check(vec![0.5, -1.0, 0.3, 0.8], (2, 2), |t, x| t.matmul_nt(x, x));
     }
 
     #[test]
@@ -831,6 +1030,74 @@ mod tests {
         let b = t.leaf(vec![1.0; 16], (4, 4));
         let _ = t.matmul(a, b);
         assert!(flops::total() >= 2 * 4 * 4 * 4);
+    }
+
+    #[test]
+    fn reset_reuses_buffers_and_stays_correct() {
+        let mut t = Tape::new();
+        let a = t.leaf(vec![1.0, 2.0, 3.0, 4.0], (2, 2));
+        let b = t.leaf(vec![5.0, 6.0, 7.0, 8.0], (2, 2));
+        let c = t.matmul(a, b);
+        let ptr = t.value(c).as_ptr();
+        t.reset();
+        assert!(t.is_empty());
+        // Rebuild with different values: recycled buffers must be fully
+        // overwritten, and one must be reused for the same-shape product.
+        let a = t.leaf_copy(&[1.0, 0.0, 0.0, 1.0], (2, 2));
+        let b = t.leaf_copy(&[1.0, 2.0, 3.0, 4.0], (2, 2));
+        let c = t.matmul(a, b);
+        assert_eq!(t.value(c), &[1.0, 2.0, 3.0, 4.0]);
+        let reused = [
+            t.value(a).as_ptr(),
+            t.value(b).as_ptr(),
+            t.value(c).as_ptr(),
+            t.grad(a).as_ptr(),
+            t.grad(b).as_ptr(),
+            t.grad(c).as_ptr(),
+        ]
+        .contains(&ptr);
+        assert!(reused, "arena should recycle same-length buffers");
+    }
+
+    #[test]
+    fn leaf_with_zeroes_recycled_buffers() {
+        let mut t = Tape::new();
+        let a = t.leaf(vec![7.0; 6], (2, 3));
+        let _ = t.tanh(a);
+        t.reset();
+        let z = t.leaf_with((2, 3), |buf| buf[0] = 1.0);
+        assert_eq!(t.value(z), &[1.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        let zz = t.zeros((2, 3));
+        assert!(t.value(zz).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn reused_tape_training_matches_fresh_tapes() {
+        // Two identical training loops — one fresh tape per step vs one
+        // reset tape — must produce bit-identical parameters.
+        let run = |reuse: bool| -> Vec<f32> {
+            let mut store = ParamStore::new();
+            let w = store.alloc(vec![0.5, -0.2, 0.1, 0.4], (2, 2));
+            let mut opt = crate::optim::Sgd::new(0.1);
+            let mut tape = Tape::new();
+            for step in 0..10 {
+                if reuse {
+                    tape.reset();
+                } else {
+                    tape = Tape::new();
+                }
+                let x = tape.leaf_copy(&[1.0, 2.0, step as f32 * 0.1, -1.0], (2, 2));
+                let wv = tape.param(&store, w);
+                let y = tape.matmul(x, wv);
+                let loss = tape.mse_loss(y, &[0.0, 1.0, -1.0, 0.5]);
+                tape.backward(loss);
+                tape.accumulate_grads(&mut store);
+                opt.step(&mut store);
+                store.zero_grads();
+            }
+            store.get(w).data.clone()
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

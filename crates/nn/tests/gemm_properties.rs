@@ -1,0 +1,174 @@
+//! Property tests for the blocked GEMM kernels: every layout (NN, NT, TN),
+//! in both overwrite and accumulate mode, must agree with a serial f64
+//! triple-loop reference to ≤ 1e-5 relative error — including ragged tail
+//! shapes that exercise the micro-tile edge handling.
+
+use proptest::prelude::*;
+use sickle_nn::gemm;
+
+/// Deterministic pseudo-random fill (so fixed-shape tests need no RNG dep).
+fn pseudo(seed: u64, len: usize, scale: f32) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let u = ((state >> 33) as f32) / (1u64 << 31) as f32;
+            (u - 0.5) * 2.0 * scale
+        })
+        .collect()
+}
+
+/// Serial triple-loop reference in f64 over strided operands:
+/// `C[i][j] = (init) + Σ_l a[i·ars + l·acs] · b[l·brs + j·bcs]`.
+#[allow(clippy::too_many_arguments)]
+fn reference(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    ars: usize,
+    acs: usize,
+    b: &[f32],
+    brs: usize,
+    bcs: usize,
+    init: &[f32],
+    acc: bool,
+) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut s = if acc { init[i * n + j] as f64 } else { 0.0 };
+            for l in 0..k {
+                s += a[i * ars + l * acs] as f64 * b[l * brs + j * bcs] as f64;
+            }
+            out[i * n + j] = s as f32;
+        }
+    }
+    out
+}
+
+fn assert_close(got: &[f32], want: &[f32], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length");
+    for (i, (&g, &w)) in got.iter().zip(want).enumerate() {
+        let tol = 1e-5 * w.abs().max(1.0);
+        assert!(
+            (g - w).abs() <= tol,
+            "{what}: element {i}: got {g}, want {w} (tol {tol})"
+        );
+    }
+}
+
+/// Runs all three layouts for one (m, k, n) against the reference.
+fn check_all_layouts(m: usize, k: usize, n: usize, seed: u64, acc: bool) {
+    let scale = 0.1;
+    let init = pseudo(seed ^ 0xC0FF_EE00, m * n, scale);
+
+    // NN: A (m,k) · B (k,n).
+    let a = pseudo(seed, m * k, scale);
+    let b = pseudo(seed ^ 1, k * n, scale);
+    let mut c = init.clone();
+    gemm::matmul_into(&mut c, &a, &b, m, k, n, acc);
+    let want = reference(m, k, n, &a, k, 1, &b, n, 1, &init, acc);
+    assert_close(&c, &want, &format!("NN {m}x{k}x{n} acc={acc}"));
+
+    // NT: A (m,k) · Bᵀ with B stored (n,k).
+    let bt = pseudo(seed ^ 2, n * k, scale);
+    let mut c = init.clone();
+    gemm::matmul_nt_into(&mut c, &a, &bt, m, k, n, acc);
+    let want = reference(m, k, n, &a, k, 1, &bt, 1, k, &init, acc);
+    assert_close(&c, &want, &format!("NT {m}x{k}x{n} acc={acc}"));
+
+    // TN: Aᵀ · B with A stored (m,k), B stored (m,n) → C (k,n).
+    let bn = pseudo(seed ^ 3, m * n, scale);
+    let init_tn = pseudo(seed ^ 0xC0FF_EE01, k * n, scale);
+    let mut c = init_tn.clone();
+    gemm::matmul_tn_into(&mut c, &a, &bn, m, k, n, acc);
+    let want = reference(k, m, n, &a, 1, k, &bn, n, 1, &init_tn, acc);
+    assert_close(&c, &want, &format!("TN {m}x{k}x{n} acc={acc}"));
+}
+
+/// Same shapes through the naive kernels — the serial baselines the bench
+/// compares against must satisfy the identical contract.
+fn check_naive_layouts(m: usize, k: usize, n: usize, seed: u64, acc: bool) {
+    let scale = 0.1;
+    let init = pseudo(seed ^ 0xC0FF_EE00, m * n, scale);
+    let a = pseudo(seed, m * k, scale);
+    let b = pseudo(seed ^ 1, k * n, scale);
+    let mut c = init.clone();
+    gemm::naive_matmul_into(&mut c, &a, &b, m, k, n, acc);
+    let want = reference(m, k, n, &a, k, 1, &b, n, 1, &init, acc);
+    assert_close(&c, &want, &format!("naive NN {m}x{k}x{n} acc={acc}"));
+
+    let bt = pseudo(seed ^ 2, n * k, scale);
+    let mut c = init.clone();
+    gemm::naive_matmul_nt_into(&mut c, &a, &bt, m, k, n, acc);
+    let want = reference(m, k, n, &a, k, 1, &bt, 1, k, &init, acc);
+    assert_close(&c, &want, &format!("naive NT {m}x{k}x{n} acc={acc}"));
+
+    let bn = pseudo(seed ^ 3, m * n, scale);
+    let init_tn = pseudo(seed ^ 0xC0FF_EE01, k * n, scale);
+    let mut c = init_tn.clone();
+    gemm::naive_matmul_tn_into(&mut c, &a, &bn, m, k, n, acc);
+    let want = reference(k, m, n, &a, 1, k, &bn, n, 1, &init_tn, acc);
+    assert_close(&c, &want, &format!("naive TN {m}x{k}x{n} acc={acc}"));
+}
+
+#[test]
+fn model_shapes_match_reference() {
+    // The shapes the fig8 models actually run: MLP hidden layers, the LSTM
+    // gate step (batch, features+hidden) × 4·hidden, and per-head attention
+    // score/value products.
+    let shapes = [
+        (64, 32, 32),  // MLP hidden
+        (64, 32, 64),  // MLP expand
+        (8, 80, 256),  // LSTM gates
+        (64, 8, 64),   // attention scores (per head)
+        (64, 64, 8),   // attention values (per head)
+        (4, 2048, 64), // token embedding on flattened cubes
+    ];
+    for (i, &(m, k, n)) in shapes.iter().enumerate() {
+        check_all_layouts(m, k, n, 0x5151_0000 + i as u64, false);
+        check_all_layouts(m, k, n, 0x5252_0000 + i as u64, true);
+        check_naive_layouts(m, k, n, 0x5353_0000 + i as u64, false);
+        check_naive_layouts(m, k, n, 0x5454_0000 + i as u64, true);
+    }
+}
+
+#[test]
+fn ragged_tail_shapes_match_reference() {
+    // Primes and off-by-one sizes around MR = 6 / NR = 8 / KC boundaries.
+    let shapes = [
+        (1, 1, 1),
+        (7, 13, 9),
+        (6, 8, 8),
+        (5, 7, 7),
+        (13, 1, 17),
+        (1, 300, 1),
+        (11, 257, 23),
+        (97, 3, 101),
+    ];
+    for (i, &(m, k, n)) in shapes.iter().enumerate() {
+        check_all_layouts(m, k, n, 0x7171_0000 + i as u64, false);
+        check_all_layouts(m, k, n, 0x7272_0000 + i as u64, true);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn blocked_matches_reference_on_random_shapes(
+        (m, k, n, seed, acc_bit) in (1usize..40, 1usize..40, 1usize..40, 0u64..u64::MAX, 0u8..2)
+    ) {
+        check_all_layouts(m, k, n, seed, acc_bit == 1);
+    }
+
+    #[test]
+    fn naive_matches_reference_on_random_shapes(
+        (m, k, n, seed, acc_bit) in (1usize..24, 1usize..24, 1usize..24, 0u64..u64::MAX, 0u8..2)
+    ) {
+        check_naive_layouts(m, k, n, seed, acc_bit == 1);
+    }
+}

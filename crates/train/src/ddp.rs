@@ -94,6 +94,10 @@ where
     let allreduce_bytes = (model.num_params() * std::mem::size_of::<f32>()) as u64;
 
     let mut replicas: Vec<M> = (0..world.max(1)).map(|_| model.clone()).collect();
+    // One arena-reused tape per replica (plus one for eval), living across
+    // all batches and epochs.
+    let mut tapes: Vec<Tape> = (0..world.max(1)).map(|_| Tape::new()).collect();
+    let mut eval_tape = Tape::new();
 
     for _epoch in 0..cfg.epochs {
         let mut epoch_loss = 0.0f64;
@@ -110,11 +114,12 @@ where
             let results: Vec<(f32, Vec<f32>)> = std::thread::scope(|scope| {
                 let handles: Vec<_> = replicas[..active]
                     .iter_mut()
+                    .zip(tapes[..active].iter_mut())
                     .zip(shards.iter())
-                    .map(|(replica, shard)| {
+                    .map(|((replica, tape), shard)| {
                         scope.spawn(move || {
-                            let mut tape = Tape::new();
-                            let loss = replica.loss_on_batch(&mut tape, shard);
+                            tape.reset();
+                            let loss = replica.loss_on_batch(tape, shard);
                             let lv = tape.value(loss)[0];
                             tape.backward(loss);
                             tape.accumulate_grads(replica.store_mut());
@@ -143,7 +148,7 @@ where
                 as u64,
         );
         let train_loss = (epoch_loss / batches.max(1) as f64) as f32;
-        let test_loss = model.eval_loss(&test_batch);
+        let test_loss = model.eval_loss_with(&mut eval_tape, &test_batch);
         best = best.min(test_loss);
         opt.lr = sched.observe(test_loss, opt.lr);
         train_losses.push(train_loss);

@@ -42,6 +42,14 @@ pub trait Model: Send {
         tape.value(loss)[0]
     }
 
+    /// Evaluation loss on a caller-provided tape, reusing its arena (the
+    /// steady-state variant of [`eval_loss`](Self::eval_loss)).
+    fn eval_loss_with(&self, tape: &mut Tape, batch: &Batch) -> f32 {
+        tape.reset();
+        let loss = self.loss_on_batch(tape, batch);
+        tape.value(loss)[0]
+    }
+
     /// Runs inference and returns predictions.
     fn predict(&self, batch: &Batch) -> Vec<f32> {
         let mut tape = Tape::new();
@@ -59,20 +67,23 @@ pub trait Model: Send {
 /// `[sample][token][feature]` batch buffer.
 fn timestep_leaf(tape: &mut Tape, batch: &Batch, t: usize) -> Var {
     let s = batch.shape;
-    let mut data = Vec::with_capacity(s.batch * s.features);
-    for b in 0..s.batch {
-        let off = (b * s.tokens + t) * s.features;
-        data.extend_from_slice(&batch.inputs[off..off + s.features]);
-    }
-    tape.leaf(data, (s.batch, s.features))
+    tape.leaf_with((s.batch, s.features), |buf| {
+        for b in 0..s.batch {
+            let off = (b * s.tokens + t) * s.features;
+            buf[b * s.features..(b + 1) * s.features]
+                .copy_from_slice(&batch.inputs[off..off + s.features]);
+        }
+    })
 }
 
 /// Extracts sample `b`'s token matrix `(tokens, features)`.
 fn sample_tokens_leaf(tape: &mut Tape, batch: &Batch, b: usize) -> Var {
     let s = batch.shape;
     let off = b * s.tokens * s.features;
-    let data = batch.inputs[off..off + s.tokens * s.features].to_vec();
-    tape.leaf(data, (s.tokens, s.features))
+    tape.leaf_copy(
+        &batch.inputs[off..off + s.tokens * s.features],
+        (s.tokens, s.features),
+    )
 }
 
 /// The paper's LSTM regressor: two stacked LSTM layers and a three-layer
@@ -249,10 +260,8 @@ impl TokenTransformer {
         }
         match self.mode {
             DecodeMode::Pooled => {
-                let ones = tape.leaf(
-                    vec![1.0 / self.tokens as f32; self.tokens],
-                    (1, self.tokens),
-                );
+                let inv = 1.0 / self.tokens as f32;
+                let ones = tape.leaf_with((1, self.tokens), |buf| buf.fill(inv));
                 let pooled = tape.matmul(ones, h);
                 self.decode.forward(tape, &self.store, pooled)
             }
@@ -437,9 +446,7 @@ impl Model for MateyMini {
 /// existing ops: a one-hot row times the matrix (differentiable and exact).
 fn slice_row(tape: &mut Tape, x: Var, r: usize) -> Var {
     let (m, _) = tape.shape(x);
-    let mut onehot = vec![0.0f32; m];
-    onehot[r] = 1.0;
-    let sel = tape.leaf(onehot, (1, m));
+    let sel = tape.leaf_with((1, m), |buf| buf[r] = 1.0);
     tape.matmul(sel, x)
 }
 

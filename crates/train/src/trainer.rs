@@ -117,6 +117,9 @@ pub fn train(
     let epoch_bytes =
         ((train_set.inputs.len() + train_set.targets.len()) * std::mem::size_of::<f32>()) as u64;
     let step_param_bytes = (model.num_params() * 2 * std::mem::size_of::<f32>()) as u64;
+    // One tape for the whole run: `reset()` recycles every buffer through
+    // the arena, so steady-state steps allocate nothing tensor-sized.
+    let mut tape = Tape::new();
 
     for epoch in 0..cfg.epochs {
         let _epoch_span = sickle_obs::span!("train.epoch", epoch = epoch);
@@ -124,7 +127,7 @@ pub fn train(
         let mut batches = 0usize;
         let mut grad_norm = f64::NAN;
         for batch in train_set.batches(cfg.batch, &mut rng) {
-            let mut tape = Tape::new();
+            tape.reset();
             let loss = model.loss_on_batch(&mut tape, &batch);
             epoch_loss += tape.value(loss)[0] as f64;
             batches += 1;
@@ -150,7 +153,7 @@ pub fn train(
         }
         meter.record_bytes(epoch_bytes);
         let train_loss = (epoch_loss / batches.max(1) as f64) as f32;
-        let test_loss = model.eval_loss(&test_batch);
+        let test_loss = model.eval_loss_with(&mut tape, &test_batch);
         best = best.min(test_loss);
         opt.lr = sched.observe(test_loss, opt.lr);
         sickle_obs::gauge!("train.loss", train_loss);

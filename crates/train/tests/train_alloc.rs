@@ -1,0 +1,110 @@
+//! Proves the zero-allocation contract of the arena-reused training step:
+//! once the tape has seen every shape the model produces, a full step
+//! (reset → forward → backward → grad accumulation → optimizer) must not
+//! heap-allocate anything tensor-sized.
+//!
+//! A counting global allocator tallies allocations at or above a threshold
+//! set below the model's activation tensors (batch 8 × hidden 64 f32 =
+//! 2 KiB) but above the small per-step bookkeeping (node-index groups for
+//! parallel gradient accumulation, rayon job headers) the runtime
+//! legitimately allocates.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use sickle_nn::optim::Adam;
+use sickle_nn::Tape;
+use sickle_train::models::Model;
+use sickle_train::{Batch, BatchShape, LstmModel};
+
+/// Any single allocation of at least this many bytes counts as
+/// "tensor-sized". The smallest recurrent activation here is
+/// 8 × 64 × 4 = 2048 bytes; per-step bookkeeping stays well under 1 KiB.
+const LARGE: usize = 1024;
+
+static LARGE_ALLOCS: AtomicUsize = AtomicUsize::new(0);
+static TRACKING: AtomicUsize = AtomicUsize::new(0);
+
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if TRACKING.load(Ordering::Relaxed) != 0 && layout.size() >= LARGE {
+            LARGE_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn toy_batch() -> Batch {
+    let shape = BatchShape {
+        batch: 8,
+        tokens: 4,
+        features: 16,
+        outputs: 1,
+    };
+    let mut inputs = Vec::new();
+    let mut targets = Vec::new();
+    for b in 0..shape.batch {
+        let mut sum = 0.0f32;
+        for t in 0..shape.tokens {
+            for f in 0..shape.features {
+                let v = (((b * 7 + t * 3 + f) % 13) as f32) * 0.1 - 0.6;
+                inputs.push(v);
+                sum += v;
+            }
+        }
+        targets.push(sum / (shape.tokens * shape.features) as f32);
+    }
+    Batch {
+        inputs,
+        targets,
+        shape,
+    }
+}
+
+fn train_step(tape: &mut Tape, model: &mut LstmModel, opt: &mut Adam, batch: &Batch) -> f32 {
+    tape.reset();
+    let loss = model.loss_on_batch(tape, batch);
+    let lv = tape.value(loss)[0];
+    tape.backward(loss);
+    tape.accumulate_grads(model.store_mut());
+    opt.step(model.store_mut());
+    model.store_mut().zero_grads();
+    lv
+}
+
+#[test]
+fn steady_state_train_step_does_not_allocate_tensors() {
+    let batch = toy_batch();
+    let mut model = LstmModel::new(16, 64, 1, 0);
+    let mut opt = Adam::new(1e-3);
+    let mut tape = Tape::new();
+
+    // Warmup: the first steps populate the arena free-list with every
+    // shape the model produces and initialize the optimizer moments.
+    for _ in 0..2 {
+        train_step(&mut tape, &mut model, &mut opt, &batch);
+    }
+
+    TRACKING.store(1, Ordering::SeqCst);
+    let mut last = f32::NAN;
+    for _ in 0..4 {
+        last = train_step(&mut tape, &mut model, &mut opt, &batch);
+    }
+    TRACKING.store(0, Ordering::SeqCst);
+
+    let count = LARGE_ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        count, 0,
+        "steady-state train step made {count} allocation(s) of >= {LARGE} bytes"
+    );
+    assert!(last.is_finite());
+}
