@@ -1,0 +1,102 @@
+//! Criterion companion to the `perf_roofline` binary: naive-vs-optimized
+//! pairs for the three dataset-generation hot paths (FFT, LBM collide-and-
+//! stream, histogram/entropy build) at the 32³ and 64³ working-set sizes the
+//! paper's generators use. Every pair goes through the explicit `_with`
+//! kernel APIs so the comparison never touches the process-global switch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sickle_cfd::{CylinderFlow, LbmConfig};
+use sickle_core::entropy::ClusterDistributions;
+use sickle_fft::{Complex, Kernel, RealFft3d};
+use sickle_field::Histogram;
+
+/// Deterministic quasi-random field, sized like an `n³` cube.
+fn field(n: usize) -> Vec<f64> {
+    (0..n * n * n)
+        .map(|i| (i as f64 * 0.7310).sin() * 3.0 + (i as f64 * 1.93).cos())
+        .collect()
+}
+
+fn bench_fft_butterfly(c: &mut Criterion) {
+    let mut group = c.benchmark_group("roofline_fft");
+    group.sample_size(10);
+    for n in [32usize, 64] {
+        let rfft = RealFft3d::new(n, n, n);
+        let data = field(n);
+        let nspec = n * n * (n / 2 + 1);
+        for kernel in [Kernel::Naive, Kernel::Optimized] {
+            let id = BenchmarkId::new(&format!("rfft3d_{kernel:?}"), n);
+            group.bench_with_input(id, &rfft, |b, rfft| {
+                let mut spec = vec![Complex::ZERO; nspec];
+                b.iter(|| {
+                    rfft.forward_with(&data, &mut spec, kernel);
+                    std::hint::black_box(spec[1])
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_lbm_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("roofline_lbm");
+    group.sample_size(10);
+    for kernel in [Kernel::Naive, Kernel::Optimized] {
+        let cfg = LbmConfig {
+            nx: 256,
+            ny: 128,
+            ..Default::default()
+        };
+        let mut flow = CylinderFlow::new(cfg);
+        let id = BenchmarkId::new(&format!("step_{kernel:?}"), "256x128");
+        group.bench_with_input(id, &(), |b, ()| {
+            b.iter(|| {
+                flow.step_with(kernel);
+                std::hint::black_box(flow.steps())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_histogram_entropy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("roofline_histogram");
+    group.sample_size(10);
+    for n in [32usize, 64] {
+        let data = field(n);
+        for kernel in [Kernel::Naive, Kernel::Optimized] {
+            let id = BenchmarkId::new(&format!("hist_fill_{kernel:?}"), n);
+            group.bench_with_input(id, &data, |b, data| {
+                b.iter(|| {
+                    let mut h = Histogram::new(-5.0, 5.0, 64);
+                    h.extend_with(data, kernel);
+                    std::hint::black_box(h.total)
+                })
+            });
+        }
+    }
+    // Per-cube MaxEnt distribution estimation (range scan + binned counts +
+    // entropy-normalized PMFs), the sampling pipeline's feature hot path.
+    for n in [32usize, 64] {
+        let values = field(n);
+        let labels: Vec<usize> = (0..values.len()).map(|i| i % 8).collect();
+        for kernel in [Kernel::Naive, Kernel::Optimized] {
+            let id = BenchmarkId::new(&format!("maxent_estimate_{kernel:?}"), n);
+            group.bench_with_input(id, &values, |b, values| {
+                b.iter(|| {
+                    let d = ClusterDistributions::estimate_with(values, &labels, 8, 64, kernel);
+                    std::hint::black_box(d.pmfs[0][0])
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    roofline,
+    bench_fft_butterfly,
+    bench_lbm_step,
+    bench_histogram_entropy
+);
+criterion_main!(roofline);

@@ -38,7 +38,7 @@
 #![allow(clippy::needless_range_loop)] // y/z index wavenumber tables in lockstep with chunks
 
 use rayon::prelude::*;
-use sickle_fft::{Complex, RealFft3d};
+use sickle_fft::{Complex, Kernel, RealFft3d};
 use sickle_field::{Axis, Grid3, Snapshot};
 
 /// Buoyancy treatment.
@@ -211,51 +211,134 @@ impl SolverCtx {
 
     /// Spectral derivative of `spec` along `axis`, written to `out` in
     /// physical space; `work` is the half-spectrum workspace.
-    fn deriv_into(&self, spec: &[Complex], axis: Axis, work: &mut [Complex], out: &mut [f64]) {
+    ///
+    /// The optimized kernel hoists the axis dispatch out of the inner loop
+    /// into three specialized contiguous sweeps (`i·k` is the same scalar
+    /// expression either way, so the two kernels are bit-identical).
+    fn deriv_into(
+        &self,
+        spec: &[Complex],
+        axis: Axis,
+        work: &mut [Complex],
+        out: &mut [f64],
+        kernel: Kernel,
+    ) {
         let n = self.n();
         let nzc = self.nzc();
         let kd = &self.kd;
-        work.par_chunks_mut(n * nzc)
-            .enumerate()
-            .for_each(|(x, chunk)| {
-                for y in 0..n {
-                    for z in 0..nzc {
-                        let k = match axis {
-                            Axis::X => kd[x],
-                            Axis::Y => kd[y],
-                            Axis::Z => kd[z],
-                        };
-                        chunk[y * nzc + z] = spec[(x * n + y) * nzc + z].mul_i().scale(k);
-                    }
-                }
-            });
+        match kernel {
+            Kernel::Naive => {
+                work.par_chunks_mut(n * nzc)
+                    .enumerate()
+                    .for_each(|(x, chunk)| {
+                        for y in 0..n {
+                            for z in 0..nzc {
+                                let k = match axis {
+                                    Axis::X => kd[x],
+                                    Axis::Y => kd[y],
+                                    Axis::Z => kd[z],
+                                };
+                                chunk[y * nzc + z] = spec[(x * n + y) * nzc + z].mul_i().scale(k);
+                            }
+                        }
+                    });
+            }
+            Kernel::Optimized => {
+                work.par_chunks_mut(n * nzc)
+                    .enumerate()
+                    .for_each(|(x, chunk)| {
+                        let base = x * n * nzc;
+                        match axis {
+                            Axis::X => {
+                                let k = kd[x];
+                                for (c, s) in chunk.iter_mut().zip(&spec[base..base + n * nzc]) {
+                                    *c = s.mul_i().scale(k);
+                                }
+                            }
+                            Axis::Y => {
+                                for y in 0..n {
+                                    let k = kd[y];
+                                    let row = &spec[base + y * nzc..base + (y + 1) * nzc];
+                                    for (c, s) in chunk[y * nzc..(y + 1) * nzc].iter_mut().zip(row)
+                                    {
+                                        *c = s.mul_i().scale(k);
+                                    }
+                                }
+                            }
+                            Axis::Z => {
+                                for y in 0..n {
+                                    let row = &spec[base + y * nzc..base + (y + 1) * nzc];
+                                    let dst = &mut chunk[y * nzc..(y + 1) * nzc];
+                                    for z in 0..nzc {
+                                        dst[z] = row[z].mul_i().scale(kd[z]);
+                                    }
+                                }
+                            }
+                        }
+                    });
+            }
+        }
         self.rfft.inverse(work, out);
     }
 
     /// Adds the viscous/diffusive term and applies the dealiasing mask:
     /// `r -= coeff * k² * f` on kept modes, `r = 0` elsewhere.
-    fn damp(&self, r: &mut [Complex], f: &[Complex], coeff: f64) {
+    ///
+    /// The optimized kernel exploits the structure of the 2/3-rule mask: per
+    /// `(x, y)` row the kept modes form the prefix `z <= cut`, so it replaces
+    /// the per-element mask load and branch with one branchless prefix sweep
+    /// plus a tail fill. `k²` keeps the naive `(kx² + ky²) + kz²` association
+    /// so the two kernels stay bit-identical.
+    fn damp(&self, r: &mut [Complex], f: &[Complex], coeff: f64, kernel: Kernel) {
         let n = self.n();
         let nzc = self.nzc();
         let kline = &self.kline;
         let keep = &self.keep;
+        if kernel == Kernel::Naive {
+            r.par_chunks_mut(n * nzc)
+                .enumerate()
+                .for_each(|(x, chunk)| {
+                    let kx = kline[x];
+                    for y in 0..n {
+                        let ky = kline[y];
+                        for z in 0..nzc {
+                            let kz = z as f64;
+                            let i = y * nzc + z;
+                            let gi = (x * n + y) * nzc + z;
+                            if !keep[gi] {
+                                chunk[i] = Complex::ZERO;
+                                continue;
+                            }
+                            let k2 = kx * kx + ky * ky + kz * kz;
+                            chunk[i] -= f[gi].scale(coeff * k2);
+                        }
+                    }
+                });
+            return;
+        }
+        // Kept z's per row are exactly `z as f64 <= n/3` (see `new`); the
+        // row itself is kept iff its z = 0 mode is kept.
+        let cut = n as f64 / 3.0;
+        let zkeep = nzc.min(cut.floor() as usize + 1);
+        let zsq: Vec<f64> = (0..zkeep).map(|z| (z as f64) * (z as f64)).collect();
         r.par_chunks_mut(n * nzc)
             .enumerate()
             .for_each(|(x, chunk)| {
                 let kx = kline[x];
                 for y in 0..n {
                     let ky = kline[y];
-                    for z in 0..nzc {
-                        let kz = z as f64;
-                        let i = y * nzc + z;
-                        let gi = (x * n + y) * nzc + z;
-                        if !keep[gi] {
-                            chunk[i] = Complex::ZERO;
-                            continue;
-                        }
-                        let k2 = kx * kx + ky * ky + kz * kz;
-                        chunk[i] -= f[gi].scale(coeff * k2);
+                    let gi0 = (x * n + y) * nzc;
+                    let row = &mut chunk[y * nzc..(y + 1) * nzc];
+                    if !keep[gi0] {
+                        row.fill(Complex::ZERO);
+                        continue;
                     }
+                    let kxy2 = kx * kx + ky * ky;
+                    let src = &f[gi0..gi0 + zkeep];
+                    for z in 0..zkeep {
+                        row[z] -= src[z].scale(coeff * (kxy2 + zsq[z]));
+                    }
+                    row[zkeep..].fill(Complex::ZERO);
                 }
             });
     }
@@ -263,26 +346,97 @@ impl SolverCtx {
     /// Leray projection onto divergence-free fields, all three components.
     /// Uses the derivative wavenumbers so the projected field is exactly
     /// divergence-free under the solver's own gradient operator.
-    fn project3(&self, u: &mut [Complex], v: &mut [Complex], w: &mut [Complex]) {
+    /// The optimized kernel hoists `kx² + ky²` per row; rows where that
+    /// partial sum is positive can never hit `k² == 0`, so their inner loop
+    /// drops the singular-mode branch entirely (bit-identical arithmetic —
+    /// the association `(kx² + ky²) + kz²` matches the naive path).
+    ///
+    /// `dealiased` asserts the caller just ran [`Self::damp`], so every mode
+    /// outside the 2/3 mask is exactly zero. The optimized kernel then skips
+    /// those modes outright: zero inputs make the projection a no-op there
+    /// (`dot = 0`, update subtracts `±0`, and `x - 0.0 == x` bitwise for the
+    /// kept sign conventions), keeping the output bit-identical. The naive
+    /// kernel ignores the hint.
+    fn project3(
+        &self,
+        u: &mut [Complex],
+        v: &mut [Complex],
+        w: &mut [Complex],
+        kernel: Kernel,
+        dealiased: bool,
+    ) {
         let n = self.n();
         let nzc = self.nzc();
         let kd = &self.kd;
+        if kernel == Kernel::Naive {
+            u.par_chunks_mut(n * nzc)
+                .zip(v.par_chunks_mut(n * nzc).zip(w.par_chunks_mut(n * nzc)))
+                .enumerate()
+                .for_each(|(x, (us, (vs, ws)))| {
+                    let kx = kd[x];
+                    for y in 0..n {
+                        let ky = kd[y];
+                        for z in 0..nzc {
+                            let kz = kd[z];
+                            let k2 = kx * kx + ky * ky + kz * kz;
+                            if k2 == 0.0 {
+                                continue;
+                            }
+                            let i = y * nzc + z;
+                            let dot = us[i].scale(kx) + vs[i].scale(ky) + ws[i].scale(kz);
+                            let s = dot.scale(1.0 / k2);
+                            us[i] -= s.scale(kx);
+                            vs[i] -= s.scale(ky);
+                            ws[i] -= s.scale(kz);
+                        }
+                    }
+                });
+            return;
+        }
+        let kdsq: Vec<f64> = kd[..nzc].iter().map(|&k| k * k).collect();
+        // Prefix bound of the kept modes per row (see `damp`); `nzc` when the
+        // caller gave no dealiasing guarantee.
+        let zlim = if dealiased {
+            nzc.min((self.cfg.n as f64 / 3.0).floor() as usize + 1)
+        } else {
+            nzc
+        };
+        let keep = &self.keep;
         u.par_chunks_mut(n * nzc)
             .zip(v.par_chunks_mut(n * nzc).zip(w.par_chunks_mut(n * nzc)))
             .enumerate()
             .for_each(|(x, (us, (vs, ws)))| {
                 let kx = kd[x];
                 for y in 0..n {
+                    if dealiased && !keep[(x * n + y) * nzc] {
+                        continue;
+                    }
                     let ky = kd[y];
-                    for z in 0..nzc {
+                    let kxy2 = kx * kx + ky * ky;
+                    let i0 = y * nzc;
+                    if kxy2 > 0.0 {
+                        // No singular mode in this row: branch-free sweep.
+                        for z in 0..zlim {
+                            let kz = kd[z];
+                            let i = i0 + z;
+                            let dot = us[i].scale(kx) + vs[i].scale(ky) + ws[i].scale(kz);
+                            let s = dot.scale(1.0 / (kxy2 + kdsq[z]));
+                            us[i] -= s.scale(kx);
+                            vs[i] -= s.scale(ky);
+                            ws[i] -= s.scale(kz);
+                        }
+                        continue;
+                    }
+                    // kx = ky = 0 row (mean/Nyquist lines): kz carries the
+                    // whole projection and the kz = 0 modes are skipped.
+                    for z in 0..zlim {
                         let kz = kd[z];
-                        let k2 = kx * kx + ky * ky + kz * kz;
-                        if k2 == 0.0 {
+                        if kdsq[z] == 0.0 {
                             continue;
                         }
-                        let i = y * nzc + z;
+                        let i = i0 + z;
                         let dot = us[i].scale(kx) + vs[i].scale(ky) + ws[i].scale(kz);
-                        let s = dot.scale(1.0 / k2);
+                        let s = dot.scale(1.0 / (kxy2 + kdsq[z]));
                         us[i] -= s.scale(kx);
                         vs[i] -= s.scale(ky);
                         ws[i] -= s.scale(kz);
@@ -443,7 +597,13 @@ impl SpectralSolver {
         self.ctx.rfft.forward(v, &mut self.state.v);
         self.ctx.rfft.forward(w, &mut self.state.w);
         let Self { ctx, state, .. } = self;
-        ctx.project3(&mut state.u, &mut state.v, &mut state.w);
+        ctx.project3(
+            &mut state.u,
+            &mut state.v,
+            &mut state.w,
+            sickle_fft::kernel(),
+            false,
+        );
         self.capture_band_energy();
     }
 
@@ -512,14 +672,15 @@ impl SpectralSolver {
     fn deriv_physical(&self, spec: &[Complex], axis: Axis) -> Vec<f64> {
         let mut work = vec![Complex::ZERO; spec.len()];
         let mut out = vec![0.0; self.grid().len()];
-        self.ctx.deriv_into(spec, axis, &mut work, &mut out);
+        self.ctx
+            .deriv_into(spec, axis, &mut work, &mut out, sickle_fft::kernel());
         out
     }
 
     /// Computes the full right-hand side of the (projected) momentum and
     /// buoyancy equations for `s`, writing into the preallocated `out` state
     /// without any field-sized allocation.
-    fn rhs_into(ctx: &SolverCtx, s: &State, scr: &mut Scratch, out: &mut State) {
+    fn rhs_into(ctx: &SolverCtx, s: &State, scr: &mut Scratch, out: &mut State, kernel: Kernel) {
         // Physical-space velocities.
         {
             let _fft = sickle_obs::span!("cfd.fft_inverse");
@@ -537,9 +698,9 @@ impl SpectralSolver {
                 1 => &s.v,
                 _ => &s.w,
             };
-            ctx.deriv_into(src, Axis::X, &mut scr.cspec, &mut scr.gx);
-            ctx.deriv_into(src, Axis::Y, &mut scr.cspec, &mut scr.gy);
-            ctx.deriv_into(src, Axis::Z, &mut scr.cspec, &mut scr.gz);
+            ctx.deriv_into(src, Axis::X, &mut scr.cspec, &mut scr.gx, kernel);
+            ctx.deriv_into(src, Axis::Y, &mut scr.cspec, &mut scr.gy, kernel);
+            ctx.deriv_into(src, Axis::Z, &mut scr.cspec, &mut scr.gz, kernel);
             let (up, vp, wp) = (&scr.up, &scr.vp, &scr.wp);
             let (gx, gy, gz) = (&scr.gx, &scr.gy, &scr.gz);
             scr.nl.par_iter_mut().enumerate().for_each(|(i, o)| {
@@ -559,9 +720,9 @@ impl SpectralSolver {
         if let (Some(bh), Stratification::Boussinesq { n_bv, gravity }) =
             (s.b.as_ref(), ctx.cfg.stratification)
         {
-            ctx.deriv_into(bh, Axis::X, &mut scr.cspec, &mut scr.gx);
-            ctx.deriv_into(bh, Axis::Y, &mut scr.cspec, &mut scr.gy);
-            ctx.deriv_into(bh, Axis::Z, &mut scr.cspec, &mut scr.gz);
+            ctx.deriv_into(bh, Axis::X, &mut scr.cspec, &mut scr.gx, kernel);
+            ctx.deriv_into(bh, Axis::Y, &mut scr.cspec, &mut scr.gy, kernel);
+            ctx.deriv_into(bh, Axis::Z, &mut scr.cspec, &mut scr.gz, kernel);
             let ug: &[f64] = match gravity {
                 Axis::X => &scr.up,
                 Axis::Y => &scr.vp,
@@ -594,15 +755,17 @@ impl SpectralSolver {
         let kappa = ctx.cfg.diffusivity;
         {
             let _damp = sickle_obs::span!("cfd.damp");
-            ctx.damp(&mut out.u, &s.u, nu);
-            ctx.damp(&mut out.v, &s.v, nu);
-            ctx.damp(&mut out.w, &s.w, nu);
+            ctx.damp(&mut out.u, &s.u, nu, kernel);
+            ctx.damp(&mut out.v, &s.v, nu, kernel);
+            ctx.damp(&mut out.w, &s.w, nu, kernel);
             if let (Some(rb), Some(bh)) = (out.b.as_mut(), s.b.as_ref()) {
-                ctx.damp(rb, bh, kappa);
+                ctx.damp(rb, bh, kappa, kernel);
             }
         }
         let _proj = sickle_obs::span!("cfd.projection");
-        ctx.project3(&mut out.u, &mut out.v, &mut out.w);
+        // `damp` just zeroed every mode outside the 2/3 mask, so the
+        // optimized projection may skip them (bit-identical no-ops).
+        ctx.project3(&mut out.u, &mut out.v, &mut out.w, kernel, true);
     }
 
     /// Advances one RK2 (Heun) step and applies forcing if configured.
@@ -610,10 +773,25 @@ impl SpectralSolver {
     pub fn step(&mut self) {
         let _step = sickle_obs::span!("cfd.step", step = self.steps);
         let dt = self.ctx.cfg.dt;
-        Self::rhs_into(&self.ctx, &self.state, &mut self.scratch, &mut self.k1);
+        // One kernel read per step: the pointwise spectral operators below
+        // honor the same global switch as the FFTs they interleave with.
+        let kernel = sickle_fft::kernel();
+        Self::rhs_into(
+            &self.ctx,
+            &self.state,
+            &mut self.scratch,
+            &mut self.k1,
+            kernel,
+        );
         self.mid.copy_from(&self.state);
         self.mid.axpy(dt, &self.k1);
-        Self::rhs_into(&self.ctx, &self.mid, &mut self.scratch, &mut self.k2);
+        Self::rhs_into(
+            &self.ctx,
+            &self.mid,
+            &mut self.scratch,
+            &mut self.k2,
+            kernel,
+        );
         self.state.axpy(0.5 * dt, &self.k1);
         self.state.axpy(0.5 * dt, &self.k2);
         if let (Some(f), Some(target)) = (self.ctx.cfg.forcing, self.band_energy) {
@@ -797,6 +975,80 @@ mod tests {
         });
         s.init_taylor_green(1.0);
         s
+    }
+
+    /// The optimized pointwise spectral operators (`deriv_into`, `damp`,
+    /// `project3`) restructure loops but keep every floating-point
+    /// expression's association, so naive and optimized must agree to the
+    /// last bit — exercised on non-power-of-3 grids where the 2/3 mask
+    /// prefix is fractional.
+    #[test]
+    fn pointwise_spectral_operators_bit_identical_across_kernels() {
+        for n in [8usize, 16] {
+            let s = tg_solver(n);
+            let ctx = &s.ctx;
+            let slen = n * n * ctx.nzc();
+            let spec: Vec<Complex> = (0..slen)
+                .map(|i| {
+                    Complex::new(
+                        (i as f64 * 0.731).sin() * 2.0,
+                        (i as f64 * 1.137).cos() * 0.5,
+                    )
+                })
+                .collect();
+            let bits = |c: &[Complex]| -> Vec<(u64, u64)> {
+                c.iter().map(|z| (z.re.to_bits(), z.im.to_bits())).collect()
+            };
+            // deriv_into, all three axes.
+            for axis in [Axis::X, Axis::Y, Axis::Z] {
+                let mut wn = vec![Complex::ZERO; slen];
+                let mut wo = vec![Complex::ZERO; slen];
+                let mut out = vec![0.0; n * n * n];
+                ctx.deriv_into(&spec, axis, &mut wn, &mut out, Kernel::Naive);
+                // Both calls share whatever global FFT kernel is active, so
+                // any output difference comes from the fill loops alone.
+                let mut out2 = vec![0.0; n * n * n];
+                ctx.deriv_into(&spec, axis, &mut wo, &mut out2, Kernel::Optimized);
+                assert_eq!(
+                    out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    out2.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "deriv n={n} axis={axis:?}"
+                );
+            }
+            // damp.
+            let f: Vec<Complex> = spec.iter().map(|z| z.scale(0.37)).collect();
+            let mut rn = spec.clone();
+            let mut ro = spec.clone();
+            ctx.damp(&mut rn, &f, 0.02, Kernel::Naive);
+            ctx.damp(&mut ro, &f, 0.02, Kernel::Optimized);
+            assert_eq!(bits(&rn), bits(&ro), "damp n={n}");
+            // project3.
+            let v: Vec<Complex> = spec.iter().map(|z| z.mul_i()).collect();
+            let w: Vec<Complex> = spec.iter().map(|z| z.scale(-1.3)).collect();
+            let (mut un, mut vn, mut wn) = (spec.clone(), v.clone(), w.clone());
+            let (mut uo, mut vo, mut wo) = (spec.clone(), v.clone(), w.clone());
+            ctx.project3(&mut un, &mut vn, &mut wn, Kernel::Naive, false);
+            ctx.project3(&mut uo, &mut vo, &mut wo, Kernel::Optimized, false);
+            assert_eq!(bits(&un), bits(&uo), "project3 u n={n}");
+            assert_eq!(bits(&vn), bits(&vo), "project3 v n={n}");
+            assert_eq!(bits(&wn), bits(&wo), "project3 w n={n}");
+            // The dealiased fast path must also be a bit-identical no-op on
+            // the masked modes: damp first (zeroing them), then compare the
+            // hinted optimized projection against the naive one.
+            let damp_then_project = |kernel: Kernel, dealiased: bool| {
+                let (mut du, mut dv, mut dw) = (spec.clone(), v.clone(), w.clone());
+                ctx.damp(&mut du, &f, 0.01, kernel);
+                ctx.damp(&mut dv, &f, 0.01, kernel);
+                ctx.damp(&mut dw, &f, 0.01, kernel);
+                ctx.project3(&mut du, &mut dv, &mut dw, kernel, dealiased);
+                (bits(&du), bits(&dv), bits(&dw))
+            };
+            assert_eq!(
+                damp_then_project(Kernel::Naive, false),
+                damp_then_project(Kernel::Optimized, true),
+                "dealiased project3 fast path n={n}"
+            );
+        }
     }
 
     #[test]

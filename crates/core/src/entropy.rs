@@ -14,6 +14,7 @@ use rand::Rng;
 use rayon::prelude::*;
 use sickle_field::stats::{kl_divergence, shannon_entropy};
 use sickle_field::Histogram;
+use sickle_simd::Kernel;
 
 /// Points per parallel chunk in [`ClusterDistributions::estimate`].
 const ESTIMATE_CHUNK: usize = 8192;
@@ -40,6 +41,22 @@ impl ClusterDistributions {
     /// Panics if `values.len() != labels.len()`, `k == 0`, or any label is
     /// `>= k`.
     pub fn estimate(values: &[f64], labels: &[usize], k: usize, bins: usize) -> Self {
+        Self::estimate_with(values, labels, k, bins, sickle_simd::kernel())
+    }
+
+    /// [`Self::estimate`] with an explicit kernel choice (parity tests and
+    /// benches; avoids racing on the global switch). The optimized path
+    /// vectorizes the range scan and the bin-index computation; both are
+    /// bit-identical to the scalar formulations, and the chunk-order merge
+    /// is unchanged, so the result is bit-identical across kernels.
+    #[doc(hidden)]
+    pub fn estimate_with(
+        values: &[f64],
+        labels: &[usize],
+        k: usize,
+        bins: usize,
+        kernel: Kernel,
+    ) -> Self {
         assert_eq!(values.len(), labels.len(), "values/labels length mismatch");
         assert!(k > 0, "need at least one cluster");
         // Validate labels *before* the parallel region: a panic inside a
@@ -48,19 +65,27 @@ impl ClusterDistributions {
         for &l in labels {
             assert!(l < k, "label {l} out of range for k = {k}");
         }
-        // Global range for a shared binning.
-        let mut lo = f64::INFINITY;
-        let mut hi = f64::NEG_INFINITY;
-        for &v in values {
-            if v.is_finite() {
-                lo = lo.min(v);
-                hi = hi.max(v);
+        // Global range for a shared binning. NaN-only (or empty) input falls
+        // back to the unit range; `Histogram::new` widens a degenerate
+        // min == max range, so binning is always well defined.
+        let (lo, hi) = match kernel {
+            Kernel::Naive => {
+                let mut lo = f64::INFINITY;
+                let mut hi = f64::NEG_INFINITY;
+                for &v in values {
+                    if v.is_finite() {
+                        lo = lo.min(v);
+                        hi = hi.max(v);
+                    }
+                }
+                if lo.is_finite() {
+                    (lo, hi)
+                } else {
+                    (0.0, 1.0)
+                }
             }
-        }
-        if !lo.is_finite() {
-            lo = 0.0;
-            hi = 1.0;
-        }
+            Kernel::Optimized => sickle_simd::minmax_finite(values).unwrap_or((0.0, 1.0)),
+        };
         // The template carries the (possibly widened) bounds so `bin_of`
         // matches `Histogram::push` semantics exactly.
         let template = Histogram::new(lo, hi, bins);
@@ -72,12 +97,35 @@ impl ClusterDistributions {
                 let e = (s + ESTIMATE_CHUNK).min(values.len());
                 let mut counts = vec![0u64; k * bins];
                 let mut sizes = vec![0usize; k];
-                for (&v, &l) in values[s..e].iter().zip(&labels[s..e]) {
-                    // Sizes count every member; bins only finite values —
-                    // the same split `push` makes.
-                    sizes[l] += 1;
-                    if v.is_finite() {
-                        counts[l * bins + template.bin_of(v)] += 1;
+                match kernel {
+                    Kernel::Naive => {
+                        for (&v, &l) in values[s..e].iter().zip(&labels[s..e]) {
+                            // Sizes count every member; bins only finite
+                            // values — the same split `push` makes.
+                            sizes[l] += 1;
+                            if v.is_finite() {
+                                counts[l * bins + template.bin_of(v)] += 1;
+                            }
+                        }
+                    }
+                    Kernel::Optimized => {
+                        // Vectorized binning; the u32::MAX sentinel marks
+                        // non-finite values, which count toward sizes but
+                        // not bins — the same split the scalar loop makes.
+                        let mut idx = vec![0u32; e - s];
+                        sickle_simd::bin_indices(
+                            &values[s..e],
+                            template.lo,
+                            template.hi,
+                            bins,
+                            &mut idx,
+                        );
+                        for (&b, &l) in idx.iter().zip(&labels[s..e]) {
+                            sizes[l] += 1;
+                            if b != u32::MAX {
+                                counts[l * bins + b as usize] += 1;
+                            }
+                        }
                     }
                 }
                 (counts, sizes)
@@ -283,6 +331,57 @@ mod tests {
         let high1: f64 = d.pmfs[1][5..].iter().sum();
         assert!((low0 - 1.0).abs() < 1e-12);
         assert!((high1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimate_kernels_bit_identical() {
+        // Enough points to span several ESTIMATE_CHUNKs, with non-finite
+        // values sprinkled in: PMFs and sizes must agree bit for bit.
+        let mut values: Vec<f64> = (0..20000).map(|i| (i as f64 * 0.013).sin() * 5.0).collect();
+        values[7] = f64::NAN;
+        values[100] = f64::INFINITY;
+        values[9001] = f64::NEG_INFINITY;
+        let labels: Vec<usize> = (0..values.len()).map(|i| i % 5).collect();
+        let a = ClusterDistributions::estimate_with(&values, &labels, 5, 64, Kernel::Naive);
+        let b = ClusterDistributions::estimate_with(&values, &labels, 5, 64, Kernel::Optimized);
+        assert_eq!(a.sizes, b.sizes);
+        for (pa, pb) in a.pmfs.iter().zip(&b.pmfs) {
+            for (x, y) in pa.iter().zip(pb) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn estimate_degenerate_range_is_guarded() {
+        // min == max: Histogram::new widens the bounds, everything lands in
+        // a single bin, and both kernels agree.
+        let values = vec![2.5; 64];
+        let labels = vec![0usize; 64];
+        for kernel in [Kernel::Naive, Kernel::Optimized] {
+            let d = ClusterDistributions::estimate_with(&values, &labels, 1, 8, kernel);
+            assert_eq!(d.sizes, vec![64]);
+            assert!((d.pmfs[0].iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            assert_eq!(d.pmfs[0].iter().filter(|&&p| p > 0.0).count(), 1);
+        }
+    }
+
+    #[test]
+    fn estimate_all_nan_input_is_guarded() {
+        // No finite value: the range falls back to [0, 1]; sizes still count
+        // every member, and the empty histogram degrades to the uniform
+        // maximum-entropy prior.
+        let nan = vec![f64::NAN; 10];
+        let labels = vec![0usize; 10];
+        for kernel in [Kernel::Naive, Kernel::Optimized] {
+            let d = ClusterDistributions::estimate_with(&nan, &labels, 1, 4, kernel);
+            assert_eq!(d.sizes, vec![10]);
+            assert!(
+                d.pmfs[0].iter().all(|&p| (p - 0.25).abs() < 1e-12),
+                "{:?}",
+                d.pmfs[0]
+            );
+        }
     }
 
     #[test]

@@ -90,8 +90,7 @@ impl StreamingSampler {
 
     #[inline]
     fn bin_of(&self, v: f64) -> usize {
-        let t = (v - self.lo) / (self.hi - self.lo);
-        ((t * self.bins as f64) as isize).clamp(0, self.bins as isize - 1) as usize
+        sickle_simd::bin_index(v, self.lo, self.hi, self.bins)
     }
 
     fn calibrate(&mut self) {

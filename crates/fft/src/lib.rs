@@ -36,10 +36,40 @@ pub use nd::{Fft2d, Fft3d};
 pub use plan::FftPlan;
 pub use real::RealFft;
 pub use realnd::{RealFft2d, RealFft3d};
+// The workspace-wide kernel switch, re-exported so FFT consumers can force a
+// variant without depending on sickle-simd directly.
+pub use sickle_simd::{kernel, set_kernel, Kernel};
 
 /// Returns `true` if `n` is a power of two (and nonzero).
 pub fn is_power_of_two(n: usize) -> bool {
     n != 0 && n & (n - 1) == 0
+}
+
+/// Analytic flop estimate for one length-`n` complex FFT: the standard
+/// `5 n log2 n` radix-2 count (per butterfly: one complex multiply = 6 flops
+/// and two complex adds = 4 flops, over `n/2 · log2 n` butterflies).
+pub fn fft_flops(n: usize) -> u64 {
+    if n < 2 {
+        return 0;
+    }
+    5 * n as u64 * n.trailing_zeros() as u64
+}
+
+/// Analytic flop estimate for one length-`n` real-to-complex (or
+/// complex-to-real) FFT: a half-length complex FFT plus the O(n) untangle
+/// pass (~14 flops per conjugate bin pair).
+pub fn rfft_flops(n: usize) -> u64 {
+    fft_flops(n / 2) + 7 * n as u64 / 2
+}
+
+/// Analytic flop estimate for one 3D real-to-complex transform of shape
+/// `(nx, ny, nz)`: `nx·ny` real rows plus the strided complex passes over
+/// the `nzc = nz/2 + 1` half-spectrum.
+pub fn rfft3d_flops(nx: usize, ny: usize, nz: usize) -> u64 {
+    let nzc = (nz / 2 + 1) as u64;
+    (nx * ny) as u64 * rfft_flops(nz)
+        + nx as u64 * nzc * fft_flops(ny)
+        + ny as u64 * nzc * fft_flops(nx)
 }
 
 /// Naive O(n^2) discrete Fourier transform, used as a reference in tests and

@@ -95,13 +95,9 @@ impl RealFft {
         for k in 1..=half / 2 {
             let zk = out[k];
             let zmk = out[half - k].conj();
-            let e = (zk + zmk).scale(0.5);
-            let o = (zk - zmk).scale(0.5).mul_i().scale(-1.0); // -i*(..)/1 => O[k]
-            let w = self.twiddles[k];
-            out[k] = e + w * o;
-            // Mirror bin: X[h - k] = E[k].conj-symmetric partner.
-            let w2 = Complex::new(-w.re, w.im); // exp(-i*pi*(half-k)/half) = -conj(w)
-            out[half - k] = e.conj() + w2 * o.conj();
+            let (xk, xhk) = untangle_pair(zk, zmk, self.twiddles[k]);
+            out[k] = xk;
+            out[half - k] = xhk;
         }
         // DC and Nyquist from the k = 0 combination directly (purely real).
         out[0] = Complex::new(z0.re + z0.im, 0.0);
@@ -153,22 +149,124 @@ impl RealFft {
         // Repack: Z[k] = E[k] + i O[k] with E[k] = (X[k] + conj(X[h-k]))/2,
         // O[k] = w^{-k} (X[k] - conj(X[h-k]))/2.
         for (k, zk) in z.iter_mut().enumerate() {
-            let xk = spectrum[k];
-            let xmk = spectrum[half - k].conj();
-            let e = (xk + xmk).scale(0.5);
-            // w^{-k} = conj(w^k); for k > half/2 use w^k = -conj(w^{half-k}),
-            // hence w^{-k} = -w^{half-k}.
-            let winv = if k <= half / 2 {
-                self.twiddles[k].conj()
-            } else {
-                let w = self.twiddles[half - k];
-                Complex::new(-w.re, -w.im)
-            };
-            let o = winv * (xk - xmk).scale(0.5);
-            *zk = (e + o.mul_i()).scale(scale);
+            *zk = self.repack_one(spectrum, k, scale);
         }
         self.half_plan.inverse(z);
     }
+
+    /// One packed complex sample `Z[k]` of the inverse pre-pass, scaled.
+    #[inline]
+    fn repack_one(&self, spectrum: &[Complex], k: usize, scale: f64) -> Complex {
+        let half = self.n / 2;
+        let xk = spectrum[k];
+        let xmk = spectrum[half - k].conj();
+        let e = (xk + xmk).scale(0.5);
+        // w^{-k} = conj(w^k); for k > half/2 use w^k = -conj(w^{half-k}),
+        // hence w^{-k} = -w^{half-k}.
+        let winv = if k <= half / 2 {
+            self.twiddles[k].conj()
+        } else {
+            let w = self.twiddles[half - k];
+            Complex::new(-w.re, -w.im)
+        };
+        let o = winv * (xk - xmk).scale(0.5);
+        (e + o.mul_i()).scale(scale)
+    }
+
+    /// Untangles one sequence of a pair-interleaved half-FFT result into its
+    /// Hermitian spectrum: reads `z[2k + lane]`, writes `out[0..=half]`.
+    fn untangle_lane(&self, z: &[Complex], lane: usize, out: &mut [Complex]) {
+        let half = self.n / 2;
+        let z0 = z[lane];
+        for k in 1..=half / 2 {
+            let zk = z[2 * k + lane];
+            let zmk = z[2 * (half - k) + lane].conj();
+            let (xk, xhk) = untangle_pair(zk, zmk, self.twiddles[k]);
+            out[k] = xk;
+            // Same write order as the in-place untangle: at k == half/2 both
+            // indices coincide and the mirror write wins.
+            out[half - k] = xhk;
+        }
+        out[0] = Complex::new(z0.re + z0.im, 0.0);
+        out[half] = Complex::new(z0.re - z0.im, 0.0);
+    }
+
+    /// Forward transform of two real rows at once through the
+    /// pair-interleaved half-FFT (the SIMD-friendly path used by the
+    /// multi-dimensional drivers). `scratch` must hold `n` complex values.
+    ///
+    /// # Panics
+    /// Panics on any buffer length mismatch.
+    pub fn forward2_into(
+        &self,
+        in0: &[f64],
+        in1: &[f64],
+        out0: &mut [Complex],
+        out1: &mut [Complex],
+        scratch: &mut [Complex],
+    ) {
+        let half = self.n / 2;
+        assert_eq!(in0.len(), self.n, "buffer length mismatch");
+        assert_eq!(in1.len(), self.n, "buffer length mismatch");
+        assert_eq!(out0.len(), self.spectrum_len(), "spectrum length mismatch");
+        assert_eq!(out1.len(), self.spectrum_len(), "spectrum length mismatch");
+        assert_eq!(scratch.len(), self.n, "scratch length mismatch");
+        for j in 0..half {
+            scratch[2 * j] = Complex::new(in0[2 * j], in0[2 * j + 1]);
+            scratch[2 * j + 1] = Complex::new(in1[2 * j], in1[2 * j + 1]);
+        }
+        self.half_plan.forward2(scratch);
+        self.untangle_lane(scratch, 0, out0);
+        self.untangle_lane(scratch, 1, out1);
+    }
+
+    /// Inverse transform of two Hermitian spectra at once through the
+    /// pair-interleaved half-FFT, each scaled by `scale`. `scratch` must
+    /// hold `n` complex values.
+    ///
+    /// # Panics
+    /// Panics on any buffer length mismatch.
+    #[allow(clippy::too_many_arguments)]
+    pub fn inverse2_into_scaled(
+        &self,
+        spec0: &[Complex],
+        spec1: &[Complex],
+        out0: &mut [f64],
+        out1: &mut [f64],
+        scratch: &mut [Complex],
+        scale: f64,
+    ) {
+        let half = self.n / 2;
+        assert_eq!(spec0.len(), self.spectrum_len(), "spectrum length mismatch");
+        assert_eq!(spec1.len(), self.spectrum_len(), "spectrum length mismatch");
+        assert_eq!(out0.len(), self.n, "buffer length mismatch");
+        assert_eq!(out1.len(), self.n, "buffer length mismatch");
+        assert_eq!(scratch.len(), self.n, "scratch length mismatch");
+        for k in 0..half {
+            scratch[2 * k] = self.repack_one(spec0, k, scale);
+            scratch[2 * k + 1] = self.repack_one(spec1, k, scale);
+        }
+        self.half_plan.inverse2(scratch);
+        for k in 0..half {
+            let (z0, z1) = (scratch[2 * k], scratch[2 * k + 1]);
+            out0[2 * k] = z0.re;
+            out0[2 * k + 1] = z0.im;
+            out1[2 * k] = z1.re;
+            out1[2 * k + 1] = z1.im;
+        }
+    }
+}
+
+/// The symmetric untangle combination shared by the in-place and lane paths:
+/// given `Z[k]` and `conj(Z[h-k])`, returns `(X[k], X[h-k])`.
+#[inline]
+fn untangle_pair(zk: Complex, zmk: Complex, w: Complex) -> (Complex, Complex) {
+    let e = (zk + zmk).scale(0.5);
+    let o = (zk - zmk).scale(0.5).mul_i().scale(-1.0); // -i*(..)/1 => O[k]
+    let x = e + w * o;
+    // Mirror bin: X[h - k] = E[k].conj-symmetric partner.
+    let w2 = Complex::new(-w.re, w.im); // exp(-i*pi*(half-k)/half) = -conj(w)
+    (x, e.conj() + w2 * o.conj())
 }
 
 #[cfg(test)]
@@ -205,6 +303,37 @@ mod tests {
         let back = plan.inverse(&plan.forward(&input));
         for (a, b) in input.iter().zip(back.iter()) {
             assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn pair_real_transform_matches_single() {
+        for &n in &[2usize, 4, 8, 32, 128] {
+            let plan = RealFft::new(n);
+            let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() + 0.2).collect();
+            let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.59).cos() - 1.5).collect();
+            let (sa, sb) = (plan.forward(&a), plan.forward(&b));
+            let mut pa = vec![Complex::ZERO; plan.spectrum_len()];
+            let mut pb = vec![Complex::ZERO; plan.spectrum_len()];
+            let mut scratch = vec![Complex::ZERO; n];
+            plan.forward2_into(&a, &b, &mut pa, &mut pb, &mut scratch);
+            for k in 0..plan.spectrum_len() {
+                assert!(
+                    (pa[k].re - sa[k].re).abs() < 1e-10 && (pa[k].im - sa[k].im).abs() < 1e-10,
+                    "n={n} k={k} lane0"
+                );
+                assert!(
+                    (pb[k].re - sb[k].re).abs() < 1e-10 && (pb[k].im - sb[k].im).abs() < 1e-10,
+                    "n={n} k={k} lane1"
+                );
+            }
+            let mut ra = vec![0.0; n];
+            let mut rb = vec![0.0; n];
+            plan.inverse2_into_scaled(&pa, &pb, &mut ra, &mut rb, &mut scratch, 1.0);
+            for i in 0..n {
+                assert!((ra[i] - a[i]).abs() < 1e-10, "n={n} i={i} lane0 roundtrip");
+                assert!((rb[i] - b[i]).abs() < 1e-10, "n={n} i={i} lane1 roundtrip");
+            }
         }
     }
 

@@ -20,11 +20,69 @@
 //! machinery shared with the complex transforms.
 
 use rayon::prelude::*;
+use sickle_simd::Kernel;
 
 use crate::complex::Complex;
-use crate::nd::{transform_strided, Dir};
+use crate::nd::{transform_strided_with, Dir};
 use crate::plan::FftPlan;
 use crate::real::RealFft;
+
+/// Forward-transforms contiguous real rows into half-spectrum rows, two at a
+/// time under [`Kernel::Optimized`] (pair-interleaved half-FFT), row by row
+/// under [`Kernel::Naive`].
+fn rows_forward(row: &RealFft, real: &[f64], spec: &mut [Complex], kernel: Kernel) {
+    let n = row.len();
+    let nc = row.spectrum_len();
+    match kernel {
+        Kernel::Naive => real
+            .par_chunks(n)
+            .zip(spec.par_chunks_mut(nc))
+            .for_each(|(r, s)| row.forward_into(r, s)),
+        Kernel::Optimized => real
+            .par_chunks(2 * n)
+            .zip(spec.par_chunks_mut(2 * nc))
+            .for_each_init(
+                || vec![Complex::ZERO; n],
+                |scratch, (r, s)| {
+                    if r.len() == 2 * n {
+                        let (r0, r1) = r.split_at(n);
+                        let (s0, s1) = s.split_at_mut(nc);
+                        row.forward2_into(r0, r1, s0, s1, scratch);
+                    } else {
+                        row.forward_into(r, s);
+                    }
+                },
+            ),
+    }
+}
+
+/// Inverse-transforms half-spectrum rows back to real rows (each scaled by
+/// `scale`), pairing rows under [`Kernel::Optimized`].
+fn rows_inverse(row: &RealFft, spec: &[Complex], real: &mut [f64], scale: f64, kernel: Kernel) {
+    let n = row.len();
+    let nc = row.spectrum_len();
+    match kernel {
+        Kernel::Naive => spec
+            .par_chunks(nc)
+            .zip(real.par_chunks_mut(n))
+            .for_each(|(s, r)| row.inverse_into_scaled(s, r, scale)),
+        Kernel::Optimized => spec
+            .par_chunks(2 * nc)
+            .zip(real.par_chunks_mut(2 * n))
+            .for_each_init(
+                || vec![Complex::ZERO; n],
+                |scratch, (s, r)| {
+                    if s.len() == 2 * nc {
+                        let (s0, s1) = s.split_at(nc);
+                        let (r0, r1) = r.split_at_mut(n);
+                        row.inverse2_into_scaled(s0, s1, r0, r1, scratch, scale);
+                    } else {
+                        row.inverse_into_scaled(s, r, scale);
+                    }
+                },
+            ),
+    }
+}
 
 /// Plan for 2D real-to-complex FFTs of fixed shape `(nx, ny)`.
 #[derive(Clone, Debug)]
@@ -76,17 +134,7 @@ impl RealFft2d {
     /// # Panics
     /// Panics on buffer length mismatch.
     pub fn forward(&self, real: &[f64], spec: &mut [Complex]) {
-        assert_eq!(real.len(), self.len(), "real buffer shape mismatch");
-        assert_eq!(
-            spec.len(),
-            self.spectrum_len(),
-            "spectrum buffer shape mismatch"
-        );
-        let nyc = self.row.spectrum_len();
-        real.par_chunks(self.ny)
-            .zip(spec.par_chunks_mut(nyc))
-            .for_each(|(r, s)| self.row.forward_into(r, s));
-        transform_strided(&self.plan_x, spec, 1, nyc, nyc, Dir::Forward);
+        self.forward_with(real, spec, sickle_simd::kernel());
     }
 
     /// Inverse transform back to a real field (normalized so that
@@ -96,6 +144,13 @@ impl RealFft2d {
     /// # Panics
     /// Panics on buffer length mismatch.
     pub fn inverse(&self, spec: &mut [Complex], real: &mut [f64]) {
+        self.inverse_with(spec, real, sickle_simd::kernel());
+    }
+
+    /// [`Self::forward`] with an explicit kernel choice (parity tests and
+    /// benches; avoids racing on the global switch).
+    #[doc(hidden)]
+    pub fn forward_with(&self, real: &[f64], spec: &mut [Complex], kernel: Kernel) {
         assert_eq!(real.len(), self.len(), "real buffer shape mismatch");
         assert_eq!(
             spec.len(),
@@ -103,11 +158,23 @@ impl RealFft2d {
             "spectrum buffer shape mismatch"
         );
         let nyc = self.row.spectrum_len();
-        transform_strided(&self.plan_x, spec, 1, nyc, nyc, Dir::Inverse);
+        rows_forward(&self.row, real, spec, kernel);
+        transform_strided_with(&self.plan_x, spec, 1, nyc, nyc, Dir::Forward, kernel);
+    }
+
+    /// [`Self::inverse`] with an explicit kernel choice.
+    #[doc(hidden)]
+    pub fn inverse_with(&self, spec: &mut [Complex], real: &mut [f64], kernel: Kernel) {
+        assert_eq!(real.len(), self.len(), "real buffer shape mismatch");
+        assert_eq!(
+            spec.len(),
+            self.spectrum_len(),
+            "spectrum buffer shape mismatch"
+        );
+        let nyc = self.row.spectrum_len();
+        transform_strided_with(&self.plan_x, spec, 1, nyc, nyc, Dir::Inverse, kernel);
         let scale = 1.0 / self.nx as f64;
-        spec.par_chunks(nyc)
-            .zip(real.par_chunks_mut(self.ny))
-            .for_each(|(s, r)| self.row.inverse_into_scaled(s, r, scale));
+        rows_inverse(&self.row, spec, real, scale, kernel);
     }
 }
 
@@ -170,22 +237,7 @@ impl RealFft3d {
     /// # Panics
     /// Panics on buffer length mismatch.
     pub fn forward(&self, real: &[f64], spec: &mut [Complex]) {
-        assert_eq!(real.len(), self.len(), "real buffer shape mismatch");
-        assert_eq!(
-            spec.len(),
-            self.spectrum_len(),
-            "spectrum buffer shape mismatch"
-        );
-        let nzc = self.nzc();
-        // z axis: real-to-complex on contiguous rows, in parallel.
-        real.par_chunks(self.nz)
-            .zip(spec.par_chunks_mut(nzc))
-            .for_each(|(r, s)| self.row.forward_into(r, s));
-        // y axis: pencils of stride nzc within each x-slab.
-        transform_strided(&self.plan_y, spec, self.nx, nzc, nzc, Dir::Forward);
-        // x axis: pencils of stride ny*nzc.
-        let slab = self.ny * nzc;
-        transform_strided(&self.plan_x, spec, 1, slab, slab, Dir::Forward);
+        self.forward_with(real, spec, sickle_simd::kernel());
     }
 
     /// Inverse transform back to a real field (normalized so that
@@ -196,6 +248,32 @@ impl RealFft3d {
     /// # Panics
     /// Panics on buffer length mismatch.
     pub fn inverse(&self, spec: &mut [Complex], real: &mut [f64]) {
+        self.inverse_with(spec, real, sickle_simd::kernel());
+    }
+
+    /// [`Self::forward`] with an explicit kernel choice (parity tests and
+    /// benches; avoids racing on the global switch).
+    #[doc(hidden)]
+    pub fn forward_with(&self, real: &[f64], spec: &mut [Complex], kernel: Kernel) {
+        assert_eq!(real.len(), self.len(), "real buffer shape mismatch");
+        assert_eq!(
+            spec.len(),
+            self.spectrum_len(),
+            "spectrum buffer shape mismatch"
+        );
+        let nzc = self.nzc();
+        // z axis: real-to-complex on contiguous rows, in parallel.
+        rows_forward(&self.row, real, spec, kernel);
+        // y axis: pencils of stride nzc within each x-slab.
+        transform_strided_with(&self.plan_y, spec, self.nx, nzc, nzc, Dir::Forward, kernel);
+        // x axis: pencils of stride ny*nzc.
+        let slab = self.ny * nzc;
+        transform_strided_with(&self.plan_x, spec, 1, slab, slab, Dir::Forward, kernel);
+    }
+
+    /// [`Self::inverse`] with an explicit kernel choice.
+    #[doc(hidden)]
+    pub fn inverse_with(&self, spec: &mut [Complex], real: &mut [f64], kernel: Kernel) {
         assert_eq!(real.len(), self.len(), "real buffer shape mismatch");
         assert_eq!(
             spec.len(),
@@ -204,14 +282,12 @@ impl RealFft3d {
         );
         let nzc = self.nzc();
         let slab = self.ny * nzc;
-        transform_strided(&self.plan_x, spec, 1, slab, slab, Dir::Inverse);
-        transform_strided(&self.plan_y, spec, self.nx, nzc, nzc, Dir::Inverse);
+        transform_strided_with(&self.plan_x, spec, 1, slab, slab, Dir::Inverse, kernel);
+        transform_strided_with(&self.plan_y, spec, self.nx, nzc, nzc, Dir::Inverse, kernel);
         // z axis: complex-to-real rows; the x/y passes above skipped their
         // 1/(nx*ny) normalization, folded into the row repack here.
         let scale = 1.0 / (self.nx * self.ny) as f64;
-        spec.par_chunks(nzc)
-            .zip(real.par_chunks_mut(self.nz))
-            .for_each(|(s, r)| self.row.inverse_into_scaled(s, r, scale));
+        rows_inverse(&self.row, spec, real, scale, kernel);
     }
 }
 

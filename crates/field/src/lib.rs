@@ -24,5 +24,5 @@ pub mod vtk;
 pub use grid::{Axis, Grid2, Grid3};
 pub use points::{FeatureMatrix, SampleSet};
 pub use snapshot::{Dataset, DatasetMeta, Snapshot};
-pub use stats::{Histogram, SummaryStats};
+pub use stats::{hist_flops, Histogram, SummaryStats};
 pub use tiling::{Hypercube, Tiling};

@@ -192,9 +192,7 @@ impl Histogram {
     /// Bin index for value `v` (clamped to the edge bins).
     #[inline]
     pub fn bin_of(&self, v: f64) -> usize {
-        let b = self.bins();
-        let t = (v - self.lo) / (self.hi - self.lo);
-        ((t * b as f64) as isize).clamp(0, b as isize - 1) as usize
+        sickle_simd::bin_index(v, self.lo, self.hi, self.bins())
     }
 
     /// Adds one sample (non-finite values are skipped).
@@ -207,10 +205,47 @@ impl Histogram {
         }
     }
 
-    /// Adds many samples.
+    /// Adds many samples. Under the workspace [`sickle_simd::Kernel`] switch
+    /// this routes through the vectorized bin-index kernel; counts are
+    /// bit-identical to the scalar push loop for every input (including NaN,
+    /// ±inf and out-of-range values).
     pub fn extend(&mut self, data: &[f64]) {
-        for &v in data {
-            self.push(v);
+        self.extend_with(data, sickle_simd::kernel());
+    }
+
+    /// [`Self::extend`] with an explicit kernel choice (parity tests and
+    /// benches; avoids racing on the global switch).
+    #[doc(hidden)]
+    pub fn extend_with(&mut self, data: &[f64], kernel: sickle_simd::Kernel) {
+        match kernel {
+            sickle_simd::Kernel::Naive => {
+                for &v in data {
+                    self.push(v);
+                }
+            }
+            sickle_simd::Kernel::Optimized => {
+                let bins = self.counts.len();
+                // The fused kernel computes bin indices and accumulates the
+                // banked counts in a single pass; the extra slot at `bins`
+                // receives the non-finite values the scalar loop skips.
+                // Integer addition commutes, so the merged counts are
+                // bit-identical to the scalar push loop. The scratch lives
+                // on the stack for the common per-cube call sizes, where a
+                // heap allocation would be measurable.
+                let mut small = [0u64; 257];
+                let mut heap;
+                let scratch: &mut [u64] = if bins < 257 {
+                    &mut small[..=bins]
+                } else {
+                    heap = vec![0u64; bins + 1];
+                    &mut heap
+                };
+                sickle_simd::bin_counts(data, self.lo, self.hi, bins, scratch);
+                for (c, &p) in self.counts.iter_mut().zip(scratch.iter()) {
+                    *c += p;
+                }
+                self.total += data.len() as u64 - scratch[bins];
+            }
         }
     }
 
@@ -262,6 +297,12 @@ impl Histogram {
         let hi_mass: u64 = self.counts[b - k..].iter().sum();
         (lo_mass + hi_mass) as f64 / self.total as f64
     }
+}
+
+/// Analytic flop estimate for binning `n` values into a histogram
+/// (subtract, divide, scale, truncate per value).
+pub fn hist_flops(n: usize) -> u64 {
+    4 * n as u64
 }
 
 /// Shannon entropy (nats) of a probability mass function; zero-probability

@@ -1,0 +1,74 @@
+//! Property tests pinning the vectorized histogram fill to the scalar push
+//! loop: counts must be *bit-identical* (they are integers, so identical
+//! full stop) over ragged lengths, edge bins, degenerate ranges, and
+//! non-finite inputs.
+
+use proptest::prelude::*;
+use sickle_field::Histogram;
+use sickle_simd::Kernel;
+
+/// Mostly in-range values with a steady trickle of hostile ones: NaN, ±inf,
+/// huge finite magnitudes that overflow the normalized position, and zeros.
+fn value_strategy() -> impl Strategy<Value = f64> {
+    (0usize..16, -10.0f64..10.0).prop_map(|(kind, x)| match kind {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        3 => 1e300,
+        4 => -1e300,
+        5 => 0.0,
+        6 => -0.0,
+        7 => f64::MIN_POSITIVE,
+        _ => x,
+    })
+}
+
+proptest! {
+    #[test]
+    fn extend_counts_identical_across_kernels(
+        data in proptest::collection::vec(value_strategy(), 0..600),
+        bins in 1usize..64,
+        lo in -5.0f64..0.0,
+        span in (0usize..4, 1e-9f64..10.0),
+    ) {
+        // A zero span exercises the degenerate min == max widening.
+        let hi = lo + if span.0 == 0 { 0.0 } else { span.1 };
+        let mut naive = Histogram::new(lo, hi, bins);
+        let mut opt = Histogram::new(lo, hi, bins);
+        naive.extend_with(&data, Kernel::Naive);
+        opt.extend_with(&data, Kernel::Optimized);
+        prop_assert_eq!(&naive.counts, &opt.counts);
+        prop_assert_eq!(naive.total, opt.total);
+    }
+
+    #[test]
+    fn extend_chunk_boundaries_identical(
+        // Lengths straddling the 4096-wide index scratch exercise the
+        // chunked vector path plus its scalar tail.
+        len in 4090usize..4102,
+        bins in 1usize..8,
+    ) {
+        let data: Vec<f64> = (0..len)
+            .map(|i| if i % 97 == 0 { f64::NAN } else { (i as f64 * 0.37).sin() * 2.0 })
+            .collect();
+        let mut naive = Histogram::new(-1.0, 1.0, bins);
+        let mut opt = Histogram::new(-1.0, 1.0, bins);
+        naive.extend_with(&data, Kernel::Naive);
+        opt.extend_with(&data, Kernel::Optimized);
+        prop_assert_eq!(&naive.counts, &opt.counts);
+        prop_assert_eq!(naive.total, opt.total);
+    }
+}
+
+#[test]
+fn extend_edge_bins_take_out_of_range_mass() {
+    // Out-of-range finite values clamp into the end bins under both kernels.
+    let data = [-1e9, -1.0000001, 1.0000001, 1e9, 0.0];
+    for kernel in [Kernel::Naive, Kernel::Optimized] {
+        let mut h = Histogram::new(-1.0, 1.0, 4);
+        h.extend_with(&data, kernel);
+        assert_eq!(h.counts[0], 2, "{kernel:?}");
+        assert_eq!(h.counts[3], 2, "{kernel:?}");
+        assert_eq!(h.total, 5, "{kernel:?}");
+    }
+}

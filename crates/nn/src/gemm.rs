@@ -22,9 +22,9 @@
 //! steady-state calls perform no heap allocation.
 
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicU8, Ordering};
 
 use rayon::prelude::*;
+use sickle_simd::fma_available;
 
 /// Microkernel tile rows (accumulator tile is `MR × NR` f32 = 12 of the 16
 /// SSE2 xmm registers, leaving room for the `A` broadcast and `B` row).
@@ -49,26 +49,23 @@ pub enum Kernel {
     Blocked,
 }
 
-static KERNEL: AtomicU8 = AtomicU8::new(1);
-
 /// Selects the global matmul implementation (bench/testing hook; not
 /// intended to be toggled while another thread is inside a kernel).
+/// Maps onto the workspace-wide `sickle_simd` kernel switch, so forcing
+/// a variant there forces it here too.
 pub fn set_kernel(k: Kernel) {
-    KERNEL.store(
-        match k {
-            Kernel::Naive => 0,
-            Kernel::Blocked => 1,
-        },
-        Ordering::Relaxed,
-    );
+    sickle_simd::set_kernel(match k {
+        Kernel::Naive => sickle_simd::Kernel::Naive,
+        Kernel::Blocked => sickle_simd::Kernel::Optimized,
+    });
 }
 
-/// Currently selected matmul implementation.
+/// Currently selected matmul implementation (reads the workspace-wide
+/// `sickle_simd` kernel switch).
 pub fn kernel() -> Kernel {
-    if KERNEL.load(Ordering::Relaxed) == 0 {
-        Kernel::Naive
-    } else {
-        Kernel::Blocked
+    match sickle_simd::kernel() {
+        sickle_simd::Kernel::Naive => Kernel::Naive,
+        sickle_simd::Kernel::Optimized => Kernel::Blocked,
     }
 }
 
@@ -246,23 +243,6 @@ fn microkernel(kc: usize, ap: &[f32], bp: &[f32], acc: &mut [f32; MR * NR]) {
         return;
     }
     microkernel_portable(kc, ap, bp, acc);
-}
-
-/// Whether the AVX2+FMA microkernel may be used (result cached in an atomic:
-/// 0 = unknown, 1 = yes, 2 = no).
-#[cfg(target_arch = "x86_64")]
-fn fma_available() -> bool {
-    static STATE: AtomicU8 = AtomicU8::new(0);
-    match STATE.load(Ordering::Relaxed) {
-        1 => true,
-        2 => false,
-        _ => {
-            let ok = std::arch::is_x86_feature_detected!("avx2")
-                && std::arch::is_x86_feature_detected!("fma");
-            STATE.store(if ok { 1 } else { 2 }, Ordering::Relaxed);
-            ok
-        }
-    }
 }
 
 /// The microkernel compiled with AVX2+FMA enabled: each `NR`-wide row of the
@@ -618,10 +598,11 @@ mod tests {
 
     #[test]
     fn kernel_switch_roundtrips() {
-        assert_eq!(kernel(), Kernel::Blocked);
+        let before = kernel();
         set_kernel(Kernel::Naive);
         assert_eq!(kernel(), Kernel::Naive);
         set_kernel(Kernel::Blocked);
         assert_eq!(kernel(), Kernel::Blocked);
+        set_kernel(before);
     }
 }
