@@ -2,8 +2,9 @@
 //! `BENCH_obs_overhead.json` (see DESIGN.md for the `BENCH_*.json`
 //! conventions).
 //!
-//! Measures two instrumented hot paths — a `SpectralSolver` RK2 step (6
-//! spans/step) and a small `run_dataset` sampling pass — with tracing
+//! Measures three instrumented hot paths — a `SpectralSolver` RK2 step,
+//! a small `run_dataset` sampling pass, and a warm-cache loopback serving
+//! epoch through the full `sickle-store` data plane — with tracing
 //! disabled and enabled, and reports:
 //!
 //! - `disabled_overhead_pct`: the cost of the dormant instrumentation
@@ -11,13 +12,25 @@
 //!   `spans × disabled-span cost / workload time` (a disabled span is one
 //!   relaxed atomic load, measured directly). Budget: ≤ 1%.
 //! - `enabled_overhead_pct`: the measured slowdown with event recording
-//!   on. Budget: ≤ 10%.
+//!   on. Budget: ≤ 10% for the compute workloads, ≤ 5% for the serve
+//!   path (the per-request spans, queue-wait/encode histograms, and
+//!   trace-context trailer must stay cheap relative to real socket I/O).
+//!
+//! Exits nonzero when any workload violates its budget, so CI catches
+//! instrumentation that has grown too heavy.
 
-use std::time::Instant;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use serde::Serialize;
 use sickle_cfd::{SpectralConfig, SpectralSolver};
 use sickle_core::pipeline::{run_dataset, CubeMethod, PointMethod};
+use sickle_store::batching::{num_batches, BatchSpec};
+use sickle_store::client::{ClientConfig, StoreClient};
+use sickle_store::server::{serve, ServeConfig};
+use sickle_store::store::{ShardStore, StoreConfig};
+use sickle_store::testutil::small_output;
 
 /// One workload measured with tracing off and on.
 #[derive(Serialize)]
@@ -28,6 +41,8 @@ struct WorkloadResult {
     enabled_ns_per_iter: f64,
     disabled_overhead_pct: f64,
     enabled_overhead_pct: f64,
+    /// Per-workload ceiling on `enabled_overhead_pct`.
+    enabled_budget_pct: f64,
 }
 
 /// Top-level report written to `BENCH_obs_overhead.json`.
@@ -37,17 +52,23 @@ struct Report {
     disabled_span_ns: f64,
     workloads: Vec<WorkloadResult>,
     disabled_budget_pct: f64,
-    enabled_budget_pct: f64,
     within_budget: bool,
 }
 
-/// Times `f` with a warmup pass and enough iterations to fill ~0.3 s.
-fn time_ns(mut f: impl FnMut()) -> f64 {
+const ROUNDS: usize = 5;
+
+/// Picks an iteration count sizing one measurement round to ~60 ms
+/// (after a warmup call).
+fn calibrate_iters(f: &mut impl FnMut()) -> usize {
     f();
     let probe = Instant::now();
     f();
     let once = probe.elapsed().as_secs_f64();
-    let iters = ((0.3 / once.max(1e-9)) as usize).clamp(3, 1000);
+    ((0.06 / once.max(1e-9)) as usize).clamp(3, 1000)
+}
+
+/// Mean ns/iteration over one round of `iters` calls.
+fn time_round(f: &mut impl FnMut(), iters: usize) -> f64 {
     let start = Instant::now();
     for _ in 0..iters {
         f();
@@ -73,13 +94,28 @@ fn disabled_span_ns() -> f64 {
     best
 }
 
-fn measure(name: &str, spans_per_iter: f64, span_ns: f64, mut f: impl FnMut()) -> WorkloadResult {
+fn measure(
+    name: &str,
+    spans_per_iter: f64,
+    span_ns: f64,
+    enabled_budget_pct: f64,
+    mut f: impl FnMut(),
+) -> WorkloadResult {
+    // Interleave disabled/enabled rounds and take the best of each mode:
+    // the serve-path workload crosses real sockets, where a single pass is
+    // at the mercy of scheduler noise larger than the effect under test.
     sickle_obs::set_enabled(false);
-    let disabled = time_ns(&mut f);
-    sickle_obs::set_enabled(true);
-    let enabled = time_ns(&mut f);
-    sickle_obs::set_enabled(false);
-    let _ = sickle_obs::drain(); // discard the recorded events
+    let iters = calibrate_iters(&mut f);
+    let mut disabled = f64::INFINITY;
+    let mut enabled = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        sickle_obs::set_enabled(false);
+        disabled = disabled.min(time_round(&mut f, iters));
+        sickle_obs::set_enabled(true);
+        enabled = enabled.min(time_round(&mut f, iters));
+        sickle_obs::set_enabled(false);
+        let _ = sickle_obs::drain(); // discard the recorded events
+    }
     let r = WorkloadResult {
         name: name.to_string(),
         spans_per_iter,
@@ -89,19 +125,68 @@ fn measure(name: &str, spans_per_iter: f64, span_ns: f64, mut f: impl FnMut()) -
         // disabled overhead is modeled from the measured per-span cost.
         disabled_overhead_pct: 100.0 * spans_per_iter * span_ns / disabled,
         enabled_overhead_pct: 100.0 * (enabled - disabled).max(0.0) / disabled,
+        enabled_budget_pct,
     };
     println!(
-        "  {:<24} disabled {:>12.0} ns  enabled {:>12.0} ns  overhead: {:.4}% off / {:.2}% on",
+        "  {:<24} disabled {:>12.0} ns  enabled {:>12.0} ns  overhead: {:.4}% off / {:.2}% on (budget {:.0}%)",
         r.name,
         r.disabled_ns_per_iter,
         r.enabled_ns_per_iter,
         r.disabled_overhead_pct,
-        r.enabled_overhead_pct
+        r.enabled_overhead_pct,
+        r.enabled_budget_pct
     );
     r
 }
 
-fn main() {
+/// Builds a small fixture store, serves it over loopback TCP, and returns
+/// a closure streaming one warm-cache epoch per call — the serve-path
+/// workload. The handle and temp root ride along so they outlive the
+/// measurement.
+fn serve_workload() -> (
+    sickle_store::server::ServerHandle,
+    std::path::PathBuf,
+    impl FnMut(),
+    f64,
+) {
+    const BATCH_SIZE: usize = 32;
+    let root = std::env::temp_dir().join(format!("sickle_obs_overhead_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    // Realistically sized shards/batches: serving cost must be dominated
+    // by batch assembly + socket I/O, as in production, not by the
+    // per-request fixed costs a toy fixture would exaggerate.
+    let out = small_output(2, 8, 4096);
+    let store = ShardStore::ingest(&root, &out, StoreConfig::default()).expect("ingest fixture");
+    let shards = store.manifest().len();
+    let handle = serve(Arc::new(store), ServeConfig::default()).expect("bind loopback server");
+    let addr = handle.addr();
+    let mut client = StoreClient::new(
+        addr.to_string(),
+        ClientConfig {
+            timeout: Duration::from_secs(10),
+            ..ClientConfig::default()
+        },
+    );
+    let per_epoch = num_batches(shards, BATCH_SIZE);
+    let mut epoch = 0u64;
+    let f = move || {
+        let spec = BatchSpec {
+            seed: epoch,
+            batch_size: BATCH_SIZE,
+            tokens: 256,
+        };
+        epoch += 1;
+        for i in 0..per_epoch {
+            std::hint::black_box(client.batch(spec, i).expect("loopback batch"));
+        }
+    };
+    // Per request: client.request + serve.request + serve.assemble_batch
+    // + serve.encode + serve.write = 5 spans (cache hits skip the
+    // disk-read/decode spans on the warm path).
+    (handle, root, f, 5.0 * per_epoch as f64)
+}
+
+fn main() -> ExitCode {
     let _obs = sickle_bench::obs_init();
     let out_path = std::env::args()
         .nth(1)
@@ -120,7 +205,7 @@ fn main() {
         ..Default::default()
     });
     solver.init_taylor_green(1.0);
-    workloads.push(measure("spectral_step_32", 11.0, span_ns, || {
+    workloads.push(measure("spectral_step_32", 11.0, span_ns, 10.0, || {
         solver.step();
         std::hint::black_box(solver.time());
     }));
@@ -144,23 +229,50 @@ fn main() {
         "run_dataset_sst_small",
         spans_per_run,
         span_ns,
+        10.0,
         || {
             std::hint::black_box(run_dataset(&sst, &cfg));
         },
     ));
 
+    // Serve path: one warm-cache epoch over real loopback TCP, through
+    // the instrumented server (per-request spans, queue-wait and encode
+    // histograms, trace-context trailer). Budget: ≤ 5% enabled.
+    let (handle, root, mut serve_epoch, serve_spans) = serve_workload();
+    workloads.push(measure(
+        "serve_epoch_loopback",
+        serve_spans,
+        span_ns,
+        5.0,
+        &mut serve_epoch,
+    ));
+    drop(serve_epoch);
+    drop(handle);
+    std::fs::remove_dir_all(&root).ok();
+
     let within_budget = workloads
         .iter()
-        .all(|w| w.disabled_overhead_pct <= 1.0 && w.enabled_overhead_pct <= 10.0);
+        .all(|w| w.disabled_overhead_pct <= 1.0 && w.enabled_overhead_pct <= w.enabled_budget_pct);
     let report = Report {
         suite: "obs_overhead".into(),
         disabled_span_ns: span_ns,
         workloads,
         disabled_budget_pct: 1.0,
-        enabled_budget_pct: 10.0,
         within_budget,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write(&out_path, json + "\n").expect("write overhead JSON");
     println!("  wrote {out_path} (within budget: {within_budget})");
+    if !within_budget {
+        for w in &report.workloads {
+            if w.disabled_overhead_pct > 1.0 || w.enabled_overhead_pct > w.enabled_budget_pct {
+                eprintln!(
+                    "  BUDGET VIOLATION: {} — {:.4}% disabled (≤ 1%), {:.2}% enabled (≤ {:.0}%)",
+                    w.name, w.disabled_overhead_pct, w.enabled_overhead_pct, w.enabled_budget_pct
+                );
+            }
+        }
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }

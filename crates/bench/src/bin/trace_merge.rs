@@ -1,0 +1,51 @@
+//! `trace_merge` — merges Chrome `trace_event` files from several
+//! processes into one timeline:
+//!
+//! ```sh
+//! trace_merge merged.json server_trace.json client_trace.json
+//! ```
+//!
+//! Each input is a trace written via `SICKLE_TRACE` (or the exporter API).
+//! Because every sickle trace uses absolute unix-microsecond timestamps
+//! and real pids, concatenation is all that is needed: the merged file
+//! loads in Perfetto as one aligned view with a track group per process,
+//! and cross-process span parents (a server request under the client span
+//! that issued it) resolve inside the single file. Run `trace_validate
+//! --require-cross-process` on the output to check exactly that.
+
+use sickle_obs::export::merge_chrome_traces;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(out_path) = args.next() else {
+        eprintln!("usage: trace_merge <out.json> <in1.json> <in2.json> [...]");
+        std::process::exit(2);
+    };
+    let inputs: Vec<String> = args.collect();
+    if inputs.len() < 2 {
+        eprintln!("trace_merge: need at least two input traces to merge");
+        std::process::exit(2);
+    }
+    let texts: Vec<String> = inputs
+        .iter()
+        .map(|p| {
+            std::fs::read_to_string(p).unwrap_or_else(|e| {
+                eprintln!("trace_merge: cannot read {p}: {e}");
+                std::process::exit(2);
+            })
+        })
+        .collect();
+    match merge_chrome_traces(&texts) {
+        Ok(merged) => {
+            if let Err(e) = std::fs::write(&out_path, merged) {
+                eprintln!("trace_merge: cannot write {out_path}: {e}");
+                std::process::exit(2);
+            }
+            println!("{out_path}: merged {} traces", inputs.len());
+        }
+        Err(e) => {
+            eprintln!("trace_merge: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Distributed trace context: the 16 bytes that stitch spans together
+//! across process boundaries.
+//!
+//! A [`TraceContext`] names one point in one trace: the process-global
+//! `trace_id` plus the id of the span currently open on the calling thread.
+//! A client captures [`current_context`] immediately before writing a
+//! request to a socket, ships the context alongside the request (the
+//! `sickle-store` protocol carries it as an optional frame trailer), and
+//! the server opens its per-request span with the context's `span_id` as
+//! parent. Because span ids are namespaced by pid (see
+//! [`crate::span`]), the client's id is unique in a merged trace and the
+//! server's span slots under it even though the two processes never shared
+//! an id counter.
+//!
+//! The wire form is fixed and versioned by a magic byte at the transport
+//! layer, not here: [`TraceContext::encode`] is exactly
+//! [`TraceContext::WIRE_LEN`] bytes — `trace_id` then `span_id`, both
+//! little-endian u64 — and [`TraceContext::decode`] accepts exactly that,
+//! returning `None` for anything else (wrong length). Decoding never
+//! panics on hostile input; there is nothing to overflow.
+
+use std::sync::OnceLock;
+
+use crate::span::current_span_id;
+
+/// Identifies a parent span in (possibly) another process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Process-family trace id: generated once by the root process (or
+    /// taken from `SICKLE_TRACE_ID`), adopted verbatim by every server
+    /// that handles one of its requests.
+    pub trace_id: u64,
+    /// Id of the span that was open where the context was captured
+    /// (0 = no open span; children of it become roots).
+    pub span_id: u64,
+}
+
+impl TraceContext {
+    /// Encoded size in bytes.
+    pub const WIRE_LEN: usize = 16;
+
+    /// Serializes to the 16-byte wire form.
+    pub fn encode(&self) -> [u8; Self::WIRE_LEN] {
+        let mut out = [0u8; Self::WIRE_LEN];
+        out[..8].copy_from_slice(&self.trace_id.to_le_bytes());
+        out[8..].copy_from_slice(&self.span_id.to_le_bytes());
+        out
+    }
+
+    /// Parses the 16-byte wire form; `None` unless `bytes` is exactly
+    /// [`Self::WIRE_LEN`] long. Total — never panics.
+    pub fn decode(bytes: &[u8]) -> Option<TraceContext> {
+        let bytes: &[u8; Self::WIRE_LEN] = bytes.try_into().ok()?;
+        Some(TraceContext {
+            trace_id: u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes")),
+            span_id: u64::from_le_bytes(bytes[8..].try_into().expect("8 bytes")),
+        })
+    }
+}
+
+/// The process trace id: `SICKLE_TRACE_ID` when set (a child process run
+/// under an instrumented driver inherits the family id), otherwise derived
+/// once from the pid and the wall clock.
+pub fn trace_id() -> u64 {
+    static TRACE_ID: OnceLock<u64> = OnceLock::new();
+    *TRACE_ID.get_or_init(|| {
+        if let Some(id) = std::env::var("SICKLE_TRACE_ID")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+        {
+            return id;
+        }
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        // SplitMix64-style scramble so concurrent launches differ even at
+        // equal clock reads.
+        let mut z = nanos ^ ((std::process::id() as u64) << 32);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)).max(1)
+    })
+}
+
+/// Captures the context a request crossing a process boundary should
+/// carry: the process trace id plus the innermost span open on this
+/// thread.
+pub fn current_context() -> TraceContext {
+    TraceContext {
+        trace_id: trace_id(),
+        span_id: current_span_id(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_roundtrips_through_wire_form() {
+        let ctx = TraceContext {
+            trace_id: 0xDEAD_BEEF_0123_4567,
+            span_id: (7u64 << 32) | 42,
+        };
+        assert_eq!(TraceContext::decode(&ctx.encode()), Some(ctx));
+    }
+
+    #[test]
+    fn decode_rejects_wrong_lengths_without_panicking() {
+        assert_eq!(TraceContext::decode(&[]), None);
+        assert_eq!(TraceContext::decode(&[0u8; 15]), None);
+        assert_eq!(TraceContext::decode(&[0u8; 17]), None);
+        assert!(TraceContext::decode(&[0xFF; 16]).is_some());
+    }
+
+    #[test]
+    fn trace_id_is_stable_within_the_process() {
+        assert_eq!(trace_id(), trace_id());
+        assert_ne!(trace_id(), 0);
+    }
+
+    #[test]
+    fn current_context_reflects_open_span() {
+        let _guard = crate::test_guard();
+        crate::set_enabled(true);
+        let outer = crate::span!("context.test.outer");
+        assert!(outer.is_active());
+        let ctx = current_context();
+        assert_eq!(ctx.span_id, current_span_id());
+        assert_ne!(ctx.span_id, 0);
+        drop(outer);
+        crate::set_enabled(false);
+        let _ = crate::drain();
+    }
+}

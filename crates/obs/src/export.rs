@@ -2,9 +2,20 @@
 //! `trace_event` JSON (loadable in `chrome://tracing` and Perfetto), and the
 //! end-of-run plain-text summary table.
 //!
-//! Schemas are documented in DESIGN.md §8; the validators here are the same
-//! code CI runs against an instrumented end-to-end run, so the documented
-//! schema and the enforced schema cannot drift apart.
+//! Schemas are documented in DESIGN.md §8 and §13; the validators here are
+//! the same code CI runs against an instrumented end-to-end run, so the
+//! documented schema and the enforced schema cannot drift apart.
+//!
+//! ## Cross-process traces
+//!
+//! Every exported event carries the producing process's `pid`, and Chrome
+//! timestamps are *absolute* unix microseconds (`epoch_unix_ns() + ts_ns`),
+//! so traces written by different processes line up on one timeline when
+//! concatenated with [`merge_chrome_traces`] (or the `trace_merge` binary).
+//! Span ids are pid-namespaced (see `crate::span`), which lets a span's
+//! `parent` point into another process — the validators resolve parents
+//! globally across the whole file and report such links in
+//! [`TraceStats::cross_process_links`].
 
 use std::collections::HashMap;
 
@@ -30,8 +41,15 @@ fn s(x: &str) -> Value {
 // JSONL
 // ---------------------------------------------------------------------------
 
-/// Serializes events as one JSON object per line (the `.jsonl` exporter).
+/// Serializes events as one JSON object per line (the `.jsonl` exporter),
+/// stamped with this process's pid.
 pub fn to_jsonl(events: &[Event]) -> String {
+    to_jsonl_for_pid(events, std::process::id())
+}
+
+/// [`to_jsonl`] with an explicit pid (exposed so tests can simulate
+/// multi-process traces inside one process).
+pub fn to_jsonl_for_pid(events: &[Event], pid: u32) -> String {
     let mut out = String::new();
     for e in events {
         let mut pairs: Vec<(&str, Value)> = Vec::new();
@@ -72,6 +90,7 @@ pub fn to_jsonl(events: &[Event]) -> String {
                 pairs.push(("message", s(message)));
             }
         }
+        pairs.push(("pid", num(pid as f64)));
         pairs.push(("tid", num(e.tid as f64)));
         pairs.push(("ts_ns", num(e.ts_ns as f64)));
         out.push_str(&serde_json::to_string(&obj(pairs)).expect("jsonl serialize"));
@@ -86,18 +105,27 @@ pub fn to_jsonl(events: &[Event]) -> String {
 
 /// Serializes events in Chrome `trace_event` format: an object with a
 /// `traceEvents` array of `B`/`E` (span), `C` (counter/gauge), and `i`
-/// (instant log) phases. Timestamps are microseconds, `pid` is always 1.
+/// (instant log) phases. Timestamps are **absolute** unix microseconds
+/// (`epoch_unix_ns() + ts_ns`) and `pid` is the real process id, so traces
+/// from concurrently running processes merge onto one aligned timeline
+/// with one track group per process.
 pub fn to_chrome_trace(events: &[Event]) -> String {
+    to_chrome_trace_for_pid(events, std::process::id(), crate::epoch_unix_ns())
+}
+
+/// [`to_chrome_trace`] with explicit pid and clock epoch (exposed so tests
+/// can simulate multi-process traces inside one process).
+pub fn to_chrome_trace_for_pid(events: &[Event], pid: u32, epoch_unix_ns: u64) -> String {
     let mut trace: Vec<Value> = Vec::with_capacity(events.len());
     for e in events {
-        let ts = e.ts_ns as f64 / 1e3;
+        let ts = (epoch_unix_ns.saturating_add(e.ts_ns)) as f64 / 1e3;
         let common = |ph: &str, args: Value| {
             obj(vec![
                 ("name", s(e.name)),
                 ("cat", s("sickle")),
                 ("ph", s(ph)),
                 ("ts", num(ts)),
-                ("pid", num(1.0)),
+                ("pid", num(pid as f64)),
                 ("tid", num(e.tid as f64)),
                 ("args", args),
             ])
@@ -218,9 +246,10 @@ pub fn summary_table(events: &[Event]) -> String {
             "\n{:<28} {:>10} {:>14} {:>11} {:>11} {:>11}\n",
             "metric", "kind", "value", "p50", "p95", "p99"
         ));
-        for (name, kind, value, p50, p95, p99) in metric_rows {
+        for m in metric_rows {
             out.push_str(&format!(
-                "{name:<28} {kind:>10} {value:>14.3} {p50:>11.3} {p95:>11.3} {p99:>11.3}\n"
+                "{:<28} {:>10} {:>14.3} {:>11.3} {:>11.3} {:>11.3}\n",
+                m.name, m.kind, m.value, m.p50, m.p95, m.p99
             ));
         }
     }
@@ -238,13 +267,62 @@ pub struct TraceStats {
     pub events: usize,
     /// Completed spans (balanced begin/end pairs).
     pub spans: usize,
-    /// Deepest span nesting observed: the per-thread begin/end stack for
-    /// Chrome traces, the logical parent chain for JSONL streams.
+    /// Deepest span nesting observed: the per-(pid, tid) begin/end stack
+    /// for Chrome traces, the logical parent chain (which may cross
+    /// processes) for span-id-carrying events.
     pub max_depth: usize,
     /// Counter/gauge samples.
     pub values: usize,
     /// Log lines.
     pub logs: usize,
+    /// Distinct process ids observed.
+    pub pids: usize,
+    /// Spans whose parent span lives in a *different* process — the
+    /// distributed-tracing links a merged client/server trace must show.
+    pub cross_process_links: usize,
+}
+
+/// Resolves every span's parent chain across the whole (possibly merged,
+/// possibly multi-process) trace: errors on a parent id that no span in the
+/// file owns and on parent cycles (hostile input), and returns
+/// `(max chain depth, cross-process link count)`.
+fn resolve_parent_links(spans: &HashMap<u64, (u64, u64)>) -> Result<(usize, usize), String> {
+    let mut max_depth = 0usize;
+    let mut cross = 0usize;
+    for (&id, &(parent, pid)) in spans {
+        if parent != 0 {
+            match spans.get(&parent) {
+                None => {
+                    return Err(format!(
+                        "span {id} names parent {parent}, which never begins in this trace"
+                    ))
+                }
+                Some(&(_, parent_pid)) if parent_pid != pid => cross += 1,
+                Some(_) => {}
+            }
+        }
+        // Walk the chain to the root; the hop budget turns a parent cycle
+        // (impossible from our RAII spans, possible in a crafted file)
+        // into an error instead of an infinite loop.
+        let mut depth = 1usize;
+        let mut cursor = parent;
+        while cursor != 0 {
+            depth += 1;
+            if depth > spans.len() + 1 {
+                return Err(format!("span {id} sits on a parent cycle"));
+            }
+            cursor = match spans.get(&cursor) {
+                Some(&(next, _)) => next,
+                None => {
+                    return Err(format!(
+                        "span chain from {id} names parent {cursor}, which never begins"
+                    ))
+                }
+            };
+        }
+        max_depth = max_depth.max(depth);
+    }
+    Ok((max_depth, cross))
 }
 
 fn field<'a>(e: &'a Value, key: &str, ctx: &str) -> Result<&'a Value, String> {
@@ -265,8 +343,13 @@ fn field_str<'a>(e: &'a Value, key: &str, ctx: &str) -> Result<&'a str, String> 
 
 /// Validates a Chrome `trace_event` JSON document: well-formed JSON, a
 /// `traceEvents` array (or bare array), required fields on every event,
-/// per-thread non-decreasing timestamps, and properly nested (balanced,
-/// name-matched) begin/end pairs. Returns trace statistics on success.
+/// per-(pid, tid) non-decreasing timestamps, and properly nested (balanced,
+/// name-matched) begin/end pairs per (pid, tid) track. When begin events
+/// carry `args.span_id`/`args.parent` (ours always do), every parent link
+/// is resolved globally across the file — including links into *other*
+/// processes of a merged trace — and counted in
+/// [`TraceStats::cross_process_links`]. Returns trace statistics on
+/// success.
 pub fn validate_chrome_trace(text: &str) -> Result<TraceStats, String> {
     let root = serde_json::value_from_str(text).map_err(|e| format!("invalid JSON: {e}"))?;
     let events: &[Value] = if let Some(arr) = root.as_array() {
@@ -280,41 +363,57 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceStats, String> {
         events: events.len(),
         ..Default::default()
     };
-    let mut stacks: HashMap<u64, Vec<String>> = HashMap::new();
-    let mut last_ts: HashMap<u64, f64> = HashMap::new();
+    let mut stacks: HashMap<(u64, u64), Vec<String>> = HashMap::new();
+    let mut last_ts: HashMap<(u64, u64), f64> = HashMap::new();
+    let mut pids: Vec<u64> = Vec::new();
+    // span id -> (parent id, pid), from B events carrying span_id args.
+    let mut spans: HashMap<u64, (u64, u64)> = HashMap::new();
     for (i, e) in events.iter().enumerate() {
         let ctx = format!("event {i}");
         let name = field_str(e, "name", &ctx)?;
         let ph = field_str(e, "ph", &ctx)?;
         let ts = field_num(e, "ts", &ctx)?;
-        field_num(e, "pid", &ctx)?;
+        let pid = field_num(e, "pid", &ctx)? as u64;
         let tid = field_num(e, "tid", &ctx)? as u64;
-        if let Some(&prev) = last_ts.get(&tid) {
+        if !pids.contains(&pid) {
+            pids.push(pid);
+        }
+        let track = (pid, tid);
+        if let Some(&prev) = last_ts.get(&track) {
             if ts < prev {
                 return Err(format!(
-                    "{ctx}: timestamp {ts} goes backwards on tid {tid} (prev {prev})"
+                    "{ctx}: timestamp {ts} goes backwards on pid {pid} tid {tid} (prev {prev})"
                 ));
             }
         }
-        last_ts.insert(tid, ts);
+        last_ts.insert(track, ts);
         match ph {
             "B" => {
-                let stack = stacks.entry(tid).or_default();
+                let stack = stacks.entry(track).or_default();
                 stack.push(name.to_string());
                 stats.max_depth = stats.max_depth.max(stack.len());
+                if let Some(args) = e.get("args") {
+                    if let Some(id) = args.get("span_id").and_then(Value::as_f64) {
+                        let parent = args.get("parent").and_then(Value::as_f64).unwrap_or(0.0);
+                        if spans.insert(id as u64, (parent as u64, pid)).is_some() {
+                            return Err(format!("{ctx}: span id {id} begins twice"));
+                        }
+                    }
+                }
             }
             "E" => {
-                let stack = stacks.entry(tid).or_default();
+                let stack = stacks.entry(track).or_default();
                 match stack.pop() {
                     Some(open) if open == name => stats.spans += 1,
                     Some(open) => {
                         return Err(format!(
-                            "{ctx}: end `{name}` does not match open span `{open}` on tid {tid}"
+                            "{ctx}: end `{name}` does not match open span `{open}` \
+                             on pid {pid} tid {tid}"
                         ))
                     }
                     None => {
                         return Err(format!(
-                            "{ctx}: end `{name}` with no open span on tid {tid}"
+                            "{ctx}: end `{name}` with no open span on pid {pid} tid {tid}"
                         ))
                     }
                 }
@@ -324,26 +423,67 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceStats, String> {
             other => return Err(format!("{ctx}: unknown phase `{other}`")),
         }
     }
-    for (tid, stack) in &stacks {
+    for ((pid, tid), stack) in &stacks {
         if !stack.is_empty() {
             return Err(format!(
-                "tid {tid}: {} span(s) never ended: {:?}",
+                "pid {pid} tid {tid}: {} span(s) never ended: {:?}",
                 stack.len(),
                 stack
             ));
         }
     }
+    stats.pids = pids.len();
+    if !spans.is_empty() {
+        let (chain_depth, cross) = resolve_parent_links(&spans)?;
+        stats.max_depth = stats.max_depth.max(chain_depth);
+        stats.cross_process_links = cross;
+    }
     Ok(stats)
 }
 
-/// Validates a JSONL event stream: every line is a JSON object with a
-/// `type`, begin/end ids balance, and per-thread timestamps never go
-/// backwards.
+/// Merges Chrome `trace_event` documents (one per process) into a single
+/// document whose `traceEvents` is the concatenation of the inputs'. Each
+/// exporter already stamps real pids and absolute unix-microsecond
+/// timestamps, so the merged file needs no re-basing — Perfetto shows one
+/// track group per process and [`validate_chrome_trace`] resolves parent
+/// links across all of them.
+///
+/// # Errors
+/// The index and parse/shape error of the first invalid input.
+pub fn merge_chrome_traces(texts: &[String]) -> Result<String, String> {
+    let mut merged: Vec<Value> = Vec::new();
+    for (i, text) in texts.iter().enumerate() {
+        let root = serde_json::value_from_str(text).map_err(|e| format!("input {i}: {e}"))?;
+        let events = if let Some(arr) = root.as_array() {
+            arr
+        } else {
+            root.get("traceEvents")
+                .and_then(Value::as_array)
+                .ok_or_else(|| format!("input {i}: no `traceEvents` array"))?
+        };
+        merged.extend(events.iter().cloned());
+    }
+    let root = obj(vec![
+        ("traceEvents", Value::Array(merged)),
+        ("displayTimeUnit", s("ms")),
+    ]);
+    Ok(serde_json::to_string_pretty(&root).expect("chrome trace serialize"))
+}
+
+/// Validates a JSONL event stream — possibly the concatenation of several
+/// processes' streams: every line is a JSON object with a `type`, begin/end
+/// ids balance, and per-(pid, tid) timestamps never go backwards (merged
+/// files interleave processes, and `ts_ns` is process-relative, so
+/// cross-process ordering is deliberately *not* checked here). Parent links
+/// resolve in a second pass over the whole file, since a merged file may
+/// list a server's spans before the client spans that parent them.
 pub fn validate_jsonl(text: &str) -> Result<TraceStats, String> {
     let mut stats = TraceStats::default();
     let mut open: HashMap<u64, String> = HashMap::new();
-    let mut depths: HashMap<u64, usize> = HashMap::new();
-    let mut last_ts: HashMap<u64, f64> = HashMap::new();
+    // span id -> (parent id, pid); outlives `open` for the parent pass.
+    let mut spans: HashMap<u64, (u64, u64)> = HashMap::new();
+    let mut last_ts: HashMap<(u64, u64), f64> = HashMap::new();
+    let mut pids: Vec<u64> = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -353,23 +493,28 @@ pub fn validate_jsonl(text: &str) -> Result<TraceStats, String> {
         stats.events += 1;
         let ty = field_str(&v, "type", &ctx)?;
         let tid = field_num(&v, "tid", &ctx)? as u64;
+        let pid = field_num(&v, "pid", &ctx)? as u64;
         let ts = field_num(&v, "ts_ns", &ctx)?;
-        if let Some(&prev) = last_ts.get(&tid) {
+        if !pids.contains(&pid) {
+            pids.push(pid);
+        }
+        let track = (pid, tid);
+        if let Some(&prev) = last_ts.get(&track) {
             if ts < prev {
-                return Err(format!("{ctx}: ts_ns goes backwards on tid {tid}"));
+                return Err(format!(
+                    "{ctx}: ts_ns goes backwards on pid {pid} tid {tid}"
+                ));
             }
         }
-        last_ts.insert(tid, ts);
+        last_ts.insert(track, ts);
         match ty {
             "span_begin" => {
                 let id = field_num(&v, "id", &ctx)? as u64;
                 let name = field_str(&v, "name", &ctx)?;
                 let parent = field_num(&v, "parent", &ctx)? as u64;
-                // Cross-thread children begin after their parent, so the
-                // parent's depth is always known here.
-                let depth = depths.get(&parent).copied().unwrap_or(0) + 1;
-                depths.insert(id, depth);
-                stats.max_depth = stats.max_depth.max(depth);
+                if spans.insert(id, (parent, pid)).is_some() {
+                    return Err(format!("{ctx}: span {id} begins twice"));
+                }
                 open.insert(id, name.to_string());
             }
             "span_end" => {
@@ -397,6 +542,10 @@ pub fn validate_jsonl(text: &str) -> Result<TraceStats, String> {
     if !open.is_empty() {
         return Err(format!("{} span(s) never ended", open.len()));
     }
+    let (max_depth, cross) = resolve_parent_links(&spans)?;
+    stats.max_depth = max_depth;
+    stats.cross_process_links = cross;
+    stats.pids = pids.len();
     Ok(stats)
 }
 
@@ -514,6 +663,113 @@ mod tests {
         assert!(validate_chrome_trace("not json").is_err());
         assert!(validate_chrome_trace("{\"traceEvents\": 7}").is_err());
         assert!(validate_jsonl("{\"type\": \"mystery\", \"tid\": 1, \"ts_ns\": 0}").is_err());
+    }
+
+    /// A simulated client/server pair: pid-namespaced span ids, with the
+    /// server span parented under the client span across the pid boundary.
+    fn two_process_events() -> (Vec<Event>, Vec<Event>) {
+        let client_id = (1000u64 << 32) + 1;
+        let server_id = (2000u64 << 32) + 1;
+        let client = vec![
+            Event {
+                name: "client.get_batch",
+                tid: 1,
+                ts_ns: 100,
+                kind: EventKind::Begin {
+                    id: client_id,
+                    parent: 0,
+                    args: vec![],
+                },
+            },
+            Event {
+                name: "client.get_batch",
+                tid: 1,
+                ts_ns: 900,
+                kind: EventKind::End {
+                    id: client_id,
+                    dur_ns: 800,
+                    flops: 0,
+                    bytes: 0,
+                },
+            },
+        ];
+        let server = vec![
+            Event {
+                name: "serve.request",
+                tid: 7,
+                ts_ns: 50,
+                kind: EventKind::Begin {
+                    id: server_id,
+                    parent: client_id,
+                    args: vec![],
+                },
+            },
+            Event {
+                name: "serve.request",
+                tid: 7,
+                ts_ns: 600,
+                kind: EventKind::End {
+                    id: server_id,
+                    dur_ns: 550,
+                    flops: 0,
+                    bytes: 0,
+                },
+            },
+        ];
+        (client, server)
+    }
+
+    #[test]
+    fn merged_chrome_trace_links_spans_across_pids() {
+        let (client, server) = two_process_events();
+        // Different epochs: the absolute timestamps keep each pid's track
+        // internally monotone regardless of concatenation order.
+        let merged = merge_chrome_traces(&[
+            to_chrome_trace_for_pid(&server, 2000, 5_000_000),
+            to_chrome_trace_for_pid(&client, 1000, 5_000_100),
+        ])
+        .expect("merge");
+        let stats = validate_chrome_trace(&merged).expect("valid merged trace");
+        assert_eq!(stats.events, 4);
+        assert_eq!(stats.spans, 2);
+        assert_eq!(stats.pids, 2);
+        assert_eq!(stats.cross_process_links, 1);
+        assert_eq!(stats.max_depth, 2, "server chains under client");
+    }
+
+    #[test]
+    fn merged_jsonl_links_spans_across_pids() {
+        let (client, server) = two_process_events();
+        // Server lines first: the parent appears later in the file, which
+        // the two-pass resolver must tolerate.
+        let merged = format!(
+            "{}{}",
+            to_jsonl_for_pid(&server, 2000),
+            to_jsonl_for_pid(&client, 1000)
+        );
+        let stats = validate_jsonl(&merged).expect("valid merged jsonl");
+        assert_eq!(stats.pids, 2);
+        assert_eq!(stats.cross_process_links, 1);
+        assert_eq!(stats.max_depth, 2);
+    }
+
+    #[test]
+    fn validator_rejects_dangling_cross_process_parent() {
+        let (_, server) = two_process_events();
+        // Server alone: its parent span never begins anywhere in the file.
+        let err = validate_jsonl(&to_jsonl_for_pid(&server, 2000)).unwrap_err();
+        assert!(err.contains("never begins"), "{err}");
+        let err = validate_chrome_trace(&to_chrome_trace_for_pid(&server, 2000, 0)).unwrap_err();
+        assert!(err.contains("never begins"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_parent_cycles() {
+        let mut spans: HashMap<u64, (u64, u64)> = HashMap::new();
+        spans.insert(1, (2, 10));
+        spans.insert(2, (1, 10));
+        let err = resolve_parent_links(&spans).unwrap_err();
+        assert!(err.contains("cycle"), "{err}");
     }
 
     #[test]

@@ -40,6 +40,7 @@
 //! `tests/disabled_zero_alloc.rs`), so fully instrumented hot loops keep
 //! the workspace's allocation-free stepping guarantees.
 
+pub mod context;
 pub mod export;
 pub mod logging;
 pub mod metrics;
@@ -50,8 +51,9 @@ use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
 
+pub use context::{current_context, trace_id, TraceContext};
 pub use logging::{log_enabled, set_log_level, Level};
-pub use metrics::{set_energy_coefficients, ToMetric};
+pub use metrics::{set_energy_coefficients, snapshot, MetricSnapshot, ToMetric};
 pub use sink::{drain, dropped_events, Event, EventKind};
 pub use span::{current_span_id, SpanGuard};
 
@@ -69,11 +71,32 @@ pub fn set_enabled(on: bool) {
     ENABLED.store(on, Ordering::Relaxed);
 }
 
+/// The process trace clock: a monotone [`Instant`] paired with the unix
+/// wall-clock nanoseconds captured at the same moment, so traces from
+/// different processes can be re-based onto one shared timeline.
+fn trace_clock() -> &'static (Instant, u64) {
+    static START: OnceLock<(Instant, u64)> = OnceLock::new();
+    START.get_or_init(|| {
+        let unix_ns = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        (Instant::now(), unix_ns)
+    })
+}
+
 /// Nanoseconds since the process trace clock started (first observability
 /// call). Monotone across all threads.
 pub fn now_ns() -> u64 {
-    static START: OnceLock<Instant> = OnceLock::new();
-    START.get_or_init(Instant::now).elapsed().as_nanos() as u64
+    trace_clock().0.elapsed().as_nanos() as u64
+}
+
+/// Unix wall-clock nanoseconds at the instant the process trace clock
+/// started. `epoch_unix_ns() + event.ts_ns` places an event on the shared
+/// cross-process timeline (the Chrome exporter does exactly this, which is
+/// what lines two processes' tracks up in one merged Perfetto view).
+pub fn epoch_unix_ns() -> u64 {
+    trace_clock().1
 }
 
 /// Dense per-thread id for trace attribution: the first thread to record

@@ -7,8 +7,11 @@
 //! `OnceLock`), so the steady-state update path is a single relaxed atomic
 //! RMW — no locks, no allocation, no map lookup.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
+
+use serde::{Deserialize, Serialize};
 
 use crate::sink::{self, Event, EventKind};
 use crate::{now_ns, thread_id};
@@ -241,8 +244,30 @@ enum Metric {
     Histogram(&'static Histogram),
 }
 
-fn registry() -> &'static Mutex<Vec<Metric>> {
-    static REGISTRY: OnceLock<Mutex<Vec<Metric>>> = OnceLock::new();
+/// How many `(ts, value)` samples each metric's ring buffer keeps. Every
+/// [`snapshot`] call appends one sample, so at a 1 s polling cadence the
+/// window covers roughly the last minute.
+pub const RING_SAMPLES: usize = 64;
+
+struct Entry {
+    metric: Metric,
+    /// Time series of `(now_ns, value)` pairs appended by [`snapshot`],
+    /// from which per-second rates are computed. Touched only on the
+    /// (cold) snapshot path — the hot update path never takes this lock.
+    ring: Mutex<VecDeque<(u64, f64)>>,
+}
+
+impl Entry {
+    fn new(metric: Metric) -> Entry {
+        Entry {
+            metric,
+            ring: Mutex::new(VecDeque::with_capacity(RING_SAMPLES)),
+        }
+    }
+}
+
+fn registry() -> &'static Mutex<Vec<Entry>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Entry>>> = OnceLock::new();
     REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
 }
 
@@ -250,8 +275,8 @@ fn registry() -> &'static Mutex<Vec<Metric>> {
 /// the handle — the macros do this via a local `OnceLock`.
 pub fn register_counter(name: &'static str) -> &'static Counter {
     let mut reg = registry().lock().expect("metric registry poisoned");
-    for m in reg.iter() {
-        if let Metric::Counter(c) = m {
+    for e in reg.iter() {
+        if let Metric::Counter(c) = e.metric {
             if c.name == name {
                 return c;
             }
@@ -261,15 +286,15 @@ pub fn register_counter(name: &'static str) -> &'static Counter {
         name,
         value: AtomicU64::new(0),
     }));
-    reg.push(Metric::Counter(c));
+    reg.push(Entry::new(Metric::Counter(c)));
     c
 }
 
 /// Registers (or retrieves) the gauge named `name`.
 pub fn register_gauge(name: &'static str) -> &'static Gauge {
     let mut reg = registry().lock().expect("metric registry poisoned");
-    for m in reg.iter() {
-        if let Metric::Gauge(g) = m {
+    for e in reg.iter() {
+        if let Metric::Gauge(g) = e.metric {
             if g.name == name {
                 return g;
             }
@@ -279,15 +304,15 @@ pub fn register_gauge(name: &'static str) -> &'static Gauge {
         name,
         bits: AtomicU64::new(f64::NAN.to_bits()),
     }));
-    reg.push(Metric::Gauge(g));
+    reg.push(Entry::new(Metric::Gauge(g)));
     g
 }
 
 /// Registers (or retrieves) the histogram named `name`.
 pub fn register_histogram(name: &'static str) -> &'static Histogram {
     let mut reg = registry().lock().expect("metric registry poisoned");
-    for m in reg.iter() {
-        if let Metric::Histogram(h) = m {
+    for e in reg.iter() {
+        if let Metric::Histogram(h) = e.metric {
             if h.name == name {
                 return h;
             }
@@ -297,27 +322,95 @@ pub fn register_histogram(name: &'static str) -> &'static Histogram {
         name,
         buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
     }));
-    reg.push(Metric::Histogram(h));
+    reg.push(Entry::new(Metric::Histogram(h)));
     h
 }
 
-/// Snapshot of every registered metric as `(name, kind, value, p50, p95,
-/// p99)` rows for the end-of-run summary (percentiles are 0 for
-/// counters/gauges).
-pub fn snapshot() -> Vec<(String, &'static str, f64, f64, f64, f64)> {
+/// One registered metric's state at snapshot time — the named replacement
+/// for the old anonymous `(name, kind, value, p50, p95, p99)` tuple, now
+/// also carrying the ring-buffer-derived rate. Serde-serializable so the
+/// serving plane can ship it inside a `Stats` response.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MetricSnapshot {
+    /// Registered metric name.
+    pub name: String,
+    /// `"counter"`, `"gauge"`, or `"histogram"`.
+    pub kind: String,
+    /// Counter total, gauge value, or histogram observation count.
+    pub value: f64,
+    /// Approximate p50 (histograms; 0 otherwise).
+    pub p50: f64,
+    /// Approximate p95 (histograms; 0 otherwise).
+    pub p95: f64,
+    /// Approximate p99 (histograms; 0 otherwise).
+    pub p99: f64,
+    /// Change in `value` per second over the ring-buffer window (counter
+    /// increments/s, histogram observations/s; 0 for gauges and until two
+    /// snapshots exist).
+    pub rate_per_sec: f64,
+}
+
+impl MetricSnapshot {
+    /// True for monotone kinds where `rate_per_sec` is meaningful.
+    pub fn is_monotone(&self) -> bool {
+        self.kind != "gauge"
+    }
+}
+
+/// Appends `value` to the ring and returns the per-second rate across the
+/// retained window (0 until two samples span a positive interval).
+fn ring_rate(ring: &Mutex<VecDeque<(u64, f64)>>, now: u64, value: f64) -> f64 {
+    let mut ring = ring.lock().unwrap_or_else(|e| e.into_inner());
+    if ring.len() == RING_SAMPLES {
+        ring.pop_front();
+    }
+    ring.push_back((now, value));
+    let (&(t0, v0), &(t1, v1)) = match (ring.front(), ring.back()) {
+        (Some(first), Some(last)) if last.0 > first.0 => (first, last),
+        _ => return 0.0,
+    };
+    (v1 - v0) / ((t1 - t0) as f64 / 1e9)
+}
+
+/// Snapshot of every registered metric, in registration order. Each call
+/// also feeds the per-metric ring buffers, so rates reflect the interval
+/// between snapshots — poll at a steady cadence (as `sickle-top` does) for
+/// smooth rates.
+pub fn snapshot() -> Vec<MetricSnapshot> {
+    let now = now_ns();
     let reg = registry().lock().expect("metric registry poisoned");
     reg.iter()
-        .map(|m| match m {
-            Metric::Counter(c) => (c.name.to_string(), "counter", c.get() as f64, 0.0, 0.0, 0.0),
-            Metric::Gauge(g) => (g.name.to_string(), "gauge", g.get(), 0.0, 0.0, 0.0),
-            Metric::Histogram(h) => (
-                h.name.to_string(),
-                "histogram",
-                h.count() as f64,
-                h.quantile(0.50),
-                h.quantile(0.95),
-                h.quantile(0.99),
-            ),
+        .map(|e| {
+            let (name, kind, raw, p50, p95, p99) = match e.metric {
+                Metric::Counter(c) => (c.name, "counter", c.get() as f64, 0.0, 0.0, 0.0),
+                Metric::Gauge(g) => (g.name, "gauge", g.get(), 0.0, 0.0, 0.0),
+                Metric::Histogram(h) => (
+                    h.name,
+                    "histogram",
+                    h.count() as f64,
+                    h.quantile(0.50),
+                    h.quantile(0.95),
+                    h.quantile(0.99),
+                ),
+            };
+            // A never-set gauge reads NaN; sanitize so the snapshot always
+            // serializes to valid JSON.
+            let value = if raw.is_finite() { raw } else { 0.0 };
+            let rate = if kind == "gauge" {
+                let _ = ring_rate(&e.ring, now, value);
+                0.0
+            } else {
+                ring_rate(&e.ring, now, value)
+            };
+            MetricSnapshot {
+                name: name.to_string(),
+                kind: kind.to_string(),
+                value,
+                p50,
+                p95,
+                p99,
+                rate_per_sec: rate,
+            }
         })
         .collect()
 }
@@ -367,6 +460,47 @@ mod tests {
         add_bytes(45);
         assert!(flops_total() >= f0 + 123);
         assert!(bytes_total() >= b0 + 45);
+    }
+
+    #[test]
+    fn snapshot_names_kinds_and_rates() {
+        let c = register_counter("metrics.test.snapshot.ctr");
+        let rows = snapshot();
+        let row = rows
+            .iter()
+            .find(|r| r.name == "metrics.test.snapshot.ctr")
+            .expect("registered counter appears");
+        assert_eq!(row.kind, "counter");
+        assert!(row.is_monotone());
+        let v0 = row.value;
+        c.add(50);
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let rows = snapshot();
+        let row = rows
+            .iter()
+            .find(|r| r.name == "metrics.test.snapshot.ctr")
+            .unwrap();
+        assert_eq!(row.value, v0 + 50.0);
+        assert!(
+            row.rate_per_sec > 0.0,
+            "50 increments over ~20ms must show a positive rate, got {}",
+            row.rate_per_sec
+        );
+    }
+
+    #[test]
+    fn snapshot_sanitizes_unset_gauge_and_serializes() {
+        let _ = register_gauge("metrics.test.snapshot.unset_gauge");
+        let rows = snapshot();
+        let row = rows
+            .iter()
+            .find(|r| r.name == "metrics.test.snapshot.unset_gauge")
+            .unwrap();
+        assert!(!row.is_monotone());
+        assert_eq!(row.value, 0.0, "NaN gauge sanitized");
+        let json = serde_json::to_string(row).expect("serialize");
+        let back: MetricSnapshot = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(&back, row);
     }
 
     #[test]

@@ -15,11 +15,24 @@
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 use crate::sink::{self, Event, EventKind};
 use crate::{metrics, now_ns, thread_id};
 
 static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Allocates a span id unique across *processes*, not just threads: the
+/// pid occupies the high 32 bits and a process-local counter the low 32.
+/// Two traces from different processes can therefore be merged without id
+/// collisions, which is what lets a server span name a client span as its
+/// parent (a process would need >4 billion spans before its counter bleeds
+/// into the pid bits).
+fn next_span_id() -> u64 {
+    static BASE: OnceLock<u64> = OnceLock::new();
+    let base = *BASE.get_or_init(|| (std::process::id() as u64) << 32);
+    base + NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)
+}
 
 thread_local! {
     static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
@@ -74,7 +87,7 @@ impl SpanGuard {
     }
 
     fn begin_at(name: &'static str, parent: u64, args: &[(&'static str, f64)]) -> Self {
-        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let id = next_span_id();
         let start_ns = now_ns();
         sink::push(Event {
             name,

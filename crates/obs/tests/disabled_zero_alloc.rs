@@ -6,16 +6,27 @@
 //! workspace's allocation-free stepping guarantees.
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 static ALLOCS: AtomicUsize = AtomicUsize::new(0);
 static TRACKING: AtomicUsize = AtomicUsize::new(0);
 
+thread_local! {
+    // Only the thread running the hot loop is measured: the libtest
+    // harness thread occasionally allocates (channel/timing bookkeeping)
+    // and would otherwise flake the count. Const-initialized `Cell<bool>`
+    // TLS is itself allocation-free to read.
+    static MEASURED_THREAD: Cell<bool> = const { Cell::new(false) };
+}
+
 struct CountingAlloc;
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        if TRACKING.load(Ordering::Relaxed) != 0 {
+        if TRACKING.load(Ordering::Relaxed) != 0
+            && MEASURED_THREAD.try_with(Cell::get).unwrap_or(false)
+        {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
         unsafe { System.alloc(layout) }
@@ -55,6 +66,7 @@ fn disabled_tracing_allocates_nothing() {
     std::hint::black_box(hot_loop(2));
     sickle_obs::now_ns();
 
+    MEASURED_THREAD.with(|c| c.set(true));
     TRACKING.store(1, Ordering::SeqCst);
     let acc = std::hint::black_box(hot_loop(10_000));
     TRACKING.store(0, Ordering::SeqCst);

@@ -3,13 +3,20 @@
 //! ```text
 //! sickle-serve --root runs/store [--addr 127.0.0.1] [--port 7077]
 //!              [--threads 8] [--cache-mb 256] [--lookahead 1]
-//!              [--max-seconds N]
+//!              [--max-seconds N] [--allow-shutdown] [--fixture]
 //! ```
 //!
 //! `--max-seconds` bounds the serving window (for CI smoke runs); without
-//! it the server runs until the process is terminated. The fault plan, if
-//! any, is read from `SICKLE_FAULT_PLAN` (`drop@conn:request`, ...).
-//! Tracing honours the usual `SICKLE_TRACE*` environment.
+//! it the server runs until the process is terminated. `--allow-shutdown`
+//! honors the protocol's `Shutdown` request, letting a test driver stop
+//! the server cleanly (and flush its trace) instead of killing it — the
+//! process exits as soon as the request lands, max-seconds or not.
+//! `--fixture` ingests a small synthetic dataset into `--root` when no
+//! store exists there yet, so CI jobs and quick-start demos (pointing
+//! `sickle-top` or a traced client at a live server) need no real data. The
+//! fault plan, if any, is read from `SICKLE_FAULT_PLAN`
+//! (`drop@conn:request`, ...). Tracing honours the usual `SICKLE_TRACE*`
+//! environment.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -28,6 +35,8 @@ struct Args {
     cache_mb: usize,
     lookahead: usize,
     max_seconds: Option<u64>,
+    allow_shutdown: bool,
+    fixture: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -39,6 +48,8 @@ fn parse_args() -> Result<Args, String> {
         cache_mb: 256,
         lookahead: 1,
         max_seconds: None,
+        allow_shutdown: false,
+        fixture: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -73,9 +84,12 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--max-seconds: {e}"))?,
                 );
             }
+            "--allow-shutdown" => args.allow_shutdown = true,
+            "--fixture" => args.fixture = true,
             "--help" | "-h" => {
                 return Err("usage: sickle-serve --root DIR [--addr A] [--port P] \
-                            [--threads N] [--cache-mb MB] [--lookahead N] [--max-seconds S]"
+                            [--threads N] [--cache-mb MB] [--lookahead N] [--max-seconds S] \
+                            [--allow-shutdown] [--fixture]"
                     .to_string());
             }
             other => return Err(format!("unknown flag {other}")),
@@ -88,13 +102,21 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn run(args: &Args) -> Result<(), String> {
-    let store = ShardStore::open(
-        &args.root,
-        StoreConfig {
-            cache_bytes: args.cache_mb << 20,
-        },
-    )
-    .map_err(|e| format!("open store {}: {e}", args.root.display()))?;
+    let cfg = StoreConfig {
+        cache_bytes: args.cache_mb << 20,
+    };
+    let store = if args.fixture && !args.root.join("manifest.json").exists() {
+        let out = sickle_store::testutil::small_output(2, 8, 1024);
+        eprintln!(
+            "sickle-serve: ingesting synthetic fixture into {}",
+            args.root.display()
+        );
+        ShardStore::ingest(&args.root, &out, cfg)
+            .map_err(|e| format!("ingest fixture into {}: {e}", args.root.display()))?
+    } else {
+        ShardStore::open(&args.root, cfg)
+            .map_err(|e| format!("open store {}: {e}", args.root.display()))?
+    };
     let fault_plan = FaultPlan::from_env().map_err(|e| format!("SICKLE_FAULT_PLAN: {e}"))?;
     let handle = serve(
         Arc::new(store),
@@ -103,16 +125,23 @@ fn run(args: &Args) -> Result<(), String> {
             threads: args.threads,
             lookahead: args.lookahead,
             fault_plan,
+            allow_shutdown: args.allow_shutdown,
             ..ServeConfig::default()
         },
     )
     .map_err(|e| format!("bind {}:{}: {e}", args.addr, args.port))?;
     eprintln!("sickle-serve: listening on {}", handle.addr());
-    match args.max_seconds {
-        Some(secs) => std::thread::sleep(Duration::from_secs(secs)),
-        None => loop {
-            std::thread::sleep(Duration::from_secs(3600));
-        },
+    let deadline = args
+        .max_seconds
+        .map(|secs| std::time::Instant::now() + Duration::from_secs(secs));
+    // Poll rather than sleep out the window: a client Shutdown request
+    // sets the stop flag and the process should exit (and flush its
+    // trace) right away.
+    while !handle.stop_requested() {
+        if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
     }
     drop(handle); // graceful: joins accept loop and workers
     Ok(())

@@ -129,6 +129,8 @@ impl BlockCache {
                 None => break,
             }
         }
+        sickle_obs::gauge!("store.cache.resident_bytes", inner.resident_bytes);
+        sickle_obs::gauge!("store.cache.resident_shards", inner.map.len());
     }
 
     /// Resident shard count.

@@ -7,6 +7,14 @@
 //! `i` returns the same bytes, so a retry can neither duplicate nor lose
 //! samples. An error *frame* from the server, by contrast, is a definitive
 //! answer (the request itself is wrong) and is returned immediately.
+//! (`shutdown` is the one non-read request; it is idempotent — stop is a
+//! latch — so the same retry loop is still safe.)
+//!
+//! When tracing is enabled, every request opens a `client.request` span
+//! and ships its [`TraceContext`](sickle_obs::TraceContext) in the frame
+//! trailer, so the server's per-request spans nest under this client's in
+//! a merged trace. With tracing disabled the frames are byte-identical to
+//! an un-instrumented client's.
 
 use std::io;
 use std::net::TcpStream;
@@ -15,6 +23,7 @@ use std::time::Duration;
 use crate::batching::{Batch, BatchSpec};
 use crate::manifest::{ShardKey, StoreManifest};
 use crate::protocol::{read_frame, write_frame, Request, Response};
+use crate::stats::StatsSnapshot;
 
 /// Client retry/timeout tuning.
 #[derive(Clone, Copy, Debug)]
@@ -84,7 +93,11 @@ impl StoreClient {
     /// The server's error frame mapped back to an [`io::Error`], or the
     /// last transport error once retries are exhausted.
     pub fn request(&mut self, req: &Request) -> io::Result<Response> {
-        let (tag, payload) = req.encode();
+        // Span first, then capture the context, so the trailer names this
+        // request's own span as the server's parent.
+        let _span = sickle_obs::span!("client.request");
+        let ctx = sickle_obs::enabled().then(sickle_obs::current_context);
+        let (tag, payload) = req.encode_traced(ctx);
         let mut last = None;
         for attempt in 0..=self.cfg.retries {
             if attempt > 0 {
@@ -148,6 +161,32 @@ impl StoreClient {
             other => Err(unexpected(&other, "batch")),
         }
     }
+
+    /// Fetches the server's live stats snapshot.
+    ///
+    /// # Errors
+    /// Transport errors or `InvalidData` on unparseable stats JSON.
+    pub fn stats(&mut self) -> io::Result<StatsSnapshot> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(json) => StatsSnapshot::from_json(&json)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e)),
+            other => Err(unexpected(&other, "stats")),
+        }
+    }
+
+    /// Asks the server to stop, returning its final stats snapshot. The
+    /// server must have been started with `allow_shutdown`; otherwise this
+    /// returns the server's `InvalidData` error frame.
+    ///
+    /// # Errors
+    /// `InvalidData` when the server refuses; transport errors.
+    pub fn shutdown_server(&mut self) -> io::Result<StatsSnapshot> {
+        match self.request(&Request::Shutdown)? {
+            Response::Stats(json) => StatsSnapshot::from_json(&json)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e)),
+            other => Err(unexpected(&other, "stats")),
+        }
+    }
 }
 
 fn unexpected(resp: &Response, wanted: &str) -> io::Error {
@@ -155,6 +194,7 @@ fn unexpected(resp: &Response, wanted: &str) -> io::Error {
         Response::Manifest(_) => "manifest",
         Response::Shard(_) => "shard",
         Response::Batch(_) => "batch",
+        Response::Stats(_) => "stats",
         Response::Error { .. } => "error",
     };
     io::Error::new(

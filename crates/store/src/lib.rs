@@ -26,6 +26,7 @@ pub mod manifest;
 pub mod prefetch;
 pub mod protocol;
 pub mod server;
+pub mod stats;
 pub mod store;
 pub mod testutil;
 
@@ -36,4 +37,5 @@ pub use manifest::{ShardEntry, ShardKey, StoreManifest};
 pub use prefetch::Prefetcher;
 pub use protocol::{Request, Response};
 pub use server::{serve, ServeConfig, ServerHandle};
+pub use stats::{ConnRegistry, ConnStats, StatsSnapshot};
 pub use store::{set_key, ShardStore, StoreConfig};

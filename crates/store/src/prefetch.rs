@@ -8,6 +8,7 @@
 //! `store.prefetch.error` counter and otherwise ignored — the foreground
 //! `get` will surface the real error to the requester.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -20,22 +21,34 @@ use crate::store::ShardStore;
 pub struct Prefetcher {
     tx: Option<Sender<ShardKey>>,
     worker: Option<JoinHandle<()>>,
+    queued: Arc<AtomicU64>,
 }
 
 impl Prefetcher {
     /// Spawns a prefetcher over a shared store.
     pub fn new(store: Arc<ShardStore>) -> Self {
         let (tx, rx) = mpsc::channel::<ShardKey>();
+        let queued = Arc::new(AtomicU64::new(0));
+        let worker_queued = Arc::clone(&queued);
         let worker = std::thread::Builder::new()
             .name("sickle-store-prefetch".into())
             .spawn(move || {
                 let _span = sickle_obs::span!("store.prefetch.worker");
                 while let Ok(key) = rx.recv() {
+                    let depth = worker_queued.fetch_sub(1, Ordering::Relaxed) - 1;
+                    sickle_obs::gauge!("store.prefetch.queue_depth", depth);
                     if store.is_cached(key) {
                         continue;
                     }
+                    let t0 = std::time::Instant::now();
                     match store.get(key) {
-                        Ok(_) => sickle_obs::counter!("store.prefetch.loaded", 1usize),
+                        Ok(_) => {
+                            sickle_obs::counter!("store.prefetch.loaded", 1usize);
+                            sickle_obs::histogram!(
+                                "store.prefetch.load_us",
+                                t0.elapsed().as_micros() as f64
+                            );
+                        }
                         Err(_) => sickle_obs::counter!("store.prefetch.error", 1usize),
                     }
                 }
@@ -44,6 +57,7 @@ impl Prefetcher {
         Prefetcher {
             tx: Some(tx),
             worker: Some(worker),
+            queued,
         }
     }
 
@@ -53,7 +67,12 @@ impl Prefetcher {
     pub fn hint(&self, keys: &[ShardKey]) {
         if let Some(tx) = &self.tx {
             for &key in keys {
+                // Count before sending so the worker's decrement can never
+                // observe the counter below its own key.
+                let depth = self.queued.fetch_add(1, Ordering::Relaxed) + 1;
+                sickle_obs::gauge!("store.prefetch.queue_depth", depth);
                 if tx.send(key).is_err() {
+                    self.queued.fetch_sub(1, Ordering::Relaxed);
                     return;
                 }
             }

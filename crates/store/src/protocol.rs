@@ -8,9 +8,23 @@
 //! +--------+----------------+------------------+
 //! ```
 //!
-//! Request tags: `0x01` Manifest, `0x02` GetShard, `0x03` GetBatch.
+//! Request tags: `0x01` Manifest, `0x02` GetShard, `0x03` GetBatch,
+//! `0x04` Stats, `0x05` Shutdown.
 //! Response tags: `0x81` Manifest (JSON), `0x82` Shard (raw SKLH bytes),
-//! `0x83` Batch (f32 tensors), `0xEE` Error (kind byte + UTF-8 message).
+//! `0x83` Batch (f32 tensors), `0x84` Stats (JSON),
+//! `0xEE` Error (kind byte + UTF-8 message).
+//!
+//! ## Trace-context trailer
+//!
+//! A request payload may carry an optional 17-byte trailer after its fixed
+//! fields: one magic byte [`TRACE_MAGIC`] followed by a 16-byte
+//! [`TraceContext`] (client trace id + open span id, both LE u64). The
+//! trailer is strictly additive: [`Request::encode`] never writes one, a
+//! server that does not understand it would reject the frame the same way
+//! it rejects any trailing garbage, and [`Request::decode`] (which all
+//! current servers route through) accepts-and-ignores it. Parsing is
+//! deterministic — an empty remainder means no context, exactly 17 bytes
+//! starting with the magic mean a context, anything else is `InvalidData`.
 //!
 //! Frames are capped at [`MAX_FRAME`] and every count in a payload is
 //! checked against the bytes actually present before any allocation — the
@@ -20,6 +34,7 @@
 use std::io::{self, Read, Write};
 
 use bytes::{Buf, BufMut};
+use sickle_obs::TraceContext;
 
 use crate::batching::{Batch, BatchShape, BatchSpec};
 use crate::manifest::ShardKey;
@@ -33,14 +48,28 @@ pub const TAG_REQ_MANIFEST: u8 = 0x01;
 pub const TAG_REQ_SHARD: u8 = 0x02;
 /// Request tag: fetch one assembled batch.
 pub const TAG_REQ_BATCH: u8 = 0x03;
+/// Request tag: fetch a live metrics snapshot.
+pub const TAG_REQ_STATS: u8 = 0x04;
+/// Request tag: ask the server to stop (honored only when
+/// `ServeConfig::allow_shutdown` is set).
+pub const TAG_REQ_SHUTDOWN: u8 = 0x05;
 /// Response tag: manifest JSON.
 pub const TAG_RESP_MANIFEST: u8 = 0x81;
 /// Response tag: raw shard bytes.
 pub const TAG_RESP_SHARD: u8 = 0x82;
 /// Response tag: assembled batch tensors.
 pub const TAG_RESP_BATCH: u8 = 0x83;
+/// Response tag: stats snapshot JSON.
+pub const TAG_RESP_STATS: u8 = 0x84;
 /// Response tag: error.
 pub const TAG_RESP_ERROR: u8 = 0xEE;
+
+/// First byte of the optional trace-context trailer. Deliberately not a
+/// valid request tag, so a sliced/misframed payload cannot alias one.
+pub const TRACE_MAGIC: u8 = 0x7C;
+
+/// Total trailer size: magic byte + encoded [`TraceContext`].
+pub const TRACE_TRAILER_LEN: usize = 1 + TraceContext::WIRE_LEN;
 
 fn invalid(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
@@ -67,35 +96,70 @@ pub enum Request {
         /// Zero-based batch index within the epoch.
         index: u64,
     },
+    /// A live metrics snapshot (JSON [`crate::stats::StatsSnapshot`]).
+    Stats,
+    /// Stop the server after responding (final stats snapshot). Honored
+    /// only when the server was started with `allow_shutdown`.
+    Shutdown,
 }
 
 impl Request {
-    /// Serializes to `(tag, payload)`.
+    /// Serializes to `(tag, payload)` without a trace-context trailer —
+    /// the frame an un-instrumented (or pre-telemetry) client sends.
     pub fn encode(&self) -> (u8, Vec<u8>) {
-        match self {
+        self.encode_traced(None)
+    }
+
+    /// Serializes to `(tag, payload)`, appending the 17-byte trace-context
+    /// trailer when `ctx` is given.
+    pub fn encode_traced(&self, ctx: Option<TraceContext>) -> (u8, Vec<u8>) {
+        let (tag, mut p) = match self {
             Request::Manifest => (TAG_REQ_MANIFEST, Vec::new()),
             Request::GetShard(key) => {
-                let mut p = Vec::with_capacity(16);
+                let mut p = Vec::with_capacity(16 + TRACE_TRAILER_LEN);
                 p.put_u64_le(key.snapshot as u64);
                 p.put_u64_le(key.cube as u64);
                 (TAG_REQ_SHARD, p)
             }
             Request::GetBatch { spec, index } => {
-                let mut p = Vec::with_capacity(24);
+                let mut p = Vec::with_capacity(24 + TRACE_TRAILER_LEN);
                 p.put_u64_le(spec.seed);
                 p.put_u32_le(spec.batch_size as u32);
                 p.put_u32_le(spec.tokens as u32);
                 p.put_u64_le(*index);
                 (TAG_REQ_BATCH, p)
             }
+            Request::Stats => (TAG_REQ_STATS, Vec::new()),
+            Request::Shutdown => (TAG_REQ_SHUTDOWN, Vec::new()),
+        };
+        if let Some(ctx) = ctx {
+            p.push(TRACE_MAGIC);
+            p.extend_from_slice(&ctx.encode());
         }
+        (tag, p)
     }
 
-    /// Parses a request frame.
+    /// Parses a request frame, ignoring any trace-context trailer — the
+    /// "server that ignores telemetry" half of backward compatibility.
     ///
     /// # Errors
     /// `InvalidData` for unknown tags, truncated or oversized payloads.
-    pub fn decode(tag: u8, mut payload: &[u8]) -> io::Result<Request> {
+    pub fn decode(tag: u8, payload: &[u8]) -> io::Result<Request> {
+        Self::decode_with_context(tag, payload).map(|(req, _)| req)
+    }
+
+    /// Parses a request frame together with its optional trace-context
+    /// trailer. The remainder after the request's fixed fields must be
+    /// empty (no context) or exactly [`TRACE_TRAILER_LEN`] bytes starting
+    /// with [`TRACE_MAGIC`]; anything else is rejected.
+    ///
+    /// # Errors
+    /// `InvalidData` for unknown tags, truncated or oversized payloads,
+    /// and malformed trailers.
+    pub fn decode_with_context(
+        tag: u8,
+        mut payload: &[u8],
+    ) -> io::Result<(Request, Option<TraceContext>)> {
         let req = match tag {
             TAG_REQ_MANIFEST => Request::Manifest,
             TAG_REQ_SHARD => {
@@ -121,12 +185,18 @@ impl Request {
                     index,
                 }
             }
+            TAG_REQ_STATS => Request::Stats,
+            TAG_REQ_SHUTDOWN => Request::Shutdown,
             other => return Err(invalid(format!("unknown request tag {other:#04x}"))),
         };
-        if !payload.is_empty() {
-            return Err(invalid("trailing bytes after request"));
-        }
-        Ok(req)
+        let ctx = match payload.len() {
+            0 => None,
+            TRACE_TRAILER_LEN if payload[0] == TRACE_MAGIC => {
+                Some(TraceContext::decode(&payload[1..]).expect("trailer length checked"))
+            }
+            _ => return Err(invalid("trailing bytes after request")),
+        };
+        Ok((req, ctx))
     }
 }
 
@@ -178,6 +248,8 @@ pub enum Response {
     Shard(Vec<u8>),
     /// One assembled batch.
     Batch(Batch),
+    /// Stats snapshot JSON bytes ([`crate::stats::StatsSnapshot`]).
+    Stats(Vec<u8>),
     /// The request failed; the error is a *response*, so the connection
     /// stays usable for the next request.
     Error {
@@ -216,6 +288,7 @@ impl Response {
                 }
                 (TAG_RESP_BATCH, p)
             }
+            Response::Stats(json) => (TAG_RESP_STATS, json.clone()),
             Response::Error { kind, message } => {
                 let mut p = Vec::with_capacity(1 + message.len());
                 p.push(*kind as u8);
@@ -235,6 +308,7 @@ impl Response {
             TAG_RESP_MANIFEST => Ok(Response::Manifest(payload.to_vec())),
             TAG_RESP_SHARD => Ok(Response::Shard(payload.to_vec())),
             TAG_RESP_BATCH => decode_batch(payload),
+            TAG_RESP_STATS => Ok(Response::Stats(payload.to_vec())),
             TAG_RESP_ERROR => {
                 let (kind, msg) = payload
                     .split_first()
@@ -359,6 +433,76 @@ mod tests {
             },
             index: 7,
         });
+        roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn trace_trailer_roundtrips_on_every_request() {
+        let ctx = TraceContext {
+            trace_id: 0xABCD_EF01_2345_6789,
+            span_id: (4242u64 << 32) + 17,
+        };
+        for req in [
+            Request::Manifest,
+            Request::GetShard(ShardKey {
+                snapshot: 1,
+                cube: 2,
+            }),
+            Request::GetBatch {
+                spec: BatchSpec {
+                    seed: 9,
+                    batch_size: 4,
+                    tokens: 8,
+                },
+                index: 0,
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ] {
+            let (tag, payload) = req.encode_traced(Some(ctx));
+            // Traced decode sees the context.
+            let (decoded, got) = Request::decode_with_context(tag, &payload).unwrap();
+            assert_eq!(decoded, req);
+            assert_eq!(got, Some(ctx));
+            // Untraced decode (a server that ignores telemetry) still
+            // parses the same request.
+            assert_eq!(Request::decode(tag, &payload).unwrap(), req);
+            // And an untraced frame decodes with no context.
+            let (tag, payload) = req.encode();
+            assert_eq!(
+                Request::decode_with_context(tag, &payload).unwrap(),
+                (req, None)
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_trace_trailers_are_rejected() {
+        let ctx = TraceContext {
+            trace_id: 7,
+            span_id: 9,
+        };
+        let (tag, good) = Request::Stats.encode_traced(Some(ctx));
+        assert_eq!(good.len(), TRACE_TRAILER_LEN);
+        // Wrong magic.
+        let mut bad = good.clone();
+        bad[0] ^= 0xFF;
+        assert!(Request::decode_with_context(tag, &bad).is_err());
+        // Truncated trailer.
+        assert!(Request::decode_with_context(tag, &good[..good.len() - 1]).is_err());
+        // Trailer with extra byte.
+        let mut long = good.clone();
+        long.push(0);
+        assert!(Request::decode_with_context(tag, &long).is_err());
+        // On a payload-bearing request too.
+        let (tag, mut p) = Request::GetShard(ShardKey {
+            snapshot: 0,
+            cube: 0,
+        })
+        .encode_traced(Some(ctx));
+        p.truncate(p.len() - 3);
+        assert!(Request::decode_with_context(tag, &p).is_err());
     }
 
     #[test]
@@ -377,6 +521,7 @@ mod tests {
             Response::Manifest(b"{\"version\":1}".to_vec()),
             Response::Shard(vec![1, 2, 3, 4]),
             Response::Batch(batch),
+            Response::Stats(b"{\"requests\":12}".to_vec()),
             Response::Error {
                 kind: WireErrorKind::NotFound,
                 message: "no shard".into(),

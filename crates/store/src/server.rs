@@ -27,7 +27,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use sickle_hpc::fault::{FaultAction, FaultInjector, FaultPlan};
 
@@ -35,6 +35,7 @@ use crate::batching::{batch_from_sets, batch_keys, num_batches, BatchSpec};
 use crate::manifest::ShardKey;
 use crate::prefetch::Prefetcher;
 use crate::protocol::{read_frame, write_frame, Request, Response};
+use crate::stats::{ConnRegistry, StatsSnapshot};
 use crate::store::ShardStore;
 
 /// Server tuning.
@@ -54,6 +55,9 @@ pub struct ServeConfig {
     pub lookahead: usize,
     /// Optional fault plan (`drop@conn:request` etc.) for resilience tests.
     pub fault_plan: Option<FaultPlan>,
+    /// Honor `Request::Shutdown` (off by default: a shared server should
+    /// not be stoppable by any client that can reach it).
+    pub allow_shutdown: bool,
 }
 
 impl Default for ServeConfig {
@@ -65,6 +69,7 @@ impl Default for ServeConfig {
             idle_timeouts: 40,
             lookahead: 1,
             fault_plan: None,
+            allow_shutdown: false,
         }
     }
 }
@@ -76,6 +81,7 @@ struct Shared {
     prefetcher: Prefetcher,
     cfg: ServeConfig,
     stop: Arc<AtomicBool>,
+    conns: ConnRegistry,
 }
 
 /// A running server. [`shutdown`](Self::shutdown) (or drop) stops the
@@ -92,6 +98,14 @@ impl ServerHandle {
     /// The bound address (with the real port when `:0` was requested).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// True once the stop flag is set — by [`shutdown`](Self::shutdown) or
+    /// by a client's `Request::Shutdown` when `allow_shutdown` is on. Lets
+    /// a hosting process (the `sickle-serve` binary) exit early instead of
+    /// sleeping out its deadline.
+    pub fn stop_requested(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
     }
 
     /// Signals every thread to stop and joins them.
@@ -131,9 +145,10 @@ pub fn serve(store: Arc<ShardStore>, cfg: ServeConfig) -> io::Result<ServerHandl
         store,
         cfg: cfg.clone(),
         stop: Arc::clone(&stop),
+        conns: ConnRegistry::default(),
     });
 
-    let (conn_tx, conn_rx) = mpsc::channel::<(TcpStream, usize)>();
+    let (conn_tx, conn_rx) = mpsc::channel::<(TcpStream, usize, Instant)>();
     let conn_rx = Arc::new(Mutex::new(conn_rx));
 
     let workers = (0..cfg.threads.max(1))
@@ -157,7 +172,10 @@ pub fn serve(store: Arc<ShardStore>, cfg: ServeConfig) -> io::Result<ServerHandl
                     Ok((stream, _peer)) => {
                         let id = next_conn.fetch_add(1, Ordering::SeqCst);
                         sickle_obs::counter!("serve.conn.accepted", 1usize);
-                        if conn_tx.send((stream, id)).is_err() {
+                        // The accept instant rides along so the worker that
+                        // picks this connection up can report how long it
+                        // sat in the dispatch queue.
+                        if conn_tx.send((stream, id, Instant::now())).is_err() {
                             break;
                         }
                     }
@@ -179,14 +197,14 @@ pub fn serve(store: Arc<ShardStore>, cfg: ServeConfig) -> io::Result<ServerHandl
     })
 }
 
-fn worker_loop(rx: &Mutex<Receiver<(TcpStream, usize)>>, shared: &Shared) {
+fn worker_loop(rx: &Mutex<Receiver<(TcpStream, usize, Instant)>>, shared: &Shared) {
     loop {
         let next = {
             let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
             guard.recv_timeout(Duration::from_millis(50))
         };
         match next {
-            Ok((stream, conn_id)) => handle_connection(stream, conn_id, shared),
+            Ok((stream, conn_id, queued)) => handle_connection(stream, conn_id, queued, shared),
             Err(RecvTimeoutError::Timeout) => {
                 if shared.stop.load(Ordering::SeqCst) {
                     return;
@@ -202,8 +220,13 @@ fn is_timeout(kind: io::ErrorKind) -> bool {
     matches!(kind, io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
 }
 
-fn handle_connection(mut stream: TcpStream, conn_id: usize, shared: &Shared) {
-    let _span = sickle_obs::span!("serve.conn", conn = conn_id);
+fn handle_connection(mut stream: TcpStream, conn_id: usize, queued: Instant, shared: &Shared) {
+    // Time from accept to a worker picking the connection up: the dispatch
+    // queue wait a saturated pool shows first.
+    let queue_wait_us = queued.elapsed().as_micros() as f64;
+    sickle_obs::histogram!("serve.queue_wait_us", queue_wait_us);
+    let _span = sickle_obs::span!("serve.conn", conn = conn_id, queue_wait_us = queue_wait_us);
+    let conn_guard = shared.conns.register();
     if stream
         .set_read_timeout(Some(shared.cfg.read_timeout))
         .is_err()
@@ -229,7 +252,7 @@ fn handle_connection(mut stream: TcpStream, conn_id: usize, shared: &Shared) {
             Err(_) => return, // EOF or reset: client is gone
         };
         idle = 0;
-        let t0 = std::time::Instant::now();
+        let t0 = Instant::now();
 
         match shared.injector.on_cube(conn_id) {
             FaultAction::Proceed | FaultAction::Poison => {}
@@ -246,21 +269,49 @@ fn handle_connection(mut stream: TcpStream, conn_id: usize, shared: &Shared) {
             }
         }
 
-        let response = match Request::decode(tag, &payload) {
-            Ok(req) => answer(req, shared),
+        // A request carrying a trace context parents this span under the
+        // *client's* span (cross-process link in the merged trace); a bare
+        // request nests under `serve.conn` as before.
+        let decoded = Request::decode_with_context(tag, &payload);
+        let parent = match &decoded {
+            Ok((_, Some(ctx))) => ctx.span_id,
+            _ => sickle_obs::current_span_id(),
+        };
+        let req_span = sickle_obs::child_span!(parent, "serve.request", conn = conn_id);
+        let response = match decoded {
+            Ok((req, _)) => answer(req, shared),
             Err(e) => {
                 sickle_obs::counter!("serve.request.malformed", 1usize);
                 Response::from_error(&e)
             }
         };
-        let (rtag, rpayload) = response.encode();
-        if write_frame(&mut stream, rtag, &rpayload).is_err() {
+        let enc0 = Instant::now();
+        let (rtag, rpayload) = {
+            let _s = sickle_obs::span!("serve.encode");
+            response.encode()
+        };
+        sickle_obs::histogram!("serve.encode_us", enc0.elapsed().as_micros() as f64);
+        let write_ok = {
+            let _s = sickle_obs::span!("serve.write", bytes = rpayload.len());
+            write_frame(&mut stream, rtag, &rpayload).is_ok()
+        };
+        drop(req_span);
+        if !write_ok {
             return;
         }
-        sickle_obs::histogram!("serve.request_secs", t0.elapsed().as_secs_f64());
+        let bytes_in = (FRAME_HEADER + payload.len()) as u64;
+        let bytes_out = (FRAME_HEADER + rpayload.len()) as u64;
+        conn_guard.counters().record(bytes_in, bytes_out);
+        sickle_obs::counter!("store.serve.requests", 1usize);
+        sickle_obs::counter!("store.serve.bytes_in", bytes_in);
+        sickle_obs::counter!("store.serve.bytes_out", bytes_out);
+        sickle_obs::histogram!("serve.request_us", t0.elapsed().as_micros() as f64);
         sickle_obs::counter!("serve.request.ok", 1usize);
     }
 }
+
+/// Bytes of a frame header on the wire (tag + length prefix).
+const FRAME_HEADER: usize = 5;
 
 /// Builds the real response, writes a deliberately truncated frame, and
 /// cuts the socket — the injected `drop` fault. The client observes a
@@ -313,7 +364,26 @@ fn serve_request(req: Request, shared: &Shared) -> io::Result<Response> {
                 .map(|&k| shared.store.get(k))
                 .collect::<io::Result<Vec<_>>>()?;
             hint_lookahead(shared, spec, index);
+            let _s = sickle_obs::span!("serve.assemble_batch");
             Ok(Response::Batch(batch_from_sets(&sets, spec.tokens)?))
+        }
+        Request::Stats => Ok(Response::Stats(
+            StatsSnapshot::collect(&shared.conns).to_json(),
+        )),
+        Request::Shutdown => {
+            if !shared.cfg.allow_shutdown {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "shutdown not enabled on this server (start with allow_shutdown)",
+                ));
+            }
+            // Snapshot first, then raise the stop flag: the response still
+            // goes out (the connection loop re-checks stop only before the
+            // *next* read), and it doubles as the server's final stats.
+            let snap = StatsSnapshot::collect(&shared.conns);
+            sickle_obs::info!("serve", "shutdown requested by client");
+            shared.stop.store(true, Ordering::SeqCst);
+            Ok(Response::Stats(snap.to_json()))
         }
     }
 }

@@ -185,8 +185,18 @@ impl ShardStore {
         if let Some(hit) = self.cache.get(key) {
             return Ok(hit);
         }
-        let bytes = self.shard_bytes(key)?;
-        let mut sets = fio::decode_sample_sets(&bytes)?;
+        let t0 = std::time::Instant::now();
+        let bytes = {
+            let _s = sickle_obs::span!("store.disk_read", snapshot = key.snapshot, cube = key.cube);
+            self.shard_bytes(key)?
+        };
+        sickle_obs::histogram!("store.disk_read_us", t0.elapsed().as_micros() as f64);
+        let t1 = std::time::Instant::now();
+        let mut sets = {
+            let _s = sickle_obs::span!("store.decode", bytes = bytes.len());
+            fio::decode_sample_sets(&bytes)?
+        };
+        sickle_obs::histogram!("store.decode_us", t1.elapsed().as_micros() as f64);
         if sets.len() != 1 {
             return Err(invalid(format!(
                 "shard for snapshot {} cube {} holds {} sets, expected 1",

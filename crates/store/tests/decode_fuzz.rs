@@ -1,0 +1,137 @@
+//! Property tests for the wire decoders a hostile peer can reach: request
+//! frames with and without trace-context trailers, Stats JSON, and raw
+//! response payloads. The invariant everywhere is *error, never panic* —
+//! the server must survive any byte sequence a client writes, and the
+//! client any byte sequence a server returns.
+
+use proptest::prelude::*;
+
+use sickle_obs::TraceContext;
+use sickle_store::batching::BatchSpec;
+use sickle_store::manifest::ShardKey;
+use sickle_store::protocol::{Request, Response, TRACE_TRAILER_LEN};
+use sickle_store::stats::StatsSnapshot;
+
+/// Decodes a draw from the 5-way request space (the vendored proptest has
+/// no `prop_oneof`, so the discriminant is an explicit field).
+#[allow(clippy::type_complexity)]
+fn request_of(
+    ((which, snapshot, cube), (seed, batch_size, tokens, index)): (
+        (usize, usize, usize),
+        (u64, usize, usize, u64),
+    ),
+) -> Request {
+    match which {
+        0 => Request::Manifest,
+        1 => Request::Stats,
+        2 => Request::Shutdown,
+        3 => Request::GetShard(ShardKey { snapshot, cube }),
+        _ => Request::GetBatch {
+            spec: BatchSpec {
+                seed,
+                batch_size,
+                tokens,
+            },
+            index,
+        },
+    }
+}
+
+fn any_request() -> impl Strategy<Value = Request> {
+    (
+        (0usize..5, 0usize..1_000_000, 0usize..1_000_000),
+        (0u64..=u64::MAX, 1usize..4096, 1usize..4096, 0u64..=u64::MAX),
+    )
+        .prop_map(request_of)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_request_frames_never_panic(
+        tag in 0u8..=255,
+        payload in proptest::collection::vec(0u8..=255, 0..128),
+    ) {
+        // Either decode path: any outcome but a panic is fine.
+        let _ = Request::decode(tag, &payload);
+        let _ = Request::decode_with_context(tag, &payload);
+    }
+
+    #[test]
+    fn truncated_traced_requests_are_errors_not_panics(
+        req in any_request(),
+        trace_id in 0u64..=u64::MAX,
+        span_id in 0u64..=u64::MAX,
+        cut in 1usize..TRACE_TRAILER_LEN,
+    ) {
+        let ctx = TraceContext { trace_id, span_id };
+        let (tag, payload) = req.encode_traced(Some(ctx));
+        // Cutting into the trailer always invalidates the frame: the
+        // remainder is neither empty nor a whole trailer.
+        let cut_payload = &payload[..payload.len() - cut];
+        prop_assert!(Request::decode_with_context(tag, cut_payload).is_err());
+        prop_assert!(Request::decode(tag, cut_payload).is_err());
+    }
+
+    #[test]
+    fn bitflipped_traced_requests_never_panic_and_never_misparse(
+        req in any_request(),
+        trace_id in 0u64..=u64::MAX,
+        span_id in 0u64..=u64::MAX,
+        pos_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let ctx = TraceContext { trace_id, span_id };
+        let (tag, mut payload) = req.encode_traced(Some(ctx));
+        let pos = ((payload.len() - 1) as f64 * pos_frac) as usize;
+        payload[pos] ^= 1 << bit;
+        // A flip may still parse (e.g. inside the context ids) — but if it
+        // does, re-encoding what was parsed must reproduce the flipped
+        // frame byte for byte. It must never panic.
+        if let Ok((parsed, parsed_ctx)) = Request::decode_with_context(tag, &payload) {
+            let (tag2, payload2) = parsed.encode_traced(parsed_ctx);
+            prop_assert_eq!(tag2, tag);
+            prop_assert_eq!(payload2, payload);
+        }
+    }
+
+    #[test]
+    fn trace_context_decode_is_total(
+        bytes in proptest::collection::vec(0u8..=255, 0..64),
+    ) {
+        // Any 16-byte slice parses; everything else is None. No panics.
+        let got = TraceContext::decode(&bytes);
+        prop_assert_eq!(got.is_some(), bytes.len() == TraceContext::WIRE_LEN);
+        if let Some(ctx) = got {
+            prop_assert_eq!(ctx.encode().to_vec(), bytes);
+        }
+    }
+
+    #[test]
+    fn arbitrary_stats_payloads_never_panic(
+        bytes in proptest::collection::vec(0u8..=255, 0..256),
+    ) {
+        let _ = StatsSnapshot::from_json(&bytes);
+    }
+
+    #[test]
+    fn bitflipped_stats_json_is_error_or_valid_never_panic(
+        pos_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let reg = sickle_store::ConnRegistry::default();
+        let mut json = StatsSnapshot::collect(&reg).to_json();
+        let pos = ((json.len() - 1) as f64 * pos_frac) as usize;
+        json[pos] ^= 1 << bit;
+        let _ = StatsSnapshot::from_json(&json);
+    }
+
+    #[test]
+    fn arbitrary_response_frames_never_panic(
+        tag in 0u8..=255,
+        payload in proptest::collection::vec(0u8..=255, 0..256),
+    ) {
+        let _ = Response::decode(tag, &payload);
+    }
+}

@@ -239,6 +239,81 @@ fn shards_roundtrip_over_the_wire() {
 }
 
 #[test]
+fn stats_request_reports_live_counters() {
+    let (root, sets, handle) = start_server("stats", ServeConfig::default());
+    let spec = BatchSpec {
+        seed: 5,
+        batch_size: 4,
+        tokens: 4,
+    };
+    let mut client = fast_client(handle.addr());
+    let batches = num_batches(sets.len(), spec.batch_size);
+    for i in 0..batches {
+        client.batch(spec, i).unwrap();
+    }
+    let snap = client.stats().unwrap();
+    assert!(
+        snap.requests_total >= batches as u64,
+        "served {} requests, stats says {}",
+        batches,
+        snap.requests_total
+    );
+    assert!(snap.connections_total >= 1);
+    assert!(snap.connections_open >= 1, "this connection is live");
+    assert!(snap.bytes_out > snap.bytes_in, "batches dwarf requests");
+    assert!(
+        snap.cache_hits + snap.cache_misses > 0,
+        "batch assembly touches the cache"
+    );
+    let row = snap
+        .connections
+        .iter()
+        .find(|c| c.requests >= batches as u64)
+        .expect("this client's connection row");
+    assert!(row.bytes_out > 0);
+    assert!(
+        snap.metric("serve.request_us").is_some(),
+        "request latency histogram registered"
+    );
+    // A second snapshot counts the first stats request itself.
+    let again = client.stats().unwrap();
+    assert!(again.requests_total > snap.requests_total);
+    drop(handle);
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn shutdown_is_refused_by_default_and_honored_when_allowed() {
+    let (root, _sets, handle) = start_server("no_shutdown", ServeConfig::default());
+    let mut client = fast_client(handle.addr());
+    let err = client.shutdown_server().unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(!handle.stop_requested());
+    assert!(client.manifest().is_ok(), "server still serving");
+    drop(handle);
+    std::fs::remove_dir_all(&root).ok();
+
+    let (root, _sets, handle) = start_server(
+        "shutdown",
+        ServeConfig {
+            allow_shutdown: true,
+            ..ServeConfig::default()
+        },
+    );
+    let mut client = fast_client(handle.addr());
+    client.manifest().unwrap();
+    let snap = client.shutdown_server().expect("final stats");
+    assert!(snap.requests_total >= 1);
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while !handle.stop_requested() && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(handle.stop_requested(), "shutdown request raises stop flag");
+    drop(handle);
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
 fn sixteen_concurrent_clients_serve_without_error() {
     let (root, sets, handle) = start_server(
         "sixteen",

@@ -443,6 +443,7 @@ impl RemoteDataset {
     /// # Errors
     /// `NotFound` past the last batch; transport errors after retries.
     pub fn batch(&mut self, seed: u64, batch_size: usize, index: usize) -> std::io::Result<Batch> {
+        let _span = sickle_obs::span!("train.remote.batch", index = index, batch_size = batch_size);
         let spec = sickle_store::BatchSpec {
             seed,
             batch_size,
@@ -467,6 +468,7 @@ impl RemoteDataset {
     /// # Errors
     /// Propagates the first failed fetch.
     pub fn epoch(&mut self, seed: u64, batch_size: usize) -> std::io::Result<Vec<Batch>> {
+        let _span = sickle_obs::span!("train.remote.epoch", batch_size = batch_size);
         (0..self.num_batches(batch_size))
             .map(|i| self.batch(seed, batch_size, i))
             .collect()
