@@ -81,6 +81,14 @@ fn metrics_for(suite: &str, baseline: &Value) -> Result<Vec<Metric>, String> {
             // moves this ratio, a broken cache collapses it.
             floor: 100.0,
         }]),
+        "serve_scale" => Ok(vec![Metric {
+            path: "scale_3_over_1".into(),
+            direction: Direction::Higher,
+            // Just under the loadgen budget (>= 1.6): three servers must
+            // beat one regardless of how fast the box is; a collapse to
+            // ~1× means the fan-out or the scheduler serialized.
+            floor: 1.5,
+        }]),
         "obs_overhead" => {
             let Some(Value::Array(workloads)) = lookup(baseline, "workloads") else {
                 return Err("obs_overhead baseline has no workloads array".into());
@@ -104,7 +112,8 @@ fn metrics_for(suite: &str, baseline: &Value) -> Result<Vec<Metric>, String> {
             Ok(out)
         }
         other => Err(format!(
-            "no comparison table for suite `{other}` (known: store_throughput, obs_overhead)"
+            "no comparison table for suite `{other}` \
+             (known: store_throughput, serve_scale, obs_overhead)"
         )),
     }
 }

@@ -111,6 +111,8 @@ fn bench_clients(addr: std::net::SocketAddr, n: usize, clients: usize) -> Client
                         retries: 3,
                         backoff: Duration::from_millis(20),
                         timeout: Duration::from_secs(30),
+                        seed: c as u64,
+                        ..ClientConfig::default()
                     },
                 );
                 for epoch in 0..EPOCHS_PER_CLIENT {

@@ -269,9 +269,10 @@ pub fn run_resilient(
                                         sickle_obs::counter!("fault.injected", 1usize);
                                         true
                                     }
-                                    // Connection faults belong to the serve
-                                    // data plane; a rank has no socket to cut.
-                                    FaultAction::Drop => false,
+                                    // Connection/process faults belong to the
+                                    // serve data plane; a rank has no socket
+                                    // to cut and fail-stop is `Kill`.
+                                    FaultAction::Drop | FaultAction::Die => false,
                                 };
                                 let (features, indices) = tiling.extract(snap, cube_id, vars);
                                 let mut rng = derive_rng(cfg.seed, snapshot_index, cube_id);

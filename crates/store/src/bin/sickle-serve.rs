@@ -4,6 +4,7 @@
 //! sickle-serve --root runs/store [--addr 127.0.0.1] [--port 7077]
 //!              [--threads 8] [--cache-mb 256] [--lookahead 1]
 //!              [--max-seconds N] [--allow-shutdown] [--fixture]
+//!              [--max-conns N] [--model-us-per-key US]
 //! ```
 //!
 //! `--max-seconds` bounds the serving window (for CI smoke runs); without
@@ -15,8 +16,11 @@
 //! store exists there yet, so CI jobs and quick-start demos (pointing
 //! `sickle-top` or a traced client at a live server) need no real data. The
 //! fault plan, if any, is read from `SICKLE_FAULT_PLAN`
-//! (`drop@conn:request`, ...). Tracing honours the usual `SICKLE_TRACE*`
-//! environment.
+//! (`drop@conn:request`, `die@conn:request`, ...). Tracing honours the
+//! usual `SICKLE_TRACE*` environment. `--max-conns` bounds admission
+//! (arrivals past it get a `Busy` frame); `--model-us-per-key` injects a
+//! synthetic per-key service time so load tests on a shared-CPU host
+//! measure data-plane scaling, not core count.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -37,6 +41,8 @@ struct Args {
     max_seconds: Option<u64>,
     allow_shutdown: bool,
     fixture: bool,
+    max_conns: usize,
+    model_us_per_key: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -50,6 +56,8 @@ fn parse_args() -> Result<Args, String> {
         max_seconds: None,
         allow_shutdown: false,
         fixture: false,
+        max_conns: ServeConfig::default().max_conns,
+        model_us_per_key: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -86,10 +94,21 @@ fn parse_args() -> Result<Args, String> {
             }
             "--allow-shutdown" => args.allow_shutdown = true,
             "--fixture" => args.fixture = true,
+            "--max-conns" => {
+                args.max_conns = value("--max-conns")?
+                    .parse()
+                    .map_err(|e| format!("--max-conns: {e}"))?;
+            }
+            "--model-us-per-key" => {
+                args.model_us_per_key = value("--model-us-per-key")?
+                    .parse()
+                    .map_err(|e| format!("--model-us-per-key: {e}"))?;
+            }
             "--help" | "-h" => {
                 return Err("usage: sickle-serve --root DIR [--addr A] [--port P] \
                             [--threads N] [--cache-mb MB] [--lookahead N] [--max-seconds S] \
-                            [--allow-shutdown] [--fixture]"
+                            [--allow-shutdown] [--fixture] [--max-conns N] \
+                            [--model-us-per-key US]"
                     .to_string());
             }
             other => return Err(format!("unknown flag {other}")),
@@ -126,6 +145,8 @@ fn run(args: &Args) -> Result<(), String> {
             lookahead: args.lookahead,
             fault_plan,
             allow_shutdown: args.allow_shutdown,
+            max_conns: args.max_conns,
+            model_us_per_key: args.model_us_per_key,
             ..ServeConfig::default()
         },
     )

@@ -91,6 +91,10 @@ fn render(snap: &StatsSnapshot, rates: Option<(f64, f64)>) -> String {
         "requests total", snap.requests_total
     ));
     out.push_str(&format!(
+        "{:<22} {:>12}\n",
+        "requests shed (busy)", snap.requests_shed
+    ));
+    out.push_str(&format!(
         "{:<22} {:>12.1}/s\n",
         "throughput (requests)", req_rate
     ));

@@ -11,31 +11,43 @@
 //!   whose shard names are their own FNV-1a hashes, read back through a
 //!   byte-budgeted LRU cache warmed by a lookahead prefetcher.
 //! - [`protocol`] / [`server`] — the serving layer: a length-prefixed
-//!   binary protocol over plain `std::net` TCP, a fixed worker pool, and
-//!   fault-plan hooks (`drop@conn:request`) for resilience testing. The
-//!   `sickle-serve` binary wraps it.
+//!   binary protocol over plain `std::net` TCP, request-granular worker
+//!   scheduling with explicit `Busy` overload shedding, and fault-plan
+//!   hooks (`drop@conn:request`, `die@conn:request`) for resilience
+//!   testing. The `sickle-serve` binary wraps it.
 //! - [`client`] / [`batching`] — the consumption layer: a
-//!   reconnect-and-retry [`StoreClient`] and the deterministic batch
-//!   assembly that makes streamed batches **bit-identical** to what an
-//!   in-memory trainer would build from the same sets and seed.
+//!   reconnect-and-retry [`StoreClient`] (seeded jitter [`backoff`]) and
+//!   the deterministic batch assembly that makes streamed batches
+//!   **bit-identical** to what an in-memory trainer would build from the
+//!   same sets and seed.
+//! - [`ring`] / [`cluster`] — the scale-out layer: consistent-hash
+//!   placement of shards across N servers with R-way replication, and the
+//!   [`ClusterClient`] gateway that fans batches per owner and fails over
+//!   to replicas when a member dies mid-epoch.
 
+pub mod backoff;
 pub mod batching;
 pub mod cache;
 pub mod client;
+pub mod cluster;
 pub mod manifest;
 pub mod prefetch;
 pub mod protocol;
+pub mod ring;
 pub mod server;
 pub mod stats;
 pub mod store;
 pub mod testutil;
 
+pub use backoff::Backoff;
 pub use batching::{Batch, BatchShape, BatchSpec};
 pub use cache::BlockCache;
 pub use client::{ClientConfig, StoreClient};
+pub use cluster::{partition_output, ClusterClient, ClusterConfig, ClusterMember};
 pub use manifest::{ShardEntry, ShardKey, StoreManifest};
 pub use prefetch::Prefetcher;
-pub use protocol::{Request, Response};
+pub use protocol::{Request, Response, TensorBlock, WireErrorKind};
+pub use ring::HashRing;
 pub use server::{serve, ServeConfig, ServerHandle};
 pub use stats::{ConnRegistry, ConnStats, StatsSnapshot};
 pub use store::{set_key, ShardStore, StoreConfig};

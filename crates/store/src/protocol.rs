@@ -9,10 +9,17 @@
 //! ```
 //!
 //! Request tags: `0x01` Manifest, `0x02` GetShard, `0x03` GetBatch,
-//! `0x04` Stats, `0x05` Shutdown.
+//! `0x04` Stats, `0x05` Shutdown, `0x06` GetTensors (explicit key list,
+//! the cluster client's per-owner slice of a batch).
 //! Response tags: `0x81` Manifest (JSON), `0x82` Shard (raw SKLH bytes),
-//! `0x83` Batch (f32 tensors), `0x84` Stats (JSON),
+//! `0x83` Batch (f32 tensors), `0x84` Stats (JSON), `0x85` Tensors
+//! (per-key f32 tensors, in request-key order),
 //! `0xEE` Error (kind byte + UTF-8 message).
+//!
+//! An overloaded server answers (or greets, at accept time) with an error
+//! frame of kind [`WireErrorKind::Busy`] instead of silently dropping the
+//! connection: backpressure is explicit on the wire, and clients treat it
+//! as retry-after-jitter rather than a failure.
 //!
 //! ## Trace-context trailer
 //!
@@ -53,6 +60,8 @@ pub const TAG_REQ_STATS: u8 = 0x04;
 /// Request tag: ask the server to stop (honored only when
 /// `ServeConfig::allow_shutdown` is set).
 pub const TAG_REQ_SHUTDOWN: u8 = 0x05;
+/// Request tag: tensorize an explicit list of shard keys.
+pub const TAG_REQ_TENSORS: u8 = 0x06;
 /// Response tag: manifest JSON.
 pub const TAG_RESP_MANIFEST: u8 = 0x81;
 /// Response tag: raw shard bytes.
@@ -61,8 +70,14 @@ pub const TAG_RESP_SHARD: u8 = 0x82;
 pub const TAG_RESP_BATCH: u8 = 0x83;
 /// Response tag: stats snapshot JSON.
 pub const TAG_RESP_STATS: u8 = 0x84;
+/// Response tag: per-key tensors, in request-key order.
+pub const TAG_RESP_TENSORS: u8 = 0x85;
 /// Response tag: error.
 pub const TAG_RESP_ERROR: u8 = 0xEE;
+
+/// Ceiling on keys per `GetTensors` request — far above any sane batch
+/// size, low enough that a hostile count cannot size an allocation.
+pub const MAX_TENSOR_KEYS: usize = 65_536;
 
 /// First byte of the optional trace-context trailer. Deliberately not a
 /// valid request tag, so a sliced/misframed payload cannot alias one.
@@ -83,7 +98,7 @@ fn need(buf: &[u8], n: usize, what: &str) -> io::Result<()> {
 }
 
 /// A client request.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Request {
     /// The store manifest, as JSON.
     Manifest,
@@ -95,6 +110,15 @@ pub enum Request {
         spec: BatchSpec,
         /// Zero-based batch index within the epoch.
         index: u64,
+    },
+    /// Tensorize these shards, in order — the cluster client's per-owner
+    /// slice of a batch (it computes the epoch order itself and asks each
+    /// owner only for the keys that owner holds).
+    GetTensors {
+        /// Tokens (strided feature rows) per sample.
+        tokens: u32,
+        /// The shards to tensorize, in the order they should come back.
+        keys: Vec<ShardKey>,
     },
     /// A live metrics snapshot (JSON [`crate::stats::StatsSnapshot`]).
     Stats,
@@ -128,6 +152,16 @@ impl Request {
                 p.put_u32_le(spec.tokens as u32);
                 p.put_u64_le(*index);
                 (TAG_REQ_BATCH, p)
+            }
+            Request::GetTensors { tokens, keys } => {
+                let mut p = Vec::with_capacity(8 + keys.len() * 16 + TRACE_TRAILER_LEN);
+                p.put_u32_le(*tokens);
+                p.put_u32_le(keys.len() as u32);
+                for key in keys {
+                    p.put_u64_le(key.snapshot as u64);
+                    p.put_u64_le(key.cube as u64);
+                }
+                (TAG_REQ_TENSORS, p)
             }
             Request::Stats => (TAG_REQ_STATS, Vec::new()),
             Request::Shutdown => (TAG_REQ_SHUTDOWN, Vec::new()),
@@ -185,6 +219,29 @@ impl Request {
                     index,
                 }
             }
+            TAG_REQ_TENSORS => {
+                need(payload, 8, "GetTensors request")?;
+                let tokens = payload.get_u32_le();
+                let count = payload.get_u32_le() as usize;
+                if count > MAX_TENSOR_KEYS {
+                    return Err(invalid(format!(
+                        "GetTensors asks for {count} keys, cap is {MAX_TENSOR_KEYS}"
+                    )));
+                }
+                let key_bytes = count
+                    .checked_mul(16)
+                    .ok_or_else(|| invalid("GetTensors key count overflows"))?;
+                need(payload, key_bytes, "GetTensors keys")?;
+                let mut keys = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let snapshot = usize::try_from(payload.get_u64_le())
+                        .map_err(|_| invalid("GetTensors snapshot overflows usize"))?;
+                    let cube = usize::try_from(payload.get_u64_le())
+                        .map_err(|_| invalid("GetTensors cube overflows usize"))?;
+                    keys.push(ShardKey { snapshot, cube });
+                }
+                Request::GetTensors { tokens, keys }
+            }
             TAG_REQ_STATS => Request::Stats,
             TAG_REQ_SHUTDOWN => Request::Shutdown,
             other => return Err(invalid(format!("unknown request tag {other:#04x}"))),
@@ -210,6 +267,10 @@ pub enum WireErrorKind {
     NotFound = 1,
     /// The request (or stored data) was malformed.
     InvalidData = 2,
+    /// The server is over its admission bound; retry after backing off.
+    /// Explicit backpressure — the server sheds load with this frame, never
+    /// by silently dropping the connection.
+    Busy = 3,
 }
 
 impl WireErrorKind {
@@ -217,6 +278,7 @@ impl WireErrorKind {
         match v {
             1 => WireErrorKind::NotFound,
             2 => WireErrorKind::InvalidData,
+            3 => WireErrorKind::Busy,
             _ => WireErrorKind::Other,
         }
     }
@@ -225,6 +287,7 @@ impl WireErrorKind {
         match kind {
             io::ErrorKind::NotFound => WireErrorKind::NotFound,
             io::ErrorKind::InvalidData => WireErrorKind::InvalidData,
+            io::ErrorKind::WouldBlock => WireErrorKind::Busy,
             _ => WireErrorKind::Other,
         }
     }
@@ -234,9 +297,27 @@ impl WireErrorKind {
         match self {
             WireErrorKind::NotFound => io::ErrorKind::NotFound,
             WireErrorKind::InvalidData => io::ErrorKind::InvalidData,
+            WireErrorKind::Busy => io::ErrorKind::WouldBlock,
             WireErrorKind::Other => io::ErrorKind::Other,
         }
     }
+}
+
+/// Per-key tensors answering a `GetTensors` request: entry `i` is the
+/// tensorization of request key `i`, so the cluster client can stitch
+/// owner responses back into batch order without any key echo.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TensorBlock {
+    /// Keys answered (= request key count).
+    pub count: usize,
+    /// Tokens per sample (echoed from the request).
+    pub tokens: usize,
+    /// Features per token.
+    pub features: usize,
+    /// Inputs, `count * tokens * features` long, entry-major.
+    pub inputs: Vec<f32>,
+    /// Targets, `count * features` long, entry-major.
+    pub targets: Vec<f32>,
 }
 
 /// A server response.
@@ -248,6 +329,8 @@ pub enum Response {
     Shard(Vec<u8>),
     /// One assembled batch.
     Batch(Batch),
+    /// Per-key tensors, in request-key order.
+    Tensors(TensorBlock),
     /// Stats snapshot JSON bytes ([`crate::stats::StatsSnapshot`]).
     Stats(Vec<u8>),
     /// The request failed; the error is a *response*, so the connection
@@ -288,6 +371,19 @@ impl Response {
                 }
                 (TAG_RESP_BATCH, p)
             }
+            Response::Tensors(block) => {
+                let mut p = Vec::with_capacity(12 + (block.inputs.len() + block.targets.len()) * 4);
+                p.put_u32_le(block.count as u32);
+                p.put_u32_le(block.tokens as u32);
+                p.put_u32_le(block.features as u32);
+                for &v in &block.inputs {
+                    p.put_slice(&v.to_le_bytes());
+                }
+                for &v in &block.targets {
+                    p.put_slice(&v.to_le_bytes());
+                }
+                (TAG_RESP_TENSORS, p)
+            }
             Response::Stats(json) => (TAG_RESP_STATS, json.clone()),
             Response::Error { kind, message } => {
                 let mut p = Vec::with_capacity(1 + message.len());
@@ -308,6 +404,7 @@ impl Response {
             TAG_RESP_MANIFEST => Ok(Response::Manifest(payload.to_vec())),
             TAG_RESP_SHARD => Ok(Response::Shard(payload.to_vec())),
             TAG_RESP_BATCH => decode_batch(payload),
+            TAG_RESP_TENSORS => decode_tensors(payload),
             TAG_RESP_STATS => Ok(Response::Stats(payload.to_vec())),
             TAG_RESP_ERROR => {
                 let (kind, msg) = payload
@@ -368,6 +465,40 @@ fn decode_batch(mut payload: &[u8]) -> io::Result<Response> {
             features,
             outputs,
         },
+    }))
+}
+
+fn decode_tensors(mut payload: &[u8]) -> io::Result<Response> {
+    need(payload, 12, "tensors header")?;
+    let count = payload.get_u32_le() as usize;
+    let tokens = payload.get_u32_le() as usize;
+    let features = payload.get_u32_le() as usize;
+    let n_inputs = count
+        .checked_mul(tokens)
+        .and_then(|v| v.checked_mul(features))
+        .ok_or_else(|| invalid("tensors input count overflows"))?;
+    let n_targets = count
+        .checked_mul(features)
+        .ok_or_else(|| invalid("tensors target count overflows"))?;
+    let total_bytes = n_inputs
+        .checked_add(n_targets)
+        .and_then(|v| v.checked_mul(4))
+        .ok_or_else(|| invalid("tensors payload size overflows"))?;
+    if payload.remaining() != total_bytes {
+        return Err(invalid(format!(
+            "tensors payload holds {} bytes, shape requires {}",
+            payload.remaining(),
+            total_bytes
+        )));
+    }
+    let inputs = get_f32s(&mut payload, n_inputs);
+    let targets = get_f32s(&mut payload, n_targets);
+    Ok(Response::Tensors(TensorBlock {
+        count,
+        tokens,
+        features,
+        inputs,
+        targets,
     }))
 }
 
@@ -433,6 +564,23 @@ mod tests {
             },
             index: 7,
         });
+        roundtrip_request(Request::GetTensors {
+            tokens: 16,
+            keys: vec![
+                ShardKey {
+                    snapshot: 0,
+                    cube: 5,
+                },
+                ShardKey {
+                    snapshot: 2,
+                    cube: 0,
+                },
+            ],
+        });
+        roundtrip_request(Request::GetTensors {
+            tokens: 1,
+            keys: Vec::new(),
+        });
         roundtrip_request(Request::Stats);
         roundtrip_request(Request::Shutdown);
     }
@@ -456,6 +604,13 @@ mod tests {
                     tokens: 8,
                 },
                 index: 0,
+            },
+            Request::GetTensors {
+                tokens: 4,
+                keys: vec![ShardKey {
+                    snapshot: 1,
+                    cube: 3,
+                }],
             },
             Request::Stats,
             Request::Shutdown,
@@ -521,10 +676,21 @@ mod tests {
             Response::Manifest(b"{\"version\":1}".to_vec()),
             Response::Shard(vec![1, 2, 3, 4]),
             Response::Batch(batch),
+            Response::Tensors(TensorBlock {
+                count: 2,
+                tokens: 1,
+                features: 2,
+                inputs: vec![1.0, -2.0, 3.5, 0.25],
+                targets: vec![0.5, -0.5, 1.5, -1.5],
+            }),
             Response::Stats(b"{\"requests\":12}".to_vec()),
             Response::Error {
                 kind: WireErrorKind::NotFound,
                 message: "no shard".into(),
+            },
+            Response::Error {
+                kind: WireErrorKind::Busy,
+                message: "admission bound reached".into(),
             },
         ] {
             let (tag, payload) = resp.encode();
@@ -602,5 +768,49 @@ mod tests {
             "trailing bytes"
         );
         assert!(Request::decode(TAG_REQ_BATCH, &[0u8; 8]).is_err());
+    }
+
+    #[test]
+    fn hostile_tensors_frames_are_errors_not_aborts() {
+        // Request claiming far more keys than bytes present.
+        let mut p = Vec::new();
+        p.put_u32_le(8);
+        p.put_u32_le(u32::MAX);
+        assert!(Request::decode(TAG_REQ_TENSORS, &p).is_err());
+        // Count over the hard cap, even with a matching length claim.
+        let mut q = Vec::new();
+        q.put_u32_le(8);
+        q.put_u32_le(MAX_TENSOR_KEYS as u32 + 1);
+        assert!(Request::decode(TAG_REQ_TENSORS, &q).is_err());
+        // Response whose counts disagree with the payload.
+        let mut r = Vec::new();
+        r.put_u32_le(u32::MAX);
+        r.put_u32_le(u32::MAX);
+        r.put_u32_le(u32::MAX);
+        assert!(decode_tensors(&r).is_err());
+        let mut s = Vec::new();
+        s.put_u32_le(1);
+        s.put_u32_le(2);
+        s.put_u32_le(2);
+        s.put_slice(&[0u8; 8]); // needs (4+2)*4 = 24 bytes, has 8
+        assert!(decode_tensors(&s).is_err());
+    }
+
+    #[test]
+    fn busy_round_trips_as_retryable_would_block() {
+        assert_eq!(WireErrorKind::Busy.to_io(), io::ErrorKind::WouldBlock);
+        assert_eq!(
+            WireErrorKind::from_io(io::ErrorKind::WouldBlock),
+            WireErrorKind::Busy
+        );
+        let (tag, payload) = Response::Error {
+            kind: WireErrorKind::Busy,
+            message: "shed".into(),
+        }
+        .encode();
+        match Response::decode(tag, &payload).unwrap() {
+            Response::Error { kind, .. } => assert_eq!(kind, WireErrorKind::Busy),
+            other => panic!("expected error frame, got {other:?}"),
+        }
     }
 }

@@ -1,41 +1,48 @@
 //! Multi-client batch server over plain `std::net` TCP.
 //!
-//! The server is deliberately std-only: a nonblocking accept loop that
-//! polls a stop flag, a fixed pool of worker threads draining accepted
-//! connections from a channel, and blocking per-connection I/O bounded by
-//! `SO_RCVTIMEO`. No async runtime — the protocol is strictly
-//! request/response per connection, so a thread per in-flight connection
-//! (queued beyond the pool) is the simplest correct design and the pool
-//! bounds memory.
+//! The server is deliberately std-only, and schedules at **request**
+//! granularity: a nonblocking accept loop admits connections (or sheds
+//! them with an explicit `Busy` frame past [`ServeConfig::max_conns`]),
+//! and a fixed pool of worker threads round-robins every open connection,
+//! assembling frames from nonblocking reads into a per-connection buffer
+//! and answering each completed request in place. A connection that is
+//! idle between requests costs a worker nothing — which is what lets a
+//! cluster client hold sockets to N servers at once while each server
+//! runs a pool far smaller than its connection count. (The previous
+//! design parked one worker per connection for its whole lifetime; with
+//! fan-out clients that deadlocks small pools, so it had to go.)
 //!
 //! Error handling contract: a *request* failure (unknown shard, malformed
 //! frame) is answered with an error frame and the connection stays usable;
-//! a *connection* failure (EOF, injected drop, repeated idle timeouts)
-//! closes only that connection. The server never dies because a client
-//! did.
+//! a *connection* failure (EOF, injected drop, idle expiry) closes only
+//! that connection. Overload is answered with a `Busy` error frame at
+//! accept time — explicit backpressure, never a silent drop. The server
+//! never dies because a client did.
 //!
 //! Fault injection: a [`FaultPlan`] entry `drop@C:R` severs connection `C`
 //! mid-way through the response to its `R`-th request (a partial frame is
 //! written, then the socket is shut down), exercising client
 //! reconnect-and-retry. `delay@C:R:ms` stalls a response; `kill@C:R`
-//! closes the connection before responding. Poison entries are ignored —
-//! the data plane has no in-place result to corrupt.
+//! closes the connection before responding; `die@C:R` exits the whole
+//! server process on the spot (no response, no trace flush), exercising
+//! cluster failover. Poison entries are ignored — the data plane has no
+//! in-place result to corrupt.
 
-use std::io::{self, Write};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc::{self, Receiver, RecvTimeoutError};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use sickle_hpc::fault::{FaultAction, FaultInjector, FaultPlan};
 
-use crate::batching::{batch_from_sets, batch_keys, num_batches, BatchSpec};
+use crate::batching::{batch_from_sets, batch_keys, num_batches, tensorize_set, BatchSpec};
 use crate::manifest::ShardKey;
 use crate::prefetch::Prefetcher;
-use crate::protocol::{read_frame, write_frame, Request, Response};
-use crate::stats::{ConnRegistry, StatsSnapshot};
+use crate::protocol::{write_frame, Request, Response, TensorBlock, WireErrorKind, MAX_FRAME};
+use crate::stats::{ConnGuard, ConnRegistry, StatsSnapshot};
 use crate::store::ShardStore;
 
 /// Server tuning.
@@ -43,21 +50,35 @@ use crate::store::ShardStore;
 pub struct ServeConfig {
     /// Bind address (`127.0.0.1:0` picks an ephemeral port).
     pub addr: String,
-    /// Worker threads (= concurrently served connections).
+    /// Worker threads. Workers multiplex all open connections, so this
+    /// bounds concurrent *request handling*, not connection count.
     pub threads: usize,
-    /// Per-read socket timeout; also the stop-flag poll cadence for idle
-    /// connections.
+    /// Unit of the idle window (kept from the blocking-I/O era so callers
+    /// keep their tuning): a silent connection is closed after
+    /// `read_timeout * idle_timeouts` without a byte.
     pub read_timeout: Duration,
-    /// Consecutive idle timeouts before a silent connection is closed.
+    /// Multiplier on `read_timeout` for the idle window.
     pub idle_timeouts: u32,
     /// How many upcoming batches to hint to the prefetcher after serving a
     /// `GetBatch` (0 disables lookahead).
     pub lookahead: usize,
-    /// Optional fault plan (`drop@conn:request` etc.) for resilience tests.
+    /// Optional fault plan (`drop@conn:request`, `die@conn:request`, ...)
+    /// for resilience tests.
     pub fault_plan: Option<FaultPlan>,
     /// Honor `Request::Shutdown` (off by default: a shared server should
     /// not be stoppable by any client that can reach it).
     pub allow_shutdown: bool,
+    /// Admission bound: past this many open connections, new arrivals are
+    /// answered with one `Busy` error frame and closed (`0` = unlimited).
+    /// Explicit shedding keeps overload visible to clients as retryable
+    /// backpressure instead of connect timeouts.
+    pub max_conns: usize,
+    /// Synthetic service time per shard key served (µs), slept in the
+    /// worker while the request is handled. `0` (the default) disables it.
+    /// `loadgen` uses this to model per-node disk/NIC bandwidth on a
+    /// shared-CPU loopback host, so cluster scaling measures the data
+    /// plane's load spreading rather than the host's core count.
+    pub model_us_per_key: u64,
 }
 
 impl Default for ServeConfig {
@@ -70,9 +91,26 @@ impl Default for ServeConfig {
             lookahead: 1,
             fault_plan: None,
             allow_shutdown: false,
+            max_conns: 1024,
+            model_us_per_key: 0,
         }
     }
 }
+
+/// How long a worker sleeps after visiting a connection that had nothing
+/// to read — the poll cadence for idle connections. Active connections
+/// are revisited without sleeping, so throughput never waits on this.
+const IDLE_POLL: Duration = Duration::from_micros(200);
+
+/// Sleep between retries of a partial nonblocking write (response larger
+/// than the socket buffer).
+const WRITE_POLL: Duration = Duration::from_millis(1);
+
+/// A peer that stops reading mid-response is cut after this long.
+const WRITE_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Bytes of a frame header on the wire (tag + length prefix).
+const FRAME_HEADER: usize = 5;
 
 struct Shared {
     store: Arc<ShardStore>,
@@ -82,6 +120,22 @@ struct Shared {
     cfg: ServeConfig,
     stop: Arc<AtomicBool>,
     conns: ConnRegistry,
+    queue: Mutex<VecDeque<Conn>>,
+}
+
+/// One open connection's scheduling state, owned by whichever worker is
+/// currently visiting it (or parked in the shared queue).
+struct Conn {
+    stream: TcpStream,
+    id: usize,
+    /// Partially assembled inbound frame bytes.
+    buf: Vec<u8>,
+    /// Last instant a byte arrived; drives idle expiry.
+    last_activity: Instant,
+    /// Accept instant, consumed by the first worker visit to report the
+    /// dispatch-queue wait.
+    accepted: Option<Instant>,
+    guard: ConnGuard,
 }
 
 /// A running server. [`shutdown`](Self::shutdown) (or drop) stops the
@@ -146,47 +200,23 @@ pub fn serve(store: Arc<ShardStore>, cfg: ServeConfig) -> io::Result<ServerHandl
         cfg: cfg.clone(),
         stop: Arc::clone(&stop),
         conns: ConnRegistry::default(),
+        queue: Mutex::new(VecDeque::new()),
     });
-
-    let (conn_tx, conn_rx) = mpsc::channel::<(TcpStream, usize, Instant)>();
-    let conn_rx = Arc::new(Mutex::new(conn_rx));
 
     let workers = (0..cfg.threads.max(1))
         .map(|w| {
-            let rx = Arc::clone(&conn_rx);
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name(format!("sickle-serve-worker-{w}"))
-                .spawn(move || worker_loop(&rx, &shared))
+                .spawn(move || worker_loop(&shared))
                 .expect("spawn serve worker")
         })
         .collect();
 
-    let accept_stop = Arc::clone(&stop);
+    let accept_shared = Arc::clone(&shared);
     let accept = std::thread::Builder::new()
         .name("sickle-serve-accept".into())
-        .spawn(move || {
-            let next_conn = AtomicUsize::new(0);
-            while !accept_stop.load(Ordering::SeqCst) {
-                match listener.accept() {
-                    Ok((stream, _peer)) => {
-                        let id = next_conn.fetch_add(1, Ordering::SeqCst);
-                        sickle_obs::counter!("serve.conn.accepted", 1usize);
-                        // The accept instant rides along so the worker that
-                        // picks this connection up can report how long it
-                        // sat in the dispatch queue.
-                        if conn_tx.send((stream, id, Instant::now())).is_err() {
-                            break;
-                        }
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(2));
-                    }
-                    Err(_) => std::thread::sleep(Duration::from_millis(2)),
-                }
-            }
-            // conn_tx drops here; idle workers see Disconnected and exit.
-        })
+        .spawn(move || accept_loop(&listener, &accept_shared))
         .expect("spawn serve accept loop");
 
     Ok(ServerHandle {
@@ -197,144 +227,320 @@ pub fn serve(store: Arc<ShardStore>, cfg: ServeConfig) -> io::Result<ServerHandl
     })
 }
 
-fn worker_loop(rx: &Mutex<Receiver<(TcpStream, usize, Instant)>>, shared: &Shared) {
-    loop {
-        let next = {
-            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
-            guard.recv_timeout(Duration::from_millis(50))
-        };
-        match next {
-            Ok((stream, conn_id, queued)) => handle_connection(stream, conn_id, queued, shared),
-            Err(RecvTimeoutError::Timeout) => {
-                if shared.stop.load(Ordering::SeqCst) {
-                    return;
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    let mut next_conn = 0usize;
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let bound = shared.cfg.max_conns;
+                if bound > 0 && shared.conns.open_count() >= bound {
+                    shed(stream, bound, shared);
+                    continue;
                 }
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                let id = next_conn;
+                next_conn += 1;
+                sickle_obs::counter!("serve.conn.accepted", 1usize);
+                let conn = Conn {
+                    stream,
+                    id,
+                    buf: Vec::new(),
+                    last_activity: Instant::now(),
+                    accepted: Some(Instant::now()),
+                    guard: shared.conns.register(),
+                };
+                queue_lock(shared).push_back(conn);
             }
-            Err(RecvTimeoutError::Disconnected) => return,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
         }
     }
+    // Drain parked connections so shutdown closes promptly.
+    queue_lock(shared).clear();
 }
 
-fn is_timeout(kind: io::ErrorKind) -> bool {
-    // SO_RCVTIMEO surfaces as WouldBlock on Unix, TimedOut on Windows.
-    matches!(kind, io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
-}
-
-fn handle_connection(mut stream: TcpStream, conn_id: usize, queued: Instant, shared: &Shared) {
-    // Time from accept to a worker picking the connection up: the dispatch
-    // queue wait a saturated pool shows first.
-    let queue_wait_us = queued.elapsed().as_micros() as f64;
-    sickle_obs::histogram!("serve.queue_wait_us", queue_wait_us);
-    let _span = sickle_obs::span!("serve.conn", conn = conn_id, queue_wait_us = queue_wait_us);
-    let conn_guard = shared.conns.register();
-    if stream
-        .set_read_timeout(Some(shared.cfg.read_timeout))
-        .is_err()
-    {
-        return;
+/// Answers an over-bound arrival with one `Busy` frame and closes. The
+/// socket is still blocking here (fresh from accept, empty send buffer),
+/// so the write completes or fails immediately — no worker is tied up.
+/// The counter only moves when the whole frame went out: the overload
+/// test equates it with client-observed busy retries.
+fn shed(mut stream: TcpStream, bound: usize, shared: &Shared) {
+    let (tag, payload) = Response::Error {
+        kind: WireErrorKind::Busy,
+        message: format!("server at its {bound}-connection admission bound; retry with backoff"),
     }
+    .encode();
     let _ = stream.set_nodelay(true);
-    let mut idle = 0u32;
+    if write_frame(&mut stream, tag, &payload).is_ok() {
+        sickle_obs::counter!("serve.shed", 1usize);
+        // Half-close, then drain until the peer hangs up: closing with
+        // unread request bytes in the receive buffer would RST the
+        // connection and could destroy the Busy frame before the peer
+        // reads it — breaking the shed == client-observed-busy ledger the
+        // overload test audits. The drain is bounded by the read timeout,
+        // so a silent peer cannot stall the accept loop for long.
+        let _ = stream.shutdown(Shutdown::Write);
+        let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
+        let mut sink = [0u8; 1024];
+        while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+    }
+}
+
+fn queue_lock(shared: &Shared) -> std::sync::MutexGuard<'_, VecDeque<Conn>> {
+    shared.queue.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn worker_loop(shared: &Shared) {
+    // Consecutive idle visits since the last productive one. A worker only
+    // sleeps after a full fruitless sweep of the parked connections:
+    // sleeping per idle *visit* would make a ready connection wait behind
+    // a chain of 200µs naps proportional to how many idle peers happen to
+    // sit ahead of it in the queue.
+    let mut idle_streak = 0usize;
     loop {
         if shared.stop.load(Ordering::SeqCst) {
             return;
         }
-        let (tag, payload) = match read_frame(&mut stream) {
-            Ok(frame) => frame,
-            Err(e) if is_timeout(e.kind()) => {
-                idle += 1;
-                if idle > shared.cfg.idle_timeouts {
+        let conn = queue_lock(shared).pop_front();
+        let Some(mut conn) = conn else {
+            idle_streak = 0;
+            std::thread::sleep(Duration::from_millis(1));
+            continue;
+        };
+        if let Some(accepted) = conn.accepted.take() {
+            sickle_obs::histogram!("serve.queue_wait_us", accepted.elapsed().as_micros() as f64);
+        }
+        match visit(&mut conn, shared) {
+            Visit::Active => {
+                idle_streak = 0;
+                queue_lock(shared).push_back(conn);
+            }
+            Visit::Idle => {
+                let window = shared.cfg.read_timeout * shared.cfg.idle_timeouts.max(1);
+                if conn.last_activity.elapsed() > window {
                     sickle_obs::counter!("serve.conn.idle_closed", 1usize);
-                    return;
+                    // Dropping conn closes the socket and deregisters.
+                } else {
+                    let parked = {
+                        let mut queue = queue_lock(shared);
+                        queue.push_back(conn);
+                        queue.len()
+                    };
+                    idle_streak += 1;
+                    if idle_streak >= parked {
+                        idle_streak = 0;
+                        std::thread::sleep(IDLE_POLL);
+                    }
                 }
-                continue;
             }
-            Err(_) => return, // EOF or reset: client is gone
-        };
-        idle = 0;
-        let t0 = Instant::now();
-
-        match shared.injector.on_cube(conn_id) {
-            FaultAction::Proceed | FaultAction::Poison => {}
-            FaultAction::Delay(d) => std::thread::sleep(d),
-            FaultAction::Kill => {
-                sickle_obs::counter!("serve.conn.killed", 1usize);
-                let _ = stream.shutdown(Shutdown::Both);
-                return;
-            }
-            FaultAction::Drop => {
-                sickle_obs::counter!("serve.conn.dropped", 1usize);
-                sever_mid_response(&mut stream, tag, &payload, shared);
-                return;
-            }
+            Visit::Close => idle_streak = 0,
         }
-
-        // A request carrying a trace context parents this span under the
-        // *client's* span (cross-process link in the merged trace); a bare
-        // request nests under `serve.conn` as before.
-        let decoded = Request::decode_with_context(tag, &payload);
-        let parent = match &decoded {
-            Ok((_, Some(ctx))) => ctx.span_id,
-            _ => sickle_obs::current_span_id(),
-        };
-        let req_span = sickle_obs::child_span!(parent, "serve.request", conn = conn_id);
-        let response = match decoded {
-            Ok((req, _)) => answer(req, shared),
-            Err(e) => {
-                sickle_obs::counter!("serve.request.malformed", 1usize);
-                Response::from_error(&e)
-            }
-        };
-        let enc0 = Instant::now();
-        let (rtag, rpayload) = {
-            let _s = sickle_obs::span!("serve.encode");
-            response.encode()
-        };
-        sickle_obs::histogram!("serve.encode_us", enc0.elapsed().as_micros() as f64);
-        let write_ok = {
-            let _s = sickle_obs::span!("serve.write", bytes = rpayload.len());
-            write_frame(&mut stream, rtag, &rpayload).is_ok()
-        };
-        drop(req_span);
-        if !write_ok {
-            return;
-        }
-        let bytes_in = (FRAME_HEADER + payload.len()) as u64;
-        let bytes_out = (FRAME_HEADER + rpayload.len()) as u64;
-        conn_guard.counters().record(bytes_in, bytes_out);
-        sickle_obs::counter!("store.serve.requests", 1usize);
-        sickle_obs::counter!("store.serve.bytes_in", bytes_in);
-        sickle_obs::counter!("store.serve.bytes_out", bytes_out);
-        sickle_obs::histogram!("serve.request_us", t0.elapsed().as_micros() as f64);
-        sickle_obs::counter!("serve.request.ok", 1usize);
     }
 }
 
-/// Bytes of a frame header on the wire (tag + length prefix).
-const FRAME_HEADER: usize = 5;
+enum Visit {
+    /// Bytes or requests moved; revisit without sleeping.
+    Active,
+    /// Nothing to read; park and poll later.
+    Idle,
+    /// Peer gone, fault fired, or protocol breach: drop the connection.
+    Close,
+}
+
+/// One worker visit: pull whatever bytes are ready, answer every complete
+/// frame, put the connection back (or not).
+fn visit(conn: &mut Conn, shared: &Shared) -> Visit {
+    let mut moved = false;
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        // A hostile length prefix closes the connection before any
+        // allocation — same discipline as the blocking read_frame had.
+        if conn.buf.len() >= FRAME_HEADER {
+            let len = frame_len(&conn.buf);
+            if len > MAX_FRAME {
+                sickle_obs::counter!("serve.request.malformed", 1usize);
+                return Visit::Close;
+            }
+            if conn.buf.len() >= FRAME_HEADER + len {
+                break; // complete frame buffered; go answer it
+            }
+        }
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => return Visit::Close, // EOF: client is gone
+            Ok(n) => {
+                conn.buf.extend_from_slice(&chunk[..n]);
+                conn.last_activity = Instant::now();
+                moved = true;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return Visit::Close,
+        }
+    }
+    // Answer every complete frame (the protocol is request/response per
+    // connection, so normally at most one is waiting).
+    while conn.buf.len() >= FRAME_HEADER && conn.buf.len() >= FRAME_HEADER + frame_len(&conn.buf) {
+        let len = frame_len(&conn.buf);
+        let tag = conn.buf[0];
+        let payload: Vec<u8> = conn.buf[FRAME_HEADER..FRAME_HEADER + len].to_vec();
+        conn.buf.drain(..FRAME_HEADER + len);
+        moved = true;
+        if !handle_request(conn, tag, &payload, shared) {
+            return Visit::Close;
+        }
+        if shared.stop.load(Ordering::SeqCst) {
+            return Visit::Close;
+        }
+    }
+    if moved {
+        Visit::Active
+    } else {
+        Visit::Idle
+    }
+}
+
+fn frame_len(buf: &[u8]) -> usize {
+    u32::from_le_bytes([buf[1], buf[2], buf[3], buf[4]]) as usize
+}
+
+/// Answers one request on `conn`. Returns `false` when the connection
+/// must close (fault fired, write failed).
+fn handle_request(conn: &mut Conn, tag: u8, payload: &[u8], shared: &Shared) -> bool {
+    let t0 = Instant::now();
+    match shared.injector.on_cube(conn.id) {
+        FaultAction::Proceed | FaultAction::Poison => {}
+        FaultAction::Delay(d) => std::thread::sleep(d),
+        FaultAction::Kill => {
+            sickle_obs::counter!("serve.conn.killed", 1usize);
+            let _ = conn.stream.shutdown(Shutdown::Both);
+            return false;
+        }
+        FaultAction::Drop => {
+            sickle_obs::counter!("serve.conn.dropped", 1usize);
+            sever_mid_response(conn, tag, payload, shared);
+            return false;
+        }
+        FaultAction::Die => {
+            // Process-level chaos: no response, no trace flush, no joined
+            // threads — exactly what a node loss looks like to clients.
+            eprintln!("sickle-serve: injected die fault (conn {})", conn.id);
+            std::process::exit(86);
+        }
+    }
+
+    // A request carrying a trace context parents this span under the
+    // *client's* span (cross-process link in the merged trace).
+    let decoded = Request::decode_with_context(tag, payload);
+    let parent = match &decoded {
+        Ok((_, Some(ctx))) => ctx.span_id,
+        _ => sickle_obs::current_span_id(),
+    };
+    let req_span = sickle_obs::child_span!(parent, "serve.request", conn = conn.id);
+    let response = match decoded {
+        Ok((req, _)) => answer(req, shared),
+        Err(e) => {
+            sickle_obs::counter!("serve.request.malformed", 1usize);
+            Response::from_error(&e)
+        }
+    };
+    let enc0 = Instant::now();
+    let (rtag, rpayload) = {
+        let _s = sickle_obs::span!("serve.encode");
+        response.encode()
+    };
+    sickle_obs::histogram!("serve.encode_us", enc0.elapsed().as_micros() as f64);
+    let write_ok = {
+        let _s = sickle_obs::span!("serve.write", bytes = rpayload.len());
+        write_response(&mut conn.stream, rtag, &rpayload).is_ok()
+    };
+    drop(req_span);
+    if !write_ok {
+        return false;
+    }
+    let bytes_in = (FRAME_HEADER + payload.len()) as u64;
+    let bytes_out = (FRAME_HEADER + rpayload.len()) as u64;
+    conn.guard.counters().record(bytes_in, bytes_out);
+    sickle_obs::counter!("store.serve.requests", 1usize);
+    sickle_obs::counter!("store.serve.bytes_in", bytes_in);
+    sickle_obs::counter!("store.serve.bytes_out", bytes_out);
+    sickle_obs::histogram!("serve.request_us", t0.elapsed().as_micros() as f64);
+    sickle_obs::counter!("serve.request.ok", 1usize);
+    true
+}
+
+/// `write_all` over a nonblocking socket: spins on `WouldBlock` with a
+/// short sleep, gives up past [`WRITE_DEADLINE`] (a peer that stopped
+/// reading must not pin a worker forever).
+fn write_poll(stream: &mut TcpStream, mut bytes: &[u8]) -> io::Result<()> {
+    let deadline = Instant::now() + WRITE_DEADLINE;
+    while !bytes.is_empty() {
+        match stream.write(bytes) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => bytes = &bytes[n..],
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(io::ErrorKind::TimedOut.into());
+                }
+                std::thread::sleep(WRITE_POLL);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+fn write_response(stream: &mut TcpStream, tag: u8, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "response exceeds MAX_FRAME",
+        ));
+    }
+    let mut header = [0u8; FRAME_HEADER];
+    header[0] = tag;
+    header[1..].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    write_poll(stream, &header)?;
+    write_poll(stream, payload)?;
+    stream.flush()
+}
 
 /// Builds the real response, writes a deliberately truncated frame, and
 /// cuts the socket — the injected `drop` fault. The client observes a
 /// mid-frame EOF, which its retry loop must treat as transient.
-fn sever_mid_response(stream: &mut TcpStream, tag: u8, payload: &[u8], shared: &Shared) {
+fn sever_mid_response(conn: &mut Conn, tag: u8, payload: &[u8], shared: &Shared) {
     let response = match Request::decode(tag, payload) {
         Ok(req) => answer(req, shared),
         Err(e) => Response::from_error(&e),
     };
     let (rtag, rpayload) = response.encode();
-    let mut header = [0u8; 5];
+    let mut header = [0u8; FRAME_HEADER];
     header[0] = rtag;
-    header[1..5].copy_from_slice(&(rpayload.len() as u32).to_le_bytes());
-    let _ = stream.write_all(&header);
-    let _ = stream.write_all(&rpayload[..rpayload.len() / 2]);
-    let _ = stream.flush();
-    let _ = stream.shutdown(Shutdown::Both);
+    header[1..].copy_from_slice(&(rpayload.len() as u32).to_le_bytes());
+    let _ = write_poll(&mut conn.stream, &header);
+    let _ = write_poll(&mut conn.stream, &rpayload[..rpayload.len() / 2]);
+    let _ = conn.stream.flush();
+    let _ = conn.stream.shutdown(Shutdown::Both);
 }
 
 fn answer(req: Request, shared: &Shared) -> Response {
     match serve_request(req, shared) {
         Ok(resp) => resp,
         Err(e) => Response::from_error(&e),
+    }
+}
+
+/// Sleeps out the synthetic per-key service time, when configured — the
+/// loadgen capacity model (see [`ServeConfig::model_us_per_key`]).
+fn model_service(shared: &Shared, keys_served: usize) {
+    let us = shared.cfg.model_us_per_key;
+    if us > 0 && keys_served > 0 {
+        std::thread::sleep(Duration::from_micros(us * keys_served as u64));
     }
 }
 
@@ -364,8 +570,37 @@ fn serve_request(req: Request, shared: &Shared) -> io::Result<Response> {
                 .map(|&k| shared.store.get(k))
                 .collect::<io::Result<Vec<_>>>()?;
             hint_lookahead(shared, spec, index);
+            model_service(shared, keys.len());
             let _s = sickle_obs::span!("serve.assemble_batch");
             Ok(Response::Batch(batch_from_sets(&sets, spec.tokens)?))
+        }
+        Request::GetTensors { tokens, keys } => {
+            let tokens = tokens as usize;
+            let mut features = 0usize;
+            let mut inputs = Vec::with_capacity(keys.len() * tokens);
+            let mut targets = Vec::with_capacity(keys.len());
+            for &key in &keys {
+                let set = shared.store.get(key)?;
+                let (i, t) = tensorize_set(&set, tokens)?;
+                if features == 0 {
+                    features = set.features.dim();
+                } else if set.features.dim() != features {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "feature dimension mismatch across requested keys",
+                    ));
+                }
+                inputs.extend(i);
+                targets.extend(t);
+            }
+            model_service(shared, keys.len());
+            Ok(Response::Tensors(TensorBlock {
+                count: keys.len(),
+                tokens,
+                features,
+                inputs,
+                targets,
+            }))
         }
         Request::Stats => Ok(Response::Stats(
             StatsSnapshot::collect(&shared.conns).to_json(),
@@ -378,8 +613,8 @@ fn serve_request(req: Request, shared: &Shared) -> io::Result<Response> {
                 ));
             }
             // Snapshot first, then raise the stop flag: the response still
-            // goes out (the connection loop re-checks stop only before the
-            // *next* read), and it doubles as the server's final stats.
+            // goes out (the worker re-checks stop only after answering),
+            // and it doubles as the server's final stats.
             let snap = StatsSnapshot::collect(&shared.conns);
             sickle_obs::info!("serve", "shutdown requested by client");
             shared.stop.store(true, Ordering::SeqCst);

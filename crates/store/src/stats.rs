@@ -75,6 +75,11 @@ impl ConnRegistry {
         self.inner.total.load(Ordering::Relaxed)
     }
 
+    /// Connections currently open — the admission bound's input.
+    pub fn open_count(&self) -> usize {
+        self.inner.open.lock().expect("conn registry lock").len()
+    }
+
     /// Snapshot of every live connection's counters.
     pub fn live(&self) -> Vec<ConnStats> {
         self.inner
@@ -144,6 +149,11 @@ pub struct StatsSnapshot {
     pub connections_total: u64,
     /// Requests served (all connections, lifetime).
     pub requests_total: u64,
+    /// Arrivals shed with a `Busy` frame at the admission bound (lifetime).
+    /// The overload test reconciles this against the busy retries its
+    /// clients observed: every shed is counted on exactly one side of the
+    /// wire by each party.
+    pub requests_shed: u64,
     /// Request bytes read (lifetime).
     pub bytes_in: u64,
     /// Response bytes written (lifetime).
@@ -182,6 +192,7 @@ impl StatsSnapshot {
             connections_open: live.len() as u64,
             connections_total: conns.total(),
             requests_total: value_of("store.serve.requests") as u64,
+            requests_shed: value_of("serve.shed") as u64,
             bytes_in: value_of("store.serve.bytes_in") as u64,
             bytes_out: value_of("store.serve.bytes_out") as u64,
             cache_hits: hits as u64,

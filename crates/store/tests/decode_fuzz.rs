@@ -9,16 +9,17 @@ use proptest::prelude::*;
 use sickle_obs::TraceContext;
 use sickle_store::batching::BatchSpec;
 use sickle_store::manifest::ShardKey;
-use sickle_store::protocol::{Request, Response, TRACE_TRAILER_LEN};
+use sickle_store::protocol::{Request, Response, TensorBlock, TRACE_TRAILER_LEN};
 use sickle_store::stats::StatsSnapshot;
 
-/// Decodes a draw from the 5-way request space (the vendored proptest has
+/// Decodes a draw from the 6-way request space (the vendored proptest has
 /// no `prop_oneof`, so the discriminant is an explicit field).
 #[allow(clippy::type_complexity)]
 fn request_of(
-    ((which, snapshot, cube), (seed, batch_size, tokens, index)): (
+    ((which, snapshot, cube), (seed, batch_size, tokens, index), keys): (
         (usize, usize, usize),
         (u64, usize, usize, u64),
+        Vec<(usize, usize)>,
     ),
 ) -> Request {
     match which {
@@ -26,7 +27,7 @@ fn request_of(
         1 => Request::Stats,
         2 => Request::Shutdown,
         3 => Request::GetShard(ShardKey { snapshot, cube }),
-        _ => Request::GetBatch {
+        4 => Request::GetBatch {
             spec: BatchSpec {
                 seed,
                 batch_size,
@@ -34,13 +35,21 @@ fn request_of(
             },
             index,
         },
+        _ => Request::GetTensors {
+            tokens: tokens as u32,
+            keys: keys
+                .into_iter()
+                .map(|(snapshot, cube)| ShardKey { snapshot, cube })
+                .collect(),
+        },
     }
 }
 
 fn any_request() -> impl Strategy<Value = Request> {
     (
-        (0usize..5, 0usize..1_000_000, 0usize..1_000_000),
+        (0usize..6, 0usize..1_000_000, 0usize..1_000_000),
         (0u64..=u64::MAX, 1usize..4096, 1usize..4096, 0u64..=u64::MAX),
+        proptest::collection::vec((0usize..1_000_000, 0usize..1_000_000), 0..8),
     )
         .prop_map(request_of)
 }
@@ -133,5 +142,43 @@ proptest! {
         payload in proptest::collection::vec(0u8..=255, 0..256),
     ) {
         let _ = Response::decode(tag, &payload);
+    }
+
+    #[test]
+    fn any_request_roundtrips_exactly(req in any_request()) {
+        // The full 6-way request space (including GetTensors key lists)
+        // survives an encode/decode cycle unchanged.
+        let (tag, payload) = req.encode();
+        prop_assert_eq!(Request::decode(tag, &payload).unwrap(), req);
+    }
+
+    #[test]
+    fn tensor_blocks_roundtrip_bit_exact(
+        count in 0usize..6,
+        tokens in 1usize..8,
+        features in 1usize..8,
+        fill in proptest::collection::vec(-1.0e30f32..1.0e30, 0..8),
+    ) {
+        let value = |i: usize| *fill.get(i % fill.len().max(1)).unwrap_or(&0.25) + i as f32;
+        let block = TensorBlock {
+            count,
+            tokens,
+            features,
+            inputs: (0..count * tokens * features).map(value).collect(),
+            targets: (0..count * features).map(value).collect(),
+        };
+        let (tag, payload) = Response::Tensors(block.clone()).encode();
+        match Response::decode(tag, &payload).unwrap() {
+            Response::Tensors(back) => {
+                prop_assert_eq!(back.count, block.count);
+                prop_assert_eq!(back.tokens, block.tokens);
+                prop_assert_eq!(back.features, block.features);
+                let bits =
+                    |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                prop_assert_eq!(bits(&back.inputs), bits(&block.inputs));
+                prop_assert_eq!(bits(&back.targets), bits(&block.targets));
+            }
+            other => prop_assert!(false, "expected Tensors, got {other:?}"),
+        }
     }
 }

@@ -1,0 +1,184 @@
+//! Property tests for the consistent-hash ring.
+//!
+//! The placement contract the cluster leans on, stated as properties:
+//!
+//! 1. **Cross-process determinism** — placement is a pure function of
+//!    member names and the key. Any two processes (ingest, servers,
+//!    clients) agree with no coordination; the golden test pins exact
+//!    values computed by an independent FNV-1a implementation, so a silent
+//!    hash change cannot slip through.
+//! 2. **Replication** — every key has `min(r, members)` *distinct* owners,
+//!    primary first.
+//! 3. **Minimal disruption** — removing one member cannot change the
+//!    primary of any key that member did not own (asserted *exactly*), and
+//!    the total fraction of keys whose primary moves on a remove/add is
+//!    below `2/N` (the issue's statistical bound; the expectation is
+//!    `1/N`).
+
+use proptest::prelude::*;
+
+use sickle_store::manifest::ShardKey;
+use sickle_store::ring::{key_hash, HashRing};
+
+fn key(snapshot: usize, cube: usize) -> ShardKey {
+    ShardKey { snapshot, cube }
+}
+
+fn names(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("store-{i}")).collect()
+}
+
+/// A fixed key population large enough for the `2/N` bound to be a real
+/// statistical statement (not noise on a handful of keys).
+fn key_grid() -> Vec<ShardKey> {
+    (0..16)
+        .flat_map(|s| (0..32).map(move |c| key(s, c)))
+        .collect()
+}
+
+#[test]
+fn golden_placements_pin_the_hash_function() {
+    // Computed by an independent FNV-1a64 implementation over the same
+    // inputs (16-byte LE key encoding; "{name}#{vnode}" ring points,
+    // 128 vnodes, members store-0/1/2). If these move, every deployed
+    // ring disagrees with every already-ingested partition.
+    assert_eq!(key_hash(key(0, 0)), 0x8820_1fb9_60ff_6465);
+    assert_eq!(key_hash(key(0, 5)), 0xed3a_3c8c_2a52_f1c0);
+    assert_eq!(key_hash(key(1, 3)), 0x9612_5f0c_6eb8_2a87);
+    assert_eq!(key_hash(key(7, 31)), 0xdf98_dc55_4efc_ed1d);
+    let ring = HashRing::new(&names(3));
+    assert_eq!(ring.owners(key(0, 0), 2), vec!["store-1", "store-2"]);
+    assert_eq!(ring.owners(key(0, 5), 2), vec!["store-2", "store-0"]);
+    assert_eq!(ring.owners(key(1, 3), 2), vec!["store-1", "store-2"]);
+    assert_eq!(ring.owners(key(7, 31), 2), vec!["store-0", "store-2"]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn placement_ignores_insertion_order_and_process(
+        n in 1usize..7,
+        rotate in 0usize..7,
+        snapshot in 0usize..1000,
+        cube in 0usize..1000,
+        r in 1usize..4,
+    ) {
+        let mut shuffled = names(n);
+        shuffled.rotate_left(rotate % n.max(1));
+        let a = HashRing::new(&names(n));
+        let b = HashRing::new(&shuffled);
+        prop_assert_eq!(a.owners(key(snapshot, cube), r), b.owners(key(snapshot, cube), r));
+    }
+
+    #[test]
+    fn every_key_has_r_distinct_owners(
+        n in 1usize..7,
+        snapshot in 0usize..1000,
+        cube in 0usize..1000,
+        r in 1usize..5,
+    ) {
+        let ring = HashRing::new(&names(n));
+        let owners = ring.owners(key(snapshot, cube), r);
+        prop_assert_eq!(owners.len(), r.min(n));
+        let mut uniq = owners.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        prop_assert_eq!(uniq.len(), owners.len());
+        prop_assert_eq!(owners[0], ring.primary(key(snapshot, cube)));
+    }
+
+    #[test]
+    fn removing_one_member_remaps_less_than_two_over_n(
+        n in 3usize..7,
+        removed in 0usize..7,
+    ) {
+        let removed = removed % n;
+        let full = names(n);
+        let reduced: Vec<String> = full
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != removed)
+            .map(|(_, m)| m.clone())
+            .collect();
+        let before = HashRing::new(&full);
+        let after = HashRing::new(&reduced);
+        let keys = key_grid();
+        let mut moved = 0usize;
+        for &k in &keys {
+            let was = before.primary(k);
+            let is = after.primary(k);
+            if was != is {
+                // Exact guarantee: only the removed member's keys move.
+                // Exactness: a key the removed member did not own keeps
+                // its primary.
+                prop_assert_eq!(was, full[removed].as_str());
+                moved += 1;
+            }
+        }
+        let bound = 2.0 / n as f64;
+        prop_assert!(
+            (moved as f64) < bound * keys.len() as f64,
+            "removal remapped {moved}/{} keys, bound {bound:.3}",
+            keys.len()
+        );
+    }
+
+    #[test]
+    fn adding_one_member_only_steals_for_the_newcomer(
+        n in 2usize..6,
+    ) {
+        let before = HashRing::new(&names(n));
+        let grown = HashRing::new(&names(n + 1));
+        let newcomer = format!("store-{n}");
+        let keys = key_grid();
+        let mut moved = 0usize;
+        for &k in &keys {
+            if before.primary(k) != grown.primary(k) {
+                // A grow must never move a key to an *old* member.
+                prop_assert_eq!(grown.primary(k), newcomer.as_str());
+                moved += 1;
+            }
+        }
+        let bound = 2.0 / (n + 1) as f64;
+        prop_assert!(
+            (moved as f64) < bound * keys.len() as f64,
+            "growth remapped {moved}/{} keys, bound {bound:.3}",
+            keys.len()
+        );
+    }
+
+    #[test]
+    fn replica_sets_shrink_consistently_on_removal(
+        n in 3usize..6,
+        removed in 0usize..6,
+        snapshot in 0usize..100,
+        cube in 0usize..100,
+    ) {
+        // With R=2, a key that loses one owner keeps its other owner —
+        // the failover invariant the chaos test relies on.
+        let removed = removed % n;
+        let full = names(n);
+        let reduced: Vec<String> = full
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != removed)
+            .map(|(_, m)| m.clone())
+            .collect();
+        let before = HashRing::new(&full);
+        let after = HashRing::new(&reduced);
+        let k = key(snapshot, cube);
+        let survivors: Vec<&str> = before
+            .owners(k, 2)
+            .into_iter()
+            .filter(|&m| m != full[removed])
+            .collect();
+        let new_owners = after.owners(k, 2);
+        for s in survivors {
+            prop_assert!(
+                new_owners.contains(&s),
+                "surviving replica {s} lost ownership on the shrunk ring"
+            );
+        }
+    }
+}

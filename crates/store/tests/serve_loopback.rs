@@ -62,6 +62,7 @@ fn fast_client(addr: std::net::SocketAddr) -> StoreClient {
             retries: 4,
             backoff: Duration::from_millis(10),
             timeout: Duration::from_secs(5),
+            ..ClientConfig::default()
         },
     )
 }
