@@ -111,9 +111,48 @@ fn metrics_for(suite: &str, baseline: &Value) -> Result<Vec<Metric>, String> {
             }
             Ok(out)
         }
+        "compression" => {
+            let Some(Value::Array(workloads)) = lookup(baseline, "workloads") else {
+                return Err("compression baseline has no workloads array".into());
+            };
+            let mut out = Vec::new();
+            for w in workloads {
+                let Some(name) = lookup_str(w, "name") else {
+                    return Err("compression workload entry has no name".into());
+                };
+                out.push(Metric {
+                    path: format!("workloads.{name}.bytes_ratio"),
+                    direction: Direction::Higher,
+                    // The perf_compression acceptance floors: identity is
+                    // ~1× by construction, narrow-float codecs must stay
+                    // clearly past 2×, u8 past 3×, resim past 6×. Ratios
+                    // are byte arithmetic, not timing — hardware cannot
+                    // move them, only a codec or header regression can.
+                    floor: match name {
+                        "identity" => 0.9,
+                        "u8" => 3.0,
+                        "resim" => 6.0,
+                        _ => 2.5,
+                    },
+                });
+                out.push(Metric {
+                    path: format!("workloads.{name}.pdf_kl"),
+                    direction: Direction::Lower,
+                    // Phase-space fidelity must not quietly erode; floors
+                    // sit at each codec's budget in perf_compression.
+                    floor: match name {
+                        "identity" => 1e-9,
+                        "resim" => 0.10,
+                        "bf16" => 5e-2,
+                        _ => 2e-2,
+                    },
+                });
+            }
+            Ok(out)
+        }
         other => Err(format!(
             "no comparison table for suite `{other}` \
-             (known: store_throughput, serve_scale, obs_overhead)"
+             (known: store_throughput, serve_scale, obs_overhead, compression)"
         )),
     }
 }

@@ -15,6 +15,9 @@
 //! - [`combustion`] — a flamelet-manifold surrogate for the **TC2D**
 //!   2D turbulent-combustion dataset (progress variable and its filtered
 //!   variance).
+//! - [`resim`] — local re-simulation by Jacobi diffusion relaxation, the
+//!   read-path solver behind the `sickle-codec` coarse+re-simulate shard
+//!   codec.
 //! - [`datasets`] — canned constructors with Table-1 metadata.
 //!
 //! See DESIGN.md §1 for the substitution argument: the sampling pipeline only
@@ -25,6 +28,7 @@
 pub mod combustion;
 pub mod datasets;
 pub mod lbm2d;
+pub mod resim;
 pub mod spectral;
 pub mod synth;
 

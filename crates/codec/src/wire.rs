@@ -1,0 +1,489 @@
+//! Shared wire plumbing for the quantized shard container (`SKLQ`).
+//!
+//! Every lossy codec stores the same per-set metadata — time, snapshot
+//! index, hypercube, feature names, and point indices — followed by a
+//! codec-specific value payload. This module owns that common prefix plus
+//! the defensive decode helpers, mirroring the discipline of
+//! `sickle_field::io`: counts read from the buffer are attacker-controlled
+//! and never drive an allocation or length check without overflow-checked
+//! arithmetic bounded by the bytes actually present.
+//!
+//! Set header layout (little-endian):
+//! ```text
+//! f64 time | u64 snapshot_index | i64 hypercube (-1 = none) |
+//! u32 dim | dim x (u32 name_len, name bytes) |
+//! u64 n | u8 index_encoding | indices
+//! ```
+//! Three index encodings, chosen per set by the encoder:
+//!
+//! - `1` (affine): `u64 base | u32 ex | u32 ey | u32 ez | u64 sx | u64 sy`
+//!   — row `r` at lattice coordinate `(x, y, z) = (r/(ey*ez), (r/ez) % ey,
+//!   r % ez)` has index `base + x*sx + y*sy + z`. This is exactly the
+//!   shape `Hypercube::point_indices` emits for raster cubes (and strided
+//!   chains degenerate to it), so dense-cube shards carry ~30 bytes of
+//!   index metadata total instead of 4-8 bytes per row — which would
+//!   otherwise dominate every lossy codec's on-disk footprint.
+//! - `4`: `n x u32` index list (all indices fit in 32 bits).
+//! - `8`: `n x u64` index list (the general case).
+
+use std::io;
+
+use bytes::{Buf, BufMut, BytesMut};
+
+/// `InvalidData` constructor shared by the codec decoders.
+pub fn invalid(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// `count * item_size` as a `usize`, or `InvalidData` on overflow.
+pub fn checked_size(count: u64, item_size: usize, what: &str) -> io::Result<usize> {
+    usize::try_from(count)
+        .ok()
+        .and_then(|c| c.checked_mul(item_size))
+        .ok_or_else(|| invalid(what))
+}
+
+/// Errors unless at least `n` bytes remain.
+pub fn need(data: &[u8], n: usize, what: &str) -> io::Result<()> {
+    if data.remaining() < n {
+        Err(invalid(what))
+    } else {
+        Ok(())
+    }
+}
+
+/// The metadata every codec carries per sample set, independent of how the
+/// feature values themselves are stored.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SetHeader {
+    pub time: f64,
+    pub snapshot_index: usize,
+    pub hypercube: Option<usize>,
+    pub names: Vec<String>,
+    pub indices: Vec<usize>,
+}
+
+impl SetHeader {
+    /// Number of feature columns.
+    pub fn dim(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of sample rows.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Returns true when the header describes zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+}
+
+/// An affine description of an index list: row `r` at lattice coordinate
+/// `(r/(ey*ez), (r/ez) % ey, r % ez)` has index `base + x*sx + y*sy + z`.
+struct AffineIndices {
+    base: u64,
+    dims: (u32, u32, u32),
+    strides: (u64, u64),
+}
+
+/// Detects affine structure in an index list. Raster-ordered cubes (what
+/// `Hypercube::point_indices` emits) and regularly strided chains both
+/// match; MaxEnt-sampled scatter does not. The candidate dimensions come
+/// from run lengths, then every index is verified exactly — a false match
+/// is impossible, only a missed one.
+fn detect_affine(idx: &[usize]) -> Option<AffineIndices> {
+    let n = idx.len();
+    if n < 2 {
+        return None;
+    }
+    // ez: length of the leading run of consecutive (+1) indices.
+    let mut ez = n;
+    for r in 0..n - 1 {
+        if idx[r + 1] != idx[r].checked_add(1)? {
+            ez = r + 1;
+            break;
+        }
+    }
+    if !n.is_multiple_of(ez) {
+        return None;
+    }
+    let lines = n / ez;
+    let (ey, sy) = if lines == 1 {
+        (1, 0u64)
+    } else {
+        let sy = idx[ez].checked_sub(idx[0])? as u64;
+        // ey: number of lines before the line-start delta first changes.
+        let mut ey = lines;
+        for l in 0..lines - 1 {
+            let d = idx[(l + 1) * ez].checked_sub(idx[l * ez])? as u64;
+            if d != sy {
+                ey = l + 1;
+                break;
+            }
+        }
+        if !lines.is_multiple_of(ey) {
+            return None;
+        }
+        (ey, sy)
+    };
+    let ex = lines / ey;
+    let sx = if ex > 1 {
+        idx[ey * ez].checked_sub(idx[0])? as u64
+    } else {
+        0
+    };
+    if ex > u32::MAX as usize || ey > u32::MAX as usize || ez > u32::MAX as usize {
+        return None;
+    }
+    // Exact verification of every index against the affine formula.
+    let base = idx[0] as u64;
+    for (r, &i) in idx.iter().enumerate() {
+        let z = (r % ez) as u64;
+        let y = ((r / ez) % ey) as u64;
+        let x = (r / (ez * ey)) as u64;
+        let expect = base
+            .checked_add(x.checked_mul(sx)?)?
+            .checked_add(y.checked_mul(sy)?)?
+            .checked_add(z)?;
+        if i as u64 != expect {
+            return None;
+        }
+    }
+    Some(AffineIndices {
+        base,
+        dims: (ex as u32, ey as u32, ez as u32),
+        strides: (sx, sy),
+    })
+}
+
+/// Appends a [`SetHeader`] to `buf`, choosing the cheapest index encoding
+/// (affine when the indices have lattice structure, else a u32/u64 list).
+pub fn encode_header(h: &SetHeader, buf: &mut BytesMut) {
+    buf.put_f64_le(h.time);
+    buf.put_u64_le(h.snapshot_index as u64);
+    buf.put_i64_le(h.hypercube.map_or(-1, |c| c as i64));
+    buf.put_u32_le(h.names.len() as u32);
+    for name in &h.names {
+        buf.put_u32_le(name.len() as u32);
+        buf.put_slice(name.as_bytes());
+    }
+    buf.put_u64_le(h.indices.len() as u64);
+    if let Some(aff) = detect_affine(&h.indices) {
+        buf.put_u8(1);
+        buf.put_u64_le(aff.base);
+        buf.put_u32_le(aff.dims.0);
+        buf.put_u32_le(aff.dims.1);
+        buf.put_u32_le(aff.dims.2);
+        buf.put_u64_le(aff.strides.0);
+        buf.put_u64_le(aff.strides.1);
+        return;
+    }
+    let narrow = h.indices.iter().all(|&i| i <= u32::MAX as usize);
+    buf.put_u8(if narrow { 4 } else { 8 });
+    if narrow {
+        for &i in &h.indices {
+            buf.put_u32_le(i as u32);
+        }
+    } else {
+        for &i in &h.indices {
+            buf.put_u64_le(i as u64);
+        }
+    }
+}
+
+/// Reads a [`SetHeader`], advancing `data` past it. Truncated or hostile
+/// input returns `InvalidData`, never panics.
+pub fn decode_header(data: &mut &[u8]) -> io::Result<SetHeader> {
+    let err = || invalid("truncated codec set header");
+    need(data, 8 + 8 + 8 + 4, "truncated codec set header")?;
+    let time = data.get_f64_le();
+    let snapshot_index = data.get_u64_le() as usize;
+    let hc = data.get_i64_le();
+    let dim = data.get_u32_le() as usize;
+    if dim == 0 {
+        return Err(invalid("zero feature dimension"));
+    }
+    // Each name needs >= 4 bytes of length prefix; bound the allocation by
+    // what the buffer can actually hold.
+    let mut names = Vec::with_capacity(dim.min(data.remaining() / 4));
+    for _ in 0..dim {
+        need(data, 4, "truncated codec set header")?;
+        let len = data.get_u32_le() as usize;
+        need(data, len, "truncated codec set header")?;
+        let mut raw = vec![0u8; len];
+        data.copy_to_slice(&mut raw);
+        names.push(String::from_utf8(raw).map_err(|_| err())?);
+    }
+    need(data, 9, "truncated codec set header")?;
+    let n = data.get_u64_le();
+    let encoding = data.get_u8();
+    let indices = match encoding {
+        1 => {
+            need(data, 8 + 3 * 4 + 2 * 8, "truncated affine indices")?;
+            let base = data.get_u64_le();
+            let ex = data.get_u32_le() as u64;
+            let ey = data.get_u32_le() as u64;
+            let ez = data.get_u32_le() as u64;
+            let count = ex
+                .checked_mul(ey)
+                .and_then(|v| v.checked_mul(ez))
+                .ok_or_else(|| invalid("affine index dims overflow"))?;
+            if count != n {
+                return Err(invalid("affine index dims do not match row count"));
+            }
+            // Unlike list encodings, affine counts are not bounded by the
+            // bytes present (that is the point of the encoding), so a
+            // bit-flipped count could otherwise demand an enormous
+            // allocation. Cap at far above any real cube (128^3 = 2M rows).
+            if count > (1 << 24) {
+                return Err(invalid("implausible affine index count"));
+            }
+            let sx = data.get_u64_le();
+            let sy = data.get_u64_le();
+            let n = n as usize;
+            let mut indices = Vec::with_capacity(n);
+            for x in 0..ex {
+                for y in 0..ey {
+                    let line = base
+                        .checked_add(
+                            x.checked_mul(sx)
+                                .ok_or_else(|| invalid("affine overflow"))?,
+                        )
+                        .and_then(|v| v.checked_add(y.checked_mul(sy)?))
+                        .ok_or_else(|| invalid("affine overflow"))?;
+                    for z in 0..ez {
+                        let i = line
+                            .checked_add(z)
+                            .and_then(|v| usize::try_from(v).ok())
+                            .ok_or_else(|| invalid("affine overflow"))?;
+                        indices.push(i);
+                    }
+                }
+            }
+            indices
+        }
+        width @ (4 | 8) => {
+            let width = width as usize;
+            let idx_bytes = checked_size(n, width, "index count overflow")?;
+            need(data, idx_bytes, "truncated codec indices")?;
+            let n = n as usize;
+            let mut indices = Vec::with_capacity(n);
+            if width == 4 {
+                for _ in 0..n {
+                    indices.push(data.get_u32_le() as usize);
+                }
+            } else {
+                for _ in 0..n {
+                    indices.push(data.get_u64_le() as usize);
+                }
+            }
+            indices
+        }
+        e => return Err(invalid(&format!("unknown index encoding {e}"))),
+    };
+    Ok(SetHeader {
+        time,
+        snapshot_index,
+        hypercube: if hc >= 0 { Some(hc as usize) } else { None },
+        names,
+        indices,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SetHeader {
+        SetHeader {
+            time: 1.5,
+            snapshot_index: 3,
+            hypercube: Some(12),
+            names: vec!["u".into(), "v".into()],
+            indices: vec![7, 8, 1 << 20],
+        }
+    }
+
+    #[test]
+    fn header_roundtrip_narrow_and_wide() {
+        for wide in [false, true] {
+            let mut h = sample();
+            if wide {
+                h.indices.push(1usize << 40);
+            }
+            let mut buf = BytesMut::new();
+            encode_header(&h, &mut buf);
+            let mut slice = &buf[..];
+            let back = decode_header(&mut slice).unwrap();
+            assert_eq!(back, h);
+            assert!(slice.is_empty());
+        }
+    }
+
+    #[test]
+    fn header_without_hypercube() {
+        let mut h = sample();
+        h.hypercube = None;
+        let mut buf = BytesMut::new();
+        encode_header(&h, &mut buf);
+        let back = decode_header(&mut &buf[..]).unwrap();
+        assert_eq!(back.hypercube, None);
+    }
+
+    #[test]
+    fn truncation_is_an_error_at_every_length() {
+        let mut buf = BytesMut::new();
+        encode_header(&sample(), &mut buf);
+        for cut in 0..buf.len() {
+            let mut slice = &buf[..cut];
+            assert!(decode_header(&mut slice).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn affine_roundtrip_for_raster_cube() {
+        // Indices shaped like Hypercube::point_indices on a 64^3 grid.
+        let e = 6usize;
+        let indices: Vec<usize> = (0..e * e * e)
+            .map(|r| {
+                let z = r % e;
+                let y = (r / e) % e;
+                let x = r / (e * e);
+                (x * 64 + y) * 64 + z + 5000
+            })
+            .collect();
+        let h = SetHeader {
+            time: 0.0,
+            snapshot_index: 0,
+            hypercube: None,
+            names: vec!["u".into()],
+            indices,
+        };
+        let mut buf = BytesMut::new();
+        encode_header(&h, &mut buf);
+        // Affine form: the whole index block is ~40 bytes, not 4 per row.
+        assert!(
+            buf.len() < 100,
+            "affine encoding not used: {} bytes",
+            buf.len()
+        );
+        let back = decode_header(&mut &buf[..]).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn affine_roundtrip_for_strided_chain() {
+        let indices: Vec<usize> = (0..50).map(|i| 3 + i * 17).collect();
+        let h = SetHeader {
+            time: 1.0,
+            snapshot_index: 2,
+            hypercube: Some(1),
+            names: vec!["u".into()],
+            indices,
+        };
+        let mut buf = BytesMut::new();
+        encode_header(&h, &mut buf);
+        assert!(buf.len() < 100);
+        let back = decode_header(&mut &buf[..]).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn scattered_indices_fall_back_to_list() {
+        let h = SetHeader {
+            time: 0.0,
+            snapshot_index: 0,
+            hypercube: None,
+            names: vec!["u".into()],
+            indices: vec![3, 1, 4, 1, 5, 9, 2, 6],
+        };
+        let mut buf = BytesMut::new();
+        encode_header(&h, &mut buf);
+        let back = decode_header(&mut &buf[..]).unwrap();
+        assert_eq!(back.indices, h.indices);
+    }
+
+    #[test]
+    fn hostile_affine_headers_are_errors() {
+        let base = |n: u64| {
+            let mut buf = BytesMut::new();
+            buf.put_f64_le(0.0);
+            buf.put_u64_le(0);
+            buf.put_i64_le(-1);
+            buf.put_u32_le(1);
+            buf.put_u32_le(1);
+            buf.put_u8(b'u');
+            buf.put_u64_le(n);
+            buf.put_u8(1); // affine encoding
+            buf
+        };
+        // Dims that do not multiply to n.
+        let mut buf = base(10);
+        buf.put_u64_le(0);
+        buf.put_u32_le(3);
+        buf.put_u32_le(3);
+        buf.put_u32_le(3);
+        buf.put_u64_le(1);
+        buf.put_u64_le(1);
+        assert!(decode_header(&mut &buf[..]).is_err());
+        // Implausibly huge count must not allocate.
+        let huge = 1u64 << 40;
+        let mut buf = base(huge);
+        buf.put_u64_le(0);
+        buf.put_u32_le(1 << 20);
+        buf.put_u32_le(1 << 20);
+        buf.put_u32_le(1);
+        buf.put_u64_le(1);
+        buf.put_u64_le(1);
+        assert!(decode_header(&mut &buf[..]).is_err());
+        // Strides that overflow the index space.
+        let mut buf = base(8);
+        buf.put_u64_le(u64::MAX - 2);
+        buf.put_u32_le(2);
+        buf.put_u32_le(2);
+        buf.put_u32_le(2);
+        buf.put_u64_le(u64::MAX / 2);
+        buf.put_u64_le(u64::MAX / 3);
+        assert!(decode_header(&mut &buf[..]).is_err());
+        // Unknown index encoding byte.
+        let mut buf = base(0);
+        let last = buf.len() - 1;
+        buf[last] = 7;
+        assert!(decode_header(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn hostile_counts_are_errors() {
+        // Huge dim with a tiny buffer.
+        let mut buf = BytesMut::new();
+        buf.put_f64_le(0.0);
+        buf.put_u64_le(0);
+        buf.put_i64_le(-1);
+        buf.put_u32_le(u32::MAX);
+        assert!(decode_header(&mut &buf[..]).is_err());
+        // Huge n with a plausible prefix.
+        let mut buf = BytesMut::new();
+        buf.put_f64_le(0.0);
+        buf.put_u64_le(0);
+        buf.put_i64_le(-1);
+        buf.put_u32_le(1);
+        buf.put_u32_le(1);
+        buf.put_u8(b'u');
+        buf.put_u64_le(u64::MAX);
+        buf.put_u8(8);
+        assert!(decode_header(&mut &buf[..]).is_err());
+        // Bad index width.
+        let mut buf = BytesMut::new();
+        buf.put_f64_le(0.0);
+        buf.put_u64_le(0);
+        buf.put_i64_le(-1);
+        buf.put_u32_le(1);
+        buf.put_u32_le(1);
+        buf.put_u8(b'u');
+        buf.put_u64_le(0);
+        buf.put_u8(3);
+        assert!(decode_header(&mut &buf[..]).is_err());
+    }
+}

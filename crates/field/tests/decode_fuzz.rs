@@ -103,6 +103,20 @@ proptest! {
         bytes[pos] ^= 1 << bit;
         let _ = decode_sample_sets(&bytes);
     }
+
+    #[test]
+    fn codec_tagged_shards_are_errors_here_not_panics(
+        payload in proptest::collection::vec(0u8..=255, 0..256)
+    ) {
+        // Quantized SKLQ shards belong to the codec layer; this crate's
+        // legacy decoders must reject the foreign magic cleanly — an old
+        // binary pointed at a compressed store gets an error, not a panic.
+        let mut bytes = b"SKLQ".to_vec();
+        bytes.extend_from_slice(&payload);
+        prop_assert!(decode_sample_sets(&bytes).is_err());
+        prop_assert!(decode_sample_set(&bytes).is_err());
+        prop_assert!(decode_snapshot(&bytes).is_err());
+    }
 }
 
 /// Directed regressions for the specific count fields a fuzzer takes longest
@@ -144,5 +158,13 @@ fn hostile_counts_are_errors_not_aborts() {
     // Shard with a count far beyond its payload.
     let mut bytes = shard_bytes(2, 4, 2);
     bytes[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+    assert!(decode_sample_sets(&bytes).is_err());
+
+    // A well-formed SKLQ header (codec-layer format): still foreign to the
+    // legacy decoder, still an error — the magic check must come first.
+    let mut bytes = b"SKLQ".to_vec();
+    bytes.extend_from_slice(&1u32.to_le_bytes()); // container version
+    bytes.push(1); // codec tag (f16)
+    bytes.extend_from_slice(&1u64.to_le_bytes()); // set count
     assert!(decode_sample_sets(&bytes).is_err());
 }

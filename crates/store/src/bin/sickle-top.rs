@@ -8,8 +8,9 @@
 //! Polls the server's `Stats` request and renders a refreshing dashboard:
 //! request/byte throughput (client-side diffs between polls, so they work
 //! against any server), p50/p99 request latency and queue wait (from the
-//! server's log₂ histograms), cache hit rate, and a per-connection load
-//! table. `--once` prints a single snapshot without clearing the screen
+//! server's log₂ histograms), cache hit rate, a per-codec compression
+//! table (shards, on-disk vs decoded bytes, ratio), and a per-connection
+//! load table. `--once` prints a single snapshot without clearing the screen
 //! (the CI-friendly mode); `--iterations` bounds a refreshing run.
 
 use std::process::ExitCode;
@@ -126,6 +127,22 @@ fn render(snap: &StatsSnapshot, rates: Option<(f64, f64)>) -> String {
             out.push_str(&format!(
                 "{:<22} {:>9.0}µs p50 / {:.0}µs p99\n",
                 label, m.p50, m.p99
+            ));
+        }
+    }
+    if !snap.codecs.is_empty() {
+        out.push_str(&format!(
+            "\n{:<10} {:>8} {:>14} {:>14} {:>8}\n",
+            "codec", "shards", "on disk", "decoded", "ratio"
+        ));
+        for c in &snap.codecs {
+            out.push_str(&format!(
+                "{:<10} {:>8} {:>14} {:>14} {:>7.1}x\n",
+                c.codec,
+                c.shards,
+                human_bytes(c.disk_bytes as f64),
+                human_bytes(c.decoded_bytes as f64),
+                c.ratio
             ));
         }
     }

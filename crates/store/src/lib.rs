@@ -49,5 +49,6 @@ pub use prefetch::Prefetcher;
 pub use protocol::{Request, Response, TensorBlock, WireErrorKind};
 pub use ring::HashRing;
 pub use server::{serve, ServeConfig, ServerHandle};
-pub use stats::{ConnRegistry, ConnStats, StatsSnapshot};
+pub use sickle_codec::Codec;
+pub use stats::{CodecStats, ConnRegistry, ConnStats, StatsSnapshot};
 pub use store::{set_key, ShardStore, StoreConfig};

@@ -42,6 +42,15 @@ pub struct ShardEntry {
     pub points: usize,
     /// Shard file size in bytes.
     pub bytes: usize,
+    /// Codec the shard was encoded with (a [`sickle_codec::Codec`] name).
+    /// Manifests written before the codec layer carry no field and default
+    /// to `"identity"`, which is exactly what those stores contain.
+    #[serde(default = "default_codec")]
+    pub codec: String,
+}
+
+fn default_codec() -> String {
+    "identity".to_string()
 }
 
 impl ShardEntry {
@@ -162,6 +171,7 @@ mod tests {
             hash: sickle_field::io::fnv1a64_hex(&[snapshot as u8, cube as u8]),
             points: 10,
             bytes: 100,
+            codec: "identity".to_string(),
         }
     }
 
@@ -220,6 +230,32 @@ mod tests {
         assert_eq!(back.config_hash, m.config_hash);
         assert_eq!(back.feature_names, m.feature_names);
         assert_eq!(back.entries[0].hash, m.entries[0].hash);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn manifest_without_codec_field_defaults_to_identity() {
+        // A pre-codec manifest: the exact JSON shape older stores wrote,
+        // with no `codec` key on the entry.
+        let dir = std::env::temp_dir().join("sickle_store_manifest_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("precodec.json");
+        std::fs::write(
+            &path,
+            r#"{
+              "version": 1,
+              "config_hash": "cfg",
+              "feature_names": ["u"],
+              "entries": [{
+                "snapshot": 0, "cube": 0,
+                "file": "shards/abc.sklh", "hash": "abc",
+                "points": 10, "bytes": 100
+              }]
+            }"#,
+        )
+        .unwrap();
+        let m = StoreManifest::load(&path).unwrap();
+        assert_eq!(m.entries[0].codec, "identity");
         std::fs::remove_file(&path).ok();
     }
 

@@ -603,7 +603,9 @@ fn serve_request(req: Request, shared: &Shared) -> io::Result<Response> {
             }))
         }
         Request::Stats => Ok(Response::Stats(
-            StatsSnapshot::collect(&shared.conns).to_json(),
+            StatsSnapshot::collect(&shared.conns)
+                .with_manifest(shared.store.manifest())
+                .to_json(),
         )),
         Request::Shutdown => {
             if !shared.cfg.allow_shutdown {
@@ -615,7 +617,7 @@ fn serve_request(req: Request, shared: &Shared) -> io::Result<Response> {
             // Snapshot first, then raise the stop flag: the response still
             // goes out (the worker re-checks stop only after answering),
             // and it doubles as the server's final stats.
-            let snap = StatsSnapshot::collect(&shared.conns);
+            let snap = StatsSnapshot::collect(&shared.conns).with_manifest(shared.store.manifest());
             sickle_obs::info!("serve", "shutdown requested by client");
             shared.stop.store(true, Ordering::SeqCst);
             Ok(Response::Stats(snap.to_json()))

@@ -21,6 +21,8 @@ use serde::{Deserialize, Serialize};
 use sickle_obs as obs;
 use sickle_obs::MetricSnapshot;
 
+use crate::manifest::StoreManifest;
+
 /// Lock-free counters for one live connection.
 #[derive(Default)]
 pub struct ConnCounters {
@@ -136,6 +138,26 @@ pub struct ConnStats {
     pub bytes_out: u64,
 }
 
+/// Per-codec aggregate over a store's manifest: how many shards one codec
+/// owns, what they cost on disk, and what they expand to when decoded.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CodecStats {
+    /// Codec name as recorded in the manifest (`identity`, `f16`, ...).
+    pub codec: String,
+    /// Shards encoded with this codec.
+    pub shards: u64,
+    /// Points across those shards.
+    pub points: u64,
+    /// Bytes those shard files occupy on disk.
+    pub disk_bytes: u64,
+    /// Bytes the decoded sets occupy resident (index + f64 features per
+    /// row, from the manifest's feature count — an estimate, not a
+    /// measurement, so it is comparable across codecs).
+    pub decoded_bytes: u64,
+    /// `decoded_bytes / disk_bytes` — the codec's effective compression.
+    pub ratio: f64,
+}
+
 /// The structured answer to `Request::Stats`.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct StatsSnapshot {
@@ -169,6 +191,10 @@ pub struct StatsSnapshot {
     pub metrics: Vec<MetricSnapshot>,
     /// Per-connection counters for live connections.
     pub connections: Vec<ConnStats>,
+    /// Per-codec shard aggregates for the served store (empty when the
+    /// server did not attach a manifest; absent in pre-codec snapshots).
+    #[serde(default)]
+    pub codecs: Vec<CodecStats>,
 }
 
 impl StatsSnapshot {
@@ -200,7 +226,46 @@ impl StatsSnapshot {
             cache_hit_rate: if lookups > 0.0 { hits / lookups } else { 0.0 },
             metrics,
             connections: live,
+            codecs: Vec::new(),
         }
+    }
+
+    /// Attaches per-codec shard aggregates computed from a store manifest.
+    /// Decoded size is estimated as `points × (8 + 8 × dim)` — one u64
+    /// index plus `dim` f64 features per row — so the ratio means the same
+    /// thing for every codec regardless of what happens to be cached.
+    pub fn with_manifest(mut self, manifest: &StoreManifest) -> StatsSnapshot {
+        use std::collections::BTreeMap;
+        let row_bytes = (8 + 8 * manifest.feature_names.len()) as u64;
+        let mut by_codec: BTreeMap<String, CodecStats> = BTreeMap::new();
+        for entry in &manifest.entries {
+            let s = by_codec
+                .entry(entry.codec.clone())
+                .or_insert_with(|| CodecStats {
+                    codec: entry.codec.clone(),
+                    shards: 0,
+                    points: 0,
+                    disk_bytes: 0,
+                    decoded_bytes: 0,
+                    ratio: 0.0,
+                });
+            s.shards += 1;
+            s.points += entry.points as u64;
+            s.disk_bytes += entry.bytes as u64;
+        }
+        self.codecs = by_codec
+            .into_values()
+            .map(|mut s| {
+                s.decoded_bytes = s.points * row_bytes;
+                s.ratio = if s.disk_bytes > 0 {
+                    s.decoded_bytes as f64 / s.disk_bytes as f64
+                } else {
+                    0.0
+                };
+                s
+            })
+            .collect();
+        self
     }
 
     /// Convenience lookup into [`Self::metrics`] by metric name.
@@ -256,6 +321,52 @@ mod tests {
         assert_eq!(snap.connections_open, 1);
         let back = StatsSnapshot::from_json(&snap.to_json()).expect("roundtrip");
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn with_manifest_aggregates_per_codec() {
+        use crate::manifest::{ShardEntry, StoreManifest};
+        let mut m = StoreManifest::new("cfg", vec!["u".into(), "q".into()]);
+        for (i, (codec, bytes)) in [("identity", 2400), ("f16", 600), ("identity", 2400)]
+            .iter()
+            .enumerate()
+        {
+            m.entries.push(ShardEntry {
+                snapshot: 0,
+                cube: i,
+                file: format!("shards/{i}.sklh"),
+                hash: format!("{i}"),
+                points: 100,
+                bytes: *bytes,
+                codec: codec.to_string(),
+            });
+        }
+        let snap = StatsSnapshot::collect(&ConnRegistry::default()).with_manifest(&m);
+        assert_eq!(snap.codecs.len(), 2);
+        let f16 = snap.codecs.iter().find(|c| c.codec == "f16").unwrap();
+        let id = snap.codecs.iter().find(|c| c.codec == "identity").unwrap();
+        // 2 features: 8 + 16 = 24 bytes/row decoded.
+        assert_eq!(f16.shards, 1);
+        assert_eq!(f16.decoded_bytes, 100 * 24);
+        assert!((f16.ratio - 4.0).abs() < 1e-9);
+        assert_eq!(id.shards, 2);
+        assert_eq!(id.disk_bytes, 4800);
+        // The augmented snapshot still roundtrips through the wire form.
+        let back = StatsSnapshot::from_json(&snap.to_json()).expect("roundtrip");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn pre_codec_snapshot_json_parses_with_empty_codecs() {
+        // A snapshot serialized before the codecs field existed must still
+        // parse (sickle-top against an older server).
+        let mut snap = StatsSnapshot::collect(&ConnRegistry::default());
+        snap.codecs.clear();
+        let json = String::from_utf8(snap.to_json()).unwrap();
+        let stripped = json.replacen(",\"codecs\":[]", "", 1);
+        assert_ne!(json, stripped, "test must actually strip the field");
+        let back = StatsSnapshot::from_json(stripped.as_bytes()).expect("parse");
+        assert!(back.codecs.is_empty());
     }
 
     #[test]

@@ -6,18 +6,22 @@
 //!
 //! ```text
 //! <root>/manifest.json          index + hashes (see [`StoreManifest`])
-//! <root>/shards/<hash>.sklh     one single-set SKLH shard per sample set,
-//!                               named by its own FNV-1a content hash
+//! <root>/shards/<hash>.sklh     one single-set shard per sample set,
+//! <root>/shards/<hash>.sklq     named by its own FNV-1a content hash
 //! ```
 //!
-//! Shard payloads reuse the checkpoint encoder
-//! ([`sickle_field::io::encode_sample_sets`]) verbatim — the store is a new
-//! index over the proven format, not a new format.
+//! Shard payloads go through [`sickle_codec`]: the default identity codec
+//! reuses the checkpoint encoder ([`sickle_field::io::encode_sample_sets`])
+//! verbatim (`.sklh`), while [`ShardStore::ingest_with`] lets a per-shard
+//! policy pick a lossy codec (`.sklq`). Reads dispatch on the shard's own
+//! magic, so mixed-codec stores and pre-codec stores decode through the
+//! same path.
 
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+use sickle_codec::Codec;
 use sickle_core::pipeline::{config_fingerprint, SamplingOutput};
 use sickle_field::io as fio;
 use sickle_field::SampleSet;
@@ -67,13 +71,32 @@ pub struct ShardStore {
 
 impl ShardStore {
     /// Persists a sampling output as a new store under `root`, then opens
-    /// it. Existing shards with matching content-addressed names are reused
-    /// (ingest is idempotent); the manifest is rewritten atomically last,
-    /// so a crash mid-ingest never leaves a manifest naming missing shards.
+    /// it. Every shard uses the identity codec (current SKLH bytes) — the
+    /// compatibility default. See [`ingest_with`](Self::ingest_with) for
+    /// compressed stores.
     ///
     /// # Errors
     /// Propagates I/O errors; `InvalidData` if the output holds no sets.
     pub fn ingest(root: &Path, output: &SamplingOutput, cfg: StoreConfig) -> io::Result<Self> {
+        Self::ingest_with(root, output, cfg, |_| Codec::Identity)
+    }
+
+    /// Persists a sampling output with a per-shard codec policy: `policy`
+    /// is called once per `(snapshot, cube)` key and its choice is recorded
+    /// in the manifest, so one store can mix identity shards (e.g. the
+    /// validation split) with quantized or resim shards. Existing shards
+    /// with matching content-addressed names are reused (ingest is
+    /// idempotent); the manifest is rewritten atomically last, so a crash
+    /// mid-ingest never leaves a manifest naming missing shards.
+    ///
+    /// # Errors
+    /// Propagates I/O errors; `InvalidData` if the output holds no sets.
+    pub fn ingest_with(
+        root: &Path,
+        output: &SamplingOutput,
+        cfg: StoreConfig,
+        policy: impl Fn(ShardKey) -> Codec,
+    ) -> io::Result<Self> {
         let _span = sickle_obs::span!("store.ingest");
         let shards_dir = root.join("shards");
         std::fs::create_dir_all(&shards_dir)?;
@@ -90,12 +113,18 @@ impl ShardStore {
         for snap_sets in &output.sets {
             for (position, set) in snap_sets.iter().enumerate() {
                 let key = set_key(set, position);
-                let bytes = fio::encode_sample_sets(std::slice::from_ref(set));
+                let codec = policy(key);
+                let bytes = sickle_codec::encode_shard(std::slice::from_ref(set), codec);
                 let hash = fio::fnv1a64_hex(&bytes);
-                let file = format!("shards/{hash}.sklh");
+                let ext = if codec == Codec::Identity {
+                    "sklh"
+                } else {
+                    "sklq"
+                };
+                let file = format!("shards/{hash}.{ext}");
                 let path = root.join(&file);
                 if !path.exists() {
-                    let tmp = shards_dir.join(format!("{hash}.sklh.tmp"));
+                    let tmp = shards_dir.join(format!("{hash}.{ext}.tmp"));
                     std::fs::write(&tmp, &bytes)?;
                     std::fs::rename(&tmp, &path)?;
                 }
@@ -106,6 +135,7 @@ impl ShardStore {
                     hash,
                     points: set.len(),
                     bytes: bytes.len(),
+                    codec: codec.name().to_string(),
                 });
                 sickle_obs::counter!("store.ingest.shards", 1usize);
             }
@@ -175,8 +205,11 @@ impl ShardStore {
     }
 
     /// Fetches a decoded shard through the cache: a hit is an `Arc` clone;
-    /// a miss reads the file, verifies its hash, decodes it, and makes it
-    /// resident (possibly evicting colder shards).
+    /// a miss reads the file, verifies its hash, decodes it through
+    /// [`sickle_codec::decode_shard`] (for resim shards this runs the
+    /// reconstruction solver), and makes it resident (possibly evicting
+    /// colder shards) — so lossy decode cost is paid once per residency,
+    /// not once per request.
     ///
     /// # Errors
     /// `NotFound` for an unknown key, `InvalidData` on hash mismatch or a
@@ -194,7 +227,7 @@ impl ShardStore {
         let t1 = std::time::Instant::now();
         let mut sets = {
             let _s = sickle_obs::span!("store.decode", bytes = bytes.len());
-            fio::decode_sample_sets(&bytes)?
+            sickle_codec::decode_shard(&bytes)?
         };
         sickle_obs::histogram!("store.decode_us", t1.elapsed().as_micros() as f64);
         if sets.len() != 1 {
@@ -247,6 +280,47 @@ mod tests {
                 assert_eq!(got.indices, set.indices, "snapshot {snap} pos {pos}");
                 assert_eq!(got.features.data, set.features.data);
                 assert_eq!(got.hypercube, set.hypercube);
+            }
+        }
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn mixed_codec_ingest_roundtrip() {
+        let root = temp_root("mixedcodec");
+        let out = small_output(2, 2, 40);
+        let store = ShardStore::ingest_with(&root, &out, StoreConfig::default(), |key| {
+            if key.cube.is_multiple_of(2) {
+                Codec::Identity
+            } else {
+                Codec::F16
+            }
+        })
+        .unwrap();
+        for e in store.manifest().entries.iter() {
+            let (codec, ext) = if e.cube % 2 == 0 {
+                ("identity", ".sklh")
+            } else {
+                ("f16", ".sklq")
+            };
+            assert_eq!(e.codec, codec);
+            assert!(e.file.ends_with(ext), "{}", e.file);
+        }
+        let reopened = ShardStore::open(&root, StoreConfig::default()).unwrap();
+        for snap_sets in &out.sets {
+            for (pos, set) in snap_sets.iter().enumerate() {
+                let key = set_key(set, pos);
+                let got = reopened.get(key).unwrap();
+                assert_eq!(got.indices, set.indices);
+                if key.cube.is_multiple_of(2) {
+                    // Identity shards are bit-exact.
+                    assert_eq!(got.features.data, set.features.data);
+                } else {
+                    // f16 shards carry ~2^-11 relative error on [-1, 1].
+                    for (a, b) in got.features.data.iter().zip(&set.features.data) {
+                        assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+                    }
+                }
             }
         }
         std::fs::remove_dir_all(&root).ok();

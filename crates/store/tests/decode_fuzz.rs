@@ -8,9 +8,10 @@ use proptest::prelude::*;
 
 use sickle_obs::TraceContext;
 use sickle_store::batching::BatchSpec;
-use sickle_store::manifest::ShardKey;
+use sickle_store::manifest::{ShardEntry, ShardKey, StoreManifest};
 use sickle_store::protocol::{Request, Response, TensorBlock, TRACE_TRAILER_LEN};
 use sickle_store::stats::StatsSnapshot;
+use sickle_store::{Codec, ShardStore, StoreConfig};
 
 /// Decodes a draw from the 6-way request space (the vendored proptest has
 /// no `prop_oneof`, so the discriminant is an explicit field).
@@ -44,6 +45,9 @@ fn request_of(
         },
     }
 }
+
+/// Distinguishes the per-case temp stores of `hostile_shard_files_...`.
+static FUZZ_CASE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 fn any_request() -> impl Strategy<Value = Request> {
     (
@@ -153,6 +157,46 @@ proptest! {
     }
 
     #[test]
+    fn hostile_shard_files_are_errors_not_panics(
+        magic_sel in 0u8..3,
+        data in proptest::collection::vec(0u8..=255, 0..256),
+    ) {
+        // A store whose manifest hash *matches* hostile shard bytes — a
+        // malicious or broken producer, not bit rot — reaches the codec
+        // decode layer through `get()`. It must error, never panic.
+        let mut bytes = match magic_sel {
+            1 => b"SKLQ".to_vec(),
+            2 => b"SKLH".to_vec(),
+            _ => Vec::new(),
+        };
+        bytes.extend_from_slice(&data);
+        let case = FUZZ_CASE.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let root = std::env::temp_dir().join(format!(
+            "sickle_store_shardfuzz_{}_{case}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(root.join("shards")).unwrap();
+        let hash = sickle_field::io::fnv1a64_hex(&bytes);
+        let file = format!("shards/{hash}.sklq");
+        std::fs::write(root.join(&file), &bytes).unwrap();
+        let mut manifest = StoreManifest::new("cfg", vec!["u".into()]);
+        manifest.entries.push(ShardEntry {
+            snapshot: 0,
+            cube: 0,
+            file,
+            hash,
+            points: 0,
+            bytes: bytes.len(),
+            codec: "f16".to_string(),
+        });
+        manifest.save_atomic(&root.join("manifest.json")).unwrap();
+        let store = ShardStore::open(&root, StoreConfig::default()).unwrap();
+        prop_assert!(store.get(ShardKey { snapshot: 0, cube: 0 }).is_err());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
     fn tensor_blocks_roundtrip_bit_exact(
         count in 0usize..6,
         tokens in 1usize..8,
@@ -181,4 +225,41 @@ proptest! {
             other => prop_assert!(false, "expected Tensors, got {other:?}"),
         }
     }
+}
+
+#[test]
+fn unknown_codec_tag_in_shard_is_invalid_data_not_abort() {
+    let out = sickle_store::testutil::small_output(1, 1, 16);
+    let root = std::env::temp_dir().join(format!("sickle_store_badtag_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let store = ShardStore::ingest_with(&root, &out, StoreConfig::default(), |_| Codec::F16)
+        .expect("ingest");
+    drop(store);
+    // Flip the codec tag to an unknown value and *fix up* the content hash
+    // so the tamper check passes — the codec layer, not the hash, must be
+    // what rejects the shard.
+    let mut manifest = StoreManifest::load(&root.join("manifest.json")).expect("manifest");
+    let mut bytes = std::fs::read(root.join(&manifest.entries[0].file)).expect("shard");
+    bytes[8] = 250;
+    let hash = sickle_field::io::fnv1a64_hex(&bytes);
+    let file = format!("shards/{hash}.sklq");
+    std::fs::write(root.join(&file), &bytes).expect("rewrite");
+    manifest.entries[0].file = file;
+    manifest.entries[0].hash = hash;
+    manifest
+        .save_atomic(&root.join("manifest.json"))
+        .expect("save");
+    let store = ShardStore::open(&root, StoreConfig::default()).expect("open");
+    let err = store
+        .get(ShardKey {
+            snapshot: 0,
+            cube: 0,
+        })
+        .expect_err("unknown tag must not decode");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(
+        err.to_string().contains("unknown codec tag"),
+        "unexpected error: {err}"
+    );
+    std::fs::remove_dir_all(&root).ok();
 }

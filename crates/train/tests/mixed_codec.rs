@@ -1,0 +1,145 @@
+//! Mixed-codec serving contract: a store holding identity *and* quantized
+//! shards side by side serves deterministic epochs, and the identity shards
+//! stay bit-identical to in-memory batching — compression is a per-shard
+//! storage decision, invisible to the training loop except through the
+//! values themselves.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sickle_store::batching::tensorize_set;
+use sickle_store::manifest::ShardKey;
+use sickle_store::server::{serve, ServeConfig};
+use sickle_store::store::{set_key, ShardStore, StoreConfig};
+use sickle_store::testutil::small_output;
+use sickle_store::{ClientConfig, Codec};
+use sickle_train::{RemoteDataset, TensorData};
+
+const SNAPSHOTS: usize = 2;
+const CUBES: usize = 4;
+const POINTS: usize = 40;
+const TOKENS: usize = 8;
+
+fn policy(key: ShardKey) -> Codec {
+    if key.cube.is_multiple_of(2) {
+        Codec::Identity
+    } else {
+        Codec::U8Block
+    }
+}
+
+#[test]
+fn mixed_codec_store_serves_deterministic_epochs() {
+    let root = std::env::temp_dir().join(format!("sickle_mixed_codec_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let out = small_output(SNAPSHOTS, CUBES, POINTS);
+
+    let store = ShardStore::ingest_with(&root, &out, StoreConfig::default(), policy).unwrap();
+    let mut names: Vec<&str> = store
+        .manifest()
+        .entries
+        .iter()
+        .map(|e| e.codec.as_str())
+        .collect();
+    names.sort();
+    names.dedup();
+    assert_eq!(names, ["identity", "u8"], "store must actually be mixed");
+
+    // The post-codec truth: what every shard decodes to, in canonical order.
+    let decoded: Vec<_> = store
+        .keys()
+        .into_iter()
+        .map(|k| (k, store.get(k).unwrap()))
+        .collect();
+
+    // Identity shards decode bit-identical to the in-memory sets; u8 shards
+    // land within half a quantization step of values on [-1, 1].
+    let mut originals: Vec<_> = out
+        .sets
+        .iter()
+        .flatten()
+        .enumerate()
+        .map(|(pos, s)| (set_key(s, pos), s))
+        .collect();
+    originals.sort_by_key(|(k, _)| *k);
+    for ((key, dec), (okey, orig)) in decoded.iter().zip(&originals) {
+        assert_eq!(key, okey);
+        assert_eq!(dec.indices, orig.indices, "indices are lossless everywhere");
+        if policy(*key) == Codec::Identity {
+            let a: Vec<u64> = dec.features.data.iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u64> = orig.features.data.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b, "identity shard must be bit-exact");
+        } else {
+            for (a, b) in dec.features.data.iter().zip(&orig.features.data) {
+                assert!((a - b).abs() < 2e-2, "u8 shard too lossy: {a} vs {b}");
+            }
+        }
+    }
+
+    // Reference tensors built from the decoded sets, exactly as the server
+    // tensorizes them.
+    let features = decoded[0].1.features.dim();
+    let mut inputs = Vec::new();
+    let mut targets = Vec::new();
+    for (_, set) in &decoded {
+        let (i, t) = tensorize_set(set, TOKENS).unwrap();
+        inputs.extend(i);
+        targets.extend(t);
+    }
+    let reference = TensorData::new(inputs, targets, TOKENS, features, features);
+
+    let handle = serve(Arc::new(store), ServeConfig::default()).unwrap();
+    let mut remote = RemoteDataset::connect(
+        handle.addr().to_string(),
+        TOKENS,
+        ClientConfig {
+            retries: 3,
+            backoff: Duration::from_millis(10),
+            timeout: Duration::from_secs(5),
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(remote.n, SNAPSHOTS * CUBES);
+
+    for (seed, batch_size) in [(3u64, 4usize), (11, 5)] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let local = reference.batches(batch_size, &mut rng);
+        // First epoch decodes cold (the u8 shards run through the codec);
+        // the second serves from the decoded cache. Both must match the
+        // local reference bit for bit — decode determinism plus cache
+        // consistency in one assertion.
+        let cold = remote.epoch(seed, batch_size).unwrap();
+        let warm = remote.epoch(seed, batch_size).unwrap();
+        assert_eq!(local.len(), cold.len(), "seed {seed}: batch count");
+        for (i, ((l, c), w)) in local.iter().zip(&cold).zip(&warm).enumerate() {
+            assert_eq!(l.shape, c.shape, "seed {seed} batch {i}: shape");
+            let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(
+                bits(&l.inputs),
+                bits(&c.inputs),
+                "seed {seed} batch {i}: cold inputs"
+            );
+            assert_eq!(
+                bits(&l.targets),
+                bits(&c.targets),
+                "seed {seed} batch {i}: cold targets"
+            );
+            assert_eq!(
+                bits(&c.inputs),
+                bits(&w.inputs),
+                "seed {seed} batch {i}: warm inputs"
+            );
+            assert_eq!(
+                bits(&c.targets),
+                bits(&w.targets),
+                "seed {seed} batch {i}: warm targets"
+            );
+        }
+    }
+
+    drop(handle);
+    std::fs::remove_dir_all(&root).ok();
+}

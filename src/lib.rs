@@ -21,6 +21,8 @@
 //!   (`SICKLE_TRACE` / `SICKLE_LOG`)
 //! - [`store`] — out-of-core shard store + the `sickle-serve` TCP data
 //!   plane streaming bit-identical training batches to many clients
+//! - [`codec`] — shard codecs: f16/bf16/u8 quantizers and the
+//!   coarse+re-simulate codec, with accuracy-budgeted compression
 //!
 //! ## Quickstart
 //!
@@ -48,6 +50,7 @@
 //! ```
 
 pub use sickle_cfd as cfd;
+pub use sickle_codec as codec;
 pub use sickle_core as core;
 pub use sickle_energy as energy;
 pub use sickle_fft as fft;

@@ -100,6 +100,38 @@ pub trait Buf {
     /// Copies `dst.len()` bytes out, advancing past them.
     fn copy_to_slice(&mut self, dst: &mut [u8]);
 
+    /// Skips `n` bytes.
+    fn advance(&mut self, n: usize) {
+        let mut chunk = [0u8; 64];
+        let mut left = n;
+        while left > 0 {
+            let take = left.min(chunk.len());
+            self.copy_to_slice(&mut chunk[..take]);
+            left -= take;
+        }
+    }
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `f32`.
+    fn get_f32_le(&mut self) -> f32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        f32::from_le_bytes(b)
+    }
+
     /// Reads a little-endian `u32`.
     fn get_u32_le(&mut self) -> u32 {
         let mut b = [0u8; 4];
@@ -140,12 +172,32 @@ impl Buf for &[u8] {
         dst.copy_from_slice(head);
         *self = tail;
     }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "buffer underflow");
+        *self = &self[n..];
+    }
 }
 
 /// Write sink appending to the back.
 pub trait BufMut {
     /// Appends raw bytes.
     fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_slice(&v.to_le_bytes());
+    }
 
     /// Appends a little-endian `u32`.
     fn put_u32_le(&mut self, v: u32) {
@@ -202,6 +254,32 @@ mod tests {
         assert_eq!(cur.get_i64_le(), -9);
         assert_eq!(cur.get_f64_le(), 2.75);
         assert_eq!(cur.remaining(), 0);
+    }
+
+    #[test]
+    fn narrow_accessors_roundtrip() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(0xab);
+        buf.put_u16_le(0x1234);
+        buf.put_f32_le(-1.5);
+        let frozen = buf.freeze();
+        let mut cur: &[u8] = &frozen;
+        assert_eq!(cur.get_u8(), 0xab);
+        assert_eq!(cur.get_u16_le(), 0x1234);
+        assert_eq!(cur.get_f32_le(), -1.5);
+        assert_eq!(cur.remaining(), 0);
+    }
+
+    #[test]
+    fn advance_skips_bytes() {
+        let mut cur: &[u8] = &[1, 2, 3, 4, 5];
+        cur.advance(3);
+        assert_eq!(cur, &[4, 5]);
+        let r = std::panic::catch_unwind(move || {
+            let mut c: &[u8] = &[1];
+            c.advance(2);
+        });
+        assert!(r.is_err());
     }
 
     #[test]
