@@ -180,15 +180,104 @@ pub fn encode_sample_set(set: &SampleSet) -> Bytes {
     buf.freeze()
 }
 
-/// Deserializes a sample set.
+/// A sample set parsed **in place**: header scalars are decoded, variable
+/// names borrow the buffer as `&str`, and the index/value payloads stay as
+/// little-endian byte slices into the input (typically an `mmap`ed shard)
+/// — nothing is copied until a caller asks for it. All counts and bounds
+/// are validated at parse time with the same overflow-checked arithmetic
+/// as [`decode_sample_set`], so the accessors can index without
+/// re-checking; they panic only on out-of-range positions, which is a
+/// caller bug, not an input property.
 ///
-/// Defensive like [`decode_snapshot`]: counts from the buffer never drive
-/// an allocation or length check without overflow-checked arithmetic.
+/// The view borrows `data` for its whole lifetime; a cached shard handle
+/// must outlive every view parsed from it (the store guarantees this by
+/// keeping views request-scoped while the `Arc<ShardBytes>` is resident).
+#[derive(Clone, Debug)]
+pub struct SampleSetView<'a> {
+    /// Simulation time of the originating snapshot.
+    pub time: f64,
+    /// Index of the originating snapshot.
+    pub snapshot_index: usize,
+    /// Originating hypercube, when tagged.
+    pub hypercube: Option<usize>,
+    names: Vec<&'a str>,
+    n: usize,
+    dim: usize,
+    indices: &'a [u8],
+    values: &'a [u8],
+}
+
+impl<'a> SampleSetView<'a> {
+    /// Number of samples (feature rows).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the set holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Feature dimension (columns per row).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Borrowed variable names, in column order.
+    pub fn names(&self) -> &[&'a str] {
+        &self.names
+    }
+
+    /// The `i`-th retained grid index.
+    ///
+    /// # Panics
+    /// If `i >= len()`.
+    pub fn index(&self, i: usize) -> usize {
+        let raw: [u8; 8] = self.indices[i * 8..i * 8 + 8]
+            .try_into()
+            .expect("8-byte index");
+        u64::from_le_bytes(raw) as usize
+    }
+
+    /// The `i`-th value of the flat row-major feature payload — bit-exact
+    /// what [`decode_sample_set`] would place at `features.data[i]`.
+    ///
+    /// # Panics
+    /// If `i >= len() * dim()`.
+    pub fn value(&self, i: usize) -> f64 {
+        let raw: [u8; 8] = self.values[i * 8..i * 8 + 8]
+            .try_into()
+            .expect("8-byte value");
+        f64::from_le_bytes(raw)
+    }
+
+    /// Materializes the borrowed view as an owned [`SampleSet`],
+    /// bit-identical to decoding the same bytes eagerly.
+    pub fn to_owned_set(&self) -> SampleSet {
+        let names: Vec<String> = self.names.iter().map(|s| (*s).to_string()).collect();
+        let mut indices = Vec::with_capacity(self.n);
+        for i in 0..self.n {
+            indices.push(self.index(i));
+        }
+        let mut values = Vec::with_capacity(self.n * self.dim);
+        for i in 0..self.n * self.dim {
+            values.push(self.value(i));
+        }
+        let features = FeatureMatrix::new(names, values);
+        let mut set = SampleSet::new(features, indices, self.time, self.snapshot_index);
+        set.hypercube = self.hypercube;
+        set
+    }
+}
+
+/// Parses a sample set as a borrowed [`SampleSetView`] — the zero-copy
+/// twin of [`decode_sample_set`], sharing its validation (and its error
+/// messages) but allocating only the name table.
 ///
 /// # Errors
 /// Returns `InvalidData` on bad magic, a zero feature dimension, or
 /// truncation.
-pub fn decode_sample_set(mut data: &[u8]) -> io::Result<SampleSet> {
+pub fn decode_sample_set_view(mut data: &[u8]) -> io::Result<SampleSetView<'_>> {
     let err = || invalid("truncated sample set");
     if data.remaining() < 8 {
         return Err(err());
@@ -218,9 +307,9 @@ pub fn decode_sample_set(mut data: &[u8]) -> io::Result<SampleSet> {
         if data.remaining() < len {
             return Err(err());
         }
-        let mut raw = vec![0u8; len];
-        data.copy_to_slice(&mut raw);
-        names.push(String::from_utf8(raw).map_err(|_| err())?);
+        let (raw, rest) = data.split_at(len);
+        names.push(std::str::from_utf8(raw).map_err(|_| err())?);
+        data = rest;
     }
     if data.remaining() < 8 {
         return Err(err());
@@ -236,21 +325,32 @@ pub fn decode_sample_set(mut data: &[u8]) -> io::Result<SampleSet> {
     if data.remaining() < payload_bytes {
         return Err(err());
     }
-    let n = n as usize;
-    let mut indices = Vec::with_capacity(n);
-    for _ in 0..n {
-        indices.push(data.get_u64_le() as usize);
-    }
-    let mut values = Vec::with_capacity(n * dim);
-    for _ in 0..n * dim {
-        values.push(data.get_f64_le());
-    }
-    let features = FeatureMatrix::new(names, values);
-    let mut set = SampleSet::new(features, indices, time, snapshot_index);
-    if hc >= 0 {
-        set.hypercube = Some(hc as usize);
-    }
-    Ok(set)
+    let (indices, rest) = data.split_at(idx_bytes);
+    let (values, _) = rest.split_at(val_bytes);
+    Ok(SampleSetView {
+        time,
+        snapshot_index,
+        hypercube: if hc >= 0 { Some(hc as usize) } else { None },
+        names,
+        n: n as usize,
+        dim,
+        indices,
+        values,
+    })
+}
+
+/// Deserializes a sample set.
+///
+/// Defensive like [`decode_snapshot`]: counts from the buffer never drive
+/// an allocation or length check without overflow-checked arithmetic.
+/// Implemented as [`decode_sample_set_view`] + materialize, so the owned
+/// and borrowed paths cannot drift.
+///
+/// # Errors
+/// Returns `InvalidData` on bad magic, a zero feature dimension, or
+/// truncation.
+pub fn decode_sample_set(data: &[u8]) -> io::Result<SampleSet> {
+    Ok(decode_sample_set_view(data)?.to_owned_set())
 }
 
 // ---------------------------------------------------------------------------
@@ -325,6 +425,43 @@ pub fn decode_sample_sets(mut data: &[u8]) -> io::Result<Vec<SampleSet>> {
         }
         let (blob, rest) = data.split_at(len);
         sets.push(decode_sample_set(blob)?);
+        data = rest;
+    }
+    Ok(sets)
+}
+
+/// Parses a checkpoint shard as borrowed [`SampleSetView`]s — the
+/// zero-copy twin of [`decode_sample_sets`]. Framing validation is
+/// identical; only the per-set payloads stay in place.
+///
+/// # Errors
+/// Returns `InvalidData` on bad magic, version, or truncation.
+pub fn decode_sample_sets_view(mut data: &[u8]) -> io::Result<Vec<SampleSetView<'_>>> {
+    let err = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+    if data.remaining() < 16 {
+        return Err(err("truncated shard"));
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != SHARD_MAGIC {
+        return Err(err("bad shard magic"));
+    }
+    let version = data.get_u32_le();
+    if version != VERSION {
+        return Err(err(&format!("unsupported shard version {version}")));
+    }
+    let count = data.get_u64_le() as usize;
+    let mut sets = Vec::with_capacity(count.min(data.remaining() / 8));
+    for _ in 0..count {
+        if data.remaining() < 8 {
+            return Err(err("truncated shard"));
+        }
+        let len = data.get_u64_le() as usize;
+        if data.remaining() < len {
+            return Err(err("truncated shard"));
+        }
+        let (blob, rest) = data.split_at(len);
+        sets.push(decode_sample_set_view(blob)?);
         data = rest;
     }
     Ok(sets)
@@ -555,6 +692,43 @@ mod tests {
                 2,
             ),
         ]
+    }
+
+    #[test]
+    fn view_decode_matches_owned_decode() {
+        let sets = two_sets();
+        let bytes = encode_sample_sets(&sets);
+        let views = decode_sample_sets_view(&bytes).unwrap();
+        let owned = decode_sample_sets(&bytes).unwrap();
+        assert_eq!(views.len(), owned.len());
+        for (view, set) in views.iter().zip(&owned) {
+            assert_eq!(view.len(), set.len());
+            assert_eq!(view.dim(), set.features.dim());
+            assert_eq!(view.hypercube, set.hypercube);
+            assert_eq!(view.snapshot_index, set.snapshot_index);
+            assert_eq!(view.names(), set.features.names.as_slice());
+            for i in 0..view.len() {
+                assert_eq!(view.index(i), set.indices[i]);
+            }
+            for i in 0..view.len() * view.dim() {
+                assert_eq!(view.value(i).to_bits(), set.features.data[i].to_bits());
+            }
+            let back = view.to_owned_set();
+            assert_eq!(back.features, set.features);
+            assert_eq!(back.indices, set.indices);
+        }
+    }
+
+    #[test]
+    fn view_decode_rejects_hostile_input() {
+        let bytes = encode_sample_sets(&two_sets());
+        for cut in [0, 3, 12, bytes.len() - 1] {
+            let err = decode_sample_sets_view(&bytes[..cut]).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "cut at {cut}");
+        }
+        let mut bad = bytes.to_vec();
+        bad[1] = b'X';
+        assert!(decode_sample_sets_view(&bad).is_err());
     }
 
     #[test]

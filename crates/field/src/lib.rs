@@ -22,6 +22,7 @@ pub mod tiling;
 pub mod vtk;
 
 pub use grid::{Axis, Grid2, Grid3};
+pub use io::SampleSetView;
 pub use points::{FeatureMatrix, SampleSet};
 pub use snapshot::{Dataset, DatasetMeta, Snapshot};
 pub use stats::{hist_flops, Histogram, SummaryStats};

@@ -123,6 +123,7 @@ fn parse_args() -> Result<Args, String> {
 fn run(args: &Args) -> Result<(), String> {
     let cfg = StoreConfig {
         cache_bytes: args.cache_mb << 20,
+        ..StoreConfig::default()
     };
     let store = if args.fixture && !args.root.join("manifest.json").exists() {
         let out = sickle_store::testutil::small_output(2, 8, 1024);

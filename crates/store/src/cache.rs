@@ -1,15 +1,29 @@
-//! Byte-budgeted LRU block cache for decoded shards.
+//! Byte-budgeted LRU block cache for shards, with **mapped vs heap**
+//! accounting.
 //!
 //! The cache is what makes the store *out-of-core*: a dataset far larger
-//! than RAM streams through a bounded working set, with only the
-//! most-recently-touched shards resident as decoded
-//! [`SampleSet`](sickle_field::SampleSet)s. Shards are shared out as
-//! `Arc`s, so a hit costs one lock and one refcount bump — no copy, no
-//! decode, no disk.
+//! than RAM streams through a bounded working set. One entry per
+//! [`ShardKey`] holds up to two residencies of the same shard:
 //!
-//! Hits and misses are counted on the `store.cache.hit` /
-//! `store.cache.miss` counters, the primary signals the
-//! `perf_store_throughput` benchmark reads its warm/cold claims from.
+//! - **raw** — the verified on-disk bytes as an [`Arc<ShardBytes>`],
+//!   usually an `mmap` whose pages belong to the OS page cache. These are
+//!   what `GetShard` ships and what identity shards tensorize from
+//!   (borrowed views), hash-verified once per residency.
+//! - **set** — the decoded [`SampleSet`] (lossy codecs must materialize;
+//!   legacy `get()` callers still want owned sets).
+//!
+//! The two residencies are budgeted separately: `budget_bytes` bounds
+//! heap-resident bytes (decoded sets plus `read_at`-fallback raw buffers)
+//! exactly as before, while `mapped_budget_bytes` bounds mapped bytes —
+//! counting a mapping against the heap budget would double-charge the OS
+//! page cache and evict decoded sets to "make room" for memory the kernel
+//! can reclaim on its own. Eviction is whole-entry LRU driven by
+//! whichever budget is over.
+//!
+//! Hits and misses on the decoded side keep their historical counters
+//! (`store.cache.hit` / `store.cache.miss` — the `perf_store_throughput`
+//! warm/cold signal); the raw side gets its own `store.cache.raw_hit` /
+//! `store.cache.raw_miss` pair.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -17,16 +31,30 @@ use std::sync::{Arc, Mutex};
 use sickle_field::SampleSet;
 
 use crate::manifest::ShardKey;
+use crate::shard_bytes::ShardBytes;
 
 struct CacheEntry {
-    value: Arc<SampleSet>,
-    bytes: usize,
+    raw: Option<Arc<ShardBytes>>,
+    set: Option<Arc<SampleSet>>,
+    heap_bytes: usize,
+    mapped_bytes: usize,
     last_used: u64,
+}
+
+impl CacheEntry {
+    fn recount(&mut self) {
+        let raw_len = self.raw.as_ref().map_or(0, |r| r.len());
+        let raw_mapped = self.raw.as_ref().is_some_and(|r| r.is_mapped());
+        self.mapped_bytes = if raw_mapped { raw_len } else { 0 };
+        self.heap_bytes = if raw_mapped { 0 } else { raw_len }
+            + self.set.as_ref().map_or(0, |s| sample_set_bytes(s));
+    }
 }
 
 struct CacheInner {
     map: HashMap<ShardKey, CacheEntry>,
-    resident_bytes: usize,
+    heap_bytes: usize,
+    mapped_bytes: usize,
     tick: u64,
 }
 
@@ -43,38 +71,45 @@ pub fn sample_set_bytes(set: &SampleSet) -> usize {
             .sum::<usize>()
 }
 
-/// A thread-safe LRU cache of decoded shards bounded by a byte budget.
+/// A thread-safe LRU cache of shards bounded by a heap-byte budget and a
+/// separate mapped-byte budget.
 pub struct BlockCache {
     inner: Mutex<CacheInner>,
     budget_bytes: usize,
+    mapped_budget_bytes: usize,
 }
 
 impl BlockCache {
-    /// Creates a cache holding at most ~`budget_bytes` of decoded shards.
-    /// A budget of zero still admits one shard at a time (the item being
+    /// Creates a cache holding at most ~`budget_bytes` of heap-resident
+    /// shard data and ~`mapped_budget_bytes` of mapped shard bytes. A
+    /// budget of zero still admits one shard at a time (the item being
     /// served must be resident to be served at all).
-    pub fn new(budget_bytes: usize) -> Self {
+    pub fn new(budget_bytes: usize, mapped_budget_bytes: usize) -> Self {
         BlockCache {
             inner: Mutex::new(CacheInner {
                 map: HashMap::new(),
-                resident_bytes: 0,
+                heap_bytes: 0,
+                mapped_bytes: 0,
                 tick: 0,
             }),
             budget_bytes,
+            mapped_budget_bytes,
         }
     }
 
-    /// Looks a shard up, bumping its recency. Counts `store.cache.hit` or
-    /// `store.cache.miss`.
+    /// Looks a decoded shard up, bumping its recency. Counts
+    /// `store.cache.hit` or `store.cache.miss`.
     pub fn get(&self, key: ShardKey) -> Option<Arc<SampleSet>> {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         inner.tick += 1;
         let tick = inner.tick;
-        match inner.map.get_mut(&key) {
-            Some(entry) => {
-                entry.last_used = tick;
+        match inner.map.get_mut(&key).and_then(|entry| {
+            entry.last_used = tick;
+            entry.set.clone()
+        }) {
+            Some(set) => {
                 sickle_obs::counter!("store.cache.hit", 1usize);
-                Some(Arc::clone(&entry.value))
+                Some(set)
             }
             None => {
                 sickle_obs::counter!("store.cache.miss", 1usize);
@@ -83,8 +118,30 @@ impl BlockCache {
         }
     }
 
-    /// True when the shard is resident. Does not touch recency or counters
-    /// (used by the prefetcher to avoid skewing hit statistics).
+    /// Looks a shard's raw verified bytes up, bumping recency. Counts
+    /// `store.cache.raw_hit` or `store.cache.raw_miss`.
+    pub fn get_raw(&self, key: ShardKey) -> Option<Arc<ShardBytes>> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(&key).and_then(|entry| {
+            entry.last_used = tick;
+            entry.raw.clone()
+        }) {
+            Some(raw) => {
+                sickle_obs::counter!("store.cache.raw_hit", 1usize);
+                Some(raw)
+            }
+            None => {
+                sickle_obs::counter!("store.cache.raw_miss", 1usize);
+                None
+            }
+        }
+    }
+
+    /// True when anything (raw bytes or decoded set) is resident for the
+    /// key. Does not touch recency or counters (used by the prefetcher to
+    /// avoid skewing hit statistics).
     pub fn contains(&self, key: ShardKey) -> bool {
         self.inner
             .lock()
@@ -93,26 +150,48 @@ impl BlockCache {
             .contains_key(&key)
     }
 
-    /// Inserts a decoded shard, evicting least-recently-used shards until
-    /// the budget holds again. The newly inserted shard is never evicted by
-    /// its own insertion, so a single oversized shard still serves.
+    /// Inserts (or merges) a decoded shard, evicting least-recently-used
+    /// entries until both budgets hold again. The entry just inserted is
+    /// never evicted by its own insertion, so a single oversized shard
+    /// still serves.
     pub fn insert(&self, key: ShardKey, value: Arc<SampleSet>) {
-        let bytes = sample_set_bytes(&value);
+        self.merge(key, None, Some(value));
+    }
+
+    /// Inserts (or merges) a shard's raw verified bytes.
+    pub fn insert_raw(&self, key: ShardKey, raw: Arc<ShardBytes>) {
+        self.merge(key, Some(raw), None);
+    }
+
+    fn merge(&self, key: ShardKey, raw: Option<Arc<ShardBytes>>, set: Option<Arc<SampleSet>>) {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         inner.tick += 1;
         let tick = inner.tick;
-        if let Some(old) = inner.map.insert(
-            key,
-            CacheEntry {
-                value,
-                bytes,
+        let (old_heap, old_mapped, new_heap, new_mapped) = {
+            let entry = inner.map.entry(key).or_insert(CacheEntry {
+                raw: None,
+                set: None,
+                heap_bytes: 0,
+                mapped_bytes: 0,
                 last_used: tick,
-            },
-        ) {
-            inner.resident_bytes -= old.bytes;
-        }
-        inner.resident_bytes += bytes;
-        while inner.resident_bytes > self.budget_bytes && inner.map.len() > 1 {
+            });
+            let (old_heap, old_mapped) = (entry.heap_bytes, entry.mapped_bytes);
+            if let Some(raw) = raw {
+                entry.raw = Some(raw);
+            }
+            if let Some(set) = set {
+                entry.set = Some(set);
+            }
+            entry.last_used = tick;
+            entry.recount();
+            (old_heap, old_mapped, entry.heap_bytes, entry.mapped_bytes)
+        };
+        inner.heap_bytes = inner.heap_bytes - old_heap + new_heap;
+        inner.mapped_bytes = inner.mapped_bytes - old_mapped + new_mapped;
+        while (inner.heap_bytes > self.budget_bytes
+            || inner.mapped_bytes > self.mapped_budget_bytes)
+            && inner.map.len() > 1
+        {
             let victim = inner
                 .map
                 .iter()
@@ -122,18 +201,21 @@ impl BlockCache {
             match victim {
                 Some(v) => {
                     if let Some(evicted) = inner.map.remove(&v) {
-                        inner.resident_bytes -= evicted.bytes;
+                        inner.heap_bytes -= evicted.heap_bytes;
+                        inner.mapped_bytes -= evicted.mapped_bytes;
                         sickle_obs::counter!("store.cache.evicted", 1usize);
                     }
                 }
                 None => break,
             }
         }
-        sickle_obs::gauge!("store.cache.resident_bytes", inner.resident_bytes);
+        sickle_obs::gauge!("store.cache.resident_bytes", inner.heap_bytes);
+        sickle_obs::gauge!("store.cache.mapped_bytes", inner.mapped_bytes);
         sickle_obs::gauge!("store.cache.resident_shards", inner.map.len());
     }
 
-    /// Resident shard count.
+    /// Resident shard count (entries with raw bytes, a decoded set, or
+    /// both).
     pub fn len(&self) -> usize {
         self.inner
             .lock()
@@ -147,23 +229,39 @@ impl BlockCache {
         self.len() == 0
     }
 
-    /// Approximate resident bytes.
+    /// Approximate heap-resident bytes (decoded sets + fallback raw
+    /// buffers; mapped bytes are excluded — they belong to the OS page
+    /// cache).
     pub fn resident_bytes(&self) -> usize {
         self.inner
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .resident_bytes
+            .heap_bytes
     }
 
-    /// The configured byte budget.
+    /// Mapped (page-cache-backed) bytes currently referenced by the cache.
+    pub fn mapped_bytes(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .mapped_bytes
+    }
+
+    /// The configured heap byte budget.
     pub fn budget_bytes(&self) -> usize {
         self.budget_bytes
+    }
+
+    /// The configured mapped byte budget.
+    pub fn mapped_budget_bytes(&self) -> usize {
+        self.mapped_budget_bytes
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::shard_bytes::MmapMode;
     use sickle_field::FeatureMatrix;
 
     fn set_of(n: usize) -> Arc<SampleSet> {
@@ -175,9 +273,22 @@ mod tests {
         ShardKey { snapshot: 0, cube }
     }
 
+    fn cache(budget: usize) -> BlockCache {
+        BlockCache::new(budget, usize::MAX)
+    }
+
+    fn raw_of(tag: &str, n: usize, mode: MmapMode) -> Arc<ShardBytes> {
+        let path =
+            std::env::temp_dir().join(format!("sickle_cache_raw_{tag}_{}_{n}", std::process::id()));
+        std::fs::write(&path, vec![3u8; n]).unwrap();
+        let raw = ShardBytes::open(&path, n, mode).unwrap();
+        std::fs::remove_file(&path).ok();
+        Arc::new(raw)
+    }
+
     #[test]
     fn hit_after_insert_miss_before() {
-        let cache = BlockCache::new(1 << 20);
+        let cache = cache(1 << 20);
         assert!(cache.get(key(0)).is_none());
         cache.insert(key(0), set_of(4));
         let got = cache.get(key(0)).expect("resident");
@@ -188,7 +299,7 @@ mod tests {
     fn evicts_least_recently_used_under_budget_pressure() {
         // Each set is ~16B/point of payload; budget fits roughly two sets.
         let per = sample_set_bytes(&set_of(100));
-        let cache = BlockCache::new(per * 2 + per / 2);
+        let cache = cache(per * 2 + per / 2);
         cache.insert(key(0), set_of(100));
         cache.insert(key(1), set_of(100));
         // Touch 0 so 1 becomes the LRU victim.
@@ -202,7 +313,7 @@ mod tests {
 
     #[test]
     fn oversized_single_shard_still_resides() {
-        let cache = BlockCache::new(8); // far below one shard
+        let cache = cache(8); // far below one shard
         cache.insert(key(0), set_of(1000));
         assert!(cache.contains(key(0)));
         // The next insert displaces it (budget admits only one).
@@ -213,11 +324,56 @@ mod tests {
 
     #[test]
     fn reinsert_replaces_without_double_counting() {
-        let cache = BlockCache::new(1 << 20);
+        let cache = cache(1 << 20);
         cache.insert(key(0), set_of(10));
         let b1 = cache.resident_bytes();
         cache.insert(key(0), set_of(10));
         assert_eq!(cache.resident_bytes(), b1);
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn mapped_raw_bytes_do_not_charge_the_heap_budget() {
+        if !cfg!(unix) {
+            return;
+        }
+        let cache = cache(1 << 20);
+        cache.insert_raw(key(0), raw_of("mapped", 4096, MmapMode::On));
+        assert_eq!(cache.resident_bytes(), 0, "mapped bytes are not heap");
+        assert_eq!(cache.mapped_bytes(), 4096);
+        assert!(cache.get_raw(key(0)).is_some());
+        assert!(cache.get(key(0)).is_none(), "no decoded set yet");
+    }
+
+    #[test]
+    fn heap_raw_bytes_charge_the_heap_budget() {
+        let cache = cache(1 << 20);
+        cache.insert_raw(key(0), raw_of("heap", 4096, MmapMode::Off));
+        assert_eq!(cache.resident_bytes(), 4096);
+        assert_eq!(cache.mapped_bytes(), 0);
+    }
+
+    #[test]
+    fn raw_and_set_merge_into_one_entry() {
+        let cache = cache(1 << 20);
+        cache.insert_raw(key(0), raw_of("merge", 256, MmapMode::Off));
+        cache.insert(key(0), set_of(10));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get_raw(key(0)).is_some());
+        assert!(cache.get(key(0)).is_some());
+        assert_eq!(cache.resident_bytes(), 256 + sample_set_bytes(&set_of(10)));
+    }
+
+    #[test]
+    fn mapped_budget_evicts_independently() {
+        if !cfg!(unix) {
+            return;
+        }
+        let cache = BlockCache::new(1 << 20, 10_000);
+        cache.insert_raw(key(0), raw_of("mb0", 8192, MmapMode::On));
+        cache.insert_raw(key(1), raw_of("mb1", 8192, MmapMode::On));
+        assert!(!cache.contains(key(0)), "mapped budget evicted the LRU");
+        assert!(cache.contains(key(1)));
+        assert!(cache.mapped_bytes() <= cache.mapped_budget_bytes());
     }
 }

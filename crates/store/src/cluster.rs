@@ -17,10 +17,17 @@
 //!   canonical key order, and `f32`s cross the wire losslessly.
 //! - **Failover** — a member whose transport dies (retries exhausted:
 //!   refused, reset, timed out, or a `die` fault took the process) is
-//!   marked down for the rest of this client's life and its keys re-route
-//!   to the next live replica on the ring. Nothing is re-fetched that
-//!   already arrived, so a mid-epoch death costs one extra round-trip for
-//!   the affected keys, not the epoch.
+//!   marked down and its keys re-route to the next live replica on the
+//!   ring. Nothing is re-fetched that already arrived, so a mid-epoch
+//!   death costs one extra round-trip for the affected keys, not the
+//!   epoch.
+//! - **Recovery** — a mark-down expires after a jittered, per-member
+//!   [`Backoff`] window ([`ClusterConfig::reprobe_base`] growing toward
+//!   [`ClusterConfig::reprobe_cap`]); the next request that routes to the
+//!   expired member doubles as its re-probe. A restarted server rejoins
+//!   without any client restart, while a still-dead one costs at most one
+//!   probe per window — the jitter keeps a fleet of clients from probing
+//!   a corpse in lockstep.
 //!
 //! Definitive server answers (`NotFound`, `InvalidData`) are *not*
 //! failover triggers: they mean the request or the data is wrong, and a
@@ -28,9 +35,11 @@
 
 use std::collections::BTreeSet;
 use std::io;
+use std::time::{Duration, Instant};
 
 use sickle_core::pipeline::SamplingOutput;
 
+use crate::backoff::Backoff;
 use crate::batching::{batch_keys, num_batches, Batch, BatchShape, BatchSpec};
 use crate::client::{ClientConfig, StoreClient};
 use crate::manifest::ShardKey;
@@ -69,6 +78,13 @@ pub struct ClusterConfig {
     /// Per-member transport tuning (each member's client mixes its address
     /// into the jitter seed, so one config still decollides retries).
     pub client: ClientConfig,
+    /// First mark-down window after a member's transport dies. When it
+    /// expires, the next request owned by the member doubles as a
+    /// re-probe; each failed probe grows the window (decorrelated jitter,
+    /// same scheme as transport retries) toward `reprobe_cap`.
+    pub reprobe_base: Duration,
+    /// Ceiling on the mark-down window between re-probes of a dead member.
+    pub reprobe_cap: Duration,
 }
 
 impl Default for ClusterConfig {
@@ -77,6 +93,8 @@ impl Default for ClusterConfig {
             replication: 2,
             vnodes: DEFAULT_VNODES,
             client: ClientConfig::default(),
+            reprobe_base: Duration::from_millis(250),
+            reprobe_cap: Duration::from_secs(5),
         }
     }
 }
@@ -119,12 +137,25 @@ pub fn partition_output(
     }
 }
 
+/// Mark-down state for one member: ignored by routing until `until`, then
+/// eligible for one re-probe. The per-member backoff survives across
+/// probes so a persistently dead member is probed geometrically rarely.
+struct DownState {
+    until: Instant,
+    backoff: Backoff,
+}
+
 /// A cluster of store servers behind one batch-fetching facade.
 pub struct ClusterClient {
     ring: HashRing,
     /// Aligned with `ring.members()` order.
     clients: Vec<StoreClient>,
-    down: Vec<bool>,
+    /// `Some` while the member is marked down; index-aligned with
+    /// `clients`.
+    down: Vec<Option<DownState>>,
+    reprobe_base: Duration,
+    reprobe_cap: Duration,
+    reprobe_seed: u64,
     replication: usize,
     keys: Vec<ShardKey>,
     feature_names: Vec<String>,
@@ -197,11 +228,14 @@ impl ClusterClient {
             }
             keys.extend(manifest.keys());
         }
-        let down = vec![false; clients.len()];
+        let down = (0..clients.len()).map(|_| None).collect();
         Ok(ClusterClient {
             ring,
             clients,
             down,
+            reprobe_base: cfg.reprobe_base,
+            reprobe_cap: cfg.reprobe_cap,
+            reprobe_seed: cfg.client.seed,
             replication: cfg.replication.max(1),
             keys: keys.into_iter().collect(),
             feature_names: feature_names.expect("at least one member"),
@@ -235,13 +269,16 @@ impl ClusterClient {
         self.ring.members()
     }
 
-    /// Members currently marked down (failed over away from).
+    /// Members currently marked down (failed over away from and not yet
+    /// due for a re-probe). A member whose window expired no longer counts
+    /// as down: the next request it owns will probe it.
     pub fn down_members(&self) -> Vec<&str> {
+        let now = Instant::now();
         self.ring
             .members()
             .iter()
-            .zip(&self.down)
-            .filter_map(|(name, &down)| down.then_some(name.as_str()))
+            .enumerate()
+            .filter_map(|(i, name)| self.is_down_at(i, now).then_some(name.as_str()))
             .collect()
     }
 
@@ -303,6 +340,17 @@ impl ClusterClient {
                 let member_keys: Vec<ShardKey> = positions.iter().map(|&p| keys[p]).collect();
                 match self.clients[member].tensors(tokens, &member_keys) {
                     Ok(block) => {
+                        if self.down[member].take().is_some() {
+                            // A marked member answered its re-probe: it is
+                            // back (restarted, network healed) and resumes
+                            // normal ownership.
+                            sickle_obs::counter!("cluster.rejoin", 1usize);
+                            sickle_obs::info!(
+                                "cluster",
+                                "member {} rejoined after mark-down",
+                                self.ring.members()[member]
+                            );
+                        }
                         if block.count != positions.len()
                             || block.tokens != tokens
                             || block.features != features
@@ -323,7 +371,8 @@ impl ClusterClient {
                     Err(e) if is_definitive(&e) => return Err(e),
                     Err(e) => {
                         // Transport exhausted: the member is gone. Mark it
-                        // down for good and re-route its keys next round.
+                        // down for a jittered re-probe window and re-route
+                        // its keys next round.
                         let name = self.ring.members()[member].clone();
                         let _s = sickle_obs::span!("cluster.failover", member = member);
                         sickle_obs::counter!("cluster.failover", 1usize);
@@ -332,7 +381,7 @@ impl ClusterClient {
                             "member {name} down ({e}); failing over {} keys",
                             positions.len()
                         );
-                        self.down[member] = true;
+                        self.mark_down(member);
                         pending.extend(positions);
                     }
                 }
@@ -365,24 +414,47 @@ impl ClusterClient {
     /// skipped — they already stopped, voluntarily or otherwise.
     pub fn shutdown_all(&mut self) -> Vec<(String, io::Result<StatsSnapshot>)> {
         let names: Vec<String> = self.ring.members().to_vec();
-        names
-            .into_iter()
-            .enumerate()
-            .filter(|(i, _)| !self.down[*i])
-            .map(|(i, name)| {
+        let now = Instant::now();
+        let live: Vec<usize> = (0..names.len())
+            .filter(|&i| !self.is_down_at(i, now))
+            .collect();
+        live.into_iter()
+            .map(|i| {
                 let result = self.clients[i].shutdown_server();
-                (name, result)
+                (names[i].clone(), result)
             })
             .collect()
     }
 
     fn first_live_owner(&self, key: ShardKey) -> Option<usize> {
         let members = self.ring.members();
+        let now = Instant::now();
         self.ring
             .owners(key, self.replication)
             .into_iter()
             .filter_map(|name| members.iter().position(|m| m == name))
-            .find(|&idx| !self.down[idx])
+            .find(|&idx| !self.is_down_at(idx, now))
+    }
+
+    fn is_down_at(&self, member: usize, now: Instant) -> bool {
+        self.down[member]
+            .as_ref()
+            .is_some_and(|state| now < state.until)
+    }
+
+    /// Marks `member` down for the next backoff window (growing the
+    /// window if it was already marked).
+    fn mark_down(&mut self, member: usize) {
+        let mut state = self.down[member].take().unwrap_or_else(|| DownState {
+            until: Instant::now(),
+            backoff: Backoff::new(
+                self.reprobe_seed ^ (member as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                self.reprobe_base,
+                self.reprobe_cap,
+            ),
+        });
+        state.until = Instant::now() + state.backoff.next_delay();
+        self.down[member] = Some(state);
     }
 }
 

@@ -35,6 +35,7 @@ pub mod prefetch;
 pub mod protocol;
 pub mod ring;
 pub mod server;
+pub mod shard_bytes;
 pub mod stats;
 pub mod store;
 pub mod testutil;
@@ -49,6 +50,7 @@ pub use prefetch::Prefetcher;
 pub use protocol::{Request, Response, TensorBlock, WireErrorKind};
 pub use ring::HashRing;
 pub use server::{serve, ServeConfig, ServerHandle};
+pub use shard_bytes::{MmapMode, ShardBytes};
 pub use sickle_codec::Codec;
 pub use stats::{CodecStats, ConnRegistry, ConnStats, StatsSnapshot};
 pub use store::{set_key, ShardStore, StoreConfig};

@@ -25,7 +25,10 @@ pub struct Prefetcher {
 }
 
 impl Prefetcher {
-    /// Spawns a prefetcher over a shared store.
+    /// Spawns a prefetcher over a shared store. Prefetch is best-effort
+    /// by contract, so a failed thread spawn (fd/thread exhaustion)
+    /// degrades to a prefetcher that drops every hint instead of
+    /// panicking the caller.
     pub fn new(store: Arc<ShardStore>) -> Self {
         let (tx, rx) = mpsc::channel::<ShardKey>();
         let queued = Arc::new(AtomicU64::new(0));
@@ -41,8 +44,8 @@ impl Prefetcher {
                         continue;
                     }
                     let t0 = std::time::Instant::now();
-                    match store.get(key) {
-                        Ok(_) => {
+                    match store.warm(key) {
+                        Ok(()) => {
                             sickle_obs::counter!("store.prefetch.loaded", 1usize);
                             sickle_obs::histogram!(
                                 "store.prefetch.load_us",
@@ -52,12 +55,21 @@ impl Prefetcher {
                         Err(_) => sickle_obs::counter!("store.prefetch.error", 1usize),
                     }
                 }
-            })
-            .expect("spawn prefetch thread");
-        Prefetcher {
-            tx: Some(tx),
-            worker: Some(worker),
-            queued,
+            });
+        match worker {
+            Ok(worker) => Prefetcher {
+                tx: Some(tx),
+                worker: Some(worker),
+                queued,
+            },
+            Err(_) => {
+                sickle_obs::counter!("store.prefetch.spawn_failed", 1usize);
+                Prefetcher {
+                    tx: None,
+                    worker: None,
+                    queued,
+                }
+            }
         }
     }
 

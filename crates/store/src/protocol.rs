@@ -352,11 +352,16 @@ impl Response {
         }
     }
 
-    /// Serializes to `(tag, payload)`.
+    /// Serializes to `(tag, payload)`. The `Shard` arm clones its payload
+    /// into the frame buffer — that copy is what the zero-copy serve path
+    /// exists to avoid, so it is copy-accounted for the bench.
     pub fn encode(&self) -> (u8, Vec<u8>) {
         match self {
             Response::Manifest(json) => (TAG_RESP_MANIFEST, json.clone()),
-            Response::Shard(bytes) => (TAG_RESP_SHARD, bytes.clone()),
+            Response::Shard(bytes) => {
+                crate::shard_bytes::copytrace::note_copy(bytes.len());
+                (TAG_RESP_SHARD, bytes.clone())
+            }
             Response::Batch(batch) => {
                 let mut p = Vec::with_capacity(16 + (batch.inputs.len() + batch.targets.len()) * 4);
                 p.put_u32_le(batch.shape.batch as u32);
@@ -390,6 +395,50 @@ impl Response {
                 p.push(*kind as u8);
                 p.put_slice(message.as_bytes());
                 (TAG_RESP_ERROR, p)
+            }
+        }
+    }
+
+    /// Serializes to `(tag, payload chunks)` for vectored writes: the
+    /// concatenation of the chunks is byte-for-byte [`encode`](Self::encode)'s
+    /// payload, but tensor responses keep their header and each tensor in
+    /// separate buffers so the server can hand them to `write_vectored`
+    /// without assembling one contiguous frame. (`Shard` responses are not
+    /// chunked here — the zero-copy server ships those straight from the
+    /// `ShardBytes` handle and never materializes a `Response::Shard`.)
+    pub fn encode_chunks(&self) -> (u8, Vec<Vec<u8>>) {
+        fn f32_bytes(values: &[f32]) -> Vec<u8> {
+            let mut out = Vec::with_capacity(values.len() * 4);
+            for &v in values {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            out
+        }
+        match self {
+            Response::Batch(batch) => {
+                let mut header = Vec::with_capacity(16);
+                header.put_u32_le(batch.shape.batch as u32);
+                header.put_u32_le(batch.shape.tokens as u32);
+                header.put_u32_le(batch.shape.features as u32);
+                header.put_u32_le(batch.shape.outputs as u32);
+                (
+                    TAG_RESP_BATCH,
+                    vec![header, f32_bytes(&batch.inputs), f32_bytes(&batch.targets)],
+                )
+            }
+            Response::Tensors(block) => {
+                let mut header = Vec::with_capacity(12);
+                header.put_u32_le(block.count as u32);
+                header.put_u32_le(block.tokens as u32);
+                header.put_u32_le(block.features as u32);
+                (
+                    TAG_RESP_TENSORS,
+                    vec![header, f32_bytes(&block.inputs), f32_bytes(&block.targets)],
+                )
+            }
+            other => {
+                let (tag, payload) = other.encode();
+                (tag, vec![payload])
             }
         }
     }
@@ -695,6 +744,42 @@ mod tests {
         ] {
             let (tag, payload) = resp.encode();
             assert_eq!(Response::decode(tag, &payload).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn encode_chunks_concatenation_equals_encode() {
+        for resp in [
+            Response::Manifest(b"{\"version\":1}".to_vec()),
+            Response::Shard(vec![5; 97]),
+            Response::Batch(Batch {
+                inputs: vec![1.5, -2.25, 0.0, f32::EPSILON],
+                targets: vec![0.5, -0.5],
+                shape: BatchShape {
+                    batch: 2,
+                    tokens: 1,
+                    features: 2,
+                    outputs: 1,
+                },
+            }),
+            Response::Tensors(TensorBlock {
+                count: 1,
+                tokens: 2,
+                features: 2,
+                inputs: vec![1.0, -2.0, 3.5, 0.25],
+                targets: vec![0.5, -0.5],
+            }),
+            Response::Stats(b"{}".to_vec()),
+            Response::Error {
+                kind: WireErrorKind::Busy,
+                message: "x".into(),
+            },
+        ] {
+            let (tag, payload) = resp.encode();
+            let (ctag, chunks) = resp.encode_chunks();
+            assert_eq!(tag, ctag);
+            let joined: Vec<u8> = chunks.concat();
+            assert_eq!(joined, payload, "{resp:?}");
         }
     }
 

@@ -29,7 +29,7 @@
 //! in-place result to corrupt.
 
 use std::collections::VecDeque;
-use std::io::{self, Read, Write};
+use std::io::{self, IoSlice, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -37,11 +37,15 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use sickle_hpc::fault::{FaultAction, FaultInjector, FaultPlan};
+use sickle_obs::TraceContext;
 
 use crate::batching::{batch_from_sets, batch_keys, num_batches, tensorize_set, BatchSpec};
 use crate::manifest::ShardKey;
 use crate::prefetch::Prefetcher;
-use crate::protocol::{write_frame, Request, Response, TensorBlock, WireErrorKind, MAX_FRAME};
+use crate::protocol::{
+    write_frame, Request, Response, TensorBlock, WireErrorKind, MAX_FRAME, TAG_RESP_SHARD,
+};
+use crate::shard_bytes::ShardBytes;
 use crate::stats::{ConnGuard, ConnRegistry, StatsSnapshot};
 use crate::store::ShardStore;
 
@@ -79,6 +83,14 @@ pub struct ServeConfig {
     /// shared-CPU loopback host, so cluster scaling measures the data
     /// plane's load spreading rather than the host's core count.
     pub model_us_per_key: u64,
+    /// Serve the zero-copy data plane (default): `GetShard` ships slices
+    /// of the cached `mmap`/`read_at` shard handle through
+    /// `write_vectored`, `GetTensors` tensorizes borrowed views, and no
+    /// response payload is assembled into a contiguous frame buffer.
+    /// `false` selects the legacy path — uncached `fs::read` plus owned
+    /// encode plus copying writes — kept as the measured baseline for the
+    /// `perf_serve_path` bench.
+    pub zero_copy: bool,
 }
 
 impl Default for ServeConfig {
@@ -93,6 +105,7 @@ impl Default for ServeConfig {
             allow_shutdown: false,
             max_conns: 1024,
             model_us_per_key: 0,
+            zero_copy: true,
         }
     }
 }
@@ -135,7 +148,105 @@ struct Conn {
     /// Accept instant, consumed by the first worker visit to report the
     /// dispatch-queue wait.
     accepted: Option<Instant>,
+    /// In-flight response (short-write continuation state). While this is
+    /// `Some`, the connection parks between `write_vectored` attempts
+    /// instead of pinning a worker — the request-granular scheduler's
+    /// contract extends to writes.
+    out: Option<PendingWrite>,
     guard: ConnGuard,
+}
+
+/// One buffer in an outbound iovec chain: either an owned frame piece
+/// (header, tensor block, error frame) or a whole shard's bytes shared
+/// straight out of the store cache — the page-cache-backed mapping when
+/// mmap is on. Holding the `Arc` here is what keeps a mapped region alive
+/// until the last byte has left the socket, even if the LRU evicts the
+/// shard mid-write.
+enum Chunk {
+    Owned(Vec<u8>),
+    Shard(Arc<ShardBytes>),
+}
+
+impl Chunk {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            Chunk::Owned(bytes) => bytes,
+            Chunk::Shard(handle) => handle.as_slice(),
+        }
+    }
+}
+
+/// A response mid-write: the full iovec chain (`chunks[0]` is the 5-byte
+/// frame header) plus a cursor into it. `write_vectored` resumes from the
+/// cursor on every visit until the chain drains or [`WRITE_DEADLINE`]
+/// expires.
+struct PendingWrite {
+    chunks: Vec<Chunk>,
+    /// Index of the first chunk with unsent bytes.
+    chunk: usize,
+    /// Offset of the first unsent byte within that chunk.
+    offset: usize,
+    /// When the response was enqueued; bounds how long a non-reading peer
+    /// can hold the buffers.
+    started: Instant,
+}
+
+/// Advances the pending write with as many `write_vectored` calls as the
+/// socket accepts. `Ok(true)` = fully flushed, `Ok(false)` = would block
+/// (park and retry); errors (including a blown [`WRITE_DEADLINE`]) mean
+/// the connection must close.
+fn try_flush(conn: &mut Conn) -> io::Result<bool> {
+    let Some(out) = conn.out.as_mut() else {
+        return Ok(true);
+    };
+    loop {
+        let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(out.chunks.len() - out.chunk);
+        for (i, chunk) in out.chunks.iter().enumerate().skip(out.chunk) {
+            let bytes = chunk.as_slice();
+            let from = if i == out.chunk { out.offset } else { 0 };
+            if from < bytes.len() {
+                slices.push(IoSlice::new(&bytes[from..]));
+            }
+        }
+        if slices.is_empty() {
+            conn.out = None;
+            return Ok(true);
+        }
+        match conn.stream.write_vectored(&slices) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(mut n) => {
+                while n > 0 {
+                    let remaining = out.chunks[out.chunk].as_slice().len() - out.offset;
+                    if n >= remaining {
+                        n -= remaining;
+                        out.chunk += 1;
+                        out.offset = 0;
+                    } else {
+                        out.offset += n;
+                        n = 0;
+                    }
+                }
+                while out.chunk < out.chunks.len()
+                    && out.offset >= out.chunks[out.chunk].as_slice().len()
+                {
+                    out.chunk += 1;
+                    out.offset = 0;
+                }
+                if out.chunk >= out.chunks.len() {
+                    conn.out = None;
+                    return Ok(true);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if out.started.elapsed() >= WRITE_DEADLINE {
+                    return Err(io::ErrorKind::TimedOut.into());
+                }
+                return Ok(false);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 /// A running server. [`shutdown`](Self::shutdown) (or drop) stops the
@@ -203,21 +314,35 @@ pub fn serve(store: Arc<ShardStore>, cfg: ServeConfig) -> io::Result<ServerHandl
         queue: Mutex::new(VecDeque::new()),
     });
 
-    let workers = (0..cfg.threads.max(1))
-        .map(|w| {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name(format!("sickle-serve-worker-{w}"))
-                .spawn(move || worker_loop(&shared))
-                .expect("spawn serve worker")
-        })
-        .collect();
+    // Thread spawns can fail under fd/thread exhaustion; a partial pool
+    // must not leak — raise the stop flag, join what started, and report.
+    let abort = |spawned: Vec<JoinHandle<()>>, e: io::Error| {
+        stop.store(true, Ordering::SeqCst);
+        for h in spawned {
+            let _ = h.join();
+        }
+        Err(e)
+    };
+    let mut workers = Vec::with_capacity(cfg.threads.max(1));
+    for w in 0..cfg.threads.max(1) {
+        let shared = Arc::clone(&shared);
+        match std::thread::Builder::new()
+            .name(format!("sickle-serve-worker-{w}"))
+            .spawn(move || worker_loop(&shared))
+        {
+            Ok(h) => workers.push(h),
+            Err(e) => return abort(workers, e),
+        }
+    }
 
     let accept_shared = Arc::clone(&shared);
-    let accept = std::thread::Builder::new()
+    let accept = match std::thread::Builder::new()
         .name("sickle-serve-accept".into())
         .spawn(move || accept_loop(&listener, &accept_shared))
-        .expect("spawn serve accept loop");
+    {
+        Ok(h) => h,
+        Err(e) => return abort(workers, e),
+    };
 
     Ok(ServerHandle {
         addr,
@@ -250,6 +375,7 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
                     buf: Vec::new(),
                     last_activity: Instant::now(),
                     accepted: Some(Instant::now()),
+                    out: None,
                     guard: shared.conns.register(),
                 };
                 queue_lock(shared).push_back(conn);
@@ -338,6 +464,22 @@ fn worker_loop(shared: &Shared) {
                     }
                 }
             }
+            Visit::Waiting => {
+                // Mid-write: the peer's socket buffer is full, not the
+                // peer silent — exempt from idle expiry ([`WRITE_DEADLINE`]
+                // bounds this state instead) but parked like an idle
+                // connection so the worker stays free.
+                let parked = {
+                    let mut queue = queue_lock(shared);
+                    queue.push_back(conn);
+                    queue.len()
+                };
+                idle_streak += 1;
+                if idle_streak >= parked {
+                    idle_streak = 0;
+                    std::thread::sleep(IDLE_POLL);
+                }
+            }
             Visit::Close => idle_streak = 0,
         }
     }
@@ -348,13 +490,30 @@ enum Visit {
     Active,
     /// Nothing to read; park and poll later.
     Idle,
+    /// A response is queued but the socket would block; park and flush on
+    /// a later visit without starting the idle-expiry clock.
+    Waiting,
     /// Peer gone, fault fired, or protocol breach: drop the connection.
     Close,
 }
 
-/// One worker visit: pull whatever bytes are ready, answer every complete
-/// frame, put the connection back (or not).
+/// One worker visit: finish any in-flight response, pull whatever bytes
+/// are ready, answer every complete frame, put the connection back (or
+/// not).
 fn visit(conn: &mut Conn, shared: &Shared) -> Visit {
+    // Drain the pending write before touching reads: response chunks must
+    // leave in order, and the request/response protocol means the peer is
+    // blocked on this response anyway.
+    if conn.out.is_some() {
+        match try_flush(conn) {
+            Ok(true) => conn.last_activity = Instant::now(),
+            Ok(false) => return Visit::Waiting,
+            Err(_) => {
+                sickle_obs::counter!("serve.conn.write_stalled", 1usize);
+                return Visit::Close;
+            }
+        }
+    }
     let mut moved = false;
     let mut chunk = [0u8; 16 * 1024];
     loop {
@@ -383,14 +542,20 @@ fn visit(conn: &mut Conn, shared: &Shared) -> Visit {
         }
     }
     // Answer every complete frame (the protocol is request/response per
-    // connection, so normally at most one is waiting).
-    while conn.buf.len() >= FRAME_HEADER && conn.buf.len() >= FRAME_HEADER + frame_len(&conn.buf) {
+    // connection, so normally at most one is waiting). The request is
+    // decoded straight out of the connection buffer — no payload copy —
+    // and the loop stops if an answer parks a pending write.
+    while conn.out.is_none()
+        && conn.buf.len() >= FRAME_HEADER
+        && conn.buf.len() >= FRAME_HEADER + frame_len(&conn.buf)
+    {
         let len = frame_len(&conn.buf);
         let tag = conn.buf[0];
-        let payload: Vec<u8> = conn.buf[FRAME_HEADER..FRAME_HEADER + len].to_vec();
+        let decoded =
+            Request::decode_with_context(tag, &conn.buf[FRAME_HEADER..FRAME_HEADER + len]);
         conn.buf.drain(..FRAME_HEADER + len);
         moved = true;
-        if !handle_request(conn, tag, &payload, shared) {
+        if !handle_request(conn, decoded, len, shared) {
             return Visit::Close;
         }
         if shared.stop.load(Ordering::SeqCst) {
@@ -408,9 +573,49 @@ fn frame_len(buf: &[u8]) -> usize {
     u32::from_le_bytes([buf[1], buf[2], buf[3], buf[4]]) as usize
 }
 
+/// A computed answer, before any wire bytes exist. `Shard` carries the
+/// cached handle by reference count so the payload can go to the socket
+/// as an iovec slice with zero intermediate copies; everything else is an
+/// owned [`Response`].
+enum Reply {
+    Message(Response),
+    Shard(Arc<ShardBytes>),
+}
+
+impl Reply {
+    /// Materializes an owned `Response` — the legacy copying path (and the
+    /// fault-injected sever, which needs contiguous bytes to truncate).
+    fn into_response(self) -> Response {
+        match self {
+            Reply::Message(resp) => resp,
+            Reply::Shard(handle) => {
+                crate::shard_bytes::copytrace::note_copy(handle.len());
+                Response::Shard(handle.as_slice().to_vec())
+            }
+        }
+    }
+
+    /// Splits into the frame tag plus the payload as a chunk chain for
+    /// vectored writes. Shard bytes are shared, never copied.
+    fn into_chunks(self) -> (u8, Vec<Chunk>) {
+        match self {
+            Reply::Shard(handle) => (TAG_RESP_SHARD, vec![Chunk::Shard(handle)]),
+            Reply::Message(resp) => {
+                let (tag, pieces) = resp.encode_chunks();
+                (tag, pieces.into_iter().map(Chunk::Owned).collect())
+            }
+        }
+    }
+}
+
 /// Answers one request on `conn`. Returns `false` when the connection
 /// must close (fault fired, write failed).
-fn handle_request(conn: &mut Conn, tag: u8, payload: &[u8], shared: &Shared) -> bool {
+fn handle_request(
+    conn: &mut Conn,
+    decoded: io::Result<(Request, Option<TraceContext>)>,
+    payload_len: usize,
+    shared: &Shared,
+) -> bool {
     let t0 = Instant::now();
     match shared.injector.on_cube(conn.id) {
         FaultAction::Proceed | FaultAction::Poison => {}
@@ -422,7 +627,7 @@ fn handle_request(conn: &mut Conn, tag: u8, payload: &[u8], shared: &Shared) -> 
         }
         FaultAction::Drop => {
             sickle_obs::counter!("serve.conn.dropped", 1usize);
-            sever_mid_response(conn, tag, payload, shared);
+            sever_mid_response(conn, decoded, shared);
             return false;
         }
         FaultAction::Die => {
@@ -435,42 +640,90 @@ fn handle_request(conn: &mut Conn, tag: u8, payload: &[u8], shared: &Shared) -> 
 
     // A request carrying a trace context parents this span under the
     // *client's* span (cross-process link in the merged trace).
-    let decoded = Request::decode_with_context(tag, payload);
     let parent = match &decoded {
         Ok((_, Some(ctx))) => ctx.span_id,
         _ => sickle_obs::current_span_id(),
     };
     let req_span = sickle_obs::child_span!(parent, "serve.request", conn = conn.id);
-    let response = match decoded {
+    let reply = match decoded {
         Ok((req, _)) => answer(req, shared),
         Err(e) => {
             sickle_obs::counter!("serve.request.malformed", 1usize);
-            Response::from_error(&e)
+            Reply::Message(Response::from_error(&e))
         }
     };
+
+    if !shared.cfg.zero_copy {
+        // Legacy data plane: contiguous encode, copying writes.
+        let response = reply.into_response();
+        let enc0 = Instant::now();
+        let (rtag, rpayload) = {
+            let _s = sickle_obs::span!("serve.encode");
+            response.encode()
+        };
+        sickle_obs::histogram!("serve.encode_us", enc0.elapsed().as_micros() as f64);
+        let write_ok = {
+            let _s = sickle_obs::span!("serve.write", bytes = rpayload.len());
+            write_response(&mut conn.stream, rtag, &rpayload).is_ok()
+        };
+        drop(req_span);
+        if !write_ok {
+            return false;
+        }
+        record_request(conn, payload_len, rpayload.len(), t0);
+        return true;
+    }
+
+    // Zero-copy data plane: frame header + payload pieces go out as one
+    // iovec chain; a short write parks continuation state on the
+    // connection instead of pinning this worker.
     let enc0 = Instant::now();
-    let (rtag, rpayload) = {
+    let (rtag, pieces) = {
         let _s = sickle_obs::span!("serve.encode");
-        response.encode()
+        reply.into_chunks()
     };
     sickle_obs::histogram!("serve.encode_us", enc0.elapsed().as_micros() as f64);
-    let write_ok = {
-        let _s = sickle_obs::span!("serve.write", bytes = rpayload.len());
-        write_response(&mut conn.stream, rtag, &rpayload).is_ok()
-    };
-    drop(req_span);
-    if !write_ok {
+    let body_len: usize = pieces.iter().map(|c| c.as_slice().len()).sum();
+    if body_len > MAX_FRAME {
+        drop(req_span);
         return false;
     }
-    let bytes_in = (FRAME_HEADER + payload.len()) as u64;
-    let bytes_out = (FRAME_HEADER + rpayload.len()) as u64;
+    let mut header = vec![0u8; FRAME_HEADER];
+    header[0] = rtag;
+    header[1..].copy_from_slice(&(body_len as u32).to_le_bytes());
+    let mut chain = Vec::with_capacity(1 + pieces.len());
+    chain.push(Chunk::Owned(header));
+    chain.extend(pieces);
+    conn.out = Some(PendingWrite {
+        chunks: chain,
+        chunk: 0,
+        offset: 0,
+        started: Instant::now(),
+    });
+    let flushed = {
+        let _s = sickle_obs::span!("serve.write", bytes = body_len);
+        try_flush(conn)
+    };
+    drop(req_span);
+    if flushed.is_err() {
+        sickle_obs::counter!("serve.conn.write_stalled", 1usize);
+        return false;
+    }
+    // The request is answered once its bytes are queued; an unflushed tail
+    // drains on later visits.
+    record_request(conn, payload_len, body_len, t0);
+    true
+}
+
+fn record_request(conn: &mut Conn, payload_len: usize, body_len: usize, t0: Instant) {
+    let bytes_in = (FRAME_HEADER + payload_len) as u64;
+    let bytes_out = (FRAME_HEADER + body_len) as u64;
     conn.guard.counters().record(bytes_in, bytes_out);
     sickle_obs::counter!("store.serve.requests", 1usize);
     sickle_obs::counter!("store.serve.bytes_in", bytes_in);
     sickle_obs::counter!("store.serve.bytes_out", bytes_out);
     sickle_obs::histogram!("serve.request_us", t0.elapsed().as_micros() as f64);
     sickle_obs::counter!("serve.request.ok", 1usize);
-    true
 }
 
 /// `write_all` over a nonblocking socket: spins on `WouldBlock` with a
@@ -513,12 +766,16 @@ fn write_response(stream: &mut TcpStream, tag: u8, payload: &[u8]) -> io::Result
 /// Builds the real response, writes a deliberately truncated frame, and
 /// cuts the socket — the injected `drop` fault. The client observes a
 /// mid-frame EOF, which its retry loop must treat as transient.
-fn sever_mid_response(conn: &mut Conn, tag: u8, payload: &[u8], shared: &Shared) {
-    let response = match Request::decode(tag, payload) {
-        Ok(req) => answer(req, shared),
-        Err(e) => Response::from_error(&e),
+fn sever_mid_response(
+    conn: &mut Conn,
+    decoded: io::Result<(Request, Option<TraceContext>)>,
+    shared: &Shared,
+) {
+    let reply = match decoded {
+        Ok((req, _)) => answer(req, shared),
+        Err(e) => Reply::Message(Response::from_error(&e)),
     };
-    let (rtag, rpayload) = response.encode();
+    let (rtag, rpayload) = reply.into_response().encode();
     let mut header = [0u8; FRAME_HEADER];
     header[0] = rtag;
     header[1..].copy_from_slice(&(rpayload.len() as u32).to_le_bytes());
@@ -528,10 +785,10 @@ fn sever_mid_response(conn: &mut Conn, tag: u8, payload: &[u8], shared: &Shared)
     let _ = conn.stream.shutdown(Shutdown::Both);
 }
 
-fn answer(req: Request, shared: &Shared) -> Response {
+fn answer(req: Request, shared: &Shared) -> Reply {
     match serve_request(req, shared) {
-        Ok(resp) => resp,
-        Err(e) => Response::from_error(&e),
+        Ok(reply) => reply,
+        Err(e) => Reply::Message(Response::from_error(&e)),
     }
 }
 
@@ -544,14 +801,25 @@ fn model_service(shared: &Shared, keys_served: usize) {
     }
 }
 
-fn serve_request(req: Request, shared: &Shared) -> io::Result<Response> {
+fn serve_request(req: Request, shared: &Shared) -> io::Result<Reply> {
     match req {
         Request::Manifest => {
             let json = serde_json::to_string(shared.store.manifest())
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-            Ok(Response::Manifest(json.into_bytes()))
+            Ok(Reply::Message(Response::Manifest(json.into_bytes())))
         }
-        Request::GetShard(key) => Ok(Response::Shard(shared.store.shard_bytes(key)?)),
+        Request::GetShard(key) => {
+            if shared.cfg.zero_copy {
+                // The cached handle's bytes ship straight to the socket;
+                // the mapped (or read-once) view is hash-verified at
+                // residency, not per request.
+                Ok(Reply::Shard(shared.store.shard_handle(key)?))
+            } else {
+                Ok(Reply::Message(Response::Shard(
+                    shared.store.shard_bytes_baseline(key)?,
+                )))
+            }
+        }
         Request::GetBatch { spec, index } => {
             let index = usize::try_from(index).map_err(|_| {
                 io::Error::new(io::ErrorKind::InvalidData, "batch index overflows usize")
@@ -572,7 +840,10 @@ fn serve_request(req: Request, shared: &Shared) -> io::Result<Response> {
             hint_lookahead(shared, spec, index);
             model_service(shared, keys.len());
             let _s = sickle_obs::span!("serve.assemble_batch");
-            Ok(Response::Batch(batch_from_sets(&sets, spec.tokens)?))
+            Ok(Reply::Message(Response::Batch(batch_from_sets(
+                &sets,
+                spec.tokens,
+            )?)))
         }
         Request::GetTensors { tokens, keys } => {
             let tokens = tokens as usize;
@@ -580,11 +851,20 @@ fn serve_request(req: Request, shared: &Shared) -> io::Result<Response> {
             let mut inputs = Vec::with_capacity(keys.len() * tokens);
             let mut targets = Vec::with_capacity(keys.len());
             for &key in &keys {
-                let set = shared.store.get(key)?;
-                let (i, t) = tensorize_set(&set, tokens)?;
+                // Zero-copy mode tensorizes borrowed views of the raw
+                // shard handle — identity shards never materialize an
+                // owned `SampleSet` just to be summed.
+                let (i, t, dim) = if shared.cfg.zero_copy {
+                    shared.store.tensorized(key, tokens)?
+                } else {
+                    let set = shared.store.get(key)?;
+                    let (i, t) = tensorize_set(&set, tokens)?;
+                    let dim = set.features.dim();
+                    (i, t, dim)
+                };
                 if features == 0 {
-                    features = set.features.dim();
-                } else if set.features.dim() != features {
+                    features = dim;
+                } else if dim != features {
                     return Err(io::Error::new(
                         io::ErrorKind::InvalidData,
                         "feature dimension mismatch across requested keys",
@@ -594,19 +874,19 @@ fn serve_request(req: Request, shared: &Shared) -> io::Result<Response> {
                 targets.extend(t);
             }
             model_service(shared, keys.len());
-            Ok(Response::Tensors(TensorBlock {
+            Ok(Reply::Message(Response::Tensors(TensorBlock {
                 count: keys.len(),
                 tokens,
                 features,
                 inputs,
                 targets,
-            }))
+            })))
         }
-        Request::Stats => Ok(Response::Stats(
+        Request::Stats => Ok(Reply::Message(Response::Stats(
             StatsSnapshot::collect(&shared.conns)
                 .with_manifest(shared.store.manifest())
                 .to_json(),
-        )),
+        ))),
         Request::Shutdown => {
             if !shared.cfg.allow_shutdown {
                 return Err(io::Error::new(
@@ -620,7 +900,7 @@ fn serve_request(req: Request, shared: &Shared) -> io::Result<Response> {
             let snap = StatsSnapshot::collect(&shared.conns).with_manifest(shared.store.manifest());
             sickle_obs::info!("serve", "shutdown requested by client");
             shared.stop.store(true, Ordering::SeqCst);
-            Ok(Response::Stats(snap.to_json()))
+            Ok(Reply::Message(Response::Stats(snap.to_json())))
         }
     }
 }

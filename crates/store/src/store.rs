@@ -28,18 +28,29 @@ use sickle_field::SampleSet;
 
 use crate::cache::BlockCache;
 use crate::manifest::{ShardEntry, ShardKey, StoreManifest};
+use crate::shard_bytes::{copytrace, MmapMode, ShardBytes};
 
 /// Tuning for an opened store.
 #[derive(Clone, Copy, Debug)]
 pub struct StoreConfig {
-    /// Byte budget for the decoded-shard LRU cache.
+    /// Byte budget for heap-resident cache entries (decoded sets plus
+    /// `read_at`-fallback raw buffers).
     pub cache_bytes: usize,
+    /// Byte budget for mapped raw-shard handles. Mapped pages belong to
+    /// the OS page cache, so this bounds address-space/page-cache pressure
+    /// separately instead of double-counting against `cache_bytes`.
+    pub mapped_cache_bytes: usize,
+    /// How raw shard bytes are brought into memory (mmap vs `read_at`);
+    /// the default honors `SICKLE_MMAP`.
+    pub mmap: MmapMode,
 }
 
 impl Default for StoreConfig {
     fn default() -> Self {
         StoreConfig {
             cache_bytes: 256 << 20,
+            mapped_cache_bytes: 4 << 30,
+            mmap: MmapMode::from_env(),
         }
     }
 }
@@ -67,6 +78,7 @@ pub struct ShardStore {
     root: PathBuf,
     manifest: StoreManifest,
     cache: BlockCache,
+    mmap: MmapMode,
 }
 
 impl ShardStore {
@@ -145,7 +157,8 @@ impl ShardStore {
         Ok(ShardStore {
             root: root.to_path_buf(),
             manifest,
-            cache: BlockCache::new(cfg.cache_bytes),
+            cache: BlockCache::new(cfg.cache_bytes, cfg.mapped_cache_bytes),
+            mmap: cfg.mmap,
         })
     }
 
@@ -160,7 +173,8 @@ impl ShardStore {
         Ok(ShardStore {
             root: root.to_path_buf(),
             manifest,
-            cache: BlockCache::new(cfg.cache_bytes),
+            cache: BlockCache::new(cfg.cache_bytes, cfg.mapped_cache_bytes),
+            mmap: cfg.mmap,
         })
     }
 
@@ -185,19 +199,69 @@ impl ShardStore {
         self.cache.contains(key)
     }
 
-    /// Reads a shard's raw verified bytes from disk, bypassing the decoded
-    /// cache (the `GetShard` wire path, which ships bytes as-is).
-    ///
-    /// # Errors
-    /// `NotFound` for an unknown key, `InvalidData` on a hash mismatch.
-    pub fn shard_bytes(&self, key: ShardKey) -> io::Result<Vec<u8>> {
-        let entry = self.manifest.entry(key).ok_or_else(|| {
+    fn entry(&self, key: ShardKey) -> io::Result<&ShardEntry> {
+        self.manifest.entry(key).ok_or_else(|| {
             io::Error::new(
                 io::ErrorKind::NotFound,
                 format!("no shard for snapshot {} cube {}", key.snapshot, key.cube),
             )
-        })?;
+        })
+    }
+
+    /// Opens a shard's raw bytes as a shared, cached [`ShardBytes`] handle
+    /// — the zero-copy read path. A hit is an `Arc` clone; a miss maps the
+    /// file (or `read_at`s it under `SICKLE_MMAP=off`), length-checking
+    /// against the manifest *before* mapping and streaming the FNV hash
+    /// over the view, so both integrity checks run exactly once per
+    /// residency. `GetShard` ships the handle's slices straight into the
+    /// socket; `get()` decodes from the same handle — the two paths never
+    /// read the file twice.
+    ///
+    /// # Errors
+    /// `NotFound` for an unknown key, `InvalidData` on a size or hash
+    /// mismatch (a truncated-after-publish shard fails the size check
+    /// before any page is mapped).
+    pub fn shard_handle(&self, key: ShardKey) -> io::Result<Arc<ShardBytes>> {
+        if let Some(hit) = self.cache.get_raw(key) {
+            return Ok(hit);
+        }
+        let entry = self.entry(key)?;
+        let t0 = std::time::Instant::now();
+        let raw = {
+            let _s = sickle_obs::span!("store.disk_read", snapshot = key.snapshot, cube = key.cube);
+            ShardBytes::open(&self.root.join(&entry.file), entry.bytes, self.mmap)?
+        };
+        if fio::fnv1a64_hex(&raw) != entry.hash {
+            return Err(invalid(format!("hash mismatch for {}", entry.file)));
+        }
+        sickle_obs::histogram!("store.disk_read_us", t0.elapsed().as_micros() as f64);
+        let raw = Arc::new(raw);
+        self.cache.insert_raw(key, Arc::clone(&raw));
+        Ok(raw)
+    }
+
+    /// Reads a shard's raw verified bytes into an owned buffer. Compat
+    /// shim over [`shard_handle`](Self::shard_handle) for callers that
+    /// need a `Vec<u8>`; the materialization is copy-accounted.
+    ///
+    /// # Errors
+    /// `NotFound` for an unknown key, `InvalidData` on a hash mismatch.
+    pub fn shard_bytes(&self, key: ShardKey) -> io::Result<Vec<u8>> {
+        let handle = self.shard_handle(key)?;
+        copytrace::note_copy(handle.len());
+        Ok(handle.as_slice().to_vec())
+    }
+
+    /// The pre-zero-copy raw read path — an uncached `std::fs::read` plus
+    /// full-buffer hash — kept as the measured baseline for
+    /// `perf_serve_path` and the legacy (`zero_copy = false`) server mode.
+    ///
+    /// # Errors
+    /// `NotFound` for an unknown key, `InvalidData` on a hash mismatch.
+    pub fn shard_bytes_baseline(&self, key: ShardKey) -> io::Result<Vec<u8>> {
+        let entry = self.entry(key)?;
         let bytes = std::fs::read(self.root.join(&entry.file))?;
+        copytrace::note_copy(bytes.len());
         if fio::fnv1a64_hex(&bytes) != entry.hash {
             return Err(invalid(format!("hash mismatch for {}", entry.file)));
         }
@@ -205,7 +269,8 @@ impl ShardStore {
     }
 
     /// Fetches a decoded shard through the cache: a hit is an `Arc` clone;
-    /// a miss reads the file, verifies its hash, decodes it through
+    /// a miss reads through [`shard_handle`](Self::shard_handle) (hash
+    /// verified once per residency), decodes through
     /// [`sickle_codec::decode_shard`] (for resim shards this runs the
     /// reconstruction solver), and makes it resident (possibly evicting
     /// colder shards) — so lossy decode cost is paid once per residency,
@@ -218,16 +283,11 @@ impl ShardStore {
         if let Some(hit) = self.cache.get(key) {
             return Ok(hit);
         }
-        let t0 = std::time::Instant::now();
-        let bytes = {
-            let _s = sickle_obs::span!("store.disk_read", snapshot = key.snapshot, cube = key.cube);
-            self.shard_bytes(key)?
-        };
-        sickle_obs::histogram!("store.disk_read_us", t0.elapsed().as_micros() as f64);
+        let raw = self.shard_handle(key)?;
         let t1 = std::time::Instant::now();
         let mut sets = {
-            let _s = sickle_obs::span!("store.decode", bytes = bytes.len());
-            sickle_codec::decode_shard(&bytes)?
+            let _s = sickle_obs::span!("store.decode", bytes = raw.len());
+            sickle_codec::decode_shard(&raw)?
         };
         sickle_obs::histogram!("store.decode_us", t1.elapsed().as_micros() as f64);
         if sets.len() != 1 {
@@ -243,6 +303,66 @@ impl ShardStore {
         Ok(set)
     }
 
+    /// Tensorizes one shard for the `GetTensors` wire path. Identity
+    /// (SKLH) shards on a miss are parsed as *borrowed views* into the
+    /// cached raw handle — no owned `SampleSet` is materialized — while
+    /// lossy (SKLQ) shards decode once per residency as in
+    /// [`get`](Self::get). Returns `(inputs, targets, features)` and is
+    /// bit-identical to `tensorize_set` over the decoded set.
+    ///
+    /// # Errors
+    /// As [`get`](Self::get), plus `InvalidData` for an empty set or
+    /// `tokens == 0`.
+    pub fn tensorized(
+        &self,
+        key: ShardKey,
+        tokens: usize,
+    ) -> io::Result<(Vec<f32>, Vec<f32>, usize)> {
+        if let Some(set) = self.cache.get(key) {
+            let (inputs, targets) = crate::batching::tensorize_set(&set, tokens)?;
+            return Ok((inputs, targets, set.features.dim()));
+        }
+        let raw = self.shard_handle(key)?;
+        match sickle_codec::decode_shard_lazy(&raw)? {
+            sickle_codec::DecodedShard::Views(views) => {
+                if views.len() != 1 {
+                    return Err(invalid(format!(
+                        "shard for snapshot {} cube {} holds {} sets, expected 1",
+                        key.snapshot,
+                        key.cube,
+                        views.len()
+                    )));
+                }
+                let (inputs, targets) = crate::batching::tensorize_view(&views[0], tokens)?;
+                Ok((inputs, targets, views[0].dim()))
+            }
+            sickle_codec::DecodedShard::Owned(mut sets) => {
+                if sets.len() != 1 {
+                    return Err(invalid(format!(
+                        "shard for snapshot {} cube {} holds {} sets, expected 1",
+                        key.snapshot,
+                        key.cube,
+                        sets.len()
+                    )));
+                }
+                let set = Arc::new(sets.pop().expect("length checked"));
+                self.cache.insert(key, Arc::clone(&set));
+                let (inputs, targets) = crate::batching::tensorize_set(&set, tokens)?;
+                Ok((inputs, targets, set.features.dim()))
+            }
+        }
+    }
+
+    /// Makes a shard resident ahead of demand (the prefetcher's verb):
+    /// raw handle plus decoded set, exactly what the batch path will ask
+    /// for.
+    ///
+    /// # Errors
+    /// As [`get`](Self::get).
+    pub fn warm(&self, key: ShardKey) -> io::Result<()> {
+        self.get(key).map(drop)
+    }
+
     /// Cache introspection for benchmarks: `(resident shards, resident
     /// bytes, budget bytes)`.
     pub fn cache_stats(&self) -> (usize, usize, usize) {
@@ -251,6 +371,13 @@ impl ShardStore {
             self.cache.resident_bytes(),
             self.cache.budget_bytes(),
         )
+    }
+
+    /// Mapped-byte introspection: `(mapped bytes, mapped budget bytes)` —
+    /// the page-cache-backed residency [`cache_stats`](Self::cache_stats)
+    /// deliberately excludes.
+    pub fn mapped_stats(&self) -> (usize, usize) {
+        (self.cache.mapped_bytes(), self.cache.mapped_budget_bytes())
     }
 }
 
@@ -376,7 +503,15 @@ mod tests {
         // the out-of-core contract.
         let root = temp_root("tinycache");
         let out = small_output(3, 4, 50);
-        let store = ShardStore::ingest(&root, &out, StoreConfig { cache_bytes: 1 }).unwrap();
+        let store = ShardStore::ingest(
+            &root,
+            &out,
+            StoreConfig {
+                cache_bytes: 1,
+                ..StoreConfig::default()
+            },
+        )
+        .unwrap();
         for key in store.keys() {
             assert!(store.get(key).is_ok());
         }

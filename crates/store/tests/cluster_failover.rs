@@ -63,13 +63,19 @@ struct Server {
     drain: std::thread::JoinHandle<()>,
 }
 
-fn spawn_member(root: &Path, name: &str, trace: Option<&PathBuf>, fault: Option<&str>) -> Server {
+fn spawn_member(
+    root: &Path,
+    name: &str,
+    port: u16,
+    trace: Option<&PathBuf>,
+    fault: Option<&str>,
+) -> Server {
     let mut cmd = Command::new(env!("CARGO_BIN_EXE_sickle-serve"));
     cmd.args([
         "--root",
         root.join(name).to_str().expect("utf8 member root"),
         "--port",
-        "0",
+        &port.to_string(),
         "--threads",
         "2",
         "--allow-shutdown",
@@ -152,7 +158,7 @@ fn epoch_is_bit_identical_across_a_mid_epoch_process_death() {
         .map(|(i, name)| {
             let trace = root.join(format!("trace_{name}.json"));
             let fault = (i == VICTIM).then_some("die@0:2");
-            spawn_member(&root, name, Some(&trace), fault)
+            spawn_member(&root, name, 0, Some(&trace), fault)
         })
         .collect();
     let members: Vec<ClusterMember> = MEMBERS
@@ -182,6 +188,11 @@ fn epoch_is_bit_identical_across_a_mid_epoch_process_death() {
                     timeout: Duration::from_secs(5),
                     ..ClientConfig::default()
                 },
+                // This test pins the mark-down itself; pick a window far
+                // past the epoch so the victim cannot expire into a
+                // re-probe candidate before `down_members` is read.
+                reprobe_base: Duration::from_secs(60),
+                reprobe_cap: Duration::from_secs(120),
                 ..ClusterConfig::default()
             },
         )
@@ -274,6 +285,148 @@ fn epoch_is_bit_identical_across_a_mid_epoch_process_death() {
         std::fs::write(dir.join("failover_merged_trace.json"), &merged)
             .expect("write merged failover trace");
     }
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// Kill-then-restart: after a member dies mid-epoch and is failed over
+/// away from, restarting the process on the same address must bring it
+/// back into rotation via the expired mark-down's re-probe — no client
+/// restart, no reconfiguration. Every epoch before, during, and after the
+/// bounce stays bit-identical to the single-store reference.
+#[test]
+fn restarted_member_rejoins_after_mark_down_expiry() {
+    let root = temp_root().with_file_name(format!("sickle_cluster_rejoin_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).expect("create test root");
+
+    let out = small_output(2, 8, 256);
+    let ring = HashRing::new(&MEMBERS);
+    for name in MEMBERS {
+        let part = partition_output(&out, &ring, name, REPLICATION);
+        ShardStore::ingest(&root.join(name), &part, StoreConfig::default())
+            .unwrap_or_else(|e| panic!("ingest partition {name}: {e}"));
+    }
+    let mut keyed: Vec<(ShardKey, Arc<SampleSet>)> = out
+        .sets
+        .iter()
+        .flatten()
+        .enumerate()
+        .map(|(pos, s)| (set_key(s, pos), Arc::new(s.clone())))
+        .collect();
+    keyed.sort_by_key(|(k, _)| *k);
+    let reference: Vec<Arc<SampleSet>> = keyed.into_iter().map(|(_, s)| s).collect();
+
+    let mut servers: Vec<Server> = MEMBERS
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let fault = (i == VICTIM).then_some("die@0:2");
+            spawn_member(&root, name, 0, None, fault)
+        })
+        .collect();
+    let members: Vec<ClusterMember> = MEMBERS
+        .iter()
+        .zip(&servers)
+        .map(|(name, s)| ClusterMember::new(*name, s.addr.clone()))
+        .collect();
+
+    let spec = BatchSpec {
+        seed: 7,
+        batch_size: 4,
+        tokens: 16,
+    };
+    let mut cluster = ClusterClient::connect(
+        &members,
+        ClusterConfig {
+            replication: REPLICATION,
+            client: ClientConfig {
+                retries: 2,
+                backoff: Duration::from_millis(5),
+                backoff_cap: Duration::from_millis(100),
+                seed: 23,
+                timeout: Duration::from_secs(5),
+                ..ClientConfig::default()
+            },
+            // Fast expiry so the bounce-and-rejoin fits a test budget.
+            reprobe_base: Duration::from_millis(50),
+            reprobe_cap: Duration::from_millis(250),
+            ..ClusterConfig::default()
+        },
+    )
+    .expect("connect cluster");
+
+    let check_epoch = |cluster: &mut ClusterClient, what: &str| {
+        let batches = cluster
+            .epoch(spec)
+            .unwrap_or_else(|e| panic!("{what}: {e}"));
+        for (i, batch) in batches.iter().enumerate() {
+            let expected = local_batch(&reference, spec, i).expect("reference batch");
+            assert_bit_identical(batch, &expected, &format!("{what} batch {i}"));
+        }
+    };
+
+    // Epoch 1 rides through the injected death.
+    check_epoch(&mut cluster, "epoch across the death");
+    assert_eq!(
+        cluster.down_members(),
+        vec![MEMBERS[VICTIM]],
+        "the killed member is marked down"
+    );
+    let status = wait_with_deadline(&mut servers[VICTIM].child, MEMBERS[VICTIM]);
+    assert_eq!(status.code(), Some(DIE_EXIT_CODE), "victim died by fault");
+
+    // Restart the victim on its old address (same name, same partition,
+    // no fault). The client is not told: the re-probe must find it.
+    let old_port: u16 = servers[VICTIM]
+        .addr
+        .rsplit_once(':')
+        .expect("host:port")
+        .1
+        .parse()
+        .expect("port number");
+    let revived = spawn_member(&root, MEMBERS[VICTIM], old_port, None, None);
+    assert_eq!(
+        revived.addr, servers[VICTIM].addr,
+        "restart must rebind the old address"
+    );
+
+    // Epochs stay correct while the mark-down expires and the member is
+    // probed back in; eventually no member is down.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut round = 0usize;
+    loop {
+        round += 1;
+        check_epoch(&mut cluster, &format!("post-restart epoch {round}"));
+        if cluster.down_members().is_empty() {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "victim never rejoined: down={:?} after {round} epochs",
+            cluster.down_members()
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // One more full epoch with the whole fleet live.
+    check_epoch(&mut cluster, "epoch after rejoin");
+    assert!(cluster.down_members().is_empty());
+
+    for (name, result) in cluster.shutdown_all() {
+        result.unwrap_or_else(|e| panic!("shutdown {name}: {e}"));
+    }
+    let old_victim = servers.remove(VICTIM);
+    old_victim.drain.join().expect("victim stderr drain");
+    for mut server in servers {
+        let status = wait_with_deadline(&mut server.child, "survivor");
+        assert!(status.success(), "survivor exited {status}");
+        server.drain.join().expect("stderr drain");
+    }
+    let mut revived = revived;
+    let status = wait_with_deadline(&mut revived.child, "revived member");
+    assert!(status.success(), "revived member exited {status}");
+    revived.drain.join().expect("revived stderr drain");
 
     std::fs::remove_dir_all(&root).ok();
 }

@@ -11,7 +11,7 @@ use sickle_store::batching::BatchSpec;
 use sickle_store::manifest::{ShardEntry, ShardKey, StoreManifest};
 use sickle_store::protocol::{Request, Response, TensorBlock, TRACE_TRAILER_LEN};
 use sickle_store::stats::StatsSnapshot;
-use sickle_store::{Codec, ShardStore, StoreConfig};
+use sickle_store::{Codec, MmapMode, ShardStore, StoreConfig};
 
 /// Decodes a draw from the 6-way request space (the vendored proptest has
 /// no `prop_oneof`, so the discriminant is an explicit field).
@@ -225,6 +225,74 @@ proptest! {
             other => prop_assert!(false, "expected Tensors, got {other:?}"),
         }
     }
+}
+
+/// Ingests a tiny store, then lets `tamper` vandalise the shard file
+/// behind the manifest's back, and asserts every read path — raw handle,
+/// decoded get — errors under both the mmap and `read_at` planes. The
+/// mmap plane must fail with a clean `Err`, never a SIGBUS: the length
+/// check runs against the manifest *before* any page is mapped.
+fn hostile_file_errors_both_planes(what: &str, tamper: impl Fn(&std::path::Path)) {
+    for (mode, tag) in [(MmapMode::On, "mmap"), (MmapMode::Off, "read")] {
+        let out = sickle_store::testutil::small_output(1, 1, 64);
+        let root = std::env::temp_dir().join(format!(
+            "sickle_store_hostile_{what}_{tag}_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let cfg = StoreConfig {
+            mmap: mode,
+            ..StoreConfig::default()
+        };
+        let store = ShardStore::ingest(&root, &out, cfg).expect("ingest");
+        let manifest = StoreManifest::load(&root.join("manifest.json")).expect("manifest");
+        tamper(&root.join(&manifest.entries[0].file));
+        let key = ShardKey {
+            snapshot: 0,
+            cube: 0,
+        };
+        let raw = store.shard_bytes(key);
+        assert!(
+            raw.is_err(),
+            "{what}/{tag}: raw read must error, got {} bytes",
+            raw.map(|b| b.len()).unwrap_or(0)
+        );
+        let got = store.get(key);
+        assert!(got.is_err(), "{what}/{tag}: decode must error");
+        for err in [raw.unwrap_err(), got.unwrap_err()] {
+            assert_eq!(
+                err.kind(),
+                std::io::ErrorKind::InvalidData,
+                "{what}/{tag}: unexpected error {err}"
+            );
+        }
+        std::fs::remove_dir_all(&root).ok();
+    }
+}
+
+#[test]
+fn shard_truncated_after_publish_is_an_error_not_a_sigbus() {
+    hostile_file_errors_both_planes("truncated", |file| {
+        let bytes = std::fs::read(file).expect("read shard");
+        std::fs::write(file, &bytes[..bytes.len() / 2]).expect("truncate shard");
+    });
+}
+
+#[test]
+fn shard_emptied_after_publish_is_an_error() {
+    hostile_file_errors_both_planes("emptied", |file| {
+        std::fs::write(file, b"").expect("empty shard");
+    });
+}
+
+#[test]
+fn shard_bitflipped_after_publish_fails_the_hash_check() {
+    hostile_file_errors_both_planes("bitflip", |file| {
+        let mut bytes = std::fs::read(file).expect("read shard");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(file, &bytes).expect("rewrite shard");
+    });
 }
 
 #[test]

@@ -12,7 +12,9 @@ use sickle_store::batching::tensorize_set;
 use sickle_store::server::{serve, ServeConfig};
 use sickle_store::store::{set_key, ShardStore, StoreConfig};
 use sickle_store::testutil::small_output;
-use sickle_store::{partition_output, ClientConfig, ClusterConfig, ClusterMember, HashRing};
+use sickle_store::{
+    partition_output, ClientConfig, ClusterConfig, ClusterMember, HashRing, MmapMode,
+};
 use sickle_train::{RemoteDataset, TensorData};
 
 const SNAPSHOTS: usize = 2;
@@ -96,6 +98,68 @@ fn remote_batches_are_bit_identical_to_in_memory_batches() {
 
     drop(handle);
     std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn remote_epochs_are_bit_identical_across_mmap_modes() {
+    // The zero-copy plane's correctness contract: whether shard bytes
+    // reach the server as a mapped region (`SICKLE_MMAP=on`) or through
+    // the positional-read fallback (`SICKLE_MMAP=off`), every streamed
+    // batch is bit-identical to the in-memory reference — so the two
+    // modes are bit-identical to each other and the fallback is safe to
+    // flip on at runtime. Modes are pinned via `StoreConfig.mmap`, the
+    // field the env var parses into, to stay race-free under the
+    // parallel test harness.
+    let out = small_output(SNAPSHOTS, CUBES, POINTS);
+    let reference = reference_tensor_data(&out);
+
+    for (mode, tag) in [(MmapMode::On, "on"), (MmapMode::Off, "off")] {
+        let root =
+            std::env::temp_dir().join(format!("sickle_remote_mmap_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let cfg = StoreConfig {
+            mmap: mode,
+            ..StoreConfig::default()
+        };
+        let store = ShardStore::ingest(&root, &out, cfg).unwrap();
+        let handle = serve(Arc::new(store), ServeConfig::default()).unwrap();
+        let mut remote = RemoteDataset::connect(
+            handle.addr().to_string(),
+            TOKENS,
+            ClientConfig {
+                retries: 3,
+                backoff: Duration::from_millis(10),
+                timeout: Duration::from_secs(5),
+                ..ClientConfig::default()
+            },
+        )
+        .unwrap();
+        for (seed, batch_size) in [(42u64, 4usize), (7, 3)] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let local = reference.batches(batch_size, &mut rng);
+            let streamed = remote.epoch(seed, batch_size).unwrap();
+            assert_eq!(local.len(), streamed.len(), "mmap {tag} seed {seed}");
+            for (i, (l, r)) in local.iter().zip(&streamed).enumerate() {
+                assert_eq!(l.shape, r.shape, "mmap {tag} seed {seed} batch {i}");
+                for (j, (a, b)) in l.inputs.iter().zip(&r.inputs).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "mmap {tag} seed {seed} batch {i}: input {j} differs"
+                    );
+                }
+                for (j, (a, b)) in l.targets.iter().zip(&r.targets).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "mmap {tag} seed {seed} batch {i}: target {j} differs"
+                    );
+                }
+            }
+        }
+        drop(handle);
+        std::fs::remove_dir_all(&root).ok();
+    }
 }
 
 #[test]
